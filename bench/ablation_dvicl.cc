@@ -1,0 +1,74 @@
+// Ablation of DviCL's design choices (DESIGN.md per-experiment index):
+//  - full DviCL (DivideI + DivideS),
+//  - DivideI only (no clique/biclique removal),
+//  - no divides (degenerates to one IR run on the whole graph),
+//  - §6.1 structural-equivalence simplification on top of full DviCL.
+// Run on a subset of the real suite; times in seconds, '-' = budget hit.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "datasets/real_suite.h"
+#include "dvicl/dvicl.h"
+#include "dvicl/simplify.h"
+
+namespace dvicl {
+namespace {
+
+std::string Timed(bool completed, double seconds) {
+  return completed ? bench::FormatDouble(seconds, 3) : "-";
+}
+
+void Run() {
+  const double time_limit = bench::TimeLimitFromEnv();
+  std::printf("Ablation: DviCL divide/simplify variants (scale=%.2f, "
+              "budget=%.1fs)\n\n",
+              bench::ScaleFromEnv(), time_limit);
+  bench::TablePrinter table({14, 10, 14, 12, 12});
+  table.Row({"Graph", "full", "divideI-only", "no-divide", "simplify"});
+  table.Rule();
+
+  auto suite = RealSuite(bench::ScaleFromEnv());
+  for (size_t i = 0; i < suite.size(); i += 3) {  // every third graph
+    const Graph& g = suite[i].graph;
+    const Coloring unit = Coloring::Unit(g.NumVertices());
+
+    DviclOptions full;
+    full.time_limit_seconds = time_limit;
+    Stopwatch w1;
+    DviclResult r_full = DviclCanonicalLabeling(g, unit, full);
+    const double t_full = w1.ElapsedSeconds();
+
+    DviclOptions no_s = full;
+    no_s.enable_divide_s = false;
+    Stopwatch w2;
+    DviclResult r_no_s = DviclCanonicalLabeling(g, unit, no_s);
+    const double t_no_s = w2.ElapsedSeconds();
+
+    DviclOptions none = full;
+    none.enable_divide_i = false;
+    none.enable_divide_s = false;
+    Stopwatch w3;
+    DviclResult r_none = DviclCanonicalLabeling(g, unit, none);
+    const double t_none = w3.ElapsedSeconds();
+
+    Stopwatch w4;
+    SimplifiedDviclResult r_simpl = DviclWithSimplification(g, unit, full);
+    const double t_simpl = w4.ElapsedSeconds();
+
+    table.Row({suite[i].name, Timed(r_full.completed, t_full),
+               Timed(r_no_s.completed, t_no_s),
+               Timed(r_none.completed, t_none),
+               Timed(r_simpl.completed, t_simpl)});
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace dvicl
+
+int main() {
+  dvicl::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef DVICL_BENCH_BENCH_UTIL_H_
+#define DVICL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace dvicl {
+namespace bench {
+
+// Environment knobs shared by all table harnesses:
+//   DVICL_BENCH_SCALE: size multiplier for the real-graph suite (default 1
+//     -> a few thousand vertices per graph; the paper's graphs are 40-200x
+//     larger — see DESIGN.md §4 on scaling).
+//   DVICL_BENCH_LARGE: "1" selects the larger benchmark-suite instances.
+//   DVICL_TIME_LIMIT: per-run time limit in seconds for Table 5/8 style
+//     comparisons (default 2.0; the paper used 7200).
+inline double ScaleFromEnv() {
+  const char* value = std::getenv("DVICL_BENCH_SCALE");
+  return value != nullptr ? std::atof(value) : 1.0;
+}
+
+inline int BenchmarkScaleFromEnv() {
+  const char* value = std::getenv("DVICL_BENCH_LARGE");
+  return (value != nullptr && value[0] == '1') ? 2 : 1;
+}
+
+inline double TimeLimitFromEnv() {
+  const char* value = std::getenv("DVICL_TIME_LIMIT");
+  return value != nullptr ? std::atof(value) : 2.0;
+}
+
+// Minimal fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void Row(const std::vector<std::string>& cells) const {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%-*s", i < widths_.size() ? widths_[i] : 12,
+                  cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  void Rule() const {
+    int total = 0;
+    for (int w : widths_) total += w;
+    for (int i = 0; i < total; ++i) std::printf("-");
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string FormatDouble(double value, int decimals = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace bench
+}  // namespace dvicl
+
+#endif  // DVICL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,106 @@
+#ifndef DVICL_BENCH_COMPARE_HARNESS_H_
+#define DVICL_BENCH_COMPARE_HARNESS_H_
+
+// Shared harness for paper Tables 5 and 8: for every graph, run the three
+// IR baselines (nauty-like / traces-like / bliss-like presets of our IR
+// engine, standing in for the real tools — DESIGN.md §4) and DviCL+X with
+// the same preset as the leaf backend. Prints "time memory" pairs per
+// algorithm; "-" marks a run that exceeded the time budget, like the
+// paper's 2-hour timeouts.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "datasets/benchmark_suite.h"
+#include "dvicl/dvicl.h"
+#include "ir/ir_canonical.h"
+
+namespace dvicl {
+namespace bench {
+
+struct CompareCell {
+  bool completed = false;
+  double seconds = 0.0;
+  double rss_delta_mib = 0.0;
+};
+
+inline CompareCell RunBaseline(const Graph& g, IrPreset preset,
+                               double time_limit) {
+  CompareCell cell;
+  const double rss_before = CurrentRssMebibytes();
+  Stopwatch watch;
+  IrOptions options;
+  options.preset = preset;
+  options.time_limit_seconds = time_limit;
+  IrResult result =
+      IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+  cell.seconds = watch.ElapsedSeconds();
+  cell.completed = result.completed && cell.seconds <= time_limit;
+  cell.rss_delta_mib = CurrentRssMebibytes() - rss_before;
+  return cell;
+}
+
+inline CompareCell RunDvicl(const Graph& g, IrPreset preset,
+                            double time_limit) {
+  CompareCell cell;
+  const double rss_before = CurrentRssMebibytes();
+  Stopwatch watch;
+  DviclOptions options;
+  options.leaf_backend = preset;
+  options.time_limit_seconds = time_limit;
+  DviclResult result =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+  cell.seconds = watch.ElapsedSeconds();
+  cell.completed = result.completed;
+  cell.rss_delta_mib = CurrentRssMebibytes() - rss_before;
+  return cell;
+}
+
+inline std::string TimeText(const CompareCell& cell) {
+  return cell.completed ? FormatDouble(cell.seconds, 3) : "-";
+}
+
+inline std::string MemText(const CompareCell& cell) {
+  if (!cell.completed) return "-";
+  return FormatDouble(cell.rss_delta_mib < 0 ? 0.0 : cell.rss_delta_mib, 1);
+}
+
+inline void RunComparison(const std::vector<NamedGraph>& suite,
+                          const char* title) {
+  const double time_limit = TimeLimitFromEnv();
+  std::printf("%s\n", title);
+  std::printf("(time in seconds; memory as resident-set delta in MiB; '-' ="
+              " exceeded the %.1fs budget, cf. the paper's 2h limit)\n\n",
+              time_limit);
+  TablePrinter table({16, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9});
+  table.Row({"Graph", "nauty", "mem", "DviCL+n", "mem", "traces", "mem",
+             "DviCL+t", "mem", "bliss", "mem", "DviCL+b", "mem"});
+  table.Rule();
+
+  for (const NamedGraph& entry : suite) {
+    const Graph& g = entry.graph;
+    const CompareCell nauty =
+        RunBaseline(g, IrPreset::kNautyLike, time_limit);
+    const CompareCell dvicl_n = RunDvicl(g, IrPreset::kNautyLike, time_limit);
+    const CompareCell traces =
+        RunBaseline(g, IrPreset::kTracesLike, time_limit);
+    const CompareCell dvicl_t =
+        RunDvicl(g, IrPreset::kTracesLike, time_limit);
+    const CompareCell bliss = RunBaseline(g, IrPreset::kBlissLike, time_limit);
+    const CompareCell dvicl_b = RunDvicl(g, IrPreset::kBlissLike, time_limit);
+
+    table.Row({entry.name, TimeText(nauty), MemText(nauty), TimeText(dvicl_n),
+               MemText(dvicl_n), TimeText(traces), MemText(traces),
+               TimeText(dvicl_t), MemText(dvicl_t), TimeText(bliss),
+               MemText(bliss), TimeText(dvicl_b), MemText(dvicl_b)});
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace bench
+}  // namespace dvicl
+
+#endif  // DVICL_BENCH_COMPARE_HARNESS_H_

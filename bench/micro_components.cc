@@ -1,0 +1,83 @@
+// Component microbenchmarks (google-benchmark): costs of the individual
+// stages DviCL is built from — equitable refinement, AutoTree construction,
+// certificate building, leaf IR search, triangle counting. Not a paper
+// table; used to attribute the Table 5 speedups to the O(m) divide/combine
+// pipeline (paper §6.2/§6.3 complexity analysis).
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "dvicl/simplify.h"
+#include "graph/certificate.h"
+#include "ir/ir_canonical.h"
+#include "refine/refiner.h"
+
+namespace dvicl {
+namespace {
+
+Graph SocialGraph(int64_t n) {
+  Graph g = PreferentialAttachmentGraph(static_cast<VertexId>(n), 6, 77);
+  g = WithTwins(g, 0.06, 78);
+  return WithPendantPaths(g, 0.05, 3, 79);
+}
+
+void BM_RefineToEquitable(benchmark::State& state) {
+  Graph g = SocialGraph(state.range(0));
+  for (auto _ : state) {
+    Coloring pi = Coloring::Unit(g.NumVertices());
+    RefineToEquitable(g, &pi);
+    benchmark::DoNotOptimize(pi.NumCells());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_RefineToEquitable)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000);
+
+void BM_DviclConstruct(benchmark::State& state) {
+  Graph g = SocialGraph(state.range(0));
+  for (auto _ : state) {
+    DviclResult r =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    benchmark::DoNotOptimize(r.certificate.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_DviclConstruct)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000);
+
+void BM_Certificate(benchmark::State& state) {
+  Graph g = SocialGraph(state.range(0));
+  Permutation id = Permutation::Identity(g.NumVertices());
+  std::vector<uint32_t> colors(g.NumVertices(), 0);
+  for (auto _ : state) {
+    Certificate cert = MakeCertificate(g, colors, id.ImageArray());
+    benchmark::DoNotOptimize(cert.size());
+  }
+}
+BENCHMARK(BM_Certificate)->Arg(4000)->Arg(16000);
+
+void BM_IrLeafSearch_Cycle(benchmark::State& state) {
+  // Pure IR on a cycle of n vertices: the kind of small regular leaf
+  // CombineCL delegates (paper Fig. 4's non-singleton leaf).
+  Graph g = CycleGraph(static_cast<VertexId>(state.range(0)));
+  for (auto _ : state) {
+    IrResult r = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    benchmark::DoNotOptimize(r.certificate.size());
+  }
+}
+BENCHMARK(BM_IrLeafSearch_Cycle)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_StructuralSimplify(benchmark::State& state) {
+  Graph g = SocialGraph(state.range(0));
+  for (auto _ : state) {
+    auto eq = FindStructuralEquivalence(g);
+    benchmark::DoNotOptimize(eq.nontrivial_classes.size());
+  }
+}
+BENCHMARK(BM_StructuralSimplify)->Arg(4000)->Arg(16000);
+
+}  // namespace
+}  // namespace dvicl
+
+BENCHMARK_MAIN();

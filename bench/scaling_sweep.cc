@@ -1,0 +1,72 @@
+// Scaling sweep (figure-style series, not a paper table): DviCL+b vs the
+// bliss-like baseline as graph size grows, on twin-rich social graphs.
+// Prints one series per algorithm suitable for plotting time-vs-n; the
+// paper's Table 5 discussion predicts DviCL stays near-linear while the
+// baseline's search tree blows up past small sizes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "ir/ir_canonical.h"
+
+namespace dvicl {
+namespace {
+
+Graph SocialGraph(VertexId n) {
+  Graph g = PreferentialAttachmentGraph(n, 5, 4242);
+  g = WithTwins(g, 0.08, 4243);
+  return WithPendantPaths(g, 0.05, 3, 4244);
+}
+
+void Run() {
+  const double budget = bench::TimeLimitFromEnv();
+  std::printf("Scaling sweep: social-like graphs, DviCL+b vs bliss-like "
+              "baseline (budget %.1fs per point)\n\n",
+              budget);
+  bench::TablePrinter table({10, 12, 14, 14, 12});
+  table.Row({"n", "|E|", "bliss-like(s)", "DviCL+b(s)", "speedup"});
+  table.Rule();
+
+  for (VertexId n : {500u, 1000u, 2000u, 4000u, 8000u, 16000u, 32000u}) {
+    Graph g = SocialGraph(n);
+
+    IrOptions ir_options;
+    ir_options.preset = IrPreset::kBlissLike;
+    ir_options.time_limit_seconds = budget;
+    Stopwatch w1;
+    IrResult ir =
+        IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), ir_options);
+    const double t_ir = w1.ElapsedSeconds();
+
+    DviclOptions dv_options;
+    dv_options.leaf_backend = IrPreset::kBlissLike;
+    dv_options.time_limit_seconds = budget;
+    Stopwatch w2;
+    DviclResult dv =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), dv_options);
+    const double t_dv = w2.ElapsedSeconds();
+
+    std::string speedup = "-";
+    if (ir.completed && dv.completed && t_dv > 0) {
+      speedup = bench::FormatDouble(t_ir / t_dv, 1) + "x";
+    } else if (dv.completed) {
+      speedup = ">" + bench::FormatDouble(budget / t_dv, 0) + "x";
+    }
+    table.Row({std::to_string(g.NumVertices()),
+               std::to_string(g.NumEdges()),
+               ir.completed ? bench::FormatDouble(t_ir, 3) : "-",
+               dv.completed ? bench::FormatDouble(t_dv, 3) : "-", speedup});
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace dvicl
+
+int main() {
+  dvicl::Run();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces the qualitative claims of paper §6.4: SSM via the AutoTree
+// (SSM-AT) versus generic subgraph matching (SM). SM "will find much more
+// candidate matchings than the result" and offers "no guarantee to find all
+// symmetric subgraph matchings" without an expensive symmetry check per
+// candidate; SSM-AT answers directly from the index.
+//
+// For each graph: query = a random triangle; columns give the number of
+// induced isomorphic copies SM enumerates (capped), the number of truly
+// symmetric images SSM-AT reports, and both times.
+
+#include <cstdio>
+
+#include "analysis/triangles.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "datasets/real_suite.h"
+#include "dvicl/dvicl.h"
+#include "ssm/ssm_at.h"
+#include "ssm/subgraph_match.h"
+
+namespace dvicl {
+namespace {
+
+constexpr size_t kSmCap = 100000;
+
+void Run() {
+  std::printf("SSM-AT vs generic subgraph matching (paper §6.4; scale=%.2f, "
+              "SM capped at %zu candidates)\n\n",
+              bench::ScaleFromEnv(), kSmCap);
+  bench::TablePrinter table({14, 12, 12, 14, 12});
+  table.Row({"Graph", "SM-matches", "SM-time", "SSM-AT-images",
+             "SSM-AT-time"});
+  table.Rule();
+
+  auto suite = RealSuite(bench::ScaleFromEnv());
+  for (size_t i = 0; i < suite.size(); i += 2) {
+    const Graph& g = suite[i].graph;
+    auto triangles = EnumerateTriangles(g, 1);
+    if (triangles.empty()) {
+      table.Row({suite[i].name, "no-triangle", "-", "-", "-"});
+      continue;
+    }
+    const std::vector<VertexId>& query = triangles.front();
+
+    Stopwatch sm_watch;
+    auto matches = FindInducedSubgraphs(g, query, kSmCap);
+    const double sm_time = sm_watch.ElapsedSeconds();
+
+    DviclResult result =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    SsmIndex index(g, result);
+    Stopwatch at_watch;
+    BigUint count = index.CountSymmetricImages(query);
+    const double at_time = at_watch.ElapsedSeconds();
+
+    std::string sm_text = std::to_string(matches.size());
+    if (matches.size() >= kSmCap) sm_text += "+";
+    table.Row({suite[i].name, sm_text, bench::FormatDouble(sm_time, 3),
+               count.ToCompactString(), bench::FormatDouble(at_time, 4)});
+    std::fflush(stdout);
+  }
+  std::printf("\nSM enumerates every isomorphic copy — symmetric or not — "
+              "and each would still need a symmetry verification; SSM-AT "
+              "reads the answer off the AutoTree.\n");
+}
+
+}  // namespace
+}  // namespace dvicl
+
+int main() {
+  dvicl::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Network symmetry measurement over the real-graph suite (paper §1
+// applications (b)/(c), after [24]/[37]): exact |Aut(G)|, orbit statistics,
+// the fraction of vertices with automorphic counterparts, structure
+// entropy and quotient compression. MacArthur et al.'s finding — real
+// networks are richly symmetric, with |Aut| astronomically large but
+// concentrated in small local structures — is what the suite must (and
+// does) reproduce.
+
+#include <cstdio>
+
+#include "analysis/symmetry_profile.h"
+#include "bench_util.h"
+#include "datasets/real_suite.h"
+
+namespace dvicl {
+namespace {
+
+void Run() {
+  std::printf("Symmetry profile of the real-graph suite (scale=%.2f)\n\n",
+              bench::ScaleFromEnv());
+  bench::TablePrinter table({14, 14, 10, 10, 10, 10, 10});
+  table.Row({"Graph", "|Aut|", "orbits", "max-orb", "sym-frac", "entropy",
+             "quot-V%"});
+  table.Rule();
+
+  for (const NamedGraph& entry : RealSuite(bench::ScaleFromEnv())) {
+    const Graph& g = entry.graph;
+    DviclResult result =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    if (!result.completed) {
+      table.Row({entry.name, "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    SymmetryProfile profile = ComputeSymmetryProfile(g, result);
+    table.Row({entry.name, profile.aut_order.ToCompactString(),
+               std::to_string(profile.num_orbits),
+               std::to_string(profile.largest_orbit),
+               bench::FormatDouble(profile.symmetric_vertex_fraction, 3),
+               bench::FormatDouble(profile.normalized_structure_entropy, 3),
+               bench::FormatDouble(100.0 * profile.quotient_vertex_ratio,
+                                   1)});
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace dvicl
+
+int main() {
+  dvicl::Run();
+  return 0;
+}

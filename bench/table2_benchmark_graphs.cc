@@ -1,0 +1,73 @@
+// Reproduces paper Table 2: summary of the benchmark-graph suite (bliss
+// collection families; see DESIGN.md §4 for the per-family construction).
+// Orbit-coloring statistics come from DviCL+bliss-like with a time budget;
+// on a timeout the equitable-coloring cells are reported with a '*'.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datasets/benchmark_suite.h"
+#include "dvicl/dvicl.h"
+#include "refine/refiner.h"
+
+namespace dvicl {
+namespace {
+
+void Run() {
+  std::printf("Table 2: Summarization of benchmark graphs (scale=%d)\n\n",
+              bench::BenchmarkScaleFromEnv());
+  bench::TablePrinter table({20, 10, 12, 8, 8, 10, 10});
+  table.Row({"Graph", "|V|", "|E|", "dmax", "davg", "cells", "singleton"});
+  table.Rule();
+
+  for (const NamedGraph& entry :
+       BenchmarkSuite(bench::BenchmarkScaleFromEnv())) {
+    const Graph& g = entry.graph;
+    DviclOptions options;
+    options.time_limit_seconds = bench::TimeLimitFromEnv();
+    DviclResult result =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+
+    std::string cells;
+    std::string singleton;
+    if (result.completed) {
+      const auto orbit =
+          OrbitIdsFromGenerators(g.NumVertices(), result.generators);
+      std::vector<uint64_t> size(g.NumVertices(), 0);
+      for (VertexId v = 0; v < g.NumVertices(); ++v) ++size[orbit[v]];
+      uint64_t num_cells = 0;
+      uint64_t num_singleton = 0;
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (size[v] > 0) {
+          ++num_cells;
+          num_singleton += (size[v] == 1) ? 1 : 0;
+        }
+      }
+      cells = std::to_string(num_cells);
+      singleton = std::to_string(num_singleton);
+    } else {
+      // Fall back to the equitable coloring (an upper bound on orbits).
+      Coloring pi = Coloring::Unit(g.NumVertices());
+      RefineToEquitable(g, &pi);
+      uint64_t num_singleton = 0;
+      for (VertexId s : pi.CellStarts()) {
+        num_singleton += (pi.CellSizeAt(s) == 1) ? 1 : 0;
+      }
+      cells = std::to_string(pi.NumCells()) + "*";
+      singleton = std::to_string(num_singleton) + "*";
+    }
+    table.Row({entry.name, std::to_string(g.NumVertices()),
+               std::to_string(g.NumEdges()), std::to_string(g.MaxDegree()),
+               bench::FormatDouble(g.AverageDegree()), cells, singleton});
+  }
+  std::printf("\n(*: DviCL hit the time budget; equitable-coloring cells "
+              "reported instead of orbits)\n");
+}
+
+}  // namespace
+}  // namespace dvicl
+
+int main() {
+  dvicl::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces paper Table 4: the structure of the AutoTrees built for the
+// benchmark-graph suite. The expected shape (paper §7): most benchmark
+// families are regular, so the AutoTree collapses to a single root node —
+// DviCL cannot help there, matching Table 8's near-parity.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datasets/benchmark_suite.h"
+#include "dvicl/dvicl.h"
+
+namespace dvicl {
+namespace {
+
+void Run() {
+  std::printf("Table 4: The structure of AutoTrees of benchmark graphs "
+              "(scale=%d)\n\n",
+              bench::BenchmarkScaleFromEnv());
+  bench::TablePrinter table({20, 12, 12, 14, 10, 8});
+  table.Row({"Graph", "|V(AT)|", "singleton", "non-singleton", "avg size",
+             "depth"});
+  table.Rule();
+
+  for (const NamedGraph& entry :
+       BenchmarkSuite(bench::BenchmarkScaleFromEnv())) {
+    const Graph& g = entry.graph;
+    DviclOptions options;
+    options.time_limit_seconds = bench::TimeLimitFromEnv();
+    DviclResult result =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+    if (!result.completed) {
+      table.Row({entry.name, "-", "-", "-", "-", "-"});
+      continue;
+    }
+    table.Row({entry.name, std::to_string(result.tree.NumNodes()),
+               std::to_string(result.tree.NumSingletonLeaves()),
+               std::to_string(result.tree.NumNonSingletonLeaves()),
+               bench::FormatDouble(result.tree.AverageNonSingletonLeafSize()),
+               std::to_string(result.tree.Depth())});
+  }
+}
+
+}  // namespace
+}  // namespace dvicl
+
+int main() {
+  dvicl::Run();
+  return 0;
+}

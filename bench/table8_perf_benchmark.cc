@@ -1,0 +1,14 @@
+// Reproduces paper Table 8: performance of the six algorithms on the
+// benchmark-graph suite. Expected shape: DviCL+X ~ X on these regular
+// graphs (the AutoTree collapses to the root, Table 4), with DviCL adding
+// only a small constant overhead and inheriting X's behaviour.
+
+#include "compare_harness.h"
+#include "datasets/benchmark_suite.h"
+
+int main() {
+  dvicl::bench::RunComparison(
+      dvicl::BenchmarkSuite(dvicl::bench::BenchmarkScaleFromEnv()),
+      "Table 8: Performance on benchmark graphs");
+  return 0;
+}

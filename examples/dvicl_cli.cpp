@@ -1,0 +1,309 @@
+// dvicl_cli — one command-line surface over the whole library.
+//
+//   dvicl_cli stats   <graph>          size/degree/symmetry profile
+//   dvicl_cli canon   <graph>          canonical form as a graph6 line
+//   dvicl_cli aut     <graph>          Aut generators, orbits, exact order
+//   dvicl_cli tree    <graph>          render the AutoTree
+//   dvicl_cli quotient <graph>         symmetry quotient as an edge list
+//   dvicl_cli iso     <graphA> <graphB>  isomorphism test + witness
+//   dvicl_cli ssm     <graph> v1,v2,...  symmetric images of a vertex set
+//   dvicl_cli index   save|load <graph|file> <file>  persist the AutoTree
+//
+// Graph files: edge list (*.edges, default), DIMACS (*.dimacs / *.col), or
+// a graph6 line (*.g6).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/quotient.h"
+#include "analysis/symmetry_profile.h"
+#include "dvicl/dvicl.h"
+#include "dvicl/serialize.h"
+#include "graph/graph_io.h"
+#include "ssm/ssm_at.h"
+
+using namespace dvicl;
+
+namespace {
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+Result<Graph> LoadGraph(const std::string& path) {
+  if (EndsWith(path, ".g6")) {
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot open " + path);
+    std::string line;
+    std::getline(in, line);
+    return ParseGraph6(line);
+  }
+  if (EndsWith(path, ".dimacs") || EndsWith(path, ".col")) {
+    return ReadDimacsFile(path);
+  }
+  return ReadEdgeListFile(path);
+}
+
+Result<DviclResult> Analyze(const Graph& graph) {
+  DviclResult result = DviclCanonicalLabeling(
+      graph, Coloring::Unit(graph.NumVertices()), {});
+  if (!result.completed) {
+    return Status::ResourceExhausted("canonical labeling did not complete");
+  }
+  return result;
+}
+
+int CmdStats(const Graph& graph) {
+  Result<DviclResult> result = Analyze(graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  SymmetryProfile profile = ComputeSymmetryProfile(graph, result.value());
+  std::printf("vertices           %u\n", graph.NumVertices());
+  std::printf("edges              %llu\n",
+              static_cast<unsigned long long>(graph.NumEdges()));
+  std::printf("max degree         %u\n", graph.MaxDegree());
+  std::printf("avg degree         %.2f\n", graph.AverageDegree());
+  std::printf("|Aut(G)|           %s\n",
+              profile.aut_order.ToCompactString().c_str());
+  std::printf("orbits             %llu (%llu singleton, largest %llu)\n",
+              static_cast<unsigned long long>(profile.num_orbits),
+              static_cast<unsigned long long>(profile.singleton_orbits),
+              static_cast<unsigned long long>(profile.largest_orbit));
+  std::printf("symmetric vertices %.1f%%\n",
+              100.0 * profile.symmetric_vertex_fraction);
+  std::printf("structure entropy  %.4f\n",
+              profile.normalized_structure_entropy);
+  std::printf("quotient size      %.1f%% vertices, %.1f%% edges\n",
+              100.0 * profile.quotient_vertex_ratio,
+              100.0 * profile.quotient_edge_ratio);
+  const AutoTree& tree = result.value().tree;
+  std::printf("AutoTree           %u nodes, depth %u, %u IR leaves\n",
+              tree.NumNodes(), tree.Depth(), tree.NumNonSingletonLeaves());
+  return 0;
+}
+
+int CmdCanon(const Graph& graph) {
+  Result<DviclResult> result = Analyze(graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  Graph canonical = graph.RelabeledBy(
+      result.value().canonical_labeling.ImageArray());
+  std::printf("%s\n", FormatGraph6(canonical).c_str());
+  return 0;
+}
+
+int CmdAut(const Graph& graph) {
+  Result<DviclResult> result = Analyze(graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  const DviclResult& r = result.value();
+  std::printf("generators (%zu):\n", r.generators.size());
+  const size_t show = std::min<size_t>(r.generators.size(), 50);
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  %s\n",
+                r.generators[i].ToDense(graph.NumVertices())
+                    .ToCycleString()
+                    .c_str());
+  }
+  if (show < r.generators.size()) {
+    std::printf("  ... (%zu more)\n", r.generators.size() - show);
+  }
+  std::printf("|Aut(G)| = %s\n",
+              AutomorphismOrderFromTree(r.tree).ToDecimalString().c_str());
+  return 0;
+}
+
+int CmdTree(const Graph& graph) {
+  Result<DviclResult> result = Analyze(graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", FormatAutoTree(result.value().tree, 500).c_str());
+  return 0;
+}
+
+int CmdQuotient(const Graph& graph) {
+  Result<DviclResult> result = Analyze(graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  const auto orbits = OrbitIdsFromGenerators(graph.NumVertices(),
+                                             result.value().generators);
+  QuotientGraph quotient = BuildQuotient(graph, orbits);
+  std::printf("# quotient of %u vertices -> %u orbits\n",
+              graph.NumVertices(), quotient.graph.NumVertices());
+  for (const Edge& e : quotient.graph.Edges()) {
+    std::printf("%u %u\n", e.first, e.second);
+  }
+  return 0;
+}
+
+int CmdIso(const Graph& a, const Graph& b) {
+  Result<Permutation> witness = DviclFindIsomorphism(a, b);
+  if (witness.ok()) {
+    std::printf("ISOMORPHIC via %s\n",
+                witness.value().ToCycleString().c_str());
+    return 0;
+  }
+  if (witness.status().code() == Status::Code::kNotFound) {
+    std::printf("NOT ISOMORPHIC\n");
+    return 1;
+  }
+  std::fprintf(stderr, "%s\n", witness.status().ToString().c_str());
+  return 2;
+}
+
+int CmdSsm(const Graph& graph, const std::string& spec) {
+  std::vector<VertexId> query;
+  uint64_t value = 0;
+  bool have_digit = false;
+  for (char c : spec + ",") {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      have_digit = true;
+    } else if (c == ',') {
+      if (have_digit) query.push_back(static_cast<VertexId>(value));
+      value = 0;
+      have_digit = false;
+    } else {
+      std::fprintf(stderr, "bad vertex list '%s'\n", spec.c_str());
+      return 2;
+    }
+  }
+  for (VertexId v : query) {
+    if (v >= graph.NumVertices()) {
+      std::fprintf(stderr, "vertex %u out of range\n", v);
+      return 2;
+    }
+  }
+  Result<DviclResult> result = Analyze(graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  SsmIndex index(graph, result.value());
+  std::printf("symmetric images: %s\n",
+              index.CountSymmetricImages(query).ToCompactString().c_str());
+  bool truncated = false;
+  auto images = index.SymmetricImages(query, 20, &truncated);
+  for (const auto& image : images) {
+    std::printf("  {");
+    for (size_t i = 0; i < image.size(); ++i) {
+      std::printf("%s%u", i ? "," : "", image[i]);
+    }
+    std::printf("}\n");
+  }
+  if (truncated) std::printf("  ... (enumeration truncated at 20)\n");
+  return 0;
+}
+
+int CmdIndex(const std::string& verb, const std::string& source,
+             const std::string& file) {
+  if (verb == "save") {
+    Result<Graph> graph = LoadGraph(source);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 2;
+    }
+    Result<DviclResult> result = Analyze(graph.value());
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 2;
+    }
+    Status status = SaveDviclResultToFile(result.value(), file);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::printf("saved AutoTree index (%u nodes) to %s\n",
+                result.value().tree.NumNodes(), file.c_str());
+    return 0;
+  }
+  if (verb == "load") {
+    Result<DviclResult> loaded = LoadDviclResultFromFile(source);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("loaded index: %u nodes, depth %u, |Aut| = %s\n",
+                loaded.value().tree.NumNodes(), loaded.value().tree.Depth(),
+                AutomorphismOrderFromTree(loaded.value().tree)
+                    .ToCompactString()
+                    .c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "index verb must be save or load\n");
+  return 2;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s stats|canon|aut|tree|quotient <graph>\n"
+               "       %s iso <graphA> <graphB>\n"
+               "       %s ssm <graph> v1,v2,...\n"
+               "       %s index save <graph> <file> | index load <file>\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const std::string command = argv[1];
+
+  if (command == "iso") {
+    if (argc != 4) return Usage(argv[0]);
+    Result<Graph> a = LoadGraph(argv[2]);
+    Result<Graph> b = LoadGraph(argv[3]);
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   (!a.ok() ? a.status() : b.status()).ToString().c_str());
+      return 2;
+    }
+    return CmdIso(a.value(), b.value());
+  }
+  if (command == "ssm") {
+    if (argc != 4) return Usage(argv[0]);
+    Result<Graph> graph = LoadGraph(argv[2]);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 2;
+    }
+    return CmdSsm(graph.value(), argv[3]);
+  }
+  if (command == "index") {
+    if (argc == 5 && std::strcmp(argv[2], "save") == 0) {
+      return CmdIndex("save", argv[3], argv[4]);
+    }
+    if (argc == 4 && std::strcmp(argv[2], "load") == 0) {
+      return CmdIndex("load", argv[3], "");
+    }
+    return Usage(argv[0]);
+  }
+
+  if (argc != 3) return Usage(argv[0]);
+  Result<Graph> graph = LoadGraph(argv[2]);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 2;
+  }
+  if (command == "stats") return CmdStats(graph.value());
+  if (command == "canon") return CmdCanon(graph.value());
+  if (command == "aut") return CmdAut(graph.value());
+  if (command == "tree") return CmdTree(graph.value());
+  if (command == "quotient") return CmdQuotient(graph.value());
+  return Usage(argv[0]);
+}

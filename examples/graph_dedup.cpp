@@ -1,0 +1,75 @@
+// Database indexing by canonical labeling (paper §1 application (a)):
+// deduplicate a collection of graphs by isomorphism class, the way a
+// chemical-compound database assigns certificates. Builds a shuffled
+// collection of known families plus random relabelings and shows the index
+// recovering the true classes.
+//
+// Build & run:  ./build/examples/graph_dedup
+
+#include <cstdio>
+#include <numeric>
+
+#include "analysis/cert_index.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "graph/graph_io.h"
+
+using namespace dvicl;
+
+namespace {
+
+Graph Shuffled(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> image(g.NumVertices());
+  std::iota(image.begin(), image.end(), 0);
+  rng.Shuffle(&image);
+  return g.RelabeledBy(image);
+}
+
+}  // namespace
+
+int main() {
+  CertificateIndex index;
+
+  // Insert 6 distinct shapes, each under 5 random relabelings: 30 graphs,
+  // 6 isomorphism classes.
+  struct Entry {
+    const char* name;
+    Graph graph;
+  };
+  const Entry shapes[] = {
+      {"C10", CycleGraph(10)},
+      {"P10", PathGraph(10)},
+      {"K5", CompleteGraph(5)},
+      {"K3,3", CompleteBipartiteGraph(3, 3)},
+      {"prism", Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5},
+                                     {5, 3}, {0, 3}, {1, 4}, {2, 5}})},
+      {"torus3", Torus3dGraph(3)},
+  };
+  int inserted = 0;
+  for (const Entry& shape : shapes) {
+    for (uint64_t copy = 0; copy < 5; ++copy) {
+      char id[64];
+      std::snprintf(id, sizeof(id), "%s#%llu", shape.name,
+                    static_cast<unsigned long long>(copy));
+      index.Insert(id, Shuffled(shape.graph, 31 * copy + 7));
+      ++inserted;
+    }
+  }
+  std::printf("inserted %d graphs -> %zu isomorphism classes\n", inserted,
+              index.NumClasses());
+
+  // Retrieval: an unseen relabeling of the prism finds all prism entries.
+  const auto hits = index.FindIsomorphic(Shuffled(shapes[4].graph, 999));
+  std::printf("lookup(shuffled prism) -> %zu hits:", hits.size());
+  for (const auto& id : hits) std::printf(" %s", id.c_str());
+  std::printf("\n");
+
+  // Certificates travel well: the graph6 line of a graph is enough to
+  // re-derive its class.
+  const std::string g6 = FormatGraph6(shapes[0].graph);
+  Result<Graph> parsed = ParseGraph6(g6);
+  std::printf("graph6 of C10 = \"%s\"; lookup -> %zu hits\n", g6.c_str(),
+              parsed.ok() ? index.FindIsomorphic(parsed.value()).size() : 0);
+  return 0;
+}

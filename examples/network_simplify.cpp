@@ -1,0 +1,52 @@
+// Network simplification by symmetry (paper §1 application (d)): collapse
+// every Aut(G) orbit into one vertex — the "quotient" — and report the
+// compression and the structure entropy before/after. Per Xiao et al. the
+// quotient can be substantially smaller while preserving key functional
+// properties.
+//
+// Build & run:  ./build/examples/network_simplify [n]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/quotient.h"
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+
+using namespace dvicl;
+
+int main(int argc, char** argv) {
+  const VertexId n = argc > 1 ? static_cast<VertexId>(std::atoi(argv[1]))
+                              : 4000;
+  // A twin- and pendant-rich web-like graph: rich symmetry to collapse.
+  Graph g = CopyingModelGraph(n, 4, 0.7, 7);
+  g = WithTwins(g, 0.15, 8);
+  g = WithPendantPaths(g, 0.12, 4, 9);
+  std::printf("input: %u vertices, %llu edges\n", g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()));
+
+  DviclResult result =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  const auto orbits =
+      OrbitIdsFromGenerators(g.NumVertices(), result.generators);
+
+  QuotientGraph quotient = BuildQuotient(g, orbits);
+  std::printf("quotient: %u vertices (%.1f%%), %llu edges (%.1f%%)\n",
+              quotient.graph.NumVertices(), 100.0 * quotient.vertex_ratio,
+              static_cast<unsigned long long>(quotient.graph.NumEdges()),
+              100.0 * quotient.edge_ratio);
+
+  uint32_t largest_orbit = 0;
+  for (uint32_t size : quotient.orbit_size) {
+    largest_orbit = std::max(largest_orbit, size);
+  }
+  std::printf("largest orbit collapsed: %u vertices\n", largest_orbit);
+  std::printf("structure entropy (normalized): %.4f "
+              "(1 = asymmetric, 0 = vertex-transitive)\n",
+              NormalizedStructureEntropy(g.NumVertices(), orbits));
+
+  // Key scale-free property preserved: the quotient keeps the hubs.
+  std::printf("max degree: original %u, quotient %u\n", g.MaxDegree(),
+              quotient.graph.MaxDegree());
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "analysis/cert_index.h"
+
+#include "refine/coloring.h"
+
+namespace dvicl {
+
+namespace {
+
+Certificate ComputeCertificate(const Graph& graph,
+                               const DviclOptions& options, bool* ok) {
+  DviclResult result = DviclCanonicalLabeling(
+      graph, Coloring::Unit(graph.NumVertices()), options);
+  if (ok != nullptr) *ok = result.completed;
+  return std::move(result.certificate);
+}
+
+}  // namespace
+
+int64_t CertificateIndex::Insert(const std::string& id, const Graph& graph) {
+  bool ok = false;
+  Certificate cert = ComputeCertificate(graph, options_, &ok);
+  if (!ok) return -1;
+  auto [it, inserted] = classes_.try_emplace(
+      std::move(cert), static_cast<int64_t>(classes_.size()),
+      std::vector<std::string>());
+  it->second.second.push_back(id);
+  ++num_graphs_;
+  return it->second.first;
+}
+
+std::vector<std::string> CertificateIndex::FindIsomorphic(const Graph& graph,
+                                                          bool* ok) const {
+  bool completed = false;
+  Certificate cert = ComputeCertificate(graph, options_, &completed);
+  if (ok != nullptr) *ok = completed;
+  if (!completed) return {};
+  auto it = classes_.find(cert);
+  if (it == classes_.end()) return {};
+  return it->second.second;
+}
+
+Certificate CertificateIndex::CertificateOf(const Graph& graph,
+                                            bool* ok) const {
+  return ComputeCertificate(graph, options_, ok);
+}
+
+}  // namespace dvicl

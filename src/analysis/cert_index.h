@@ -1,0 +1,50 @@
+#ifndef DVICL_ANALYSIS_CERT_INDEX_H_
+#define DVICL_ANALYSIS_CERT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dvicl/dvicl.h"
+#include "graph/certificate.h"
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Database indexing by canonical labeling (paper §1 application (a), after
+// Randic et al. [31]): every graph gets a certificate such that two graphs
+// are isomorphic iff they share the certificate. The index deduplicates and
+// retrieves graphs from a collection by isomorphism class.
+class CertificateIndex {
+ public:
+  explicit CertificateIndex(const DviclOptions& options = {})
+      : options_(options) {}
+
+  // Inserts a graph under a caller-supplied id. Returns the isomorphism
+  // class index (existing classes are reused), or -1 if the canonical
+  // labeling did not complete within the configured budgets.
+  int64_t Insert(const std::string& id, const Graph& graph);
+
+  // Ids of all previously inserted graphs isomorphic to `graph`; empty if
+  // none (or on an incomplete run, with *ok = false when given).
+  std::vector<std::string> FindIsomorphic(const Graph& graph,
+                                          bool* ok = nullptr) const;
+
+  size_t NumGraphs() const { return num_graphs_; }
+  size_t NumClasses() const { return classes_.size(); }
+
+ private:
+  Certificate CertificateOf(const Graph& graph, bool* ok) const;
+
+  DviclOptions options_;
+  // certificate -> (class index, member ids). std::map keeps deterministic
+  // iteration; certificates compare lexicographically.
+  std::map<Certificate, std::pair<int64_t, std::vector<std::string>>>
+      classes_;
+  size_t num_graphs_ = 0;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_ANALYSIS_CERT_INDEX_H_

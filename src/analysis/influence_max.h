@@ -1,0 +1,43 @@
+#ifndef DVICL_ANALYSIS_INFLUENCE_MAX_H_
+#define DVICL_ANALYSIS_INFLUENCE_MAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Influence maximization under the Independent Cascade model with a
+// constant edge probability, as in the paper's §1 experiment setup ("the
+// probability to influence one from another is treated as constant",
+// following [1]). The seeds are selected greedily with Monte-Carlo spread
+// estimation and CELF lazy evaluation — a stand-in for PMC [28] with the
+// same output contract (a size-k seed set), which is all the SSM
+// application consumes.
+struct InfluenceMaxOptions {
+  double edge_probability = 0.1;
+  uint32_t monte_carlo_rounds = 64;
+  uint64_t seed = 12345;
+  // When non-zero, only the `candidate_pool` highest-degree vertices are
+  // considered as seeds (a pruning in the spirit of PMC's pruned
+  // simulations; 0 = every vertex). Greedy over all n vertices costs n
+  // Monte-Carlo evaluations for the first seed alone.
+  uint32_t candidate_pool = 0;
+};
+
+struct InfluenceMaxResult {
+  std::vector<VertexId> seeds;       // in selection order
+  double estimated_spread = 0.0;     // E[sigma(S)] of the final set
+};
+
+InfluenceMaxResult GreedyInfluenceMaximization(
+    const Graph& graph, uint32_t k, const InfluenceMaxOptions& options = {});
+
+// Monte-Carlo estimate of the expected IC spread of a fixed seed set.
+double EstimateSpread(const Graph& graph, const std::vector<VertexId>& seeds,
+                      const InfluenceMaxOptions& options = {});
+
+}  // namespace dvicl
+
+#endif  // DVICL_ANALYSIS_INFLUENCE_MAX_H_

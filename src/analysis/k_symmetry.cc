@@ -1,0 +1,86 @@
+#include "analysis/k_symmetry.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dvicl {
+
+KSymmetryResult AnonymizeKSymmetry(const Graph& graph,
+                                   const DviclResult& dvicl_result,
+                                   uint32_t k) {
+  KSymmetryResult result;
+  result.original_vertices = graph.NumVertices();
+
+  const AutoTreeNode& root = dvicl_result.tree.Root();
+  if (root.is_leaf || root.divided_by_s || k <= 1) {
+    // Documented scope: duplication only along a DivideI axis at the root.
+    result.anonymized = graph;
+    return result;
+  }
+
+  // Color multiplicities distinguish axis singletons (singleton cells)
+  // from one-vertex components of larger cells.
+  std::unordered_map<uint32_t, uint32_t> color_count;
+  for (uint32_t c : dvicl_result.colors) ++color_count[c];
+
+  std::vector<Edge> edges = graph.Edges();
+  VertexId next_id = graph.NumVertices();
+  uint64_t anonymized_vertices = 0;
+
+  // Walk classes of root children (children are sorted by form, classes
+  // are consecutive).
+  size_t i = 0;
+  while (i < root.children.size()) {
+    size_t j = i;
+    while (j < root.children.size() &&
+           root.child_sym_class[j] == root.child_sym_class[i]) {
+      ++j;
+    }
+    const size_t class_size = j - i;
+    const AutoTreeNode& representative =
+        dvicl_result.tree.Node(root.children[i]);
+    const bool axis_singleton =
+        representative.IsSingleton() &&
+        color_count.at(dvicl_result.colors[representative.vertices[0]]) == 1;
+
+    if (!axis_singleton) {
+      for (size_t member = i; member < j; ++member) {
+        anonymized_vertices +=
+            dvicl_result.tree.Node(root.children[member]).vertices.size();
+      }
+      for (size_t copy = class_size; copy < k; ++copy) {
+        // Clone the representative component: fresh ids for its vertices,
+        // internal edges copied, external edges re-attached to the same
+        // axis vertices (color-determined, so the copy is symmetric to the
+        // original).
+        std::unordered_map<VertexId, VertexId> fresh;
+        fresh.reserve(representative.vertices.size());
+        for (VertexId v : representative.vertices) fresh.emplace(v, next_id++);
+        std::unordered_set<VertexId> inside(representative.vertices.begin(),
+                                            representative.vertices.end());
+        for (VertexId v : representative.vertices) {
+          for (VertexId u : graph.Neighbors(v)) {
+            if (inside.count(u) != 0) {
+              if (v < u) edges.emplace_back(fresh.at(v), fresh.at(u));
+            } else {
+              edges.emplace_back(fresh.at(v), u);  // axis attachment
+            }
+          }
+        }
+        result.copies_added += representative.vertices.size();
+      }
+    }
+    i = j;
+  }
+
+  result.anonymized = Graph::FromEdges(next_id, std::move(edges));
+  result.anonymized_fraction =
+      graph.NumVertices() == 0
+          ? 0.0
+          : static_cast<double>(anonymized_vertices) /
+                static_cast<double>(graph.NumVertices());
+  return result;
+}
+
+}  // namespace dvicl

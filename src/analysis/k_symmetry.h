@@ -1,0 +1,41 @@
+#ifndef DVICL_ANALYSIS_K_SYMMETRY_H_
+#define DVICL_ANALYSIS_K_SYMMETRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dvicl/dvicl.h"
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// k-symmetry anonymization via the AutoTree (paper §1 and [34]): duplicate
+// subtrees of the root so each duplicated subtree has at least k symmetric
+// siblings, giving every vertex inside them >= k-1 automorphic
+// counterparts in the output graph.
+//
+// Scope (documented substitution): duplication is applied along DivideI
+// axes — a copied component is re-attached to the same axis (singleton)
+// vertices as its original, which preserves the symmetry argument because
+// axis attachments are color-determined. Vertices of the root's axis
+// itself (and of components larger than half the graph) are not anonymized;
+// `anonymized_fraction` reports the coverage achieved, which is the metric
+// the example application prints.
+struct KSymmetryResult {
+  Graph anonymized;
+  // Original vertices keep their ids; copies get fresh ids >= n.
+  VertexId original_vertices = 0;
+  uint64_t copies_added = 0;
+  // Fraction of ORIGINAL vertices with >= k-1 automorphic counterparts in
+  // the anonymized graph (by construction; verified in tests via DviCL
+  // orbits on the output).
+  double anonymized_fraction = 0.0;
+};
+
+KSymmetryResult AnonymizeKSymmetry(const Graph& graph,
+                                   const DviclResult& dvicl_result,
+                                   uint32_t k);
+
+}  // namespace dvicl
+
+#endif  // DVICL_ANALYSIS_K_SYMMETRY_H_

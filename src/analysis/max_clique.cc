@@ -1,0 +1,139 @@
+#include "analysis/max_clique.h"
+
+#include <algorithm>
+
+namespace dvicl {
+
+namespace {
+
+// Branch-and-bound state for maximum clique.
+class MaxCliqueSolver {
+ public:
+  explicit MaxCliqueSolver(const Graph& graph) : graph_(graph) {}
+
+  std::vector<VertexId> Solve() {
+    // Initial candidate order: descending degree (classic heuristic).
+    std::vector<VertexId> candidates(graph_.NumVertices());
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) candidates[v] = v;
+    std::sort(candidates.begin(), candidates.end(),
+              [this](VertexId a, VertexId b) {
+                return graph_.Degree(a) > graph_.Degree(b);
+              });
+    std::vector<VertexId> current;
+    Expand(candidates, &current);
+    std::sort(best_.begin(), best_.end());
+    return best_;
+  }
+
+ private:
+  // Greedy coloring bound: candidates are grouped into color classes; a
+  // clique can take at most one vertex per class.
+  void Expand(std::vector<VertexId> candidates,
+              std::vector<VertexId>* current) {
+    if (candidates.empty()) {
+      if (current->size() > best_.size()) best_ = *current;
+      return;
+    }
+    // Greedy color the candidates; order them by ascending color so the
+    // most constrained vertices are tried last (branch on high color
+    // first when iterating from the back).
+    std::vector<uint32_t> color(candidates.size(), 0);
+    std::vector<std::vector<VertexId>> classes;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const VertexId v = candidates[i];
+      uint32_t c = 0;
+      for (;; ++c) {
+        if (c == classes.size()) {
+          classes.emplace_back();
+          break;
+        }
+        bool clash = false;
+        for (VertexId u : classes[c]) {
+          if (graph_.HasEdge(u, v)) {
+            clash = true;
+            break;
+          }
+        }
+        if (!clash) break;
+      }
+      classes[c].push_back(v);
+      color[i] = c;
+    }
+    std::vector<std::pair<uint32_t, VertexId>> ordered;
+    ordered.reserve(candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      ordered.emplace_back(color[i], candidates[i]);
+    }
+    std::sort(ordered.begin(), ordered.end());
+
+    for (size_t i = ordered.size(); i-- > 0;) {
+      const auto [c, v] = ordered[i];
+      // Bound: current clique + (c+1) color classes cannot beat best.
+      if (current->size() + c + 1 <= best_.size()) return;
+      current->push_back(v);
+      std::vector<VertexId> next;
+      for (size_t j = 0; j < i; ++j) {
+        if (graph_.HasEdge(ordered[j].second, v)) {
+          next.push_back(ordered[j].second);
+        }
+      }
+      Expand(std::move(next), current);
+      current->pop_back();
+    }
+  }
+
+  const Graph& graph_;
+  std::vector<VertexId> best_;
+};
+
+// Enumerates cliques of exactly `size` by recursive extension over
+// candidates greater than the last chosen vertex.
+void EnumerateCliques(const Graph& graph, size_t size,
+                      std::vector<VertexId>* current,
+                      const std::vector<VertexId>& candidates,
+                      size_t max_results,
+                      std::vector<std::vector<VertexId>>* out) {
+  if (max_results != 0 && out->size() >= max_results) return;
+  if (current->size() == size) {
+    out->push_back(*current);
+    return;
+  }
+  // Bound: not enough candidates left.
+  if (current->size() + candidates.size() < size) return;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const VertexId v = candidates[i];
+    current->push_back(v);
+    std::vector<VertexId> next;
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      if (graph.HasEdge(candidates[j], v)) next.push_back(candidates[j]);
+    }
+    EnumerateCliques(graph, size, current, next, max_results, out);
+    current->pop_back();
+    if (max_results != 0 && out->size() >= max_results) return;
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> FindMaximumClique(const Graph& graph) {
+  if (graph.NumVertices() == 0) return {};
+  MaxCliqueSolver solver(graph);
+  return solver.Solve();
+}
+
+std::vector<std::vector<VertexId>> FindAllCliquesOfSize(const Graph& graph,
+                                                        size_t size,
+                                                        size_t max_results) {
+  std::vector<std::vector<VertexId>> out;
+  if (size == 0) return {{}};
+  std::vector<VertexId> candidates;
+  candidates.reserve(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (graph.Degree(v) + 1 >= size) candidates.push_back(v);
+  }
+  std::vector<VertexId> current;
+  EnumerateCliques(graph, size, &current, candidates, max_results, &out);
+  return out;
+}
+
+}  // namespace dvicl

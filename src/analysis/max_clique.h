@@ -1,0 +1,26 @@
+#ifndef DVICL_ANALYSIS_MAX_CLIQUE_H_
+#define DVICL_ANALYSIS_MAX_CLIQUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Branch-and-bound maximum clique with a greedy-coloring upper bound
+// (Tomita-style), standing in for the paper's reference [22] ("Finding the
+// maximum clique in massive graphs", the algorithm whose output feeds the
+// SSM clustering of Table 7). Returns one maximum clique as a sorted
+// vertex set.
+std::vector<VertexId> FindMaximumClique(const Graph& graph);
+
+// All cliques of the given size, as sorted vertex sets. Used with
+// size == |maximum clique| to collect every maximum clique for Table 7.
+// `max_results` caps the enumeration (0 = unlimited).
+std::vector<std::vector<VertexId>> FindAllCliquesOfSize(
+    const Graph& graph, size_t size, size_t max_results = 0);
+
+}  // namespace dvicl
+
+#endif  // DVICL_ANALYSIS_MAX_CLIQUE_H_

@@ -1,0 +1,71 @@
+#include "analysis/quotient.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace dvicl {
+
+QuotientGraph BuildQuotient(const Graph& graph,
+                            std::span<const VertexId> orbit_ids) {
+  assert(orbit_ids.size() == graph.NumVertices());
+  QuotientGraph quotient;
+
+  // Dense-renumber the orbit representatives.
+  std::unordered_map<VertexId, VertexId> dense;
+  dense.reserve(graph.NumVertices());
+  quotient.orbit_of.resize(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    auto [it, inserted] =
+        dense.emplace(orbit_ids[v], static_cast<VertexId>(dense.size()));
+    quotient.orbit_of[v] = it->second;
+    if (inserted) {
+      quotient.orbit_size.push_back(0);
+    }
+    ++quotient.orbit_size[it->second];
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(graph.NumEdges());
+  for (const Edge& e : graph.Edges()) {
+    const VertexId a = quotient.orbit_of[e.first];
+    const VertexId b = quotient.orbit_of[e.second];
+    if (a != b) edges.emplace_back(a, b);
+  }
+  quotient.graph = Graph::FromEdges(
+      static_cast<VertexId>(quotient.orbit_size.size()), std::move(edges));
+
+  if (graph.NumVertices() > 0) {
+    quotient.vertex_ratio =
+        static_cast<double>(quotient.graph.NumVertices()) /
+        static_cast<double>(graph.NumVertices());
+  }
+  if (graph.NumEdges() > 0) {
+    quotient.edge_ratio = static_cast<double>(quotient.graph.NumEdges()) /
+                          static_cast<double>(graph.NumEdges());
+  }
+  return quotient;
+}
+
+double StructureEntropy(VertexId num_vertices,
+                        std::span<const VertexId> orbit_ids) {
+  if (num_vertices == 0) return 0.0;
+  std::unordered_map<VertexId, uint64_t> sizes;
+  for (VertexId id : orbit_ids) ++sizes[id];
+  double entropy = 0.0;
+  const double n = static_cast<double>(num_vertices);
+  for (const auto& [id, count] : sizes) {
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+double NormalizedStructureEntropy(VertexId num_vertices,
+                                  std::span<const VertexId> orbit_ids) {
+  if (num_vertices <= 1) return 0.0;
+  return StructureEntropy(num_vertices, orbit_ids) /
+         std::log2(static_cast<double>(num_vertices));
+}
+
+}  // namespace dvicl

@@ -1,0 +1,48 @@
+#ifndef DVICL_ANALYSIS_QUOTIENT_H_
+#define DVICL_ANALYSIS_QUOTIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Network simplification by symmetry (paper §1 application (d), after
+// Xiao et al. [35]): collapsing every Aut(G) orbit to a single vertex
+// yields the "quotient", a coarse graining that can be substantially
+// smaller than G while preserving key functional properties.
+struct QuotientGraph {
+  Graph graph;                        // one vertex per orbit
+  std::vector<VertexId> orbit_of;     // original vertex -> quotient vertex
+  std::vector<uint32_t> orbit_size;   // quotient vertex -> #originals
+  // Compression ratios the paper's reference reports.
+  double vertex_ratio = 1.0;          // |V(Q)| / |V(G)|
+  double edge_ratio = 1.0;            // |E(Q)| / |E(G)|
+};
+
+// Builds the quotient from an orbit partition (as produced by
+// OrbitIdsFromGenerators): vertices are orbits; two orbits are adjacent iff
+// any (equivalently, by symmetry, every) member of one has a neighbor in
+// the other. Self-loops arising from intra-orbit edges are dropped (the
+// Graph type is simple), which matches the reference's simple-quotient
+// variant.
+QuotientGraph BuildQuotient(const Graph& graph,
+                            std::span<const VertexId> orbit_ids);
+
+// Symmetry-based structure entropy (paper §1 application (c), after Xiao
+// et al. [37]): the Shannon entropy of the orbit-size distribution,
+//   H = - sum_i (|O_i|/n) log2(|O_i|/n),
+// normalized variant divides by log2(n). An asymmetric graph (all orbits
+// singleton) maximizes H; a vertex-transitive graph has H = 0 — the
+// reference's finding that heterogeneity is negatively correlated with
+// symmetry.
+double StructureEntropy(VertexId num_vertices,
+                        std::span<const VertexId> orbit_ids);
+double NormalizedStructureEntropy(VertexId num_vertices,
+                                  std::span<const VertexId> orbit_ids);
+
+}  // namespace dvicl
+
+#endif  // DVICL_ANALYSIS_QUOTIENT_H_

@@ -1,0 +1,43 @@
+#include "analysis/symmetry_profile.h"
+
+#include <unordered_map>
+
+#include "analysis/quotient.h"
+
+namespace dvicl {
+
+SymmetryProfile ComputeSymmetryProfile(const Graph& graph,
+                                       const DviclResult& result) {
+  SymmetryProfile profile;
+  profile.aut_order = AutomorphismOrderFromTree(result.tree);
+
+  const auto orbit_ids =
+      OrbitIdsFromGenerators(graph.NumVertices(), result.generators);
+  std::unordered_map<VertexId, uint64_t> orbit_sizes;
+  for (VertexId id : orbit_ids) ++orbit_sizes[id];
+
+  uint64_t symmetric_vertices = 0;
+  for (const auto& [id, size] : orbit_sizes) {
+    ++profile.num_orbits;
+    if (size == 1) {
+      ++profile.singleton_orbits;
+    } else {
+      symmetric_vertices += size;
+    }
+    profile.largest_orbit = std::max(profile.largest_orbit, size);
+  }
+  if (graph.NumVertices() > 0) {
+    profile.symmetric_vertex_fraction =
+        static_cast<double>(symmetric_vertices) /
+        static_cast<double>(graph.NumVertices());
+  }
+  profile.normalized_structure_entropy =
+      NormalizedStructureEntropy(graph.NumVertices(), orbit_ids);
+
+  const QuotientGraph quotient = BuildQuotient(graph, orbit_ids);
+  profile.quotient_vertex_ratio = quotient.vertex_ratio;
+  profile.quotient_edge_ratio = quotient.edge_ratio;
+  return profile;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,37 @@
+#ifndef DVICL_ANALYSIS_SYMMETRY_PROFILE_H_
+#define DVICL_ANALYSIS_SYMMETRY_PROFILE_H_
+
+#include <cstdint>
+
+#include "common/big_uint.h"
+#include "dvicl/dvicl.h"
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Network-model / network-measurement statistics (paper §1 applications
+// (b) and (c)): MacArthur et al. [24] found that "real graphs are richly
+// symmetric", and Xiao et al. [37] quantify heterogeneity by a
+// symmetry-based structure entropy. A SymmetryProfile bundles everything
+// those analyses need, all derived from one DviCL run.
+struct SymmetryProfile {
+  BigUint aut_order;                  // exact |Aut(G, pi)| from the AutoTree
+  uint64_t num_orbits = 0;
+  uint64_t singleton_orbits = 0;
+  uint64_t largest_orbit = 0;
+  // Fraction of vertices with at least one automorphic counterpart —
+  // [24]'s headline measure of how symmetric a network is.
+  double symmetric_vertex_fraction = 0.0;
+  // [37]'s structure entropy of the orbit partition, normalized to [0, 1].
+  double normalized_structure_entropy = 0.0;
+  // [35]'s quotient compression ratios.
+  double quotient_vertex_ratio = 1.0;
+  double quotient_edge_ratio = 1.0;
+};
+
+SymmetryProfile ComputeSymmetryProfile(const Graph& graph,
+                                       const DviclResult& result);
+
+}  // namespace dvicl
+
+#endif  // DVICL_ANALYSIS_SYMMETRY_PROFILE_H_

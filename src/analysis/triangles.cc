@@ -1,0 +1,54 @@
+#include "analysis/triangles.h"
+
+#include <algorithm>
+
+namespace dvicl {
+
+namespace {
+
+// Visits every triangle once; the callback returns false to stop early.
+template <typename Callback>
+void ForEachTriangle(const Graph& graph, Callback&& callback) {
+  // For every edge (a, b) with a < b, intersect the forward neighbor
+  // ranges: common neighbors c > b close a triangle counted once.
+  for (const Edge& e : graph.Edges()) {
+    const auto na = graph.Neighbors(e.first);
+    const auto nb = graph.Neighbors(e.second);
+    auto ia = std::upper_bound(na.begin(), na.end(), e.second);
+    auto ib = std::upper_bound(nb.begin(), nb.end(), e.second);
+    while (ia != na.end() && ib != nb.end()) {
+      if (*ia < *ib) {
+        ++ia;
+      } else if (*ib < *ia) {
+        ++ib;
+      } else {
+        if (!callback(e.first, e.second, *ia)) return;
+        ++ia;
+        ++ib;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> EnumerateTriangles(const Graph& graph,
+                                                      size_t max_results) {
+  std::vector<std::vector<VertexId>> out;
+  ForEachTriangle(graph, [&](VertexId a, VertexId b, VertexId c) {
+    out.push_back({a, b, c});
+    return max_results == 0 || out.size() < max_results;
+  });
+  return out;
+}
+
+uint64_t CountTriangles(const Graph& graph) {
+  uint64_t count = 0;
+  ForEachTriangle(graph, [&count](VertexId, VertexId, VertexId) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,23 @@
+#ifndef DVICL_ANALYSIS_TRIANGLES_H_
+#define DVICL_ANALYSIS_TRIANGLES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Triangle enumeration by forward adjacency intersection: each triangle
+// {a < b < c} is reported exactly once as a sorted triple. Feeds the
+// triangle half of paper Table 7. `max_results` caps the output
+// (0 = unlimited).
+std::vector<std::vector<VertexId>> EnumerateTriangles(const Graph& graph,
+                                                      size_t max_results = 0);
+
+// Triangle count without materializing the triangles.
+uint64_t CountTriangles(const Graph& graph);
+
+}  // namespace dvicl
+
+#endif  // DVICL_ANALYSIS_TRIANGLES_H_

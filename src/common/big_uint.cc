@@ -1,0 +1,160 @@
+#include "common/big_uint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dvicl {
+
+BigUint::BigUint(uint64_t value) {
+  if (value != 0) {
+    limbs_.push_back(static_cast<uint32_t>(value & 0xffffffffu));
+    uint32_t high = static_cast<uint32_t>(value >> 32);
+    if (high != 0) limbs_.push_back(high);
+  }
+}
+
+BigUint BigUint::Factorial(uint64_t n) {
+  BigUint result(1);
+  for (uint64_t i = 2; i <= n; ++i) result *= i;
+  return result;
+}
+
+BigUint BigUint::Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return BigUint();
+  if (k > n - k) k = n - k;
+  BigUint result(1);
+  // result stays integral after each step: prefix products of consecutive
+  // integers are divisible by i!.
+  for (uint64_t i = 1; i <= k; ++i) {
+    result *= (n - k + i);
+    result.DivideBySmall(static_cast<uint32_t>(i));
+  }
+  return result;
+}
+
+BigUint& BigUint::DivideBySmall(uint32_t divisor) {
+  uint64_t remainder = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    const uint64_t cur = (remainder << 32) | limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(cur / divisor);
+    remainder = cur % divisor;
+  }
+  Trim();
+  return *this;
+}
+
+void BigUint::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint& BigUint::operator+=(const BigUint& other) {
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  limbs_.resize(n, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry + limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& other) {
+  if (IsZero() || other.IsZero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<uint32_t> result(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t a = limbs_[i];
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = result[i + j] + a * other.limbs_[j] + carry;
+      result[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry != 0) {
+      uint64_t cur = result[k] + carry;
+      result[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(result);
+  Trim();
+  return *this;
+}
+
+BigUint& BigUint::operator*=(uint64_t value) { return *this *= BigUint(value); }
+
+bool operator<(const BigUint& lhs, const BigUint& rhs) {
+  if (lhs.limbs_.size() != rhs.limbs_.size()) {
+    return lhs.limbs_.size() < rhs.limbs_.size();
+  }
+  for (size_t i = lhs.limbs_.size(); i-- > 0;) {
+    if (lhs.limbs_[i] != rhs.limbs_[i]) return lhs.limbs_[i] < rhs.limbs_[i];
+  }
+  return false;
+}
+
+uint64_t BigUint::ToUint64() const {
+  uint64_t value = 0;
+  if (limbs_.size() >= 1) value = limbs_[0];
+  if (limbs_.size() >= 2) value |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return value;
+}
+
+double BigUint::ToDouble() const {
+  double value = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    value = value * 4294967296.0 + static_cast<double>(limbs_[i]);
+  }
+  return value;
+}
+
+std::string BigUint::ToDecimalString() const {
+  if (IsZero()) return "0";
+  // Repeated division by 10^9 on a scratch copy.
+  std::vector<uint32_t> scratch = limbs_;
+  std::string digits;
+  while (!scratch.empty()) {
+    uint64_t remainder = 0;
+    for (size_t i = scratch.size(); i-- > 0;) {
+      uint64_t cur = (remainder << 32) | scratch[i];
+      scratch[i] = static_cast<uint32_t>(cur / 1000000000u);
+      remainder = cur % 1000000000u;
+    }
+    while (!scratch.empty() && scratch.back() == 0) scratch.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + remainder % 10));
+      remainder /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigUint::ToCompactString() const {
+  std::string decimal = ToDecimalString();
+  if (decimal.size() <= 7) return decimal;
+  const int exponent = static_cast<int>(decimal.size()) - 1;
+  // Round to three significant digits.
+  double mantissa = (decimal[0] - '0') + (decimal[1] - '0') / 10.0 +
+                    (decimal[2] - '0') / 100.0;
+  if (decimal.size() > 3 && decimal[3] >= '5') mantissa += 0.01;
+  char buffer[32];
+  if (mantissa >= 10.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fE+%d", mantissa / 10.0,
+                  exponent + 1);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2fE+%d", mantissa, exponent);
+  }
+  return buffer;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,101 @@
+#ifndef DVICL_COMMON_BIG_UINT_H_
+#define DVICL_COMMON_BIG_UINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvicl {
+
+// Arbitrary-precision unsigned integer.
+//
+// The library needs exact counts that routinely overflow 64 bits:
+// automorphism group orders (Schreier-Sims), numbers of symmetric seed
+// sets (paper Table 6 reports values up to 7.36E88), and symmetric-image
+// counts in SSM. Only the operations those call sites need are provided:
+// addition, multiplication, comparison, factorial, decimal and scientific
+// rendering.
+//
+// Representation: base 2^32 limbs, little-endian, no leading zero limbs
+// (zero is an empty limb vector).
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(uint64_t value);
+
+  BigUint(const BigUint&) = default;
+  BigUint& operator=(const BigUint&) = default;
+  BigUint(BigUint&&) = default;
+  BigUint& operator=(BigUint&&) = default;
+
+  // Returns n! (n factorial).
+  static BigUint Factorial(uint64_t n);
+
+  // Returns C(n, k) (binomial coefficient).
+  static BigUint Binomial(uint64_t n, uint64_t k);
+
+  BigUint& operator+=(const BigUint& other);
+  BigUint& operator*=(const BigUint& other);
+  BigUint& operator*=(uint64_t value);
+
+  // Floor division by a small divisor (must be non-zero). Used for exact
+  // divisions in combinatorial counting.
+  BigUint& DivideBySmall(uint32_t divisor);
+
+  friend BigUint operator+(BigUint lhs, const BigUint& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend BigUint operator*(BigUint lhs, const BigUint& rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+  friend BigUint operator*(BigUint lhs, uint64_t rhs) {
+    lhs *= rhs;
+    return lhs;
+  }
+
+  friend bool operator==(const BigUint& lhs, const BigUint& rhs) {
+    return lhs.limbs_ == rhs.limbs_;
+  }
+  friend bool operator!=(const BigUint& lhs, const BigUint& rhs) {
+    return !(lhs == rhs);
+  }
+  friend bool operator<(const BigUint& lhs, const BigUint& rhs);
+  friend bool operator>(const BigUint& lhs, const BigUint& rhs) {
+    return rhs < lhs;
+  }
+  friend bool operator<=(const BigUint& lhs, const BigUint& rhs) {
+    return !(rhs < lhs);
+  }
+  friend bool operator>=(const BigUint& lhs, const BigUint& rhs) {
+    return !(lhs < rhs);
+  }
+
+  bool IsZero() const { return limbs_.empty(); }
+
+  // True iff the value fits in a uint64_t.
+  bool FitsUint64() const { return limbs_.size() <= 2; }
+
+  // Value as uint64_t; requires FitsUint64().
+  uint64_t ToUint64() const;
+
+  // Approximate value as double (inf if out of range).
+  double ToDouble() const;
+
+  // Full decimal representation, e.g. "8820000000000000".
+  std::string ToDecimalString() const;
+
+  // Compact form matching the paper's tables: plain decimal when the value
+  // is below 10^7, otherwise scientific like "8.82E+15".
+  std::string ToCompactString() const;
+
+ private:
+  void Trim();
+
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_COMMON_BIG_UINT_H_

@@ -1,0 +1,99 @@
+#ifndef DVICL_COMMON_STATUS_H_
+#define DVICL_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dvicl {
+
+// Minimal Status / Result pair in the style of Arrow and RocksDB: library
+// code never throws; fallible operations return a Status (or a Result<T>
+// carrying a value on success).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kIOError,
+    kNotFound,
+    kResourceExhausted,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(Code::kInvalidArgument, std::move(message));
+  }
+  static Status IOError(std::string message) {
+    return Status(Code::kIOError, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(Code::kNotFound, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(Code::kResourceExhausted, std::move(message));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName() + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  std::string CodeName() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument";
+      case Code::kIOError:
+        return "IOError";
+      case Code::kNotFound:
+        return "NotFound";
+      case Code::kResourceExhausted:
+        return "ResourceExhausted";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+// Result<T> is a Status plus a value that is present iff the status is OK.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or a non-OK status keeps call sites
+  // concise (`return graph;` / `return Status::IOError(...)`), mirroring
+  // arrow::Result.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::Ok()), value_(std::move(value)) {}
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Requires ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_COMMON_STATUS_H_

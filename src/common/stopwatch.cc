@@ -1,0 +1,30 @@
+#include "common/stopwatch.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace dvicl {
+
+double PeakRssMebibytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // ru_maxrss is kibibytes on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+double CurrentRssMebibytes() {
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return PeakRssMebibytes();
+  long size = 0;
+  long resident = 0;
+  const int fields = std::fscanf(statm, "%ld %ld", &size, &resident);
+  std::fclose(statm);
+  if (fields != 2) return PeakRssMebibytes();
+  const long page_size = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident) * static_cast<double>(page_size) /
+         (1024.0 * 1024.0);
+}
+
+}  // namespace dvicl

@@ -1,0 +1,38 @@
+#ifndef DVICL_COMMON_STOPWATCH_H_
+#define DVICL_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dvicl {
+
+// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed wall time in seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Peak resident set size of the current process in mebibytes, read from the
+// OS (getrusage). Used to report the "memory" columns of paper Table 5.
+double PeakRssMebibytes();
+
+// Current resident set size in mebibytes (from /proc/self/statm on Linux;
+// falls back to peak RSS elsewhere). Lets a harness report per-phase deltas.
+double CurrentRssMebibytes();
+
+}  // namespace dvicl
+
+#endif  // DVICL_COMMON_STOPWATCH_H_

@@ -1,0 +1,35 @@
+#include "datasets/benchmark_suite.h"
+
+#include "datasets/generators.h"
+
+namespace dvicl {
+
+std::vector<NamedGraph> BenchmarkSuite(int scale) {
+  const bool large = scale >= 2;
+  std::vector<NamedGraph> suite;
+  // Names follow the paper's Table 2 families with our instance size.
+  suite.push_back({large ? "ag2-23" : "ag2-13", "affine plane",
+                   AffinePlaneGraph(large ? 23 : 13)});
+  suite.push_back({large ? "cfi-112" : "cfi-56", "CFI",
+                   CfiGraph(large ? 16 : 8, /*twisted=*/false)});
+  suite.push_back({large ? "difp-like-2" : "difp-like-1", "circuit (SAT sub)",
+                   CircuitLikeGraph(large ? 256 : 96, large ? 4096 : 1536,
+                                    9001)});
+  suite.push_back({large ? "fpga-like-2" : "fpga-like-1", "circuit (SAT sub)",
+                   CircuitLikeGraph(large ? 128 : 64, large ? 2048 : 1024,
+                                    9002)});
+  suite.push_back({large ? "grid-w-3-10" : "grid-w-3-6", "torus",
+                   Torus3dGraph(large ? 10 : 6)});
+  suite.push_back({large ? "had-64" : "had-32", "Hadamard",
+                   HadamardGraph(large ? 64 : 32)});
+  suite.push_back({large ? "mz-aug-16" : "mz-aug-8", "Miyazaki-style",
+                   MiyazakiLikeGraph(large ? 16 : 8)});
+  suite.push_back({large ? "pg2-23" : "pg2-13", "projective plane",
+                   ProjectivePlaneGraph(large ? 23 : 13)});
+  suite.push_back({large ? "s3-like-2" : "s3-like-1", "circuit (SAT sub)",
+                   CircuitLikeGraph(large ? 512 : 256, large ? 8192 : 3072,
+                                    9003)});
+  return suite;
+}
+
+}  // namespace dvicl

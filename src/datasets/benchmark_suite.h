@@ -1,0 +1,28 @@
+#ifndef DVICL_DATASETS_BENCHMARK_SUITE_H_
+#define DVICL_DATASETS_BENCHMARK_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// A named evaluation graph, as used by the table harnesses in bench/.
+struct NamedGraph {
+  std::string name;
+  std::string category;
+  Graph graph;
+};
+
+// The benchmark-graph suite mirroring paper Table 2 (one representative per
+// bliss-collection family). Families with an exact mathematical definition
+// are generated exactly (ag2/pg2 over prime q, grid-w-3, had, cfi,
+// mz-aug-style); the SAT-derived families (difp, fpga, s3) are circuit-like
+// synthetics (DESIGN.md §4). Sizes are scaled to laptop-friendly instances;
+// `scale` in {1, 2} selects small/large variants.
+std::vector<NamedGraph> BenchmarkSuite(int scale = 1);
+
+}  // namespace dvicl
+
+#endif  // DVICL_DATASETS_BENCHMARK_SUITE_H_

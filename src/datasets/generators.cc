@@ -1,0 +1,462 @@
+#include "datasets/generators.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dvicl {
+
+Graph CycleGraph(VertexId n) {
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  if (n >= 3) edges.emplace_back(n - 1, 0);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph PathGraph(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph CompleteGraph(VertexId n) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph CompleteBipartiteGraph(VertexId a, VertexId b) {
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) edges.emplace_back(u, a + v);
+  }
+  return Graph::FromEdges(a + b, std::move(edges));
+}
+
+Graph StarGraph(VertexId leaves) {
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v <= leaves; ++v) edges.emplace_back(0, v);
+  return Graph::FromEdges(leaves + 1, std::move(edges));
+}
+
+Graph Torus3dGraph(VertexId side) {
+  const VertexId s = side;
+  auto id = [s](VertexId x, VertexId y, VertexId z) {
+    return (x * s + y) * s + z;
+  };
+  std::vector<Edge> edges;
+  for (VertexId x = 0; x < s; ++x) {
+    for (VertexId y = 0; y < s; ++y) {
+      for (VertexId z = 0; z < s; ++z) {
+        edges.emplace_back(id(x, y, z), id((x + 1) % s, y, z));
+        edges.emplace_back(id(x, y, z), id(x, (y + 1) % s, z));
+        edges.emplace_back(id(x, y, z), id(x, y, (z + 1) % s));
+      }
+    }
+  }
+  return Graph::FromEdges(s * s * s, std::move(edges));
+}
+
+Graph ErdosRenyiGraph(VertexId n, double p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(p)) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph PreferentialAttachmentGraph(VertexId n, uint32_t edges_per_vertex,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  // Endpoint pool: each occurrence weights a vertex by its degree.
+  std::vector<VertexId> pool;
+  const VertexId seed_size = std::max<VertexId>(edges_per_vertex, 2);
+  for (VertexId v = 0; v + 1 < seed_size && v + 1 < n; ++v) {
+    edges.emplace_back(v, v + 1);
+    pool.push_back(v);
+    pool.push_back(v + 1);
+  }
+  for (VertexId v = seed_size; v < n; ++v) {
+    for (uint32_t j = 0; j < edges_per_vertex; ++j) {
+      const VertexId target =
+          pool.empty() ? 0 : pool[rng.NextBounded(pool.size())];
+      if (target == v) continue;
+      edges.emplace_back(v, target);
+      pool.push_back(v);
+      pool.push_back(target);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph RandomTreeGraph(VertexId n, uint64_t seed) {
+  if (n <= 1) return Graph::FromEdges(n, {});
+  if (n == 2) return Graph::FromEdges(2, {{0, 1}});
+  Rng rng(seed);
+  // Random Pruefer sequence of length n-2, decoded to a labeled tree.
+  std::vector<VertexId> pruefer(n - 2);
+  for (VertexId& entry : pruefer) {
+    entry = static_cast<VertexId>(rng.NextBounded(n));
+  }
+  std::vector<uint32_t> degree(n, 1);
+  for (VertexId entry : pruefer) ++degree[entry];
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  // Leaf pointer scan (O(n log n)-free classic decode).
+  VertexId leaf_scan = 0;
+  while (degree[leaf_scan] != 1) ++leaf_scan;
+  VertexId leaf = leaf_scan;
+  for (VertexId entry : pruefer) {
+    edges.emplace_back(leaf, entry);
+    if (--degree[entry] == 1 && entry < leaf_scan) {
+      leaf = entry;
+    } else {
+      while (degree[++leaf_scan] != 1) {
+      }
+      leaf = leaf_scan;
+    }
+  }
+  // Join the last leaf with vertex n-1.
+  edges.emplace_back(leaf, n - 1);
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph RandomRegularGraph(VertexId n, uint32_t d, uint64_t seed) {
+  assert(d < n && (static_cast<uint64_t>(n) * d) % 2 == 0);
+  Rng rng(seed);
+  // Configuration model with whole-sample rejection: shuffle degree stubs,
+  // pair consecutively, retry on self-loops/multi-edges. For d << n a few
+  // attempts suffice; fall back to accepting the simplified graph after a
+  // bounded number of retries (degrees then differ slightly).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<VertexId> stubs;
+    stubs.reserve(static_cast<size_t>(n) * d);
+    for (VertexId v = 0; v < n; ++v) {
+      for (uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+    }
+    rng.Shuffle(&stubs);
+    std::vector<Edge> edges;
+    edges.reserve(stubs.size() / 2);
+    bool simple = true;
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      if (stubs[i] == stubs[i + 1]) {
+        simple = false;
+        break;
+      }
+      edges.emplace_back(stubs[i], stubs[i + 1]);
+    }
+    if (!simple) continue;
+    Graph g = Graph::FromEdges(n, std::move(edges));
+    if (g.NumEdges() == static_cast<uint64_t>(n) * d / 2) return g;
+  }
+  // Bounded fallback: last attempt with duplicates collapsed.
+  std::vector<VertexId> stubs;
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  rng.Shuffle(&stubs);
+  std::vector<Edge> edges;
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) edges.emplace_back(stubs[i], stubs[i + 1]);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph CopyingModelGraph(VertexId n, uint32_t out_degree, double copy_prob,
+                        uint64_t seed) {
+  Rng rng(seed);
+  // Keep forward adjacency during growth so prototype links can be copied.
+  std::vector<std::vector<VertexId>> out(n);
+  std::vector<Edge> edges;
+  const VertexId start = std::max<VertexId>(out_degree + 1, 2);
+  for (VertexId v = 1; v < start && v < n; ++v) {
+    edges.emplace_back(v, v - 1);
+    out[v].push_back(v - 1);
+  }
+  for (VertexId v = start; v < n; ++v) {
+    const VertexId prototype = static_cast<VertexId>(rng.NextBounded(v));
+    for (uint32_t j = 0; j < out_degree; ++j) {
+      VertexId target;
+      if (!out[prototype].empty() && rng.NextBernoulli(copy_prob)) {
+        target = out[prototype][rng.NextBounded(out[prototype].size())];
+      } else {
+        target = static_cast<VertexId>(rng.NextBounded(v));
+      }
+      if (target == v) continue;
+      edges.emplace_back(v, target);
+      out[v].push_back(target);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph WithTwins(const Graph& graph, double twin_fraction, uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = graph.NumVertices();
+  const VertexId extra =
+      static_cast<VertexId>(twin_fraction * static_cast<double>(n) + 0.5);
+  std::vector<Edge> edges = graph.Edges();
+  VertexId next = n;
+  for (VertexId i = 0; i < extra; ++i) {
+    const VertexId original = static_cast<VertexId>(rng.NextBounded(n));
+    for (VertexId u : graph.Neighbors(original)) {
+      edges.emplace_back(next, u);
+    }
+    ++next;
+  }
+  return Graph::FromEdges(next, std::move(edges));
+}
+
+Graph WithTwinClasses(const Graph& graph, double class_fraction,
+                      uint32_t max_class_size, uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = graph.NumVertices();
+  const VertexId classes =
+      static_cast<VertexId>(class_fraction * static_cast<double>(n) + 0.5);
+  std::vector<Edge> edges = graph.Edges();
+  VertexId next = n;
+  for (VertexId i = 0; i < classes; ++i) {
+    const VertexId original = static_cast<VertexId>(rng.NextBounded(n));
+    // Geometric extra-twin count (p = 1/2), capped.
+    uint32_t extra = 1;
+    while (extra < max_class_size && rng.NextBernoulli(0.5)) ++extra;
+    for (uint32_t t = 0; t < extra; ++t) {
+      for (VertexId u : graph.Neighbors(original)) {
+        edges.emplace_back(next, u);
+      }
+      ++next;
+    }
+  }
+  return Graph::FromEdges(next, std::move(edges));
+}
+
+Graph WithPendantPaths(const Graph& graph, double fraction,
+                       uint32_t max_depth, uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = graph.NumVertices();
+  const VertexId chains =
+      static_cast<VertexId>(fraction * static_cast<double>(n) + 0.5);
+  std::vector<Edge> edges = graph.Edges();
+  VertexId next = n;
+  for (VertexId i = 0; i < chains; ++i) {
+    VertexId anchor = static_cast<VertexId>(rng.NextBounded(n));
+    const uint32_t depth =
+        1 + static_cast<uint32_t>(rng.NextBounded(max_depth));
+    for (uint32_t d = 0; d < depth; ++d) {
+      edges.emplace_back(anchor, next);
+      anchor = next++;
+    }
+  }
+  return Graph::FromEdges(next, std::move(edges));
+}
+
+Graph WithWheelGadgets(const Graph& graph, uint32_t count,
+                       uint32_t ring_size, uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = graph.NumVertices();
+  std::vector<Edge> edges = graph.Edges();
+  VertexId next = n;
+  for (uint32_t i = 0; i < count; ++i) {
+    const VertexId anchor = static_cast<VertexId>(rng.NextBounded(n));
+    const VertexId ring_start = next;
+    for (uint32_t r = 0; r < ring_size; ++r) {
+      edges.emplace_back(anchor, ring_start + r);
+      edges.emplace_back(ring_start + r,
+                         ring_start + (r + 1) % ring_size);
+      ++next;
+    }
+  }
+  return Graph::FromEdges(next, std::move(edges));
+}
+
+Graph HadamardGraph(uint32_t order) {
+  assert((order & (order - 1)) == 0 && order > 0);
+  const VertexId n = order;
+  // Sylvester entry H[i][j] = (-1)^popcount(i & j).
+  auto entry_positive = [](uint32_t i, uint32_t j) {
+    return (__builtin_popcount(i & j) & 1) == 0;
+  };
+  // Vertices: [0,n) r+, [n,2n) r-, [2n,3n) c+, [3n,4n) c-.
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n + 1) * 2);
+  for (uint32_t i = 0; i < n; ++i) {
+    edges.emplace_back(i, n + i);          // r_i+ ~ r_i-
+    edges.emplace_back(2 * n + i, 3 * n + i);  // c_i+ ~ c_i-
+    for (uint32_t j = 0; j < n; ++j) {
+      if (entry_positive(i, j)) {
+        edges.emplace_back(i, 2 * n + j);      // + * + = +
+        edges.emplace_back(n + i, 3 * n + j);  // - * - = +
+      } else {
+        edges.emplace_back(i, 3 * n + j);      // + * - = + when H=-1
+        edges.emplace_back(n + i, 2 * n + j);
+      }
+    }
+  }
+  return Graph::FromEdges(4 * n, std::move(edges));
+}
+
+namespace {
+
+// CFI construction over a 3-regular base graph: each base edge becomes a
+// pair of "value" vertices (0/1); each base vertex becomes four "parity"
+// vertices, one per even subset of its three incident edges; parity vertex
+// for subset S connects to value x of edge e where x = [e in S]. Twisting
+// one edge at one endpoint produces a non-isomorphic, 1-WL-equivalent
+// sibling (Cai, Furer, Immerman).
+Graph CfiOverBase(const Graph& base, bool twisted) {
+  const VertexId bn = base.NumVertices();
+  const auto& base_edges = base.Edges();
+  const size_t bm = base_edges.size();
+
+  // value vertex of edge index e with value x: 2*e + x
+  // parity vertices of base vertex v: 2*bm + 4*v .. +3
+  std::vector<size_t> edge_index_of;  // per (vertex, incident slot)
+  std::vector<std::array<size_t, 3>> incident(bn, {0, 0, 0});
+  std::vector<uint32_t> incident_count(bn, 0);
+  for (size_t e = 0; e < bm; ++e) {
+    incident[base_edges[e].first][incident_count[base_edges[e].first]++] = e;
+    incident[base_edges[e].second][incident_count[base_edges[e].second]++] =
+        e;
+  }
+
+  std::vector<Edge> edges;
+  const size_t twist_edge = 0;  // twist edge 0 at its first endpoint
+  for (VertexId v = 0; v < bn; ++v) {
+    assert(incident_count[v] == 3);
+    const std::array<size_t, 3> inc = incident[v];
+    // Even subsets of {0,1,2}: {}, {0,1}, {0,2}, {1,2}.
+    const uint8_t subsets[4] = {0b000, 0b011, 0b101, 0b110};
+    for (int s = 0; s < 4; ++s) {
+      const VertexId parity_vertex =
+          static_cast<VertexId>(2 * bm + 4 * v + s);
+      for (int slot = 0; slot < 3; ++slot) {
+        uint32_t value = (subsets[s] >> slot) & 1;
+        if (twisted && inc[slot] == twist_edge &&
+            v == base_edges[twist_edge].first) {
+          value ^= 1;
+        }
+        edges.emplace_back(parity_vertex,
+                           static_cast<VertexId>(2 * inc[slot] + value));
+      }
+    }
+  }
+  return Graph::FromEdges(static_cast<VertexId>(2 * bm + 4 * bn),
+                          std::move(edges));
+}
+
+}  // namespace
+
+Graph CfiGraph(uint32_t base_n, bool twisted) {
+  assert(base_n >= 6 && base_n % 2 == 0);
+  // Circulant C_n(1, n/2): cycle plus diameters, 3-regular.
+  std::vector<Edge> base_edges;
+  for (VertexId v = 0; v < base_n; ++v) {
+    base_edges.emplace_back(v, (v + 1) % base_n);
+  }
+  for (VertexId v = 0; v < base_n / 2; ++v) {
+    base_edges.emplace_back(v, v + base_n / 2);
+  }
+  Graph base = Graph::FromEdges(base_n, std::move(base_edges));
+  return CfiOverBase(base, twisted);
+}
+
+Graph MiyazakiLikeGraph(uint32_t rungs) {
+  assert(rungs >= 3);
+  // Prism (circular ladder) base: two concentric cycles plus rungs,
+  // 3-regular.
+  std::vector<Edge> base_edges;
+  for (VertexId v = 0; v < rungs; ++v) {
+    base_edges.emplace_back(v, (v + 1) % rungs);
+    base_edges.emplace_back(rungs + v, rungs + (v + 1) % rungs);
+    base_edges.emplace_back(v, rungs + v);
+  }
+  Graph base = Graph::FromEdges(2 * rungs, std::move(base_edges));
+  return CfiOverBase(base, /*twisted=*/true);
+}
+
+namespace {
+
+bool IsPrime(uint32_t q) {
+  if (q < 2) return false;
+  for (uint32_t d = 2; d * d <= q; ++d) {
+    if (q % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Graph ProjectivePlaneGraph(uint32_t q) {
+  const bool prime = IsPrime(q);
+  assert(prime);
+  (void)prime;
+  // Canonical representatives of PG(2, q) points: (1,a,b), (0,1,a), (0,0,1).
+  std::vector<std::array<uint32_t, 3>> points;
+  for (uint32_t a = 0; a < q; ++a) {
+    for (uint32_t b = 0; b < q; ++b) points.push_back({1, a, b});
+  }
+  for (uint32_t a = 0; a < q; ++a) points.push_back({0, 1, a});
+  points.push_back({0, 0, 1});
+
+  const VertexId per_side = static_cast<VertexId>(points.size());
+  std::vector<Edge> edges;
+  for (VertexId pi = 0; pi < per_side; ++pi) {
+    for (VertexId li = 0; li < per_side; ++li) {
+      const auto& p = points[pi];
+      const auto& l = points[li];  // lines use the same representatives
+      const uint32_t dot = (p[0] * l[0] + p[1] * l[1] + p[2] * l[2]) % q;
+      if (dot == 0) edges.emplace_back(pi, per_side + li);
+    }
+  }
+  return Graph::FromEdges(2 * per_side, std::move(edges));
+}
+
+Graph AffinePlaneGraph(uint32_t q) {
+  const bool prime = IsPrime(q);
+  assert(prime);
+  (void)prime;
+  // Points: (x, y) in GF(q)^2 -> id x*q + y.
+  // Lines: y = m x + c (id q^2 + m*q + c) and x = c (id q^2 + q^2 + c).
+  const VertexId num_points = q * q;
+  std::vector<Edge> edges;
+  for (uint32_t m = 0; m < q; ++m) {
+    for (uint32_t c = 0; c < q; ++c) {
+      const VertexId line = num_points + m * q + c;
+      for (uint32_t x = 0; x < q; ++x) {
+        const uint32_t y = (m * x + c) % q;
+        edges.emplace_back(x * q + y, line);
+      }
+    }
+  }
+  for (uint32_t c = 0; c < q; ++c) {
+    const VertexId line = num_points + q * q + c;
+    for (uint32_t y = 0; y < q; ++y) edges.emplace_back(c * q + y, line);
+  }
+  return Graph::FromEdges(num_points + q * q + q, std::move(edges));
+}
+
+Graph CircuitLikeGraph(uint32_t inputs, uint32_t gates, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  const VertexId n = inputs + gates;
+  for (VertexId g = inputs; g < n; ++g) {
+    const VertexId a = static_cast<VertexId>(rng.NextBounded(g));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(g));
+    if (b == a) b = (b + 1) % g;
+    edges.emplace_back(g, a);
+    edges.emplace_back(g, b);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace dvicl

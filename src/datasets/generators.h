@@ -1,0 +1,112 @@
+#ifndef DVICL_DATASETS_GENERATORS_H_
+#define DVICL_DATASETS_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Deterministic graph generators for the evaluation suites (DESIGN.md §4).
+// Everything is seeded and reproducible.
+
+// ---- Elementary families -------------------------------------------------
+
+Graph CycleGraph(VertexId n);
+Graph PathGraph(VertexId n);
+Graph CompleteGraph(VertexId n);
+Graph CompleteBipartiteGraph(VertexId a, VertexId b);
+Graph StarGraph(VertexId leaves);
+
+// Wrapped 3-dimensional grid (torus) of side s: the bliss family
+// grid-w-3-s. 6-regular, s^3 vertices.
+Graph Torus3dGraph(VertexId side);
+
+// ---- Random models ---------------------------------------------------------
+
+Graph ErdosRenyiGraph(VertexId n, double p, uint64_t seed);
+
+// Barabasi-Albert preferential attachment: each new vertex attaches
+// `edges_per_vertex` edges to existing vertices with degree-proportional
+// probability. Social-network degree distributions.
+Graph PreferentialAttachmentGraph(VertexId n, uint32_t edges_per_vertex,
+                                  uint64_t seed);
+
+// Uniform random labeled tree (random Pruefer sequence decoded): the
+// classic canonical-labeling testbed, and the family that exercises deep
+// DivideI recursion chains in the AutoTree.
+Graph RandomTreeGraph(VertexId n, uint64_t seed);
+
+// Random d-regular graph by the configuration model (pairing of degree
+// stubs, resampled until simple). Requires n*d even and d < n.
+Graph RandomRegularGraph(VertexId n, uint32_t d, uint64_t seed);
+
+// Kleinberg-Kumar copying model: each new vertex copies a random prototype's
+// links with probability copy_prob per link (else links uniformly). Web-like
+// graphs rich in structurally equivalent vertices.
+Graph CopyingModelGraph(VertexId n, uint32_t out_degree, double copy_prob,
+                        uint64_t seed);
+
+// ---- Symmetry planting (what makes synthetic graphs behave like Table 1's
+// real graphs: most symmetry lives in twins and small hanging structures) --
+
+// Appends round(twin_fraction * n) new vertices, each a structural twin
+// (identical neighbor set) of a random existing vertex.
+Graph WithTwins(const Graph& graph, double twin_fraction, uint64_t seed);
+
+// Like WithTwins, but whole twin CLASSES with geometrically distributed
+// sizes (mean ~2, capped at max_class_size) anchored at random vertices.
+// Real networks show such heavy-tailed equivalence classes (users who all
+// follow exactly one hub), which is where the paper's astronomic Table 6
+// seed-set counts come from.
+Graph WithTwinClasses(const Graph& graph, double class_fraction,
+                      uint32_t max_class_size, uint64_t seed);
+
+// Attaches round(fraction * n) pendant paths of length 1..max_depth to
+// random vertices (degree-1 chains, the "hanging trees" of real networks).
+Graph WithPendantPaths(const Graph& graph, double fraction,
+                       uint32_t max_depth, uint64_t seed);
+
+// Attaches `count` wheel gadgets: a new ring of ring_size vertices, each
+// also joined to a random anchor vertex. The ring is vertex-transitive and
+// not a clique, so after the anchor is pinned by refinement the ring
+// survives as a small NON-SINGLETON AutoTree leaf that CombineCL hands to
+// the IR backend — the structure behind the paper's Table 3 web graphs
+// (BerkStan/NotreDame keep a few small IR leaves).
+Graph WithWheelGadgets(const Graph& graph, uint32_t count,
+                       uint32_t ring_size, uint64_t seed);
+
+// ---- Hard benchmark families (bliss collection, DESIGN.md §4) -------------
+
+// Hadamard graph of a Sylvester matrix H_order (order must be a power of
+// two): 4*order vertices, degree order+1. The bliss family had-n.
+Graph HadamardGraph(uint32_t order);
+
+// Cai-Furer-Immerman construction over the 3-regular circulant base
+// C_base_n(1, base_n/2) (base_n even, >= 6). `twisted` flips one edge
+// gadget: the twisted and untwisted graphs are non-isomorphic but
+// 1-WL-equivalent. The bliss family cfi-n.
+Graph CfiGraph(uint32_t base_n, bool twisted);
+
+// Miyazaki-style graph: Furer gadgets chained along a 3-regular Moebius
+// ladder of length `rungs` (approximation of the bliss family mz-aug-n;
+// see DESIGN.md §4).
+Graph MiyazakiLikeGraph(uint32_t rungs);
+
+// Point-line incidence graph of the projective plane PG(2, q), q prime:
+// 2*(q^2+q+1) vertices, (q+1)-regular, vertex-transitive and highly
+// symmetric. The bliss family pg2-q.
+Graph ProjectivePlaneGraph(uint32_t q);
+
+// Point-line incidence graph of the affine plane AG(2, q), q prime:
+// q^2 + (q^2+q) vertices. The bliss family ag2-q.
+Graph AffinePlaneGraph(uint32_t q);
+
+// Layered circuit-like graph (gates with fan-in 2 over shared inputs),
+// standing in for the SAT-derived bliss families (fpga / difp / s3) whose
+// CNF sources are not redistributable.
+Graph CircuitLikeGraph(uint32_t inputs, uint32_t gates, uint64_t seed);
+
+}  // namespace dvicl
+
+#endif  // DVICL_DATASETS_GENERATORS_H_

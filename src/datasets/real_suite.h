@@ -1,0 +1,25 @@
+#ifndef DVICL_DATASETS_REAL_SUITE_H_
+#define DVICL_DATASETS_REAL_SUITE_H_
+
+#include <vector>
+
+#include "datasets/benchmark_suite.h"
+
+namespace dvicl {
+
+// The 22-graph "real network" suite mirroring paper Table 1. The original
+// SNAP/Konect datasets are not available offline, so each entry is a scaled
+// synthetic analogue of its category (DESIGN.md §4):
+//   - social networks: preferential attachment + planted twins + pendants,
+//   - web graphs: copying model (naturally twin-rich) + pendants,
+//   - p2p / communication / co-purchase: sparse models per category.
+// What matters for the reproduction is preserved: heavy-tailed degrees,
+// most orbit-coloring cells singleton, and symmetry concentrated in twins
+// and small hanging structures.
+//
+// `scale` multiplies the base sizes (~2k-20k vertices at scale 1).
+std::vector<NamedGraph> RealSuite(double scale = 1.0);
+
+}  // namespace dvicl
+
+#endif  // DVICL_DATASETS_REAL_SUITE_H_

@@ -1,0 +1,183 @@
+#include "dvicl/auto_tree.h"
+
+#include "perm/schreier_sims.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace dvicl {
+
+Permutation SparseAut::ToDense(VertexId n) const {
+  std::vector<VertexId> image(n);
+  std::iota(image.begin(), image.end(), 0);
+  for (const auto& [v, img] : moves) image[v] = img;
+  return Permutation(std::move(image));
+}
+
+VertexId SparseAut::ImageOf(VertexId v) const {
+  auto it = std::lower_bound(
+      moves.begin(), moves.end(), v,
+      [](const std::pair<VertexId, VertexId>& m, VertexId x) {
+        return m.first < x;
+      });
+  if (it != moves.end() && it->first == v) return it->second;
+  return v;
+}
+
+VertexId AutoTreeNode::LabelOf(VertexId v) const {
+  auto it = std::lower_bound(vertices.begin(), vertices.end(), v);
+  assert(it != vertices.end() && *it == v);
+  return labels[static_cast<size_t>(it - vertices.begin())];
+}
+
+uint32_t AutoTree::NumSingletonLeaves() const {
+  uint32_t count = 0;
+  for (const AutoTreeNode& node : nodes_) {
+    if (node.is_leaf && node.IsSingleton()) ++count;
+  }
+  return count;
+}
+
+uint32_t AutoTree::NumNonSingletonLeaves() const {
+  uint32_t count = 0;
+  for (const AutoTreeNode& node : nodes_) {
+    if (node.is_leaf && !node.IsSingleton()) ++count;
+  }
+  return count;
+}
+
+double AutoTree::AverageNonSingletonLeafSize() const {
+  uint64_t total = 0;
+  uint32_t count = 0;
+  for (const AutoTreeNode& node : nodes_) {
+    if (node.is_leaf && !node.IsSingleton()) {
+      total += node.vertices.size();
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  return static_cast<double>(total) / static_cast<double>(count);
+}
+
+uint32_t AutoTree::Depth() const {
+  uint32_t depth = 0;
+  for (const AutoTreeNode& node : nodes_) {
+    depth = std::max(depth, node.depth);
+  }
+  return depth;
+}
+
+BigUint AutomorphismOrderFromTree(const AutoTree& tree) {
+  BigUint order(1);
+  for (uint32_t id = 0; id < tree.NumNodes(); ++id) {
+    const AutoTreeNode& node = tree.Node(id);
+    if (node.is_leaf) {
+      if (node.leaf_generators.empty()) continue;
+      // Schreier-Sims over the leaf's group, lowered to local indices so
+      // the chain degree is the leaf size, not |V(G)|.
+      SchreierSims chain(static_cast<VertexId>(node.vertices.size()));
+      auto local_of = [&node](VertexId v) {
+        auto it =
+            std::lower_bound(node.vertices.begin(), node.vertices.end(), v);
+        return static_cast<VertexId>(it - node.vertices.begin());
+      };
+      for (const SparseAut& gen : node.leaf_generators) {
+        std::vector<VertexId> image(node.vertices.size());
+        std::iota(image.begin(), image.end(), 0);
+        for (const auto& [v, img] : gen.moves) {
+          image[local_of(v)] = local_of(img);
+        }
+        chain.AddGenerator(Permutation(std::move(image)));
+      }
+      order *= chain.Order();
+    } else {
+      // m! per symmetry class of m equal-form children.
+      size_t i = 0;
+      while (i < node.children.size()) {
+        size_t j = i;
+        while (j < node.children.size() &&
+               node.child_sym_class[j] == node.child_sym_class[i]) {
+          ++j;
+        }
+        order *= BigUint::Factorial(j - i);
+        i = j;
+      }
+    }
+  }
+  return order;
+}
+
+std::string FormatAutoTree(const AutoTree& tree, size_t max_nodes) {
+  std::string out;
+  size_t emitted = 0;
+
+  // Depth-first walk with an explicit stack of (node, child sym class).
+  struct Item {
+    uint32_t id;
+    uint32_t sym_class;
+  };
+  std::vector<Item> stack = {{0, 0}};
+  while (!stack.empty()) {
+    if (max_nodes != 0 && emitted >= max_nodes) {
+      out += "... (truncated)\n";
+      break;
+    }
+    const Item item = stack.back();
+    stack.pop_back();
+    const AutoTreeNode& node = tree.Node(item.id);
+
+    out.append(2 * node.depth, ' ');
+    out += "{";
+    const size_t show = std::min<size_t>(node.vertices.size(), 8);
+    for (size_t i = 0; i < show; ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(node.vertices[i]);
+    }
+    if (node.vertices.size() > show) {
+      out += ",... " + std::to_string(node.vertices.size()) + " vertices";
+    }
+    out += "}";
+    if (node.is_leaf) {
+      out += node.IsSingleton() ? " leaf" : " leaf[IR]";
+    } else {
+      out += node.divided_by_s ? " DivideS" : " DivideI";
+    }
+    if (node.parent >= 0) {
+      out += " class=" + std::to_string(item.sym_class);
+    }
+    out += "\n";
+    ++emitted;
+
+    // Push children in reverse so they print in canonical order.
+    for (size_t i = node.children.size(); i-- > 0;) {
+      stack.push_back({node.children[i], node.child_sym_class[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<VertexId> OrbitIdsFromGenerators(
+    VertexId n, std::span<const SparseAut> generators) {
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const SparseAut& gen : generators) {
+    for (const auto& [v, img] : gen.moves) {
+      VertexId a = find(v);
+      VertexId b = find(img);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = find(v);
+  return ids;
+}
+
+}  // namespace dvicl

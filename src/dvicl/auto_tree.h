@@ -1,0 +1,126 @@
+#ifndef DVICL_DVICL_AUTO_TREE_H_
+#define DVICL_DVICL_AUTO_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/big_uint.h"
+#include "graph/graph.h"
+#include "perm/permutation.h"
+
+namespace dvicl {
+
+// An automorphism stored as its moved points only. AutoTree generators are
+// typically tiny (a transposition of two twin vertices, or a swap of two
+// small symmetric components) while the graph can be huge, so storing dense
+// image arrays per generator would dwarf the graph itself.
+struct SparseAut {
+  // (vertex, image) for every moved vertex; images of unlisted vertices are
+  // themselves. Sorted by vertex.
+  std::vector<std::pair<VertexId, VertexId>> moves;
+
+  bool IsIdentity() const { return moves.empty(); }
+
+  // Expands to a dense permutation on n points.
+  Permutation ToDense(VertexId n) const;
+
+  // Image of one vertex (binary search over moves).
+  VertexId ImageOf(VertexId v) const;
+};
+
+// One node of the AutoTree (paper §5): a vertex-induced colored subgraph
+// (g, pi_g) of (G, pi) together with its canonical labeling. pi_g is the
+// projection of the root equitable coloring, so it is represented simply by
+// the global color array; only the vertex set, the (possibly reduced) edge
+// set and the canonical labels are stored per node.
+struct AutoTreeNode {
+  // Vertices of g: global ids, sorted ascending.
+  std::vector<VertexId> vertices;
+  // Edges of g after the divide steps' automorphism-preserving reductions
+  // (Lemmas 6.2/6.3); canonical orientation (first < second), sorted.
+  std::vector<Edge> edges;
+  // Canonical label of vertices[i]: pi(v) + rank (Algorithms 4/5). Labels
+  // are unique within a node; two symmetric sibling nodes carry identical
+  // label sets, which is what makes their canonical forms equal.
+  std::vector<VertexId> labels;
+
+  int32_t parent = -1;
+  uint32_t depth = 0;
+  // Children sorted in non-descending canonical-form order (Algorithm 5
+  // line 1).
+  std::vector<uint32_t> children;
+  // Symmetry class per child (aligned with `children`): equal class ids
+  // mean equal canonical forms, i.e. the child subgraphs are symmetric in
+  // (G, pi) (Lemmas 6.7/6.8).
+  std::vector<uint32_t> child_sym_class;
+
+  bool is_leaf = false;
+  // True if the children were produced by DivideS (else DivideI).
+  bool divided_by_s = false;
+  // Hash of this node's canonical form (the full form is transient).
+  uint64_t form_hash = 0;
+
+  // For non-singleton leaves: the generating set of Aut(g, pi_g) found by
+  // the IR backend, in global vertex ids. Consumed by SSM-AT.
+  std::vector<SparseAut> leaf_generators;
+
+  bool IsSingleton() const { return vertices.size() == 1; }
+
+  // Canonical label of global vertex v, which must belong to this node.
+  VertexId LabelOf(VertexId v) const;
+};
+
+// The AutoTree AT(G, pi): node 0 is the root representing (G, pi).
+class AutoTree {
+ public:
+  AutoTree() = default;
+
+  uint32_t NumNodes() const { return static_cast<uint32_t>(nodes_.size()); }
+  const AutoTreeNode& Node(uint32_t id) const { return nodes_[id]; }
+  const AutoTreeNode& Root() const { return nodes_[0]; }
+
+  // Leaf node containing vertex v.
+  uint32_t LeafOf(VertexId v) const { return leaf_of_[v]; }
+
+  // Structure statistics reported in paper Tables 3/4.
+  uint32_t NumSingletonLeaves() const;
+  uint32_t NumNonSingletonLeaves() const;
+  double AverageNonSingletonLeafSize() const;
+  uint32_t Depth() const;
+
+  // Mutable access for the builder (dvicl.cc) and the §6.1 tree extension.
+  std::vector<AutoTreeNode>& MutableNodes() { return nodes_; }
+  std::vector<uint32_t>& MutableLeafOf() { return leaf_of_; }
+
+ private:
+  std::vector<AutoTreeNode> nodes_;
+  std::vector<uint32_t> leaf_of_;
+};
+
+// Union-find orbit closure over sparse generators: orbit_id[v] is the
+// minimum vertex of v's orbit under the generated group.
+std::vector<VertexId> OrbitIdsFromGenerators(
+    VertexId n, std::span<const SparseAut> generators);
+
+// Exact |Aut(G, pi)| computed directly from the tree structure: the
+// automorphism group DviCL exposes is the iterated wreath-style product of
+// per-node sibling symmetries and leaf groups, so its order is
+//   prod over internal nodes, over symmetry classes of size m:  m!
+// x prod over non-singleton leaves: |Aut(leaf)| (Schreier-Sims on the
+//   leaf's local generators).
+// Verified against Schreier-Sims over the full generating set in tests.
+BigUint AutomorphismOrderFromTree(const AutoTree& tree);
+
+// Human-readable rendering of the tree — the "explicit view of the
+// symmetric structure" the paper advertises (§1). One line per node,
+// indented by depth, showing the vertex set (elided beyond a few members),
+// leaf/divide kind and symmetry class. Rendering stops after `max_nodes`
+// lines (0 = unlimited).
+std::string FormatAutoTree(const AutoTree& tree, size_t max_nodes = 0);
+
+}  // namespace dvicl
+
+#endif  // DVICL_DVICL_AUTO_TREE_H_

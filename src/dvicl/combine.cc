@@ -1,0 +1,223 @@
+#include "dvicl/combine.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <unordered_map>
+
+#include "refine/coloring.h"
+
+namespace dvicl {
+
+namespace {
+
+inline uint64_t MixHash(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashForm(const NodeForm& form) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint64_t value : form) h = MixHash(h, value);
+  return h;
+}
+
+// Assigns node->labels from a vertex order already grouped by color:
+// label = color + rank within the color run (Algorithms 4/5).
+void AssignLabelsFromSortedVertices(AutoTreeNode* node,
+                                    std::span<const uint32_t> colors,
+                                    const std::vector<VertexId>& sorted) {
+  assert(sorted.size() == node->vertices.size());
+  std::unordered_map<VertexId, size_t> position;
+  position.reserve(node->vertices.size());
+  for (size_t i = 0; i < node->vertices.size(); ++i) {
+    position.emplace(node->vertices[i], i);
+  }
+  node->labels.assign(node->vertices.size(), 0);
+  uint32_t run_color = 0;
+  VertexId rank = 0;
+  bool first = true;
+  for (VertexId v : sorted) {
+    const uint32_t color = colors[v];
+    if (first || color != run_color) {
+      run_color = color;
+      rank = 0;
+      first = false;
+    }
+    node->labels[position.at(v)] = color + rank;
+    ++rank;
+  }
+}
+
+}  // namespace
+
+NodeForm ComputeNodeForm(const AutoTreeNode& node) {
+  NodeForm form;
+  form.reserve(2 + node.vertices.size() + node.edges.size());
+  form.push_back(node.vertices.size());
+  std::vector<uint64_t> labels(node.labels.begin(), node.labels.end());
+  std::sort(labels.begin(), labels.end());
+  form.insert(form.end(), labels.begin(), labels.end());
+  form.push_back(node.edges.size());
+  std::vector<uint64_t> packed;
+  packed.reserve(node.edges.size());
+  for (const Edge& e : node.edges) {
+    uint64_t a = node.LabelOf(e.first);
+    uint64_t b = node.LabelOf(e.second);
+    if (a > b) std::swap(a, b);
+    packed.push_back((a << 32) | b);
+  }
+  std::sort(packed.begin(), packed.end());
+  form.insert(form.end(), packed.begin(), packed.end());
+  return form;
+}
+
+bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
+               const IrOptions& leaf_options, IrStats* aggregate_stats) {
+  const size_t k = node->vertices.size();
+  assert(k >= 2);
+
+  // Lower the leaf to a local graph on 0..k-1 (vertices are sorted, so
+  // local ids follow the sorted order).
+  std::unordered_map<VertexId, VertexId> local_id;
+  local_id.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    local_id.emplace(node->vertices[i], static_cast<VertexId>(i));
+  }
+  std::vector<Edge> local_edges;
+  local_edges.reserve(node->edges.size());
+  for (const Edge& e : node->edges) {
+    local_edges.emplace_back(local_id.at(e.first), local_id.at(e.second));
+  }
+  Graph local_graph =
+      Graph::FromEdges(static_cast<VertexId>(k), std::move(local_edges));
+
+  std::vector<uint32_t> local_colors(k);
+  for (size_t i = 0; i < k; ++i) local_colors[i] = colors[node->vertices[i]];
+  Coloring local_coloring = Coloring::FromLabels(local_colors);
+
+  IrResult ir = IrCanonicalLabeling(local_graph, local_coloring, leaf_options);
+  if (aggregate_stats != nullptr) {
+    aggregate_stats->tree_nodes += ir.stats.tree_nodes;
+    aggregate_stats->leaves += ir.stats.leaves;
+    aggregate_stats->automorphisms_found += ir.stats.automorphisms_found;
+  }
+  if (!ir.completed) return false;
+
+  // Order: (color, gamma* position) — Algorithm 4 line 3.
+  std::vector<std::pair<uint64_t, VertexId>> keyed;
+  keyed.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const VertexId v = node->vertices[i];
+    keyed.emplace_back((static_cast<uint64_t>(colors[v]) << 32) |
+                           ir.canonical_labeling(static_cast<VertexId>(i)),
+                       v);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<VertexId> sorted;
+  sorted.reserve(k);
+  for (const auto& [key, v] : keyed) sorted.push_back(v);
+  AssignLabelsFromSortedVertices(node, colors, sorted);
+
+  // Lift the leaf's automorphism generators to global sparse form.
+  node->leaf_generators.clear();
+  node->leaf_generators.reserve(ir.automorphism_generators.size());
+  for (const Permutation& gen : ir.automorphism_generators) {
+    SparseAut lifted;
+    for (VertexId local = 0; local < gen.Size(); ++local) {
+      if (gen(local) != local) {
+        lifted.moves.emplace_back(node->vertices[local],
+                                  node->vertices[gen(local)]);
+      }
+    }
+    if (!lifted.IsIdentity()) {
+      node->leaf_generators.push_back(std::move(lifted));
+    }
+  }
+  return true;
+}
+
+void CombineST(AutoTreeNode* node, std::vector<AutoTreeNode>& nodes,
+               std::span<const uint32_t> colors,
+               std::vector<SparseAut>* sibling_generators) {
+  // Sort children by canonical form (Algorithm 5 line 1).
+  std::vector<NodeForm> forms(node->children.size());
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    forms[i] = ComputeNodeForm(nodes[node->children[i]]);
+  }
+  std::vector<size_t> order(node->children.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&forms](size_t a, size_t b) { return forms[a] < forms[b]; });
+
+  std::vector<uint32_t> sorted_children;
+  std::vector<uint32_t> sym_class;
+  sorted_children.reserve(order.size());
+  sym_class.reserve(order.size());
+  uint32_t current_class = 0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const size_t i = order[rank];
+    if (rank > 0 && forms[i] != forms[order[rank - 1]]) ++current_class;
+    sorted_children.push_back(node->children[i]);
+    sym_class.push_back(current_class);
+    nodes[node->children[i]].form_hash = HashForm(forms[i]);
+
+    // Equal adjacent forms: the label-matching bijection between the two
+    // sibling subgraphs extends (by identity) to an automorphism of (G, pi)
+    // — the divide axes guarantee their attachments are color-determined.
+    if (rank > 0 && forms[i] == forms[order[rank - 1]]) {
+      const AutoTreeNode& a = nodes[node->children[order[rank - 1]]];
+      const AutoTreeNode& b = nodes[node->children[i]];
+      std::unordered_map<VertexId, VertexId> b_by_label;
+      b_by_label.reserve(b.vertices.size());
+      for (size_t j = 0; j < b.vertices.size(); ++j) {
+        b_by_label.emplace(b.labels[j], b.vertices[j]);
+      }
+      SparseAut swap;
+      swap.moves.reserve(2 * a.vertices.size());
+      for (size_t j = 0; j < a.vertices.size(); ++j) {
+        const VertexId va = a.vertices[j];
+        const VertexId vb = b_by_label.at(a.labels[j]);
+        if (va != vb) {
+          swap.moves.emplace_back(va, vb);
+          swap.moves.emplace_back(vb, va);
+        }
+      }
+      std::sort(swap.moves.begin(), swap.moves.end());
+      if (!swap.IsIdentity()) sibling_generators->push_back(std::move(swap));
+    }
+  }
+  node->children = std::move(sorted_children);
+  node->child_sym_class = std::move(sym_class);
+
+  // Label the node's vertices: same-colored vertices ordered first by the
+  // owning child's rank in canonical-form order, then by the child-local
+  // label (Algorithm 5 lines 2-5).
+  struct Key {
+    uint32_t color;
+    uint32_t child_rank;
+    VertexId local_label;
+    VertexId vertex;
+  };
+  std::vector<Key> keyed;
+  keyed.reserve(node->vertices.size());
+  for (size_t rank = 0; rank < node->children.size(); ++rank) {
+    const AutoTreeNode& child = nodes[node->children[rank]];
+    for (size_t j = 0; j < child.vertices.size(); ++j) {
+      keyed.push_back(Key{colors[child.vertices[j]],
+                          static_cast<uint32_t>(rank), child.labels[j],
+                          child.vertices[j]});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Key& x, const Key& y) {
+    if (x.color != y.color) return x.color < y.color;
+    if (x.child_rank != y.child_rank) return x.child_rank < y.child_rank;
+    return x.local_label < y.local_label;
+  });
+  std::vector<VertexId> sorted;
+  sorted.reserve(keyed.size());
+  for (const Key& key : keyed) sorted.push_back(key.vertex);
+  AssignLabelsFromSortedVertices(node, colors, sorted);
+}
+
+}  // namespace dvicl

@@ -1,0 +1,45 @@
+#ifndef DVICL_DVICL_COMBINE_H_
+#define DVICL_DVICL_COMBINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dvicl/auto_tree.h"
+#include "ir/ir_canonical.h"
+
+namespace dvicl {
+
+// Serialized canonical form of one AutoTree node:
+// [#vertices, sorted labels..., #edges, sorted label-relabeled edges...].
+// Equal forms <=> the nodes are identically labeled colored graphs (labels
+// encode the colors because a label lies in its cell's offset range), which
+// by Lemmas 6.7/6.8 means the corresponding subgraphs are symmetric in
+// (G, pi).
+using NodeForm = std::vector<uint64_t>;
+
+NodeForm ComputeNodeForm(const AutoTreeNode& node);
+
+// CombineCL (Algorithm 4): canonical labeling of a non-singleton leaf.
+// Runs the configured IR backend on the leaf's local colored graph, then
+// assigns each vertex the label pi(v) + (rank of v among same-colored leaf
+// vertices in gamma* order). The leaf's Aut generators are lifted to global
+// sparse automorphisms into node->leaf_generators.
+//
+// Returns false if the IR backend hit its budget (the caller must mark the
+// whole run incomplete).
+bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
+               const IrOptions& leaf_options, IrStats* aggregate_stats);
+
+// CombineST (Algorithm 5): canonical labeling of a non-leaf node from its
+// children. Sorts node->children by canonical form, assigns symmetry
+// classes, emits one sparse "adjacent sibling swap" generator per pair of
+// equal-form neighbors (their label-matching bijection), and labels the
+// node's vertices by (color, child rank, child label) order.
+void CombineST(AutoTreeNode* node, std::vector<AutoTreeNode>& nodes,
+               std::span<const uint32_t> colors,
+               std::vector<SparseAut>* sibling_generators);
+
+}  // namespace dvicl
+
+#endif  // DVICL_DVICL_COMBINE_H_

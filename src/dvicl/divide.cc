@@ -1,0 +1,170 @@
+#include "dvicl/divide.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dvicl {
+
+namespace {
+
+VertexId DsuFind(std::vector<VertexId>& parent, VertexId x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+void DsuUnion(std::vector<VertexId>& parent, VertexId a, VertexId b) {
+  a = DsuFind(parent, a);
+  b = DsuFind(parent, b);
+  if (a != b) parent[std::max(a, b)] = std::min(a, b);
+}
+
+// Groups `vertices` into pieces by DSU component over `kept_edges`
+// (every vertex with no kept edge forms its own piece), appending to
+// *pieces. `skip` marks vertices already emitted as their own pieces.
+void EmitComponents(std::span<const VertexId> vertices,
+                    const std::vector<Edge>& kept_edges,
+                    const std::vector<bool>& skip, DivideWorkspace* ws,
+                    std::vector<GraphPiece>* pieces) {
+  const size_t first_component_piece = pieces->size();
+  std::vector<VertexId> touched_roots;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (skip[i]) continue;
+    const VertexId v = vertices[i];
+    const VertexId root = DsuFind(ws->dsu_parent, v);
+    uint32_t& index = ws->piece_index[root];
+    if (index == DivideWorkspace::kUnassigned) {
+      index = static_cast<uint32_t>(pieces->size());
+      pieces->emplace_back();
+      touched_roots.push_back(root);
+    }
+    (*pieces)[index].vertices.push_back(v);
+  }
+  for (const Edge& e : kept_edges) {
+    const VertexId root = DsuFind(ws->dsu_parent, e.first);
+    (*pieces)[ws->piece_index[root]].edges.push_back(e);
+  }
+  for (VertexId root : touched_roots) {
+    ws->piece_index[root] = DivideWorkspace::kUnassigned;
+  }
+  // Vertices were visited in ascending order and edges in sorted order, so
+  // every piece's vectors are already sorted.
+  (void)first_component_piece;
+}
+
+}  // namespace
+
+bool DivideI(std::span<const VertexId> vertices,
+             const std::vector<Edge>& edges, std::span<const uint32_t> colors,
+             DivideWorkspace* ws, std::vector<GraphPiece>* pieces) {
+  pieces->clear();
+  if (vertices.size() < 2) return false;
+
+  for (VertexId v : vertices) ++ws->color_count[colors[v]];
+
+  // A vertex is a singleton cell of pi_g iff its color appears once in g.
+  std::vector<bool> is_singleton(vertices.size());
+  size_t num_singletons = 0;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    is_singleton[i] = ws->color_count[colors[vertices[i]]] == 1;
+    num_singletons += is_singleton[i] ? 1 : 0;
+  }
+  for (VertexId v : vertices) ws->color_count[colors[v]] = 0;
+
+  // Keep only edges between two non-singleton vertices; union them.
+  for (VertexId v : vertices) ws->dsu_parent[v] = v;
+  std::vector<Edge> kept;
+  kept.reserve(edges.size());
+  {
+    // Membership test for "is singleton" by vertex id: reuse color_count as
+    // a scratch bitmap keyed by vertex.
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      ws->color_count[vertices[i]] = is_singleton[i] ? 1 : 0;
+    }
+    for (const Edge& e : edges) {
+      if (ws->color_count[e.first] == 0 && ws->color_count[e.second] == 0) {
+        kept.push_back(e);
+        DsuUnion(ws->dsu_parent, e.first, e.second);
+      }
+    }
+    for (VertexId v : vertices) ws->color_count[v] = 0;
+  }
+
+  // Singleton vertices become their own one-vertex pieces, in vertex order.
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (!is_singleton[i]) continue;
+    GraphPiece piece;
+    piece.vertices.push_back(vertices[i]);
+    pieces->push_back(std::move(piece));
+  }
+  EmitComponents(vertices, kept, is_singleton, ws, pieces);
+
+  if (pieces->size() < 2) {
+    pieces->clear();
+    return false;
+  }
+  return true;
+}
+
+bool DivideS(std::span<const VertexId> vertices, std::vector<Edge>* edges,
+             std::span<const uint32_t> colors, DivideWorkspace* ws,
+             std::vector<GraphPiece>* pieces) {
+  pieces->clear();
+  if (vertices.size() < 2 || edges->empty()) return false;
+
+  for (VertexId v : vertices) ++ws->color_count[colors[v]];
+
+  // Count edges per unordered color pair.
+  auto pair_key = [](uint32_t a, uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  std::unordered_map<uint64_t, uint64_t> pair_edges;
+  for (const Edge& e : *edges) {
+    ++pair_edges[pair_key(colors[e.first], colors[e.second])];
+  }
+
+  // A color pair is removable when its edges are implied by the coloring:
+  // a full clique inside one cell, or a full biclique between two cells
+  // (Theorem 6.4).
+  std::unordered_set<uint64_t> removable;
+  for (const auto& [key, count] : pair_edges) {
+    const uint32_t ca = static_cast<uint32_t>(key >> 32);
+    const uint32_t cb = static_cast<uint32_t>(key & 0xffffffffu);
+    const uint64_t ka = ws->color_count[ca];
+    const uint64_t kb = ws->color_count[cb];
+    const uint64_t full = (ca == cb) ? ka * (ka - 1) / 2 : ka * kb;
+    if (count == full) removable.insert(key);
+  }
+  for (VertexId v : vertices) ws->color_count[colors[v]] = 0;
+  if (removable.empty()) return false;
+
+  std::vector<Edge> kept;
+  kept.reserve(edges->size());
+  for (VertexId v : vertices) ws->dsu_parent[v] = v;
+  for (const Edge& e : *edges) {
+    if (removable.count(pair_key(colors[e.first], colors[e.second])) != 0) {
+      continue;
+    }
+    kept.push_back(e);
+    DsuUnion(ws->dsu_parent, e.first, e.second);
+  }
+
+  const std::vector<bool> skip(vertices.size(), false);
+  EmitComponents(vertices, kept, skip, ws, pieces);
+
+  if (pieces->size() < 2) {
+    // Keep the (canonical) reduction even though the node stays connected:
+    // the leaf labeler then works on a strictly smaller edge set.
+    *edges = std::move(kept);
+    pieces->clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dvicl

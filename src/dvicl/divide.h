@@ -1,0 +1,59 @@
+#ifndef DVICL_DVICL_DIVIDE_H_
+#define DVICL_DVICL_DIVIDE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// A vertex-disjoint piece produced by a divide step: one child node of the
+// AutoTree under construction.
+struct GraphPiece {
+  std::vector<VertexId> vertices;  // sorted global ids
+  std::vector<Edge> edges;         // canonical orientation, sorted
+};
+
+// Scratch arrays sized to the full graph, reused across divide calls so a
+// node of size k costs O(k + edges) regardless of |V(G)|. All arrays are
+// restored to their idle state before each call returns.
+class DivideWorkspace {
+ public:
+  explicit DivideWorkspace(VertexId n)
+      : dsu_parent(n), color_count(n, 0), piece_index(n, kUnassigned) {}
+
+  static constexpr uint32_t kUnassigned = 0xffffffffu;
+
+  std::vector<VertexId> dsu_parent;
+  std::vector<uint32_t> color_count;  // keyed by color offset
+  std::vector<uint32_t> piece_index;  // keyed by DSU root vertex
+};
+
+// DivideI (Algorithm 2): isolates every singleton cell of pi_g as a
+// one-vertex child and splits the remainder into connected components.
+// Removing a singleton's edges preserves Aut(g, pi_g) because edges
+// incident to a singleton cell are determined by colors alone in an
+// equitable coloring (a special case of Lemma 6.3).
+//
+// Returns true and fills *pieces (>= 2 entries) iff the node divides.
+bool DivideI(std::span<const VertexId> vertices,
+             const std::vector<Edge>& edges, std::span<const uint32_t> colors,
+             DivideWorkspace* workspace, std::vector<GraphPiece>* pieces);
+
+// DivideS (Algorithm 3): removes all edges inside a cell that induces a
+// clique and all edges between two cells that form a complete bipartite
+// graph (Theorem 6.4), then splits into connected components.
+//
+// Returns true and fills *pieces iff the removal disconnects the node.
+// When edges were removed but the node stays connected, *edges is replaced
+// by the reduced edge set (the reduction is canonical, Lemma 6.5, so the
+// leaf labeling may operate on it) and false is returned.
+bool DivideS(std::span<const VertexId> vertices, std::vector<Edge>* edges,
+             std::span<const uint32_t> colors, DivideWorkspace* workspace,
+             std::vector<GraphPiece>* pieces);
+
+}  // namespace dvicl
+
+#endif  // DVICL_DVICL_DIVIDE_H_

@@ -1,0 +1,254 @@
+#include "dvicl/dvicl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "dvicl/combine.h"
+#include "dvicl/divide.h"
+#include "refine/refiner.h"
+
+namespace dvicl {
+
+namespace {
+
+// Iterative post-order construction of the AutoTree (procedure cl of
+// Algorithm 1). An explicit stack is used because adversarial inputs can
+// produce deep divide chains.
+class DviclBuilder {
+ public:
+  DviclBuilder(const Graph& graph, const DviclOptions& options)
+      : graph_(graph), options_(options), workspace_(graph.NumVertices()) {}
+
+  DviclResult Run(const Coloring& initial) {
+    DviclResult result;
+    Stopwatch total;
+
+    // Algorithm 1 lines 1-2: equitable refinement and color offsets.
+    Stopwatch phase;
+    Coloring pi = initial;
+    RefineToEquitable(graph_, &pi);
+    result.colors = pi.ColorOffsets();
+    result.stats.refine_seconds = phase.ElapsedSeconds();
+
+    // Root node covers all of G.
+    auto& nodes = result.tree.MutableNodes();
+    nodes.emplace_back();
+    nodes[0].vertices.resize(graph_.NumVertices());
+    std::iota(nodes[0].vertices.begin(), nodes[0].vertices.end(), 0);
+    nodes[0].edges = graph_.Edges();
+
+    bool completed = BuildTree(&result);
+    if (completed && options_.time_limit_seconds > 0.0 &&
+        total.ElapsedSeconds() > options_.time_limit_seconds) {
+      completed = false;
+    }
+    result.completed = completed;
+    if (!completed) return result;
+
+    // Root labels form the canonical labeling of (G, pi).
+    const AutoTreeNode& root = result.tree.Root();
+    std::vector<VertexId> image(graph_.NumVertices());
+    for (size_t i = 0; i < root.vertices.size(); ++i) {
+      image[root.vertices[i]] = root.labels[i];
+    }
+    result.canonical_labeling = Permutation(std::move(image));
+    result.certificate =
+        MakeCertificate(graph_, result.colors,
+                        result.canonical_labeling.ImageArray());
+
+    // leaf_of index for SSM.
+    auto& leaf_of = result.tree.MutableLeafOf();
+    leaf_of.assign(graph_.NumVertices(), 0);
+    for (uint32_t id = 0; id < result.tree.NumNodes(); ++id) {
+      const AutoTreeNode& node = result.tree.Node(id);
+      if (!node.is_leaf) continue;
+      for (VertexId v : node.vertices) leaf_of[v] = id;
+    }
+
+    // Structure statistics (Tables 3/4).
+    result.stats.autotree_nodes = result.tree.NumNodes();
+    result.stats.singleton_leaves = result.tree.NumSingletonLeaves();
+    result.stats.nonsingleton_leaves = result.tree.NumNonSingletonLeaves();
+    result.stats.depth = result.tree.Depth();
+    return result;
+  }
+
+ private:
+  // Returns false if a leaf budget was exceeded.
+  bool BuildTree(DviclResult* result) {
+    auto& nodes = result->tree.MutableNodes();
+    // (node id, phase): phase 0 = divide, phase 1 = combine.
+    std::vector<std::pair<uint32_t, int>> stack;
+    stack.emplace_back(0, 0);
+
+    Stopwatch watch;
+    IrOptions leaf_options;
+    leaf_options.preset = options_.leaf_backend;
+    leaf_options.max_tree_nodes = options_.leaf_max_tree_nodes;
+    leaf_options.time_limit_seconds = options_.time_limit_seconds;
+
+    while (!stack.empty()) {
+      auto [id, phase] = stack.back();
+      stack.pop_back();
+
+      if (options_.time_limit_seconds > 0.0 &&
+          watch.ElapsedSeconds() > options_.time_limit_seconds) {
+        return false;
+      }
+
+      if (phase == 1) {
+        Stopwatch combine_watch;
+        CombineST(&nodes[id], nodes, result->colors, &result->generators);
+        result->stats.combine_seconds += combine_watch.ElapsedSeconds();
+        continue;
+      }
+
+      // Base case: singleton leaf, C(g) = (pi(v), pi(v)). (An empty root —
+      // the zero-vertex graph — is also a trivial leaf.)
+      if (nodes[id].vertices.size() <= 1) {
+        nodes[id].is_leaf = true;
+        if (!nodes[id].vertices.empty()) {
+          nodes[id].labels = {result->colors[nodes[id].vertices[0]]};
+        }
+        continue;
+      }
+
+      // Divide phase.
+      Stopwatch divide_watch;
+      std::vector<GraphPiece> pieces;
+      bool divided = false;
+      bool by_s = false;
+      if (options_.enable_divide_i) {
+        divided = DivideI(nodes[id].vertices, nodes[id].edges, result->colors,
+                          &workspace_, &pieces);
+      }
+      if (!divided && options_.enable_divide_s) {
+        divided = DivideS(nodes[id].vertices, &nodes[id].edges,
+                          result->colors, &workspace_, &pieces);
+        by_s = divided;
+      }
+      result->stats.divide_seconds += divide_watch.ElapsedSeconds();
+
+      if (!divided) {
+        // Non-singleton leaf: CombineCL via the IR backend.
+        nodes[id].is_leaf = true;
+        Stopwatch combine_watch;
+        const bool ok = CombineCL(&nodes[id], result->colors, leaf_options,
+                                  &result->stats.leaf_ir);
+        result->stats.combine_seconds += combine_watch.ElapsedSeconds();
+        if (!ok) return false;
+        // Leaf automorphisms are automorphisms of (G, pi) by identity
+        // extension (Theorem 6.4 / axis argument).
+        for (const SparseAut& gen : nodes[id].leaf_generators) {
+          result->generators.push_back(gen);
+        }
+        continue;
+      }
+
+      // Create children; combine after all of them are built.
+      nodes[id].divided_by_s = by_s;
+      stack.emplace_back(id, 1);
+      const uint32_t depth = nodes[id].depth;
+      for (GraphPiece& piece : pieces) {
+        const uint32_t child_id = static_cast<uint32_t>(nodes.size());
+        nodes.emplace_back();
+        AutoTreeNode& child = nodes.back();
+        child.vertices = std::move(piece.vertices);
+        child.edges = std::move(piece.edges);
+        child.parent = static_cast<int32_t>(id);
+        child.depth = depth + 1;
+        nodes[id].children.push_back(child_id);
+        stack.emplace_back(child_id, 0);
+      }
+    }
+    return true;
+  }
+
+  const Graph& graph_;
+  const DviclOptions options_;
+  DivideWorkspace workspace_;
+};
+
+}  // namespace
+
+DviclResult DviclCanonicalLabeling(const Graph& graph, const Coloring& initial,
+                                   const DviclOptions& options) {
+  assert(initial.NumVertices() == graph.NumVertices());
+  DviclBuilder builder(graph, options);
+  return builder.Run(initial);
+}
+
+bool DviclIsomorphicColored(const Graph& g1,
+                            std::span<const uint32_t> labels1,
+                            const Graph& g2,
+                            std::span<const uint32_t> labels2,
+                            const DviclOptions& options, bool* decided) {
+  if (decided != nullptr) *decided = true;
+  if (g1.NumVertices() != g2.NumVertices() ||
+      g1.NumEdges() != g2.NumEdges()) {
+    return false;
+  }
+  // Certificates embed the REFINED color offsets, which are derived from
+  // the initial labels but not equal to them; to compare label semantics
+  // exactly, re-certify with the initial labels attached. The initial
+  // coloring orders cells by ascending label value, so equal label values
+  // align across the two graphs — but distinct label values with equal
+  // rank would too. Guard by comparing the sorted label multisets first.
+  std::vector<uint32_t> sorted1(labels1.begin(), labels1.end());
+  std::vector<uint32_t> sorted2(labels2.begin(), labels2.end());
+  std::sort(sorted1.begin(), sorted1.end());
+  std::sort(sorted2.begin(), sorted2.end());
+  if (sorted1 != sorted2) return false;
+
+  DviclResult r1 =
+      DviclCanonicalLabeling(g1, Coloring::FromLabels(labels1), options);
+  DviclResult r2 =
+      DviclCanonicalLabeling(g2, Coloring::FromLabels(labels2), options);
+  if (!r1.completed || !r2.completed) {
+    if (decided != nullptr) *decided = false;
+    return false;
+  }
+  return r1.certificate == r2.certificate;
+}
+
+Result<Permutation> DviclFindIsomorphism(const Graph& g1, const Graph& g2,
+                                         const DviclOptions& options) {
+  if (g1.NumVertices() != g2.NumVertices() ||
+      g1.NumEdges() != g2.NumEdges()) {
+    return Status::NotFound("graphs differ in size");
+  }
+  DviclResult r1 =
+      DviclCanonicalLabeling(g1, Coloring::Unit(g1.NumVertices()), options);
+  DviclResult r2 =
+      DviclCanonicalLabeling(g2, Coloring::Unit(g2.NumVertices()), options);
+  if (!r1.completed || !r2.completed) {
+    return Status::ResourceExhausted("canonical labeling did not complete");
+  }
+  if (r1.certificate != r2.certificate) {
+    return Status::NotFound("graphs are not isomorphic");
+  }
+  // gamma1 maps g1 onto C(g1) = C(g2); undo gamma2 to land in g2.
+  return r1.canonical_labeling.Then(r2.canonical_labeling.Inverse());
+}
+
+bool DviclIsomorphic(const Graph& g1, const Graph& g2,
+                     const DviclOptions& options, bool* decided) {
+  if (decided != nullptr) *decided = true;
+  if (g1.NumVertices() != g2.NumVertices() ||
+      g1.NumEdges() != g2.NumEdges()) {
+    return false;
+  }
+  DviclResult r1 =
+      DviclCanonicalLabeling(g1, Coloring::Unit(g1.NumVertices()), options);
+  DviclResult r2 =
+      DviclCanonicalLabeling(g2, Coloring::Unit(g2.NumVertices()), options);
+  if (!r1.completed || !r2.completed) {
+    if (decided != nullptr) *decided = false;
+    return false;
+  }
+  return r1.certificate == r2.certificate;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,95 @@
+#ifndef DVICL_DVICL_DVICL_H_
+#define DVICL_DVICL_DVICL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dvicl/auto_tree.h"
+#include "graph/certificate.h"
+#include "graph/graph.h"
+#include "ir/ir_canonical.h"
+#include "refine/coloring.h"
+
+namespace dvicl {
+
+// Options for DviCL (Algorithm 1).
+struct DviclOptions {
+  // IR backend used by CombineCL on non-singleton leaves: the "X" of
+  // DviCL+X in the paper's evaluation (DviCL+n / DviCL+b / DviCL+t).
+  IrPreset leaf_backend = IrPreset::kBlissLike;
+
+  // Ablation switches for the two divide algorithms (§6.2). Disabling both
+  // degenerates DviCL into a single IR run on the whole graph.
+  bool enable_divide_i = true;
+  bool enable_divide_s = true;
+
+  // Budgets forwarded to the leaf IR runs; exceeded budgets mark the whole
+  // result incomplete (used by the table harnesses as "timeout").
+  uint64_t leaf_max_tree_nodes = 0;
+  double time_limit_seconds = 0.0;
+};
+
+struct DviclStats {
+  uint64_t autotree_nodes = 0;
+  uint64_t singleton_leaves = 0;
+  uint64_t nonsingleton_leaves = 0;
+  uint32_t depth = 0;
+  double refine_seconds = 0.0;
+  double divide_seconds = 0.0;
+  double combine_seconds = 0.0;
+  IrStats leaf_ir;  // aggregated over all CombineCL invocations
+};
+
+struct DviclResult {
+  // False when a leaf IR run exceeded its budget or the time limit was hit;
+  // canonical outputs are then partial and must not be compared.
+  bool completed = false;
+
+  AutoTree tree;
+  // Root equitable coloring offsets pi(v) (Algorithm 1 line 2).
+  std::vector<uint32_t> colors;
+  // gamma*: v -> canonical position; (G, pi)^{gamma*} = C(G, pi) at the
+  // AutoTree root. This is the "k-th minimum" labeling of §5.
+  Permutation canonical_labeling;
+  // Certificate of (G, pi) under gamma* on the ORIGINAL edge set; equal
+  // certificates <=> isomorphic (Theorem 6.9).
+  Certificate certificate;
+  // Generating set of Aut(G, pi): leaf generators lifted by identity plus
+  // one swap per pair of equal-form siblings (§5 "Axis").
+  std::vector<SparseAut> generators;
+
+  DviclStats stats;
+};
+
+// Runs DviCL on the colored graph (graph, initial); pass Coloring::Unit(n)
+// for an uncolored graph.
+DviclResult DviclCanonicalLabeling(const Graph& graph, const Coloring& initial,
+                                   const DviclOptions& options = {});
+
+// Convenience: true iff g1 and g2 are isomorphic, decided by comparing
+// DviCL certificates (both runs must complete; returns false and sets
+// *decided = false otherwise when `decided` is non-null).
+bool DviclIsomorphic(const Graph& g1, const Graph& g2,
+                     const DviclOptions& options = {},
+                     bool* decided = nullptr);
+
+// Colored-graph variant (paper §2: two colored graphs are isomorphic iff a
+// permutation maps one onto the other preserving edges AND colors). Labels
+// are semantic: color value 3 on g1 corresponds to color value 3 on g2.
+bool DviclIsomorphicColored(const Graph& g1,
+                            std::span<const uint32_t> labels1,
+                            const Graph& g2,
+                            std::span<const uint32_t> labels2,
+                            const DviclOptions& options = {},
+                            bool* decided = nullptr);
+
+// Explicit witness: a permutation gamma with g1^gamma = g2, constructed as
+// gamma1 . gamma2^{-1} from the two canonical labelings. Fails with
+// NotFound when the graphs are not isomorphic and ResourceExhausted when a
+// labeling run hit its budget.
+Result<Permutation> DviclFindIsomorphism(const Graph& g1, const Graph& g2,
+                                         const DviclOptions& options = {});
+
+}  // namespace dvicl
+
+#endif  // DVICL_DVICL_DVICL_H_

@@ -1,0 +1,355 @@
+#include "dvicl/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dvicl {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'V', 'A', 'T'};
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// ---- little-endian primitive writers/readers over string buffers --------
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+
+  bool VecU32(std::vector<uint32_t>* out) {
+    uint64_t count = 0;
+    if (!U64(&count) || count > Remaining() / 4) return false;
+    out->resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      if (!U32(&(*out)[i])) return false;
+    }
+    return true;
+  }
+
+  bool VecU64(std::vector<uint64_t>* out) {
+    uint64_t count = 0;
+    if (!U64(&count) || count > Remaining() / 8) return false;
+    out->resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      if (!U64(&(*out)[i])) return false;
+    }
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t Remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+void PutVecU32(std::string* out, const std::vector<uint32_t>& v) {
+  PutU64(out, v.size());
+  for (uint32_t x : v) PutU32(out, x);
+}
+
+void PutVecU64(std::string* out, const std::vector<uint64_t>& v) {
+  PutU64(out, v.size());
+  for (uint64_t x : v) PutU64(out, x);
+}
+
+std::string EncodePayload(const DviclResult& result) {
+  std::string payload;
+
+  PutVecU32(&payload, result.colors);
+  std::vector<uint32_t> labeling(
+      result.canonical_labeling.ImageArray().begin(),
+      result.canonical_labeling.ImageArray().end());
+  PutVecU32(&payload, labeling);
+  PutVecU64(&payload, result.certificate);
+
+  PutU64(&payload, result.generators.size());
+  for (const SparseAut& gen : result.generators) {
+    PutU64(&payload, gen.moves.size());
+    for (const auto& [v, img] : gen.moves) {
+      PutU32(&payload, v);
+      PutU32(&payload, img);
+    }
+  }
+
+  const AutoTree& tree = result.tree;
+  PutU64(&payload, tree.NumNodes());
+  for (uint32_t id = 0; id < tree.NumNodes(); ++id) {
+    const AutoTreeNode& node = tree.Node(id);
+    PutVecU32(&payload, node.vertices);
+    PutU64(&payload, node.edges.size());
+    for (const Edge& e : node.edges) {
+      PutU32(&payload, e.first);
+      PutU32(&payload, e.second);
+    }
+    PutVecU32(&payload, node.labels);
+    PutU32(&payload, static_cast<uint32_t>(node.parent));
+    PutU32(&payload, node.depth);
+    PutVecU32(&payload, node.children);
+    PutVecU32(&payload, node.child_sym_class);
+    PutU32(&payload, (node.is_leaf ? 1u : 0u) |
+                         (node.divided_by_s ? 2u : 0u));
+    PutU64(&payload, node.form_hash);
+    PutU64(&payload, node.leaf_generators.size());
+    for (const SparseAut& gen : node.leaf_generators) {
+      PutU64(&payload, gen.moves.size());
+      for (const auto& [v, img] : gen.moves) {
+        PutU32(&payload, v);
+        PutU32(&payload, img);
+      }
+    }
+  }
+
+  // leaf_of (empty when the graph is empty).
+  std::vector<uint32_t> leaf_of;
+  leaf_of.reserve(result.colors.size());
+  for (VertexId v = 0; v < result.colors.size(); ++v) {
+    leaf_of.push_back(tree.LeafOf(v));
+  }
+  PutVecU32(&payload, leaf_of);
+  return payload;
+}
+
+bool DecodeSparseAut(Reader* reader, SparseAut* gen) {
+  uint64_t moves = 0;
+  if (!reader->U64(&moves) || moves > reader->Remaining() / 8) return false;
+  gen->moves.resize(moves);
+  for (uint64_t i = 0; i < moves; ++i) {
+    uint32_t v = 0;
+    uint32_t img = 0;
+    if (!reader->U32(&v) || !reader->U32(&img)) return false;
+    gen->moves[i] = {v, img};
+  }
+  return true;
+}
+
+Status DecodePayload(const std::string& payload, DviclResult* result) {
+  Reader reader(payload);
+
+  if (!reader.VecU32(&result->colors)) {
+    return Status::InvalidArgument("corrupt colors section");
+  }
+  std::vector<uint32_t> labeling;
+  if (!reader.VecU32(&labeling)) {
+    return Status::InvalidArgument("corrupt labeling section");
+  }
+  if (labeling.size() != result->colors.size()) {
+    return Status::InvalidArgument("labeling/colors size mismatch");
+  }
+  Result<Permutation> perm =
+      Permutation::FromImage({labeling.begin(), labeling.end()});
+  if (!perm.ok()) {
+    return Status::InvalidArgument("stored labeling is not a permutation");
+  }
+  result->canonical_labeling = std::move(perm).value();
+  if (!reader.VecU64(&result->certificate)) {
+    return Status::InvalidArgument("corrupt certificate section");
+  }
+
+  uint64_t num_generators = 0;
+  if (!reader.U64(&num_generators) ||
+      num_generators > reader.Remaining()) {
+    return Status::InvalidArgument("corrupt generator count");
+  }
+  result->generators.resize(num_generators);
+  for (uint64_t i = 0; i < num_generators; ++i) {
+    if (!DecodeSparseAut(&reader, &result->generators[i])) {
+      return Status::InvalidArgument("corrupt generator");
+    }
+  }
+
+  uint64_t num_nodes = 0;
+  if (!reader.U64(&num_nodes) || num_nodes > reader.Remaining()) {
+    return Status::InvalidArgument("corrupt node count");
+  }
+  auto& nodes = result->tree.MutableNodes();
+  nodes.resize(num_nodes);
+  for (uint64_t id = 0; id < num_nodes; ++id) {
+    AutoTreeNode& node = nodes[id];
+    if (!reader.VecU32(&node.vertices)) {
+      return Status::InvalidArgument("corrupt node vertices");
+    }
+    uint64_t num_edges = 0;
+    if (!reader.U64(&num_edges) || num_edges > reader.Remaining() / 8) {
+      return Status::InvalidArgument("corrupt node edge count");
+    }
+    node.edges.resize(num_edges);
+    for (uint64_t i = 0; i < num_edges; ++i) {
+      uint32_t a = 0;
+      uint32_t b = 0;
+      if (!reader.U32(&a) || !reader.U32(&b)) {
+        return Status::InvalidArgument("corrupt node edge");
+      }
+      node.edges[i] = {a, b};
+    }
+    if (!reader.VecU32(&node.labels) ||
+        node.labels.size() != node.vertices.size()) {
+      return Status::InvalidArgument("corrupt node labels");
+    }
+    uint32_t parent = 0;
+    uint32_t flags = 0;
+    if (!reader.U32(&parent) || !reader.U32(&node.depth) ||
+        !reader.VecU32(&node.children) ||
+        !reader.VecU32(&node.child_sym_class) || !reader.U32(&flags) ||
+        !reader.U64(&node.form_hash)) {
+      return Status::InvalidArgument("corrupt node header");
+    }
+    node.parent = static_cast<int32_t>(parent);
+    node.is_leaf = (flags & 1) != 0;
+    node.divided_by_s = (flags & 2) != 0;
+    if (node.child_sym_class.size() != node.children.size()) {
+      return Status::InvalidArgument("children/class size mismatch");
+    }
+    for (uint32_t child : node.children) {
+      if (child >= num_nodes) {
+        return Status::InvalidArgument("child index out of range");
+      }
+    }
+    uint64_t num_leaf_gens = 0;
+    if (!reader.U64(&num_leaf_gens) || num_leaf_gens > reader.Remaining()) {
+      return Status::InvalidArgument("corrupt leaf generator count");
+    }
+    node.leaf_generators.resize(num_leaf_gens);
+    for (uint64_t i = 0; i < num_leaf_gens; ++i) {
+      if (!DecodeSparseAut(&reader, &node.leaf_generators[i])) {
+        return Status::InvalidArgument("corrupt leaf generator");
+      }
+    }
+  }
+
+  std::vector<uint32_t> leaf_of;
+  if (!reader.VecU32(&leaf_of) ||
+      leaf_of.size() != result->colors.size()) {
+    return Status::InvalidArgument("corrupt leaf_of section");
+  }
+  for (uint32_t leaf : leaf_of) {
+    if (leaf >= num_nodes) {
+      return Status::InvalidArgument("leaf_of index out of range");
+    }
+  }
+  result->tree.MutableLeafOf().assign(leaf_of.begin(), leaf_of.end());
+
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in payload");
+  }
+  result->completed = true;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveDviclResult(const DviclResult& result, std::ostream& out) {
+  if (!result.completed) {
+    return Status::InvalidArgument("refusing to save an incomplete result");
+  }
+  const std::string payload = EncodePayload(result);
+  out.write(kMagic, 4);
+  std::string header;
+  PutU32(&header, kVersion);
+  PutU64(&header, payload.size());
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  std::string footer;
+  PutU64(&footer, Fnv1a(payload));
+  out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  if (!out) return Status::IOError("stream error while saving");
+  return Status::Ok();
+}
+
+Status SaveDviclResultToFile(const DviclResult& result,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return SaveDviclResult(result, out);
+}
+
+Result<DviclResult> LoadDviclResult(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument("not a DviCL index file (bad magic)");
+  }
+  std::string header(12, '\0');
+  in.read(header.data(), 12);
+  if (!in) return Status::InvalidArgument("truncated header");
+  Reader header_reader(header);
+  uint32_t version = 0;
+  uint64_t payload_size = 0;
+  header_reader.U32(&version);
+  header_reader.U64(&payload_size);
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported index version " +
+                                   std::to_string(version));
+  }
+  // Sanity bound to avoid huge allocations on corrupt length fields.
+  constexpr uint64_t kMaxPayload = 1ull << 36;  // 64 GiB
+  if (payload_size > kMaxPayload) {
+    return Status::InvalidArgument("implausible payload size");
+  }
+  std::string payload(payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (!in) return Status::InvalidArgument("truncated payload");
+  std::string footer(8, '\0');
+  in.read(footer.data(), 8);
+  if (!in) return Status::InvalidArgument("truncated checksum");
+  Reader footer_reader(footer);
+  uint64_t checksum = 0;
+  footer_reader.U64(&checksum);
+  if (checksum != Fnv1a(payload)) {
+    return Status::InvalidArgument("checksum mismatch (corrupt file)");
+  }
+
+  DviclResult result;
+  Status status = DecodePayload(payload, &result);
+  if (!status.ok()) return status;
+  return result;
+}
+
+Result<DviclResult> LoadDviclResultFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadDviclResult(in);
+}
+
+}  // namespace dvicl

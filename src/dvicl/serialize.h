@@ -1,0 +1,35 @@
+#ifndef DVICL_DVICL_SERIALIZE_H_
+#define DVICL_DVICL_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "dvicl/dvicl.h"
+
+namespace dvicl {
+
+// Binary persistence for a DviclResult — the AutoTree is an index over a
+// graph, and like any database index it must survive the process that built
+// it. The format is versioned and checksummed:
+//
+//   magic "DVAT" | u32 version | u64 payload bytes | payload | u64 fnv1a
+//
+// Payload sections: colors, canonical labeling, certificate, generators,
+// then the tree nodes (vertices/edges/labels/children/classes/flags) and
+// the leaf_of array. All integers little-endian fixed width.
+//
+// Only COMPLETED results may be saved (a partial index is not a valid
+// index). Loading validates the magic, version, length and checksum, and
+// re-derives cheap invariants; a corrupted or truncated file yields an
+// error, never a partially-filled result.
+Status SaveDviclResult(const DviclResult& result, std::ostream& out);
+Status SaveDviclResultToFile(const DviclResult& result,
+                             const std::string& path);
+
+Result<DviclResult> LoadDviclResult(std::istream& in);
+Result<DviclResult> LoadDviclResultFromFile(const std::string& path);
+
+}  // namespace dvicl
+
+#endif  // DVICL_DVICL_SERIALIZE_H_

@@ -1,0 +1,188 @@
+#include "dvicl/simplify.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dvicl {
+
+namespace {
+
+inline uint64_t MixHash(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+StructuralEquivalence FindStructuralEquivalence(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  StructuralEquivalence eq;
+  eq.class_id.resize(n);
+
+  // Bucket by neighbor-list hash, then confirm exact equality inside each
+  // bucket (adjacency lists are sorted, so equality is a span compare).
+  std::unordered_map<uint64_t, std::vector<VertexId>> buckets;
+  buckets.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    h = MixHash(h, graph.Degree(v));
+    for (VertexId u : graph.Neighbors(v)) h = MixHash(h, u);
+    buckets[h].push_back(v);
+  }
+
+  for (VertexId v = 0; v < n; ++v) eq.class_id[v] = v;
+  for (auto& [hash, members] : buckets) {
+    if (members.size() < 2) continue;
+    // Within a bucket, group by exact neighbor list. Buckets are tiny in
+    // practice; quadratic grouping with a "claimed" marker is fine.
+    std::vector<bool> claimed(members.size(), false);
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (claimed[i]) continue;
+      std::vector<VertexId> cls = {members[i]};
+      const auto ni = graph.Neighbors(members[i]);
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (claimed[j]) continue;
+        const auto nj = graph.Neighbors(members[j]);
+        if (ni.size() == nj.size() &&
+            std::equal(ni.begin(), ni.end(), nj.begin())) {
+          claimed[j] = true;
+          cls.push_back(members[j]);
+        }
+      }
+      if (cls.size() >= 2) {
+        std::sort(cls.begin(), cls.end());
+        for (VertexId member : cls) eq.class_id[member] = cls.front();
+        eq.nontrivial_classes.push_back(std::move(cls));
+      }
+    }
+  }
+  std::sort(eq.nontrivial_classes.begin(), eq.nontrivial_classes.end());
+  return eq;
+}
+
+SimplifiedDviclResult DviclWithSimplification(const Graph& graph,
+                                              const Coloring& initial,
+                                              const DviclOptions& options) {
+  const VertexId n = graph.NumVertices();
+  SimplifiedDviclResult result;
+  result.equivalence = FindStructuralEquivalence(graph);
+  const std::vector<VertexId>& class_id = result.equivalence.class_id;
+
+  // Representatives, sorted; local ids follow this order.
+  std::vector<VertexId> local_of(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (class_id[v] == v) {
+      local_of[v] = static_cast<VertexId>(result.representatives.size());
+      result.representatives.push_back(v);
+    }
+  }
+  const VertexId ns = static_cast<VertexId>(result.representatives.size());
+
+  // Quotient graph: class adjacency equals representative adjacency
+  // because all twins share the same neighbor set.
+  std::vector<Edge> quotient_edges;
+  for (const Edge& e : graph.Edges()) {
+    const VertexId a = class_id[e.first];
+    const VertexId b = class_id[e.second];
+    if (e.first == a && e.second == b) {
+      quotient_edges.emplace_back(local_of[a], local_of[b]);
+    }
+  }
+  result.simplified_graph = Graph::FromEdges(ns, std::move(quotient_edges));
+
+  // Initial colors on the quotient encode (original color, class size):
+  // two classes may only be automorphic if both match.
+  const std::vector<uint32_t> original_colors = initial.ColorOffsets();
+  std::vector<uint32_t> class_size(n, 1);
+  for (const auto& cls : result.equivalence.nontrivial_classes) {
+    class_size[cls.front()] = static_cast<uint32_t>(cls.size());
+  }
+  std::vector<std::pair<uint64_t, VertexId>> keyed;
+  keyed.reserve(ns);
+  for (VertexId i = 0; i < ns; ++i) {
+    const VertexId rep = result.representatives[i];
+    keyed.emplace_back((static_cast<uint64_t>(original_colors[rep]) << 32) |
+                           class_size[rep],
+                       i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<uint32_t> quotient_labels(ns, 0);
+  uint32_t label = 0;
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    if (i > 0 && keyed[i].first != keyed[i - 1].first) ++label;
+    quotient_labels[keyed[i].second] = label;
+  }
+
+  result.inner = DviclCanonicalLabeling(
+      result.simplified_graph, Coloring::FromLabels(quotient_labels), options);
+  result.completed = result.inner.completed;
+  if (!result.completed) return result;
+
+  // Expand the quotient labeling: classes ordered by their representative's
+  // canonical position; members take consecutive positions. Member order
+  // within a class is irrelevant for the certificate because twins have
+  // identical neighborhoods and colors.
+  std::vector<VertexId> class_order(ns);
+  for (VertexId i = 0; i < ns; ++i) {
+    class_order[result.inner.canonical_labeling(i)] = i;
+  }
+  std::vector<VertexId> image(n, 0);
+  VertexId position = 0;
+  for (VertexId slot = 0; slot < ns; ++slot) {
+    const VertexId rep = result.representatives[class_order[slot]];
+    if (class_size[rep] == 1) {
+      image[rep] = position++;
+    } else {
+      // Locate the class (nontrivial_classes is sorted by front()).
+      auto it = std::lower_bound(
+          result.equivalence.nontrivial_classes.begin(),
+          result.equivalence.nontrivial_classes.end(), rep,
+          [](const std::vector<VertexId>& cls, VertexId x) {
+            return cls.front() < x;
+          });
+      for (VertexId member : *it) image[member] = position++;
+    }
+  }
+  result.canonical_labeling = Permutation(std::move(image));
+  result.certificate = MakeCertificate(
+      graph, original_colors, result.canonical_labeling.ImageArray());
+
+  // Generators on the original graph: (a) adjacent twin transpositions,
+  // (b) quotient generators lifted class-to-class.
+  for (const auto& cls : result.equivalence.nontrivial_classes) {
+    for (size_t i = 0; i + 1 < cls.size(); ++i) {
+      SparseAut swap;
+      swap.moves = {{cls[i], cls[i + 1]}, {cls[i + 1], cls[i]}};
+      result.generators.push_back(std::move(swap));
+    }
+  }
+  auto members_of = [&](VertexId rep) -> std::vector<VertexId> {
+    if (class_size[rep] == 1) return {rep};
+    auto it = std::lower_bound(
+        result.equivalence.nontrivial_classes.begin(),
+        result.equivalence.nontrivial_classes.end(), rep,
+        [](const std::vector<VertexId>& cls, VertexId x) {
+          return cls.front() < x;
+        });
+    return *it;
+  };
+  for (const SparseAut& gen : result.inner.generators) {
+    SparseAut lifted;
+    for (const auto& [local_v, local_img] : gen.moves) {
+      const std::vector<VertexId> from =
+          members_of(result.representatives[local_v]);
+      const std::vector<VertexId> to =
+          members_of(result.representatives[local_img]);
+      // Class sizes match because quotient colors encode them and DviCL
+      // generators preserve colors.
+      for (size_t i = 0; i < from.size(); ++i) {
+        lifted.moves.emplace_back(from[i], to[i]);
+      }
+    }
+    std::sort(lifted.moves.begin(), lifted.moves.end());
+    if (!lifted.IsIdentity()) result.generators.push_back(std::move(lifted));
+  }
+  return result;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,54 @@
+#ifndef DVICL_DVICL_SIMPLIFY_H_
+#define DVICL_DVICL_SIMPLIFY_H_
+
+#include <vector>
+
+#include "dvicl/dvicl.h"
+#include "graph/graph.h"
+#include "refine/coloring.h"
+
+namespace dvicl {
+
+// Structural equivalence (paper §2/§6.1): u and v are structurally
+// equivalent iff N(u) = N(v). Equal neighbor sets force u, v non-adjacent
+// (an edge would require a self-loop), so each class is an independent set
+// of mutually automorphic "twins", and G is exactly the independent-set
+// blow-up of its quotient on class representatives.
+struct StructuralEquivalence {
+  // class_id[v] = minimum vertex of v's class (so v is a representative
+  // iff class_id[v] == v).
+  std::vector<VertexId> class_id;
+  // Classes with >= 2 members, each sorted ascending.
+  std::vector<std::vector<VertexId>> nontrivial_classes;
+};
+
+StructuralEquivalence FindStructuralEquivalence(const Graph& graph);
+
+// Result of the §6.1-optimized pipeline. The canonical labeling,
+// certificate and Aut generators refer to the ORIGINAL graph; the inner
+// DviCL result (and its AutoTree) refers to the simplified quotient graph,
+// whose vertex i corresponds to representatives()[i].
+struct SimplifiedDviclResult {
+  bool completed = false;
+  Permutation canonical_labeling;   // on the original graph
+  Certificate certificate;          // of the original colored graph
+  std::vector<SparseAut> generators;  // on the original graph
+  StructuralEquivalence equivalence;
+  std::vector<VertexId> representatives;  // sorted class representatives
+  Graph simplified_graph;                 // quotient on representatives
+  DviclResult inner;                      // DviCL on the quotient
+};
+
+// DviCL optimized by structural equivalence (paper §6.1): collapse each
+// twin class to one representative, label the quotient (whose initial
+// colors encode both the original color and the class size), and expand.
+// Produces a valid canonical labeling of (graph, initial) — generally a
+// different one than plain DviclCanonicalLabeling, as the paper notes
+// ("different implementations can generate different canonical labeling").
+SimplifiedDviclResult DviclWithSimplification(const Graph& graph,
+                                              const Coloring& initial,
+                                              const DviclOptions& options = {});
+
+}  // namespace dvicl
+
+#endif  // DVICL_DVICL_SIMPLIFY_H_

@@ -1,0 +1,40 @@
+#include "graph/certificate.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dvicl {
+
+Certificate MakeCertificate(const Graph& graph,
+                            std::span<const uint32_t> colors,
+                            std::span<const VertexId> labels) {
+  const VertexId n = graph.NumVertices();
+  assert(labels.size() == n);
+  assert(colors.empty() || colors.size() == n);
+
+  Certificate certificate;
+  certificate.reserve(2 + n + graph.NumEdges());
+  certificate.push_back(n);
+  certificate.push_back(graph.NumEdges());
+
+  // Colors listed in canonical-label order.
+  certificate.resize(2 + n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    assert(labels[v] < n);
+    certificate[2 + labels[v]] = colors.empty() ? 0 : colors[v];
+  }
+
+  std::vector<uint64_t> packed;
+  packed.reserve(graph.NumEdges());
+  for (const Edge& e : graph.Edges()) {
+    uint64_t a = labels[e.first];
+    uint64_t b = labels[e.second];
+    if (a > b) std::swap(a, b);
+    packed.push_back((a << 32) | b);
+  }
+  std::sort(packed.begin(), packed.end());
+  certificate.insert(certificate.end(), packed.begin(), packed.end());
+  return certificate;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,32 @@
+#ifndef DVICL_GRAPH_CERTIFICATE_H_
+#define DVICL_GRAPH_CERTIFICATE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// A certificate is the totally ordered representation of a relabeled colored
+// graph (G, pi)^gamma (paper §2: "G can be represented by its sorted edge
+// list"). Two colored graphs are isomorphic iff the certificates produced by
+// a canonical-labeling algorithm are equal, so lexicographic comparison of
+// certificates is the isomorphism test.
+//
+// Layout: [n, m, color of label 0, ..., color of label n-1,
+//          packed sorted relabeled edges...], where an edge {u, v} is packed
+// as (min << 32) | max using the vertices' canonical labels.
+using Certificate = std::vector<uint64_t>;
+
+// Builds the certificate of `graph` whose vertex v carries color `colors[v]`
+// and canonical label `labels[v]`. `labels` must be a bijection onto
+// 0..n-1; `colors` may be empty, meaning the unit coloring.
+Certificate MakeCertificate(const Graph& graph,
+                            std::span<const uint32_t> colors,
+                            std::span<const VertexId> labels);
+
+}  // namespace dvicl
+
+#endif  // DVICL_GRAPH_CERTIFICATE_H_

@@ -1,0 +1,74 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dvicl {
+
+Graph Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
+  // Normalize: orient, drop self-loops, dedup.
+  size_t write = 0;
+  for (Edge& e : edges) {
+    if (e.first == e.second) continue;
+    assert(e.first < num_vertices && e.second < num_vertices);
+    if (e.first > e.second) std::swap(e.first, e.second);
+    edges[write++] = e;
+  }
+  edges.resize(write);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.edges_ = std::move(edges);
+  g.offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    ++g.offsets_[e.first + 1];
+    ++g.offsets_[e.second + 1];
+  }
+  for (size_t v = 0; v < num_vertices; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.adjacency_.resize(2 * g.edges_.size());
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : g.edges_) {
+    g.adjacency_[cursor[e.first]++] = e.second;
+    g.adjacency_[cursor[e.second]++] = e.first;
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  // Search the smaller adjacency list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto neighbors = Neighbors(u);
+  return std::binary_search(neighbors.begin(), neighbors.end(), v);
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    max_degree = std::max(max_degree, Degree(v));
+  }
+  return max_degree;
+}
+
+double Graph::AverageDegree() const {
+  if (num_vertices_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(NumEdges()) /
+         static_cast<double>(num_vertices_);
+}
+
+Graph Graph::RelabeledBy(std::span<const VertexId> image) const {
+  assert(image.size() == num_vertices_);
+  std::vector<Edge> relabeled;
+  relabeled.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    relabeled.emplace_back(image[e.first], image[e.second]);
+  }
+  return FromEdges(num_vertices_, std::move(relabeled));
+}
+
+}  // namespace dvicl

@@ -1,0 +1,81 @@
+#ifndef DVICL_GRAPH_GRAPH_H_
+#define DVICL_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dvicl {
+
+// Vertices are dense integers 0..n-1 (paper §2).
+using VertexId = uint32_t;
+
+// An undirected edge; canonical form has first < second.
+using Edge = std::pair<VertexId, VertexId>;
+
+// Immutable undirected simple graph in CSR form (paper §2: no self-loops,
+// no multi-edges). Construction normalizes arbitrary edge input: self-loops
+// are dropped, duplicates collapsed, endpoints ordered.
+//
+// The CSR arrays give O(1) degree and contiguous sorted neighbor ranges; the
+// canonical edge list (first < second, lexicographically sorted) is kept as
+// well because certificates, divide steps and I/O all consume edges in that
+// form.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds a graph on `num_vertices` vertices. Edges may appear in any
+  // orientation and order and may contain duplicates or self-loops; the
+  // result is the normalized simple graph. Endpoints must be < num_vertices.
+  static Graph FromEdges(VertexId num_vertices, std::vector<Edge> edges);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  VertexId NumVertices() const { return num_vertices_; }
+  uint64_t NumEdges() const { return edges_.size(); }
+
+  // Sorted neighbors of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  uint32_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  // O(log degree) membership test.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  uint32_t MaxDegree() const;
+  double AverageDegree() const;
+
+  // Canonical edge list: every edge once with first < second, sorted.
+  const std::vector<Edge>& Edges() const { return edges_; }
+
+  // The graph G^gamma: vertex v of this graph becomes image[v]. `image`
+  // must be a permutation of 0..n-1.
+  Graph RelabeledBy(std::span<const VertexId> image) const;
+
+  // Structural equality: same vertex count and same edge set. Note this is
+  // equality of labeled graphs, not isomorphism.
+  friend bool operator==(const Graph& lhs, const Graph& rhs) {
+    return lhs.num_vertices_ == rhs.num_vertices_ && lhs.edges_ == rhs.edges_;
+  }
+  friend bool operator!=(const Graph& lhs, const Graph& rhs) {
+    return !(lhs == rhs);
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<uint64_t> offsets_;   // size n+1
+  std::vector<VertexId> adjacency_; // size 2m, sorted per vertex
+  std::vector<Edge> edges_;         // size m, canonical
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_GRAPH_GRAPH_H_

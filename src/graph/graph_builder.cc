@@ -1,0 +1,4 @@
+#include "graph/graph_builder.h"
+
+// GraphBuilder is header-only; this translation unit exists to verify the
+// header is self-contained.

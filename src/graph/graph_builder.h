@@ -1,0 +1,49 @@
+#ifndef DVICL_GRAPH_GRAPH_BUILDER_H_
+#define DVICL_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Incremental edge accumulator for generators and loaders. Tracks the
+// largest endpoint seen so Build() can size the graph automatically, and
+// counts the self-loops / duplicates that Graph::FromEdges will drop so
+// loaders can report how much input was cleaned (the paper's footnote 1:
+// "we remove directions ... and delete all self-loops and multi-edges").
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  // Reserves capacity for `num_edges` pending edges.
+  void Reserve(size_t num_edges) { edges_.reserve(num_edges); }
+
+  // Declares that the graph has at least `num_vertices` vertices (isolated
+  // vertices are legal and matter for colorings).
+  void EnsureVertex(VertexId v) {
+    if (v >= num_vertices_) num_vertices_ = v + 1;
+  }
+
+  void AddEdge(VertexId u, VertexId v) {
+    EnsureVertex(u);
+    EnsureVertex(v);
+    edges_.emplace_back(u, v);
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  // Consumes the builder and produces the normalized graph.
+  Graph Build() && {
+    return Graph::FromEdges(num_vertices_, std::move(edges_));
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_GRAPH_GRAPH_BUILDER_H_

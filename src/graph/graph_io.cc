@@ -1,0 +1,259 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace dvicl {
+
+namespace {
+
+bool ParseVertexId(const std::string& token, VertexId* out) {
+  if (token.empty()) return false;
+  uint64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 0xfffffffeull) return false;
+  }
+  *out = static_cast<VertexId>(value);
+  return true;
+}
+
+}  // namespace
+
+Result<Graph> ReadEdgeList(std::istream& in) {
+  GraphBuilder builder;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream tokens(line);
+    std::string a;
+    std::string b;
+    if (!(tokens >> a >> b)) {
+      return Status::InvalidArgument("edge list line " +
+                                     std::to_string(line_number) +
+                                     ": expected two vertex ids");
+    }
+    VertexId u = 0;
+    VertexId v = 0;
+    if (!ParseVertexId(a, &u) || !ParseVertexId(b, &v)) {
+      return Status::InvalidArgument("edge list line " +
+                                     std::to_string(line_number) +
+                                     ": malformed vertex id");
+    }
+    builder.AddEdge(u, v);
+  }
+  if (in.bad()) return Status::IOError("stream error while reading edge list");
+  return std::move(builder).Build();
+}
+
+Result<Graph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadEdgeList(in);
+}
+
+Status WriteEdgeList(const Graph& graph, std::ostream& out) {
+  out << "# vertices " << graph.NumVertices() << " edges " << graph.NumEdges()
+      << "\n";
+  for (const Edge& e : graph.Edges()) {
+    out << e.first << ' ' << e.second << '\n';
+  }
+  if (!out) return Status::IOError("stream error while writing edge list");
+  return Status::Ok();
+}
+
+Status WriteEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return WriteEdgeList(graph, out);
+}
+
+Result<Graph> ReadDimacs(std::istream& in, std::vector<uint32_t>* colors) {
+  GraphBuilder builder;
+  std::string line;
+  size_t line_number = 0;
+  bool saw_problem = false;
+  VertexId declared_vertices = 0;
+  std::vector<std::pair<VertexId, uint32_t>> color_lines;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream tokens(line);
+    std::string kind;
+    tokens >> kind;
+    if (kind == "p") {
+      std::string format;
+      uint64_t n = 0;
+      uint64_t m = 0;
+      if (!(tokens >> format >> n >> m) || format != "edge") {
+        return Status::InvalidArgument(
+            "DIMACS line " + std::to_string(line_number) +
+            ": expected 'p edge <n> <m>'");
+      }
+      saw_problem = true;
+      declared_vertices = static_cast<VertexId>(n);
+      if (n > 0) builder.EnsureVertex(static_cast<VertexId>(n - 1));
+    } else if (kind == "e") {
+      VertexId u = 0;
+      VertexId v = 0;
+      if (!(tokens >> u >> v) || u == 0 || v == 0) {
+        return Status::InvalidArgument(
+            "DIMACS line " + std::to_string(line_number) +
+            ": expected 'e <u> <v>' with 1-based ids");
+      }
+      builder.AddEdge(u - 1, v - 1);
+    } else if (kind == "n") {
+      VertexId v = 0;
+      uint32_t color = 0;
+      if (!(tokens >> v >> color) || v == 0) {
+        return Status::InvalidArgument(
+            "DIMACS line " + std::to_string(line_number) +
+            ": expected 'n <v> <color>'");
+      }
+      color_lines.emplace_back(v - 1, color);
+    } else {
+      return Status::InvalidArgument("DIMACS line " +
+                                     std::to_string(line_number) +
+                                     ": unknown record '" + kind + "'");
+    }
+  }
+  if (in.bad()) return Status::IOError("stream error while reading DIMACS");
+  if (!saw_problem) {
+    return Status::InvalidArgument("DIMACS input missing 'p edge' line");
+  }
+  if (builder.num_vertices() > declared_vertices) {
+    return Status::InvalidArgument(
+        "DIMACS edge endpoint exceeds declared vertex count");
+  }
+  if (colors != nullptr) {
+    colors->assign(declared_vertices, 0);
+    for (const auto& [v, color] : color_lines) {
+      if (v >= declared_vertices) {
+        return Status::InvalidArgument("DIMACS color line out of range");
+      }
+      (*colors)[v] = color;
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> ReadDimacsFile(const std::string& path,
+                             std::vector<uint32_t>* colors) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadDimacs(in, colors);
+}
+
+Result<Graph> ParseGraph6(const std::string& input) {
+  std::string line = input;
+  const std::string header = ">>graph6<<";
+  if (line.rfind(header, 0) == 0) line = line.substr(header.size());
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  if (line.empty()) return Status::InvalidArgument("empty graph6 line");
+
+  size_t pos = 0;
+  auto next_byte = [&](uint32_t* out_value) {
+    if (pos >= line.size()) return false;
+    const unsigned char c = static_cast<unsigned char>(line[pos++]);
+    if (c < 63 || c > 126) return false;
+    *out_value = c - 63;
+    return true;
+  };
+
+  // Size header: one byte for n <= 62, '~' + three bytes for n < 2^18.
+  uint64_t n = 0;
+  uint32_t b = 0;
+  if (!next_byte(&b)) return Status::InvalidArgument("bad graph6 size byte");
+  if (b < 63) {
+    n = b;
+  } else {
+    // b == 63 is the escape character '~'.
+    uint32_t b1 = 0;
+    uint32_t b2 = 0;
+    uint32_t b3 = 0;
+    if (!next_byte(&b1) || !next_byte(&b2) || !next_byte(&b3)) {
+      return Status::InvalidArgument("bad graph6 extended size");
+    }
+    if (b1 == 63) {
+      return Status::InvalidArgument("graph6 graphs with n >= 2^18 are not "
+                                     "supported");
+    }
+    n = (static_cast<uint64_t>(b1) << 12) | (b2 << 6) | b3;
+  }
+
+  const uint64_t bits = n * (n - 1) / 2;
+  std::vector<Edge> edges;
+  uint64_t bit_index = 0;
+  uint32_t current = 0;
+  int remaining = 0;
+  for (VertexId j = 1; j < n; ++j) {
+    for (VertexId i = 0; i < j; ++i) {
+      if (remaining == 0) {
+        if (!next_byte(&current)) {
+          return Status::InvalidArgument("graph6 line too short");
+        }
+        remaining = 6;
+      }
+      const bool set = (current & (1u << (remaining - 1))) != 0;
+      --remaining;
+      ++bit_index;
+      if (set) edges.emplace_back(i, j);
+    }
+  }
+  (void)bits;
+  if (pos != line.size()) {
+    return Status::InvalidArgument("trailing bytes in graph6 line");
+  }
+  return Graph::FromEdges(static_cast<VertexId>(n), std::move(edges));
+}
+
+std::string FormatGraph6(const Graph& graph) {
+  const uint64_t n = graph.NumVertices();
+  std::string out;
+  if (n <= 62) {
+    out.push_back(static_cast<char>(n + 63));
+  } else {
+    out.push_back('~');
+    out.push_back(static_cast<char>(((n >> 12) & 63) + 63));
+    out.push_back(static_cast<char>(((n >> 6) & 63) + 63));
+    out.push_back(static_cast<char>((n & 63) + 63));
+  }
+  uint32_t current = 0;
+  int filled = 0;
+  for (VertexId j = 1; j < n; ++j) {
+    for (VertexId i = 0; i < j; ++i) {
+      current = (current << 1) | (graph.HasEdge(i, j) ? 1u : 0u);
+      if (++filled == 6) {
+        out.push_back(static_cast<char>(current + 63));
+        current = 0;
+        filled = 0;
+      }
+    }
+  }
+  if (filled != 0) {
+    current <<= (6 - filled);
+    out.push_back(static_cast<char>(current + 63));
+  }
+  return out;
+}
+
+Status WriteDimacs(const Graph& graph, std::ostream& out) {
+  out << "p edge " << graph.NumVertices() << ' ' << graph.NumEdges() << '\n';
+  for (const Edge& e : graph.Edges()) {
+    out << "e " << (e.first + 1) << ' ' << (e.second + 1) << '\n';
+  }
+  if (!out) return Status::IOError("stream error while writing DIMACS");
+  return Status::Ok();
+}
+
+}  // namespace dvicl

@@ -1,0 +1,42 @@
+#ifndef DVICL_GRAPH_GRAPH_IO_H_
+#define DVICL_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Plain edge-list format, the format SNAP distributes its graphs in:
+// one "u v" pair per line; lines starting with '#' or '%' are comments;
+// blank lines are ignored. Vertex ids must be non-negative integers.
+Result<Graph> ReadEdgeList(std::istream& in);
+Result<Graph> ReadEdgeListFile(const std::string& path);
+Status WriteEdgeList(const Graph& graph, std::ostream& out);
+Status WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+// DIMACS graph format, the format the bliss benchmark collection uses:
+//   c <comment>
+//   p edge <n> <m>
+//   e <u> <v>        (1-based vertex ids)
+// Vertex colors ("n <v> <color>" lines) are parsed into *colors when a
+// non-null pointer is given, defaulting to color 0.
+Result<Graph> ReadDimacs(std::istream& in,
+                         std::vector<uint32_t>* colors = nullptr);
+Result<Graph> ReadDimacsFile(const std::string& path,
+                             std::vector<uint32_t>* colors = nullptr);
+Status WriteDimacs(const Graph& graph, std::ostream& out);
+
+// graph6 format (the nauty ecosystem's compact one-line encoding of an
+// undirected simple graph): N(n) header followed by the upper triangle of
+// the adjacency matrix packed 6 bits per printable character. Supports
+// n < 2^18 (the 1- and 4-byte size headers). An optional ">>graph6<<"
+// prefix is accepted.
+Result<Graph> ParseGraph6(const std::string& line);
+std::string FormatGraph6(const Graph& graph);
+
+}  // namespace dvicl
+
+#endif  // DVICL_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,47 @@
+#include "ir/invariant.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dvicl {
+
+namespace {
+
+inline uint64_t MixHash(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+uint64_t ComputeNodeInvariant(const Graph& graph, const Coloring& pi,
+                              InvariantRule rule) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (VertexId start : pi.CellStarts()) {
+    hash = MixHash(hash, start);
+    hash = MixHash(hash, pi.CellSizeAt(start));
+  }
+  if (rule == InvariantRule::kShapeAndAdjacency) {
+    // For every vertex, hash (own color, multiset of neighbor colors); the
+    // per-vertex hashes are combined commutatively within a cell so the
+    // result does not depend on vertex order.
+    for (VertexId start : pi.CellStarts()) {
+      uint64_t cell_hash = 0;
+      for (VertexId v : pi.CellVerticesAt(start)) {
+        std::vector<uint32_t> neighbor_colors;
+        neighbor_colors.reserve(graph.Degree(v));
+        for (VertexId u : graph.Neighbors(v)) {
+          neighbor_colors.push_back(pi.ColorOf(u));
+        }
+        std::sort(neighbor_colors.begin(), neighbor_colors.end());
+        uint64_t vertex_hash = 0x100000001b3ull;
+        for (uint32_t c : neighbor_colors) vertex_hash = MixHash(vertex_hash, c);
+        cell_hash += vertex_hash;  // commutative combine within the cell
+      }
+      hash = MixHash(hash, cell_hash);
+    }
+  }
+  return hash;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,33 @@
+#ifndef DVICL_IR_INVARIANT_H_
+#define DVICL_IR_INVARIANT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "refine/coloring.h"
+
+namespace dvicl {
+
+// Node invariants phi (paper §4): an isomorphism-invariant summary of a
+// search-tree node, used for the pruning operations P_A / P_B. Both
+// variants hash only data that is invariant under vertex relabeling (cell
+// start indices, cell sizes, and cell-to-cell adjacency statistics), so
+// phi(G^gamma, pi^gamma, nu^gamma) = phi(G, pi, nu) holds by construction.
+//
+// A hash cannot satisfy the "certificate on leaves" property exactly, so —
+// as real implementations do — the search compares full certificates at
+// leaves and uses the invariant only for subtree ordering/pruning.
+enum class InvariantRule {
+  // Partition shape only: the sequence of (cell start, cell size).
+  kShape,
+  // Shape plus per-vertex neighborhood color multisets — strictly stronger,
+  // costs O(m) per node (traces-flavored).
+  kShapeAndAdjacency,
+};
+
+uint64_t ComputeNodeInvariant(const Graph& graph, const Coloring& pi,
+                              InvariantRule rule);
+
+}  // namespace dvicl
+
+#endif  // DVICL_IR_INVARIANT_H_

@@ -1,0 +1,336 @@
+#include "ir/ir_canonical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "refine/refiner.h"
+
+namespace dvicl {
+
+namespace {
+
+struct PresetConfig {
+  TargetCellRule target_cell;
+  InvariantRule invariant;
+};
+
+PresetConfig ConfigFor(IrPreset preset) {
+  switch (preset) {
+    case IrPreset::kNautyLike:
+      return {TargetCellRule::kFirstSmallest, InvariantRule::kShape};
+    case IrPreset::kBlissLike:
+      return {TargetCellRule::kFirst, InvariantRule::kShape};
+    case IrPreset::kTracesLike:
+      return {TargetCellRule::kLargest, InvariantRule::kShapeAndAdjacency};
+  }
+  return {TargetCellRule::kFirst, InvariantRule::kShape};
+}
+
+// ~3.2 GB of live colorings (4 arrays of 4-byte entries per level).
+constexpr uint64_t kMaxLiveColoringWords = 200ull * 1000 * 1000;
+
+// Sentinel: no backjump requested.
+constexpr size_t kNoBackjump = static_cast<size_t>(-1);
+
+class IrSearch {
+ public:
+  IrSearch(const Graph& graph, const IrOptions& options)
+      : graph_(graph), options_(options), config_(ConfigFor(options.preset)) {}
+
+  IrResult Run(const Coloring& initial) {
+    Coloring pi = initial;
+    RefineToEquitable(graph_, &pi);
+    colors_ = pi.ColorOffsets();
+
+    Explore(pi, /*depth=*/0, /*cmp_with_best=*/0, /*on_ref_path=*/true);
+
+    IrResult result;
+    result.completed = !aborted_;
+    result.canonical_labeling = std::move(best_labeling_);
+    result.certificate = std::move(best_cert_);
+    result.automorphism_generators = std::move(generators_);
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  void AddAutomorphism(Permutation gamma) {
+    if (gamma.IsIdentity()) return;
+    assert(IsColorPreservingAutomorphism(graph_, colors_, gamma));
+    ++stats_.automorphisms_found;
+    generators_.push_back(std::move(gamma));
+  }
+
+  bool BudgetExceeded() {
+    if (options_.max_tree_nodes != 0 &&
+        stats_.tree_nodes > options_.max_tree_nodes) {
+      return true;
+    }
+    if (options_.time_limit_seconds > 0.0 && (stats_.tree_nodes & 0xff) == 0 &&
+        stopwatch_.ElapsedSeconds() > options_.time_limit_seconds) {
+      return true;
+    }
+    return false;
+  }
+
+  // Processes a discrete coloring. Returns the backjump depth if a NEW
+  // automorphism against the reference leaf was found (P_C: the whole
+  // divergent branch is the gamma-image of the already-explored reference
+  // branch), else kNoBackjump.
+  size_t HandleLeaf(const Coloring& pi, int cmp_with_best) {
+    ++stats_.leaves;
+    Permutation gamma = pi.ToPermutation();
+    Certificate cert = MakeCertificate(graph_, colors_, gamma.ImageArray());
+
+    if (!have_ref_) {
+      // Leftmost leaf becomes both the reference (for automorphism
+      // discovery) and the initial best (canonical candidate).
+      have_ref_ = true;
+      ref_path_ = current_path_;
+      ref_verts_ = current_verts_;
+      ref_cert_ = cert;
+      ref_labeling_ = gamma;
+      best_path_ = current_path_;
+      best_cert_ = std::move(cert);
+      best_labeling_ = std::move(gamma);
+      return kNoBackjump;
+    }
+
+    // Automorphism discovery: equal certificates mean the two labelings
+    // produce the identical labeled colored graph, so
+    // gamma . ref^{-1} in Aut(G, pi).
+    size_t backjump = kNoBackjump;
+    if (cert == ref_cert_) {
+      AddAutomorphism(gamma.Then(ref_labeling_.Inverse()));
+      // Backjump (McKay): return to the deepest node shared with the
+      // reference path; the rest of the divergent branch is an automorphic
+      // image of the fully-explored reference branch.
+      const size_t limit =
+          std::min(current_verts_.size(), ref_verts_.size());
+      size_t diverge = 0;
+      while (diverge < limit &&
+             current_verts_[diverge] == ref_verts_[diverge]) {
+        ++diverge;
+      }
+      if (diverge < current_verts_.size()) backjump = diverge;
+    } else if (cert == best_cert_) {
+      AddAutomorphism(gamma.Then(best_labeling_.Inverse()));
+    }
+
+    // Canonical candidate update: maximize (invariant path, certificate).
+    bool take = false;
+    if (cmp_with_best > 0) {
+      take = true;
+    } else if (cmp_with_best == 0) {
+      if (current_path_.size() != best_path_.size()) {
+        take = current_path_.size() > best_path_.size();
+      } else {
+        take = cert > best_cert_;
+      }
+    }
+    if (take) {
+      best_path_ = current_path_;
+      best_cert_ = std::move(cert);
+      best_labeling_ = std::move(gamma);
+    }
+    return backjump;
+  }
+
+  // True iff this node lies literally on the reference path (same
+  // individualized vertices). During the initial leftmost descent the
+  // reference is still being built, and the node trivially qualifies.
+  bool OnLiteralRefPath(size_t depth) const {
+    if (!have_ref_) return true;
+    if (depth > ref_verts_.size()) return false;
+    for (size_t i = 0; i < depth; ++i) {
+      if (current_verts_[i] != ref_verts_[i]) return false;
+    }
+    return true;
+  }
+
+  // Orbit partition of the discovered group elements that fix the current
+  // path prefix pointwise (the P_C stabilizer). Rebuilt lazily per node as
+  // new generators arrive.
+  class PrefixOrbits {
+   public:
+    PrefixOrbits(const IrSearch& search, size_t depth)
+        : search_(search), depth_(depth) {}
+
+    VertexId Find(VertexId v) {
+      Refresh();
+      return FindRoot(v);
+    }
+
+   private:
+    void Refresh() {
+      if (parent_.empty()) {
+        parent_.resize(search_.graph_.NumVertices());
+        std::iota(parent_.begin(), parent_.end(), 0);
+      }
+      for (; seen_ < search_.generators_.size(); ++seen_) {
+        const Permutation& g = search_.generators_[seen_];
+        bool fixes_prefix = true;
+        for (size_t i = 0; i < depth_ && fixes_prefix; ++i) {
+          fixes_prefix = g(search_.current_verts_[i]) ==
+                         search_.current_verts_[i];
+        }
+        if (!fixes_prefix) continue;
+        for (VertexId v = 0; v < g.Size(); ++v) {
+          if (g(v) == v) continue;
+          VertexId a = FindRoot(v);
+          VertexId b = FindRoot(g(v));
+          if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+        }
+      }
+    }
+
+    VertexId FindRoot(VertexId v) {
+      while (parent_[v] != v) {
+        parent_[v] = parent_[parent_[v]];
+        v = parent_[v];
+      }
+      return v;
+    }
+
+    const IrSearch& search_;
+    const size_t depth_;
+    std::vector<VertexId> parent_;
+    size_t seen_ = 0;
+  };
+
+  // Returns a backjump depth (< depth) to unwind to, or kNoBackjump.
+  size_t Explore(const Coloring& pi, size_t depth, int cmp_with_best,
+                 bool on_ref_path) {
+    if (aborted_) return kNoBackjump;
+    ++stats_.tree_nodes;
+    if (BudgetExceeded()) {
+      aborted_ = true;
+      return kNoBackjump;
+    }
+
+    if (pi.IsDiscrete()) return HandleLeaf(pi, cmp_with_best);
+
+    // Resource guard: the search keeps one coloring copy per recursion
+    // level, so depth * n words of live memory. Abort (reporting an
+    // incomplete run, like a timeout) rather than exhaust memory on
+    // adversarially deep trees over large graphs.
+    if (static_cast<uint64_t>(depth + 1) * graph_.NumVertices() >
+        kMaxLiveColoringWords) {
+      aborted_ = true;
+      return kNoBackjump;
+    }
+
+    const VertexId cell_start = SelectTargetCell(pi, config_.target_cell);
+    assert(cell_start != kNoCell);
+    auto cell = pi.CellVerticesAt(cell_start);
+    std::vector<VertexId> candidates(cell.begin(), cell.end());
+    std::sort(candidates.begin(), candidates.end());
+
+    // P_C on reference-path nodes: individualize one representative per
+    // orbit of the prefix-stabilizing subgroup discovered so far.
+    const bool prune_by_orbits = on_ref_path && OnLiteralRefPath(depth);
+    PrefixOrbits orbits(*this, depth);
+    std::vector<VertexId> processed;
+
+    for (VertexId v : candidates) {
+      if (aborted_) return kNoBackjump;
+      if (prune_by_orbits && have_ref_) {
+        bool redundant = false;
+        const VertexId root_v = orbits.Find(v);
+        for (VertexId u : processed) {
+          if (orbits.Find(u) == root_v) {
+            redundant = true;
+            break;
+          }
+        }
+        if (redundant) continue;
+        processed.push_back(v);
+      }
+
+      Coloring child = pi;
+      const VertexId singleton_start = child.ColorOf(v);
+      const VertexId remainder_start = child.Individualize(v);
+      const VertexId seeds[2] = {singleton_start, remainder_start};
+      RefineFrom(graph_, &child,
+                 std::span<const VertexId>(
+                     seeds, remainder_start == singleton_start ? 1 : 2));
+
+      const uint64_t inv =
+          ComputeNodeInvariant(graph_, child, config_.invariant);
+
+      // Comparison of the child's invariant prefix against the best path.
+      int child_cmp = cmp_with_best;
+      if (have_ref_ && cmp_with_best == 0) {
+        if (depth >= best_path_.size()) {
+          child_cmp = 1;
+        } else if (inv != best_path_[depth]) {
+          child_cmp = inv > best_path_[depth] ? 1 : -1;
+        }
+      }
+      const bool child_on_ref =
+          on_ref_path &&
+          (!have_ref_ || (depth < ref_path_.size() && inv == ref_path_[depth]));
+
+      // P_A + P_B: a subtree that can neither contain the canonical leaf
+      // (prefix already smaller than the best) nor an automorphism with the
+      // reference leaf (off the reference path) is fruitless. In
+      // automorphisms-only mode the canonical side is moot, so everything
+      // off the reference path is pruned.
+      if (have_ref_ && !child_on_ref &&
+          (options_.automorphisms_only || child_cmp < 0)) {
+        continue;
+      }
+
+      current_path_.push_back(inv);
+      current_verts_.push_back(v);
+      const size_t backjump =
+          Explore(child, depth + 1, child_cmp, child_on_ref);
+      current_path_.pop_back();
+      current_verts_.pop_back();
+
+      if (backjump != kNoBackjump) {
+        if (backjump < depth) return backjump;  // unwind further
+        // backjump == depth: this is the divergence node; continue with
+        // the next candidate.
+      }
+    }
+    return kNoBackjump;
+  }
+
+  const Graph& graph_;
+  const IrOptions options_;
+  const PresetConfig config_;
+  Stopwatch stopwatch_;
+
+  std::vector<uint32_t> colors_;
+  std::vector<Permutation> generators_;
+
+  std::vector<uint64_t> current_path_;
+  std::vector<VertexId> current_verts_;
+
+  bool have_ref_ = false;
+  std::vector<uint64_t> ref_path_;
+  std::vector<VertexId> ref_verts_;
+  Certificate ref_cert_;
+  Permutation ref_labeling_;
+
+  std::vector<uint64_t> best_path_;
+  Certificate best_cert_;
+  Permutation best_labeling_;
+
+  bool aborted_ = false;
+  IrStats stats_;
+};
+
+}  // namespace
+
+IrResult IrCanonicalLabeling(const Graph& graph, const Coloring& initial,
+                             const IrOptions& options) {
+  assert(initial.NumVertices() == graph.NumVertices());
+  IrSearch search(graph, options);
+  return search.Run(initial);
+}
+
+}  // namespace dvicl

@@ -1,0 +1,76 @@
+#ifndef DVICL_IR_IR_CANONICAL_H_
+#define DVICL_IR_IR_CANONICAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/certificate.h"
+#include "graph/graph.h"
+#include "ir/invariant.h"
+#include "ir/target_cell.h"
+#include "perm/permutation.h"
+#include "refine/coloring.h"
+
+namespace dvicl {
+
+// Individualization-refinement canonical labeling (paper §4): a backtrack
+// search tree over colorings, where each edge individualizes one vertex of
+// the target cell and re-refines. The canonical labeling is the extreme
+// leaf under (invariant path, certificate) order; automorphisms are
+// discovered between leaves with equal certificates, with the three pruning
+// operations P_A (not on the reference path), P_B (cannot contain the
+// canonical leaf) and P_C (root-level orbit pruning by discovered
+// automorphisms).
+//
+// The three presets mirror the baselines the paper compares DviCL against;
+// the real tools are not available offline, so these presets reproduce each
+// tool's signature design choice (see DESIGN.md §4).
+enum class IrPreset {
+  kNautyLike,   // first-smallest target cell, shape invariant
+  kBlissLike,   // first target cell, shape invariant
+  kTracesLike,  // largest target cell, shape+adjacency invariant
+};
+
+struct IrOptions {
+  IrPreset preset = IrPreset::kBlissLike;
+  // saucy-like mode (paper §3: "saucy only finds graph symmetries"): skip
+  // the canonical-labeling part of the search and only discover the
+  // automorphism generating set. The search then explores just the
+  // reference path, its sibling branches down to their first leaves, and
+  // nothing else — typically far cheaper. In this mode IrResult's
+  // canonical_labeling/certificate are the reference leaf's, which is a
+  // valid labeling but NOT canonical (do not compare certificates).
+  bool automorphisms_only = false;
+  // Abort after visiting this many search-tree nodes (0 = unlimited). An
+  // aborted run sets IrResult::completed = false; its outputs are partial
+  // and must not be used as a canonical form.
+  uint64_t max_tree_nodes = 0;
+  // Wall-clock limit in seconds (0 = unlimited).
+  double time_limit_seconds = 0.0;
+};
+
+struct IrStats {
+  uint64_t tree_nodes = 0;
+  uint64_t leaves = 0;
+  uint64_t automorphisms_found = 0;
+};
+
+struct IrResult {
+  bool completed = false;
+  // gamma*: vertex -> canonical position, (G, pi)^{gamma*} = C(G, pi).
+  Permutation canonical_labeling;
+  // Certificate of (G, pi) under gamma*; equal certificates <=> isomorphic.
+  Certificate certificate;
+  // Generating set of Aut(G, pi) discovered during the search.
+  std::vector<Permutation> automorphism_generators;
+  IrStats stats;
+};
+
+// Canonically labels the colored graph (graph, initial). `initial` is
+// refined to equitable first; pass Coloring::Unit(n) for an uncolored graph.
+IrResult IrCanonicalLabeling(const Graph& graph, const Coloring& initial,
+                             const IrOptions& options = {});
+
+}  // namespace dvicl
+
+#endif  // DVICL_IR_IR_CANONICAL_H_

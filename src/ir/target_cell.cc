@@ -1,0 +1,31 @@
+#include "ir/target_cell.h"
+
+namespace dvicl {
+
+VertexId SelectTargetCell(const Coloring& pi, TargetCellRule rule) {
+  VertexId chosen = kNoCell;
+  VertexId chosen_size = 0;
+  for (VertexId start : pi.CellStarts()) {
+    const VertexId size = pi.CellSizeAt(start);
+    if (size <= 1) continue;
+    switch (rule) {
+      case TargetCellRule::kFirst:
+        return start;
+      case TargetCellRule::kFirstSmallest:
+        if (chosen == kNoCell || size < chosen_size) {
+          chosen = start;
+          chosen_size = size;
+        }
+        break;
+      case TargetCellRule::kLargest:
+        if (chosen == kNoCell || size > chosen_size) {
+          chosen = start;
+          chosen_size = size;
+        }
+        break;
+    }
+  }
+  return chosen;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,34 @@
+#ifndef DVICL_IR_TARGET_CELL_H_
+#define DVICL_IR_TARGET_CELL_H_
+
+#include "graph/graph.h"
+#include "refine/coloring.h"
+
+namespace dvicl {
+
+// Target cell selectors T (paper §4): given a non-discrete equitable
+// coloring, pick the non-singleton cell whose vertices the search tree
+// individualizes next. The choice "has a significant effect on the shape of
+// the search tree" — each of the three baselines the paper compares against
+// made a different one, which is what our presets mirror.
+enum class TargetCellRule {
+  // nauty [26]: the first smallest non-singleton cell.
+  kFirstSmallest,
+  // bliss [15] (following Kocay [18]): the first non-singleton cell.
+  kFirst,
+  // traces-flavored: the largest non-singleton cell (traces itself uses
+  // breadth-first traversal with experimental-path selection; the largest
+  // cell emulates its preference for high-branching, high-information
+  // cells).
+  kLargest,
+};
+
+// Returns the start index of the selected cell, or kNoCell when the
+// coloring is discrete (T(G, pi, nu) = empty, property (i)).
+inline constexpr VertexId kNoCell = static_cast<VertexId>(-1);
+
+VertexId SelectTargetCell(const Coloring& pi, TargetCellRule rule);
+
+}  // namespace dvicl
+
+#endif  // DVICL_IR_TARGET_CELL_H_

@@ -1,0 +1,74 @@
+#include "perm/perm_group.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dvicl {
+
+namespace {
+
+// Plain union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  VertexId Find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(VertexId a, VertexId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent_[b] = a;  // keep the minimum as representative
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+void PermGroup::AddGenerator(Permutation gamma) {
+  if (gamma.IsIdentity()) return;
+  generators_.push_back(std::move(gamma));
+}
+
+std::vector<VertexId> PermGroup::OrbitIds() const {
+  UnionFind uf(degree_);
+  for (const Permutation& gamma : generators_) {
+    for (VertexId v = 0; v < degree_; ++v) uf.Union(v, gamma(v));
+  }
+  std::vector<VertexId> ids(degree_);
+  for (VertexId v = 0; v < degree_; ++v) ids[v] = uf.Find(v);
+  return ids;
+}
+
+std::vector<std::vector<VertexId>> PermGroup::Orbits() const {
+  const std::vector<VertexId> ids = OrbitIds();
+  std::vector<std::vector<VertexId>> orbits;
+  std::vector<VertexId> orbit_index(degree_, static_cast<VertexId>(-1));
+  for (VertexId v = 0; v < degree_; ++v) {
+    VertexId root = ids[v];
+    if (orbit_index[root] == static_cast<VertexId>(-1)) {
+      orbit_index[root] = static_cast<VertexId>(orbits.size());
+      orbits.emplace_back();
+    }
+    orbits[orbit_index[root]].push_back(v);
+  }
+  return orbits;
+}
+
+bool PermGroup::SameOrbit(VertexId u, VertexId v) const {
+  const std::vector<VertexId> ids = OrbitIds();
+  return ids[u] == ids[v];
+}
+
+}  // namespace dvicl

@@ -1,0 +1,43 @@
+#ifndef DVICL_PERM_PERM_GROUP_H_
+#define DVICL_PERM_PERM_GROUP_H_
+
+#include <vector>
+
+#include "perm/permutation.h"
+
+namespace dvicl {
+
+// A permutation group given by a generating set, the form in which DviCL
+// (and saucy, per paper §3) reports Aut(G, pi). Orbits are computed by
+// union-find closure over the generators; the group order is delegated to
+// SchreierSims (schreier_sims.h).
+class PermGroup {
+ public:
+  explicit PermGroup(VertexId degree) : degree_(degree) {}
+
+  // Adds a generator; identity permutations are ignored.
+  void AddGenerator(Permutation gamma);
+
+  VertexId degree() const { return degree_; }
+  const std::vector<Permutation>& generators() const { return generators_; }
+
+  // Orbit partition of 0..n-1 under the generated group: orbit_id[v] is the
+  // minimum vertex of v's orbit.
+  std::vector<VertexId> OrbitIds() const;
+
+  // Orbits as vertex lists, sorted by their minimum element; singleton
+  // orbits included.
+  std::vector<std::vector<VertexId>> Orbits() const;
+
+  // True iff u and v lie in a common orbit (u ~ v, automorphic equivalence,
+  // paper §2).
+  bool SameOrbit(VertexId u, VertexId v) const;
+
+ private:
+  VertexId degree_;
+  std::vector<Permutation> generators_;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_PERM_PERM_GROUP_H_

@@ -1,0 +1,154 @@
+#include "perm/permutation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace dvicl {
+
+namespace {
+
+bool IsBijection(const std::vector<VertexId>& image) {
+  std::vector<bool> seen(image.size(), false);
+  for (VertexId v : image) {
+    if (v >= image.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace
+
+Permutation Permutation::Identity(VertexId n) {
+  std::vector<VertexId> image(n);
+  std::iota(image.begin(), image.end(), 0);
+  return Permutation(std::move(image));
+}
+
+Permutation::Permutation(std::vector<VertexId> image)
+    : image_(std::move(image)) {
+  assert(IsBijection(image_));
+}
+
+Result<Permutation> Permutation::FromImage(std::vector<VertexId> image) {
+  if (!IsBijection(image)) {
+    return Status::InvalidArgument("image array is not a bijection");
+  }
+  return Permutation(std::move(image));
+}
+
+Result<Permutation> Permutation::FromCycles(VertexId n,
+                                            const std::string& text) {
+  std::vector<VertexId> image(n);
+  std::iota(image.begin(), image.end(), 0);
+  std::vector<bool> used(n, false);
+
+  size_t i = 0;
+  auto skip_space = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  };
+  skip_space();
+  while (i < text.size()) {
+    if (text[i] != '(') {
+      return Status::InvalidArgument("expected '(' in cycle notation");
+    }
+    ++i;
+    std::vector<VertexId> cycle;
+    for (;;) {
+      skip_space();
+      if (i < text.size() && text[i] == ')') {
+        ++i;
+        break;
+      }
+      uint64_t value = 0;
+      bool any_digit = false;
+      while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+        value = value * 10 + static_cast<uint64_t>(text[i] - '0');
+        any_digit = true;
+        ++i;
+      }
+      if (!any_digit || value >= n) {
+        return Status::InvalidArgument("bad point in cycle notation");
+      }
+      if (used[value]) {
+        return Status::InvalidArgument("point repeated across cycles");
+      }
+      used[value] = true;
+      cycle.push_back(static_cast<VertexId>(value));
+      skip_space();
+      if (i < text.size() && (text[i] == ',' || text[i] == ' ')) ++i;
+    }
+    for (size_t k = 0; k + 1 < cycle.size(); ++k) {
+      image[cycle[k]] = cycle[k + 1];
+    }
+    if (cycle.size() > 1) image[cycle.back()] = cycle.front();
+    skip_space();
+  }
+  return Permutation(std::move(image));
+}
+
+bool Permutation::IsIdentity() const {
+  for (VertexId v = 0; v < Size(); ++v) {
+    if (image_[v] != v) return false;
+  }
+  return true;
+}
+
+Permutation Permutation::Then(const Permutation& next) const {
+  assert(Size() == next.Size());
+  std::vector<VertexId> image(Size());
+  for (VertexId v = 0; v < Size(); ++v) image[v] = next.image_[image_[v]];
+  return Permutation(std::move(image));
+}
+
+Permutation Permutation::Inverse() const {
+  std::vector<VertexId> image(Size());
+  for (VertexId v = 0; v < Size(); ++v) image[image_[v]] = v;
+  return Permutation(std::move(image));
+}
+
+std::string Permutation::ToCycleString() const {
+  std::ostringstream out;
+  std::vector<bool> done(Size(), false);
+  bool any = false;
+  for (VertexId v = 0; v < Size(); ++v) {
+    if (done[v] || image_[v] == v) continue;
+    any = true;
+    out << '(';
+    VertexId w = v;
+    bool first = true;
+    do {
+      if (!first) out << ',';
+      out << w;
+      done[w] = true;
+      w = image_[w];
+      first = false;
+    } while (w != v);
+    out << ')';
+  }
+  if (!any) return "()";
+  return out.str();
+}
+
+bool IsAutomorphism(const Graph& graph, const Permutation& gamma) {
+  if (gamma.Size() != graph.NumVertices()) return false;
+  for (const Edge& e : graph.Edges()) {
+    if (!graph.HasEdge(gamma(e.first), gamma(e.second))) return false;
+  }
+  return true;
+}
+
+bool IsColorPreservingAutomorphism(const Graph& graph,
+                                   std::span<const uint32_t> colors,
+                                   const Permutation& gamma) {
+  if (!colors.empty()) {
+    if (colors.size() != graph.NumVertices()) return false;
+    for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+      if (colors[v] != colors[gamma(v)]) return false;
+    }
+  }
+  return IsAutomorphism(graph, gamma);
+}
+
+}  // namespace dvicl

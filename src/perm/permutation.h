@@ -1,0 +1,76 @@
+#ifndef DVICL_PERM_PERMUTATION_H_
+#define DVICL_PERM_PERMUTATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// A permutation gamma of the vertex set 0..n-1 (paper §2). Stored as the
+// image array: Image(v) = v^gamma.
+class Permutation {
+ public:
+  Permutation() = default;
+
+  // The identity permutation iota on n points.
+  static Permutation Identity(VertexId n);
+
+  // Wraps an image array; `image` must be a bijection onto 0..n-1 (checked
+  // by Validate in debug builds and by the factory below in release paths).
+  explicit Permutation(std::vector<VertexId> image);
+
+  // Validating factory for untrusted input.
+  static Result<Permutation> FromImage(std::vector<VertexId> image);
+
+  // Parses disjoint cycle notation, e.g. "(4,5,6)(0,1)"; points not
+  // mentioned map to themselves (paper §2 convention). `n` is the domain
+  // size.
+  static Result<Permutation> FromCycles(VertexId n, const std::string& text);
+
+  VertexId Size() const { return static_cast<VertexId>(image_.size()); }
+
+  VertexId Image(VertexId v) const { return image_[v]; }
+  VertexId operator()(VertexId v) const { return image_[v]; }
+
+  std::span<const VertexId> ImageArray() const { return image_; }
+
+  bool IsIdentity() const;
+
+  // Composition in the paper's action order: (*this).Then(next) maps
+  // v -> next(this(v)), i.e. v^{gamma delta}.
+  Permutation Then(const Permutation& next) const;
+
+  Permutation Inverse() const;
+
+  // Renders disjoint cycle notation; fixed points are omitted and the
+  // identity renders as "()".
+  std::string ToCycleString() const;
+
+  friend bool operator==(const Permutation& lhs, const Permutation& rhs) {
+    return lhs.image_ == rhs.image_;
+  }
+  friend bool operator!=(const Permutation& lhs, const Permutation& rhs) {
+    return !(lhs == rhs);
+  }
+
+ private:
+  std::vector<VertexId> image_;
+};
+
+// True iff gamma is an automorphism of `graph`: E^gamma = E (paper §2).
+bool IsAutomorphism(const Graph& graph, const Permutation& gamma);
+
+// True iff gamma additionally preserves the coloring: every vertex maps to a
+// vertex of the same color.
+bool IsColorPreservingAutomorphism(const Graph& graph,
+                                   std::span<const uint32_t> colors,
+                                   const Permutation& gamma);
+
+}  // namespace dvicl
+
+#endif  // DVICL_PERM_PERMUTATION_H_

@@ -1,0 +1,156 @@
+#include "perm/schreier_sims.h"
+
+#include <cassert>
+#include <deque>
+
+namespace dvicl {
+
+namespace {
+
+// First point moved by gamma; gamma must not be the identity.
+VertexId FirstMovedPoint(const Permutation& gamma) {
+  for (VertexId v = 0; v < gamma.Size(); ++v) {
+    if (gamma(v) != v) return v;
+  }
+  assert(false);
+  return 0;
+}
+
+}  // namespace
+
+SchreierSims SchreierSims::FromGroup(const PermGroup& group) {
+  SchreierSims chain(group.degree());
+  for (const Permutation& gamma : group.generators()) {
+    chain.AddGenerator(gamma);
+  }
+  return chain;
+}
+
+void SchreierSims::AddGenerator(const Permutation& gamma) {
+  Permutation residue;
+  size_t level = 0;
+  if (Sift(0, gamma, &residue, &level)) return;  // already a member
+  InsertRaw(level, std::move(residue));
+  CompleteFrom(0);
+}
+
+bool SchreierSims::Sift(size_t start, Permutation gamma, Permutation* residue,
+                        size_t* level) const {
+  for (size_t i = start; i < levels_.size(); ++i) {
+    if (gamma.IsIdentity()) return true;
+    const Level& lvl = levels_[i];
+    const VertexId delta = gamma(lvl.base_point);
+    auto it = lvl.transversal.find(delta);
+    if (it == lvl.transversal.end()) {
+      *residue = std::move(gamma);
+      *level = i;
+      return false;
+    }
+    // Divide out the coset representative: gamma * u_delta^{-1} fixes the
+    // base point of this level.
+    gamma = gamma.Then(it->second.Inverse());
+  }
+  if (gamma.IsIdentity()) return true;
+  *residue = std::move(gamma);
+  *level = levels_.size();
+  return false;
+}
+
+void SchreierSims::InsertRaw(size_t level, Permutation gamma) {
+  assert(!gamma.IsIdentity());
+  if (level == levels_.size()) {
+    Level lvl;
+    lvl.base_point = FirstMovedPoint(gamma);
+    levels_.push_back(std::move(lvl));
+  }
+  // The generator fixes the base points of all shallower levels (it is a
+  // sift residue), so it belongs to this level's stabilizer group.
+  levels_[level].generators.push_back(std::move(gamma));
+}
+
+void SchreierSims::RebuildOrbit(size_t level) {
+  Level& lvl = levels_[level];
+  lvl.transversal.clear();
+  lvl.transversal.emplace(lvl.base_point, Permutation::Identity(degree_));
+  std::deque<VertexId> queue = {lvl.base_point};
+  while (!queue.empty()) {
+    const VertexId point = queue.front();
+    queue.pop_front();
+    // Effective generators of this level's group: every generator stored at
+    // this level or deeper (deeper generators fix even more base points, so
+    // they lie in this stabilizer too).
+    for (size_t k = level; k < levels_.size(); ++k) {
+      for (const Permutation& s : levels_[k].generators) {
+        const VertexId next = s(point);
+        if (lvl.transversal.find(next) == lvl.transversal.end()) {
+          lvl.transversal.emplace(next, lvl.transversal.at(point).Then(s));
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+}
+
+void SchreierSims::CompleteFrom(size_t level) {
+  if (level >= levels_.size()) return;
+  // Deeper suffix first: verifying this level sifts Schreier generators
+  // through the deeper chain, which must already be closed.
+  CompleteFrom(level + 1);
+
+  for (;;) {
+    RebuildOrbit(level);
+    // Snapshot orbit points; the transversal map is stable within a scan.
+    std::vector<VertexId> orbit;
+    orbit.reserve(levels_[level].transversal.size());
+    for (const auto& [point, rep] : levels_[level].transversal) {
+      orbit.push_back(point);
+    }
+
+    bool restarted = false;
+    for (VertexId point : orbit) {
+      for (size_t k = level; k < levels_.size() && !restarted; ++k) {
+        for (size_t gi = 0; gi < levels_[k].generators.size(); ++gi) {
+          const Permutation& s = levels_[k].generators[gi];
+          const Permutation& u_p = levels_[level].transversal.at(point);
+          const VertexId q = s(point);
+          const Permutation& u_q = levels_[level].transversal.at(q);
+          Permutation schreier = u_p.Then(s).Then(u_q.Inverse());
+          Permutation residue;
+          size_t stuck = 0;
+          if (!Sift(level + 1, std::move(schreier), &residue, &stuck)) {
+            InsertRaw(stuck, std::move(residue));
+            CompleteFrom(level + 1);
+            restarted = true;
+            break;
+          }
+        }
+      }
+      if (restarted) break;
+    }
+    if (!restarted) return;
+  }
+}
+
+BigUint SchreierSims::Order() const {
+  BigUint order(1);
+  for (const Level& lvl : levels_) {
+    order *= static_cast<uint64_t>(lvl.transversal.size());
+  }
+  return order;
+}
+
+bool SchreierSims::Contains(const Permutation& gamma) const {
+  if (gamma.Size() != degree_) return false;
+  Permutation residue;
+  size_t level = 0;
+  return Sift(0, gamma, &residue, &level);
+}
+
+std::vector<VertexId> SchreierSims::Base() const {
+  std::vector<VertexId> base;
+  base.reserve(levels_.size());
+  for (const Level& lvl : levels_) base.push_back(lvl.base_point);
+  return base;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,76 @@
+#ifndef DVICL_PERM_SCHREIER_SIMS_H_
+#define DVICL_PERM_SCHREIER_SIMS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/big_uint.h"
+#include "perm/perm_group.h"
+#include "perm/permutation.h"
+
+namespace dvicl {
+
+// Deterministic incremental Schreier-Sims stabilizer chain. Given a
+// generating set (e.g. the Aut(G, pi) generators extracted from an
+// AutoTree), it computes the exact group order as a BigUint and answers
+// membership queries.
+//
+// This is the group-theoretic machinery the paper leans on via nauty
+// ("nauty integrates group-theoretical techniques", §3); we use it to verify
+// generator sets in tests and to report |Aut(G)| exactly.
+//
+// Complexity is the textbook bound (polynomial in degree and generator
+// count); it is intended for the moderate degrees that appear in tests and
+// table harnesses, not for multi-million-vertex graphs.
+class SchreierSims {
+ public:
+  explicit SchreierSims(VertexId degree) : degree_(degree) {}
+
+  // Builds a chain from all generators of `group`.
+  static SchreierSims FromGroup(const PermGroup& group);
+
+  // Adds one generator and restores the chain invariants.
+  void AddGenerator(const Permutation& gamma);
+
+  // |<generators>| — the product of basic orbit lengths.
+  BigUint Order() const;
+
+  // True iff gamma is an element of the generated group.
+  bool Contains(const Permutation& gamma) const;
+
+  // The base points of the chain (for inspection/tests).
+  std::vector<VertexId> Base() const;
+
+ private:
+  struct Level {
+    VertexId base_point;
+    std::vector<Permutation> generators;
+    // orbit point -> coset representative u with u(base_point) = point.
+    std::unordered_map<VertexId, Permutation> transversal;
+  };
+
+  // Sifts gamma through levels [start..]; returns true if it reduces to the
+  // identity. Otherwise *residue is the non-trivial remainder and *level the
+  // chain position where it got stuck (possibly == levels_.size()).
+  bool Sift(size_t start, Permutation gamma, Permutation* residue,
+            size_t* level) const;
+
+  // Appends `gamma` to the generator list of `level` (creating the level
+  // when level == levels_.size()); does not restore closure.
+  void InsertRaw(size_t level, Permutation gamma);
+
+  // Recomputes the basic orbit and transversal of `level` under its
+  // effective generators (all generators stored at this level or deeper).
+  void RebuildOrbit(size_t level);
+
+  // Restores the chain invariant for levels [level..end): every Schreier
+  // generator of each level sifts to the identity through the deeper chain.
+  void CompleteFrom(size_t level);
+
+  VertexId degree_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_PERM_SCHREIER_SIMS_H_

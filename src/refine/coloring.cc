@@ -1,0 +1,182 @@
+#include "refine/coloring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace dvicl {
+
+Coloring Coloring::Unit(VertexId n) {
+  Coloring pi;
+  pi.order_.resize(n);
+  std::iota(pi.order_.begin(), pi.order_.end(), 0);
+  pi.pos_ = pi.order_;
+  pi.cell_start_of_.assign(n, 0);
+  pi.cell_len_.assign(n, 0);
+  if (n > 0) {
+    pi.cell_len_[0] = n;
+    pi.num_cells_ = 1;
+  }
+  return pi;
+}
+
+Coloring Coloring::FromLabels(std::span<const uint32_t> labels) {
+  const VertexId n = static_cast<VertexId>(labels.size());
+  Coloring pi = Unit(n);
+  if (n == 0) return pi;
+  std::vector<uint64_t> keys(labels.begin(), labels.end());
+  pi.SplitCellByKeys(0, keys);
+  return pi;
+}
+
+std::vector<VertexId> Coloring::CellStarts() const {
+  std::vector<VertexId> starts;
+  starts.reserve(num_cells_);
+  VertexId start = 0;
+  while (start < NumVertices()) {
+    starts.push_back(start);
+    start += cell_len_[start];
+  }
+  return starts;
+}
+
+std::vector<VertexId> Coloring::SplitCellByKeys(
+    VertexId start, std::span<const uint64_t> keys) {
+  const VertexId len = cell_len_[start];
+  assert(len > 0);
+
+  // Gather (key, vertex) pairs and sort by key; ties keep any order since
+  // vertices with equal keys stay in one cell.
+  std::vector<std::pair<uint64_t, VertexId>> entries;
+  entries.reserve(len);
+  for (VertexId i = 0; i < len; ++i) {
+    const VertexId v = order_[start + i];
+    entries.emplace_back(keys[v], v);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  if (entries.front().first == entries.back().first) {
+    return {start};  // single fragment, no split
+  }
+
+  std::vector<VertexId> fragment_starts;
+  VertexId cursor = start;
+  VertexId fragment_start = start;
+  uint64_t fragment_key = entries.front().first;
+  fragment_starts.push_back(start);
+  for (const auto& [key, v] : entries) {
+    if (key != fragment_key) {
+      cell_len_[fragment_start] = cursor - fragment_start;
+      fragment_start = cursor;
+      fragment_key = key;
+      fragment_starts.push_back(fragment_start);
+      ++num_cells_;
+    }
+    order_[cursor] = v;
+    pos_[v] = cursor;
+    cell_start_of_[v] = fragment_start;
+    ++cursor;
+  }
+  cell_len_[fragment_start] = cursor - fragment_start;
+  return fragment_starts;
+}
+
+std::vector<VertexId> Coloring::SplitCellByTailGroups(
+    VertexId start,
+    std::span<const std::pair<uint64_t, VertexId>> sorted_counted) {
+  const VertexId len = cell_len_[start];
+  const VertexId k = static_cast<VertexId>(sorted_counted.size());
+  assert(k > 0 && k <= len);
+
+  // Degenerate: everything counted with a single key — no split.
+  if (k == len && sorted_counted.front().first == sorted_counted.back().first) {
+    return {start};
+  }
+
+  // Move the counted vertices to the tail, preserving ascending key order:
+  // place from the back of both the list and the segment. Each swap only
+  // touches two vertices, so the cost is O(k).
+  VertexId write = start + len;
+  for (size_t i = sorted_counted.size(); i-- > 0;) {
+    --write;
+    const VertexId v = sorted_counted[i].second;
+    const VertexId v_pos = pos_[v];
+    if (v_pos != write) {
+      const VertexId other = order_[write];
+      order_[write] = v;
+      order_[v_pos] = other;
+      pos_[v] = write;
+      pos_[other] = v_pos;
+    }
+  }
+
+  std::vector<VertexId> fragments;
+  const VertexId tail_start = start + len - k;
+  if (k < len) {
+    // The uncounted remainder keeps the original start.
+    cell_len_[start] = len - k;
+    fragments.push_back(start);
+  }
+  // Fragment the tail by key runs.
+  VertexId fragment_start = tail_start;
+  for (size_t i = 0; i < sorted_counted.size(); ++i) {
+    if (i > 0 && sorted_counted[i].first != sorted_counted[i - 1].first) {
+      cell_len_[fragment_start] =
+          tail_start + static_cast<VertexId>(i) - fragment_start;
+      fragments.push_back(fragment_start);
+      fragment_start = tail_start + static_cast<VertexId>(i);
+    }
+  }
+  cell_len_[fragment_start] = start + len - fragment_start;
+  fragments.push_back(fragment_start);
+  // Assign each tail vertex its fragment start (single walk).
+  {
+    VertexId fs = tail_start;
+    for (VertexId i = tail_start; i < start + len; ++i) {
+      if (i == fs + cell_len_[fs]) fs = i;
+      cell_start_of_[order_[i]] = fs;
+    }
+  }
+  num_cells_ += static_cast<VertexId>(fragments.size()) - 1;
+  return fragments;
+}
+
+VertexId Coloring::Individualize(VertexId v) {
+  const VertexId start = cell_start_of_[v];
+  const VertexId len = cell_len_[start];
+  if (len == 1) return start;
+
+  // Swap v to the front of its cell.
+  const VertexId front_vertex = order_[start];
+  const VertexId v_pos = pos_[v];
+  order_[start] = v;
+  order_[v_pos] = front_vertex;
+  pos_[v] = start;
+  pos_[front_vertex] = v_pos;
+
+  // Carve off the singleton.
+  cell_len_[start] = 1;
+  const VertexId rest = start + 1;
+  cell_len_[rest] = len - 1;
+  for (VertexId i = rest; i < start + len; ++i) {
+    cell_start_of_[order_[i]] = rest;
+  }
+  ++num_cells_;
+  return rest;
+}
+
+Permutation Coloring::ToPermutation() const {
+  assert(IsDiscrete());
+  std::vector<VertexId> image(NumVertices());
+  for (VertexId v = 0; v < NumVertices(); ++v) image[v] = pos_[v];
+  return Permutation(std::move(image));
+}
+
+std::vector<uint32_t> Coloring::ColorOffsets() const {
+  std::vector<uint32_t> offsets(NumVertices());
+  for (VertexId v = 0; v < NumVertices(); ++v) offsets[v] = cell_start_of_[v];
+  return offsets;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,98 @@
+#ifndef DVICL_REFINE_COLORING_H_
+#define DVICL_REFINE_COLORING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "perm/permutation.h"
+
+namespace dvicl {
+
+// An ordered partition pi = [V1 | V2 | ... | Vk] of the vertex set
+// (paper §2 "Coloring"). Cells are contiguous segments of a vertex array,
+// so the color of a vertex — defined in the paper as the sum of the sizes
+// of the preceding cells — is simply the start index of its segment.
+//
+// The representation supports the two mutations canonical-labeling needs:
+// splitting a cell into ordered fragments (refinement) and individualizing
+// a vertex (paper §4). Both keep all other cells' positions intact, which
+// is what makes cell start indices stable identifiers for the refinement
+// worklist.
+class Coloring {
+ public:
+  // The unit coloring [V] on n vertices.
+  static Coloring Unit(VertexId n);
+
+  // Groups vertices by label; cells ordered by ascending label value, so
+  // the cell order is invariant under vertex relabeling.
+  static Coloring FromLabels(std::span<const uint32_t> labels);
+
+  VertexId NumVertices() const { return static_cast<VertexId>(order_.size()); }
+  VertexId NumCells() const { return num_cells_; }
+  bool IsDiscrete() const { return num_cells_ == NumVertices(); }
+
+  // pi(v): start index of v's cell == sum of sizes of preceding cells.
+  VertexId ColorOf(VertexId v) const { return cell_start_of_[v]; }
+
+  VertexId CellSizeAt(VertexId start) const { return cell_len_[start]; }
+
+  std::span<const VertexId> CellVerticesAt(VertexId start) const {
+    return {order_.data() + start, order_.data() + start + cell_len_[start]};
+  }
+
+  // All cell start indices in partition order.
+  std::vector<VertexId> CellStarts() const;
+
+  VertexId VertexAtPosition(VertexId pos) const { return order_[pos]; }
+  VertexId PositionOf(VertexId v) const { return pos_[v]; }
+
+  // Splits the cell at `start` into fragments ordered by ascending
+  // key[vertex]. Returns the fragment start indices (in order); a
+  // single-fragment result means no split happened and the vector has one
+  // entry (`start`). Costs O(cell size * log).
+  std::vector<VertexId> SplitCellByKeys(VertexId start,
+                                        std::span<const uint64_t> keys);
+
+  // Sparse split used by the refiner: `sorted_counted` lists (key, vertex)
+  // pairs — a subset of the cell's vertices, sorted by ascending key with
+  // every key > 0 — which are moved to the tail of the segment and grouped
+  // by key; the unlisted vertices (conceptual key 0) keep the fragment at
+  // `start`. Returns all fragment starts in order. Costs
+  // O(|sorted_counted|), independent of the cell size, which is what keeps
+  // refinement near-linear when small splitters touch huge cells.
+  std::vector<VertexId> SplitCellByTailGroups(
+      VertexId start,
+      std::span<const std::pair<uint64_t, VertexId>> sorted_counted);
+
+  // Individualizes v (paper §4): v becomes a singleton cell placed at the
+  // front of its former cell. No-op if v is already a singleton. Returns
+  // the start index of the remainder cell (== ColorOf(v) + 1), or v's own
+  // cell start if there is no remainder.
+  VertexId Individualize(VertexId v);
+
+  // When discrete, the coloring corresponds to the single permutation
+  // v -> position (paper §2).
+  Permutation ToPermutation() const;
+
+  // pi(v) for every v, as a plain array (Algorithm 1 line 2).
+  std::vector<uint32_t> ColorOffsets() const;
+
+  friend bool operator==(const Coloring& lhs, const Coloring& rhs) {
+    return lhs.order_ == rhs.order_ && lhs.cell_len_ == rhs.cell_len_;
+  }
+
+ private:
+  Coloring() = default;
+
+  std::vector<VertexId> order_;          // vertices, cells contiguous
+  std::vector<VertexId> pos_;            // inverse of order_
+  std::vector<VertexId> cell_start_of_;  // per vertex: its cell's start
+  std::vector<VertexId> cell_len_;       // valid at cell start indices
+  VertexId num_cells_ = 0;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_REFINE_COLORING_H_

@@ -1,0 +1,166 @@
+#include "refine/refiner.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace dvicl {
+
+namespace {
+
+// Worklist refinement state shared by the two entry points.
+class RefinementRun {
+ public:
+  RefinementRun(const Graph& graph, Coloring* pi)
+      : graph_(graph),
+        pi_(pi),
+        count_(graph.NumVertices(), 0),
+        in_queue_(graph.NumVertices(), false) {}
+
+  void Enqueue(VertexId cell_start) {
+    if (!in_queue_[cell_start]) {
+      in_queue_[cell_start] = true;
+      queue_.push_back(cell_start);
+    }
+  }
+
+  void Run() {
+    while (!queue_.empty() && !pi_->IsDiscrete()) {
+      const VertexId splitter_start = queue_.front();
+      queue_.pop_front();
+      in_queue_[splitter_start] = false;
+      UseSplitter(splitter_start);
+    }
+  }
+
+ private:
+  void UseSplitter(VertexId splitter_start) {
+    // Snapshot the splitter: splitting may rearrange the very cell we are
+    // iterating (a cell can split on counts into itself).
+    auto cell = pi_->CellVerticesAt(splitter_start);
+    splitter_.assign(cell.begin(), cell.end());
+
+    // Count neighbors in the splitter.
+    touched_.clear();
+    for (VertexId w : splitter_) {
+      for (VertexId u : graph_.Neighbors(w)) {
+        if (count_[u]++ == 0) touched_.push_back(u);
+      }
+    }
+
+    // Group the counted vertices by their cell, ordered by (cell start,
+    // count): all data in the key is isomorphism-invariant, so the
+    // refinement trace — and the final cell order — is invariant. Vertices
+    // with equal (cell, count) stay in one fragment, so their tie order is
+    // irrelevant.
+    grouped_.clear();
+    grouped_.reserve(touched_.size());
+    for (VertexId u : touched_) {
+      grouped_.push_back(Counted{pi_->ColorOf(u), count_[u], u});
+    }
+    std::sort(grouped_.begin(), grouped_.end(),
+              [](const Counted& a, const Counted& b) {
+                if (a.cell != b.cell) return a.cell < b.cell;
+                return a.count < b.count;
+              });
+
+    for (size_t lo = 0; lo < grouped_.size();) {
+      size_t hi = lo;
+      while (hi < grouped_.size() && grouped_[hi].cell == grouped_[lo].cell) {
+        ++hi;
+      }
+      const VertexId cs = grouped_[lo].cell;
+      const VertexId len = pi_->CellSizeAt(cs);
+      const size_t k = hi - lo;
+      // No split possible: the whole cell counted with one value, or a
+      // singleton cell.
+      if (len == 1 || (k == len && grouped_[lo].count ==
+                                       grouped_[hi - 1].count)) {
+        lo = hi;
+        continue;
+      }
+
+      counted_pairs_.clear();
+      counted_pairs_.reserve(k);
+      for (size_t i = lo; i < hi; ++i) {
+        counted_pairs_.emplace_back(grouped_[i].count, grouped_[i].vertex);
+      }
+      const bool was_queued = in_queue_[cs];
+      const std::vector<VertexId> fragments =
+          pi_->SplitCellByTailGroups(cs, counted_pairs_);
+      lo = hi;
+      if (fragments.size() <= 1) continue;
+
+      if (was_queued) {
+        // The queue entry for `cs` now denotes the first fragment; enqueue
+        // the remaining fragments so the full old splitter is still covered.
+        for (size_t i = 1; i < fragments.size(); ++i) Enqueue(fragments[i]);
+      } else {
+        // Hopcroft's rule: all fragments but one largest suffice.
+        size_t largest = 0;
+        for (size_t i = 1; i < fragments.size(); ++i) {
+          if (pi_->CellSizeAt(fragments[i]) >
+              pi_->CellSizeAt(fragments[largest])) {
+            largest = i;
+          }
+        }
+        for (size_t i = 0; i < fragments.size(); ++i) {
+          if (i != largest) Enqueue(fragments[i]);
+        }
+      }
+    }
+
+    for (VertexId u : touched_) count_[u] = 0;
+  }
+
+  struct Counted {
+    VertexId cell;
+    uint64_t count;
+    VertexId vertex;
+  };
+
+  const Graph& graph_;
+  Coloring* pi_;
+  std::vector<uint64_t> count_;
+  std::vector<bool> in_queue_;
+  std::deque<VertexId> queue_;
+  std::vector<VertexId> splitter_;
+  std::vector<VertexId> touched_;
+  std::vector<Counted> grouped_;
+  std::vector<std::pair<uint64_t, VertexId>> counted_pairs_;
+};
+
+}  // namespace
+
+void RefineToEquitable(const Graph& graph, Coloring* pi) {
+  RefinementRun run(graph, pi);
+  for (VertexId start : pi->CellStarts()) run.Enqueue(start);
+  run.Run();
+}
+
+void RefineFrom(const Graph& graph, Coloring* pi,
+                std::span<const VertexId> seed_cell_starts) {
+  RefinementRun run(graph, pi);
+  for (VertexId start : seed_cell_starts) run.Enqueue(start);
+  run.Run();
+}
+
+bool IsEquitable(const Graph& graph, const Coloring& pi) {
+  const std::vector<VertexId> starts = pi.CellStarts();
+  std::vector<uint64_t> count(graph.NumVertices(), 0);
+  for (VertexId splitter : starts) {
+    for (VertexId w : pi.CellVerticesAt(splitter)) {
+      for (VertexId u : graph.Neighbors(w)) ++count[u];
+    }
+    for (VertexId cs : starts) {
+      auto cell = pi.CellVerticesAt(cs);
+      for (VertexId v : cell) {
+        if (count[v] != count[cell.front()]) return false;
+      }
+    }
+    std::fill(count.begin(), count.end(), 0);
+  }
+  return true;
+}
+
+}  // namespace dvicl

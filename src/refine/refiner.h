@@ -1,0 +1,36 @@
+#ifndef DVICL_REFINE_REFINER_H_
+#define DVICL_REFINE_REFINER_H_
+
+#include <span>
+
+#include "graph/graph.h"
+#include "refine/coloring.h"
+
+namespace dvicl {
+
+// Equitable refinement — the refinement function R of paper §4, implemented
+// as 1-dimensional Weisfeiler-Lehman partition refinement [33] with
+// Hopcroft's "all but the largest fragment" worklist rule.
+//
+// The resulting ordered partition is the coarsest equitable coloring finer
+// than the input, and its cell ORDER is isomorphism-invariant: fragments are
+// ordered by ascending neighbor count, so R(G^gamma, pi^gamma) =
+// R(G, pi)^gamma — property (iii) of a refinement function.
+
+// Refines *pi in place until it is equitable with respect to `graph`,
+// using every current cell as an initial splitter.
+void RefineToEquitable(const Graph& graph, Coloring* pi);
+
+// Incremental variant: assumes *pi was equitable except for the listed
+// seed cells (e.g. after Coloring::Individualize, pass the singleton and
+// remainder cell starts).
+void RefineFrom(const Graph& graph, Coloring* pi,
+                std::span<const VertexId> seed_cell_starts);
+
+// Verification helper (used by tests): true iff every pair of cells
+// (Vi, Vj) has uniform neighbor counts, the definition in paper §2.
+bool IsEquitable(const Graph& graph, const Coloring& pi);
+
+}  // namespace dvicl
+
+#endif  // DVICL_REFINE_REFINER_H_

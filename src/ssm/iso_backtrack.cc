@@ -1,0 +1,142 @@
+#include "ssm/iso_backtrack.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "refine/coloring.h"
+#include "refine/refiner.h"
+
+namespace dvicl {
+
+namespace {
+
+class BacktrackSearch {
+ public:
+  BacktrackSearch(const Graph& g1, const Graph& g2, uint64_t max_steps)
+      : g1_(g1), g2_(g2), max_steps_(max_steps) {}
+
+  std::optional<Permutation> Run(bool* aborted) {
+    const VertexId n = g1_.NumVertices();
+    if (n != g2_.NumVertices() || g1_.NumEdges() != g2_.NumEdges()) {
+      return std::nullopt;
+    }
+    if (n == 0) return Permutation::Identity(0);
+
+    // Equitable refinement gives canonical color offsets on both sides; a
+    // vertex can only map to a vertex of the same color, and the cell size
+    // sequences must agree.
+    Coloring pi1 = Coloring::Unit(n);
+    RefineToEquitable(g1_, &pi1);
+    Coloring pi2 = Coloring::Unit(n);
+    RefineToEquitable(g2_, &pi2);
+    if (pi1.CellStarts() != pi2.CellStarts()) return std::nullopt;
+    for (VertexId start : pi1.CellStarts()) {
+      if (pi1.CellSizeAt(start) != pi2.CellSizeAt(start)) {
+        return std::nullopt;
+      }
+    }
+    colors1_ = pi1.ColorOffsets();
+
+    // Candidate pool per color on the g2 side.
+    candidates_by_color_.assign(n, {});
+    for (VertexId v = 0; v < n; ++v) {
+      candidates_by_color_[pi2.ColorOffsets()[v]].push_back(v);
+    }
+
+    // Map vertices smallest-cell-first; inside a tie prefer vertices
+    // adjacent to already-ordered ones (keeps the adjacency constraints
+    // active early).
+    order_.resize(n);
+    for (VertexId v = 0; v < n; ++v) order_[v] = v;
+    std::sort(order_.begin(), order_.end(), [&](VertexId a, VertexId b) {
+      const VertexId sa = pi1.CellSizeAt(colors1_[a]);
+      const VertexId sb = pi1.CellSizeAt(colors1_[b]);
+      if (sa != sb) return sa < sb;
+      if (g1_.Degree(a) != g1_.Degree(b)) {
+        return g1_.Degree(a) > g1_.Degree(b);
+      }
+      return a < b;
+    });
+
+    map_.assign(n, kUnmapped);
+    used_.assign(n, false);
+    steps_ = 0;
+    aborted_ = false;
+    const bool found = Extend(0);
+    if (aborted && aborted_) *aborted = true;
+    if (!found) return std::nullopt;
+    return Permutation(std::vector<VertexId>(map_.begin(), map_.end()));
+  }
+
+ private:
+  static constexpr VertexId kUnmapped = static_cast<VertexId>(-1);
+
+  bool Extend(VertexId index) {
+    if (index == g1_.NumVertices()) return true;
+    if (max_steps_ != 0 && ++steps_ > max_steps_) {
+      aborted_ = true;
+      return false;
+    }
+    const VertexId u = order_[index];
+    for (VertexId candidate : candidates_by_color_[colors1_[u]]) {
+      if (used_[candidate]) continue;
+      if (g2_.Degree(candidate) != g1_.Degree(u)) continue;
+      // Adjacency to every already-mapped vertex must match exactly
+      // (induced on the mapped prefix).
+      bool consistent = true;
+      for (VertexId w : g1_.Neighbors(u)) {
+        if (map_[w] != kUnmapped && !g2_.HasEdge(candidate, map_[w])) {
+          consistent = false;
+          break;
+        }
+      }
+      if (consistent) {
+        // Count mapped neighbors on both sides; equal counts plus the edge
+        // check above force exact correspondence.
+        uint32_t mapped_neighbors_u = 0;
+        for (VertexId w : g1_.Neighbors(u)) {
+          mapped_neighbors_u += (map_[w] != kUnmapped) ? 1 : 0;
+        }
+        uint32_t mapped_neighbors_c = 0;
+        for (VertexId w : g2_.Neighbors(candidate)) {
+          mapped_neighbors_c += used_[w] ? 1 : 0;
+        }
+        consistent = mapped_neighbors_u == mapped_neighbors_c;
+      }
+      if (!consistent) continue;
+
+      map_[u] = candidate;
+      used_[candidate] = true;
+      if (Extend(index + 1)) return true;
+      map_[u] = kUnmapped;
+      used_[candidate] = false;
+      if (aborted_) return false;
+    }
+    return false;
+  }
+
+  const Graph& g1_;
+  const Graph& g2_;
+  const uint64_t max_steps_;
+
+  std::vector<uint32_t> colors1_;
+  std::vector<std::vector<VertexId>> candidates_by_color_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> map_;
+  std::vector<bool> used_;
+  uint64_t steps_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<Permutation> FindIsomorphismBacktracking(const Graph& g1,
+                                                       const Graph& g2,
+                                                       uint64_t max_steps,
+                                                       bool* aborted) {
+  if (aborted != nullptr) *aborted = false;
+  BacktrackSearch search(g1, g2, max_steps);
+  return search.Run(aborted);
+}
+
+}  // namespace dvicl

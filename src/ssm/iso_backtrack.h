@@ -1,0 +1,28 @@
+#ifndef DVICL_SSM_ISO_BACKTRACK_H_
+#define DVICL_SSM_ISO_BACKTRACK_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/graph.h"
+#include "perm/permutation.h"
+
+namespace dvicl {
+
+// Direct backtracking graph-isomorphism test: searches for a bijection
+// g1 -> g2 that preserves adjacency, pruning with equitable-refinement
+// colors and per-vertex degree checks. Independent of the canonical
+// labeling machinery, so it serves as a differential oracle in tests at
+// sizes where enumerating all n! permutations is impossible.
+//
+// Returns the witness permutation if the graphs are isomorphic, nullopt
+// otherwise. `max_steps` bounds the number of backtracking extensions
+// (0 = unlimited); when exceeded, *aborted is set (when non-null) and
+// nullopt is returned.
+std::optional<Permutation> FindIsomorphismBacktracking(
+    const Graph& g1, const Graph& g2, uint64_t max_steps = 0,
+    bool* aborted = nullptr);
+
+}  // namespace dvicl
+
+#endif  // DVICL_SSM_ISO_BACKTRACK_H_

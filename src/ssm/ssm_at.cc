@@ -1,0 +1,344 @@
+#include "ssm/ssm_at.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace dvicl {
+
+SsmIndex::SsmIndex(const Graph& graph, const DviclResult& result)
+    : graph_(graph), result_(result) {
+  assert(result.completed);
+}
+
+uint32_t SsmIndex::DeepestNodeContaining(
+    const std::vector<VertexId>& query) const {
+  const AutoTree& tree = result_.tree;
+  uint32_t lca = tree.LeafOf(query.front());
+  for (size_t i = 1; i < query.size(); ++i) {
+    uint32_t other = tree.LeafOf(query[i]);
+    // Standard two-pointer LCA by depth.
+    while (tree.Node(lca).depth > tree.Node(other).depth) {
+      lca = static_cast<uint32_t>(tree.Node(lca).parent);
+    }
+    while (tree.Node(other).depth > tree.Node(lca).depth) {
+      other = static_cast<uint32_t>(tree.Node(other).parent);
+    }
+    while (lca != other) {
+      lca = static_cast<uint32_t>(tree.Node(lca).parent);
+      other = static_cast<uint32_t>(tree.Node(other).parent);
+    }
+  }
+  return lca;
+}
+
+uint32_t SsmIndex::ChildContaining(uint32_t node, VertexId v) const {
+  const AutoTree& tree = result_.tree;
+  uint32_t current = tree.LeafOf(v);
+  while (tree.Node(current).parent != static_cast<int32_t>(node)) {
+    assert(tree.Node(current).parent >= 0);
+    current = static_cast<uint32_t>(tree.Node(current).parent);
+  }
+  return current;
+}
+
+std::vector<VertexId> SsmIndex::MapBetweenSiblings(
+    uint32_t from, uint32_t to, const std::vector<VertexId>& set) const {
+  const AutoTreeNode& a = result_.tree.Node(from);
+  const AutoTreeNode& b = result_.tree.Node(to);
+  std::unordered_map<VertexId, VertexId> by_label;
+  by_label.reserve(b.vertices.size());
+  for (size_t i = 0; i < b.vertices.size(); ++i) {
+    by_label.emplace(b.labels[i], b.vertices[i]);
+  }
+  std::vector<VertexId> image;
+  image.reserve(set.size());
+  for (VertexId v : set) image.push_back(by_label.at(a.LabelOf(v)));
+  std::sort(image.begin(), image.end());
+  return image;
+}
+
+std::vector<std::vector<VertexId>> SsmIndex::LeafOrbit(
+    const AutoTreeNode& leaf, const std::vector<VertexId>& query,
+    size_t max_results, bool* truncated) const {
+  std::set<std::vector<VertexId>> orbit;
+  std::vector<std::vector<VertexId>> frontier;
+  std::vector<VertexId> start(query);
+  std::sort(start.begin(), start.end());
+  orbit.insert(start);
+  frontier.push_back(std::move(start));
+  while (!frontier.empty()) {
+    std::vector<VertexId> current = std::move(frontier.back());
+    frontier.pop_back();
+    for (const SparseAut& gen : leaf.leaf_generators) {
+      std::vector<VertexId> image;
+      image.reserve(current.size());
+      for (VertexId v : current) image.push_back(gen.ImageOf(v));
+      std::sort(image.begin(), image.end());
+      if (max_results != 0 && orbit.size() >= max_results) {
+        if (truncated != nullptr) *truncated = true;
+        return {orbit.begin(), orbit.end()};
+      }
+      if (orbit.insert(image).second) frontier.push_back(std::move(image));
+    }
+  }
+  return {orbit.begin(), orbit.end()};
+}
+
+std::vector<std::vector<VertexId>> SsmIndex::EnumerateWithin(
+    uint32_t node_id, const std::vector<VertexId>& query, size_t max_results,
+    bool* truncated) const {
+  const AutoTree& tree = result_.tree;
+  const AutoTreeNode& node = tree.Node(node_id);
+  if (node.is_leaf) return LeafOrbit(node, query, max_results, truncated);
+
+  // Partition the query by the children of this node (Algorithm 6 line 5).
+  std::map<uint32_t, std::vector<VertexId>> pieces_by_child;
+  for (VertexId v : query) {
+    pieces_by_child[ChildContaining(node_id, v)].push_back(v);
+  }
+
+  // Position of each queried child in node.children (for sym classes).
+  std::unordered_map<uint32_t, size_t> child_position;
+  child_position.reserve(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    child_position.emplace(node.children[i], i);
+  }
+
+  struct Piece {
+    uint32_t home_child;
+    uint32_t sym_class;
+    std::vector<VertexId> query;
+    std::vector<std::vector<VertexId>> images;  // within home_child
+  };
+  std::vector<Piece> pieces;
+  for (auto& [child, piece_query] : pieces_by_child) {
+    Piece piece;
+    piece.home_child = child;
+    piece.sym_class = node.child_sym_class[child_position.at(child)];
+    piece.query = std::move(piece_query);
+    piece.images = EnumerateWithin(child, piece.query, max_results, truncated);
+    pieces.push_back(std::move(piece));
+  }
+
+  // Group pieces by symmetry class; collect each class's member children.
+  std::map<uint32_t, std::vector<size_t>> class_pieces;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    class_pieces[pieces[i].sym_class].push_back(i);
+  }
+  std::map<uint32_t, std::vector<uint32_t>> class_members;
+  for (const auto& [cls, piece_ids] : class_pieces) {
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (node.child_sym_class[i] == cls) {
+        class_members[cls].push_back(node.children[i]);
+      }
+    }
+    (void)piece_ids;
+  }
+
+  // Enumerate injective assignments class by class, then one image per
+  // piece, and emit the (disjoint) union.
+  std::set<std::vector<VertexId>> results;
+  std::vector<uint32_t> target_of(pieces.size(), 0);
+  std::vector<std::vector<VertexId>> current_image(pieces.size());
+
+  // Iterative-over-recursion lambdas: assign classes, then choose images.
+  std::vector<std::pair<uint32_t, std::vector<size_t>>> class_list(
+      class_pieces.begin(), class_pieces.end());
+
+  std::function<void(size_t)> choose_images = [&](size_t piece_idx) {
+    if (max_results != 0 && results.size() >= max_results) return;
+    if (piece_idx == pieces.size()) {
+      std::vector<VertexId> combined;
+      for (size_t i = 0; i < pieces.size(); ++i) {
+        // The chosen image lives in pieces[i].home_child coordinates; map
+        // it to the assigned target sibling (Algorithm 6 lines 8-9).
+        const std::vector<VertexId>* image = &current_image[i];
+        if (target_of[i] == pieces[i].home_child) {
+          combined.insert(combined.end(), image->begin(), image->end());
+        } else {
+          std::vector<VertexId> mapped =
+              MapBetweenSiblings(pieces[i].home_child, target_of[i], *image);
+          combined.insert(combined.end(), mapped.begin(), mapped.end());
+        }
+      }
+      std::sort(combined.begin(), combined.end());
+      results.insert(std::move(combined));
+      if (max_results != 0 && results.size() >= max_results &&
+          truncated != nullptr) {
+        *truncated = true;
+      }
+      return;
+    }
+    for (const std::vector<VertexId>& image : pieces[piece_idx].images) {
+      current_image[piece_idx] = image;
+      choose_images(piece_idx + 1);
+      if (max_results != 0 && results.size() >= max_results) return;
+    }
+  };
+
+  std::function<void(size_t, size_t)> assign_class = [&](size_t class_idx,
+                                                         size_t piece_pos) {
+    if (max_results != 0 && results.size() >= max_results) return;
+    if (class_idx == class_list.size()) {
+      choose_images(0);
+      return;
+    }
+    const auto& [cls, piece_ids] = class_list[class_idx];
+    if (piece_pos == piece_ids.size()) {
+      assign_class(class_idx + 1, 0);
+      return;
+    }
+    const size_t piece = piece_ids[piece_pos];
+    for (uint32_t member : class_members.at(cls)) {
+      bool used = false;
+      for (size_t prev = 0; prev < piece_pos && !used; ++prev) {
+        used = target_of[piece_ids[prev]] == member;
+      }
+      if (used) continue;
+      target_of[piece] = member;
+      assign_class(class_idx, piece_pos + 1);
+      if (max_results != 0 && results.size() >= max_results) return;
+    }
+  };
+
+  assign_class(0, 0);
+  return {results.begin(), results.end()};
+}
+
+BigUint SsmIndex::CountWithin(uint32_t node_id,
+                              const std::vector<VertexId>& query) const {
+  const AutoTree& tree = result_.tree;
+  const AutoTreeNode& node = tree.Node(node_id);
+  if (node.is_leaf) {
+    bool truncated = false;
+    return BigUint(LeafOrbit(node, query, 0, &truncated).size());
+  }
+
+  std::map<uint32_t, std::vector<VertexId>> pieces_by_child;
+  for (VertexId v : query) {
+    pieces_by_child[ChildContaining(node_id, v)].push_back(v);
+  }
+  std::unordered_map<uint32_t, size_t> child_position;
+  child_position.reserve(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    child_position.emplace(node.children[i], i);
+  }
+  std::unordered_map<uint32_t, uint64_t> class_size;
+  std::unordered_map<uint32_t, uint32_t> class_first_member;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const uint32_t cls = node.child_sym_class[i];
+    if (class_size[cls]++ == 0) class_first_member[cls] = node.children[i];
+  }
+
+  // Pieces are grouped per symmetry class, and within a class by their
+  // image under the label-matching map onto the class's first member:
+  // pieces with the same mapped query are interchangeable, so selecting
+  // target siblings for them is an unordered choice (binomial), not an
+  // injective assignment (falling factorial) — otherwise permuting
+  // interchangeable pieces would double-count identical image sets.
+  struct ClassPieces {
+    // mapped query -> (pieces in the group, count of one representative)
+    std::map<std::vector<VertexId>, std::pair<uint64_t, BigUint>> groups;
+  };
+  std::map<uint32_t, ClassPieces> per_class;
+  for (const auto& [child, piece_query] : pieces_by_child) {
+    const uint32_t cls = node.child_sym_class[child_position.at(child)];
+    const uint32_t anchor = class_first_member.at(cls);
+    std::vector<VertexId> key =
+        (child == anchor) ? piece_query
+                          : MapBetweenSiblings(child, anchor, piece_query);
+    std::sort(key.begin(), key.end());
+    auto& group = per_class[cls].groups[key];
+    if (group.first == 0) group.second = CountWithin(child, piece_query);
+    ++group.first;
+  }
+
+  BigUint count(1);
+  for (const auto& [cls, cp] : per_class) {
+    uint64_t remaining = class_size.at(cls);
+    for (const auto& [key, group] : cp.groups) {
+      const uint64_t m = group.first;
+      count *= BigUint::Binomial(remaining, m);
+      for (uint64_t i = 0; i < m; ++i) count *= group.second;
+      remaining -= m;
+    }
+  }
+  return count;
+}
+
+std::vector<std::vector<VertexId>> SsmIndex::SymmetricImages(
+    std::vector<VertexId> query, size_t max_results, bool* truncated) const {
+  if (truncated != nullptr) *truncated = false;
+  std::sort(query.begin(), query.end());
+  query.erase(std::unique(query.begin(), query.end()), query.end());
+  if (query.empty()) return {{}};
+
+  const AutoTree& tree = result_.tree;
+  uint32_t nq = DeepestNodeContaining(query);
+  std::vector<std::vector<VertexId>> images =
+      EnumerateWithin(nq, query, max_results, truncated);
+
+  // Ascend: map the image set into every symmetric sibling at each
+  // ancestor level (Algorithm 6 lines 13-14).
+  uint32_t current = nq;
+  while (tree.Node(current).parent >= 0) {
+    const uint32_t parent = static_cast<uint32_t>(tree.Node(current).parent);
+    const AutoTreeNode& pnode = tree.Node(parent);
+    size_t position = 0;
+    while (pnode.children[position] != current) ++position;
+    const uint32_t cls = pnode.child_sym_class[position];
+
+    std::vector<std::vector<VertexId>> extended = images;
+    for (size_t i = 0; i < pnode.children.size(); ++i) {
+      if (pnode.children[i] == current || pnode.child_sym_class[i] != cls) {
+        continue;
+      }
+      for (const std::vector<VertexId>& image : images) {
+        if (max_results != 0 && extended.size() >= max_results) {
+          if (truncated != nullptr) *truncated = true;
+          break;
+        }
+        extended.push_back(
+            MapBetweenSiblings(current, pnode.children[i], image));
+      }
+    }
+    images = std::move(extended);
+    current = parent;
+    if (max_results != 0 && images.size() >= max_results) break;
+  }
+  std::sort(images.begin(), images.end());
+  if (max_results != 0 && images.size() > max_results) {
+    images.resize(max_results);
+  }
+  return images;
+}
+
+BigUint SsmIndex::CountSymmetricImages(std::vector<VertexId> query) const {
+  std::sort(query.begin(), query.end());
+  query.erase(std::unique(query.begin(), query.end()), query.end());
+  if (query.empty()) return BigUint(1);
+
+  const AutoTree& tree = result_.tree;
+  const uint32_t nq = DeepestNodeContaining(query);
+  BigUint count = CountWithin(nq, query);
+
+  uint32_t current = nq;
+  while (tree.Node(current).parent >= 0) {
+    const uint32_t parent = static_cast<uint32_t>(tree.Node(current).parent);
+    const AutoTreeNode& pnode = tree.Node(parent);
+    size_t position = 0;
+    while (pnode.children[position] != current) ++position;
+    const uint32_t cls = pnode.child_sym_class[position];
+    uint64_t class_size = 0;
+    for (uint32_t c : pnode.child_sym_class) class_size += (c == cls) ? 1 : 0;
+    count *= class_size;
+    current = parent;
+  }
+  return count;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,69 @@
+#ifndef DVICL_SSM_SSM_AT_H_
+#define DVICL_SSM_SSM_AT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/big_uint.h"
+#include "dvicl/dvicl.h"
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Symmetric subgraph matching over an AutoTree (paper §6.4, Algorithm 6
+// SSM-AT). Given a query q — an induced subgraph of G specified by its
+// vertex set — it finds the vertex sets g with g = q^gamma for some
+// automorphism gamma of (G, pi).
+//
+// The index borrows the graph and the DviclResult; both must outlive it.
+class SsmIndex {
+ public:
+  SsmIndex(const Graph& graph, const DviclResult& result);
+
+  // Enumerates all symmetric images of `query` (including `query` itself)
+  // as sorted vertex sets. `max_results` caps the enumeration (0 =
+  // unlimited); when the cap is hit the result is a prefix of the full
+  // answer and *truncated is set when non-null.
+  std::vector<std::vector<VertexId>> SymmetricImages(
+      std::vector<VertexId> query, size_t max_results = 0,
+      bool* truncated = nullptr) const;
+
+  // Counts symmetric images without enumerating them: the product, over
+  // the divide-and-conquer recursion, of per-piece counts, injective
+  // sibling assignments, and ancestor symmetry-class sizes. This is the
+  // estimator behind paper Table 6; it is exact whenever distinct sibling
+  // assignments yield distinct images (verified against enumeration in the
+  // tests, where it matches on all tested inputs).
+  BigUint CountSymmetricImages(std::vector<VertexId> query) const;
+
+ private:
+  // Deepest AutoTree node whose vertex set contains all of `query`
+  // (Algorithm 6 line 1).
+  uint32_t DeepestNodeContaining(const std::vector<VertexId>& query) const;
+
+  // Child of `node` whose subtree contains vertex v.
+  uint32_t ChildContaining(uint32_t node, VertexId v) const;
+
+  // Images of `query` inside the subtree of `node` (query fully inside it).
+  std::vector<std::vector<VertexId>> EnumerateWithin(
+      uint32_t node, const std::vector<VertexId>& query, size_t max_results,
+      bool* truncated) const;
+  BigUint CountWithin(uint32_t node, const std::vector<VertexId>& query) const;
+
+  // Orbit of `query` under the leaf's automorphism generators.
+  std::vector<std::vector<VertexId>> LeafOrbit(
+      const AutoTreeNode& leaf, const std::vector<VertexId>& query,
+      size_t max_results, bool* truncated) const;
+
+  // Maps a vertex set from sibling `from` to sibling `to` by matching
+  // canonical labels.
+  std::vector<VertexId> MapBetweenSiblings(
+      uint32_t from, uint32_t to, const std::vector<VertexId>& set) const;
+
+  const Graph& graph_;
+  const DviclResult& result_;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_SSM_SSM_AT_H_

@@ -1,0 +1,101 @@
+#include "ssm/ssm_count.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+namespace dvicl {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+SubgraphClustering ClusterSubgraphsBySymmetry(
+    VertexId num_vertices, std::span<const SparseAut> generators,
+    const std::vector<std::vector<VertexId>>& subgraphs) {
+  SubgraphClustering clustering;
+  clustering.cluster_id.assign(subgraphs.size(), 0);
+  if (subgraphs.empty()) return clustering;
+
+  std::map<std::vector<VertexId>, size_t> index;
+  for (size_t i = 0; i < subgraphs.size(); ++i) {
+    index.emplace(subgraphs[i], i);
+  }
+
+  // Only subgraphs touching a moved vertex can change under a generator, so
+  // index subgraphs per vertex and visit moved vertices only. Sparse
+  // generators make this near-linear in practice.
+  std::unordered_map<VertexId, std::vector<size_t>> containing;
+  for (size_t i = 0; i < subgraphs.size(); ++i) {
+    for (VertexId v : subgraphs[i]) containing[v].push_back(i);
+  }
+
+  UnionFind uf(subgraphs.size());
+  std::vector<bool> visited(subgraphs.size(), false);
+  for (const SparseAut& gen : generators) {
+    std::fill(visited.begin(), visited.end(), false);
+    for (const auto& [v, img] : gen.moves) {
+      auto it = containing.find(v);
+      if (it == containing.end()) continue;
+      for (size_t i : it->second) {
+        if (visited[i]) continue;
+        visited[i] = true;
+        std::vector<VertexId> image;
+        image.reserve(subgraphs[i].size());
+        for (VertexId u : subgraphs[i]) image.push_back(gen.ImageOf(u));
+        std::sort(image.begin(), image.end());
+        auto found = index.find(image);
+        if (found != index.end()) uf.Union(i, found->second);
+      }
+      (void)img;
+    }
+  }
+
+  // A single pass over generators is not a full orbit closure in theory
+  // (g then h may connect sets no single generator does), but union-find
+  // transitivity handles compositions: if g maps A->B and h maps B->C, then
+  // A~B and B~C already union A, B, C. Since every image under one
+  // generator IS in the family (closure assumption), the orbit relation is
+  // exactly the transitive closure of the single-generator relation.
+  std::unordered_map<size_t, uint32_t> cluster_of_root;
+  std::vector<uint64_t> sizes;
+  for (size_t i = 0; i < subgraphs.size(); ++i) {
+    const size_t root = uf.Find(i);
+    auto [it, inserted] = cluster_of_root.emplace(
+        root, static_cast<uint32_t>(cluster_of_root.size()));
+    if (inserted) sizes.push_back(0);
+    clustering.cluster_id[i] = it->second;
+    ++sizes[it->second];
+  }
+  clustering.num_clusters = sizes.size();
+  clustering.max_cluster_size = *std::max_element(sizes.begin(), sizes.end());
+  (void)num_vertices;
+  return clustering;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,34 @@
+#ifndef DVICL_SSM_SSM_COUNT_H_
+#define DVICL_SSM_SSM_COUNT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dvicl/auto_tree.h"
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Subgraph clustering by symmetry (paper Table 7): given a family of
+// subgraphs of G (all triangles, all maximum cliques, ...), group them into
+// clusters of mutually symmetric subgraphs — orbits of the family under the
+// action of Aut(G) given by `generators`.
+struct SubgraphClustering {
+  // cluster_id[i] = index of the orbit containing subgraphs[i].
+  std::vector<uint32_t> cluster_id;
+  uint64_t num_clusters = 0;
+  uint64_t max_cluster_size = 0;
+};
+
+// The family must be closed under the group action (triangles map to
+// triangles, maximum cliques to maximum cliques); images that fall outside
+// the provided family (possible only if the family was truncated) are
+// ignored. Each subgraph must be a sorted vertex set.
+SubgraphClustering ClusterSubgraphsBySymmetry(
+    VertexId num_vertices, std::span<const SparseAut> generators,
+    const std::vector<std::vector<VertexId>>& subgraphs);
+
+}  // namespace dvicl
+
+#endif  // DVICL_SSM_SSM_COUNT_H_

@@ -1,0 +1,132 @@
+#include "ssm/subgraph_match.h"
+
+#include <algorithm>
+#include <set>
+
+namespace dvicl {
+
+namespace {
+
+// Backtracking matcher: maps pattern vertices (in a connectivity-friendly
+// order) onto graph vertices, enforcing induced-subgraph consistency.
+class Matcher {
+ public:
+  Matcher(const Graph& graph, const std::vector<VertexId>& pattern,
+          size_t max_results)
+      : graph_(graph), pattern_(pattern), max_results_(max_results) {
+    // Degree of each pattern vertex inside the pattern (the induced
+    // subgraph): a candidate needs at least that many graph neighbors.
+    pattern_degree_.assign(pattern_.size(), 0);
+    for (size_t i = 0; i < pattern_.size(); ++i) {
+      for (size_t j = 0; j < pattern_.size(); ++j) {
+        if (i != j && graph_.HasEdge(pattern_[i], pattern_[j])) {
+          ++pattern_degree_[i];
+        }
+      }
+    }
+    // Order pattern vertices so each (after the first) is adjacent to an
+    // earlier one when possible; this makes candidate sets neighbor lists.
+    std::vector<bool> placed(pattern_.size(), false);
+    order_.reserve(pattern_.size());
+    for (size_t step = 0; step < pattern_.size(); ++step) {
+      size_t best = pattern_.size();
+      for (size_t i = 0; i < pattern_.size(); ++i) {
+        if (placed[i]) continue;
+        bool connected = false;
+        for (size_t j : order_) {
+          if (graph_.HasEdge(pattern_[i], pattern_[j])) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) {
+          best = i;
+          break;
+        }
+        if (best == pattern_.size()) best = i;
+      }
+      placed[best] = true;
+      order_.push_back(best);
+    }
+  }
+
+  std::vector<std::vector<VertexId>> Run() {
+    assignment_.assign(pattern_.size(), 0);
+    Extend(0);
+    return {results_.begin(), results_.end()};
+  }
+
+ private:
+  bool Full() const {
+    return max_results_ != 0 && results_.size() >= max_results_;
+  }
+
+  void Extend(size_t step) {
+    if (Full()) return;
+    if (step == pattern_.size()) {
+      std::vector<VertexId> image(assignment_);
+      std::sort(image.begin(), image.end());
+      results_.insert(std::move(image));
+      return;
+    }
+    const size_t pi = order_[step];
+    const VertexId p = pattern_[pi];
+
+    // Candidates: neighbors of an already-mapped pattern neighbor, else all
+    // vertices with sufficient degree.
+    std::vector<VertexId> candidates;
+    bool have_anchor = false;
+    for (size_t prev = 0; prev < step; ++prev) {
+      if (graph_.HasEdge(p, pattern_[order_[prev]])) {
+        const auto span = graph_.Neighbors(assignment_[order_[prev]]);
+        candidates.assign(span.begin(), span.end());
+        have_anchor = true;
+        break;
+      }
+    }
+    if (!have_anchor) {
+      candidates.resize(graph_.NumVertices());
+      for (VertexId v = 0; v < graph_.NumVertices(); ++v) candidates[v] = v;
+    }
+
+    for (VertexId candidate : candidates) {
+      if (Full()) return;
+      if (graph_.Degree(candidate) < pattern_degree_[pi]) continue;
+      bool used = false;
+      for (size_t prev = 0; prev < step && !used; ++prev) {
+        used = assignment_[order_[prev]] == candidate;
+      }
+      if (used) continue;
+      bool consistent = true;
+      for (size_t prev = 0; prev < step && consistent; ++prev) {
+        const bool pattern_edge = graph_.HasEdge(p, pattern_[order_[prev]]);
+        const bool image_edge =
+            graph_.HasEdge(candidate, assignment_[order_[prev]]);
+        consistent = pattern_edge == image_edge;
+      }
+      if (!consistent) continue;
+      assignment_[pi] = candidate;
+      Extend(step + 1);
+    }
+  }
+
+  const Graph& graph_;
+  const std::vector<VertexId>& pattern_;
+  const size_t max_results_;
+  std::vector<uint32_t> pattern_degree_;
+  std::vector<size_t> order_;
+  std::vector<VertexId> assignment_;
+  std::set<std::vector<VertexId>> results_;
+};
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> FindInducedSubgraphs(
+    const Graph& graph, const std::vector<VertexId>& pattern,
+    size_t max_results) {
+  if (pattern.empty()) return {{}};
+  Matcher matcher(graph, pattern, max_results);
+  return matcher.Run();
+}
+
+}  // namespace dvicl

@@ -1,0 +1,30 @@
+#ifndef DVICL_SSM_SUBGRAPH_MATCH_H_
+#define DVICL_SSM_SUBGRAPH_MATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Generic induced-subgraph isomorphism enumeration (VF2-style backtracking
+// with degree pruning): finds every vertex set S of `graph` whose induced
+// subgraph is isomorphic to the subgraph induced by `pattern` (a vertex set
+// of `graph` itself, as in SSM where the query must exist in G). Results
+// are sorted vertex sets, deduplicated (one entry per vertex SET, not per
+// mapping), and include `pattern` itself.
+//
+// This is the paper's baseline "SM" (Algorithm 6 line 3 uses an existing
+// subgraph-matching algorithm on leaf nodes); it is also what §6.4 argues
+// SSM-AT beats: SM enumerates all isomorphic copies, most of which are not
+// symmetric to the query, and verifying symmetry needs extra work.
+//
+// `max_results` caps the output (0 = unlimited).
+std::vector<std::vector<VertexId>> FindInducedSubgraphs(
+    const Graph& graph, const std::vector<VertexId>& pattern,
+    size_t max_results = 0);
+
+}  // namespace dvicl
+
+#endif  // DVICL_SSM_SUBGRAPH_MATCH_H_

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/influence_max.h"
+#include "analysis/k_symmetry.h"
+#include "analysis/max_clique.h"
+#include "analysis/triangles.h"
+#include "dvicl/dvicl.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::PaperFigure1Graph;
+using testing_util::PaperFigure3Graph;
+using testing_util::RandomGraph;
+
+// Reference maximum clique size by brute force over all subsets (n <= 16).
+size_t BruteForceMaxCliqueSize(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  size_t best = 0;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<VertexId> set;
+    for (VertexId v = 0; v < n; ++v) {
+      if (mask & (1u << v)) set.push_back(v);
+    }
+    if (set.size() <= best) continue;
+    bool clique = true;
+    for (size_t i = 0; i < set.size() && clique; ++i) {
+      for (size_t j = i + 1; j < set.size() && clique; ++j) {
+        clique = g.HasEdge(set[i], set[j]);
+      }
+    }
+    if (clique) best = set.size();
+  }
+  return best;
+}
+
+TEST(MaxCliqueTest, KnownGraphs) {
+  EXPECT_EQ(FindMaximumClique(PaperFigure1Graph()).size(), 4u);  // 4,5,6,7
+  Graph k5 = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4},
+                                  {1, 2}, {1, 3}, {1, 4},
+                                  {2, 3}, {2, 4}, {3, 4}});
+  auto clique = FindMaximumClique(k5);
+  EXPECT_EQ(clique.size(), 5u);
+  Graph triangle_free = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(FindMaximumClique(triangle_free).size(), 2u);
+  EXPECT_TRUE(FindMaximumClique(Graph::FromEdges(0, {})).empty());
+  EXPECT_EQ(FindMaximumClique(Graph::FromEdges(3, {})).size(), 1u);
+}
+
+TEST(MaxCliqueTest, MatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Graph g = RandomGraph(12, 0.45, seed);
+    EXPECT_EQ(FindMaximumClique(g).size(), BruteForceMaxCliqueSize(g))
+        << "seed=" << seed;
+  }
+}
+
+TEST(MaxCliqueTest, ResultIsActuallyAClique) {
+  Graph g = RandomGraph(20, 0.4, 7);
+  auto clique = FindMaximumClique(g);
+  for (size_t i = 0; i < clique.size(); ++i) {
+    for (size_t j = i + 1; j < clique.size(); ++j) {
+      EXPECT_TRUE(g.HasEdge(clique[i], clique[j]));
+    }
+  }
+}
+
+TEST(MaxCliqueTest, EnumerateAllOfSize) {
+  // Fig. 1(a) has exactly one maximum clique {4,5,6,7}.
+  Graph g = PaperFigure1Graph();
+  auto cliques = FindAllCliquesOfSize(g, 4);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (std::vector<VertexId>{4, 5, 6, 7}));
+  // Triangles of K4: four of size 3.
+  Graph k4 = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3},
+                                  {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(FindAllCliquesOfSize(k4, 3).size(), 4u);
+  EXPECT_EQ(FindAllCliquesOfSize(k4, 3, 2).size(), 2u);  // cap
+}
+
+TEST(TrianglesTest, CountsMatchEnumeration) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = RandomGraph(15, 0.3, seed);
+    EXPECT_EQ(CountTriangles(g), EnumerateTriangles(g).size());
+  }
+}
+
+TEST(TrianglesTest, KnownCounts) {
+  // {4,5,6}, three hub triangles in the triangle part, four hub triangles
+  // over the 4-cycle's edges.
+  EXPECT_EQ(CountTriangles(PaperFigure1Graph()), 8u);
+  Graph k5 = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4},
+                                  {1, 2}, {1, 3}, {1, 4},
+                                  {2, 3}, {2, 4}, {3, 4}});
+  EXPECT_EQ(CountTriangles(k5), 10u);  // C(5,3)
+  EXPECT_EQ(CountTriangles(Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}})),
+            0u);
+}
+
+TEST(TrianglesTest, TrianglesAreSortedAndValid) {
+  Graph g = RandomGraph(20, 0.3, 5);
+  for (const auto& t : EnumerateTriangles(g)) {
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_LT(t[0], t[1]);
+    EXPECT_LT(t[1], t[2]);
+    EXPECT_TRUE(g.HasEdge(t[0], t[1]));
+    EXPECT_TRUE(g.HasEdge(t[1], t[2]));
+    EXPECT_TRUE(g.HasEdge(t[0], t[2]));
+  }
+}
+
+TEST(TrianglesTest, EnumerationCap) {
+  Graph k5 = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4},
+                                  {1, 2}, {1, 3}, {1, 4},
+                                  {2, 3}, {2, 4}, {3, 4}});
+  EXPECT_EQ(EnumerateTriangles(k5, 4).size(), 4u);
+}
+
+TEST(InfluenceMaxTest, SelectsHubFirstOnStar) {
+  // On a star, the hub has maximal spread.
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v <= 20; ++v) edges.emplace_back(0, v);
+  Graph star = Graph::FromEdges(21, std::move(edges));
+  InfluenceMaxOptions options;
+  options.edge_probability = 0.5;
+  options.monte_carlo_rounds = 200;
+  auto result = GreedyInfluenceMaximization(star, 1, options);
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_GT(result.estimated_spread, 1.0);
+}
+
+TEST(InfluenceMaxTest, SeedsAreDistinctAndBounded) {
+  Graph g = RandomGraph(40, 0.1, 3);
+  auto result = GreedyInfluenceMaximization(g, 10);
+  EXPECT_EQ(result.seeds.size(), 10u);
+  std::vector<VertexId> sorted = result.seeds;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(InfluenceMaxTest, KLargerThanGraph) {
+  Graph g = RandomGraph(5, 0.5, 1);
+  auto result = GreedyInfluenceMaximization(g, 50);
+  EXPECT_EQ(result.seeds.size(), 5u);
+}
+
+TEST(InfluenceMaxTest, SpreadDeterministicGivenSeed) {
+  Graph g = RandomGraph(30, 0.15, 2);
+  InfluenceMaxOptions options;
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, {0, 1}, options),
+                   EstimateSpread(g, {0, 1}, options));
+}
+
+TEST(KSymmetryTest, DuplicatesUnderRepresentedClasses) {
+  // Fig. 3 graph: wings already symmetric (class of 2); with k = 3, one
+  // more wing copy is added.
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  ASSERT_TRUE(r.completed);
+  KSymmetryResult anonymized = AnonymizeKSymmetry(g, r, 3);
+  EXPECT_GT(anonymized.copies_added, 0u);
+  EXPECT_GT(anonymized.anonymized.NumVertices(), g.NumVertices());
+
+  // Verify via DviCL on the output: every wing vertex now has >= 2
+  // automorphic counterparts.
+  DviclResult check = DviclCanonicalLabeling(
+      anonymized.anonymized, Coloring::Unit(anonymized.anonymized.NumVertices()),
+      {});
+  ASSERT_TRUE(check.completed);
+  const auto orbits = OrbitIdsFromGenerators(
+      anonymized.anonymized.NumVertices(), check.generators);
+  std::vector<uint32_t> orbit_size(anonymized.anonymized.NumVertices(), 0);
+  for (VertexId v = 0; v < anonymized.anonymized.NumVertices(); ++v) {
+    ++orbit_size[orbits[v]];
+  }
+  // Wing vertices of the ORIGINAL graph (2..13) must be in orbits >= 3.
+  for (VertexId v = 2; v < 14; ++v) {
+    EXPECT_GE(orbit_size[orbits[v]], 3u) << "v=" << v;
+  }
+}
+
+TEST(KSymmetryTest, KOneIsIdentity) {
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  KSymmetryResult anonymized = AnonymizeKSymmetry(g, r, 1);
+  EXPECT_EQ(anonymized.anonymized, g);
+  EXPECT_EQ(anonymized.copies_added, 0u);
+}
+
+}  // namespace
+}  // namespace dvicl

@@ -1,0 +1,180 @@
+// Tests for auxiliary public APIs: explicit isomorphism witnesses, AutoTree
+// rendering, BigUint combinatorics, and sparse automorphisms.
+
+#include <gtest/gtest.h>
+
+#include "common/big_uint.h"
+#include "dvicl/auto_tree.h"
+#include "dvicl/dvicl.h"
+#include "perm/schreier_sims.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::PaperFigure3Graph;
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+TEST(FindIsomorphismTest, WitnessActuallyMapsG1ToG2) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g1 = RandomGraph(20, 0.25, seed);
+    Permutation gamma = RandomPermutation(20, seed + 70);
+    Graph g2 = g1.RelabeledBy(gamma.ImageArray());
+    Result<Permutation> witness = DviclFindIsomorphism(g1, g2);
+    ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+    EXPECT_EQ(g1.RelabeledBy(witness.value().ImageArray()), g2)
+        << "seed=" << seed;
+  }
+}
+
+TEST(FindIsomorphismTest, NonIsomorphicReturnsNotFound) {
+  Graph path = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  Graph star = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  Result<Permutation> witness = DviclFindIsomorphism(path, star);
+  ASSERT_FALSE(witness.ok());
+  EXPECT_EQ(witness.status().code(), Status::Code::kNotFound);
+}
+
+TEST(FindIsomorphismTest, SizeMismatchIsNotFound) {
+  Result<Permutation> witness = DviclFindIsomorphism(
+      Graph::FromEdges(3, {{0, 1}}), Graph::FromEdges(4, {{0, 1}}));
+  ASSERT_FALSE(witness.ok());
+  EXPECT_EQ(witness.status().code(), Status::Code::kNotFound);
+}
+
+TEST(FindIsomorphismTest, BudgetExhaustionIsResourceExhausted) {
+  // A cycle stays one equitable cell, so the leaf IR needs a real search;
+  // a one-node budget cannot complete it.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 16; ++v) edges.emplace_back(v, (v + 1) % 16);
+  Graph g = Graph::FromEdges(16, std::move(edges));
+  DviclOptions options;
+  options.leaf_max_tree_nodes = 1;
+  Result<Permutation> witness = DviclFindIsomorphism(g, g, options);
+  ASSERT_FALSE(witness.ok());
+  EXPECT_EQ(witness.status().code(), Status::Code::kResourceExhausted);
+}
+
+TEST(FormatAutoTreeTest, RendersStructure) {
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  ASSERT_TRUE(r.completed);
+  const std::string text = FormatAutoTree(r.tree);
+  // Root line, both divide kinds, and symmetry classes must appear.
+  EXPECT_NE(text.find("DivideI"), std::string::npos);
+  EXPECT_NE(text.find("DivideS"), std::string::npos);
+  EXPECT_NE(text.find("leaf"), std::string::npos);
+  EXPECT_NE(text.find("class="), std::string::npos);
+  // One line per node.
+  EXPECT_EQ(static_cast<uint32_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            r.tree.NumNodes());
+}
+
+TEST(FormatAutoTreeTest, TruncationMarker) {
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  const std::string text = FormatAutoTree(r.tree, 3);
+  EXPECT_NE(text.find("truncated"), std::string::npos);
+}
+
+TEST(BigUintTest, BinomialKnownValues) {
+  EXPECT_EQ(BigUint::Binomial(5, 2).ToDecimalString(), "10");
+  EXPECT_EQ(BigUint::Binomial(10, 0).ToDecimalString(), "1");
+  EXPECT_EQ(BigUint::Binomial(10, 10).ToDecimalString(), "1");
+  EXPECT_TRUE(BigUint::Binomial(4, 7).IsZero());
+  EXPECT_EQ(BigUint::Binomial(52, 5).ToDecimalString(), "2598960");
+  // A value beyond 64 bits: C(100, 50).
+  EXPECT_EQ(BigUint::Binomial(100, 50).ToDecimalString(),
+            "100891344545564193334812497256");
+}
+
+TEST(BigUintTest, BinomialPascalIdentity) {
+  for (uint64_t n = 1; n < 30; ++n) {
+    for (uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(BigUint::Binomial(n, k),
+                BigUint::Binomial(n - 1, k - 1) + BigUint::Binomial(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(BigUintTest, DivideBySmallExact) {
+  BigUint v = BigUint::Factorial(30);
+  BigUint w = v;
+  w.DivideBySmall(30);
+  EXPECT_EQ(w, BigUint::Factorial(29));
+  // Floor semantics on inexact division.
+  BigUint seven(7);
+  seven.DivideBySmall(2);
+  EXPECT_EQ(seven.ToUint64(), 3u);
+}
+
+TEST(AutOrderFromTreeTest, MatchesSchreierSimsAcrossFamilies) {
+  const Graph graphs[] = {
+      testing_util::PaperFigure1Graph(),     // 48
+      PaperFigure3Graph(),                   // 72
+      RandomGraph(25, 0.2, 1),
+      RandomGraph(25, 0.08, 2),
+  };
+  for (const Graph& g : graphs) {
+    DviclResult r =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    ASSERT_TRUE(r.completed);
+    SchreierSims chain(g.NumVertices());
+    for (const SparseAut& gen : r.generators) {
+      chain.AddGenerator(gen.ToDense(g.NumVertices()));
+    }
+    EXPECT_EQ(AutomorphismOrderFromTree(r.tree), chain.Order());
+  }
+}
+
+TEST(AutOrderFromTreeTest, KnownOrders) {
+  // Fig. 1(a): 48. Fig. 3: 72. Two disjoint triangles: 72. K5: 120.
+  struct Case {
+    Graph graph;
+    uint64_t order;
+  } cases[] = {
+      {testing_util::PaperFigure1Graph(), 48},
+      {PaperFigure3Graph(), 72},
+      {Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}),
+       72},
+      {Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3},
+                            {1, 4}, {2, 3}, {2, 4}, {3, 4}}),
+       120},
+  };
+  for (const Case& c : cases) {
+    DviclResult r = DviclCanonicalLabeling(
+        c.graph, Coloring::Unit(c.graph.NumVertices()), {});
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(AutomorphismOrderFromTree(r.tree), BigUint(c.order));
+  }
+}
+
+TEST(AutOrderFromTreeTest, LargeTwinGraphOrderIsAstronomical) {
+  // 50 twins of one hub vertex: Aut contains S_50; order has > 60 digits,
+  // exercising the BigUint path end-to-end.
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v <= 50; ++v) edges.emplace_back(0, v);
+  Graph star = Graph::FromEdges(51, std::move(edges));
+  DviclResult r = DviclCanonicalLabeling(star, Coloring::Unit(51), {});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(AutomorphismOrderFromTree(r.tree), BigUint::Factorial(50));
+}
+
+TEST(SparseAutTest, DenseRoundTrip) {
+  SparseAut aut;
+  aut.moves = {{1, 4}, {4, 1}, {6, 7}, {7, 6}};
+  Permutation dense = aut.ToDense(10);
+  EXPECT_EQ(dense.ToCycleString(), "(1,4)(6,7)");
+  EXPECT_EQ(aut.ImageOf(1), 4u);
+  EXPECT_EQ(aut.ImageOf(4), 1u);
+  EXPECT_EQ(aut.ImageOf(0), 0u);
+  EXPECT_EQ(aut.ImageOf(9), 9u);
+  EXPECT_FALSE(aut.IsIdentity());
+  EXPECT_TRUE(SparseAut{}.IsIdentity());
+}
+
+}  // namespace
+}  // namespace dvicl

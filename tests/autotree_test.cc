@@ -1,0 +1,168 @@
+// Structural invariants of the AutoTree itself, checked on random and
+// structured graphs: children partition their parent, labels are unique and
+// color-consistent, symmetry classes align with canonical-form hashes, and
+// the root labeling is the bijection the certificate is built from.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::PaperFigure1Graph;
+using testing_util::PaperFigure3Graph;
+using testing_util::RandomGraph;
+
+void CheckInvariants(const Graph& g, const DviclResult& r) {
+  const AutoTree& tree = r.tree;
+  ASSERT_TRUE(r.completed);
+
+  for (uint32_t id = 0; id < tree.NumNodes(); ++id) {
+    const AutoTreeNode& node = tree.Node(id);
+
+    // Vertices sorted, unique, non-empty (except possibly an empty root).
+    ASSERT_TRUE(std::is_sorted(node.vertices.begin(), node.vertices.end()));
+    ASSERT_TRUE(std::adjacent_find(node.vertices.begin(),
+                                   node.vertices.end()) ==
+                node.vertices.end());
+    if (g.NumVertices() > 0) {
+      ASSERT_FALSE(node.vertices.empty());
+    }
+
+    // Edges lie within the node and are a subset of G's edges (divide only
+    // removes).
+    std::unordered_set<VertexId> members(node.vertices.begin(),
+                                         node.vertices.end());
+    for (const Edge& e : node.edges) {
+      EXPECT_LT(e.first, e.second);
+      EXPECT_TRUE(members.count(e.first));
+      EXPECT_TRUE(members.count(e.second));
+      EXPECT_TRUE(g.HasEdge(e.first, e.second));
+    }
+
+    // Labels: aligned with vertices, unique within the node, and each label
+    // lies in [color, color + cell size) — i.e., it encodes the color.
+    ASSERT_EQ(node.labels.size(), node.vertices.size());
+    std::set<VertexId> label_set(node.labels.begin(), node.labels.end());
+    EXPECT_EQ(label_set.size(), node.labels.size()) << "labels not unique";
+    for (size_t i = 0; i < node.vertices.size(); ++i) {
+      EXPECT_GE(node.labels[i], r.colors[node.vertices[i]]);
+    }
+
+    if (!node.is_leaf) {
+      // Children partition the parent's vertex set.
+      ASSERT_FALSE(node.children.empty());
+      ASSERT_EQ(node.child_sym_class.size(), node.children.size());
+      size_t total = 0;
+      std::unordered_set<VertexId> seen;
+      for (uint32_t child_id : node.children) {
+        const AutoTreeNode& child = tree.Node(child_id);
+        EXPECT_EQ(child.parent, static_cast<int32_t>(id));
+        EXPECT_EQ(child.depth, node.depth + 1);
+        total += child.vertices.size();
+        for (VertexId v : child.vertices) {
+          EXPECT_TRUE(members.count(v));
+          EXPECT_TRUE(seen.insert(v).second) << "vertex in two children";
+        }
+      }
+      EXPECT_EQ(total, node.vertices.size());
+
+      // Symmetry classes: non-decreasing along the sorted children, equal
+      // class => equal form hash and equal label multiset.
+      for (size_t i = 1; i < node.children.size(); ++i) {
+        EXPECT_GE(node.child_sym_class[i], node.child_sym_class[i - 1]);
+        if (node.child_sym_class[i] == node.child_sym_class[i - 1]) {
+          const AutoTreeNode& a = tree.Node(node.children[i - 1]);
+          const AutoTreeNode& b = tree.Node(node.children[i]);
+          EXPECT_EQ(a.form_hash, b.form_hash);
+          std::vector<VertexId> la(a.labels);
+          std::vector<VertexId> lb(b.labels);
+          std::sort(la.begin(), la.end());
+          std::sort(lb.begin(), lb.end());
+          EXPECT_EQ(la, lb);
+        }
+      }
+    } else {
+      EXPECT_TRUE(node.children.empty());
+      // leaf_of points back at this leaf.
+      for (VertexId v : node.vertices) {
+        EXPECT_EQ(tree.LeafOf(v), id);
+      }
+    }
+  }
+
+  // Root labels are exactly the canonical labeling.
+  const AutoTreeNode& root = tree.Root();
+  for (size_t i = 0; i < root.vertices.size(); ++i) {
+    EXPECT_EQ(root.labels[i], r.canonical_labeling(root.vertices[i]));
+  }
+}
+
+TEST(AutoTreeInvariantsTest, PaperGraphs) {
+  for (const Graph& g : {PaperFigure1Graph(), PaperFigure3Graph()}) {
+    DviclResult r =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    CheckInvariants(g, r);
+  }
+}
+
+TEST(AutoTreeInvariantsTest, RandomGraphSweep) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = RandomGraph(40, 0.1, seed);
+    DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(40), {});
+    CheckInvariants(g, r);
+  }
+}
+
+TEST(AutoTreeInvariantsTest, TwinRichGraphs) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Graph g = WithTwins(PreferentialAttachmentGraph(80, 3, seed), 0.3,
+                        seed + 100);
+    DviclResult r =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    CheckInvariants(g, r);
+  }
+}
+
+TEST(AutoTreeInvariantsTest, StructuredFamilies) {
+  const Graph graphs[] = {CycleGraph(12),      Torus3dGraph(3),
+                          HadamardGraph(8),    CfiGraph(8, true),
+                          AffinePlaneGraph(3), CompleteBipartiteGraph(4, 6)};
+  for (const Graph& g : graphs) {
+    DviclResult r =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    CheckInvariants(g, r);
+  }
+}
+
+TEST(AutoTreeInvariantsTest, ColoredInputs) {
+  Graph g = PaperFigure1Graph();
+  // Force the cycle/triangle split by initial colors.
+  Coloring pi = Coloring::FromLabels(
+      std::vector<uint32_t>{0, 0, 0, 0, 1, 1, 1, 2});
+  DviclResult r = DviclCanonicalLabeling(g, pi, {});
+  CheckInvariants(g, r);
+}
+
+TEST(AutoTreeInvariantsTest, DisconnectedAndDegenerate) {
+  const Graph graphs[] = {
+      Graph::FromEdges(0, {}),
+      Graph::FromEdges(1, {}),
+      Graph::FromEdges(5, {}),  // 5 isolated vertices
+      Graph::FromEdges(6, {{0, 1}, {2, 3}, {4, 5}}),  // perfect matching
+  };
+  for (const Graph& g : graphs) {
+    DviclResult r =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    CheckInvariants(g, r);
+  }
+}
+
+}  // namespace
+}  // namespace dvicl

@@ -1,0 +1,173 @@
+// Model-based stress test for the ordered-partition Coloring: random
+// sequences of individualizations and splits are mirrored on a simple
+// vector-of-vectors model; after every operation the two representations
+// must agree exactly (cell order, offsets, membership, inverse arrays).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "common/rng.h"
+#include "refine/coloring.h"
+
+namespace dvicl {
+namespace {
+
+// Reference model: ordered list of cells (vectors of vertices).
+class ModelPartition {
+ public:
+  explicit ModelPartition(VertexId n) {
+    std::vector<VertexId> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    cells_.push_back(std::move(all));
+  }
+
+  size_t NumCells() const { return cells_.size(); }
+
+  // Offset of the cell containing v == sum of earlier cell sizes.
+  VertexId ColorOf(VertexId v) const {
+    VertexId offset = 0;
+    for (const auto& cell : cells_) {
+      for (VertexId u : cell) {
+        if (u == v) return offset;
+      }
+      offset += static_cast<VertexId>(cell.size());
+    }
+    ADD_FAILURE() << "vertex not found";
+    return 0;
+  }
+
+  size_t CellSizeOf(VertexId v) const {
+    for (const auto& cell : cells_) {
+      for (VertexId u : cell) {
+        if (u == v) return cell.size();
+      }
+    }
+    return 0;
+  }
+
+  void Individualize(VertexId v) {
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      auto it = std::find(cells_[i].begin(), cells_[i].end(), v);
+      if (it == cells_[i].end()) continue;
+      if (cells_[i].size() == 1) return;
+      cells_[i].erase(it);
+      cells_.insert(cells_.begin() + static_cast<ptrdiff_t>(i), {v});
+      return;
+    }
+  }
+
+  // Split the cell containing `anchor` by keys (ascending; all members get
+  // a key).
+  void SplitByKeys(VertexId anchor, const std::vector<uint64_t>& keys) {
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      if (std::find(cells_[i].begin(), cells_[i].end(), anchor) ==
+          cells_[i].end()) {
+        continue;
+      }
+      std::map<uint64_t, std::vector<VertexId>> groups;
+      for (VertexId v : cells_[i]) groups[keys[v]].push_back(v);
+      if (groups.size() <= 1) return;
+      std::vector<std::vector<VertexId>> fragments;
+      for (auto& [key, members] : groups) {
+        fragments.push_back(std::move(members));
+      }
+      cells_.erase(cells_.begin() + static_cast<ptrdiff_t>(i));
+      cells_.insert(cells_.begin() + static_cast<ptrdiff_t>(i),
+                    fragments.begin(), fragments.end());
+      return;
+    }
+  }
+
+ private:
+  std::vector<std::vector<VertexId>> cells_;
+};
+
+void ExpectAgreement(const Coloring& pi, const ModelPartition& model,
+                     VertexId n) {
+  ASSERT_EQ(pi.NumCells(), model.NumCells());
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_EQ(pi.ColorOf(v), model.ColorOf(v)) << "v=" << v;
+    EXPECT_EQ(pi.CellSizeAt(pi.ColorOf(v)), model.CellSizeOf(v));
+  }
+  // Internal consistency: order_/pos_ inverse, contiguous cells.
+  for (VertexId p = 0; p < n; ++p) {
+    EXPECT_EQ(pi.PositionOf(pi.VertexAtPosition(p)), p);
+  }
+}
+
+TEST(ColoringStressTest, RandomOperationSequences) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const VertexId n = 10 + static_cast<VertexId>(rng.NextBounded(30));
+    Coloring pi = Coloring::Unit(n);
+    ModelPartition model(n);
+
+    for (int step = 0; step < 40 && !pi.IsDiscrete(); ++step) {
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      if (rng.NextBernoulli(0.5)) {
+        pi.Individualize(v);
+        model.Individualize(v);
+      } else {
+        // Random small-range keys over the whole vertex set.
+        std::vector<uint64_t> keys(n);
+        for (VertexId u = 0; u < n; ++u) keys[u] = rng.NextBounded(3);
+        pi.SplitCellByKeys(pi.ColorOf(v), keys);
+        model.SplitByKeys(v, keys);
+      }
+      ExpectAgreement(pi, model, n);
+    }
+  }
+}
+
+TEST(ColoringStressTest, TailGroupSplitAgainstModel) {
+  for (uint64_t seed = 100; seed < 115; ++seed) {
+    Rng rng(seed);
+    const VertexId n = 12 + static_cast<VertexId>(rng.NextBounded(20));
+    Coloring pi = Coloring::Unit(n);
+    ModelPartition model(n);
+
+    for (int step = 0; step < 25 && !pi.IsDiscrete(); ++step) {
+      const VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId start = pi.ColorOf(v);
+      const auto cell = pi.CellVerticesAt(start);
+      if (cell.size() <= 1) continue;
+
+      // Pick a random nonzero-key subset of the cell.
+      std::vector<uint64_t> keys(n, 0);
+      std::vector<std::pair<uint64_t, VertexId>> counted;
+      for (VertexId u : cell) {
+        if (rng.NextBernoulli(0.4)) {
+          keys[u] = 1 + rng.NextBounded(3);
+          counted.emplace_back(keys[u], u);
+        }
+      }
+      if (counted.empty()) continue;
+      std::sort(counted.begin(), counted.end());
+
+      pi.SplitCellByTailGroups(start, counted);
+      model.SplitByKeys(v, keys);
+      ExpectAgreement(pi, model, n);
+    }
+  }
+}
+
+TEST(ColoringStressTest, DiscreteColoringRoundTrip) {
+  // Drive to discrete by repeated individualization; the resulting
+  // permutation must invert correctly.
+  Rng rng(7);
+  const VertexId n = 20;
+  Coloring pi = Coloring::Unit(n);
+  while (!pi.IsDiscrete()) {
+    pi.Individualize(static_cast<VertexId>(rng.NextBounded(n)));
+  }
+  Permutation gamma = pi.ToPermutation();
+  EXPECT_TRUE(gamma.Then(gamma.Inverse()).IsIdentity());
+  for (VertexId v = 0; v < n; ++v) {
+    EXPECT_EQ(gamma(v), pi.PositionOf(v));
+  }
+}
+
+}  // namespace
+}  // namespace dvicl

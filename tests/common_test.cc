@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/big_uint.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dvicl {
+namespace {
+
+TEST(BigUintTest, ZeroAndSmallValues) {
+  BigUint zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_EQ(zero.ToDecimalString(), "0");
+  EXPECT_EQ(zero.ToUint64(), 0u);
+
+  BigUint one(1);
+  EXPECT_FALSE(one.IsZero());
+  EXPECT_EQ(one.ToDecimalString(), "1");
+  EXPECT_EQ((zero + one).ToDecimalString(), "1");
+}
+
+TEST(BigUintTest, AdditionWithCarry) {
+  BigUint a(0xffffffffffffffffull);
+  BigUint b(1);
+  EXPECT_EQ((a + b).ToDecimalString(), "18446744073709551616");
+}
+
+TEST(BigUintTest, MultiplicationMatchesUint64) {
+  BigUint a(123456789);
+  BigUint b(987654321);
+  EXPECT_EQ((a * b).ToUint64(), 123456789ull * 987654321ull);
+}
+
+TEST(BigUintTest, MultiplicationByZero) {
+  BigUint a(42);
+  BigUint zero;
+  EXPECT_TRUE((a * zero).IsZero());
+  EXPECT_TRUE((zero * a).IsZero());
+}
+
+TEST(BigUintTest, FactorialKnownValues) {
+  EXPECT_EQ(BigUint::Factorial(0).ToDecimalString(), "1");
+  EXPECT_EQ(BigUint::Factorial(5).ToDecimalString(), "120");
+  EXPECT_EQ(BigUint::Factorial(20).ToDecimalString(), "2432902008176640000");
+  EXPECT_EQ(BigUint::Factorial(25).ToDecimalString(),
+            "15511210043330985984000000");
+}
+
+TEST(BigUintTest, Comparisons) {
+  EXPECT_LT(BigUint(5), BigUint(7));
+  EXPECT_LT(BigUint(0xffffffffull), BigUint(0x100000000ull));
+  EXPECT_EQ(BigUint(123), BigUint(123));
+  EXPECT_GE(BigUint::Factorial(10), BigUint::Factorial(9));
+}
+
+TEST(BigUintTest, CompactStringScientific) {
+  EXPECT_EQ(BigUint(123).ToCompactString(), "123");
+  EXPECT_EQ(BigUint(1234567).ToCompactString(), "1234567");
+  // 8.82E+15, as the paper prints for wikivote.
+  BigUint big(8820000000000000ull);
+  EXPECT_EQ(big.ToCompactString(), "8.82E+15");
+}
+
+TEST(BigUintTest, FitsUint64Boundary) {
+  BigUint big = BigUint::Factorial(20);  // still < 2^64
+  EXPECT_TRUE(big.FitsUint64());
+  BigUint too_big = BigUint::Factorial(21);
+  EXPECT_FALSE(too_big.FitsUint64());
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.message(), "nope");
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: nope");
+}
+
+TEST(StatusTest, ResultCarriesValueOrStatus) {
+  Result<int> good(42);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(Status::NotFound("missing"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace dvicl

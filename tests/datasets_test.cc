@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/benchmark_suite.h"
+#include "datasets/generators.h"
+#include "datasets/real_suite.h"
+#include "dvicl/dvicl.h"
+#include "dvicl/simplify.h"
+#include "ir/ir_canonical.h"
+#include "refine/refiner.h"
+
+namespace dvicl {
+namespace {
+
+TEST(GeneratorsTest, ElementaryFamilies) {
+  EXPECT_EQ(CycleGraph(10).NumEdges(), 10u);
+  EXPECT_EQ(PathGraph(10).NumEdges(), 9u);
+  EXPECT_EQ(CompleteGraph(7).NumEdges(), 21u);
+  EXPECT_EQ(CompleteBipartiteGraph(3, 4).NumEdges(), 12u);
+  EXPECT_EQ(StarGraph(9).NumEdges(), 9u);
+  EXPECT_EQ(StarGraph(9).Degree(0), 9u);
+}
+
+TEST(GeneratorsTest, TorusIsSixRegular) {
+  Graph torus = Torus3dGraph(4);
+  EXPECT_EQ(torus.NumVertices(), 64u);
+  EXPECT_EQ(torus.NumEdges(), 64u * 6 / 2);
+  for (VertexId v = 0; v < torus.NumVertices(); ++v) {
+    EXPECT_EQ(torus.Degree(v), 6u);
+  }
+  // Vertex-transitive: unit coloring stays equitable with one cell.
+  Coloring pi = Coloring::Unit(torus.NumVertices());
+  RefineToEquitable(torus, &pi);
+  EXPECT_EQ(pi.NumCells(), 1u);
+}
+
+TEST(GeneratorsTest, HadamardMatchesTable2Shape) {
+  // had-n: 4n vertices, degree n+1, 4n(n+1)/2 edges (Table 2: had-256 has
+  // 1024 vertices, dmax 257, 131584 edges).
+  Graph had = HadamardGraph(16);
+  EXPECT_EQ(had.NumVertices(), 64u);
+  EXPECT_EQ(had.NumEdges(), 64u * 17 / 2);
+  for (VertexId v = 0; v < had.NumVertices(); ++v) {
+    EXPECT_EQ(had.Degree(v), 17u);
+  }
+  Coloring pi = Coloring::Unit(had.NumVertices());
+  RefineToEquitable(had, &pi);
+  EXPECT_EQ(pi.NumCells(), 1u);  // Table 2: had-256 has 1 cell
+}
+
+TEST(GeneratorsTest, CfiPairIsWlEquivalentButNonIsomorphic) {
+  Graph straight = CfiGraph(8, /*twisted=*/false);
+  Graph twisted = CfiGraph(8, /*twisted=*/true);
+  EXPECT_EQ(straight.NumVertices(), twisted.NumVertices());
+  EXPECT_EQ(straight.NumEdges(), twisted.NumEdges());
+
+  // 1-WL cannot tell them apart: identical refinement shapes.
+  Coloring ps = Coloring::Unit(straight.NumVertices());
+  RefineToEquitable(straight, &ps);
+  Coloring pt = Coloring::Unit(twisted.NumVertices());
+  RefineToEquitable(twisted, &pt);
+  EXPECT_EQ(ps.NumCells(), pt.NumCells());
+
+  // But they are non-isomorphic (the whole point of CFI), which the full
+  // canonical labelers detect.
+  EXPECT_FALSE(DviclIsomorphic(straight, twisted));
+}
+
+TEST(GeneratorsTest, CfiUntwistedCopiesAreIsomorphic) {
+  Graph a = CfiGraph(8, false);
+  Graph b = CfiGraph(8, false);
+  EXPECT_TRUE(DviclIsomorphic(a, b));
+}
+
+TEST(GeneratorsTest, ProjectivePlaneCounts) {
+  // pg2-q: 2(q^2+q+1) vertices, (q+1)-regular.
+  for (uint32_t q : {3u, 5u, 7u}) {
+    Graph pg = ProjectivePlaneGraph(q);
+    const VertexId per_side = q * q + q + 1;
+    EXPECT_EQ(pg.NumVertices(), 2 * per_side);
+    for (VertexId v = 0; v < pg.NumVertices(); ++v) {
+      EXPECT_EQ(pg.Degree(v), q + 1) << "q=" << q << " v=" << v;
+    }
+    EXPECT_EQ(pg.NumEdges(),
+              static_cast<uint64_t>(per_side) * (q + 1));
+  }
+}
+
+TEST(GeneratorsTest, AffinePlaneCounts) {
+  // ag2-q: q^2 points + q^2+q lines, q^2(q+1) edges (Table 2: ag2-49 has
+  // 4851 vertices and 120050 edges).
+  for (uint32_t q : {3u, 5u, 7u}) {
+    Graph ag = AffinePlaneGraph(q);
+    EXPECT_EQ(ag.NumVertices(), q * q + q * q + q);
+    EXPECT_EQ(ag.NumEdges(), static_cast<uint64_t>(q) * q * (q + 1));
+    // Every point lies on q+1 lines; every line has q points.
+    for (VertexId v = 0; v < q * q; ++v) EXPECT_EQ(ag.Degree(v), q + 1);
+    for (VertexId v = q * q; v < ag.NumVertices(); ++v) {
+      EXPECT_EQ(ag.Degree(v), q);
+    }
+  }
+}
+
+TEST(GeneratorsTest, TwinsAreStructurallyEquivalent) {
+  Graph base = ErdosRenyiGraph(50, 0.15, 11);
+  Graph with_twins = WithTwins(base, 0.2, 12);
+  EXPECT_GT(with_twins.NumVertices(), base.NumVertices());
+  StructuralEquivalence eq = FindStructuralEquivalence(with_twins);
+  EXPECT_FALSE(eq.nontrivial_classes.empty());
+}
+
+TEST(GeneratorsTest, TwinClassesHaveHeavyTails) {
+  Graph base = PreferentialAttachmentGraph(400, 3, 21);
+  Graph g = WithTwinClasses(base, 0.1, 24, 22);
+  EXPECT_GT(g.NumVertices(), base.NumVertices());
+  StructuralEquivalence eq = FindStructuralEquivalence(g);
+  ASSERT_FALSE(eq.nontrivial_classes.empty());
+  size_t largest = 0;
+  for (const auto& cls : eq.nontrivial_classes) {
+    largest = std::max(largest, cls.size());
+  }
+  // Geometric class sizes: with ~40 classes, one of size >= 4 is
+  // essentially certain for this fixed seed.
+  EXPECT_GE(largest, 4u);
+}
+
+TEST(GeneratorsTest, WheelGadgetsCreateNonSingletonLeaves) {
+  Graph base = PreferentialAttachmentGraph(300, 3, 31);
+  Graph g = WithWheelGadgets(base, 6, 8, 32);
+  EXPECT_EQ(g.NumVertices(), base.NumVertices() + 6 * 8);
+  DviclResult r =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  ASSERT_TRUE(r.completed);
+  // The rings survive as small IR leaves (Table 3's web-graph shape). A
+  // ring whose anchor collides with another gadget may merge, so require
+  // at least half of them.
+  EXPECT_GE(r.tree.NumNonSingletonLeaves(), 3u);
+  EXPECT_LE(r.tree.AverageNonSingletonLeafSize(), 17.0);
+}
+
+TEST(GeneratorsTest, PendantPathsIncreaseVertices) {
+  Graph base = ErdosRenyiGraph(40, 0.2, 13);
+  Graph with_pendants = WithPendantPaths(base, 0.5, 3, 14);
+  EXPECT_GT(with_pendants.NumVertices(), base.NumVertices());
+}
+
+TEST(GeneratorsTest, PreferentialAttachmentIsHeavyTailed) {
+  Graph g = PreferentialAttachmentGraph(2000, 3, 15);
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  // Heavy tail: the max degree greatly exceeds the average.
+  EXPECT_GT(g.MaxDegree(), 8 * g.AverageDegree());
+}
+
+TEST(GeneratorsTest, GeneratorsAreDeterministic) {
+  EXPECT_EQ(PreferentialAttachmentGraph(500, 4, 42),
+            PreferentialAttachmentGraph(500, 4, 42));
+  EXPECT_EQ(CopyingModelGraph(500, 4, 0.5, 42),
+            CopyingModelGraph(500, 4, 0.5, 42));
+  EXPECT_EQ(CircuitLikeGraph(32, 256, 7), CircuitLikeGraph(32, 256, 7));
+}
+
+TEST(SuiteTest, RealSuiteHas22NamedGraphs) {
+  auto suite = RealSuite(0.2);
+  ASSERT_EQ(suite.size(), 22u);
+  std::set<std::string> names;
+  for (const auto& entry : suite) {
+    names.insert(entry.name);
+    EXPECT_GT(entry.graph.NumVertices(), 0u);
+    EXPECT_GT(entry.graph.NumEdges(), 0u);
+  }
+  EXPECT_EQ(names.size(), 22u);
+  EXPECT_TRUE(names.count("Amazon"));
+  EXPECT_TRUE(names.count("Orkut"));
+  EXPECT_TRUE(names.count("Lastfm"));
+}
+
+TEST(SuiteTest, BenchmarkSuiteHas9Families) {
+  auto suite = BenchmarkSuite(1);
+  ASSERT_EQ(suite.size(), 9u);
+  for (const auto& entry : suite) {
+    EXPECT_GT(entry.graph.NumVertices(), 0u);
+  }
+}
+
+TEST(SuiteTest, RealSuiteMostlySingletonOrbitCells) {
+  // The Table 1 property the suite must preserve: the overwhelming
+  // majority of equitable-coloring cells are singletons.
+  auto suite = RealSuite(0.1);
+  for (size_t i = 0; i < 3; ++i) {  // spot-check a few for test speed
+    const Graph& g = suite[i].graph;
+    Coloring pi = Coloring::Unit(g.NumVertices());
+    RefineToEquitable(g, &pi);
+    uint64_t singleton = 0;
+    const auto starts = pi.CellStarts();
+    for (VertexId s : starts) singleton += (pi.CellSizeAt(s) == 1) ? 1 : 0;
+    EXPECT_GT(singleton * 2, starts.size()) << suite[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace dvicl

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include "common/big_uint.h"
+#include "dvicl/dvicl.h"
+#include "dvicl/simplify.h"
+#include "ir/ir_canonical.h"
+#include "perm/schreier_sims.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::BruteForceAutomorphisms;
+using testing_util::OrbitIdsOf;
+using testing_util::PaperFigure1Graph;
+using testing_util::PaperFigure3Graph;
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+DviclResult RunDvicl(const Graph& g, DviclOptions options = {}) {
+  return DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+}
+
+BigUint GroupOrderOf(const Graph& g, const std::vector<SparseAut>& gens) {
+  SchreierSims chain(g.NumVertices());
+  for (const SparseAut& gen : gens) {
+    chain.AddGenerator(gen.ToDense(g.NumVertices()));
+  }
+  return chain.Order();
+}
+
+TEST(DviclTest, TrivialGraphs) {
+  Graph empty = Graph::FromEdges(0, {});
+  DviclResult r = RunDvicl(empty);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tree.NumNodes(), 1u);
+
+  Graph one = Graph::FromEdges(1, {});
+  r = RunDvicl(one);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.tree.Root().is_leaf);
+  EXPECT_EQ(r.canonical_labeling.Size(), 1u);
+}
+
+TEST(DviclTest, CanonicalLabelingIsBijection) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = RandomGraph(30, 0.15, seed);
+    DviclResult r = RunDvicl(g);
+    ASSERT_TRUE(r.completed);
+    // Permutation's constructor validates bijectivity in debug; also check
+    // the certificate header.
+    EXPECT_EQ(r.canonical_labeling.Size(), 30u);
+    EXPECT_EQ(r.certificate[0], 30u);
+    EXPECT_EQ(r.certificate[1], g.NumEdges());
+  }
+}
+
+TEST(DviclTest, CertificateInvariantUnderRelabeling) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Graph g = RandomGraph(20, 0.2, seed);
+    Permutation gamma = RandomPermutation(20, seed + 500);
+    Graph h = g.RelabeledBy(gamma.ImageArray());
+    DviclResult rg = RunDvicl(g);
+    DviclResult rh = RunDvicl(h);
+    ASSERT_TRUE(rg.completed && rh.completed);
+    EXPECT_EQ(rg.certificate, rh.certificate) << "seed=" << seed;
+  }
+}
+
+TEST(DviclTest, CertificateInvariantOnSymmetricGraphs) {
+  // Highly symmetric fixtures where the divide machinery actually fires.
+  const Graph fixtures[] = {PaperFigure1Graph(), PaperFigure3Graph()};
+  for (const Graph& g : fixtures) {
+    DviclResult base = RunDvicl(g);
+    ASSERT_TRUE(base.completed);
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      Permutation gamma = RandomPermutation(g.NumVertices(), seed);
+      Graph h = g.RelabeledBy(gamma.ImageArray());
+      DviclResult rh = RunDvicl(h);
+      ASSERT_TRUE(rh.completed);
+      EXPECT_EQ(base.certificate, rh.certificate) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(DviclTest, IsomorphismDecisionsAgreeWithIr) {
+  // DviCL (the k-th minimum labeling) and plain IR (the minimum labeling)
+  // produce different canonical forms but must agree as iso-deciders.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g1 = RandomGraph(12, 0.3, seed);
+    Graph g2 = RandomGraph(12, 0.3, seed + 50);
+    const bool ir_iso =
+        IrCanonicalLabeling(g1, Coloring::Unit(12), {}).certificate ==
+        IrCanonicalLabeling(g2, Coloring::Unit(12), {}).certificate;
+    bool decided = false;
+    const bool dvicl_iso = DviclIsomorphic(g1, g2, {}, &decided);
+    ASSERT_TRUE(decided);
+    EXPECT_EQ(ir_iso, dvicl_iso) << "seed=" << seed;
+  }
+}
+
+TEST(DviclTest, DetectsIsomorphicPairs) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = RandomGraph(25, 0.18, seed);
+    Graph h = g.RelabeledBy(RandomPermutation(25, seed + 9).ImageArray());
+    EXPECT_TRUE(DviclIsomorphic(g, h));
+  }
+}
+
+TEST(DviclTest, DistinguishesNonIsomorphicSameDegreeSequence) {
+  // Two 3-regular graphs on 6 vertices: K_3,3 and the prism (C3 x K2).
+  Graph k33 = Graph::FromEdges(6, {{0, 3}, {0, 4}, {0, 5},
+                                   {1, 3}, {1, 4}, {1, 5},
+                                   {2, 3}, {2, 4}, {2, 5}});
+  Graph prism = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 0},
+                                     {3, 4}, {4, 5}, {5, 3},
+                                     {0, 3}, {1, 4}, {2, 5}});
+  EXPECT_FALSE(DviclIsomorphic(k33, prism));
+}
+
+TEST(DviclTest, GeneratorsAreAutomorphisms) {
+  const Graph fixtures[] = {PaperFigure1Graph(), PaperFigure3Graph(),
+                            RandomGraph(20, 0.2, 1), RandomGraph(40, 0.1, 2)};
+  for (const Graph& g : fixtures) {
+    DviclResult r = RunDvicl(g);
+    ASSERT_TRUE(r.completed);
+    for (const SparseAut& gen : r.generators) {
+      EXPECT_TRUE(IsAutomorphism(g, gen.ToDense(g.NumVertices())));
+    }
+  }
+}
+
+TEST(DviclTest, GroupOrderMatchesBruteForceOnSmallGraphs) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Graph g = RandomGraph(7, 0.3, seed);
+    const auto brute = BruteForceAutomorphisms(g);
+    DviclResult r = RunDvicl(g);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(brute.size()))
+        << "seed=" << seed;
+  }
+}
+
+TEST(DviclTest, OrbitsMatchBruteForceOnSmallGraphs) {
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Graph g = RandomGraph(7, 0.35, seed);
+    const auto brute = BruteForceAutomorphisms(g);
+    const auto expected = OrbitIdsOf(7, brute);
+    DviclResult r = RunDvicl(g);
+    ASSERT_TRUE(r.completed);
+    const auto actual = OrbitIdsFromGenerators(7, r.generators);
+    EXPECT_EQ(actual, expected) << "seed=" << seed;
+  }
+}
+
+TEST(DviclTest, PaperGraphGroupOrderIs48) {
+  Graph g = PaperFigure1Graph();
+  DviclResult r = RunDvicl(g);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(48));
+}
+
+TEST(DviclTest, Figure3GraphGroupOrderIs72) {
+  Graph g = PaperFigure3Graph();
+  DviclResult r = RunDvicl(g);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(72));
+}
+
+TEST(DviclTest, AllLeafBackendsProduceSameTreeShape) {
+  // Paper Table 3: "for the same graph, three DviCL+X algorithms construct
+  // the same AutoTree".
+  Graph g = PaperFigure3Graph();
+  DviclOptions options;
+  options.leaf_backend = IrPreset::kNautyLike;
+  DviclResult rn = RunDvicl(g, options);
+  options.leaf_backend = IrPreset::kBlissLike;
+  DviclResult rb = RunDvicl(g, options);
+  options.leaf_backend = IrPreset::kTracesLike;
+  DviclResult rt = RunDvicl(g, options);
+  EXPECT_EQ(rn.tree.NumNodes(), rb.tree.NumNodes());
+  EXPECT_EQ(rb.tree.NumNodes(), rt.tree.NumNodes());
+  EXPECT_EQ(rn.tree.Depth(), rt.tree.Depth());
+}
+
+TEST(DviclTest, AblationDisablingDividesStillCanonical) {
+  Graph g = PaperFigure1Graph();
+  DviclOptions no_divide;
+  no_divide.enable_divide_i = false;
+  no_divide.enable_divide_s = false;
+  DviclResult r = RunDvicl(g, no_divide);
+  ASSERT_TRUE(r.completed);
+  // Degenerates to one leaf = whole graph.
+  EXPECT_EQ(r.tree.NumNodes(), 1u);
+  EXPECT_TRUE(r.tree.Root().is_leaf);
+  // Still a correct canonical form and full group.
+  EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(48));
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph h = g.RelabeledBy(RandomPermutation(8, seed).ImageArray());
+    DviclResult rh = RunDvicl(h, no_divide);
+    EXPECT_EQ(r.certificate, rh.certificate);
+  }
+}
+
+TEST(DviclTest, AblationDivideSOnlyStillCanonical) {
+  // With DivideI disabled, DivideS must shoulder the whole division —
+  // including the special case of singleton cells (complete bipartite with
+  // a one-vertex side, the paper's "DivideI is a special case of
+  // Lemma 6.3").
+  const Graph fixtures[] = {PaperFigure1Graph(), PaperFigure3Graph()};
+  DviclOptions s_only;
+  s_only.enable_divide_i = false;
+  for (const Graph& g : fixtures) {
+    DviclResult base = RunDvicl(g, s_only);
+    ASSERT_TRUE(base.completed);
+    for (const SparseAut& gen : base.generators) {
+      EXPECT_TRUE(IsAutomorphism(g, gen.ToDense(g.NumVertices())));
+    }
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+      Graph h = g.RelabeledBy(
+          RandomPermutation(g.NumVertices(), seed + 60).ImageArray());
+      DviclResult rh = RunDvicl(h, s_only);
+      ASSERT_TRUE(rh.completed);
+      EXPECT_EQ(base.certificate, rh.certificate);
+    }
+  }
+  // Group order still exact on the paper graph.
+  DviclResult r = RunDvicl(PaperFigure1Graph(), s_only);
+  EXPECT_EQ(GroupOrderOf(PaperFigure1Graph(), r.generators), BigUint(48));
+}
+
+TEST(DviclTest, DisconnectedGraphs) {
+  // Two disjoint triangles: the root must divide into symmetric parts.
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2},
+                                 {3, 4}, {4, 5}, {3, 5}});
+  DviclResult r = RunDvicl(g);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(72));  // S3 wr S2
+  const auto orbit = OrbitIdsFromGenerators(6, r.generators);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(orbit[v], orbit[0]);
+}
+
+TEST(DviclTest, ColoredGraphsRespectInitialColoring) {
+  // Disjoint triangles with different colors cannot be swapped.
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2},
+                                 {3, 4}, {4, 5}, {3, 5}});
+  Coloring pi = Coloring::FromLabels(std::vector<uint32_t>{0, 0, 0, 1, 1, 1});
+  DviclResult r = DviclCanonicalLabeling(g, pi, {});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(36));  // S3 x S3
+}
+
+TEST(DviclTest, ColoredIsomorphismSemantics) {
+  // Path 0-1-2 with the end colored red vs the same path with the middle
+  // colored red: NOT color-isomorphic even though the graphs are.
+  Graph path = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  const std::vector<uint32_t> end_red = {1, 0, 0};
+  const std::vector<uint32_t> mid_red = {0, 1, 0};
+  EXPECT_TRUE(DviclIsomorphicColored(path, end_red, path, end_red));
+  EXPECT_FALSE(DviclIsomorphicColored(path, end_red, path, mid_red));
+  // Other end colored: color-isomorphic via the reflection.
+  const std::vector<uint32_t> other_end = {0, 0, 1};
+  EXPECT_TRUE(DviclIsomorphicColored(path, end_red, path, other_end));
+  // Same cell STRUCTURE but different label values must not match.
+  const std::vector<uint32_t> red5 = {5, 0, 0};
+  const std::vector<uint32_t> red7 = {7, 0, 0};
+  EXPECT_FALSE(DviclIsomorphicColored(path, red5, path, red7));
+  EXPECT_TRUE(DviclIsomorphicColored(path, red5, path,
+                                     std::vector<uint32_t>{0, 0, 5}));
+}
+
+TEST(DviclTest, ColoredIsomorphismUnderRelabeling) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = RandomGraph(15, 0.25, seed);
+    std::vector<uint32_t> labels(15);
+    for (VertexId v = 0; v < 15; ++v) labels[v] = v % 4;
+    Permutation gamma = RandomPermutation(15, seed + 11);
+    Graph h = g.RelabeledBy(gamma.ImageArray());
+    std::vector<uint32_t> h_labels(15);
+    for (VertexId v = 0; v < 15; ++v) h_labels[gamma(v)] = labels[v];
+    EXPECT_TRUE(DviclIsomorphicColored(g, labels, h, h_labels))
+        << "seed=" << seed;
+    // Swapping two color classes may or may not preserve colored
+    // isomorphism, but the relation must be symmetric and reflexive.
+    std::vector<uint32_t> swapped(labels);
+    for (uint32_t& c : swapped) c = (c == 0) ? 1 : (c == 1 ? 0 : c);
+    EXPECT_EQ(DviclIsomorphicColored(g, labels, g, swapped),
+              DviclIsomorphicColored(g, swapped, g, labels));
+    EXPECT_TRUE(DviclIsomorphicColored(g, swapped, g, swapped));
+  }
+}
+
+TEST(SimplifyTest, FindsTwinClassesInPaperGraph) {
+  // Fig. 1(a): {0,2} and {1,3} are the structural equivalence classes.
+  Graph g = PaperFigure1Graph();
+  StructuralEquivalence eq = FindStructuralEquivalence(g);
+  ASSERT_EQ(eq.nontrivial_classes.size(), 2u);
+  EXPECT_EQ(eq.nontrivial_classes[0], (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(eq.nontrivial_classes[1], (std::vector<VertexId>{1, 3}));
+  EXPECT_EQ(eq.class_id[2], 0u);
+  EXPECT_EQ(eq.class_id[3], 1u);
+  EXPECT_EQ(eq.class_id[4], 4u);
+}
+
+TEST(SimplifyTest, SimplifiedCertificateInvariantUnderRelabeling) {
+  const Graph fixtures[] = {PaperFigure1Graph(), PaperFigure3Graph(),
+                            RandomGraph(18, 0.25, 4)};
+  for (const Graph& g : fixtures) {
+    SimplifiedDviclResult base =
+        DviclWithSimplification(g, Coloring::Unit(g.NumVertices()), {});
+    ASSERT_TRUE(base.completed);
+    for (uint64_t seed = 0; seed < 6; ++seed) {
+      Permutation gamma = RandomPermutation(g.NumVertices(), seed + 31);
+      Graph h = g.RelabeledBy(gamma.ImageArray());
+      SimplifiedDviclResult rh =
+          DviclWithSimplification(h, Coloring::Unit(h.NumVertices()), {});
+      ASSERT_TRUE(rh.completed);
+      EXPECT_EQ(base.certificate, rh.certificate);
+    }
+  }
+}
+
+TEST(SimplifyTest, SimplifiedGeneratorsAreAutomorphisms) {
+  const Graph fixtures[] = {PaperFigure1Graph(), PaperFigure3Graph()};
+  for (const Graph& g : fixtures) {
+    SimplifiedDviclResult r =
+        DviclWithSimplification(g, Coloring::Unit(g.NumVertices()), {});
+    ASSERT_TRUE(r.completed);
+    for (const SparseAut& gen : r.generators) {
+      EXPECT_TRUE(IsAutomorphism(g, gen.ToDense(g.NumVertices())));
+    }
+  }
+}
+
+TEST(SimplifyTest, SimplifiedGroupOrderMatchesBruteForce) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = RandomGraph(7, 0.3, seed);
+    const auto brute = BruteForceAutomorphisms(g);
+    SimplifiedDviclResult r =
+        DviclWithSimplification(g, Coloring::Unit(7), {});
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(brute.size()))
+        << "seed=" << seed;
+  }
+}
+
+TEST(SimplifyTest, QuotientSmallerThanOriginalWithTwins) {
+  Graph g = PaperFigure1Graph();
+  SimplifiedDviclResult r =
+      DviclWithSimplification(g, Coloring::Unit(8), {});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.simplified_graph.NumVertices(), 6u);  // 8 - 2 twins
+}
+
+}  // namespace
+}  // namespace dvicl

@@ -1,0 +1,210 @@
+// Tests for the secondary applications of paper §1: network simplification
+// (quotients), structure entropy, certificate indexing, and the graph6
+// interchange format.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/cert_index.h"
+#include "analysis/quotient.h"
+#include "analysis/symmetry_profile.h"
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::PaperFigure1Graph;
+using testing_util::PaperFigure3Graph;
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+std::vector<VertexId> OrbitsOf(const Graph& g) {
+  DviclResult r =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  EXPECT_TRUE(r.completed);
+  return OrbitIdsFromGenerators(g.NumVertices(), r.generators);
+}
+
+TEST(QuotientTest, PaperGraphQuotient) {
+  // Fig. 1(a) orbits: {0,1,2,3}, {4,5,6}, {7} -> 3 quotient vertices.
+  Graph g = PaperFigure1Graph();
+  QuotientGraph q = BuildQuotient(g, OrbitsOf(g));
+  EXPECT_EQ(q.graph.NumVertices(), 3u);
+  // Orbit sizes 4, 3, 1 in some order.
+  std::vector<uint32_t> sizes = q.orbit_size;
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<uint32_t>{1, 3, 4}));
+  // Hub orbit adjacent to both others; cycle and triangle orbits not
+  // adjacent to each other (intra-orbit edges become dropped loops).
+  EXPECT_EQ(q.graph.NumEdges(), 2u);
+  EXPECT_LT(q.vertex_ratio, 1.0);
+  EXPECT_LT(q.edge_ratio, 1.0);
+}
+
+TEST(QuotientTest, AsymmetricGraphQuotientIsIdentity) {
+  // A graph with trivial Aut: quotient == original (up to renumbering).
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                 {0, 2}, {1, 4}});
+  const auto orbits = OrbitsOf(g);
+  QuotientGraph q = BuildQuotient(g, orbits);
+  EXPECT_EQ(q.graph.NumVertices(), g.NumVertices());
+  EXPECT_EQ(q.graph.NumEdges(), g.NumEdges());
+  EXPECT_DOUBLE_EQ(q.vertex_ratio, 1.0);
+}
+
+TEST(QuotientTest, VertexTransitiveGraphCollapsesToOnePoint) {
+  Graph cycle = CycleGraph(12);
+  QuotientGraph q = BuildQuotient(cycle, OrbitsOf(cycle));
+  EXPECT_EQ(q.graph.NumVertices(), 1u);
+  EXPECT_EQ(q.graph.NumEdges(), 0u);  // loops dropped
+  EXPECT_EQ(q.orbit_size[0], 12u);
+}
+
+TEST(QuotientTest, Figure3Compression) {
+  // 14 vertices -> orbits {0},{1},{2,4,6,8,10,12},{3,...,13}: 4 orbits
+  // (isolated 0 is its own orbit).
+  Graph g = PaperFigure3Graph();
+  QuotientGraph q = BuildQuotient(g, OrbitsOf(g));
+  EXPECT_EQ(q.graph.NumVertices(), 4u);
+}
+
+TEST(StructureEntropyTest, ExtremesAndMonotonicity) {
+  // Vertex-transitive: zero entropy (maximally symmetric).
+  Graph cycle = CycleGraph(16);
+  EXPECT_DOUBLE_EQ(StructureEntropy(16, OrbitsOf(cycle)), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedStructureEntropy(16, OrbitsOf(cycle)), 0.0);
+
+  // Rigid graph: entropy = log2(n) (all orbits singleton).
+  Graph rigid = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                     {0, 2}, {1, 4}});
+  EXPECT_NEAR(StructureEntropy(6, OrbitsOf(rigid)), std::log2(6.0), 1e-9);
+  EXPECT_NEAR(NormalizedStructureEntropy(6, OrbitsOf(rigid)), 1.0, 1e-9);
+
+  // Fig. 1(a) sits strictly between.
+  Graph paper = PaperFigure1Graph();
+  const double h = NormalizedStructureEntropy(8, OrbitsOf(paper));
+  EXPECT_GT(h, 0.0);
+  EXPECT_LT(h, 1.0);
+}
+
+TEST(StructureEntropyTest, EmptyGraph) {
+  EXPECT_DOUBLE_EQ(StructureEntropy(0, {}), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedStructureEntropy(0, {}), 0.0);
+}
+
+TEST(CertificateIndexTest, GroupsIsomorphsTogether) {
+  CertificateIndex index;
+  Graph g = RandomGraph(12, 0.3, 1);
+  Graph g_relabeled = g.RelabeledBy(RandomPermutation(12, 2).ImageArray());
+  Graph other = RandomGraph(12, 0.3, 3);
+
+  const int64_t c1 = index.Insert("g", g);
+  const int64_t c2 = index.Insert("g'", g_relabeled);
+  const int64_t c3 = index.Insert("other", other);
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, c3);
+  EXPECT_EQ(index.NumGraphs(), 3u);
+  EXPECT_EQ(index.NumClasses(), 2u);
+
+  const auto hits = index.FindIsomorphic(
+      g.RelabeledBy(RandomPermutation(12, 4).ImageArray()));
+  EXPECT_EQ(hits, (std::vector<std::string>{"g", "g'"}));
+  EXPECT_TRUE(index
+                  .FindIsomorphic(Graph::FromEdges(12, {{0, 1}}))
+                  .empty());
+}
+
+TEST(CertificateIndexTest, DeduplicatesChemicalLikeCollection) {
+  // A small "compound database": cycles, paths, stars of various sizes,
+  // inserted under random relabelings; classes must equal distinct shapes.
+  CertificateIndex index;
+  int inserted = 0;
+  for (VertexId n : {5u, 6u, 7u}) {
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      const Permutation gamma = RandomPermutation(n, 100 * n + seed);
+      index.Insert("cycle", CycleGraph(n).RelabeledBy(gamma.ImageArray()));
+      index.Insert("path", PathGraph(n).RelabeledBy(gamma.ImageArray()));
+      index.Insert("star",
+                   StarGraph(n - 1).RelabeledBy(gamma.ImageArray()));
+      inserted += 3;
+    }
+  }
+  EXPECT_EQ(index.NumGraphs(), static_cast<size_t>(inserted));
+  EXPECT_EQ(index.NumClasses(), 9u);  // 3 shapes x 3 sizes
+}
+
+TEST(SymmetryProfileTest, PaperGraphProfile) {
+  Graph g = PaperFigure1Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  ASSERT_TRUE(r.completed);
+  SymmetryProfile profile = ComputeSymmetryProfile(g, r);
+  EXPECT_EQ(profile.aut_order, BigUint(48));
+  EXPECT_EQ(profile.num_orbits, 3u);       // {0..3}, {4..6}, {7}
+  EXPECT_EQ(profile.singleton_orbits, 1u);
+  EXPECT_EQ(profile.largest_orbit, 4u);
+  EXPECT_DOUBLE_EQ(profile.symmetric_vertex_fraction, 7.0 / 8.0);
+  EXPECT_GT(profile.normalized_structure_entropy, 0.0);
+  EXPECT_LT(profile.normalized_structure_entropy, 1.0);
+  EXPECT_DOUBLE_EQ(profile.quotient_vertex_ratio, 3.0 / 8.0);
+}
+
+TEST(SymmetryProfileTest, RigidGraphProfile) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                 {0, 2}, {1, 4}});
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(6), {});
+  SymmetryProfile profile = ComputeSymmetryProfile(g, r);
+  EXPECT_EQ(profile.aut_order, BigUint(1));
+  EXPECT_EQ(profile.num_orbits, 6u);
+  EXPECT_DOUBLE_EQ(profile.symmetric_vertex_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(profile.quotient_vertex_ratio, 1.0);
+}
+
+TEST(Graph6Test, RoundTripSmall) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = RandomGraph(17, 0.3, seed);
+    Result<Graph> back = ParseGraph6(FormatGraph6(g));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value(), g);
+  }
+}
+
+TEST(Graph6Test, RoundTripLargeHeader) {
+  // n > 62 exercises the '~' extended size header.
+  Graph g = RandomGraph(100, 0.05, 7);
+  Result<Graph> back = ParseGraph6(FormatGraph6(g));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), g);
+}
+
+TEST(Graph6Test, KnownEncodings) {
+  // The worked example from nauty's formats.txt: the graph on 5 vertices
+  // with edges 0-2, 0-4, 1-3, 3-4 encodes as "DQc".
+  Graph example = Graph::FromEdges(5, {{0, 2}, {0, 4}, {1, 3}, {3, 4}});
+  EXPECT_EQ(FormatGraph6(example), "DQc");
+  Result<Graph> parsed = ParseGraph6("DQc");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), example);
+  // The empty graph on 0 vertices is "?".
+  EXPECT_EQ(FormatGraph6(Graph::FromEdges(0, {})), "?");
+}
+
+TEST(Graph6Test, AcceptsHeaderPrefixAndNewline) {
+  Graph example = Graph::FromEdges(5, {{0, 2}, {0, 4}, {1, 3}, {3, 4}});
+  Result<Graph> parsed = ParseGraph6(">>graph6<<DQc\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), example);
+}
+
+TEST(Graph6Test, RejectsMalformed) {
+  EXPECT_FALSE(ParseGraph6("").ok());
+  EXPECT_FALSE(ParseGraph6("D").ok());        // truncated bits
+  EXPECT_FALSE(ParseGraph6("DQcX").ok());     // trailing bytes
+  EXPECT_FALSE(ParseGraph6("D\x01\x02").ok());  // out-of-range bytes
+}
+
+}  // namespace
+}  // namespace dvicl

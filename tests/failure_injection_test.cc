@@ -1,0 +1,213 @@
+// Failure injection and degenerate-input coverage: malformed files, budget
+// exhaustion at every level, empty/trivial graphs through every public API.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/cert_index.h"
+#include "analysis/influence_max.h"
+#include "analysis/k_symmetry.h"
+#include "analysis/max_clique.h"
+#include "analysis/quotient.h"
+#include "analysis/triangles.h"
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "dvicl/simplify.h"
+#include "graph/graph_io.h"
+#include "ssm/ssm_at.h"
+#include "ssm/subgraph_match.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::RandomGraph;
+
+// ---- malformed input files -------------------------------------------------
+
+TEST(FailureInjectionTest, EdgeListGarbage) {
+  const char* cases[] = {
+      "0 1\n2\n",                 // missing endpoint
+      "0 99999999999999999999\n", // id overflow
+      "a b\n",                    // non-numeric
+      "0 1 trailing is ok\n0x1 2\n",  // hex not allowed
+  };
+  for (const char* text : cases) {
+    std::istringstream in(text);
+    EXPECT_FALSE(ReadEdgeList(in).ok()) << text;
+  }
+}
+
+TEST(FailureInjectionTest, EdgeListTrailingTokensTolerated) {
+  // SNAP files sometimes carry weights; we require only the first two
+  // fields to parse.
+  std::istringstream in("0 1 0.5\n1 2 0.25\n");
+  Result<Graph> g = ReadEdgeList(in);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().NumEdges(), 2u);
+}
+
+TEST(FailureInjectionTest, DimacsGarbage) {
+  const char* cases[] = {
+      "p edge x y\n",            // non-numeric header
+      "p clause 3 2\ne 1 2\n",   // wrong format word
+      "p edge 3 1\ne 0 1\n",     // 0-based endpoint
+      "p edge 3 1\nz 1 2\n",     // unknown record
+      "p edge 2 1\nn 3 1\n",     // color line out of range
+  };
+  for (const char* text : cases) {
+    std::istringstream in(text);
+    std::vector<uint32_t> colors;
+    EXPECT_FALSE(ReadDimacs(in, &colors).ok()) << text;
+  }
+}
+
+TEST(FailureInjectionTest, WriteToClosedStream) {
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);
+  EXPECT_FALSE(WriteEdgeList(RandomGraph(5, 0.5, 1), out).ok());
+  EXPECT_FALSE(WriteDimacs(RandomGraph(5, 0.5, 1), out).ok());
+}
+
+// ---- budget exhaustion ------------------------------------------------------
+
+TEST(FailureInjectionTest, DviclLeafBudgetPropagates) {
+  // A CFI graph forces a giant indivisible leaf; a one-node IR budget must
+  // surface as an incomplete DviCL result, never a bogus certificate.
+  Graph g = CfiGraph(10, false);
+  DviclOptions options;
+  options.leaf_max_tree_nodes = 1;
+  DviclResult r =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+  EXPECT_FALSE(r.completed);
+
+  bool decided = true;
+  EXPECT_FALSE(DviclIsomorphic(g, g, options, &decided));
+  EXPECT_FALSE(decided);
+}
+
+TEST(FailureInjectionTest, CertificateIndexRejectsIncompleteRuns) {
+  DviclOptions options;
+  options.leaf_max_tree_nodes = 1;
+  CertificateIndex index(options);
+  Graph g = CfiGraph(10, false);
+  EXPECT_EQ(index.Insert("hard", g), -1);
+  EXPECT_EQ(index.NumGraphs(), 0u);
+  bool ok = true;
+  EXPECT_TRUE(index.FindIsomorphic(g, &ok).empty());
+  EXPECT_FALSE(ok);
+}
+
+TEST(FailureInjectionTest, TimeLimitZeroMeansUnlimited) {
+  Graph g = RandomGraph(20, 0.2, 9);
+  DviclOptions options;
+  options.time_limit_seconds = 0.0;
+  EXPECT_TRUE(
+      DviclCanonicalLabeling(g, Coloring::Unit(20), options).completed);
+}
+
+TEST(FailureInjectionTest, SimplifiedDviclPropagatesIncompleteness) {
+  Graph g = CfiGraph(10, false);
+  DviclOptions options;
+  options.leaf_max_tree_nodes = 1;
+  SimplifiedDviclResult r =
+      DviclWithSimplification(g, Coloring::Unit(g.NumVertices()), options);
+  EXPECT_FALSE(r.completed);
+}
+
+// ---- degenerate graphs through every API ------------------------------------
+
+TEST(FailureInjectionTest, EmptyGraphEverywhere) {
+  Graph empty = Graph::FromEdges(0, {});
+  DviclResult r = DviclCanonicalLabeling(empty, Coloring::Unit(0), {});
+  EXPECT_TRUE(r.completed);
+
+  EXPECT_TRUE(FindMaximumClique(empty).empty());
+  EXPECT_EQ(CountTriangles(empty), 0u);
+  EXPECT_TRUE(GreedyInfluenceMaximization(empty, 5).seeds.empty());
+  EXPECT_DOUBLE_EQ(EstimateSpread(empty, {}), 0.0);
+
+  QuotientGraph q = BuildQuotient(empty, {});
+  EXPECT_EQ(q.graph.NumVertices(), 0u);
+
+  KSymmetryResult anon = AnonymizeKSymmetry(empty, r, 3);
+  EXPECT_EQ(anon.anonymized.NumVertices(), 0u);
+}
+
+TEST(FailureInjectionTest, SingleVertexEverywhere) {
+  Graph one = Graph::FromEdges(1, {});
+  DviclResult r = DviclCanonicalLabeling(one, Coloring::Unit(1), {});
+  ASSERT_TRUE(r.completed);
+  SsmIndex index(one, r);
+  EXPECT_EQ(index.SymmetricImages({0}).size(), 1u);
+  EXPECT_EQ(FindMaximumClique(one).size(), 1u);
+  EXPECT_EQ(FindInducedSubgraphs(one, {0}).size(), 1u);
+}
+
+TEST(FailureInjectionTest, IsolatedVerticesAreHandled) {
+  // Isolated vertices form one big orbit; they must survive the pipeline.
+  Graph g = Graph::FromEdges(10, {{0, 1}, {1, 2}});
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(10), {});
+  ASSERT_TRUE(r.completed);
+  const auto orbit = OrbitIdsFromGenerators(10, r.generators);
+  for (VertexId v = 4; v < 10; ++v) EXPECT_EQ(orbit[v], orbit[3]);
+  SsmIndex index(g, r);
+  EXPECT_EQ(index.SymmetricImages({3}).size(), 7u);  // 7 isolated vertices
+}
+
+TEST(FailureInjectionTest, SsmQueryWithDuplicatesAndUnsortedInput) {
+  Graph g = testing_util::PaperFigure1Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  SsmIndex index(g, r);
+  // Duplicates collapse; order does not matter.
+  EXPECT_EQ(index.SymmetricImages({5, 4, 5, 4}).size(),
+            index.SymmetricImages({4, 5}).size());
+}
+
+TEST(FailureInjectionTest, AdversarialInitialColorings) {
+  Graph g = RandomGraph(12, 0.3, 4);
+  // Non-contiguous label values, already-discrete colorings, all handled.
+  std::vector<uint32_t> weird = {900, 7, 7, 900, 3, 3, 3, 42, 42, 0, 0, 7};
+  DviclResult r =
+      DviclCanonicalLabeling(g, Coloring::FromLabels(weird), {});
+  EXPECT_TRUE(r.completed);
+  for (const SparseAut& gen : r.generators) {
+    const Permutation dense = gen.ToDense(12);
+    EXPECT_TRUE(IsAutomorphism(g, dense));
+    for (VertexId v = 0; v < 12; ++v) {
+      EXPECT_EQ(weird[v], weird[dense(v)]) << "color not preserved";
+    }
+  }
+
+  std::vector<uint32_t> discrete(12);
+  for (VertexId v = 0; v < 12; ++v) discrete[v] = 11 - v;
+  DviclResult r2 =
+      DviclCanonicalLabeling(g, Coloring::FromLabels(discrete), {});
+  EXPECT_TRUE(r2.completed);
+  EXPECT_TRUE(r2.generators.empty());  // discrete coloring: trivial group
+}
+
+TEST(FailureInjectionTest, SelfLoopsAndMultiEdgesNormalizedOnIngest) {
+  // Paper footnote 1: directions removed, self-loops and multi-edges
+  // deleted. The Graph constructor enforces this for every source.
+  std::istringstream in("0 0\n0 1\n1 0\n0 1\n2 2\n");
+  Result<Graph> g = ReadEdgeList(in);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().NumEdges(), 1u);
+}
+
+TEST(FailureInjectionTest, KSymmetryOnLeafRootIsIdentity) {
+  // A CFI graph's AutoTree is a single leaf: anonymization must be a no-op
+  // rather than a crash.
+  Graph g = CfiGraph(8, false);
+  DviclResult r =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  ASSERT_TRUE(r.completed);
+  KSymmetryResult anon = AnonymizeKSymmetry(g, r, 4);
+  EXPECT_EQ(anon.anonymized, g);
+  EXPECT_EQ(anon.copies_added, 0u);
+}
+
+}  // namespace
+}  // namespace dvicl

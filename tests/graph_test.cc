@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/certificate.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g = Graph::FromEdges(0, {});
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+  EXPECT_EQ(g.AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, NormalizesSelfLoopsAndDuplicates) {
+  Graph g = Graph::FromEdges(4, {{1, 0}, {0, 1}, {2, 2}, {3, 2}, {2, 3}});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, NeighborsSortedAndDegrees) {
+  Graph g = Graph::FromEdges(5, {{0, 3}, {0, 1}, {0, 2}, {1, 2}});
+  auto n0 = g.Neighbors(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(n0[2], 3u);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(4), 0u);
+  EXPECT_EQ(g.MaxDegree(), 3u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0 * 4 / 5);
+}
+
+TEST(GraphTest, RelabeledBy) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  const std::vector<VertexId> image = {2, 0, 1};  // 0->2, 1->0, 2->1
+  Graph h = g.RelabeledBy(image);
+  EXPECT_TRUE(h.HasEdge(2, 0));
+  EXPECT_TRUE(h.HasEdge(0, 1));
+  EXPECT_FALSE(h.HasEdge(1, 2));
+}
+
+TEST(GraphTest, EqualityIsLabeled) {
+  Graph a = Graph::FromEdges(3, {{0, 1}});
+  Graph b = Graph::FromEdges(3, {{0, 1}});
+  Graph c = Graph::FromEdges(3, {{1, 2}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(GraphBuilderTest, AutoSizesFromEdges) {
+  GraphBuilder builder;
+  builder.AddEdge(2, 9);
+  builder.AddEdge(0, 2);
+  Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphBuilderTest, EnsureVertexCreatesIsolated) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.EnsureVertex(5);
+  Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.NumVertices(), 6u);
+  EXPECT_EQ(g.Degree(5), 0u);
+}
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  Graph g = testing_util::RandomGraph(20, 0.3, 7);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteEdgeList(g, out).ok());
+  std::istringstream in(out.str());
+  Result<Graph> back = ReadEdgeList(in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), g);
+}
+
+TEST(GraphIoTest, EdgeListSkipsCommentsAndBlankLines) {
+  std::istringstream in("# comment\n\n% other comment\n0 1\n1 2\n");
+  Result<Graph> g = ReadEdgeList(in);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().NumEdges(), 2u);
+}
+
+TEST(GraphIoTest, EdgeListRejectsMalformedLine) {
+  std::istringstream in("0 1\nbogus\n");
+  Result<Graph> g = ReadEdgeList(in);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GraphIoTest, EdgeListRejectsNegativeIds) {
+  std::istringstream in("0 -3\n");
+  Result<Graph> g = ReadEdgeList(in);
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphIoTest, DimacsRoundTrip) {
+  Graph g = testing_util::RandomGraph(15, 0.25, 13);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDimacs(g, out).ok());
+  std::istringstream in(out.str());
+  Result<Graph> back = ReadDimacs(in);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), g);
+}
+
+TEST(GraphIoTest, DimacsParsesColors) {
+  std::istringstream in("c colored\np edge 3 2\ne 1 2\ne 2 3\nn 2 5\n");
+  std::vector<uint32_t> colors;
+  Result<Graph> g = ReadDimacs(in, &colors);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(colors.size(), 3u);
+  EXPECT_EQ(colors[0], 0u);
+  EXPECT_EQ(colors[1], 5u);
+  EXPECT_EQ(colors[2], 0u);
+}
+
+TEST(GraphIoTest, DimacsRejectsMissingHeader) {
+  std::istringstream in("e 1 2\n");
+  EXPECT_FALSE(ReadDimacs(in).ok());
+}
+
+TEST(GraphIoTest, DimacsRejectsOutOfRangeEndpoint) {
+  std::istringstream in("p edge 2 1\ne 1 5\n");
+  EXPECT_FALSE(ReadDimacs(in).ok());
+}
+
+TEST(GraphIoTest, FileNotFound) {
+  Result<Graph> g = ReadEdgeListFile("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kIOError);
+}
+
+TEST(CertificateTest, EncodesColorsAndEdges) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  const std::vector<uint32_t> colors = {0, 0, 2};
+  const std::vector<VertexId> labels = {1, 0, 2};
+  Certificate cert = MakeCertificate(g, colors, labels);
+  // [n, m, colors by label, packed edges]
+  ASSERT_EQ(cert.size(), 2u + 3u + 1u);
+  EXPECT_EQ(cert[0], 3u);
+  EXPECT_EQ(cert[1], 1u);
+  EXPECT_EQ(cert[2], 0u);  // label 0 = vertex 1, color 0
+  EXPECT_EQ(cert[3], 0u);  // label 1 = vertex 0, color 0
+  EXPECT_EQ(cert[4], 2u);  // label 2 = vertex 2, color 2
+  EXPECT_EQ(cert[5], (0ull << 32) | 1ull);
+}
+
+TEST(CertificateTest, InvariantUnderLabelSwapsOfTwins) {
+  // 0 and 1 are twins (both adjacent only to 2): swapping their labels
+  // yields the same certificate.
+  Graph g = Graph::FromEdges(3, {{0, 2}, {1, 2}});
+  const std::vector<uint32_t> colors = {0, 0, 2};
+  Certificate a = MakeCertificate(g, colors, std::vector<VertexId>{0, 1, 2});
+  Certificate b = MakeCertificate(g, colors, std::vector<VertexId>{1, 0, 2});
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dvicl

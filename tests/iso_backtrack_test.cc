@@ -1,0 +1,172 @@
+// The backtracking isomorphism oracle, and differential tests pitting it
+// against the canonical-labeling deciders at sizes where brute force over
+// n! permutations is impossible.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "ssm/iso_backtrack.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+TEST(IsoBacktrackTest, FindsWitnessOnRelabeledCopies) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g1 = RandomGraph(30, 0.15, seed);
+    Permutation gamma = RandomPermutation(30, seed + 40);
+    Graph g2 = g1.RelabeledBy(gamma.ImageArray());
+    auto witness = FindIsomorphismBacktracking(g1, g2);
+    ASSERT_TRUE(witness.has_value()) << "seed=" << seed;
+    EXPECT_EQ(g1.RelabeledBy(witness->ImageArray()), g2);
+  }
+}
+
+TEST(IsoBacktrackTest, RejectsNonIsomorphicPairs) {
+  // Same degree sequence, different structure.
+  Graph k33 = Graph::FromEdges(6, {{0, 3}, {0, 4}, {0, 5}, {1, 3}, {1, 4},
+                                   {1, 5}, {2, 3}, {2, 4}, {2, 5}});
+  Graph prism = Graph::FromEdges(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5},
+                                     {5, 3}, {0, 3}, {1, 4}, {2, 5}});
+  EXPECT_FALSE(FindIsomorphismBacktracking(k33, prism).has_value());
+}
+
+TEST(IsoBacktrackTest, CfiPairsAreWhereBacktrackingDies) {
+  // Refuting isomorphism of a CFI pair by plain backtracking requires
+  // exhausting an exponential search space — the very reason the CFI
+  // family exists and why canonical labelers are needed. The oracle must
+  // hit its step budget (never a wrong "isomorphic" answer), while DviCL
+  // separates the pair instantly.
+  Graph straight = CfiGraph(6, false);
+  Graph twisted = CfiGraph(6, true);
+  bool aborted = false;
+  auto witness =
+      FindIsomorphismBacktracking(straight, twisted, 200000, &aborted);
+  EXPECT_FALSE(witness.has_value());
+  // Either it proved non-isomorphism in budget or it aborted; both are
+  // acceptable for the oracle — and DviCL decides it outright.
+  EXPECT_FALSE(DviclIsomorphic(straight, twisted));
+  (void)aborted;
+}
+
+TEST(IsoBacktrackTest, StepBudgetAborts) {
+  // A Hadamard graph forces heavy backtracking; two distinct relabelings
+  // with a tiny budget must abort rather than hang.
+  Graph g1 = HadamardGraph(16);
+  Graph g2 = g1.RelabeledBy(
+      RandomPermutation(g1.NumVertices(), 5).ImageArray());
+  bool aborted = false;
+  auto witness = FindIsomorphismBacktracking(g1, g2, 10, &aborted);
+  EXPECT_TRUE(aborted || witness.has_value());
+}
+
+TEST(IsoBacktrackTest, TrivialCases) {
+  Graph empty = Graph::FromEdges(0, {});
+  EXPECT_TRUE(FindIsomorphismBacktracking(empty, empty).has_value());
+  EXPECT_FALSE(FindIsomorphismBacktracking(Graph::FromEdges(2, {}),
+                                           Graph::FromEdges(3, {}))
+                   .has_value());
+}
+
+// Differential testing: the two independent deciders must agree on pairs
+// drawn from the same distribution (where neither is the other's oracle).
+TEST(IsoBacktrackTest, AgreesWithDviclOnRandomPairs) {
+  int isomorphic_pairs = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    // Half the pairs are relabeled copies, half independent draws with the
+    // same (n, p) — occasionally isomorphic by chance at this size.
+    Graph g1 = RandomGraph(16, 0.25, seed);
+    Graph g2 = (seed % 2 == 0)
+                   ? g1.RelabeledBy(RandomPermutation(16, seed + 7)
+                                        .ImageArray())
+                   : RandomGraph(16, 0.25, seed + 1000);
+    const bool backtrack = FindIsomorphismBacktracking(g1, g2).has_value();
+    bool decided = false;
+    const bool dvicl = DviclIsomorphic(g1, g2, {}, &decided);
+    ASSERT_TRUE(decided);
+    EXPECT_EQ(backtrack, dvicl) << "seed=" << seed;
+    isomorphic_pairs += backtrack ? 1 : 0;
+  }
+  EXPECT_GE(isomorphic_pairs, 15);  // at least the relabeled half
+}
+
+TEST(IsoBacktrackTest, AgreesWithDviclOnTrees) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph t1 = RandomTreeGraph(40, seed);
+    Graph t2 = (seed % 2 == 0)
+                   ? t1.RelabeledBy(RandomPermutation(40, seed + 3)
+                                        .ImageArray())
+                   : RandomTreeGraph(40, seed + 500);
+    const bool backtrack = FindIsomorphismBacktracking(t1, t2).has_value();
+    EXPECT_EQ(backtrack, DviclIsomorphic(t1, t2)) << "seed=" << seed;
+  }
+}
+
+TEST(IsoBacktrackTest, AgreesWithDviclOnSocialGraphs) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g1 = WithTwins(PreferentialAttachmentGraph(50, 3, seed), 0.2,
+                         seed + 1);
+    Graph g2 = g1.RelabeledBy(
+        RandomPermutation(g1.NumVertices(), seed + 9).ImageArray());
+    EXPECT_TRUE(FindIsomorphismBacktracking(g1, g2).has_value());
+    EXPECT_TRUE(DviclIsomorphic(g1, g2));
+  }
+}
+
+TEST(GeneratorsTest, RandomTreeIsATree) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const VertexId n = 3 + static_cast<VertexId>(seed * 13 % 80);
+    Graph t = RandomTreeGraph(n, seed);
+    ASSERT_EQ(t.NumVertices(), n);
+    ASSERT_EQ(t.NumEdges(), static_cast<uint64_t>(n) - 1);
+    // Connected: union-find over edges reaches one component.
+    std::vector<VertexId> parent(n);
+    for (VertexId v = 0; v < n; ++v) parent[v] = v;
+    std::function<VertexId(VertexId)> find = [&](VertexId x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (const Edge& e : t.Edges()) {
+      parent[find(e.first)] = find(e.second);
+    }
+    for (VertexId v = 1; v < n; ++v) {
+      EXPECT_EQ(find(v), find(0)) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(GeneratorsTest, RandomRegularHasUniformDegrees) {
+  Graph g = RandomRegularGraph(100, 4, 11);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  uint32_t correct = 0;
+  for (VertexId v = 0; v < 100; ++v) {
+    correct += (g.Degree(v) == 4) ? 1 : 0;
+  }
+  // The bounded fallback may perturb a few degrees; the bulk must be 4.
+  EXPECT_GE(correct, 95u);
+}
+
+TEST(GeneratorsTest, TreesThroughDviclPipeline) {
+  // Trees stress deep DivideI chains; certificates must stay invariant.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph t = RandomTreeGraph(60, seed);
+    DviclResult base = DviclCanonicalLabeling(t, Coloring::Unit(60), {});
+    ASSERT_TRUE(base.completed);
+    // Trees decompose fully: no IR leaf should ever be needed.
+    EXPECT_EQ(base.tree.NumNonSingletonLeaves(), 0u) << "seed=" << seed;
+    Graph relabeled =
+        t.RelabeledBy(RandomPermutation(60, seed + 77).ImageArray());
+    DviclResult other =
+        DviclCanonicalLabeling(relabeled, Coloring::Unit(60), {});
+    EXPECT_EQ(base.certificate, other.certificate);
+  }
+}
+
+}  // namespace
+}  // namespace dvicl

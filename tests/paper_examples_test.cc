@@ -1,0 +1,162 @@
+// Tests that encode the paper's worked examples: the Fig. 1(a) running
+// example and the Fig. 3/4 AutoTree narratives.
+
+#include <gtest/gtest.h>
+
+#include "dvicl/dvicl.h"
+#include "refine/refiner.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::PaperFigure1Graph;
+using testing_util::PaperFigure3Graph;
+
+TEST(PaperExamplesTest, Figure1GraphShape) {
+  Graph g = PaperFigure1Graph();
+  EXPECT_EQ(g.NumVertices(), 8u);
+  EXPECT_EQ(g.NumEdges(), 14u);
+  EXPECT_EQ(g.Degree(7), 7u);  // hub adjacent to everything
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(g.Degree(v), 3u);
+}
+
+// Fig. 4: the AutoTree of Fig. 1(a). Root divides (by the singleton axis 7)
+// into {7}, the triangle {4,5,6}, and the 4-cycle {0,1,2,3}. The triangle
+// is a one-cell clique, so DivideS explodes it into three symmetric
+// singleton leaves; the 4-cycle cannot be divided and becomes the single
+// non-singleton leaf handled by the IR backend.
+TEST(PaperExamplesTest, Figure4AutoTreeStructure) {
+  Graph g = PaperFigure1Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  ASSERT_TRUE(r.completed);
+
+  const AutoTreeNode& root = r.tree.Root();
+  ASSERT_EQ(root.children.size(), 3u);
+
+  uint32_t singleton_leaf_children = 0;
+  uint32_t triangle_node = 0;
+  uint32_t cycle_node = 0;
+  for (uint32_t child : root.children) {
+    const AutoTreeNode& node = r.tree.Node(child);
+    if (node.IsSingleton()) {
+      ++singleton_leaf_children;
+      EXPECT_EQ(node.vertices[0], 7u);
+    } else if (node.vertices == std::vector<VertexId>({4, 5, 6})) {
+      triangle_node = child;
+    } else {
+      EXPECT_EQ(node.vertices, (std::vector<VertexId>{0, 1, 2, 3}));
+      cycle_node = child;
+    }
+  }
+  EXPECT_EQ(singleton_leaf_children, 1u);
+
+  // Triangle: divided by DivideS into three singleton leaves that share a
+  // canonical form (paper: "vertices 4, 5 and 6 are mutually automorphic
+  // since these three leaf nodes have the same canonical labeling").
+  const AutoTreeNode& triangle = r.tree.Node(triangle_node);
+  EXPECT_FALSE(triangle.is_leaf);
+  EXPECT_TRUE(triangle.divided_by_s);
+  ASSERT_EQ(triangle.children.size(), 3u);
+  EXPECT_EQ(triangle.child_sym_class[0], triangle.child_sym_class[1]);
+  EXPECT_EQ(triangle.child_sym_class[1], triangle.child_sym_class[2]);
+
+  // 4-cycle: a non-singleton leaf (paper: "The 4th leaf node from the left
+  // is non-singleton ... We use bliss to obtain its permutation").
+  const AutoTreeNode& cycle = r.tree.Node(cycle_node);
+  EXPECT_TRUE(cycle.is_leaf);
+  EXPECT_FALSE(cycle.IsSingleton());
+  EXPECT_FALSE(cycle.leaf_generators.empty());
+
+  // Tree totals: 1 root + 3 children + 3 triangle singletons = 7 nodes;
+  // 4 singleton leaves, 1 non-singleton leaf; depth 2.
+  EXPECT_EQ(r.tree.NumNodes(), 7u);
+  EXPECT_EQ(r.tree.NumSingletonLeaves(), 4u);
+  EXPECT_EQ(r.tree.NumNonSingletonLeaves(), 1u);
+  EXPECT_EQ(r.tree.Depth(), 2u);
+  EXPECT_DOUBLE_EQ(r.tree.AverageNonSingletonLeafSize(), 4.0);
+}
+
+// Orbit structure of Fig. 1(a): {0,1,2,3}, {4,5,6}, {7}.
+TEST(PaperExamplesTest, Figure1Orbits) {
+  Graph g = PaperFigure1Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  ASSERT_TRUE(r.completed);
+  const auto orbit = OrbitIdsFromGenerators(8, r.generators);
+  EXPECT_EQ(orbit[0], orbit[1]);
+  EXPECT_EQ(orbit[0], orbit[2]);
+  EXPECT_EQ(orbit[0], orbit[3]);
+  EXPECT_EQ(orbit[4], orbit[5]);
+  EXPECT_EQ(orbit[4], orbit[6]);
+  EXPECT_NE(orbit[0], orbit[4]);
+  EXPECT_NE(orbit[0], orbit[7]);
+  EXPECT_NE(orbit[4], orbit[7]);
+}
+
+// Fig. 3: the axis vertex 1 divides g into two symmetric wings; inside a
+// wing the one-color triangle is a DivideS axis; the remaining pairs
+// divide into singletons. All leaves are singleton (the paper's Fig. 3 has
+// "all the leaf nodes singleton").
+TEST(PaperExamplesTest, Figure3AutoTreeAllSingletonLeaves) {
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.tree.NumNonSingletonLeaves(), 0u);
+  // Wings are symmetric: the root has two children in one symmetry class.
+  const AutoTreeNode& root = r.tree.Root();
+  uint32_t wing_class_members = 0;
+  for (size_t i = 0; i < root.children.size(); ++i) {
+    const AutoTreeNode& child = r.tree.Node(root.children[i]);
+    if (child.vertices.size() == 6) ++wing_class_members;
+  }
+  EXPECT_EQ(wing_class_members, 2u);
+}
+
+// Paper §5 on Fig. 3: "two vertices, 2 and 6 are automorphic ... Similarly,
+// 2 and 12 are automorphic".
+TEST(PaperExamplesTest, Figure3AutomorphicVertices) {
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  ASSERT_TRUE(r.completed);
+  const auto orbit = OrbitIdsFromGenerators(14, r.generators);
+  EXPECT_EQ(orbit[2], orbit[6]);
+  EXPECT_EQ(orbit[2], orbit[12]);
+  EXPECT_EQ(orbit[3], orbit[9]);
+  EXPECT_NE(orbit[1], orbit[2]);
+  EXPECT_NE(orbit[2], orbit[3]);
+}
+
+// Theorem 6.10: symmetric vertices lie in leaves sharing a canonical form.
+TEST(PaperExamplesTest, SymmetricVerticesShareLeafForm) {
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  ASSERT_TRUE(r.completed);
+  // 2 and 12 are automorphic: their (singleton) leaves have equal hashes
+  // and equal labels.
+  const AutoTreeNode& leaf2 = r.tree.Node(r.tree.LeafOf(2));
+  const AutoTreeNode& leaf12 = r.tree.Node(r.tree.LeafOf(12));
+  EXPECT_EQ(leaf2.labels, leaf12.labels);
+  // 1 is fixed: no other leaf shares its labels' color.
+  const AutoTreeNode& leaf1 = r.tree.Node(r.tree.LeafOf(1));
+  EXPECT_NE(leaf1.labels, leaf2.labels);
+}
+
+// Theorem 6.9 construction: G1 iso G2 via the auxiliary-graph argument is
+// exercised directly — two isomorphic wings produce equal child forms.
+TEST(PaperExamplesTest, IsomorphicComponentsGetEqualForms) {
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  ASSERT_TRUE(r.completed);
+  const AutoTreeNode& root = r.tree.Root();
+  std::vector<uint64_t> wing_hashes;
+  for (uint32_t child : root.children) {
+    if (r.tree.Node(child).vertices.size() == 6) {
+      wing_hashes.push_back(r.tree.Node(child).form_hash);
+    }
+  }
+  ASSERT_EQ(wing_hashes.size(), 2u);
+  EXPECT_EQ(wing_hashes[0], wing_hashes[1]);
+}
+
+}  // namespace
+}  // namespace dvicl

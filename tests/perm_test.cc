@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "common/big_uint.h"
+#include "perm/perm_group.h"
+#include "perm/permutation.h"
+#include "perm/schreier_sims.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::PaperFigure1Graph;
+
+TEST(PermutationTest, IdentityBasics) {
+  Permutation id = Permutation::Identity(5);
+  EXPECT_TRUE(id.IsIdentity());
+  EXPECT_EQ(id.ToCycleString(), "()");
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(id(v), v);
+}
+
+TEST(PermutationTest, CycleParsingMatchesPaperExample) {
+  // Paper §2: gamma1 = (4,5,6) relabels 4 as 5, 5 as 6, 6 as 4.
+  auto gamma = Permutation::FromCycles(8, "(4,5,6)");
+  ASSERT_TRUE(gamma.ok());
+  EXPECT_EQ(gamma.value()(4), 5u);
+  EXPECT_EQ(gamma.value()(5), 6u);
+  EXPECT_EQ(gamma.value()(6), 4u);
+  EXPECT_EQ(gamma.value()(0), 0u);
+}
+
+TEST(PermutationTest, MultiCycleParsing) {
+  // Paper §2: gamma* = (0,7)(1,5)(2,4)(3,6).
+  auto gamma = Permutation::FromCycles(8, "(0,7)(1,5)(2,4)(3,6)");
+  ASSERT_TRUE(gamma.ok());
+  EXPECT_EQ(gamma.value()(0), 7u);
+  EXPECT_EQ(gamma.value()(7), 0u);
+  EXPECT_EQ(gamma.value()(2), 4u);
+  EXPECT_EQ(gamma.value().ToCycleString(), "(0,7)(1,5)(2,4)(3,6)");
+}
+
+TEST(PermutationTest, FromCyclesRejectsBadInput) {
+  EXPECT_FALSE(Permutation::FromCycles(3, "(0,5)").ok());   // out of range
+  EXPECT_FALSE(Permutation::FromCycles(3, "(0,1)(1,2)").ok());  // repeated
+  EXPECT_FALSE(Permutation::FromCycles(3, "0,1").ok());     // no parens
+}
+
+TEST(PermutationTest, FromImageRejectsNonBijection) {
+  EXPECT_FALSE(Permutation::FromImage({0, 0, 1}).ok());
+  EXPECT_FALSE(Permutation::FromImage({0, 3, 1}).ok());
+  EXPECT_TRUE(Permutation::FromImage({2, 0, 1}).ok());
+}
+
+TEST(PermutationTest, ComposeAndInverse) {
+  auto a = Permutation::FromCycles(4, "(0,1)").value();
+  auto b = Permutation::FromCycles(4, "(1,2)").value();
+  // a.Then(b): v -> b(a(v)). 0 -> a:1 -> b:2.
+  Permutation c = a.Then(b);
+  EXPECT_EQ(c(0), 2u);
+  EXPECT_EQ(c(1), 0u);
+  EXPECT_EQ(c(2), 1u);
+  EXPECT_TRUE(c.Then(c.Inverse()).IsIdentity());
+  EXPECT_TRUE(c.Inverse().Then(c).IsIdentity());
+}
+
+TEST(PermutationTest, AutomorphismCheckOnPaperGraph) {
+  Graph g = PaperFigure1Graph();
+  // Paper §2: (4,5,6) is an automorphism; (0,1) is not.
+  EXPECT_TRUE(
+      IsAutomorphism(g, Permutation::FromCycles(8, "(4,5,6)").value()));
+  EXPECT_FALSE(
+      IsAutomorphism(g, Permutation::FromCycles(8, "(0,1)").value()));
+  // (0,2) swaps structurally equivalent vertices.
+  EXPECT_TRUE(IsAutomorphism(g, Permutation::FromCycles(8, "(0,2)").value()));
+}
+
+TEST(PermutationTest, ColorPreservingAutomorphism) {
+  Graph g = PaperFigure1Graph();
+  std::vector<uint32_t> colors = {0, 0, 0, 0, 1, 1, 1, 2};
+  auto rot = Permutation::FromCycles(8, "(4,5,6)").value();
+  EXPECT_TRUE(IsColorPreservingAutomorphism(g, colors, rot));
+  // Force 4 into a different color: rotation no longer color-preserving.
+  colors[4] = 3;
+  EXPECT_FALSE(IsColorPreservingAutomorphism(g, colors, rot));
+}
+
+TEST(PermGroupTest, OrbitsOfCyclicGenerator) {
+  PermGroup group(6);
+  group.AddGenerator(Permutation::FromCycles(6, "(0,1,2)").value());
+  group.AddGenerator(Permutation::FromCycles(6, "(4,5)").value());
+  const auto orbits = group.Orbits();
+  ASSERT_EQ(orbits.size(), 3u);
+  EXPECT_EQ(orbits[0], (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(orbits[1], (std::vector<VertexId>{3}));
+  EXPECT_EQ(orbits[2], (std::vector<VertexId>{4, 5}));
+  EXPECT_TRUE(group.SameOrbit(0, 2));
+  EXPECT_FALSE(group.SameOrbit(0, 3));
+}
+
+TEST(PermGroupTest, IgnoresIdentityGenerators) {
+  PermGroup group(4);
+  group.AddGenerator(Permutation::Identity(4));
+  EXPECT_TRUE(group.generators().empty());
+}
+
+TEST(SchreierSimsTest, SymmetricGroupOrder) {
+  // <(0,1), (0,1,...,n-1)> = S_n.
+  for (VertexId n : {3u, 5u, 8u}) {
+    SchreierSims chain(n);
+    chain.AddGenerator(Permutation::FromCycles(n, "(0,1)").value());
+    std::string big_cycle = "(";
+    for (VertexId v = 0; v < n; ++v) {
+      big_cycle += std::to_string(v);
+      big_cycle += (v + 1 < n) ? "," : ")";
+    }
+    chain.AddGenerator(Permutation::FromCycles(n, big_cycle).value());
+    EXPECT_EQ(chain.Order(), BigUint::Factorial(n)) << "n=" << n;
+  }
+}
+
+TEST(SchreierSimsTest, CyclicGroupOrder) {
+  SchreierSims chain(7);
+  chain.AddGenerator(Permutation::FromCycles(7, "(0,1,2,3,4,5,6)").value());
+  EXPECT_EQ(chain.Order(), BigUint(7));
+}
+
+TEST(SchreierSimsTest, TrivialGroup) {
+  SchreierSims chain(5);
+  EXPECT_EQ(chain.Order(), BigUint(1));
+  EXPECT_TRUE(chain.Contains(Permutation::Identity(5)));
+  EXPECT_FALSE(chain.Contains(Permutation::FromCycles(5, "(0,1)").value()));
+}
+
+TEST(SchreierSimsTest, MembershipQueries) {
+  SchreierSims chain(4);
+  chain.AddGenerator(Permutation::FromCycles(4, "(0,1)").value());
+  chain.AddGenerator(Permutation::FromCycles(4, "(2,3)").value());
+  EXPECT_TRUE(chain.Contains(Permutation::FromCycles(4, "(0,1)(2,3)").value()));
+  EXPECT_FALSE(chain.Contains(Permutation::FromCycles(4, "(0,2)").value()));
+  EXPECT_EQ(chain.Order(), BigUint(4));
+}
+
+TEST(SchreierSimsTest, MatchesBruteForceOnRandomGraphAutomorphisms) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = testing_util::RandomGraph(6, 0.4, seed);
+    const auto autos = testing_util::BruteForceAutomorphisms(g);
+    SchreierSims chain(6);
+    for (const Permutation& a : autos) chain.AddGenerator(a);
+    EXPECT_EQ(chain.Order(), BigUint(autos.size())) << "seed=" << seed;
+    for (const Permutation& a : autos) EXPECT_TRUE(chain.Contains(a));
+  }
+}
+
+TEST(SchreierSimsTest, PaperGraphAutomorphismOrderIs48) {
+  // Fig. 1(a): Aut = Dih(C4) x Sym(triangle) = 8 * 6 = 48.
+  Graph g = PaperFigure1Graph();
+  const auto autos = testing_util::BruteForceAutomorphisms(g);
+  EXPECT_EQ(autos.size(), 48u);
+  SchreierSims chain(8);
+  for (const Permutation& a : autos) chain.AddGenerator(a);
+  EXPECT_EQ(chain.Order(), BigUint(48));
+}
+
+}  // namespace
+}  // namespace dvicl

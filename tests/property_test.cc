@@ -1,0 +1,244 @@
+// Parameterized property tests: for a sweep of graph families x seeds, the
+// whole pipeline must satisfy its contracts — certificate invariance under
+// relabeling, decider agreement between DviCL, plain IR and simplified
+// DviCL, validity of every emitted automorphism, and agreement of orbit
+// partitions and group orders between independent implementations.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/big_uint.h"
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "dvicl/simplify.h"
+#include "ir/ir_canonical.h"
+#include "perm/schreier_sims.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+struct FamilyCase {
+  std::string name;
+  Graph (*make)(uint64_t seed);
+};
+
+Graph MakeErSparse(uint64_t seed) { return RandomGraph(28, 0.08, seed); }
+Graph MakeErDense(uint64_t seed) { return RandomGraph(18, 0.45, seed); }
+Graph MakePa(uint64_t seed) {
+  return PreferentialAttachmentGraph(60, 3, seed);
+}
+Graph MakePaTwins(uint64_t seed) {
+  return WithTwins(PreferentialAttachmentGraph(50, 3, seed), 0.25, seed + 1);
+}
+Graph MakeCopying(uint64_t seed) {
+  return CopyingModelGraph(50, 3, 0.7, seed);
+}
+Graph MakePendants(uint64_t seed) {
+  return WithPendantPaths(RandomGraph(25, 0.15, seed), 0.6, 4, seed + 1);
+}
+Graph MakeCycle(uint64_t seed) {
+  return CycleGraph(10 + static_cast<VertexId>(seed % 7));
+}
+Graph MakeTorus(uint64_t seed) {
+  return Torus3dGraph(3 + static_cast<VertexId>(seed % 2));
+}
+Graph MakeCfi(uint64_t seed) { return CfiGraph(6 + 2 * (seed % 3), seed % 2); }
+Graph MakeHadamard(uint64_t) { return HadamardGraph(8); }
+Graph MakePlane(uint64_t seed) {
+  return (seed % 2) ? ProjectivePlaneGraph(3) : AffinePlaneGraph(3);
+}
+Graph MakeDisjointTwins(uint64_t seed) {
+  // Two disjoint copies of a random graph: guaranteed component symmetry.
+  Graph base = RandomGraph(12, 0.25, seed);
+  std::vector<Edge> edges = base.Edges();
+  for (const Edge& e : base.Edges()) {
+    edges.emplace_back(e.first + 12, e.second + 12);
+  }
+  return Graph::FromEdges(24, std::move(edges));
+}
+Graph MakeCircuit(uint64_t seed) { return CircuitLikeGraph(8, 60, seed); }
+
+const FamilyCase kFamilies[] = {
+    {"er_sparse", MakeErSparse},   {"er_dense", MakeErDense},
+    {"pref_attach", MakePa},       {"pa_twins", MakePaTwins},
+    {"copying", MakeCopying},      {"pendants", MakePendants},
+    {"cycle", MakeCycle},          {"torus", MakeTorus},
+    {"cfi", MakeCfi},              {"hadamard", MakeHadamard},
+    {"plane", MakePlane},          {"disjoint_twins", MakeDisjointTwins},
+    {"circuit", MakeCircuit},
+};
+
+class PipelineProperty
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {
+ protected:
+  const FamilyCase& Family() const {
+    return kFamilies[std::get<0>(GetParam())];
+  }
+  uint64_t Seed() const { return std::get<1>(GetParam()); }
+  Graph MakeGraph() const { return Family().make(Seed()); }
+};
+
+TEST_P(PipelineProperty, DviclCertificateInvariantUnderRelabeling) {
+  Graph g = MakeGraph();
+  DviclResult base =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  ASSERT_TRUE(base.completed);
+  for (uint64_t r = 0; r < 3; ++r) {
+    Permutation gamma = RandomPermutation(g.NumVertices(), Seed() * 17 + r);
+    Graph h = g.RelabeledBy(gamma.ImageArray());
+    DviclResult other =
+        DviclCanonicalLabeling(h, Coloring::Unit(h.NumVertices()), {});
+    ASSERT_TRUE(other.completed);
+    EXPECT_EQ(base.certificate, other.certificate) << "relabel " << r;
+  }
+}
+
+TEST_P(PipelineProperty, TreeShapeInvariantUnderRelabeling) {
+  // Theorem 6.6: isomorphic graphs get structurally identical AutoTrees.
+  Graph g = MakeGraph();
+  DviclResult base =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  ASSERT_TRUE(base.completed);
+  Permutation gamma = RandomPermutation(g.NumVertices(), Seed() + 999);
+  Graph h = g.RelabeledBy(gamma.ImageArray());
+  DviclResult other =
+      DviclCanonicalLabeling(h, Coloring::Unit(h.NumVertices()), {});
+  ASSERT_TRUE(other.completed);
+  EXPECT_EQ(base.tree.NumNodes(), other.tree.NumNodes());
+  EXPECT_EQ(base.tree.Depth(), other.tree.Depth());
+  EXPECT_EQ(base.tree.NumSingletonLeaves(), other.tree.NumSingletonLeaves());
+  EXPECT_EQ(base.tree.NumNonSingletonLeaves(),
+            other.tree.NumNonSingletonLeaves());
+}
+
+TEST_P(PipelineProperty, GeneratorsAreAutomorphisms) {
+  Graph g = MakeGraph();
+  DviclResult r =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  ASSERT_TRUE(r.completed);
+  for (const SparseAut& gen : r.generators) {
+    EXPECT_TRUE(IsAutomorphism(g, gen.ToDense(g.NumVertices())));
+  }
+}
+
+TEST_P(PipelineProperty, IrGeneratorsAreAutomorphisms) {
+  Graph g = MakeGraph();
+  if (g.NumVertices() > 80) GTEST_SKIP() << "IR too slow for this size";
+  IrResult r = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  ASSERT_TRUE(r.completed);
+  for (const Permutation& gen : r.automorphism_generators) {
+    EXPECT_TRUE(IsAutomorphism(g, gen));
+  }
+}
+
+TEST_P(PipelineProperty, DviclAndIrGroupOrdersAgree) {
+  Graph g = MakeGraph();
+  if (g.NumVertices() > 80) GTEST_SKIP() << "Schreier-Sims too slow";
+  DviclResult dv =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  IrResult ir = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  ASSERT_TRUE(dv.completed);
+  ASSERT_TRUE(ir.completed);
+
+  SchreierSims dv_chain(g.NumVertices());
+  for (const SparseAut& gen : dv.generators) {
+    dv_chain.AddGenerator(gen.ToDense(g.NumVertices()));
+  }
+  SchreierSims ir_chain(g.NumVertices());
+  for (const Permutation& gen : ir.automorphism_generators) {
+    ir_chain.AddGenerator(gen);
+  }
+  EXPECT_EQ(dv_chain.Order(), ir_chain.Order())
+      << "family=" << Family().name << " seed=" << Seed();
+}
+
+TEST_P(PipelineProperty, DviclAndIrOrbitsAgree) {
+  Graph g = MakeGraph();
+  if (g.NumVertices() > 80) GTEST_SKIP();
+  DviclResult dv =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  IrResult ir = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  ASSERT_TRUE(dv.completed && ir.completed);
+  const auto dv_orbits =
+      OrbitIdsFromGenerators(g.NumVertices(), dv.generators);
+  PermGroup ir_group(g.NumVertices());
+  for (const Permutation& gen : ir.automorphism_generators) {
+    ir_group.AddGenerator(gen);
+  }
+  EXPECT_EQ(dv_orbits, ir_group.OrbitIds())
+      << "family=" << Family().name << " seed=" << Seed();
+}
+
+TEST_P(PipelineProperty, SimplifiedDviclAgreesAsDecider) {
+  Graph g = MakeGraph();
+  SimplifiedDviclResult a =
+      DviclWithSimplification(g, Coloring::Unit(g.NumVertices()), {});
+  ASSERT_TRUE(a.completed);
+  // Relabeled copy: must match.
+  Permutation gamma = RandomPermutation(g.NumVertices(), Seed() + 5);
+  Graph h = g.RelabeledBy(gamma.ImageArray());
+  SimplifiedDviclResult b =
+      DviclWithSimplification(h, Coloring::Unit(h.NumVertices()), {});
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.certificate, b.certificate);
+}
+
+TEST_P(PipelineProperty, CanonicalLabelingRelabelsToIdenticalGraph) {
+  // C(G) is a concrete graph: relabeling G by gamma* then relabeling any
+  // isomorphic copy by ITS gamma* must give the identical labeled graph.
+  Graph g = MakeGraph();
+  DviclResult rg =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+  Permutation gamma = RandomPermutation(g.NumVertices(), Seed() + 8);
+  Graph h = g.RelabeledBy(gamma.ImageArray());
+  DviclResult rh =
+      DviclCanonicalLabeling(h, Coloring::Unit(h.NumVertices()), {});
+  ASSERT_TRUE(rg.completed && rh.completed);
+  EXPECT_EQ(g.RelabeledBy(rg.canonical_labeling.ImageArray()),
+            h.RelabeledBy(rh.canonical_labeling.ImageArray()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PipelineProperty,
+    ::testing::Combine(::testing::Range<size_t>(0, std::size(kFamilies)),
+                       ::testing::Values<uint64_t>(1, 2, 3)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, uint64_t>>& info) {
+      return kFamilies[std::get<0>(info.param)].name + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Small-graph sweep against brute force: sizes where all n! permutations
+// can be enumerated.
+class BruteForceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BruteForceProperty, FullPipelineMatchesBruteForce) {
+  const uint64_t seed = GetParam();
+  for (double p : {0.2, 0.4, 0.6}) {
+    Graph g = RandomGraph(7, p, seed);
+    const auto brute = testing_util::BruteForceAutomorphisms(g);
+
+    DviclResult dv = DviclCanonicalLabeling(g, Coloring::Unit(7), {});
+    ASSERT_TRUE(dv.completed);
+    SchreierSims chain(7);
+    for (const SparseAut& gen : dv.generators) {
+      chain.AddGenerator(gen.ToDense(7));
+    }
+    EXPECT_EQ(chain.Order(), BigUint(brute.size()))
+        << "seed=" << seed << " p=" << p;
+    // Every brute-force automorphism is in the generated group.
+    for (const Permutation& a : brute) {
+      EXPECT_TRUE(chain.Contains(a)) << "missing " << a.ToCycleString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceProperty,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace dvicl

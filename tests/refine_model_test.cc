@@ -1,0 +1,200 @@
+// Model-based tests for the optimized refinement path: the production
+// refiner (worklist + Hopcroft rule + sparse tail-group splits) must
+// compute exactly the same PARTITION as a naive reference implementation
+// (fixed-point iteration, full re-sorts) on a broad sweep of graphs and
+// initial colorings. The two orders cells differently (both canonically);
+// order-invariance of the production refiner is covered by
+// RefinerTest.InvariantUnderRelabeling.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "datasets/generators.h"
+#include "common/rng.h"
+#include "refine/coloring.h"
+#include "refine/refiner.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::PaperFigure1Graph;
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+// Reference refiner: repeat until stable — for every ordered pair of cells
+// (splitter S, target C), split C by neighbor counts in S, ascending, with
+// fragments replacing C in place. Quadratic and obviously correct.
+class ReferenceRefiner {
+ public:
+  explicit ReferenceRefiner(const Graph& graph) : graph_(graph) {}
+
+  // cells: ordered list of vertex sets.
+  std::vector<std::vector<VertexId>> Run(
+      std::vector<std::vector<VertexId>> cells) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t s = 0; s < cells.size() && !changed; ++s) {
+        for (size_t c = 0; c < cells.size() && !changed; ++c) {
+          changed = TrySplit(cells, s, c);
+        }
+      }
+    }
+    return cells;
+  }
+
+ private:
+  bool TrySplit(std::vector<std::vector<VertexId>>& cells, size_t splitter,
+                size_t target) {
+    std::map<uint64_t, std::vector<VertexId>> groups;
+    for (VertexId v : cells[target]) {
+      uint64_t count = 0;
+      for (VertexId w : cells[splitter]) {
+        count += graph_.HasEdge(v, w) ? 1 : 0;
+      }
+      groups[count].push_back(v);
+    }
+    if (groups.size() <= 1) return false;
+    std::vector<std::vector<VertexId>> fragments;
+    for (auto& [count, members] : groups) {
+      fragments.push_back(std::move(members));
+    }
+    cells.erase(cells.begin() + static_cast<ptrdiff_t>(target));
+    cells.insert(cells.begin() + static_cast<ptrdiff_t>(target),
+                 fragments.begin(), fragments.end());
+    return true;
+  }
+
+  const Graph& graph_;
+};
+
+// Extracts the ordered partition of a Coloring as sorted vertex sets.
+std::vector<std::vector<VertexId>> CellsOf(const Coloring& pi) {
+  std::vector<std::vector<VertexId>> cells;
+  for (VertexId start : pi.CellStarts()) {
+    auto span = pi.CellVerticesAt(start);
+    std::vector<VertexId> cell(span.begin(), span.end());
+    std::sort(cell.begin(), cell.end());
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::vector<std::vector<VertexId>> AsPartition(
+    std::vector<std::vector<VertexId>> cells) {
+  for (auto& cell : cells) std::sort(cell.begin(), cell.end());
+  std::sort(cells.begin(), cells.end());
+  return cells;
+}
+
+void CheckAgainstReference(const Graph& g, const Coloring& initial) {
+  Coloring pi = initial;
+  RefineToEquitable(g, &pi);
+  ASSERT_TRUE(IsEquitable(g, pi));
+
+  ReferenceRefiner reference(g);
+  const auto expected = AsPartition(reference.Run(CellsOf(initial)));
+  const auto actual = AsPartition(CellsOf(pi));
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(RefineModelTest, UnitColoringOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Graph g = RandomGraph(18, 0.1 + 0.05 * static_cast<double>(seed % 5),
+                          seed);
+    CheckAgainstReference(g, Coloring::Unit(18));
+  }
+}
+
+TEST(RefineModelTest, ColoredInputsOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = RandomGraph(16, 0.25, seed);
+    std::vector<uint32_t> labels(16);
+    for (VertexId v = 0; v < 16; ++v) {
+      labels[v] = static_cast<uint32_t>((v + seed) % 3);
+    }
+    CheckAgainstReference(g, Coloring::FromLabels(labels));
+  }
+}
+
+TEST(RefineModelTest, StructuredFamilies) {
+  const Graph graphs[] = {
+      PaperFigure1Graph(),
+      CycleGraph(12),
+      PathGraph(13),
+      StarGraph(9),
+      CompleteBipartiteGraph(3, 5),
+      Torus3dGraph(2),
+      WithTwins(RandomGraph(12, 0.3, 3), 0.4, 4),
+      RandomTreeGraph(15, 5),
+  };
+  for (const Graph& g : graphs) {
+    CheckAgainstReference(g, Coloring::Unit(g.NumVertices()));
+  }
+}
+
+TEST(RefineModelTest, IndividualizedRefinement) {
+  // After individualizing a vertex, incremental refinement must match the
+  // reference run started from the individualized partition.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = RandomGraph(14, 0.25, seed);
+    Coloring pi = Coloring::Unit(14);
+    RefineToEquitable(g, &pi);
+    const VertexId v = static_cast<VertexId>(seed % 14);
+    const VertexId singleton = pi.ColorOf(v);
+    const VertexId rest = pi.Individualize(v);
+
+    // Snapshot the individualized (pre-refinement) partition.
+    const auto start_cells = CellsOf(pi);
+
+    const VertexId seeds[2] = {singleton, rest};
+    RefineFrom(g, &pi, seeds);
+    ASSERT_TRUE(IsEquitable(g, pi));
+
+    ReferenceRefiner reference(g);
+    EXPECT_EQ(AsPartition(CellsOf(pi)),
+              AsPartition(reference.Run(start_cells)))
+        << "seed=" << seed;
+  }
+}
+
+TEST(RefineModelTest, SparseSplitMatchesFullSplitSemantics) {
+  // Direct unit check of SplitCellByTailGroups against SplitCellByKeys.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    testing_util::RandomGraph(1, 0, 0);  // no-op, keep seeds aligned
+    Rng rng(seed);
+    const VertexId n = 12;
+    std::vector<uint64_t> keys(n, 0);
+    size_t num_nonzero = 1 + rng.NextBounded(n - 1);
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+    for (size_t i = 0; i < num_nonzero; ++i) {
+      keys[order[i]] = 1 + rng.NextBounded(3);
+    }
+
+    Coloring full = Coloring::Unit(n);
+    auto frag_full = full.SplitCellByKeys(0, keys);
+
+    Coloring sparse = Coloring::Unit(n);
+    std::vector<std::pair<uint64_t, VertexId>> counted;
+    for (VertexId v = 0; v < n; ++v) {
+      if (keys[v] != 0) counted.emplace_back(keys[v], v);
+    }
+    std::sort(counted.begin(), counted.end());
+    auto frag_sparse = sparse.SplitCellByTailGroups(0, counted);
+
+    // Same fragment boundaries and same vertex->cell assignment.
+    ASSERT_EQ(frag_full, frag_sparse) << "seed=" << seed;
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(full.ColorOf(v), sparse.ColorOf(v)) << "v=" << v;
+    }
+    EXPECT_EQ(full.NumCells(), sparse.NumCells());
+  }
+}
+
+}  // namespace
+}  // namespace dvicl

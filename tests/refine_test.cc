@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "refine/coloring.h"
+#include "refine/refiner.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::PaperFigure1Graph;
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+TEST(ColoringTest, UnitColoring) {
+  Coloring pi = Coloring::Unit(5);
+  EXPECT_EQ(pi.NumCells(), 1u);
+  EXPECT_FALSE(pi.IsDiscrete());
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(pi.ColorOf(v), 0u);
+  EXPECT_EQ(pi.CellSizeAt(0), 5u);
+}
+
+TEST(ColoringTest, FromLabelsOrdersCellsByLabel) {
+  const std::vector<uint32_t> labels = {7, 3, 7, 3, 5};
+  Coloring pi = Coloring::FromLabels(labels);
+  EXPECT_EQ(pi.NumCells(), 3u);
+  // Cells ordered by ascending label: {1,3} then {4} then {0,2}.
+  EXPECT_EQ(pi.ColorOf(1), 0u);
+  EXPECT_EQ(pi.ColorOf(3), 0u);
+  EXPECT_EQ(pi.ColorOf(4), 2u);
+  EXPECT_EQ(pi.ColorOf(0), 3u);
+  EXPECT_EQ(pi.ColorOf(2), 3u);
+}
+
+TEST(ColoringTest, SplitCellByKeys) {
+  Coloring pi = Coloring::Unit(6);
+  const std::vector<uint64_t> keys = {2, 0, 2, 1, 0, 2};
+  auto fragments = pi.SplitCellByKeys(0, keys);
+  ASSERT_EQ(fragments.size(), 3u);
+  EXPECT_EQ(pi.NumCells(), 3u);
+  // Fragments ordered by key: {1,4} | {3} | {0,2,5}.
+  EXPECT_EQ(pi.CellSizeAt(fragments[0]), 2u);
+  EXPECT_EQ(pi.CellSizeAt(fragments[1]), 1u);
+  EXPECT_EQ(pi.CellSizeAt(fragments[2]), 3u);
+  EXPECT_EQ(pi.ColorOf(3), 2u);
+  EXPECT_EQ(pi.ColorOf(0), 3u);
+}
+
+TEST(ColoringTest, SplitWithUniformKeysIsNoop) {
+  Coloring pi = Coloring::Unit(4);
+  const std::vector<uint64_t> keys = {9, 9, 9, 9};
+  auto fragments = pi.SplitCellByKeys(0, keys);
+  EXPECT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(pi.NumCells(), 1u);
+}
+
+TEST(ColoringTest, IndividualizePutsSingletonFirst) {
+  // Paper §4: individualizing 4 in [0,1,2,3|4,5,6|7] gives
+  // [0,1,2,3|4|5,6|7].
+  Coloring pi = Coloring::FromLabels(std::vector<uint32_t>{0, 0, 0, 0, 1, 1, 1, 2});
+  pi.Individualize(4);
+  EXPECT_EQ(pi.NumCells(), 4u);
+  EXPECT_EQ(pi.ColorOf(4), 4u);
+  EXPECT_EQ(pi.CellSizeAt(4), 1u);
+  EXPECT_EQ(pi.ColorOf(5), 5u);
+  EXPECT_EQ(pi.ColorOf(6), 5u);
+  EXPECT_EQ(pi.CellSizeAt(5), 2u);
+}
+
+TEST(ColoringTest, IndividualizeSingletonIsNoop) {
+  Coloring pi = Coloring::FromLabels(std::vector<uint32_t>{0, 1, 1});
+  const VertexId cells_before = pi.NumCells();
+  pi.Individualize(0);
+  EXPECT_EQ(pi.NumCells(), cells_before);
+}
+
+TEST(ColoringTest, DiscreteToPermutation) {
+  Coloring pi = Coloring::FromLabels(std::vector<uint32_t>{3, 1, 2, 0});
+  ASSERT_TRUE(pi.IsDiscrete());
+  Permutation gamma = pi.ToPermutation();
+  // Vertex 3 has smallest label -> position 0, etc.
+  EXPECT_EQ(gamma(3), 0u);
+  EXPECT_EQ(gamma(1), 1u);
+  EXPECT_EQ(gamma(2), 2u);
+  EXPECT_EQ(gamma(0), 3u);
+}
+
+TEST(RefinerTest, PaperGraphRefinesToTwoCells) {
+  // Fig. 1(a) with the unit coloring refines to [0,1,2,3,4,5,6 | 7] — the
+  // paper's pi1, which labels the root of the Fig. 1(b) search tree. (The
+  // finer pi2 is also equitable, but R produces the coarsest refinement.)
+  Graph g = PaperFigure1Graph();
+  Coloring pi = Coloring::Unit(8);
+  RefineToEquitable(g, &pi);
+  EXPECT_TRUE(IsEquitable(g, pi));
+  EXPECT_EQ(pi.NumCells(), 2u);
+  for (VertexId v = 1; v < 7; ++v) {
+    EXPECT_EQ(pi.ColorOf(0), pi.ColorOf(v)) << "v=" << v;
+  }
+  EXPECT_EQ(pi.CellSizeAt(pi.ColorOf(7)), 1u);
+}
+
+TEST(RefinerTest, PaperEquitabilityExamples) {
+  Graph g = PaperFigure1Graph();
+  // pi1 = [0..6 | 7] is equitable (paper §2).
+  Coloring pi1 = Coloring::FromLabels(std::vector<uint32_t>{0, 0, 0, 0, 0, 0, 0, 1});
+  EXPECT_TRUE(IsEquitable(g, pi1));
+  // pi3 = [0,1,2,3 | 4,5,6,7] is NOT equitable (paper §2).
+  Coloring pi3 = Coloring::FromLabels(std::vector<uint32_t>{0, 0, 0, 0, 1, 1, 1, 1});
+  EXPECT_FALSE(IsEquitable(g, pi3));
+}
+
+TEST(RefinerTest, RegularGraphStaysUnit) {
+  // A cycle is 2-regular: the unit coloring is already equitable.
+  Graph cycle = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  Coloring pi = Coloring::Unit(6);
+  RefineToEquitable(cycle, &pi);
+  EXPECT_EQ(pi.NumCells(), 1u);
+}
+
+TEST(RefinerTest, PathGraphRefines) {
+  // Path 0-1-2-3-4: ends vs middle; equitable refinement distinguishes
+  // distance classes.
+  Graph path =
+      Graph::FromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  Coloring pi = Coloring::Unit(5);
+  RefineToEquitable(path, &pi);
+  EXPECT_TRUE(IsEquitable(path, pi));
+  EXPECT_EQ(pi.ColorOf(0), pi.ColorOf(4));
+  EXPECT_EQ(pi.ColorOf(1), pi.ColorOf(3));
+  EXPECT_EQ(pi.CellSizeAt(pi.ColorOf(2)), 1u);
+}
+
+TEST(RefinerTest, RespectsInitialColors) {
+  // Same cycle, but one vertex pre-colored differently: refinement must
+  // stay finer than the input and becomes discrete on C6 with a fixed
+  // vertex only up to reflection (cells {v}, pairs at equal distance).
+  Graph cycle = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  Coloring pi = Coloring::FromLabels(std::vector<uint32_t>{1, 0, 0, 0, 0, 0});
+  RefineToEquitable(cycle, &pi);
+  EXPECT_TRUE(IsEquitable(cycle, pi));
+  EXPECT_EQ(pi.CellSizeAt(pi.ColorOf(0)), 1u);
+  EXPECT_EQ(pi.ColorOf(1), pi.ColorOf(5));
+  EXPECT_EQ(pi.ColorOf(2), pi.ColorOf(4));
+  EXPECT_EQ(pi.CellSizeAt(pi.ColorOf(3)), 1u);
+}
+
+// Refinement is isomorphism-invariant: refining G^gamma gives the gamma-image
+// of refining G, including cell order. We check the invariant consequence:
+// the multiset of (cell size) sequences and each vertex's color offset
+// correspond under gamma.
+TEST(RefinerTest, InvariantUnderRelabeling) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = RandomGraph(24, 0.2, seed);
+    Permutation gamma = RandomPermutation(24, seed + 1000);
+    Graph h = g.RelabeledBy(gamma.ImageArray());
+
+    Coloring pig = Coloring::Unit(24);
+    RefineToEquitable(g, &pig);
+    Coloring pih = Coloring::Unit(24);
+    RefineToEquitable(h, &pih);
+
+    for (VertexId v = 0; v < 24; ++v) {
+      EXPECT_EQ(pig.ColorOf(v), pih.ColorOf(gamma(v)))
+          << "seed=" << seed << " v=" << v;
+    }
+  }
+}
+
+TEST(RefinerTest, IncrementalAfterIndividualization) {
+  Graph g = PaperFigure1Graph();
+  Coloring pi = Coloring::Unit(8);
+  RefineToEquitable(g, &pi);
+  // Individualize vertex 0 and refine incrementally; paper §4 says the
+  // result for sequence "0" is the equitable [6,5,4|2|1,3|0|7]-shaped
+  // partition: {triangle} | {2} | {1,3} | {0} | {7}.
+  const VertexId singleton = pi.ColorOf(0);
+  const VertexId rest = pi.Individualize(0);
+  const VertexId seeds[2] = {singleton, rest};
+  RefineFrom(g, &pi, seeds);
+  EXPECT_TRUE(IsEquitable(g, pi));
+  EXPECT_EQ(pi.NumCells(), 5u);
+  EXPECT_EQ(pi.CellSizeAt(pi.ColorOf(0)), 1u);
+  EXPECT_EQ(pi.CellSizeAt(pi.ColorOf(2)), 1u);
+  EXPECT_EQ(pi.ColorOf(1), pi.ColorOf(3));
+  EXPECT_EQ(pi.ColorOf(4), pi.ColorOf(5));
+  EXPECT_EQ(pi.ColorOf(4), pi.ColorOf(6));
+}
+
+TEST(RefinerTest, EmptyAndSingletonGraphs) {
+  Graph empty = Graph::FromEdges(0, {});
+  Coloring pi0 = Coloring::Unit(0);
+  RefineToEquitable(empty, &pi0);
+  EXPECT_EQ(pi0.NumCells(), 0u);
+
+  Graph one = Graph::FromEdges(1, {});
+  Coloring pi1 = Coloring::Unit(1);
+  RefineToEquitable(one, &pi1);
+  EXPECT_TRUE(pi1.IsDiscrete());
+}
+
+}  // namespace
+}  // namespace dvicl

@@ -1,0 +1,79 @@
+// The saucy-like automorphisms-only IR mode (paper §3): must find the same
+// group as the full search, cheaper.
+
+#include <gtest/gtest.h>
+
+#include "common/big_uint.h"
+#include "datasets/generators.h"
+#include "ir/ir_canonical.h"
+#include "perm/schreier_sims.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::BruteForceAutomorphisms;
+using testing_util::PaperFigure1Graph;
+using testing_util::RandomGraph;
+
+BigUint OrderOf(const Graph& g, const std::vector<Permutation>& gens) {
+  SchreierSims chain(g.NumVertices());
+  for (const Permutation& gen : gens) chain.AddGenerator(gen);
+  return chain.Order();
+}
+
+TEST(SaucyModeTest, SameGroupAsFullSearch) {
+  const Graph graphs[] = {
+      PaperFigure1Graph(),
+      RandomGraph(15, 0.25, 1),
+      WithTwins(PreferentialAttachmentGraph(40, 3, 2), 0.3, 3),
+      CycleGraph(14),
+      CompleteBipartiteGraph(4, 4),
+  };
+  for (const Graph& g : graphs) {
+    IrOptions full;
+    IrResult full_result =
+        IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), full);
+    IrOptions saucy;
+    saucy.automorphisms_only = true;
+    IrResult saucy_result =
+        IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), saucy);
+    ASSERT_TRUE(full_result.completed && saucy_result.completed);
+    EXPECT_EQ(OrderOf(g, full_result.automorphism_generators),
+              OrderOf(g, saucy_result.automorphism_generators));
+    // Generators from the cheap mode are real automorphisms.
+    for (const Permutation& gen : saucy_result.automorphism_generators) {
+      EXPECT_TRUE(IsAutomorphism(g, gen));
+    }
+  }
+}
+
+TEST(SaucyModeTest, MatchesBruteForceOrder) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g = RandomGraph(7, 0.35, seed);
+    IrOptions saucy;
+    saucy.automorphisms_only = true;
+    IrResult r = IrCanonicalLabeling(g, Coloring::Unit(7), saucy);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(OrderOf(g, r.automorphism_generators),
+              BigUint(BruteForceAutomorphisms(g).size()))
+        << "seed=" << seed;
+  }
+}
+
+TEST(SaucyModeTest, ExploresNoMoreNodesThanFull) {
+  const Graph graphs[] = {PaperFigure1Graph(), CycleGraph(18),
+                          RandomGraph(20, 0.2, 4)};
+  for (const Graph& g : graphs) {
+    IrResult full =
+        IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    IrOptions saucy_options;
+    saucy_options.automorphisms_only = true;
+    IrResult saucy = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()),
+                                         saucy_options);
+    EXPECT_LE(saucy.stats.tree_nodes, full.stats.tree_nodes);
+  }
+}
+
+}  // namespace
+}  // namespace dvicl

@@ -1,0 +1,141 @@
+// Round-trip and corruption tests for the AutoTree index persistence.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "dvicl/serialize.h"
+#include "ssm/ssm_at.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::PaperFigure1Graph;
+using testing_util::PaperFigure3Graph;
+using testing_util::RandomGraph;
+
+std::string SaveToString(const DviclResult& result) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(SaveDviclResult(result, out).ok());
+  return out.str();
+}
+
+void ExpectEqualResults(const DviclResult& a, const DviclResult& b) {
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.canonical_labeling, b.canonical_labeling);
+  EXPECT_EQ(a.certificate, b.certificate);
+  ASSERT_EQ(a.generators.size(), b.generators.size());
+  for (size_t i = 0; i < a.generators.size(); ++i) {
+    EXPECT_EQ(a.generators[i].moves, b.generators[i].moves);
+  }
+  ASSERT_EQ(a.tree.NumNodes(), b.tree.NumNodes());
+  for (uint32_t id = 0; id < a.tree.NumNodes(); ++id) {
+    const AutoTreeNode& na = a.tree.Node(id);
+    const AutoTreeNode& nb = b.tree.Node(id);
+    EXPECT_EQ(na.vertices, nb.vertices);
+    EXPECT_EQ(na.edges, nb.edges);
+    EXPECT_EQ(na.labels, nb.labels);
+    EXPECT_EQ(na.parent, nb.parent);
+    EXPECT_EQ(na.depth, nb.depth);
+    EXPECT_EQ(na.children, nb.children);
+    EXPECT_EQ(na.child_sym_class, nb.child_sym_class);
+    EXPECT_EQ(na.is_leaf, nb.is_leaf);
+    EXPECT_EQ(na.divided_by_s, nb.divided_by_s);
+    EXPECT_EQ(na.form_hash, nb.form_hash);
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const Graph graphs[] = {PaperFigure1Graph(), PaperFigure3Graph(),
+                          RandomGraph(40, 0.12, 9),
+                          WithTwins(PreferentialAttachmentGraph(60, 3, 2),
+                                    0.2, 3)};
+  for (const Graph& g : graphs) {
+    DviclResult original =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    ASSERT_TRUE(original.completed);
+    const std::string blob = SaveToString(original);
+    std::istringstream in(blob, std::ios::binary);
+    Result<DviclResult> loaded = LoadDviclResult(in);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectEqualResults(original, loaded.value());
+  }
+}
+
+TEST(SerializeTest, LoadedIndexAnswersSsmQueries) {
+  Graph g = PaperFigure3Graph();
+  DviclResult original = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  const std::string blob = SaveToString(original);
+  std::istringstream in(blob, std::ios::binary);
+  Result<DviclResult> loaded = LoadDviclResult(in);
+  ASSERT_TRUE(loaded.ok());
+
+  SsmIndex index(g, loaded.value());
+  EXPECT_EQ(index.SymmetricImages({3, 2, 6}).size(), 12u);
+  EXPECT_EQ(index.CountSymmetricImages({3, 2, 6}), BigUint(12));
+}
+
+TEST(SerializeTest, RefusesIncompleteResult) {
+  DviclResult incomplete;
+  incomplete.completed = false;
+  std::ostringstream out(std::ios::binary);
+  EXPECT_FALSE(SaveDviclResult(incomplete, out).ok());
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::istringstream in(std::string("NOPE") + std::string(200, '\0'),
+                        std::ios::binary);
+  Result<DviclResult> loaded = LoadDviclResult(in);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SerializeTest, RejectsTruncation) {
+  Graph g = PaperFigure1Graph();
+  DviclResult original = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  const std::string blob = SaveToString(original);
+  // Cut at various points: header, mid-payload, missing checksum.
+  for (size_t cut : {2ul, 10ul, blob.size() / 2, blob.size() - 3}) {
+    std::istringstream in(blob.substr(0, cut), std::ios::binary);
+    EXPECT_FALSE(LoadDviclResult(in).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(SerializeTest, RejectsBitFlips) {
+  Graph g = PaperFigure1Graph();
+  DviclResult original = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  const std::string blob = SaveToString(original);
+  // Flip one byte in the payload region: the checksum must catch it.
+  for (size_t offset : {20ul, blob.size() / 2, blob.size() - 12}) {
+    std::string corrupt = blob;
+    corrupt[offset] = static_cast<char>(corrupt[offset] ^ 0x40);
+    std::istringstream in(corrupt, std::ios::binary);
+    EXPECT_FALSE(LoadDviclResult(in).ok()) << "offset=" << offset;
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Graph g = RandomGraph(25, 0.2, 5);
+  DviclResult original = DviclCanonicalLabeling(g, Coloring::Unit(25), {});
+  const std::string path = ::testing::TempDir() + "/dvicl_index.bin";
+  ASSERT_TRUE(SaveDviclResultToFile(original, path).ok());
+  Result<DviclResult> loaded = LoadDviclResultFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectEqualResults(original, loaded.value());
+  EXPECT_FALSE(LoadDviclResultFromFile("/nonexistent/index.bin").ok());
+}
+
+TEST(SerializeTest, EmptyGraphRoundTrip) {
+  Graph empty = Graph::FromEdges(0, {});
+  DviclResult original = DviclCanonicalLabeling(empty, Coloring::Unit(0), {});
+  const std::string blob = SaveToString(original);
+  std::istringstream in(blob, std::ios::binary);
+  Result<DviclResult> loaded = LoadDviclResult(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().tree.NumNodes(), 1u);
+}
+
+}  // namespace
+}  // namespace dvicl

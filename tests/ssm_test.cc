@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dvicl/dvicl.h"
+#include "ssm/ssm_at.h"
+#include "ssm/ssm_count.h"
+#include "ssm/subgraph_match.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::BruteForceAutomorphisms;
+using testing_util::PaperFigure1Graph;
+using testing_util::PaperFigure3Graph;
+using testing_util::RandomGraph;
+
+// Brute-force symmetric images: the orbit of `query` under all
+// automorphisms of the graph (n <= 8).
+std::set<std::vector<VertexId>> BruteForceImages(
+    const Graph& graph, const std::vector<VertexId>& query) {
+  std::set<std::vector<VertexId>> images;
+  for (const Permutation& gamma : BruteForceAutomorphisms(graph)) {
+    std::vector<VertexId> image;
+    image.reserve(query.size());
+    for (VertexId v : query) image.push_back(gamma(v));
+    std::sort(image.begin(), image.end());
+    images.insert(std::move(image));
+  }
+  return images;
+}
+
+TEST(SubgraphMatchTest, FindsAllTrianglesOfK4) {
+  Graph k4 = Graph::FromEdges(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  auto matches = FindInducedSubgraphs(k4, {0, 1, 2});
+  EXPECT_EQ(matches.size(), 4u);  // all 4 triangles of K4
+}
+
+TEST(SubgraphMatchTest, InducedSemantics) {
+  // Path 0-1-2 plus edge 0-2 makes a triangle; a path query must not match
+  // a triangle (induced!).
+  Graph g = Graph::FromEdges(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  // Query: induced path 2-3-4.
+  auto matches = FindInducedSubgraphs(g, {2, 3, 4});
+  for (const auto& m : matches) {
+    // The triangle {0,1,2} must not appear.
+    EXPECT_NE(m, (std::vector<VertexId>{0, 1, 2}));
+  }
+  // 2-3-4 itself must be found.
+  EXPECT_TRUE(std::find(matches.begin(), matches.end(),
+                        std::vector<VertexId>({2, 3, 4})) != matches.end());
+}
+
+TEST(SubgraphMatchTest, RespectsResultCap) {
+  Graph k5 = Graph::FromEdges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4},
+                                  {1, 2}, {1, 3}, {1, 4},
+                                  {2, 3}, {2, 4}, {3, 4}});
+  auto matches = FindInducedSubgraphs(k5, {0, 1}, 3);
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(SsmAtTest, SingleVertexOrbitPaperGraph) {
+  Graph g = PaperFigure1Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  ASSERT_TRUE(r.completed);
+  SsmIndex index(g, r);
+  // Vertex 4 (triangle corner) has 3 symmetric images: {4},{5},{6}.
+  auto images = index.SymmetricImages({4});
+  EXPECT_EQ(images.size(), 3u);
+  EXPECT_EQ(index.CountSymmetricImages({4}), BigUint(3));
+  // Vertex 7 (hub) is fixed.
+  EXPECT_EQ(index.SymmetricImages({7}).size(), 1u);
+  // Cycle vertex 0 has 4 images.
+  EXPECT_EQ(index.SymmetricImages({0}).size(), 4u);
+}
+
+TEST(SsmAtTest, MatchesBruteForceOnPaperGraph) {
+  Graph g = PaperFigure1Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  ASSERT_TRUE(r.completed);
+  SsmIndex index(g, r);
+
+  const std::vector<std::vector<VertexId>> queries = {
+      {4},       {0},       {7},       {0, 1},   {4, 5},
+      {0, 2},    {0, 4},    {0, 7},    {4, 5, 6}, {0, 1, 2},
+      {0, 4, 7}, {1, 3, 5}, {0, 1, 4, 5}};
+  for (const auto& query : queries) {
+    const auto expected = BruteForceImages(g, query);
+    const auto actual = index.SymmetricImages(query);
+    std::set<std::vector<VertexId>> actual_set(actual.begin(), actual.end());
+    EXPECT_EQ(actual_set, expected) << "query size " << query.size();
+    EXPECT_EQ(actual.size(), actual_set.size()) << "duplicates returned";
+    // The count estimator is exact on these inputs.
+    EXPECT_EQ(index.CountSymmetricImages(query), BigUint(expected.size()));
+  }
+}
+
+TEST(SsmAtTest, Example611PathQuery) {
+  // Paper Example 6.11: query 3-2-6 on the Fig. 3 graph has 6 symmetric
+  // images inside wing g1 and 6 more in the other wing.
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  ASSERT_TRUE(r.completed);
+  SsmIndex index(g, r);
+  auto images = index.SymmetricImages({3, 2, 6});
+  EXPECT_EQ(images.size(), 12u);
+  EXPECT_EQ(index.CountSymmetricImages({3, 2, 6}), BigUint(12));
+  // All returned images are genuinely symmetric: same sorted degree
+  // sequence and containment of one pendant + two triangle corners.
+  for (const auto& image : images) {
+    ASSERT_EQ(image.size(), 3u);
+    std::vector<uint32_t> degrees;
+    for (VertexId v : image) degrees.push_back(g.Degree(v));
+    std::sort(degrees.begin(), degrees.end());
+    EXPECT_EQ(degrees, (std::vector<uint32_t>{1, 4, 4}));
+  }
+}
+
+TEST(SsmAtTest, RandomGraphsMatchBruteForce) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = RandomGraph(7, 0.3, seed);
+    DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(7), {});
+    ASSERT_TRUE(r.completed);
+    SsmIndex index(g, r);
+    const std::vector<std::vector<VertexId>> queries = {
+        {0}, {3}, {0, 1}, {2, 5}, {0, 1, 2}, {1, 3, 6}};
+    for (const auto& query : queries) {
+      const auto expected = BruteForceImages(g, query);
+      const auto actual = index.SymmetricImages(query);
+      std::set<std::vector<VertexId>> actual_set(actual.begin(),
+                                                 actual.end());
+      EXPECT_EQ(actual_set, expected) << "seed=" << seed;
+      EXPECT_EQ(index.CountSymmetricImages(query), BigUint(expected.size()))
+          << "seed=" << seed;
+    }
+  }
+}
+
+TEST(SsmAtTest, NonSingletonLeafQueriesMatchBruteForce) {
+  // A wheel: anchor 0 joined to the 5-ring {1..5}, plus a pendant 6 on the
+  // anchor. The ring survives as a non-singleton IR leaf, so these queries
+  // exercise the LeafOrbit path (orbit BFS over the leaf's generators).
+  Graph g = Graph::FromEdges(7, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5},
+                                 {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 5},
+                                 {0, 6}});
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(7), {});
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.tree.NumNonSingletonLeaves(), 1u);
+
+  SsmIndex index(g, r);
+  const std::vector<std::vector<VertexId>> queries = {
+      {1}, {1, 2}, {1, 3}, {1, 2, 3}, {1, 3, 5}, {0, 1}, {1, 6}};
+  for (const auto& query : queries) {
+    const auto expected = BruteForceImages(g, query);
+    const auto actual = index.SymmetricImages(query);
+    std::set<std::vector<VertexId>> actual_set(actual.begin(), actual.end());
+    EXPECT_EQ(actual_set, expected) << "query size " << query.size();
+    EXPECT_EQ(index.CountSymmetricImages(query), BigUint(expected.size()));
+  }
+}
+
+TEST(SsmAtTest, EnumerationCapSetsTruncatedFlag) {
+  Graph g = PaperFigure3Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
+  ASSERT_TRUE(r.completed);
+  SsmIndex index(g, r);
+  bool truncated = false;
+  auto images = index.SymmetricImages({3, 2, 6}, 4, &truncated);
+  EXPECT_LE(images.size(), 4u);
+  EXPECT_TRUE(truncated);
+}
+
+TEST(SsmAtTest, EmptyQuery) {
+  Graph g = PaperFigure1Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  SsmIndex index(g, r);
+  EXPECT_EQ(index.SymmetricImages({}).size(), 1u);
+  EXPECT_EQ(index.CountSymmetricImages({}), BigUint(1));
+}
+
+TEST(SsmCountTest, ClusterTrianglesOfTwoDisjointTriangles) {
+  Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2},
+                                 {3, 4}, {4, 5}, {3, 5}});
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(6), {});
+  ASSERT_TRUE(r.completed);
+  const std::vector<std::vector<VertexId>> triangles = {{0, 1, 2}, {3, 4, 5}};
+  auto clustering = ClusterSubgraphsBySymmetry(6, r.generators, triangles);
+  EXPECT_EQ(clustering.num_clusters, 1u);
+  EXPECT_EQ(clustering.max_cluster_size, 2u);
+}
+
+TEST(SsmCountTest, ClusterDistinguishesAsymmetricSubgraphs) {
+  // Fig. 1(a): the triangle {4,5,6} vs triangles through the hub, e.g.
+  // {4,5,7}: different orbits.
+  Graph g = PaperFigure1Graph();
+  DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
+  ASSERT_TRUE(r.completed);
+  const std::vector<std::vector<VertexId>> triangles = {
+      {4, 5, 6}, {4, 5, 7}, {4, 6, 7}, {5, 6, 7}};
+  auto clustering = ClusterSubgraphsBySymmetry(8, r.generators, triangles);
+  EXPECT_EQ(clustering.num_clusters, 2u);
+  EXPECT_EQ(clustering.max_cluster_size, 3u);
+  EXPECT_NE(clustering.cluster_id[0], clustering.cluster_id[1]);
+  EXPECT_EQ(clustering.cluster_id[1], clustering.cluster_id[2]);
+  EXPECT_EQ(clustering.cluster_id[1], clustering.cluster_id[3]);
+}
+
+TEST(SsmCountTest, EmptyFamily) {
+  auto clustering = ClusterSubgraphsBySymmetry(5, {}, {});
+  EXPECT_EQ(clustering.num_clusters, 0u);
+  EXPECT_EQ(clustering.max_cluster_size, 0u);
+}
+
+}  // namespace
+}  // namespace dvicl

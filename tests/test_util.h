@@ -1,0 +1,102 @@
+#ifndef DVICL_TESTS_TEST_UTIL_H_
+#define DVICL_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "perm/permutation.h"
+
+namespace dvicl {
+namespace testing_util {
+
+// Erdos-Renyi G(n, p) from a deterministic seed.
+inline Graph RandomGraph(VertexId n, double p, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(p)) edges.emplace_back(u, v);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+// Uniformly random permutation of 0..n-1.
+inline Permutation RandomPermutation(VertexId n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> image(n);
+  std::iota(image.begin(), image.end(), 0);
+  rng.Shuffle(&image);
+  return Permutation(std::move(image));
+}
+
+// All automorphisms of `graph` by brute force over n! permutations.
+// Only call for n <= 8.
+inline std::vector<Permutation> BruteForceAutomorphisms(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> image(n);
+  std::iota(image.begin(), image.end(), 0);
+  std::vector<Permutation> result;
+  do {
+    Permutation gamma{std::vector<VertexId>(image)};
+    if (IsAutomorphism(graph, gamma)) result.push_back(std::move(gamma));
+  } while (std::next_permutation(image.begin(), image.end()));
+  return result;
+}
+
+// Orbit partition (min-vertex representative per vertex) from a set of
+// permutations.
+inline std::vector<VertexId> OrbitIdsOf(VertexId n,
+                                        const std::vector<Permutation>& gens) {
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Permutation& g : gens) {
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId a = find(v);
+      VertexId b = find(g(v));
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = find(v);
+  return ids;
+}
+
+// The paper's running example, Fig. 1(a): a 4-cycle 0-1-2-3, a triangle
+// 4-5-6, and vertex 7 adjacent to all of 0..6. |Aut| = 8 * 6 = 48.
+inline Graph PaperFigure1Graph() {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3},  // 4-cycle
+                             {4, 5}, {5, 6}, {4, 6},          // triangle
+                             {7, 0}, {7, 1}, {7, 2}, {7, 3},
+                             {7, 4}, {7, 5}, {7, 6}};
+  return Graph::FromEdges(8, std::move(edges));
+}
+
+// A graph realizing the structure of the paper's Fig. 3: axis vertex 1
+// joined to two symmetric "wings". Each wing is a triangle of one color
+// with a pendant vertex on each corner. |Aut| = 2 * 6 * 6 = 72.
+inline Graph PaperFigure3Graph() {
+  std::vector<Edge> edges = {
+      // axis 1 to both triangles
+      {1, 2}, {1, 4}, {1, 6}, {1, 8}, {1, 10}, {1, 12},
+      // wing triangles
+      {2, 4}, {4, 6}, {2, 6}, {8, 10}, {10, 12}, {8, 12},
+      // pendants
+      {3, 2}, {5, 4}, {7, 6}, {9, 8}, {11, 10}, {13, 12}};
+  return Graph::FromEdges(14, std::move(edges));
+}
+
+}  // namespace testing_util
+}  // namespace dvicl
+
+#endif  // DVICL_TESTS_TEST_UTIL_H_
