@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dvicl.dir/ablation_dvicl.cc.o"
+  "CMakeFiles/ablation_dvicl.dir/ablation_dvicl.cc.o.d"
+  "ablation_dvicl"
+  "ablation_dvicl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dvicl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssm_vs_sm.dir/ssm_vs_sm.cc.o"
+  "CMakeFiles/ssm_vs_sm.dir/ssm_vs_sm.cc.o.d"
+  "ssm_vs_sm"
+  "ssm_vs_sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssm_vs_sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

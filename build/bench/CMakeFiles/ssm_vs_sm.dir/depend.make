@@ -1,0 +1,2 @@
+# Empty dependencies file for ssm_vs_sm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry_profile.dir/symmetry_profile.cc.o"
+  "CMakeFiles/symmetry_profile.dir/symmetry_profile.cc.o.d"
+  "symmetry_profile"
+  "symmetry_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

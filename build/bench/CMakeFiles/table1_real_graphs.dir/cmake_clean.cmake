@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_real_graphs.dir/table1_real_graphs.cc.o"
+  "CMakeFiles/table1_real_graphs.dir/table1_real_graphs.cc.o.d"
+  "table1_real_graphs"
+  "table1_real_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_real_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_benchmark_graphs.dir/table2_benchmark_graphs.cc.o"
+  "CMakeFiles/table2_benchmark_graphs.dir/table2_benchmark_graphs.cc.o.d"
+  "table2_benchmark_graphs"
+  "table2_benchmark_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_benchmark_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_autotree_real.dir/table3_autotree_real.cc.o"
+  "CMakeFiles/table3_autotree_real.dir/table3_autotree_real.cc.o.d"
+  "table3_autotree_real"
+  "table3_autotree_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_autotree_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

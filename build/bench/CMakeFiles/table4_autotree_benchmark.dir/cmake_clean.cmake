@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_autotree_benchmark.dir/table4_autotree_benchmark.cc.o"
+  "CMakeFiles/table4_autotree_benchmark.dir/table4_autotree_benchmark.cc.o.d"
+  "table4_autotree_benchmark"
+  "table4_autotree_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_autotree_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_perf_real.dir/table5_perf_real.cc.o"
+  "CMakeFiles/table5_perf_real.dir/table5_perf_real.cc.o.d"
+  "table5_perf_real"
+  "table5_perf_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_perf_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

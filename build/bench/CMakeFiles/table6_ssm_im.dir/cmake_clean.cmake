@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ssm_im.dir/table6_ssm_im.cc.o"
+  "CMakeFiles/table6_ssm_im.dir/table6_ssm_im.cc.o.d"
+  "table6_ssm_im"
+  "table6_ssm_im.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ssm_im.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

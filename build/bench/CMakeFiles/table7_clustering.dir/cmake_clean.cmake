@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_clustering.dir/table7_clustering.cc.o"
+  "CMakeFiles/table7_clustering.dir/table7_clustering.cc.o.d"
+  "table7_clustering"
+  "table7_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_perf_benchmark.dir/table8_perf_benchmark.cc.o"
+  "CMakeFiles/table8_perf_benchmark.dir/table8_perf_benchmark.cc.o.d"
+  "table8_perf_benchmark"
+  "table8_perf_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_perf_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

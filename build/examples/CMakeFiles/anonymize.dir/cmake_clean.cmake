@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymize.dir/anonymize.cpp.o"
+  "CMakeFiles/anonymize.dir/anonymize.cpp.o.d"
+  "anonymize"
+  "anonymize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotree_view.dir/autotree_view.cpp.o"
+  "CMakeFiles/autotree_view.dir/autotree_view.cpp.o.d"
+  "autotree_view"
+  "autotree_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotree_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

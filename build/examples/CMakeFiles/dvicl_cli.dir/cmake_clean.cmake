@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_cli.dir/dvicl_cli.cpp.o"
+  "CMakeFiles/dvicl_cli.dir/dvicl_cli.cpp.o.d"
+  "dvicl_cli"
+  "dvicl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_dedup.dir/graph_dedup.cpp.o"
+  "CMakeFiles/graph_dedup.dir/graph_dedup.cpp.o.d"
+  "graph_dedup"
+  "graph_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

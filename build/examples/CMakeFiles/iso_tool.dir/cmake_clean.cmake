@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iso_tool.dir/iso_tool.cpp.o"
+  "CMakeFiles/iso_tool.dir/iso_tool.cpp.o.d"
+  "iso_tool"
+  "iso_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iso_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_simplify.dir/network_simplify.cpp.o"
+  "CMakeFiles/network_simplify.dir/network_simplify.cpp.o.d"
+  "network_simplify"
+  "network_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetric_match.dir/symmetric_match.cpp.o"
+  "CMakeFiles/symmetric_match.dir/symmetric_match.cpp.o.d"
+  "symmetric_match"
+  "symmetric_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetric_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_symmetric_match "/root/repo/build/examples/symmetric_match")
+set_tests_properties(example_symmetric_match PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_influence_seeds "/root/repo/build/examples/influence_seeds" "400")
+set_tests_properties(example_influence_seeds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_anonymize "/root/repo/build/examples/anonymize" "3")
+set_tests_properties(example_anonymize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_network_simplify "/root/repo/build/examples/network_simplify" "800")
+set_tests_properties(example_network_simplify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph_dedup "/root/repo/build/examples/graph_dedup")
+set_tests_properties(example_graph_dedup PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_autotree_view "/root/repo/build/examples/autotree_view")
+set_tests_properties(example_autotree_view PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_iso_tool "/root/repo/build/examples/iso_tool" "/root/repo/data/fig1.edges" "/root/repo/data/fig1.edges")
+set_tests_properties(example_iso_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_stats "/root/repo/build/examples/dvicl_cli" "stats" "/root/repo/data/fig1.edges")
+set_tests_properties(example_cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_tree "/root/repo/build/examples/dvicl_cli" "tree" "/root/repo/data/fig3.edges")
+set_tests_properties(example_cli_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_ssm "/root/repo/build/examples/dvicl_cli" "ssm" "/root/repo/data/fig3.edges" "3,2,6")
+set_tests_properties(example_cli_ssm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cert_index.cc" "src/CMakeFiles/dvicl_analysis.dir/analysis/cert_index.cc.o" "gcc" "src/CMakeFiles/dvicl_analysis.dir/analysis/cert_index.cc.o.d"
+  "/root/repo/src/analysis/influence_max.cc" "src/CMakeFiles/dvicl_analysis.dir/analysis/influence_max.cc.o" "gcc" "src/CMakeFiles/dvicl_analysis.dir/analysis/influence_max.cc.o.d"
+  "/root/repo/src/analysis/k_symmetry.cc" "src/CMakeFiles/dvicl_analysis.dir/analysis/k_symmetry.cc.o" "gcc" "src/CMakeFiles/dvicl_analysis.dir/analysis/k_symmetry.cc.o.d"
+  "/root/repo/src/analysis/max_clique.cc" "src/CMakeFiles/dvicl_analysis.dir/analysis/max_clique.cc.o" "gcc" "src/CMakeFiles/dvicl_analysis.dir/analysis/max_clique.cc.o.d"
+  "/root/repo/src/analysis/quotient.cc" "src/CMakeFiles/dvicl_analysis.dir/analysis/quotient.cc.o" "gcc" "src/CMakeFiles/dvicl_analysis.dir/analysis/quotient.cc.o.d"
+  "/root/repo/src/analysis/symmetry_profile.cc" "src/CMakeFiles/dvicl_analysis.dir/analysis/symmetry_profile.cc.o" "gcc" "src/CMakeFiles/dvicl_analysis.dir/analysis/symmetry_profile.cc.o.d"
+  "/root/repo/src/analysis/triangles.cc" "src/CMakeFiles/dvicl_analysis.dir/analysis/triangles.cc.o" "gcc" "src/CMakeFiles/dvicl_analysis.dir/analysis/triangles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvicl_ssm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_analysis.dir/analysis/cert_index.cc.o"
+  "CMakeFiles/dvicl_analysis.dir/analysis/cert_index.cc.o.d"
+  "CMakeFiles/dvicl_analysis.dir/analysis/influence_max.cc.o"
+  "CMakeFiles/dvicl_analysis.dir/analysis/influence_max.cc.o.d"
+  "CMakeFiles/dvicl_analysis.dir/analysis/k_symmetry.cc.o"
+  "CMakeFiles/dvicl_analysis.dir/analysis/k_symmetry.cc.o.d"
+  "CMakeFiles/dvicl_analysis.dir/analysis/max_clique.cc.o"
+  "CMakeFiles/dvicl_analysis.dir/analysis/max_clique.cc.o.d"
+  "CMakeFiles/dvicl_analysis.dir/analysis/quotient.cc.o"
+  "CMakeFiles/dvicl_analysis.dir/analysis/quotient.cc.o.d"
+  "CMakeFiles/dvicl_analysis.dir/analysis/symmetry_profile.cc.o"
+  "CMakeFiles/dvicl_analysis.dir/analysis/symmetry_profile.cc.o.d"
+  "CMakeFiles/dvicl_analysis.dir/analysis/triangles.cc.o"
+  "CMakeFiles/dvicl_analysis.dir/analysis/triangles.cc.o.d"
+  "libdvicl_analysis.a"
+  "libdvicl_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_common.dir/common/big_uint.cc.o"
+  "CMakeFiles/dvicl_common.dir/common/big_uint.cc.o.d"
+  "CMakeFiles/dvicl_common.dir/common/rng.cc.o"
+  "CMakeFiles/dvicl_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/dvicl_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/dvicl_common.dir/common/stopwatch.cc.o.d"
+  "libdvicl_common.a"
+  "libdvicl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvicl/auto_tree.cc" "src/CMakeFiles/dvicl_core.dir/dvicl/auto_tree.cc.o" "gcc" "src/CMakeFiles/dvicl_core.dir/dvicl/auto_tree.cc.o.d"
+  "/root/repo/src/dvicl/combine.cc" "src/CMakeFiles/dvicl_core.dir/dvicl/combine.cc.o" "gcc" "src/CMakeFiles/dvicl_core.dir/dvicl/combine.cc.o.d"
+  "/root/repo/src/dvicl/divide.cc" "src/CMakeFiles/dvicl_core.dir/dvicl/divide.cc.o" "gcc" "src/CMakeFiles/dvicl_core.dir/dvicl/divide.cc.o.d"
+  "/root/repo/src/dvicl/dvicl.cc" "src/CMakeFiles/dvicl_core.dir/dvicl/dvicl.cc.o" "gcc" "src/CMakeFiles/dvicl_core.dir/dvicl/dvicl.cc.o.d"
+  "/root/repo/src/dvicl/serialize.cc" "src/CMakeFiles/dvicl_core.dir/dvicl/serialize.cc.o" "gcc" "src/CMakeFiles/dvicl_core.dir/dvicl/serialize.cc.o.d"
+  "/root/repo/src/dvicl/simplify.cc" "src/CMakeFiles/dvicl_core.dir/dvicl/simplify.cc.o" "gcc" "src/CMakeFiles/dvicl_core.dir/dvicl/simplify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvicl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

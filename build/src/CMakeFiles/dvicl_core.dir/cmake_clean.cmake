@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_core.dir/dvicl/auto_tree.cc.o"
+  "CMakeFiles/dvicl_core.dir/dvicl/auto_tree.cc.o.d"
+  "CMakeFiles/dvicl_core.dir/dvicl/combine.cc.o"
+  "CMakeFiles/dvicl_core.dir/dvicl/combine.cc.o.d"
+  "CMakeFiles/dvicl_core.dir/dvicl/divide.cc.o"
+  "CMakeFiles/dvicl_core.dir/dvicl/divide.cc.o.d"
+  "CMakeFiles/dvicl_core.dir/dvicl/dvicl.cc.o"
+  "CMakeFiles/dvicl_core.dir/dvicl/dvicl.cc.o.d"
+  "CMakeFiles/dvicl_core.dir/dvicl/serialize.cc.o"
+  "CMakeFiles/dvicl_core.dir/dvicl/serialize.cc.o.d"
+  "CMakeFiles/dvicl_core.dir/dvicl/simplify.cc.o"
+  "CMakeFiles/dvicl_core.dir/dvicl/simplify.cc.o.d"
+  "libdvicl_core.a"
+  "libdvicl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/benchmark_suite.cc" "src/CMakeFiles/dvicl_datasets.dir/datasets/benchmark_suite.cc.o" "gcc" "src/CMakeFiles/dvicl_datasets.dir/datasets/benchmark_suite.cc.o.d"
+  "/root/repo/src/datasets/generators.cc" "src/CMakeFiles/dvicl_datasets.dir/datasets/generators.cc.o" "gcc" "src/CMakeFiles/dvicl_datasets.dir/datasets/generators.cc.o.d"
+  "/root/repo/src/datasets/real_suite.cc" "src/CMakeFiles/dvicl_datasets.dir/datasets/real_suite.cc.o" "gcc" "src/CMakeFiles/dvicl_datasets.dir/datasets/real_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvicl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_datasets.dir/datasets/benchmark_suite.cc.o"
+  "CMakeFiles/dvicl_datasets.dir/datasets/benchmark_suite.cc.o.d"
+  "CMakeFiles/dvicl_datasets.dir/datasets/generators.cc.o"
+  "CMakeFiles/dvicl_datasets.dir/datasets/generators.cc.o.d"
+  "CMakeFiles/dvicl_datasets.dir/datasets/real_suite.cc.o"
+  "CMakeFiles/dvicl_datasets.dir/datasets/real_suite.cc.o.d"
+  "libdvicl_datasets.a"
+  "libdvicl_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_graph.dir/graph/certificate.cc.o"
+  "CMakeFiles/dvicl_graph.dir/graph/certificate.cc.o.d"
+  "CMakeFiles/dvicl_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/dvicl_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/dvicl_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/dvicl_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/dvicl_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/dvicl_graph.dir/graph/graph_io.cc.o.d"
+  "libdvicl_graph.a"
+  "libdvicl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

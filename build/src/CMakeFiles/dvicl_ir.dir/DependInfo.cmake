@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/invariant.cc" "src/CMakeFiles/dvicl_ir.dir/ir/invariant.cc.o" "gcc" "src/CMakeFiles/dvicl_ir.dir/ir/invariant.cc.o.d"
+  "/root/repo/src/ir/ir_canonical.cc" "src/CMakeFiles/dvicl_ir.dir/ir/ir_canonical.cc.o" "gcc" "src/CMakeFiles/dvicl_ir.dir/ir/ir_canonical.cc.o.d"
+  "/root/repo/src/ir/target_cell.cc" "src/CMakeFiles/dvicl_ir.dir/ir/target_cell.cc.o" "gcc" "src/CMakeFiles/dvicl_ir.dir/ir/target_cell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvicl_refine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

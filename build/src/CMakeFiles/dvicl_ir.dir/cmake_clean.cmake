@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_ir.dir/ir/invariant.cc.o"
+  "CMakeFiles/dvicl_ir.dir/ir/invariant.cc.o.d"
+  "CMakeFiles/dvicl_ir.dir/ir/ir_canonical.cc.o"
+  "CMakeFiles/dvicl_ir.dir/ir/ir_canonical.cc.o.d"
+  "CMakeFiles/dvicl_ir.dir/ir/target_cell.cc.o"
+  "CMakeFiles/dvicl_ir.dir/ir/target_cell.cc.o.d"
+  "libdvicl_ir.a"
+  "libdvicl_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdvicl_ir.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perm/perm_group.cc" "src/CMakeFiles/dvicl_perm.dir/perm/perm_group.cc.o" "gcc" "src/CMakeFiles/dvicl_perm.dir/perm/perm_group.cc.o.d"
+  "/root/repo/src/perm/permutation.cc" "src/CMakeFiles/dvicl_perm.dir/perm/permutation.cc.o" "gcc" "src/CMakeFiles/dvicl_perm.dir/perm/permutation.cc.o.d"
+  "/root/repo/src/perm/schreier_sims.cc" "src/CMakeFiles/dvicl_perm.dir/perm/schreier_sims.cc.o" "gcc" "src/CMakeFiles/dvicl_perm.dir/perm/schreier_sims.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvicl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_perm.dir/perm/perm_group.cc.o"
+  "CMakeFiles/dvicl_perm.dir/perm/perm_group.cc.o.d"
+  "CMakeFiles/dvicl_perm.dir/perm/permutation.cc.o"
+  "CMakeFiles/dvicl_perm.dir/perm/permutation.cc.o.d"
+  "CMakeFiles/dvicl_perm.dir/perm/schreier_sims.cc.o"
+  "CMakeFiles/dvicl_perm.dir/perm/schreier_sims.cc.o.d"
+  "libdvicl_perm.a"
+  "libdvicl_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refine/coloring.cc" "src/CMakeFiles/dvicl_refine.dir/refine/coloring.cc.o" "gcc" "src/CMakeFiles/dvicl_refine.dir/refine/coloring.cc.o.d"
+  "/root/repo/src/refine/refiner.cc" "src/CMakeFiles/dvicl_refine.dir/refine/refiner.cc.o" "gcc" "src/CMakeFiles/dvicl_refine.dir/refine/refiner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvicl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_perm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dvicl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_refine.dir/refine/coloring.cc.o"
+  "CMakeFiles/dvicl_refine.dir/refine/coloring.cc.o.d"
+  "CMakeFiles/dvicl_refine.dir/refine/refiner.cc.o"
+  "CMakeFiles/dvicl_refine.dir/refine/refiner.cc.o.d"
+  "libdvicl_refine.a"
+  "libdvicl_refine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_ssm.dir/ssm/iso_backtrack.cc.o"
+  "CMakeFiles/dvicl_ssm.dir/ssm/iso_backtrack.cc.o.d"
+  "CMakeFiles/dvicl_ssm.dir/ssm/ssm_at.cc.o"
+  "CMakeFiles/dvicl_ssm.dir/ssm/ssm_at.cc.o.d"
+  "CMakeFiles/dvicl_ssm.dir/ssm/ssm_count.cc.o"
+  "CMakeFiles/dvicl_ssm.dir/ssm/ssm_count.cc.o.d"
+  "CMakeFiles/dvicl_ssm.dir/ssm/subgraph_match.cc.o"
+  "CMakeFiles/dvicl_ssm.dir/ssm/subgraph_match.cc.o.d"
+  "libdvicl_ssm.a"
+  "libdvicl_ssm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_ssm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

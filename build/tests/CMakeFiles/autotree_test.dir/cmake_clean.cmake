@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotree_test.dir/autotree_test.cc.o"
+  "CMakeFiles/autotree_test.dir/autotree_test.cc.o.d"
+  "autotree_test"
+  "autotree_test.pdb"
+  "autotree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divide_combine_test.dir/divide_combine_test.cc.o"
+  "CMakeFiles/divide_combine_test.dir/divide_combine_test.cc.o.d"
+  "divide_combine_test"
+  "divide_combine_test.pdb"
+  "divide_combine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divide_combine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

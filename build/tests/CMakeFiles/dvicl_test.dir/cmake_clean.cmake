@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvicl_test.dir/dvicl_test.cc.o"
+  "CMakeFiles/dvicl_test.dir/dvicl_test.cc.o.d"
+  "dvicl_test"
+  "dvicl_test.pdb"
+  "dvicl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvicl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

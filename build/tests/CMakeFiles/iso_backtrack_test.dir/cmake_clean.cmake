@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iso_backtrack_test.dir/iso_backtrack_test.cc.o"
+  "CMakeFiles/iso_backtrack_test.dir/iso_backtrack_test.cc.o.d"
+  "iso_backtrack_test"
+  "iso_backtrack_test.pdb"
+  "iso_backtrack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iso_backtrack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

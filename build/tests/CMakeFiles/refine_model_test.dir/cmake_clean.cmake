@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refine_model_test.dir/refine_model_test.cc.o"
+  "CMakeFiles/refine_model_test.dir/refine_model_test.cc.o.d"
+  "refine_model_test"
+  "refine_model_test.pdb"
+  "refine_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refine_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

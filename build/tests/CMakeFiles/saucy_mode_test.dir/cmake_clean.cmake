@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saucy_mode_test.dir/saucy_mode_test.cc.o"
+  "CMakeFiles/saucy_mode_test.dir/saucy_mode_test.cc.o.d"
+  "saucy_mode_test"
+  "saucy_mode_test.pdb"
+  "saucy_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saucy_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssm_test.dir/ssm_test.cc.o"
+  "CMakeFiles/ssm_test.dir/ssm_test.cc.o.d"
+  "ssm_test"
+  "ssm_test.pdb"
+  "ssm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
