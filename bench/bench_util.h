@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,20 @@ inline int BenchmarkScaleFromEnv() {
 inline double TimeLimitFromEnv() {
   const char* value = std::getenv("DVICL_TIME_LIMIT");
   return value != nullptr ? std::atof(value) : 2.0;
+}
+
+// Thread count for the parallel AutoTree build (DviclOptions::num_threads):
+// `--threads=N` on the command line wins, then the DVICL_THREADS environment
+// variable, then 1 (sequential). N = 0 means one thread per hardware thread,
+// mirroring the library convention.
+inline unsigned ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return static_cast<unsigned>(std::atoi(argv[i] + 10));
+    }
+  }
+  const char* value = std::getenv("DVICL_THREADS");
+  return value != nullptr ? static_cast<unsigned>(std::atoi(value)) : 1u;
 }
 
 // Minimal fixed-width table printer.

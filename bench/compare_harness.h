@@ -8,6 +8,7 @@
 // algorithm; "-" marks a run that exceeded the time budget, like the
 // paper's 2-hour timeouts.
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -44,13 +45,14 @@ inline CompareCell RunBaseline(const Graph& g, IrPreset preset,
 }
 
 inline CompareCell RunDvicl(const Graph& g, IrPreset preset,
-                            double time_limit) {
+                            double time_limit, uint32_t num_threads = 1) {
   CompareCell cell;
   const double rss_before = CurrentRssMebibytes();
   Stopwatch watch;
   DviclOptions options;
   options.leaf_backend = preset;
   options.time_limit_seconds = time_limit;
+  options.num_threads = num_threads;
   DviclResult result =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
   cell.seconds = watch.ElapsedSeconds();
@@ -69,9 +71,12 @@ inline std::string MemText(const CompareCell& cell) {
 }
 
 inline void RunComparison(const std::vector<NamedGraph>& suite,
-                          const char* title) {
+                          const char* title, uint32_t num_threads = 1) {
   const double time_limit = TimeLimitFromEnv();
   std::printf("%s\n", title);
+  if (num_threads != 1) {
+    std::printf("(DviCL+X columns use num_threads=%u)\n", num_threads);
+  }
   std::printf("(time in seconds; memory as resident-set delta in MiB; '-' ="
               " exceeded the %.1fs budget, cf. the paper's 2h limit)\n\n",
               time_limit);
@@ -84,13 +89,15 @@ inline void RunComparison(const std::vector<NamedGraph>& suite,
     const Graph& g = entry.graph;
     const CompareCell nauty =
         RunBaseline(g, IrPreset::kNautyLike, time_limit);
-    const CompareCell dvicl_n = RunDvicl(g, IrPreset::kNautyLike, time_limit);
+    const CompareCell dvicl_n =
+        RunDvicl(g, IrPreset::kNautyLike, time_limit, num_threads);
     const CompareCell traces =
         RunBaseline(g, IrPreset::kTracesLike, time_limit);
     const CompareCell dvicl_t =
-        RunDvicl(g, IrPreset::kTracesLike, time_limit);
+        RunDvicl(g, IrPreset::kTracesLike, time_limit, num_threads);
     const CompareCell bliss = RunBaseline(g, IrPreset::kBlissLike, time_limit);
-    const CompareCell dvicl_b = RunDvicl(g, IrPreset::kBlissLike, time_limit);
+    const CompareCell dvicl_b =
+        RunDvicl(g, IrPreset::kBlissLike, time_limit, num_threads);
 
     table.Row({entry.name, TimeText(nauty), MemText(nauty), TimeText(dvicl_n),
                MemText(dvicl_n), TimeText(traces), MemText(traces),

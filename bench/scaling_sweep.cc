@@ -3,8 +3,15 @@
 // Prints one series per algorithm suitable for plotting time-vs-n; the
 // paper's Table 5 discussion predicts DviCL stays near-linear while the
 // baseline's search tree blows up past small sizes.
+//
+// `--threads=N` (or DVICL_THREADS) runs DviCL with a parallel AutoTree
+// build. The second section sweeps a component forest — a disjoint union of
+// Miyazaki-like gadget graphs, which the divide step splits into many
+// independent sibling subtrees — the shape where extra threads pay off
+// most.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
@@ -21,11 +28,27 @@ Graph SocialGraph(VertexId n) {
   return WithPendantPaths(g, 0.05, 3, 4244);
 }
 
-void Run() {
-  const double budget = bench::TimeLimitFromEnv();
+// Disjoint union of `copies` Miyazaki-like graphs: every component becomes
+// its own AutoTree sibling subtree, so the parallel build has `copies`
+// independent tasks of equal cost.
+Graph GadgetForest(uint32_t copies, uint32_t rungs) {
+  const Graph proto = MiyazakiLikeGraph(rungs);
+  const VertexId stride = proto.NumVertices();
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(proto.NumEdges()) * copies);
+  for (uint32_t c = 0; c < copies; ++c) {
+    const VertexId offset = c * stride;
+    for (const Edge& e : proto.Edges()) {
+      edges.emplace_back(e.first + offset, e.second + offset);
+    }
+  }
+  return Graph::FromEdges(stride * copies, std::move(edges));
+}
+
+void SweepSocial(double budget, unsigned threads) {
   std::printf("Scaling sweep: social-like graphs, DviCL+b vs bliss-like "
-              "baseline (budget %.1fs per point)\n\n",
-              budget);
+              "baseline (budget %.1fs per point, threads=%u)\n\n",
+              budget, threads);
   bench::TablePrinter table({10, 12, 14, 14, 12});
   table.Row({"n", "|E|", "bliss-like(s)", "DviCL+b(s)", "speedup"});
   table.Rule();
@@ -44,6 +67,7 @@ void Run() {
     DviclOptions dv_options;
     dv_options.leaf_backend = IrPreset::kBlissLike;
     dv_options.time_limit_seconds = budget;
+    dv_options.num_threads = threads;
     Stopwatch w2;
     DviclResult dv =
         DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), dv_options);
@@ -63,10 +87,56 @@ void Run() {
   }
 }
 
+void SweepForest(double budget, unsigned threads) {
+  std::printf("\nThread scaling: gadget forests (disjoint Miyazaki-like "
+              "components), DviCL+b at 1 vs %u thread(s)\n\n",
+              threads);
+  bench::TablePrinter table({10, 10, 12, 16, 16, 12});
+  table.Row({"copies", "n", "|E|", "DviCL 1t (s)", "DviCL Nt (s)", "speedup"});
+  table.Rule();
+
+  for (uint32_t copies : {8u, 16u, 32u, 64u}) {
+    Graph g = GadgetForest(copies, 12);
+
+    DviclOptions options;
+    options.leaf_backend = IrPreset::kBlissLike;
+    options.time_limit_seconds = budget;
+
+    options.num_threads = 1;
+    Stopwatch w1;
+    DviclResult seq =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+    const double t_seq = w1.ElapsedSeconds();
+
+    options.num_threads = threads;
+    Stopwatch w2;
+    DviclResult par =
+        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+    const double t_par = w2.ElapsedSeconds();
+
+    std::string speedup = "-";
+    if (seq.completed && par.completed && t_par > 0) {
+      speedup = bench::FormatDouble(t_seq / t_par, 2) + "x";
+    }
+    table.Row({std::to_string(copies), std::to_string(g.NumVertices()),
+               std::to_string(g.NumEdges()),
+               seq.completed ? bench::FormatDouble(t_seq, 3) : "-",
+               par.completed ? bench::FormatDouble(t_par, 3) : "-", speedup});
+    std::fflush(stdout);
+  }
+}
+
+void Run(int argc, char** argv) {
+  const double budget = bench::TimeLimitFromEnv();
+  const unsigned threads = bench::ThreadsFromArgs(argc, argv);
+  SweepSocial(budget, threads);
+  if (threads != 1) SweepForest(budget, threads);
+}
+
 }  // namespace
 }  // namespace dvicl
 
-int main() {
-  dvicl::Run();
+int main(int argc, char** argv) {
+  dvicl::Run(argc, argv);
   return 0;
 }

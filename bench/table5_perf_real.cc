@@ -2,13 +2,18 @@
 // bliss, and DviCL+b on the real-graph suite. Expected shape: the pure IR
 // baselines time out or crawl on most graphs while all three DviCL+X finish
 // fast and within a near-identical memory envelope (paper §7).
+//
+// `--threads=N` (or DVICL_THREADS) runs the DviCL+X columns with a parallel
+// AutoTree build; the baselines are single-threaded by design, like the
+// real tools.
 
 #include "compare_harness.h"
 #include "datasets/real_suite.h"
 
-int main() {
+int main(int argc, char** argv) {
   dvicl::bench::RunComparison(
       dvicl::RealSuite(dvicl::bench::ScaleFromEnv()),
-      "Table 5: Performance on real-world networks");
+      "Table 5: Performance on real-world networks",
+      dvicl::bench::ThreadsFromArgs(argc, argv));
   return 0;
 }

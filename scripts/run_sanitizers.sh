@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the parallel AutoTree build.
+#
+#   scripts/run_sanitizers.sh [tsan|asan|all]   (default: all)
+#
+# tsan: builds with -DDVICL_SANITIZE=thread and runs the two parallel test
+#       binaries (task_pool_test, parallel_determinism_test) under
+#       ThreadSanitizer. This is the data-race gate for src/common/task_pool
+#       and the parallel DviCL driver.
+# asan: builds with -DDVICL_SANITIZE=address (AddressSanitizer + UBSan, the
+#       usual CI pairing) and runs the full ctest suite.
+#
+# Build trees live in build-tsan/ and build-asan/ next to the normal build/
+# so the sanitizer runs never dirty the main tree.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-all}"
+
+run_tsan() {
+  echo "=== ThreadSanitizer: task_pool_test + parallel_determinism_test ==="
+  cmake -B build-tsan -S . -DDVICL_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target task_pool_test parallel_determinism_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/task_pool_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
+}
+
+run_asan() {
+  echo "=== AddressSanitizer + UBSan: full ctest suite ==="
+  cmake -B build-asan -S . -DDVICL_SANITIZE=address >/dev/null
+  cmake --build build-asan -j
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+}
+
+case "$mode" in
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  all)
+    run_tsan
+    run_asan
+    ;;
+  *)
+    echo "usage: $0 [tsan|asan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "sanitizer gate ($mode): OK"

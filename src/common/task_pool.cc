@@ -1,0 +1,182 @@
+#include "common/task_pool.h"
+
+#include <cassert>
+#include <chrono>
+#include <utility>
+
+namespace dvicl {
+
+namespace {
+
+// Slot registration for ThreadIndex(): keyed by pool identity so that a
+// worker of one pool reads slot 0 when asked by another pool.
+thread_local const TaskPool* tl_pool = nullptr;
+thread_local unsigned tl_slot = 0;
+
+}  // namespace
+
+TaskPool::TaskPool(unsigned num_threads) : num_threads_(num_threads) {
+  assert(num_threads_ >= 1);
+  if (num_threads_ < 1) num_threads_ = 1;
+  slots_.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back(
+        [this, i](const std::stop_token& stop) { WorkerLoop(stop, i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  for (std::jthread& worker : workers_) worker.request_stop();
+  NotifyAll();
+  workers_.clear();  // joins
+  // Every TaskGroup must have been waited before the pool dies; a queued
+  // task here would reference a dead group.
+  for ([[maybe_unused]] const auto& slot : slots_) {
+    assert(slot->tasks.empty());
+  }
+}
+
+unsigned TaskPool::ThreadIndex() const {
+  return tl_pool == this ? tl_slot : 0;
+}
+
+unsigned TaskPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void TaskPool::NotifyAll() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+  }
+  wake_cv_.notify_all();
+}
+
+void TaskPool::Enqueue(Task task) {
+  const unsigned self = ThreadIndex();
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lock(slots_[self]->mu);
+    if (slots_[self]->tasks.size() < kSlotBound) {
+      slots_[self]->tasks.push_back(std::move(task));
+      queued_.fetch_add(1, std::memory_order_release);
+      queued = true;
+    }
+  }
+  if (!queued) {
+    // Local deque full: run inline. This is the bounded-deque back
+    // pressure, not an error path.
+    RunTask(std::move(task));
+    return;
+  }
+  NotifyAll();
+}
+
+bool TaskPool::RunOneTask(unsigned self) {
+  Task task;
+  for (unsigned probe = 0; probe < num_threads_; ++probe) {
+    const unsigned victim = (self + probe) % num_threads_;
+    Slot& slot = *slots_[victim];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.tasks.empty()) continue;
+    if (victim == self) {
+      task = std::move(slot.tasks.back());  // own work: LIFO, cache-hot
+      slot.tasks.pop_back();
+    } else {
+      task = std::move(slot.tasks.front());  // steal: FIFO, oldest first
+      slot.tasks.pop_front();
+    }
+    queued_.fetch_sub(1, std::memory_order_release);
+    break;
+  }
+  if (task.fn == nullptr) return false;
+  RunTask(std::move(task));
+  return true;
+}
+
+void TaskPool::RunTask(Task task) {
+  try {
+    task.fn();
+  } catch (...) {
+    task.group->RecordError(std::current_exception());
+  }
+  task.group->OnTaskDone();
+}
+
+void TaskPool::WorkerLoop(const std::stop_token& stop, unsigned index) {
+  tl_pool = this;
+  tl_slot = index;
+  while (!stop.stop_requested()) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this, &stop] {
+      return stop.stop_requested() ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+  tl_pool = nullptr;
+  tl_slot = 0;
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    Wait();
+  } catch (...) {
+    // A destructor must not throw; Wait() was the place to observe errors.
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (pool_ == nullptr) {
+    TaskPool::RunTask(TaskPool::Task{std::move(fn), this});
+    return;
+  }
+  pool_->Enqueue(TaskPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::Wait() {
+  if (pool_ != nullptr) {
+    const unsigned self = pool_->ThreadIndex();
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      if (pool_->RunOneTask(self)) continue;
+      // Tasks of this group are in flight on other threads (or work is
+      // momentarily invisible); sleep until a completion or submission
+      // notifies. The timeout is a safety net against missed wakeups.
+      std::unique_lock<std::mutex> lock(pool_->wake_mu_);
+      pool_->wake_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
+        return pending_.load(std::memory_order_acquire) == 0 ||
+               pool_->queued_.load(std::memory_order_acquire) > 0;
+      });
+    }
+  }
+  assert(pending_.load(std::memory_order_acquire) == 0);
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    std::swap(error, first_error_);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskGroup::RecordError(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+void TaskGroup::OnTaskDone() {
+  // The decrement releases the waiter: once it reads 0 the group may be
+  // destroyed (Wait returns, a stack-allocated group goes away). So no
+  // member of `this` may be touched after fetch_sub — copy pool_ first.
+  TaskPool* const pool = pool_;
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      pool != nullptr) {
+    pool->NotifyAll();
+  }
+}
+
+}  // namespace dvicl

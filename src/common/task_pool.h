@@ -1,0 +1,150 @@
+#ifndef DVICL_COMMON_TASK_POOL_H_
+#define DVICL_COMMON_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvicl {
+
+class TaskGroup;
+
+// Cooperative cancellation token shared between a driver and its tasks.
+// Cancellation is advisory: tasks poll Cancelled() at safe points (e.g. the
+// IR search loop checks it once per tree node) and unwind cleanly. Relaxed
+// atomics suffice because the flag only ever goes false -> true and carries
+// no data dependency.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // Raw flag for APIs that take an optional cancellation input without
+  // depending on this header's type (see IrOptions::cancel).
+  const std::atomic<bool>* Flag() const { return &cancelled_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// A small work-stealing task pool: one bounded deque per thread slot,
+// std::jthread workers, no external dependencies.
+//
+// Threading model:
+//   - The pool has `num_threads` slots. Slot 0 belongs to the owning
+//     thread (the one that constructed the pool and calls TaskGroup::Wait);
+//     slots 1..num_threads-1 each run a worker jthread.
+//   - A thread submits to the back of its own deque and pops from the back
+//     (LIFO, keeps subtree work hot in cache); idle threads steal from the
+//     front of other deques (FIFO, steals the oldest = usually largest
+//     subproblem).
+//   - Deques are bounded: when a thread's deque is full, Submit executes
+//     the task inline instead of queueing, which bounds memory and
+//     naturally throttles very fine-grained producers.
+//
+// Determinism contract: the pool makes no ordering promises between tasks,
+// so callers must make each task a pure function of its inputs plus
+// per-slot scratch (index via ThreadIndex()) and join results in a fixed
+// order of their own choosing. TaskGroup::Wait is the join barrier: all
+// memory effects of the group's tasks happen-before Wait returns.
+class TaskPool {
+ public:
+  // Spawns num_threads - 1 workers (slot 0 is the caller's). num_threads
+  // must be >= 1; a 1-thread pool runs every task on the owning thread
+  // inside Wait, which is how DviCL keeps a single code path for the
+  // sequential default.
+  explicit TaskPool(unsigned num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  unsigned NumThreads() const { return num_threads_; }
+
+  // Slot index of the calling thread in [0, NumThreads()): workers get
+  // their slot, every other thread (including the owner) gets 0. Use it to
+  // index per-thread scratch arrays sized NumThreads().
+  unsigned ThreadIndex() const;
+
+  // One slot per hardware thread (>= 1).
+  static unsigned DefaultThreads();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
+  struct Slot {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  // Per-slot queue bound; past it, Submit degrades to inline execution.
+  static constexpr size_t kSlotBound = 1024;
+
+  // Enqueues (or runs inline when the local deque is full). Called with
+  // group->pending_ already incremented.
+  void Enqueue(Task task);
+  // Pops one task — own back first, then steals other fronts — and runs
+  // it. Returns false if every deque was empty.
+  bool RunOneTask(unsigned self);
+  // Runs a task and settles its group accounting (exceptions included).
+  static void RunTask(Task task);
+  void WorkerLoop(const std::stop_token& stop, unsigned index);
+  void NotifyAll();
+
+  unsigned num_threads_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  // Count of currently queued (not yet popped) tasks; the workers' sleep
+  // predicate.
+  std::atomic<uint64_t> queued_{0};
+  std::vector<std::jthread> workers_;  // last member: dtor joins first
+};
+
+// A join scope for a batch of tasks, usable from any thread including pool
+// workers (nested submission). Wait() blocks until every task submitted to
+// this group has finished, helping to execute queued tasks meanwhile, and
+// rethrows the first exception any of them raised.
+class TaskGroup {
+ public:
+  // pool may be null, in which case Submit runs tasks inline; this lets
+  // call sites keep one code path for "no parallelism configured".
+  explicit TaskGroup(TaskPool* pool) : pool_(pool) {}
+  ~TaskGroup();  // waits for stragglers; exceptions are swallowed here
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Submit(std::function<void()> fn);
+  void Wait();
+
+ private:
+  friend class TaskPool;
+
+  void RecordError(std::exception_ptr error);
+  void OnTaskDone();
+
+  TaskPool* pool_;
+  std::atomic<uint64_t> pending_{0};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_COMMON_TASK_POOL_H_

@@ -97,11 +97,7 @@ bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
   Coloring local_coloring = Coloring::FromLabels(local_colors);
 
   IrResult ir = IrCanonicalLabeling(local_graph, local_coloring, leaf_options);
-  if (aggregate_stats != nullptr) {
-    aggregate_stats->tree_nodes += ir.stats.tree_nodes;
-    aggregate_stats->leaves += ir.stats.leaves;
-    aggregate_stats->automorphisms_found += ir.stats.automorphisms_found;
-  }
+  if (aggregate_stats != nullptr) aggregate_stats->MergeFrom(ir.stats);
   if (!ir.completed) return false;
 
   // Order: (color, gamma* position) — Algorithm 4 line 3.
@@ -137,37 +133,38 @@ bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
   return true;
 }
 
-void CombineST(AutoTreeNode* node, std::vector<AutoTreeNode>& nodes,
+void CombineST(AutoTreeNode* node, std::span<AutoTreeNode* const> children,
                std::span<const uint32_t> colors,
+               std::vector<uint32_t>* form_order,
                std::vector<SparseAut>* sibling_generators) {
   // Sort children by canonical form (Algorithm 5 line 1).
-  std::vector<NodeForm> forms(node->children.size());
-  for (size_t i = 0; i < node->children.size(); ++i) {
-    forms[i] = ComputeNodeForm(nodes[node->children[i]]);
+  std::vector<NodeForm> forms(children.size());
+  for (size_t i = 0; i < children.size(); ++i) {
+    forms[i] = ComputeNodeForm(*children[i]);
   }
-  std::vector<size_t> order(node->children.size());
+  std::vector<size_t> order(children.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(),
             [&forms](size_t a, size_t b) { return forms[a] < forms[b]; });
 
-  std::vector<uint32_t> sorted_children;
   std::vector<uint32_t> sym_class;
-  sorted_children.reserve(order.size());
+  form_order->clear();
+  form_order->reserve(order.size());
   sym_class.reserve(order.size());
   uint32_t current_class = 0;
   for (size_t rank = 0; rank < order.size(); ++rank) {
     const size_t i = order[rank];
     if (rank > 0 && forms[i] != forms[order[rank - 1]]) ++current_class;
-    sorted_children.push_back(node->children[i]);
+    form_order->push_back(static_cast<uint32_t>(i));
     sym_class.push_back(current_class);
-    nodes[node->children[i]].form_hash = HashForm(forms[i]);
+    children[i]->form_hash = HashForm(forms[i]);
 
     // Equal adjacent forms: the label-matching bijection between the two
     // sibling subgraphs extends (by identity) to an automorphism of (G, pi)
     // — the divide axes guarantee their attachments are color-determined.
     if (rank > 0 && forms[i] == forms[order[rank - 1]]) {
-      const AutoTreeNode& a = nodes[node->children[order[rank - 1]]];
-      const AutoTreeNode& b = nodes[node->children[i]];
+      const AutoTreeNode& a = *children[order[rank - 1]];
+      const AutoTreeNode& b = *children[i];
       std::unordered_map<VertexId, VertexId> b_by_label;
       b_by_label.reserve(b.vertices.size());
       for (size_t j = 0; j < b.vertices.size(); ++j) {
@@ -187,7 +184,6 @@ void CombineST(AutoTreeNode* node, std::vector<AutoTreeNode>& nodes,
       if (!swap.IsIdentity()) sibling_generators->push_back(std::move(swap));
     }
   }
-  node->children = std::move(sorted_children);
   node->child_sym_class = std::move(sym_class);
 
   // Label the node's vertices: same-colored vertices ordered first by the
@@ -201,8 +197,8 @@ void CombineST(AutoTreeNode* node, std::vector<AutoTreeNode>& nodes,
   };
   std::vector<Key> keyed;
   keyed.reserve(node->vertices.size());
-  for (size_t rank = 0; rank < node->children.size(); ++rank) {
-    const AutoTreeNode& child = nodes[node->children[rank]];
+  for (size_t rank = 0; rank < children.size(); ++rank) {
+    const AutoTreeNode& child = *children[(*form_order)[rank]];
     for (size_t j = 0; j < child.vertices.size(); ++j) {
       keyed.push_back(Key{colors[child.vertices[j]],
                           static_cast<uint32_t>(rank), child.labels[j],

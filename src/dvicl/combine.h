@@ -32,12 +32,22 @@ bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
                const IrOptions& leaf_options, IrStats* aggregate_stats);
 
 // CombineST (Algorithm 5): canonical labeling of a non-leaf node from its
-// children. Sorts node->children by canonical form, assigns symmetry
-// classes, emits one sparse "adjacent sibling swap" generator per pair of
-// equal-form neighbors (their label-matching bijection), and labels the
-// node's vertices by (color, child rank, child label) order.
-void CombineST(AutoTreeNode* node, std::vector<AutoTreeNode>& nodes,
+// children, joined in a fixed order that is independent of how (or on
+// which thread) the child subtrees were built. `children` lists the child
+// nodes in creation (piece) order. The function sorts them by canonical
+// form, writes the resulting rank -> piece-index permutation to
+// *form_order, fills node->child_sym_class (aligned with rank), stamps
+// each child's form_hash, emits one sparse "adjacent sibling swap"
+// generator per pair of equal-form neighbors (their label-matching
+// bijection), and labels the node's vertices by (color, child rank, child
+// label) order.
+//
+// node->children is NOT touched: global node ids are owned by the builder,
+// which assigns them only when the finished tree is flattened (the
+// parallel build constructs subtrees out of id order).
+void CombineST(AutoTreeNode* node, std::span<AutoTreeNode* const> children,
                std::span<const uint32_t> colors,
+               std::vector<uint32_t>* form_order,
                std::vector<SparseAut>* sibling_generators);
 
 }  // namespace dvicl

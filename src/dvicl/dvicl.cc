@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <span>
+#include <utility>
 
 #include "common/stopwatch.h"
+#include "common/task_pool.h"
 #include "dvicl/combine.h"
 #include "dvicl/divide.h"
 #include "refine/refiner.h"
@@ -13,13 +18,31 @@ namespace dvicl {
 
 namespace {
 
-// Iterative post-order construction of the AutoTree (procedure cl of
-// Algorithm 1). An explicit stack is used because adversarial inputs can
-// produce deep divide chains.
+// One node of the AutoTree under construction. Children are owned in piece
+// (creation) order; global node ids do not exist yet — they are assigned by
+// a deterministic flattening pass once the whole tree is built, which is
+// what makes the result independent of task scheduling.
+struct BuildNode {
+  AutoTreeNode node;
+  std::vector<std::unique_ptr<BuildNode>> kids;  // piece order
+  // rank -> index into `kids` in canonical-form order (set by CombineST).
+  std::vector<uint32_t> form_order;
+  // Generators of Aut restricted to this subtree, in the canonical emission
+  // order: children in reverse piece order (each post-order), then this
+  // node's sibling swaps. Root order therefore matches the legacy
+  // sequential traversal exactly.
+  std::vector<SparseAut> subtree_generators;
+};
+
+// Post-order construction of the AutoTree (procedure cl of Algorithm 1).
+// Each task builds one subtree with an explicit iterative stack (adversarial
+// inputs produce deep divide chains that must not recurse natively); large
+// sibling subtrees are dispatched to a work-stealing pool and joined in
+// fixed sibling order, so the output is bit-identical for any thread count.
 class DviclBuilder {
  public:
   DviclBuilder(const Graph& graph, const DviclOptions& options)
-      : graph_(graph), options_(options), workspace_(graph.NumVertices()) {}
+      : graph_(graph), options_(options) {}
 
   DviclResult Run(const Coloring& initial) {
     DviclResult result;
@@ -31,15 +54,37 @@ class DviclBuilder {
     RefineToEquitable(graph_, &pi);
     result.colors = pi.ColorOffsets();
     result.stats.refine_seconds = phase.ElapsedSeconds();
+    colors_ = result.colors;
+
+    const unsigned threads = options_.num_threads == 0
+                                 ? TaskPool::DefaultThreads()
+                                 : options_.num_threads;
+    if (threads > 1) pool_ = std::make_unique<TaskPool>(threads);
+    workspaces_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workspaces_.emplace_back(graph_.NumVertices());
+    }
+
+    leaf_options_.preset = options_.leaf_backend;
+    leaf_options_.max_tree_nodes = options_.leaf_max_tree_nodes;
+    leaf_options_.time_limit_seconds = options_.time_limit_seconds;
+    leaf_options_.cancel = cancel_.Flag();
 
     // Root node covers all of G.
-    auto& nodes = result.tree.MutableNodes();
-    nodes.emplace_back();
-    nodes[0].vertices.resize(graph_.NumVertices());
-    std::iota(nodes[0].vertices.begin(), nodes[0].vertices.end(), 0);
-    nodes[0].edges = graph_.Edges();
+    BuildNode root;
+    root.node.vertices.resize(graph_.NumVertices());
+    std::iota(root.node.vertices.begin(), root.node.vertices.end(), 0);
+    root.node.edges = graph_.Edges();
 
-    bool completed = BuildTree(&result);
+    watch_.Restart();
+    BuildSubtree(&root);
+    pool_.reset();  // workers are idle; join them before reading results
+
+    result.stats.MergeFrom(merged_);
+    result.generators = std::move(root.subtree_generators);
+    Flatten(&root, &result.tree);
+
+    bool completed = !cancel_.Cancelled();
     if (completed && options_.time_limit_seconds > 0.0 &&
         total.ElapsedSeconds() > options_.time_limit_seconds) {
       completed = false;
@@ -48,10 +93,10 @@ class DviclBuilder {
     if (!completed) return result;
 
     // Root labels form the canonical labeling of (G, pi).
-    const AutoTreeNode& root = result.tree.Root();
+    const AutoTreeNode& tree_root = result.tree.Root();
     std::vector<VertexId> image(graph_.NumVertices());
-    for (size_t i = 0; i < root.vertices.size(); ++i) {
-      image[root.vertices[i]] = root.labels[i];
+    for (size_t i = 0; i < tree_root.vertices.size(); ++i) {
+      image[tree_root.vertices[i]] = tree_root.labels[i];
     }
     result.canonical_labeling = Permutation(std::move(image));
     result.certificate =
@@ -76,41 +121,70 @@ class DviclBuilder {
   }
 
  private:
-  // Returns false if a leaf budget was exceeded.
-  bool BuildTree(DviclResult* result) {
-    auto& nodes = result->tree.MutableNodes();
-    // (node id, phase): phase 0 = divide, phase 1 = combine.
-    std::vector<std::pair<uint32_t, int>> stack;
-    stack.emplace_back(0, 0);
-
-    Stopwatch watch;
-    IrOptions leaf_options;
-    leaf_options.preset = options_.leaf_backend;
-    leaf_options.max_tree_nodes = options_.leaf_max_tree_nodes;
-    leaf_options.time_limit_seconds = options_.time_limit_seconds;
+  // Builds the subtree rooted at `root`: divides iteratively, dispatches
+  // large sibling subtrees to the pool, and combines each internal node
+  // once its children (local and dispatched) are done. Failure is signaled
+  // through cancel_, not a return value, so concurrent subtree tasks
+  // observe it promptly.
+  void BuildSubtree(BuildNode* root) {
+    DviclStats local;
+    struct Frame {
+      BuildNode* b;
+      int phase;  // 0 = divide, 1 = combine
+      // Outstanding dispatched child subtrees, joined before combining.
+      std::unique_ptr<TaskGroup> group;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({root, 0, nullptr});
+    DivideWorkspace& ws =
+        workspaces_[pool_ != nullptr ? pool_->ThreadIndex() : 0];
 
     while (!stack.empty()) {
-      auto [id, phase] = stack.back();
+      Frame frame = std::move(stack.back());
       stack.pop_back();
+      BuildNode* b = frame.b;
 
       if (options_.time_limit_seconds > 0.0 &&
-          watch.ElapsedSeconds() > options_.time_limit_seconds) {
-        return false;
+          watch_.ElapsedSeconds() > options_.time_limit_seconds) {
+        cancel_.Cancel();
       }
-
-      if (phase == 1) {
-        Stopwatch combine_watch;
-        CombineST(&nodes[id], nodes, result->colors, &result->generators);
-        result->stats.combine_seconds += combine_watch.ElapsedSeconds();
+      if (cancel_.Cancelled()) {
+        // Keep draining so every frame's group is joined (the TaskGroup
+        // destructor waits); dispatched tasks see the flag and unwind.
         continue;
       }
 
+      if (frame.phase == 1) {
+        if (frame.group != nullptr) frame.group->Wait();
+        if (cancel_.Cancelled()) continue;
+        Stopwatch combine_watch;
+        // Fixed join order: generators of the child subtrees in reverse
+        // piece order (matching the legacy stack traversal), then this
+        // node's sibling swaps appended by CombineST.
+        for (size_t i = b->kids.size(); i-- > 0;) {
+          auto& kid_gens = b->kids[i]->subtree_generators;
+          b->subtree_generators.insert(
+              b->subtree_generators.end(),
+              std::make_move_iterator(kid_gens.begin()),
+              std::make_move_iterator(kid_gens.end()));
+          kid_gens.clear();
+        }
+        std::vector<AutoTreeNode*> child_nodes;
+        child_nodes.reserve(b->kids.size());
+        for (const auto& kid : b->kids) child_nodes.push_back(&kid->node);
+        CombineST(&b->node, child_nodes, colors_, &b->form_order,
+                  &b->subtree_generators);
+        local.combine_seconds += combine_watch.ElapsedSeconds();
+        continue;
+      }
+
+      AutoTreeNode& node = b->node;
       // Base case: singleton leaf, C(g) = (pi(v), pi(v)). (An empty root —
       // the zero-vertex graph — is also a trivial leaf.)
-      if (nodes[id].vertices.size() <= 1) {
-        nodes[id].is_leaf = true;
-        if (!nodes[id].vertices.empty()) {
-          nodes[id].labels = {result->colors[nodes[id].vertices[0]]};
+      if (node.vertices.size() <= 1) {
+        node.is_leaf = true;
+        if (!node.vertices.empty()) {
+          node.labels = {colors_[node.vertices[0]]};
         }
         continue;
       }
@@ -121,54 +195,135 @@ class DviclBuilder {
       bool divided = false;
       bool by_s = false;
       if (options_.enable_divide_i) {
-        divided = DivideI(nodes[id].vertices, nodes[id].edges, result->colors,
-                          &workspace_, &pieces);
+        divided = DivideI(node.vertices, node.edges, colors_, &ws, &pieces);
       }
       if (!divided && options_.enable_divide_s) {
-        divided = DivideS(nodes[id].vertices, &nodes[id].edges,
-                          result->colors, &workspace_, &pieces);
+        divided = DivideS(node.vertices, &node.edges, colors_, &ws, &pieces);
         by_s = divided;
       }
-      result->stats.divide_seconds += divide_watch.ElapsedSeconds();
+      local.divide_seconds += divide_watch.ElapsedSeconds();
 
       if (!divided) {
         // Non-singleton leaf: CombineCL via the IR backend.
-        nodes[id].is_leaf = true;
+        node.is_leaf = true;
         Stopwatch combine_watch;
-        const bool ok = CombineCL(&nodes[id], result->colors, leaf_options,
-                                  &result->stats.leaf_ir);
-        result->stats.combine_seconds += combine_watch.ElapsedSeconds();
-        if (!ok) return false;
+        const bool ok = CombineCL(&node, colors_, leaf_options_,
+                                  &local.leaf_ir);
+        local.combine_seconds += combine_watch.ElapsedSeconds();
+        if (!ok) {
+          cancel_.Cancel();
+          continue;
+        }
         // Leaf automorphisms are automorphisms of (G, pi) by identity
         // extension (Theorem 6.4 / axis argument).
-        for (const SparseAut& gen : nodes[id].leaf_generators) {
-          result->generators.push_back(gen);
-        }
+        b->subtree_generators = node.leaf_generators;
         continue;
       }
 
       // Create children; combine after all of them are built.
-      nodes[id].divided_by_s = by_s;
-      stack.emplace_back(id, 1);
-      const uint32_t depth = nodes[id].depth;
+      node.divided_by_s = by_s;
+      b->kids.reserve(pieces.size());
       for (GraphPiece& piece : pieces) {
-        const uint32_t child_id = static_cast<uint32_t>(nodes.size());
-        nodes.emplace_back();
-        AutoTreeNode& child = nodes.back();
-        child.vertices = std::move(piece.vertices);
-        child.edges = std::move(piece.edges);
-        child.parent = static_cast<int32_t>(id);
-        child.depth = depth + 1;
-        nodes[id].children.push_back(child_id);
-        stack.emplace_back(child_id, 0);
+        auto kid = std::make_unique<BuildNode>();
+        kid->node.vertices = std::move(piece.vertices);
+        kid->node.edges = std::move(piece.edges);
+        b->kids.push_back(std::move(kid));
+      }
+
+      // Dispatch every sibling subtree above the granularity floor except
+      // the largest, which this thread keeps: a divide chain (one big
+      // child per level) then stays entirely inside this iterative loop
+      // instead of growing a native Wait-help recursion per level.
+      Frame combine_frame{b, 1, nullptr};
+      std::vector<bool> dispatched(b->kids.size(), false);
+      if (pool_ != nullptr) {
+        size_t largest = 0;
+        for (size_t i = 1; i < b->kids.size(); ++i) {
+          if (b->kids[i]->node.vertices.size() >
+              b->kids[largest]->node.vertices.size()) {
+            largest = i;
+          }
+        }
+        for (size_t i = 0; i < b->kids.size(); ++i) {
+          if (i == largest || b->kids[i]->node.vertices.size() <
+                                  options_.parallel_grain_vertices) {
+            continue;
+          }
+          if (combine_frame.group == nullptr) {
+            combine_frame.group = std::make_unique<TaskGroup>(pool_.get());
+          }
+          BuildNode* kid = b->kids[i].get();
+          combine_frame.group->Submit([this, kid] { BuildSubtree(kid); });
+          dispatched[i] = true;
+        }
+      }
+      stack.push_back(std::move(combine_frame));
+      for (size_t i = 0; i < b->kids.size(); ++i) {
+        if (!dispatched[i]) stack.push_back({b->kids[i].get(), 0, nullptr});
       }
     }
-    return true;
+
+    MergeStats(local);
+  }
+
+  void MergeStats(const DviclStats& local) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    merged_.MergeFrom(local);
+  }
+
+  // Assigns global node ids with the deterministic legacy numbering —
+  // children of a node get consecutive ids in piece order, subtrees are
+  // expanded depth-first with the last child first — and moves the node
+  // contents into the AutoTree. node.children is written in canonical-form
+  // order via form_order (or piece order for nodes whose combine never ran
+  // because the build was cancelled).
+  static void Flatten(BuildNode* root, AutoTree* tree) {
+    auto& nodes = tree->MutableNodes();
+    nodes.clear();
+    nodes.emplace_back(std::move(root->node));
+    struct Item {
+      BuildNode* b;
+      uint32_t id;
+    };
+    std::vector<Item> stack;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      const Item item = stack.back();
+      stack.pop_back();
+      if (item.b->kids.empty()) continue;
+      const uint32_t first = static_cast<uint32_t>(nodes.size());
+      const uint32_t child_depth = nodes[item.id].depth + 1;
+      for (const auto& kid : item.b->kids) {
+        nodes.emplace_back(std::move(kid->node));
+        nodes.back().parent = static_cast<int32_t>(item.id);
+        nodes.back().depth = child_depth;
+      }
+      AutoTreeNode& me = nodes[item.id];
+      me.children.resize(item.b->kids.size());
+      for (size_t rank = 0; rank < me.children.size(); ++rank) {
+        const uint32_t piece_index =
+            rank < item.b->form_order.size()
+                ? item.b->form_order[rank]
+                : static_cast<uint32_t>(rank);
+        me.children[rank] = first + piece_index;
+      }
+      for (size_t i = item.b->kids.size(); i-- > 0;) {
+        stack.push_back({item.b->kids[i].get(),
+                         first + static_cast<uint32_t>(i)});
+      }
+    }
   }
 
   const Graph& graph_;
   const DviclOptions options_;
-  DivideWorkspace workspace_;
+  std::span<const uint32_t> colors_;  // view of DviclResult::colors
+  std::unique_ptr<TaskPool> pool_;    // null when building single-threaded
+  std::vector<DivideWorkspace> workspaces_;  // one per pool slot
+  CancelToken cancel_;
+  Stopwatch watch_;
+  IrOptions leaf_options_;
+  std::mutex stats_mu_;
+  DviclStats merged_;
 };
 
 }  // namespace

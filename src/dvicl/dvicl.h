@@ -24,9 +24,25 @@ struct DviclOptions {
   bool enable_divide_s = true;
 
   // Budgets forwarded to the leaf IR runs; exceeded budgets mark the whole
-  // result incomplete (used by the table harnesses as "timeout").
+  // result incomplete (used by the table harnesses as "timeout"). In a
+  // multi-threaded build the first leaf to exceed its budget raises a
+  // cooperative cancellation flag that every other in-flight leaf polls,
+  // so the whole run unwinds promptly.
   uint64_t leaf_max_tree_nodes = 0;
   double time_limit_seconds = 0.0;
+
+  // Number of threads used to build the AutoTree: sibling subtrees
+  // produced by the divide step are dispatched to a work-stealing task
+  // pool and joined in fixed sibling order. 1 (the default) is fully
+  // sequential; 0 means one thread per hardware thread. The canonical
+  // labeling, certificate, generator set and tree shape are bit-identical
+  // for every value — thread count only changes wall-clock time.
+  uint32_t num_threads = 1;
+
+  // Minimum subtree size (in vertices) worth dispatching as its own pool
+  // task; smaller siblings are built inline by the dividing thread. Purely
+  // a granularity knob: results do not depend on it.
+  uint32_t parallel_grain_vertices = 32;
 };
 
 struct DviclStats {
@@ -38,6 +54,21 @@ struct DviclStats {
   double divide_seconds = 0.0;
   double combine_seconds = 0.0;
   IrStats leaf_ir;  // aggregated over all CombineCL invocations
+
+  // Reduction used by the parallel builder: every task accumulates into a
+  // local DviclStats and the locals are merged at the join, so no stats
+  // field is ever mutated concurrently. Counters and phase timings add up
+  // (timings become CPU-seconds across threads); depth takes the max.
+  void MergeFrom(const DviclStats& other) {
+    autotree_nodes += other.autotree_nodes;
+    singleton_leaves += other.singleton_leaves;
+    nonsingleton_leaves += other.nonsingleton_leaves;
+    if (other.depth > depth) depth = other.depth;
+    refine_seconds += other.refine_seconds;
+    divide_seconds += other.divide_seconds;
+    combine_seconds += other.combine_seconds;
+    leaf_ir.MergeFrom(other.leaf_ir);
+  }
 };
 
 struct DviclResult {

@@ -68,6 +68,10 @@ class IrSearch {
         stats_.tree_nodes > options_.max_tree_nodes) {
       return true;
     }
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
     if (options_.time_limit_seconds > 0.0 && (stats_.tree_nodes & 0xff) == 0 &&
         stopwatch_.ElapsedSeconds() > options_.time_limit_seconds) {
       return true;

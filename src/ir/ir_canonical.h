@@ -1,6 +1,7 @@
 #ifndef DVICL_IR_IR_CANONICAL_H_
 #define DVICL_IR_IR_CANONICAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -47,12 +48,24 @@ struct IrOptions {
   uint64_t max_tree_nodes = 0;
   // Wall-clock limit in seconds (0 = unlimited).
   double time_limit_seconds = 0.0;
+  // Optional cooperative cancellation flag (e.g. CancelToken::Flag() from
+  // common/task_pool.h): polled once per search-tree node; when it reads
+  // true the run aborts and is reported incomplete. The parallel DviCL
+  // driver uses this to stop sibling leaf runs once one of them exceeded
+  // its budget.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct IrStats {
   uint64_t tree_nodes = 0;
   uint64_t leaves = 0;
   uint64_t automorphisms_found = 0;
+
+  void MergeFrom(const IrStats& other) {
+    tree_nodes += other.tree_nodes;
+    leaves += other.leaves;
+    automorphisms_found += other.automorphisms_found;
+  }
 };
 
 struct IrResult {

@@ -1,0 +1,243 @@
+// Differential testing of DviCL against independent oracles: the plain IR
+// backend run on the whole graph (IrPreset::kBlissLike, no divide step), the
+// direct backtracking isomorphism search, and brute force on small colored
+// graphs. The property under test is the paper's Theorem 6.9: certificate
+// equality <=> isomorphism, on random colored graphs and permuted copies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "dvicl/dvicl.h"
+#include "graph/certificate.h"
+#include "graph/graph.h"
+#include "ir/ir_canonical.h"
+#include "perm/permutation.h"
+#include "refine/coloring.h"
+#include "ssm/iso_backtrack.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+Certificate DviclCert(const Graph& g, uint32_t threads = 1) {
+  DviclOptions options;
+  options.num_threads = threads;
+  options.parallel_grain_vertices = 2;
+  DviclResult r =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+  EXPECT_TRUE(r.completed);
+  return r.certificate;
+}
+
+// The oracle: one IR run on the whole graph, no divide-&-conquer involved.
+Certificate IrCert(const Graph& g) {
+  IrOptions options;
+  options.preset = IrPreset::kBlissLike;
+  IrResult r = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+  EXPECT_TRUE(r.completed);
+  return r.certificate;
+}
+
+// Permuted copy: vertex v of `g` becomes gamma(v).
+Graph Permuted(const Graph& g, const Permutation& gamma) {
+  std::vector<VertexId> image(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) image[v] = gamma(v);
+  return g.RelabeledBy(image);
+}
+
+TEST(DifferentialTest, PermutedCopiesHaveEqualCertificatesEverywhere) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g1 = RandomGraph(36, 0.05 + 0.03 * (seed % 5), seed);
+    const Graph g2 = Permuted(g1, RandomPermutation(36, seed + 1000));
+    EXPECT_EQ(DviclCert(g1), DviclCert(g2)) << "seed " << seed;
+    EXPECT_EQ(IrCert(g1), IrCert(g2)) << "seed " << seed;
+    bool decided = false;
+    EXPECT_TRUE(DviclIsomorphic(g1, g2, {}, &decided)) << "seed " << seed;
+    EXPECT_TRUE(decided);
+  }
+}
+
+TEST(DifferentialTest, VerdictsMatchIrAndBacktrackingOnRandomPairs) {
+  // Mixed pool: permuted copies, independent graphs of the same density,
+  // and single-edge mutations. All three deciders must return the same
+  // verdict on every pair.
+  Rng rng(42);
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    const VertexId n = 30;
+    const Graph g1 = RandomGraph(n, 0.12, seed * 3 + 1);
+    Graph g2;
+    switch (seed % 3) {
+      case 0:
+        g2 = Permuted(g1, RandomPermutation(n, seed * 3 + 2));
+        break;
+      case 1:
+        g2 = RandomGraph(n, 0.12, seed * 3 + 2);  // independent sample
+        break;
+      default: {
+        // Drop one random edge from a permuted copy.
+        Graph permuted = Permuted(g1, RandomPermutation(n, seed * 3 + 2));
+        std::vector<Edge> edges = permuted.Edges();
+        if (!edges.empty()) {
+          edges.erase(edges.begin() +
+                      static_cast<ptrdiff_t>(rng.NextBounded(edges.size())));
+        }
+        g2 = Graph::FromEdges(n, std::move(edges));
+        break;
+      }
+    }
+    const bool dvicl_verdict = DviclCert(g1) == DviclCert(g2);
+    const bool ir_verdict = IrCert(g1) == IrCert(g2);
+    const bool backtrack_verdict =
+        FindIsomorphismBacktracking(g1, g2).has_value();
+    EXPECT_EQ(dvicl_verdict, ir_verdict) << "seed " << seed;
+    EXPECT_EQ(dvicl_verdict, backtrack_verdict) << "seed " << seed;
+    bool decided = false;
+    EXPECT_EQ(DviclIsomorphic(g1, g2, {}, &decided), dvicl_verdict)
+        << "seed " << seed;
+    EXPECT_TRUE(decided);
+  }
+}
+
+TEST(DifferentialTest, CertificateEqualityClassesMatchIrAcrossAPool) {
+  // Stronger than pairwise spot checks: over a pool of graphs, DviCL and IR
+  // must induce the SAME partition into isomorphism classes — catching both
+  // spurious collisions and spurious splits.
+  std::vector<Graph> pool;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Graph g = RandomGraph(24, 0.15, seed);
+    pool.push_back(Permuted(g, RandomPermutation(24, seed + 50)));
+    pool.push_back(std::move(g));
+  }
+  std::vector<Certificate> dvicl_certs;
+  std::vector<Certificate> ir_certs;
+  for (const Graph& g : pool) {
+    dvicl_certs.push_back(DviclCert(g));
+    ir_certs.push_back(IrCert(g));
+  }
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_EQ(dvicl_certs[i] == dvicl_certs[j], ir_certs[i] == ir_certs[j])
+          << "pool pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// ---- Colored graphs -------------------------------------------------------
+
+// Brute-force colored-isomorphism decision for tiny graphs: exists gamma
+// with g1^gamma = g2 and labels2(gamma(v)) = labels1(v) for all v.
+bool BruteForceColoredIsomorphic(const Graph& g1,
+                                 std::span<const uint32_t> labels1,
+                                 const Graph& g2,
+                                 std::span<const uint32_t> labels2) {
+  const VertexId n = g1.NumVertices();
+  if (g2.NumVertices() != n || g1.NumEdges() != g2.NumEdges()) return false;
+  std::vector<VertexId> image(n);
+  std::iota(image.begin(), image.end(), 0);
+  do {
+    bool colors_ok = true;
+    for (VertexId v = 0; v < n && colors_ok; ++v) {
+      colors_ok = labels2[image[v]] == labels1[v];
+    }
+    if (colors_ok && g1.RelabeledBy(image) == g2) return true;
+  } while (std::next_permutation(image.begin(), image.end()));
+  return false;
+}
+
+TEST(DifferentialTest, ColoredPermutedCopiesAreIsomorphic) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const VertexId n = 28;
+    Rng rng(seed + 700);
+    const Graph g1 = RandomGraph(n, 0.15, seed);
+    std::vector<uint32_t> labels1(n);
+    for (uint32_t& label : labels1) {
+      label = static_cast<uint32_t>(rng.NextBounded(3));
+    }
+    const Permutation gamma = RandomPermutation(n, seed + 800);
+    const Graph g2 = Permuted(g1, gamma);
+    std::vector<uint32_t> labels2(n);
+    for (VertexId v = 0; v < n; ++v) labels2[gamma(v)] = labels1[v];
+
+    bool decided = false;
+    EXPECT_TRUE(DviclIsomorphicColored(g1, labels1, g2, labels2, {}, &decided))
+        << "seed " << seed;
+    EXPECT_TRUE(decided);
+  }
+}
+
+TEST(DifferentialTest, ColoredLabelMutationVerdictsMatchBruteForce) {
+  // Small graphs so the n! oracle is exact. Mutations keep or break the
+  // label multiset at random; DviCL's verdict must match brute force either
+  // way — including the subtle case where the multiset is preserved but no
+  // label-respecting isomorphism exists.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const VertexId n = 7;
+    Rng rng(seed + 900);
+    const Graph g1 = RandomGraph(n, 0.4, seed + 30);
+    std::vector<uint32_t> labels1(n);
+    for (uint32_t& label : labels1) {
+      label = static_cast<uint32_t>(rng.NextBounded(2));
+    }
+    const Permutation gamma = RandomPermutation(n, seed + 40);
+    const Graph g2 = Permuted(g1, gamma);
+    std::vector<uint32_t> labels2(n);
+    for (VertexId v = 0; v < n; ++v) labels2[gamma(v)] = labels1[v];
+    // Mutate: either swap the labels of two random vertices of g2
+    // (multiset-preserving) or overwrite one label (usually not).
+    if (rng.NextBernoulli(0.5)) {
+      const VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+      const VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+      std::swap(labels2[a], labels2[b]);
+    } else {
+      labels2[rng.NextBounded(n)] = static_cast<uint32_t>(rng.NextBounded(2));
+    }
+
+    const bool expected = BruteForceColoredIsomorphic(g1, labels1, g2, labels2);
+    bool decided = false;
+    EXPECT_EQ(DviclIsomorphicColored(g1, labels1, g2, labels2, {}, &decided),
+              expected)
+        << "seed " << seed;
+    EXPECT_TRUE(decided);
+  }
+}
+
+// ---- Witness + parallel cross-checks --------------------------------------
+
+TEST(DifferentialTest, FindIsomorphismReturnsAValidWitness) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const VertexId n = 32;
+    const Graph g1 = RandomGraph(n, 0.12, seed + 60);
+    const Graph g2 = Permuted(g1, RandomPermutation(n, seed + 70));
+    Result<Permutation> witness = DviclFindIsomorphism(g1, g2);
+    ASSERT_TRUE(witness.ok()) << "seed " << seed;
+    std::vector<VertexId> image(n);
+    for (VertexId v = 0; v < n; ++v) image[v] = witness.value()(v);
+    EXPECT_TRUE(g1.RelabeledBy(image) == g2) << "seed " << seed;
+  }
+}
+
+TEST(DifferentialTest, ParallelVerdictsMatchSequential) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const VertexId n = 34;
+    const Graph g1 = RandomGraph(n, 0.1, seed + 80);
+    const Graph g2 = seed % 2 == 0
+                         ? Permuted(g1, RandomPermutation(n, seed + 90))
+                         : RandomGraph(n, 0.1, seed + 91);
+    EXPECT_EQ(DviclCert(g1, 4) == DviclCert(g2, 4),
+              DviclCert(g1, 1) == DviclCert(g2, 1))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dvicl

@@ -1,0 +1,209 @@
+// Determinism of the parallel AutoTree build: for every generator family in
+// src/datasets/generators.cc, the certificate, canonical labeling, generator
+// set, automorphism group order (Schreier-Sims) and the complete AutoTree
+// byte image must be identical across num_threads in {1, 2, 4, 8} and across
+// repeated runs. Thread count may only change wall-clock time.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/big_uint.h"
+#include "datasets/generators.h"
+#include "dvicl/auto_tree.h"
+#include "dvicl/dvicl.h"
+#include "perm/schreier_sims.h"
+#include "refine/coloring.h"
+
+namespace dvicl {
+namespace {
+
+// Full byte image of the tree: every persistent field of every node, in id
+// order, plus the leaf_of map. Two trees with equal fingerprints are
+// indistinguishable to any downstream consumer (SSM-AT, serialization,
+// analysis passes).
+std::vector<uint64_t> TreeFingerprint(const AutoTree& tree, VertexId n) {
+  std::vector<uint64_t> out;
+  out.push_back(tree.NumNodes());
+  for (uint32_t id = 0; id < tree.NumNodes(); ++id) {
+    const AutoTreeNode& node = tree.Node(id);
+    out.push_back(node.vertices.size());
+    for (VertexId v : node.vertices) out.push_back(v);
+    out.push_back(node.edges.size());
+    for (const Edge& e : node.edges) {
+      out.push_back((static_cast<uint64_t>(e.first) << 32) | e.second);
+    }
+    out.push_back(node.labels.size());
+    for (VertexId label : node.labels) out.push_back(label);
+    out.push_back(static_cast<uint64_t>(static_cast<int64_t>(node.parent)));
+    out.push_back(node.depth);
+    out.push_back(node.children.size());
+    for (uint32_t kid : node.children) out.push_back(kid);
+    for (uint32_t cls : node.child_sym_class) out.push_back(cls);
+    out.push_back(node.is_leaf ? 1 : 0);
+    out.push_back(node.divided_by_s ? 1 : 0);
+    out.push_back(node.form_hash);
+    out.push_back(node.leaf_generators.size());
+    for (const SparseAut& gen : node.leaf_generators) {
+      out.push_back(gen.moves.size());
+      for (const auto& [v, image] : gen.moves) {
+        out.push_back((static_cast<uint64_t>(v) << 32) | image);
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) out.push_back(tree.LeafOf(v));
+  return out;
+}
+
+bool SameGenerators(const std::vector<SparseAut>& a,
+                    const std::vector<SparseAut>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].moves != b[i].moves) return false;
+  }
+  return true;
+}
+
+BigUint GroupOrderOf(VertexId n, const std::vector<SparseAut>& gens) {
+  SchreierSims chain(n);
+  for (const SparseAut& gen : gens) chain.AddGenerator(gen.ToDense(n));
+  return chain.Order();
+}
+
+struct Family {
+  std::string name;
+  std::function<Graph()> make;
+};
+
+std::vector<Family> AllFamilies() {
+  // Every public family of datasets/generators.h, at sizes that keep the
+  // whole parameterized suite fast enough for a sanitizer build.
+  return {
+      {"Cycle", [] { return CycleGraph(24); }},
+      {"Path", [] { return PathGraph(17); }},
+      {"Complete", [] { return CompleteGraph(9); }},
+      {"CompleteBipartite", [] { return CompleteBipartiteGraph(5, 7); }},
+      {"Star", [] { return StarGraph(12); }},
+      {"Torus3d", [] { return Torus3dGraph(3); }},
+      {"ErdosRenyi", [] { return ErdosRenyiGraph(60, 0.08, 11); }},
+      {"PreferentialAttachment",
+       [] { return PreferentialAttachmentGraph(80, 3, 12); }},
+      {"RandomTree", [] { return RandomTreeGraph(90, 13); }},
+      {"RandomRegular", [] { return RandomRegularGraph(30, 3, 14); }},
+      {"CopyingModel", [] { return CopyingModelGraph(70, 3, 0.5, 15); }},
+      {"WithTwins",
+       [] { return WithTwins(ErdosRenyiGraph(50, 0.1, 16), 0.3, 17); }},
+      {"WithTwinClasses",
+       [] {
+         return WithTwinClasses(PreferentialAttachmentGraph(60, 2, 18), 0.3,
+                                4, 19);
+       }},
+      {"WithPendantPaths",
+       [] { return WithPendantPaths(ErdosRenyiGraph(50, 0.1, 20), 0.4, 3, 21); }},
+      {"WithWheelGadgets",
+       [] { return WithWheelGadgets(ErdosRenyiGraph(40, 0.12, 22), 4, 5, 23); }},
+      {"Hadamard", [] { return HadamardGraph(8); }},
+      {"CfiUntwisted", [] { return CfiGraph(8, false); }},
+      {"CfiTwisted", [] { return CfiGraph(8, true); }},
+      {"MiyazakiLike", [] { return MiyazakiLikeGraph(4); }},
+      {"ProjectivePlane", [] { return ProjectivePlaneGraph(3); }},
+      {"AffinePlane", [] { return AffinePlaneGraph(3); }},
+      {"CircuitLike", [] { return CircuitLikeGraph(8, 40, 24); }},
+  };
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<Family> {};
+
+DviclResult RunWithThreads(const Graph& g, uint32_t threads) {
+  DviclOptions options;
+  options.num_threads = threads;
+  // Tiny grain so even small test graphs actually exercise cross-thread
+  // dispatch instead of degenerating to inline execution.
+  options.parallel_grain_vertices = 2;
+  return DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+}
+
+TEST_P(ParallelDeterminismTest, IdenticalAcrossThreadCounts) {
+  const Graph g = GetParam().make();
+  const VertexId n = g.NumVertices();
+
+  const DviclResult base = RunWithThreads(g, 1);
+  ASSERT_TRUE(base.completed);
+  const std::vector<uint64_t> base_print = TreeFingerprint(base.tree, n);
+  const BigUint base_order = GroupOrderOf(n, base.generators);
+
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    const DviclResult r = RunWithThreads(g, threads);
+    ASSERT_TRUE(r.completed) << "threads=" << threads;
+    EXPECT_EQ(r.certificate, base.certificate) << "threads=" << threads;
+    EXPECT_TRUE(r.canonical_labeling == base.canonical_labeling)
+        << "threads=" << threads;
+    EXPECT_TRUE(SameGenerators(r.generators, base.generators))
+        << "threads=" << threads;
+    EXPECT_EQ(TreeFingerprint(r.tree, n), base_print) << "threads=" << threads;
+    EXPECT_EQ(GroupOrderOf(n, r.generators), base_order)
+        << "threads=" << threads;
+  }
+}
+
+TEST_P(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
+  // Work stealing makes execution order nondeterministic between runs of the
+  // SAME thread count; the output still may not vary.
+  const Graph g = GetParam().make();
+  const VertexId n = g.NumVertices();
+
+  const DviclResult first = RunWithThreads(g, 4);
+  ASSERT_TRUE(first.completed);
+  const std::vector<uint64_t> first_print = TreeFingerprint(first.tree, n);
+
+  for (int round = 0; round < 3; ++round) {
+    const DviclResult r = RunWithThreads(g, 4);
+    ASSERT_TRUE(r.completed) << "round " << round;
+    EXPECT_EQ(r.certificate, first.certificate) << "round " << round;
+    EXPECT_TRUE(r.canonical_labeling == first.canonical_labeling)
+        << "round " << round;
+    EXPECT_TRUE(SameGenerators(r.generators, first.generators))
+        << "round " << round;
+    EXPECT_EQ(TreeFingerprint(r.tree, n), first_print) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ParallelDeterminismTest,
+                         ::testing::ValuesIn(AllFamilies()),
+                         [](const ::testing::TestParamInfo<Family>& info) {
+                           return info.param.name;
+                         });
+
+TEST(ParallelDeterminismExtraTest, ZeroMeansHardwareThreadsAndStaysDeterministic) {
+  const Graph g = WithTwins(PreferentialAttachmentGraph(120, 3, 5), 0.2, 6);
+  const DviclResult base = RunWithThreads(g, 1);
+  const DviclResult hw = RunWithThreads(g, 0);  // one thread per hardware thread
+  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(hw.completed);
+  EXPECT_EQ(hw.certificate, base.certificate);
+  EXPECT_TRUE(hw.canonical_labeling == base.canonical_labeling);
+  EXPECT_EQ(TreeFingerprint(hw.tree, g.NumVertices()),
+            TreeFingerprint(base.tree, g.NumVertices()));
+}
+
+TEST(ParallelDeterminismExtraTest, DefaultGrainMatchesTinyGrain) {
+  // The granularity knob moves work between inline and dispatched execution;
+  // it must not move the answer.
+  const Graph g = WithTwinClasses(ErdosRenyiGraph(90, 0.06, 7), 0.3, 4, 8);
+  DviclOptions coarse;
+  coarse.num_threads = 4;  // default parallel_grain_vertices
+  const DviclResult a =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), coarse);
+  const DviclResult b = RunWithThreads(g, 4);  // grain 2
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.certificate, b.certificate);
+  EXPECT_EQ(TreeFingerprint(a.tree, g.NumVertices()),
+            TreeFingerprint(b.tree, g.NumVertices()));
+}
+
+}  // namespace
+}  // namespace dvicl

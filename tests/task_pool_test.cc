@@ -1,0 +1,215 @@
+// Unit tests for the work-stealing task pool behind the parallel AutoTree
+// build: ordered join semantics, nested submission from worker threads,
+// cooperative cancellation, exception propagation, the bounded-deque inline
+// fallback, and a stress run with thousands of tasks.
+
+#include "common/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dvicl {
+namespace {
+
+TEST(TaskPoolTest, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(TaskPool::DefaultThreads(), 1u);
+}
+
+TEST(TaskPoolTest, OrderedJoinMakesAllEffectsVisibleInSubmissionOrder) {
+  // The pool promises nothing about execution order, but Wait() is a join
+  // barrier: afterwards the caller reads every slot in the fixed order of
+  // its own choosing — exactly how CombineST joins sibling subtrees.
+  TaskPool pool(4);
+  constexpr int kTasks = 256;
+  std::vector<int> results(kTasks, -1);
+  TaskGroup group(&pool);
+  for (int i = 0; i < kTasks; ++i) {
+    group.Submit([&results, i] { results[i] = i * i; });
+  }
+  group.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(results[i], i * i) << "slot " << i;
+  }
+}
+
+TEST(TaskPoolTest, SingleThreadPoolRunsEverythingOnTheOwner) {
+  TaskPool pool(1);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Submit([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskPoolTest, NullPoolRunsTasksInline) {
+  // TaskGroup(nullptr) is the "no parallelism configured" degenerate case:
+  // Submit executes immediately on the calling thread.
+  int count = 0;
+  TaskGroup group(nullptr);
+  group.Submit([&count] { ++count; });
+  EXPECT_EQ(count, 1);  // already ran, before Wait
+  group.Wait();
+  EXPECT_EQ(count, 1);
+}
+
+// Recursive divide-and-conquer sum: every task splits its range and submits
+// the halves into its own nested group, exercising submission from worker
+// threads and the helping Wait.
+uint64_t ParallelRangeSum(TaskPool* pool, uint64_t lo, uint64_t hi) {
+  if (hi - lo <= 64) {
+    uint64_t sum = 0;
+    for (uint64_t v = lo; v < hi; ++v) sum += v;
+    return sum;
+  }
+  const uint64_t mid = lo + (hi - lo) / 2;
+  uint64_t left = 0;
+  uint64_t right = 0;
+  TaskGroup group(pool);
+  group.Submit([&] { left = ParallelRangeSum(pool, lo, mid); });
+  group.Submit([&] { right = ParallelRangeSum(pool, mid, hi); });
+  group.Wait();
+  return left + right;
+}
+
+TEST(TaskPoolTest, NestedSubmissionFromWorkerThreads) {
+  TaskPool pool(4);
+  constexpr uint64_t kN = 100000;
+  EXPECT_EQ(ParallelRangeSum(&pool, 0, kN), kN * (kN - 1) / 2);
+}
+
+TEST(TaskPoolTest, CooperativeCancellationSkipsWork) {
+  TaskPool pool(4);
+  CancelToken token;
+  token.Cancel();
+  std::atomic<int> executed{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 64; ++i) {
+    group.Submit([&] {
+      if (token.Cancelled()) return;  // cooperative check, as in leaf IR
+      executed.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(TaskPoolTest, CancellationRaisedFromInsideATask) {
+  TaskPool pool(4);
+  CancelToken token;
+  std::atomic<int> executed{0};
+  TaskGroup group(&pool);
+  group.Submit([&token] { token.Cancel(); });
+  group.Wait();
+  ASSERT_TRUE(token.Cancelled());
+  // Tasks submitted after the join all observe the flag.
+  for (int i = 0; i < 32; ++i) {
+    group.Submit([&] {
+      if (!token.Cancelled()) executed.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(TaskPoolTest, CancelTokenFlagMatchesState) {
+  CancelToken token;
+  EXPECT_FALSE(token.Flag()->load());
+  token.Cancel();
+  EXPECT_TRUE(token.Flag()->load());
+}
+
+TEST(TaskPoolTest, ExceptionPropagatesToWait) {
+  TaskPool pool(4);
+  std::atomic<int> survivors{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) {
+    group.Submit([&survivors] { survivors.fetch_add(1); });
+  }
+  group.Submit([] { throw std::runtime_error("leaf exploded"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // All non-throwing tasks still completed; the pool remains usable.
+  EXPECT_EQ(survivors.load(), 16);
+  TaskGroup next(&pool);
+  std::atomic<int> after{0};
+  next.Submit([&after] { after.fetch_add(1); });
+  next.Wait();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(TaskPoolTest, ExceptionFromNestedTaskReachesTheOuterWaiter) {
+  TaskPool pool(2);
+  TaskGroup outer(&pool);
+  outer.Submit([&pool] {
+    TaskGroup inner(&pool);
+    inner.Submit([] { throw std::logic_error("deep failure"); });
+    inner.Wait();  // rethrows; escapes this task...
+  });
+  // ...and is captured by the outer group.
+  EXPECT_THROW(outer.Wait(), std::logic_error);
+}
+
+TEST(TaskPoolTest, BoundedDequeFallsBackToInlineExecution) {
+  // A 1-thread pool cannot drain while the owner is still submitting, so
+  // submissions past the deque bound must run inline instead of growing
+  // the queue without limit. Every task runs exactly once either way.
+  TaskPool pool(1);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  constexpr int kTasks = 5000;  // well past the per-slot bound
+  for (int i = 0; i < kTasks; ++i) {
+    group.Submit([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), kTasks);
+}
+
+TEST(TaskPoolTest, ThreadIndexStaysWithinSlotRange) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.ThreadIndex(), 0u);  // owner occupies slot 0
+  std::atomic<uint32_t> bad{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 512; ++i) {
+    group.Submit([&pool, &bad] {
+      if (pool.ThreadIndex() >= pool.NumThreads()) bad.fetch_add(1);
+    });
+  }
+  group.Wait();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(TaskPoolTest, StressThousandsOfTasksAcrossRepeatedGroups) {
+  TaskPool pool(8);
+  std::atomic<uint64_t> count{0};
+  for (int round = 0; round < 5; ++round) {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 2000; ++i) {
+      group.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.Wait();
+    ASSERT_EQ(count.load(), static_cast<uint64_t>(2000 * (round + 1)));
+  }
+}
+
+TEST(TaskPoolTest, DestructorJoinsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    TaskPool pool(4);
+    TaskGroup group(&pool);
+    for (int i = 0; i < 200; ++i) {
+      group.Submit([&count] { count.fetch_add(1); });
+    }
+    // No explicit Wait: ~TaskGroup must join before ~TaskPool runs.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+}  // namespace
+}  // namespace dvicl
