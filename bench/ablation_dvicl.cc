@@ -20,7 +20,8 @@ std::string Timed(bool completed, double seconds) {
   return completed ? bench::FormatDouble(seconds, 3) : "-";
 }
 
-void Run() {
+void Run(int argc, char** argv) {
+  bench::BenchReporter reporter("ablation_dvicl", argc, argv);
   const double time_limit = bench::TimeLimitFromEnv();
   std::printf("Ablation: DviCL divide/simplify variants (scale=%.2f, "
               "budget=%.1fs)\n\n",
@@ -34,7 +35,7 @@ void Run() {
     const Graph& g = suite[i].graph;
     const Coloring unit = Coloring::Unit(g.NumVertices());
 
-    DviclOptions full;
+    DviclOptions full = reporter.Options();
     full.time_limit_seconds = time_limit;
     Stopwatch w1;
     DviclResult r_full = DviclCanonicalLabeling(g, unit, full);
@@ -57,6 +58,19 @@ void Run() {
     SimplifiedDviclResult r_simpl = DviclWithSimplification(g, unit, full);
     const double t_simpl = w4.ElapsedSeconds();
 
+    reporter.BeginRecord();
+    reporter.Field("graph", suite[i].name);
+    reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
+    reporter.Field("full_completed", r_full.completed);
+    reporter.Field("full_seconds", t_full);
+    reporter.Field("divide_i_only_completed", r_no_s.completed);
+    reporter.Field("divide_i_only_seconds", t_no_s);
+    reporter.Field("no_divide_completed", r_none.completed);
+    reporter.Field("no_divide_seconds", t_none);
+    reporter.Field("simplify_completed", r_simpl.completed);
+    reporter.Field("simplify_seconds", t_simpl);
+    reporter.EndRecord();
+
     table.Row({suite[i].name, Timed(r_full.completed, t_full),
                Timed(r_no_s.completed, t_no_s),
                Timed(r_none.completed, t_none),
@@ -68,7 +82,7 @@ void Run() {
 }  // namespace
 }  // namespace dvicl
 
-int main() {
-  dvicl::Run();
+int main(int argc, char** argv) {
+  dvicl::Run(argc, argv);
   return 0;
 }

@@ -4,8 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "common/stopwatch.h"
+#include "dvicl/dvicl.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dvicl {
 namespace bench {
@@ -17,6 +24,11 @@ namespace bench {
 //   DVICL_BENCH_LARGE: "1" selects the larger benchmark-suite instances.
 //   DVICL_TIME_LIMIT: per-run time limit in seconds for Table 5/8 style
 //     comparisons (default 2.0; the paper used 7200).
+//   DVICL_BENCH_JSON: "0" disables the BENCH_<name>.json result file.
+// Command-line flags (see BenchReporter):
+//   --threads=N      thread count for the DviCL AutoTree build
+//   --trace=out.json Chrome-trace recording of the whole bench run
+//   --metrics=out.json metrics registry dump (plus a text table on stdout)
 inline double ScaleFromEnv() {
   const char* value = std::getenv("DVICL_BENCH_SCALE");
   return value != nullptr ? std::atof(value) : 1.0;
@@ -32,16 +44,24 @@ inline double TimeLimitFromEnv() {
   return value != nullptr ? std::atof(value) : 2.0;
 }
 
+// Value of `--<prefix>=value` on the command line, or "" when absent.
+inline std::string FlagFromArgs(int argc, char** argv, const char* flag) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return std::string();
+}
+
 // Thread count for the parallel AutoTree build (DviclOptions::num_threads):
 // `--threads=N` on the command line wins, then the DVICL_THREADS environment
 // variable, then 1 (sequential). N = 0 means one thread per hardware thread,
 // mirroring the library convention.
 inline unsigned ThreadsFromArgs(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      return static_cast<unsigned>(std::atoi(argv[i] + 10));
-    }
-  }
+  const std::string flag = FlagFromArgs(argc, argv, "--threads");
+  if (!flag.empty()) return static_cast<unsigned>(std::atoi(flag.c_str()));
   const char* value = std::getenv("DVICL_THREADS");
   return value != nullptr ? static_cast<unsigned>(std::atoi(value)) : 1u;
 }
@@ -75,6 +95,160 @@ inline std::string FormatDouble(double value, int decimals = 2) {
   std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
   return buffer;
 }
+
+// Machine-readable bench output + observability wiring, shared by every
+// table harness. One reporter per process:
+//
+//   * Always (unless DVICL_BENCH_JSON=0) writes `BENCH_<name>.json` in the
+//     working directory: bench metadata (threads, scale, time limit) plus
+//     one record per measured row — the start of a tracked perf
+//     trajectory.
+//   * `--trace=out.json` creates a TraceRecorder handed to every DviCL/IR
+//     run via Trace(); the Chrome trace is written at Finish()/destruction.
+//   * `--metrics=out.json` likewise creates a MetricsRegistry; the JSON
+//     dump is written at the end and a human text table printed to stdout.
+//
+// Records are flat key/value objects built through Field() calls between
+// BeginRecord()/EndRecord(); keys go out in call order.
+class BenchReporter {
+ public:
+  BenchReporter(std::string name, int argc, char** argv)
+      : name_(std::move(name)), threads_(ThreadsFromArgs(argc, argv)) {
+    const char* json_env = std::getenv("DVICL_BENCH_JSON");
+    json_enabled_ = json_env == nullptr || json_env[0] != '0';
+    trace_path_ = FlagFromArgs(argc, argv, "--trace");
+    metrics_path_ = FlagFromArgs(argc, argv, "--metrics");
+    if (!trace_path_.empty()) {
+      trace_ = std::make_unique<obs::TraceRecorder>();
+    }
+    if (!metrics_path_.empty()) {
+      metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    writer_.BeginObject();
+    writer_.Key("bench");
+    writer_.String(name_);
+    writer_.Key("threads");
+    writer_.Uint(threads_);
+    writer_.Key("scale");
+    writer_.Double(ScaleFromEnv());
+    writer_.Key("benchmark_scale");
+    writer_.Uint(static_cast<uint64_t>(BenchmarkScaleFromEnv()));
+    writer_.Key("time_limit_seconds");
+    writer_.Double(TimeLimitFromEnv());
+    writer_.Key("records");
+    writer_.BeginArray();
+  }
+
+  ~BenchReporter() { Finish(); }
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  unsigned Threads() const { return threads_; }
+  // Null when the corresponding flag was not given — exactly the shape
+  // DviclOptions::trace / ::metrics and IrOptions::trace expect.
+  obs::TraceRecorder* Trace() const { return trace_.get(); }
+  obs::MetricsRegistry* Metrics() const { return metrics_.get(); }
+
+  // DviclOptions with the observability hooks and thread count filled in.
+  DviclOptions Options() const {
+    DviclOptions options;
+    options.num_threads = threads_;
+    options.trace = trace_.get();
+    options.metrics = metrics_.get();
+    return options;
+  }
+
+  void BeginRecord() { writer_.BeginObject(); }
+  void EndRecord() { writer_.EndObject(); }
+
+  void Field(const char* key, std::string_view value) {
+    writer_.Key(key);
+    writer_.String(value);
+  }
+  // Without this overload a string-literal value would pick Field(bool)
+  // (pointer-to-bool is a standard conversion, string_view is user-defined).
+  void Field(const char* key, const char* value) {
+    Field(key, std::string_view(value));
+  }
+  void Field(const char* key, double value) {
+    writer_.Key(key);
+    writer_.Double(value);
+  }
+  void Field(const char* key, uint64_t value) {
+    writer_.Key(key);
+    writer_.Uint(value);
+  }
+  void Field(const char* key, uint32_t value) {
+    Field(key, static_cast<uint64_t>(value));
+  }
+  void Field(const char* key, bool value) {
+    writer_.Key(key);
+    writer_.Bool(value);
+  }
+
+  // Standard per-run DviCL statistics fields, with the wall-clock /
+  // CPU-seconds distinction explicit in the key names (DviclStats doc).
+  void StatsFields(const DviclStats& stats) {
+    Field("wall_seconds", stats.wall_seconds);
+    Field("cpu_refine_seconds", stats.refine_seconds);
+    Field("cpu_divide_seconds", stats.divide_seconds);
+    Field("cpu_combine_seconds", stats.combine_seconds);
+    Field("autotree_nodes", stats.autotree_nodes);
+    Field("singleton_leaves", stats.singleton_leaves);
+    Field("nonsingleton_leaves", stats.nonsingleton_leaves);
+    Field("tree_depth", static_cast<uint64_t>(stats.depth));
+    Field("refine_splitters", stats.refine_splitters);
+    Field("ir_tree_nodes", stats.leaf_ir.tree_nodes);
+    Field("ir_automorphisms", stats.leaf_ir.automorphisms_found);
+  }
+
+  // Writes all configured outputs. Idempotent; also invoked by the dtor.
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    writer_.EndArray();
+    writer_.Key("peak_rss_mib");
+    writer_.Double(PeakRssMebibytes());
+    writer_.EndObject();
+    if (json_enabled_) {
+      const std::string path = "BENCH_" + name_ + ".json";
+      if (!WriteFile(path, writer_.Str())) {
+        std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      }
+    }
+    if (trace_ != nullptr && !trace_->WriteJsonFile(trace_path_)) {
+      std::fprintf(stderr, "warning: could not write trace %s\n",
+                   trace_path_.c_str());
+    }
+    if (metrics_ != nullptr) {
+      if (!metrics_->WriteJsonFile(metrics_path_)) {
+        std::fprintf(stderr, "warning: could not write metrics %s\n",
+                     metrics_path_.c_str());
+      }
+      std::printf("\nMetrics (%s):\n%s", metrics_path_.c_str(),
+                  metrics_->ToText().c_str());
+    }
+  }
+
+ private:
+  static bool WriteFile(const std::string& path, const std::string& data) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    return std::fclose(f) == 0 && written == data.size();
+  }
+
+  std::string name_;
+  unsigned threads_;
+  bool json_enabled_ = true;
+  bool finished_ = false;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  obs::JsonWriter writer_;
+};
 
 }  // namespace bench
 }  // namespace dvicl

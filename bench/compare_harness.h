@@ -6,7 +6,9 @@
 // engine, standing in for the real tools — DESIGN.md §4) and DviCL+X with
 // the same preset as the leaf backend. Prints "time memory" pairs per
 // algorithm; "-" marks a run that exceeded the time budget, like the
-// paper's 2-hour timeouts.
+// paper's 2-hour timeouts. Every cell is also appended to the harness's
+// BENCH_<name>.json record stream, and the reporter's --trace/--metrics
+// recorders (when given) observe every run.
 
 #include <cstdint>
 #include <cstdio>
@@ -29,13 +31,15 @@ struct CompareCell {
 };
 
 inline CompareCell RunBaseline(const Graph& g, IrPreset preset,
-                               double time_limit) {
+                               double time_limit,
+                               obs::TraceRecorder* trace = nullptr) {
   CompareCell cell;
   const double rss_before = CurrentRssMebibytes();
   Stopwatch watch;
   IrOptions options;
   options.preset = preset;
   options.time_limit_seconds = time_limit;
+  options.trace = trace;
   IrResult result =
       IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
   cell.seconds = watch.ElapsedSeconds();
@@ -45,14 +49,13 @@ inline CompareCell RunBaseline(const Graph& g, IrPreset preset,
 }
 
 inline CompareCell RunDvicl(const Graph& g, IrPreset preset,
-                            double time_limit, uint32_t num_threads = 1) {
+                            double time_limit, const BenchReporter& reporter) {
   CompareCell cell;
   const double rss_before = CurrentRssMebibytes();
   Stopwatch watch;
-  DviclOptions options;
+  DviclOptions options = reporter.Options();
   options.leaf_backend = preset;
   options.time_limit_seconds = time_limit;
-  options.num_threads = num_threads;
   DviclResult result =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
   cell.seconds = watch.ElapsedSeconds();
@@ -70,39 +73,68 @@ inline std::string MemText(const CompareCell& cell) {
   return FormatDouble(cell.rss_delta_mib < 0 ? 0.0 : cell.rss_delta_mib, 1);
 }
 
-inline void RunComparison(const std::vector<NamedGraph>& suite,
-                          const char* title, uint32_t num_threads = 1) {
+inline const char* PresetName(IrPreset preset) {
+  switch (preset) {
+    case IrPreset::kNautyLike:
+      return "nauty";
+    case IrPreset::kTracesLike:
+      return "traces";
+    case IrPreset::kBlissLike:
+      return "bliss";
+  }
+  return "?";
+}
+
+inline void RecordCell(BenchReporter& reporter, const NamedGraph& entry,
+                       const char* algorithm, IrPreset preset,
+                       const CompareCell& cell) {
+  reporter.BeginRecord();
+  reporter.Field("graph", entry.name);
+  reporter.Field("n", static_cast<uint64_t>(entry.graph.NumVertices()));
+  reporter.Field("m", static_cast<uint64_t>(entry.graph.NumEdges()));
+  reporter.Field("algorithm", algorithm);
+  reporter.Field("preset", PresetName(preset));
+  reporter.Field("completed", cell.completed);
+  reporter.Field("wall_seconds", cell.seconds);
+  reporter.Field("rss_delta_mib", cell.rss_delta_mib);
+  reporter.EndRecord();
+}
+
+inline void RunComparison(BenchReporter& reporter,
+                          const std::vector<NamedGraph>& suite,
+                          const char* title) {
   const double time_limit = TimeLimitFromEnv();
+  const uint32_t num_threads = reporter.Threads();
   std::printf("%s\n", title);
   if (num_threads != 1) {
     std::printf("(DviCL+X columns use num_threads=%u)\n", num_threads);
   }
-  std::printf("(time in seconds; memory as resident-set delta in MiB; '-' ="
-              " exceeded the %.1fs budget, cf. the paper's 2h limit)\n\n",
+  std::printf("(wall-clock time in seconds; memory as resident-set delta in"
+              " MiB; '-' = exceeded the %.1fs budget, cf. the paper's 2h"
+              " limit)\n\n",
               time_limit);
   TablePrinter table({16, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9});
   table.Row({"Graph", "nauty", "mem", "DviCL+n", "mem", "traces", "mem",
              "DviCL+t", "mem", "bliss", "mem", "DviCL+b", "mem"});
   table.Rule();
 
+  const IrPreset presets[] = {IrPreset::kNautyLike, IrPreset::kTracesLike,
+                              IrPreset::kBlissLike};
   for (const NamedGraph& entry : suite) {
     const Graph& g = entry.graph;
-    const CompareCell nauty =
-        RunBaseline(g, IrPreset::kNautyLike, time_limit);
-    const CompareCell dvicl_n =
-        RunDvicl(g, IrPreset::kNautyLike, time_limit, num_threads);
-    const CompareCell traces =
-        RunBaseline(g, IrPreset::kTracesLike, time_limit);
-    const CompareCell dvicl_t =
-        RunDvicl(g, IrPreset::kTracesLike, time_limit, num_threads);
-    const CompareCell bliss = RunBaseline(g, IrPreset::kBlissLike, time_limit);
-    const CompareCell dvicl_b =
-        RunDvicl(g, IrPreset::kBlissLike, time_limit, num_threads);
-
-    table.Row({entry.name, TimeText(nauty), MemText(nauty), TimeText(dvicl_n),
-               MemText(dvicl_n), TimeText(traces), MemText(traces),
-               TimeText(dvicl_t), MemText(dvicl_t), TimeText(bliss),
-               MemText(bliss), TimeText(dvicl_b), MemText(dvicl_b)});
+    std::vector<std::string> cells = {entry.name};
+    for (IrPreset preset : presets) {
+      const CompareCell baseline =
+          RunBaseline(g, preset, time_limit, reporter.Trace());
+      RecordCell(reporter, entry, "ir", preset, baseline);
+      const CompareCell dvicl = RunDvicl(g, preset, time_limit, reporter);
+      RecordCell(reporter, entry, "dvicl", preset, dvicl);
+      cells.push_back(TimeText(baseline));
+      cells.push_back(MemText(baseline));
+      cells.push_back(TimeText(dvicl));
+      cells.push_back(MemText(dvicl));
+    }
+    table.Row(cells);
     std::fflush(stdout);
   }
 }

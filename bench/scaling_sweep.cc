@@ -9,6 +9,12 @@
 // Miyazaki-like gadget graphs, which the divide step splits into many
 // independent sibling subtrees — the shape where extra threads pay off
 // most.
+//
+// `--trace=out.json` records a Chrome trace of the whole sweep (root
+// refinement, divide/combine spans, leaf IR searches, task-pool
+// spawn/steal/run events across worker threads); `--metrics=out.json`
+// dumps the aggregated counters. Results also land in
+// BENCH_scaling_sweep.json.
 
 #include <cstdio>
 #include <vector>
@@ -45,7 +51,8 @@ Graph GadgetForest(uint32_t copies, uint32_t rungs) {
   return Graph::FromEdges(stride * copies, std::move(edges));
 }
 
-void SweepSocial(double budget, unsigned threads) {
+void SweepSocial(bench::BenchReporter& reporter, double budget) {
+  const unsigned threads = reporter.Threads();
   std::printf("Scaling sweep: social-like graphs, DviCL+b vs bliss-like "
               "baseline (budget %.1fs per point, threads=%u)\n\n",
               budget, threads);
@@ -59,19 +66,29 @@ void SweepSocial(double budget, unsigned threads) {
     IrOptions ir_options;
     ir_options.preset = IrPreset::kBlissLike;
     ir_options.time_limit_seconds = budget;
+    ir_options.trace = reporter.Trace();
     Stopwatch w1;
     IrResult ir =
         IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), ir_options);
     const double t_ir = w1.ElapsedSeconds();
 
-    DviclOptions dv_options;
+    DviclOptions dv_options = reporter.Options();
     dv_options.leaf_backend = IrPreset::kBlissLike;
     dv_options.time_limit_seconds = budget;
-    dv_options.num_threads = threads;
     Stopwatch w2;
     DviclResult dv =
         DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), dv_options);
     const double t_dv = w2.ElapsedSeconds();
+
+    reporter.BeginRecord();
+    reporter.Field("series", "social");
+    reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
+    reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
+    reporter.Field("ir_completed", ir.completed);
+    reporter.Field("ir_wall_seconds", t_ir);
+    reporter.Field("dvicl_completed", dv.completed);
+    reporter.StatsFields(dv.stats);
+    reporter.EndRecord();
 
     std::string speedup = "-";
     if (ir.completed && dv.completed && t_dv > 0) {
@@ -87,7 +104,8 @@ void SweepSocial(double budget, unsigned threads) {
   }
 }
 
-void SweepForest(double budget, unsigned threads) {
+void SweepForest(bench::BenchReporter& reporter, double budget) {
+  const unsigned threads = reporter.Threads();
   std::printf("\nThread scaling: gadget forests (disjoint Miyazaki-like "
               "components), DviCL+b at 1 vs %u thread(s)\n\n",
               threads);
@@ -98,7 +116,7 @@ void SweepForest(double budget, unsigned threads) {
   for (uint32_t copies : {8u, 16u, 32u, 64u}) {
     Graph g = GadgetForest(copies, 12);
 
-    DviclOptions options;
+    DviclOptions options = reporter.Options();
     options.leaf_backend = IrPreset::kBlissLike;
     options.time_limit_seconds = budget;
 
@@ -114,6 +132,17 @@ void SweepForest(double budget, unsigned threads) {
         DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
     const double t_par = w2.ElapsedSeconds();
 
+    reporter.BeginRecord();
+    reporter.Field("series", "forest");
+    reporter.Field("copies", static_cast<uint64_t>(copies));
+    reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
+    reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
+    reporter.Field("seq_completed", seq.completed);
+    reporter.Field("seq_wall_seconds", t_seq);
+    reporter.Field("par_completed", par.completed);
+    reporter.StatsFields(par.stats);
+    reporter.EndRecord();
+
     std::string speedup = "-";
     if (seq.completed && par.completed && t_par > 0) {
       speedup = bench::FormatDouble(t_seq / t_par, 2) + "x";
@@ -127,10 +156,10 @@ void SweepForest(double budget, unsigned threads) {
 }
 
 void Run(int argc, char** argv) {
+  bench::BenchReporter reporter("scaling_sweep", argc, argv);
   const double budget = bench::TimeLimitFromEnv();
-  const unsigned threads = bench::ThreadsFromArgs(argc, argv);
-  SweepSocial(budget, threads);
-  if (threads != 1) SweepForest(budget, threads);
+  SweepSocial(reporter, budget);
+  if (reporter.Threads() != 1) SweepForest(reporter, budget);
 }
 
 }  // namespace

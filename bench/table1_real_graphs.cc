@@ -12,7 +12,8 @@
 namespace dvicl {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
+  bench::BenchReporter reporter("table1_real_graphs", argc, argv);
   std::printf("Table 1: Summarization of real graphs (synthetic analogues, "
               "scale=%.2f)\n\n",
               bench::ScaleFromEnv());
@@ -22,8 +23,8 @@ void Run() {
 
   for (const NamedGraph& entry : RealSuite(bench::ScaleFromEnv())) {
     const Graph& g = entry.graph;
-    DviclResult result =
-        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    DviclResult result = DviclCanonicalLabeling(
+        g, Coloring::Unit(g.NumVertices()), reporter.Options());
     uint64_t cells = 0;
     uint64_t singleton = 0;
     if (result.completed) {
@@ -38,6 +39,17 @@ void Run() {
         }
       }
     }
+    reporter.BeginRecord();
+    reporter.Field("graph", entry.name);
+    reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
+    reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
+    reporter.Field("max_degree", static_cast<uint64_t>(g.MaxDegree()));
+    reporter.Field("avg_degree", g.AverageDegree());
+    reporter.Field("orbit_cells", cells);
+    reporter.Field("orbit_singletons", singleton);
+    reporter.StatsFields(result.stats);
+    reporter.EndRecord();
+
     table.Row({entry.name, std::to_string(g.NumVertices()),
                std::to_string(g.NumEdges()), std::to_string(g.MaxDegree()),
                bench::FormatDouble(g.AverageDegree()), std::to_string(cells),
@@ -48,7 +60,7 @@ void Run() {
 }  // namespace
 }  // namespace dvicl
 
-int main() {
-  dvicl::Run();
+int main(int argc, char** argv) {
+  dvicl::Run(argc, argv);
   return 0;
 }

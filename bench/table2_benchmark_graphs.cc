@@ -13,7 +13,8 @@
 namespace dvicl {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
+  bench::BenchReporter reporter("table2_benchmark_graphs", argc, argv);
   std::printf("Table 2: Summarization of benchmark graphs (scale=%d)\n\n",
               bench::BenchmarkScaleFromEnv());
   bench::TablePrinter table({20, 10, 12, 8, 8, 10, 10});
@@ -23,7 +24,7 @@ void Run() {
   for (const NamedGraph& entry :
        BenchmarkSuite(bench::BenchmarkScaleFromEnv())) {
     const Graph& g = entry.graph;
-    DviclOptions options;
+    DviclOptions options = reporter.Options();
     options.time_limit_seconds = bench::TimeLimitFromEnv();
     DviclResult result =
         DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
@@ -56,6 +57,16 @@ void Run() {
       cells = std::to_string(pi.NumCells()) + "*";
       singleton = std::to_string(num_singleton) + "*";
     }
+    reporter.BeginRecord();
+    reporter.Field("graph", entry.name);
+    reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
+    reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
+    reporter.Field("completed", result.completed);
+    reporter.Field("orbit_cells", cells);
+    reporter.Field("orbit_singletons", singleton);
+    reporter.StatsFields(result.stats);
+    reporter.EndRecord();
+
     table.Row({entry.name, std::to_string(g.NumVertices()),
                std::to_string(g.NumEdges()), std::to_string(g.MaxDegree()),
                bench::FormatDouble(g.AverageDegree()), cells, singleton});
@@ -67,7 +78,7 @@ void Run() {
 }  // namespace
 }  // namespace dvicl
 
-int main() {
-  dvicl::Run();
+int main(int argc, char** argv) {
+  dvicl::Run(argc, argv);
   return 0;
 }

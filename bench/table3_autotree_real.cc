@@ -1,6 +1,8 @@
 // Reproduces paper Table 3: the structure of the AutoTrees built for the
 // real-graph suite — total nodes, singleton leaves, non-singleton leaves,
-// average non-singleton leaf size, and tree depth.
+// average non-singleton leaf size, and tree depth. The JSON records also
+// carry the per-node timing breakdown (total attributed step seconds and
+// the slowest node) from AutoTree::TotalStepSeconds/SlowestNodes.
 
 #include <cstdio>
 
@@ -11,7 +13,8 @@
 namespace dvicl {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
+  bench::BenchReporter reporter("table3_autotree_real", argc, argv);
   std::printf("Table 3: The structure of AutoTrees of real graphs "
               "(scale=%.2f)\n\n",
               bench::ScaleFromEnv());
@@ -22,8 +25,24 @@ void Run() {
 
   for (const NamedGraph& entry : RealSuite(bench::ScaleFromEnv())) {
     const Graph& g = entry.graph;
-    DviclResult result =
-        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    DviclResult result = DviclCanonicalLabeling(
+        g, Coloring::Unit(g.NumVertices()), reporter.Options());
+    reporter.BeginRecord();
+    reporter.Field("graph", entry.name);
+    reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
+    reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
+    reporter.Field("completed", result.completed);
+    if (result.completed) {
+      reporter.Field("avg_nonsingleton_leaf_size",
+                     result.tree.AverageNonSingletonLeafSize());
+      reporter.Field("node_step_seconds", result.tree.TotalStepSeconds());
+      const auto slowest = result.tree.SlowestNodes(1);
+      if (!slowest.empty()) {
+        reporter.Field("slowest_node", static_cast<uint64_t>(slowest[0]));
+      }
+    }
+    reporter.StatsFields(result.stats);
+    reporter.EndRecord();
     if (!result.completed) {
       table.Row({entry.name, "-", "-", "-", "-", "-"});
       continue;
@@ -39,7 +58,7 @@ void Run() {
 }  // namespace
 }  // namespace dvicl
 
-int main() {
-  dvicl::Run();
+int main(int argc, char** argv) {
+  dvicl::Run(argc, argv);
   return 0;
 }

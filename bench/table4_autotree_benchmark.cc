@@ -12,7 +12,8 @@
 namespace dvicl {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
+  bench::BenchReporter reporter("table4_autotree_benchmark", argc, argv);
   std::printf("Table 4: The structure of AutoTrees of benchmark graphs "
               "(scale=%d)\n\n",
               bench::BenchmarkScaleFromEnv());
@@ -24,10 +25,22 @@ void Run() {
   for (const NamedGraph& entry :
        BenchmarkSuite(bench::BenchmarkScaleFromEnv())) {
     const Graph& g = entry.graph;
-    DviclOptions options;
+    DviclOptions options = reporter.Options();
     options.time_limit_seconds = bench::TimeLimitFromEnv();
     DviclResult result =
         DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+    reporter.BeginRecord();
+    reporter.Field("graph", entry.name);
+    reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
+    reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
+    reporter.Field("completed", result.completed);
+    if (result.completed) {
+      reporter.Field("avg_nonsingleton_leaf_size",
+                     result.tree.AverageNonSingletonLeafSize());
+      reporter.Field("node_step_seconds", result.tree.TotalStepSeconds());
+    }
+    reporter.StatsFields(result.stats);
+    reporter.EndRecord();
     if (!result.completed) {
       table.Row({entry.name, "-", "-", "-", "-", "-"});
       continue;
@@ -43,7 +56,7 @@ void Run() {
 }  // namespace
 }  // namespace dvicl
 
-int main() {
-  dvicl::Run();
+int main(int argc, char** argv) {
+  dvicl::Run(argc, argv);
   return 0;
 }

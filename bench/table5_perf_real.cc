@@ -5,15 +5,16 @@
 //
 // `--threads=N` (or DVICL_THREADS) runs the DviCL+X columns with a parallel
 // AutoTree build; the baselines are single-threaded by design, like the
-// real tools.
+// real tools. `--trace=`/`--metrics=` record the whole comparison; per-cell
+// results land in BENCH_table5_perf_real.json.
 
 #include "compare_harness.h"
 #include "datasets/real_suite.h"
 
 int main(int argc, char** argv) {
-  dvicl::bench::RunComparison(
-      dvicl::RealSuite(dvicl::bench::ScaleFromEnv()),
-      "Table 5: Performance on real-world networks",
-      dvicl::bench::ThreadsFromArgs(argc, argv));
+  dvicl::bench::BenchReporter reporter("table5_perf_real", argc, argv);
+  dvicl::bench::RunComparison(reporter,
+                              dvicl::RealSuite(dvicl::bench::ScaleFromEnv()),
+                              "Table 5: Performance on real-world networks");
   return 0;
 }

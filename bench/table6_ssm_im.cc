@@ -16,7 +16,8 @@
 namespace dvicl {
 namespace {
 
-void Run() {
+void Run(int argc, char** argv) {
+  bench::BenchReporter reporter("table6_ssm_im", argc, argv);
   std::printf("Table 6: SSM on seed set S by IM (scale=%.2f)\n\n",
               bench::ScaleFromEnv());
   bench::TablePrinter table({14, 14, 10, 14, 10});
@@ -25,8 +26,8 @@ void Run() {
 
   for (const NamedGraph& entry : RealSuite(bench::ScaleFromEnv())) {
     const Graph& g = entry.graph;
-    DviclResult result =
-        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    DviclResult result = DviclCanonicalLabeling(
+        g, Coloring::Unit(g.NumVertices()), reporter.Options());
     if (!result.completed) {
       table.Row({entry.name, "-", "-", "-", "-"});
       continue;
@@ -42,8 +43,17 @@ void Run() {
       InfluenceMaxResult seeds = GreedyInfluenceMaximization(g, k, im);
       Stopwatch watch;
       BigUint count = index.CountSymmetricImages(seeds.seeds);
+      const double query_seconds = watch.ElapsedSeconds();
+
+      reporter.BeginRecord();
+      reporter.Field("graph", entry.name);
+      reporter.Field("seed_set_size", static_cast<uint64_t>(k));
+      reporter.Field("symmetric_images", count.ToCompactString());
+      reporter.Field("query_seconds", query_seconds);
+      reporter.EndRecord();
+
       row.push_back(count.ToCompactString());
-      row.push_back(bench::FormatDouble(watch.ElapsedSeconds(), 3));
+      row.push_back(bench::FormatDouble(query_seconds, 3));
     }
     table.Row(row);
     std::fflush(stdout);
@@ -53,7 +63,7 @@ void Run() {
 }  // namespace
 }  // namespace dvicl
 
-int main() {
-  dvicl::Run();
+int main(int argc, char** argv) {
+  dvicl::Run(argc, argv);
   return 0;
 }

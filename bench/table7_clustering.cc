@@ -18,7 +18,8 @@ namespace {
 constexpr size_t kMaxCliques = 200000;
 constexpr size_t kMaxTriangles = 2000000;
 
-void Run() {
+void Run(int argc, char** argv) {
+  bench::BenchReporter reporter("table7_clustering", argc, argv);
   std::printf("Table 7: Subgraph clustering by SSM (scale=%.2f)\n\n",
               bench::ScaleFromEnv());
   bench::TablePrinter table({14, 10, 10, 9, 12, 12, 9});
@@ -28,8 +29,8 @@ void Run() {
 
   for (const NamedGraph& entry : RealSuite(bench::ScaleFromEnv())) {
     const Graph& g = entry.graph;
-    DviclResult result =
-        DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
+    DviclResult result = DviclCanonicalLabeling(
+        g, Coloring::Unit(g.NumVertices()), reporter.Options());
     if (!result.completed) {
       table.Row({entry.name, "-", "-", "-", "-", "-", "-"});
       continue;
@@ -47,6 +48,20 @@ void Run() {
     auto triangle_clusters = ClusterSubgraphsBySymmetry(
         g.NumVertices(), result.generators, triangles);
 
+    reporter.BeginRecord();
+    reporter.Field("graph", entry.name);
+    reporter.Field("max_cliques", static_cast<uint64_t>(cliques.size()));
+    reporter.Field("clique_clusters",
+                   static_cast<uint64_t>(clique_clusters.num_clusters));
+    reporter.Field("clique_max_cluster",
+                   static_cast<uint64_t>(clique_clusters.max_cluster_size));
+    reporter.Field("triangles", static_cast<uint64_t>(triangles.size()));
+    reporter.Field("triangle_clusters",
+                   static_cast<uint64_t>(triangle_clusters.num_clusters));
+    reporter.Field("triangle_max_cluster",
+                   static_cast<uint64_t>(triangle_clusters.max_cluster_size));
+    reporter.EndRecord();
+
     table.Row({entry.name, std::to_string(cliques.size()),
                std::to_string(clique_clusters.num_clusters),
                std::to_string(clique_clusters.max_cluster_size),
@@ -60,7 +75,7 @@ void Run() {
 }  // namespace
 }  // namespace dvicl
 
-int main() {
-  dvicl::Run();
+int main(int argc, char** argv) {
+  dvicl::Run(argc, argv);
   return 0;
 }

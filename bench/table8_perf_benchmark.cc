@@ -6,9 +6,10 @@
 #include "compare_harness.h"
 #include "datasets/benchmark_suite.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dvicl::bench::BenchReporter reporter("table8_perf_benchmark", argc, argv);
   dvicl::bench::RunComparison(
-      dvicl::BenchmarkSuite(dvicl::bench::BenchmarkScaleFromEnv()),
+      reporter, dvicl::BenchmarkSuite(dvicl::bench::BenchmarkScaleFromEnv()),
       "Table 8: Performance on benchmark graphs");
   return 0;
 }

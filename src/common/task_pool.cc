@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace dvicl {
 
 namespace {
@@ -49,6 +51,16 @@ unsigned TaskPool::DefaultThreads() {
   return hw == 0 ? 1 : hw;
 }
 
+TaskPoolStats TaskPool::GetStats() const {
+  TaskPoolStats stats;
+  stats.tasks_queued = stat_queued_.load(std::memory_order_relaxed);
+  stats.tasks_inline = stat_inline_.load(std::memory_order_relaxed);
+  stats.tasks_run_local = stat_run_local_.load(std::memory_order_relaxed);
+  stats.tasks_stolen = stat_stolen_.load(std::memory_order_relaxed);
+  stats.max_deque_depth = stat_max_depth_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 void TaskPool::NotifyAll() {
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
@@ -59,10 +71,12 @@ void TaskPool::NotifyAll() {
 void TaskPool::Enqueue(Task task) {
   const unsigned self = ThreadIndex();
   bool queued = false;
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(slots_[self]->mu);
     if (slots_[self]->tasks.size() < kSlotBound) {
       slots_[self]->tasks.push_back(std::move(task));
+      depth = slots_[self]->tasks.size();
       queued_.fetch_add(1, std::memory_order_release);
       queued = true;
     }
@@ -70,14 +84,29 @@ void TaskPool::Enqueue(Task task) {
   if (!queued) {
     // Local deque full: run inline. This is the bounded-deque back
     // pressure, not an error path.
+    stat_inline_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr) {
+      trace_->AddInstant("task_pool.inline", "task_pool");
+    }
     RunTask(std::move(task));
     return;
+  }
+  stat_queued_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = stat_max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen && !stat_max_depth_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
+  }
+  if (trace_ != nullptr) {
+    trace_->AddInstant("task_pool.spawn", "task_pool",
+                       {{"deque_depth", depth}});
   }
   NotifyAll();
 }
 
 bool TaskPool::RunOneTask(unsigned self) {
   Task task;
+  bool stolen = false;
+  unsigned victim_slot = self;
   for (unsigned probe = 0; probe < num_threads_; ++probe) {
     const unsigned victim = (self + probe) % num_threads_;
     Slot& slot = *slots_[victim];
@@ -89,12 +118,28 @@ bool TaskPool::RunOneTask(unsigned self) {
     } else {
       task = std::move(slot.tasks.front());  // steal: FIFO, oldest first
       slot.tasks.pop_front();
+      stolen = true;
+      victim_slot = victim;
     }
     queued_.fetch_sub(1, std::memory_order_release);
     break;
   }
   if (task.fn == nullptr) return false;
-  RunTask(std::move(task));
+  if (stolen) {
+    stat_stolen_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr) {
+      trace_->AddInstant("task_pool.steal", "task_pool",
+                         {{"victim", victim_slot}});
+    }
+  } else {
+    stat_run_local_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceSpan span(trace_, "task_pool.run", "task_pool");
+    RunTask(std::move(task));
+  } else {
+    RunTask(std::move(task));
+  }
   return true;
 }
 

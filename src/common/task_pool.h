@@ -15,7 +15,30 @@
 
 namespace dvicl {
 
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 class TaskGroup;
+
+// Monotone telemetry counters of one pool's lifetime, snapshot via
+// TaskPool::GetStats(). Always maintained (each is one relaxed atomic op on
+// an already-synchronized path), independent of whether tracing is on.
+//
+// Accounting identities the pool guarantees once all groups are joined:
+//   tasks_run_local + tasks_stolen == tasks_queued   (every queued task is
+//     popped exactly once, either by its submitter's slot or by a thief)
+//   tasks_inline counts Submit calls that bypassed the queue because the
+//     local deque was at its bound (TaskGroup(nullptr) inline execution is
+//     not pool activity and is not counted here).
+struct TaskPoolStats {
+  uint64_t tasks_queued = 0;
+  uint64_t tasks_inline = 0;
+  uint64_t tasks_run_local = 0;
+  uint64_t tasks_stolen = 0;
+  // High-water mark of any single slot's deque depth.
+  uint64_t max_deque_depth = 0;
+};
 
 // Cooperative cancellation token shared between a driver and its tasks.
 // Cancellation is advisory: tasks poll Cancelled() at safe points (e.g. the
@@ -79,6 +102,16 @@ class TaskPool {
   // One slot per hardware thread (>= 1).
   static unsigned DefaultThreads();
 
+  // Telemetry snapshot; consistent (the identities in TaskPoolStats hold)
+  // once every TaskGroup using this pool has been waited.
+  TaskPoolStats GetStats() const;
+
+  // Optional tracing: when non-null, the pool records spawn/steal/run
+  // events into `trace` (Chrome trace format; see obs/trace.h). Must be
+  // set while the pool is idle — typically right after construction — and
+  // the recorder must outlive the pool.
+  void SetTrace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   friend class TaskGroup;
 
@@ -113,6 +146,16 @@ class TaskPool {
   // Count of currently queued (not yet popped) tasks; the workers' sleep
   // predicate.
   std::atomic<uint64_t> queued_{0};
+
+  // Telemetry (TaskPoolStats); relaxed atomics, written on paths that
+  // already take the slot mutex or run a task.
+  std::atomic<uint64_t> stat_queued_{0};
+  std::atomic<uint64_t> stat_inline_{0};
+  std::atomic<uint64_t> stat_run_local_{0};
+  std::atomic<uint64_t> stat_stolen_{0};
+  std::atomic<uint64_t> stat_max_depth_{0};
+  obs::TraceRecorder* trace_ = nullptr;
+
   std::vector<std::jthread> workers_;  // last member: dtor joins first
 };
 

@@ -68,6 +68,34 @@ uint32_t AutoTree::Depth() const {
   return depth;
 }
 
+double AutoTree::TotalStepSeconds() const {
+  double total = 0.0;
+  for (const AutoTreeNode& node : nodes_) {
+    total += node.divide_seconds + node.combine_seconds;
+  }
+  return total;
+}
+
+std::vector<uint32_t> AutoTree::SlowestNodes(size_t k) const {
+  std::vector<uint32_t> ids(nodes_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const auto step_seconds = [this](uint32_t id) {
+    return nodes_[id].divide_seconds + nodes_[id].combine_seconds;
+  };
+  if (k > ids.size()) k = ids.size();
+  // Ties broken by id so the answer is deterministic.
+  const auto slower = [&](uint32_t a, uint32_t b) {
+    const float ta = step_seconds(a);
+    const float tb = step_seconds(b);
+    if (ta != tb) return ta > tb;
+    return a < b;
+  };
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<long>(k),
+                    ids.end(), slower);
+  ids.resize(k);
+  return ids;
+}
+
 BigUint AutomorphismOrderFromTree(const AutoTree& tree) {
   BigUint order(1);
   for (uint32_t id = 0; id < tree.NumNodes(); ++id) {

@@ -67,6 +67,16 @@ struct AutoTreeNode {
   // the IR backend, in global vertex ids. Consumed by SSM-AT.
   std::vector<SparseAut> leaf_generators;
 
+  // Build-time observability: wall seconds this node's own divide step and
+  // combine step (CombineST, or the CombineCL leaf IR run) took on
+  // whichever thread built it. Per-step, NOT aggregated over the subtree;
+  // zero for singleton leaves. Transient telemetry — not serialized and
+  // not part of any canonical output.
+  float divide_seconds = 0.0f;
+  float combine_seconds = 0.0f;
+  // Search-tree nodes the leaf IR run visited (non-singleton leaves only).
+  uint64_t leaf_ir_nodes = 0;
+
   bool IsSingleton() const { return vertices.size() == 1; }
 
   // Canonical label of global vertex v, which must belong to this node.
@@ -90,6 +100,14 @@ class AutoTree {
   uint32_t NumNonSingletonLeaves() const;
   double AverageNonSingletonLeafSize() const;
   uint32_t Depth() const;
+
+  // Per-node timing breakdown (observability): sum of every node's own
+  // divide + combine step seconds — the portion of the build CPU time that
+  // is attributed to a specific node — and the ids of the (up to) k nodes
+  // with the largest step time, descending. Useful to answer "which
+  // subproblem dominated the build" without loading a trace.
+  double TotalStepSeconds() const;
+  std::vector<uint32_t> SlowestNodes(size_t k) const;
 
   // Mutable access for the builder (dvicl.cc) and the §6.1 tree extension.
   std::vector<AutoTreeNode>& MutableNodes() { return nodes_; }

@@ -12,6 +12,8 @@
 #include "common/task_pool.h"
 #include "dvicl/combine.h"
 #include "dvicl/divide.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "refine/refiner.h"
 
 namespace dvicl {
@@ -47,19 +49,34 @@ class DviclBuilder {
   DviclResult Run(const Coloring& initial) {
     DviclResult result;
     Stopwatch total;
+    obs::TraceSpan run_span(options_.trace, "dvicl.run");
+    run_span.AddArg("n", graph_.NumVertices());
 
     // Algorithm 1 lines 1-2: equitable refinement and color offsets.
     Stopwatch phase;
-    Coloring pi = initial;
-    RefineToEquitable(graph_, &pi);
-    result.colors = pi.ColorOffsets();
+    const uint64_t root_splitters_before = ThreadRefineSplitters();
+    const uint64_t root_splits_before = ThreadRefineCellSplits();
+    {
+      obs::TraceSpan refine_span(options_.trace, "dvicl.refine_root",
+                                 "refine");
+      Coloring pi = initial;
+      RefineToEquitable(graph_, &pi);
+      result.colors = pi.ColorOffsets();
+    }
     result.stats.refine_seconds = phase.ElapsedSeconds();
+    result.stats.refine_splitters =
+        ThreadRefineSplitters() - root_splitters_before;
+    result.stats.refine_cell_splits =
+        ThreadRefineCellSplits() - root_splits_before;
     colors_ = result.colors;
 
     const unsigned threads = options_.num_threads == 0
                                  ? TaskPool::DefaultThreads()
                                  : options_.num_threads;
-    if (threads > 1) pool_ = std::make_unique<TaskPool>(threads);
+    if (threads > 1) {
+      pool_ = std::make_unique<TaskPool>(threads);
+      pool_->SetTrace(options_.trace);
+    }
     workspaces_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i) {
       workspaces_.emplace_back(graph_.NumVertices());
@@ -69,6 +86,7 @@ class DviclBuilder {
     leaf_options_.max_tree_nodes = options_.leaf_max_tree_nodes;
     leaf_options_.time_limit_seconds = options_.time_limit_seconds;
     leaf_options_.cancel = cancel_.Flag();
+    leaf_options_.trace = options_.trace;
 
     // Root node covers all of G.
     BuildNode root;
@@ -78,11 +96,19 @@ class DviclBuilder {
 
     watch_.Restart();
     BuildSubtree(&root);
+    const TaskPoolStats pool_stats =
+        pool_ != nullptr ? pool_->GetStats() : TaskPoolStats{};
     pool_.reset();  // workers are idle; join them before reading results
 
     result.stats.MergeFrom(merged_);
     result.generators = std::move(root.subtree_generators);
     Flatten(&root, &result.tree);
+
+    // Structure statistics (Tables 3/4); partial when the run aborted.
+    result.stats.autotree_nodes = result.tree.NumNodes();
+    result.stats.singleton_leaves = result.tree.NumSingletonLeaves();
+    result.stats.nonsingleton_leaves = result.tree.NumNonSingletonLeaves();
+    result.stats.depth = result.tree.Depth();
 
     bool completed = !cancel_.Cancelled();
     if (completed && options_.time_limit_seconds > 0.0 &&
@@ -90,6 +116,10 @@ class DviclBuilder {
       completed = false;
     }
     result.completed = completed;
+    result.stats.wall_seconds = total.ElapsedSeconds();
+    if (options_.metrics != nullptr) {
+      ExportMetrics(result.stats, pool_stats, threads, completed);
+    }
     if (!completed) return result;
 
     // Root labels form the canonical labeling of (G, pi).
@@ -111,12 +141,6 @@ class DviclBuilder {
       if (!node.is_leaf) continue;
       for (VertexId v : node.vertices) leaf_of[v] = id;
     }
-
-    // Structure statistics (Tables 3/4).
-    result.stats.autotree_nodes = result.tree.NumNodes();
-    result.stats.singleton_leaves = result.tree.NumSingletonLeaves();
-    result.stats.nonsingleton_leaves = result.tree.NumNonSingletonLeaves();
-    result.stats.depth = result.tree.Depth();
     return result;
   }
 
@@ -158,6 +182,10 @@ class DviclBuilder {
         if (frame.group != nullptr) frame.group->Wait();
         if (cancel_.Cancelled()) continue;
         Stopwatch combine_watch;
+        obs::TraceSpan combine_span(options_.trace, "dvicl.combine_st",
+                                    "combine");
+        combine_span.AddArg("n", b->node.vertices.size());
+        combine_span.AddArg("kids", b->kids.size());
         // Fixed join order: generators of the child subtrees in reverse
         // piece order (matching the legacy stack traversal), then this
         // node's sibling swaps appended by CombineST.
@@ -174,7 +202,9 @@ class DviclBuilder {
         for (const auto& kid : b->kids) child_nodes.push_back(&kid->node);
         CombineST(&b->node, child_nodes, colors_, &b->form_order,
                   &b->subtree_generators);
-        local.combine_seconds += combine_watch.ElapsedSeconds();
+        const double combine_seconds = combine_watch.ElapsedSeconds();
+        local.combine_seconds += combine_seconds;
+        b->node.combine_seconds = static_cast<float>(combine_seconds);
         continue;
       }
 
@@ -194,22 +224,44 @@ class DviclBuilder {
       std::vector<GraphPiece> pieces;
       bool divided = false;
       bool by_s = false;
-      if (options_.enable_divide_i) {
-        divided = DivideI(node.vertices, node.edges, colors_, &ws, &pieces);
+      {
+        obs::TraceSpan divide_span(options_.trace, "dvicl.divide", "divide");
+        divide_span.AddArg("n", node.vertices.size());
+        if (options_.enable_divide_i) {
+          divided = DivideI(node.vertices, node.edges, colors_, &ws, &pieces);
+        }
+        if (!divided && options_.enable_divide_s) {
+          divided =
+              DivideS(node.vertices, &node.edges, colors_, &ws, &pieces);
+          by_s = divided;
+        }
+        divide_span.AddArg("pieces", pieces.size());
       }
-      if (!divided && options_.enable_divide_s) {
-        divided = DivideS(node.vertices, &node.edges, colors_, &ws, &pieces);
-        by_s = divided;
-      }
-      local.divide_seconds += divide_watch.ElapsedSeconds();
+      const double divide_seconds = divide_watch.ElapsedSeconds();
+      local.divide_seconds += divide_seconds;
+      node.divide_seconds = static_cast<float>(divide_seconds);
 
       if (!divided) {
         // Non-singleton leaf: CombineCL via the IR backend.
         node.is_leaf = true;
         Stopwatch combine_watch;
+        obs::TraceSpan leaf_span(options_.trace, "dvicl.combine_cl",
+                                 "combine");
+        leaf_span.AddArg("n", node.vertices.size());
+        const uint64_t ir_nodes_before = local.leaf_ir.tree_nodes;
+        const uint64_t splitters_before = ThreadRefineSplitters();
+        const uint64_t splits_before = ThreadRefineCellSplits();
         const bool ok = CombineCL(&node, colors_, leaf_options_,
                                   &local.leaf_ir);
-        local.combine_seconds += combine_watch.ElapsedSeconds();
+        // The leaf IR search runs entirely on this thread, so the
+        // thread-local refinement counters attribute its work exactly.
+        local.refine_splitters += ThreadRefineSplitters() - splitters_before;
+        local.refine_cell_splits += ThreadRefineCellSplits() - splits_before;
+        node.leaf_ir_nodes = local.leaf_ir.tree_nodes - ir_nodes_before;
+        leaf_span.AddArg("ir_nodes", node.leaf_ir_nodes);
+        const double leaf_seconds = combine_watch.ElapsedSeconds();
+        local.combine_seconds += leaf_seconds;
+        node.combine_seconds = static_cast<float>(leaf_seconds);
         if (!ok) {
           cancel_.Cancel();
           continue;
@@ -269,6 +321,47 @@ class DviclBuilder {
   void MergeStats(const DviclStats& local) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     merged_.MergeFrom(local);
+  }
+
+  // Renders the finished run's statistics into the caller's registry. One
+  // registry typically accumulates several runs (a whole bench table), so
+  // every value is either a monotone counter (Add) or a last-run gauge.
+  void ExportMetrics(const DviclStats& stats, const TaskPoolStats& pool,
+                     unsigned threads, bool completed) const {
+    obs::MetricsRegistry* m = options_.metrics;
+    m->GetCounter("dvicl.runs")->Add(1);
+    if (!completed) m->GetCounter("dvicl.incomplete_runs")->Add(1);
+    m->GetCounter("dvicl.autotree_nodes")->Add(stats.autotree_nodes);
+    m->GetCounter("dvicl.singleton_leaves")->Add(stats.singleton_leaves);
+    m->GetCounter("dvicl.nonsingleton_leaves")
+        ->Add(stats.nonsingleton_leaves);
+    m->GetHistogram("dvicl.tree_depth")->Record(stats.depth);
+    m->GetGauge("dvicl.last_wall_seconds")->Set(stats.wall_seconds);
+    m->GetGauge("dvicl.last_cpu_refine_seconds")->Set(stats.refine_seconds);
+    m->GetGauge("dvicl.last_cpu_divide_seconds")->Set(stats.divide_seconds);
+    m->GetGauge("dvicl.last_cpu_combine_seconds")
+        ->Set(stats.combine_seconds);
+    m->GetGauge("dvicl.last_threads")->Set(threads);
+
+    m->GetCounter("refine.splitters")->Add(stats.refine_splitters);
+    m->GetCounter("refine.cell_splits")->Add(stats.refine_cell_splits);
+
+    m->GetCounter("ir.tree_nodes")->Add(stats.leaf_ir.tree_nodes);
+    m->GetCounter("ir.leaves")->Add(stats.leaf_ir.leaves);
+    m->GetCounter("ir.automorphisms_found")
+        ->Add(stats.leaf_ir.automorphisms_found);
+    m->GetCounter("ir.pruned_nonref")->Add(stats.leaf_ir.pruned_nonref);
+    m->GetCounter("ir.orbit_prunes")->Add(stats.leaf_ir.orbit_prunes);
+    m->GetCounter("ir.backjumps")->Add(stats.leaf_ir.backjumps);
+
+    m->GetCounter("task_pool.tasks_queued")->Add(pool.tasks_queued);
+    m->GetCounter("task_pool.tasks_inline")->Add(pool.tasks_inline);
+    m->GetCounter("task_pool.tasks_run_local")->Add(pool.tasks_run_local);
+    m->GetCounter("task_pool.tasks_stolen")->Add(pool.tasks_stolen);
+    m->GetHistogram("task_pool.max_deque_depth")
+        ->Record(pool.max_deque_depth);
+
+    m->GetGauge("process.peak_rss_mib")->Set(PeakRssMebibytes());
   }
 
   // Assigns global node ids with the deterministic legacy numbering —

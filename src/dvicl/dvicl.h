@@ -12,6 +12,11 @@
 
 namespace dvicl {
 
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace obs
+
 // Options for DviCL (Algorithm 1).
 struct DviclOptions {
   // IR backend used by CombineCL on non-singleton leaves: the "X" of
@@ -43,6 +48,19 @@ struct DviclOptions {
   // task; smaller siblings are built inline by the dividing thread. Purely
   // a granularity knob: results do not depend on it.
   uint32_t parallel_grain_vertices = 32;
+
+  // Observability hooks (src/obs/). When `trace` is non-null the build
+  // records Chrome-trace spans for the root refinement, every node's
+  // divide/combine step, every leaf IR search, and all task-pool activity
+  // (spawn/steal/run), with real thread ids. When `metrics` is non-null
+  // the run exports its counters (stats below, task-pool telemetry, IR
+  // pruning causes, refinement work, peak RSS) into the registry at the
+  // end. Both null (the default) keeps the hot path at one branch per
+  // would-be event; neither affects any canonical output — tracing on and
+  // off produce byte-identical labelings/certificates (guarded by
+  // obs_test).
+  obs::TraceRecorder* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct DviclStats {
@@ -50,15 +68,35 @@ struct DviclStats {
   uint64_t singleton_leaves = 0;
   uint64_t nonsingleton_leaves = 0;
   uint32_t depth = 0;
+
+  // Phase timings are CPU-seconds: per-task stopwatch readings summed
+  // across every thread that worked on the build. On a multi-threaded run
+  // their sum can exceed — and their busiest phase can exceed — the
+  // elapsed time; never present them as wall-clock (that was a
+  // documentation/reporting bug before PR 2: benches printed these under a
+  // plain "seconds" header).
   double refine_seconds = 0.0;
   double divide_seconds = 0.0;
   double combine_seconds = 0.0;
+
+  // Elapsed wall-clock of the whole DviclCanonicalLabeling call, captured
+  // once at the root. This is the number to quote as "how long it took";
+  // the CPU-second phases above tell you where the work went.
+  double wall_seconds = 0.0;
+
+  // Equitable-refinement work performed anywhere in the run (root
+  // refinement plus every leaf IR search), from the per-thread counters in
+  // refine/refiner.h.
+  uint64_t refine_splitters = 0;
+  uint64_t refine_cell_splits = 0;
+
   IrStats leaf_ir;  // aggregated over all CombineCL invocations
 
   // Reduction used by the parallel builder: every task accumulates into a
   // local DviclStats and the locals are merged at the join, so no stats
-  // field is ever mutated concurrently. Counters and phase timings add up
-  // (timings become CPU-seconds across threads); depth takes the max.
+  // field is ever mutated concurrently. Counters and CPU-second phase
+  // timings add up; depth takes the max; wall_seconds is root-owned and
+  // deliberately NOT merged (a task-local wall reading is meaningless).
   void MergeFrom(const DviclStats& other) {
     autotree_nodes += other.autotree_nodes;
     singleton_leaves += other.singleton_leaves;
@@ -67,6 +105,8 @@ struct DviclStats {
     refine_seconds += other.refine_seconds;
     divide_seconds += other.divide_seconds;
     combine_seconds += other.combine_seconds;
+    refine_splitters += other.refine_splitters;
+    refine_cell_splits += other.refine_cell_splits;
     leaf_ir.MergeFrom(other.leaf_ir);
   }
 };

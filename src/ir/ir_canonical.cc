@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 #include "refine/refiner.h"
 
 namespace dvicl {
@@ -40,11 +41,18 @@ class IrSearch {
       : graph_(graph), options_(options), config_(ConfigFor(options.preset)) {}
 
   IrResult Run(const Coloring& initial) {
+    obs::TraceSpan span(options_.trace, "ir.search", "ir");
+    span.AddArg("n", graph_.NumVertices());
+
     Coloring pi = initial;
-    RefineToEquitable(graph_, &pi);
+    {
+      obs::TraceSpan refine_span(options_.trace, "ir.refine_root", "refine");
+      RefineToEquitable(graph_, &pi);
+    }
     colors_ = pi.ColorOffsets();
 
     Explore(pi, /*depth=*/0, /*cmp_with_best=*/0, /*on_ref_path=*/true);
+    span.AddArg("tree_nodes", stats_.tree_nodes);
 
     IrResult result;
     result.completed = !aborted_;
@@ -60,6 +68,10 @@ class IrSearch {
     if (gamma.IsIdentity()) return;
     assert(IsColorPreservingAutomorphism(graph_, colors_, gamma));
     ++stats_.automorphisms_found;
+    if (options_.trace != nullptr) {
+      options_.trace->AddInstant("ir.automorphism", "ir",
+                                 {{"total", stats_.automorphisms_found}});
+    }
     generators_.push_back(std::move(gamma));
   }
 
@@ -118,7 +130,14 @@ class IrSearch {
              current_verts_[diverge] == ref_verts_[diverge]) {
         ++diverge;
       }
-      if (diverge < current_verts_.size()) backjump = diverge;
+      if (diverge < current_verts_.size()) {
+        backjump = diverge;
+        ++stats_.backjumps;
+        if (options_.trace != nullptr) {
+          options_.trace->AddInstant("ir.backjump", "ir",
+                                     {{"to_depth", diverge}});
+        }
+      }
     } else if (cert == best_cert_) {
       AddAutomorphism(gamma.Then(best_labeling_.Inverse()));
     }
@@ -209,6 +228,11 @@ class IrSearch {
                  bool on_ref_path) {
     if (aborted_) return kNoBackjump;
     ++stats_.tree_nodes;
+    // Sampled search-progress track: cheap enough (one event per 1024
+    // nodes) to leave on for the whole run when tracing is enabled.
+    if (options_.trace != nullptr && (stats_.tree_nodes & 0x3ff) == 0) {
+      options_.trace->AddCounter("ir.tree_nodes", stats_.tree_nodes);
+    }
     if (BudgetExceeded()) {
       aborted_ = true;
       return kNoBackjump;
@@ -249,7 +273,10 @@ class IrSearch {
             break;
           }
         }
-        if (redundant) continue;
+        if (redundant) {
+          ++stats_.orbit_prunes;
+          continue;
+        }
         processed.push_back(v);
       }
 
@@ -284,6 +311,7 @@ class IrSearch {
       // off the reference path is pruned.
       if (have_ref_ && !child_on_ref &&
           (options_.automorphisms_only || child_cmp < 0)) {
+        ++stats_.pruned_nonref;
         continue;
       }
 

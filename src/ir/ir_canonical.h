@@ -14,6 +14,10 @@
 
 namespace dvicl {
 
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 // Individualization-refinement canonical labeling (paper §4): a backtrack
 // search tree over colorings, where each edge individualizes one vertex of
 // the target cell and re-refines. The canonical labeling is the extreme
@@ -54,17 +58,35 @@ struct IrOptions {
   // driver uses this to stop sibling leaf runs once one of them exceeded
   // its budget.
   const std::atomic<bool>* cancel = nullptr;
+  // Optional tracing (obs/trace.h): when non-null the run records a span
+  // over the whole search, instant events for discovered automorphisms and
+  // backjumps, and a periodically sampled "ir.tree_nodes" counter track.
+  // Null (the default) costs one branch per would-be event.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct IrStats {
   uint64_t tree_nodes = 0;
   uint64_t leaves = 0;
   uint64_t automorphisms_found = 0;
+  // Why subtrees were NOT explored, by pruning cause (paper §4 operations):
+  // children cut because they can neither contain the canonical leaf nor an
+  // automorphism with the reference leaf (P_A + P_B)...
+  uint64_t pruned_nonref = 0;
+  // ...candidates skipped on the reference path because a discovered
+  // automorphism maps them onto an already-explored sibling (P_C)...
+  uint64_t orbit_prunes = 0;
+  // ...and McKay backjumps taken after an automorphism was found between
+  // the current leaf and the reference leaf.
+  uint64_t backjumps = 0;
 
   void MergeFrom(const IrStats& other) {
     tree_nodes += other.tree_nodes;
     leaves += other.leaves;
     automorphisms_found += other.automorphisms_found;
+    pruned_nonref += other.pruned_nonref;
+    orbit_prunes += other.orbit_prunes;
+    backjumps += other.backjumps;
   }
 };
 

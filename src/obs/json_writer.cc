@@ -1,0 +1,125 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dvicl {
+namespace obs {
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_entry_.empty()) {
+    if (has_entry_.back()) out_.push_back(',');
+    has_entry_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_.push_back('{');
+  has_entry_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  has_entry_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_.push_back('[');
+  has_entry_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  has_entry_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separate();
+  out_.push_back('"');
+  out_ += Escape(key);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Separate();
+  out_.push_back('"');
+  out_ += Escape(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  Separate();
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(value));
+  out_ += buffer;
+}
+
+void JsonWriter::Int(int64_t value) {
+  Separate();
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%lld",
+                static_cast<long long>(value));
+  out_ += buffer;
+}
+
+void JsonWriter::Double(double value) {
+  Separate();
+  if (!std::isfinite(value)) value = 0.0;
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  out_ += buffer;
+}
+
+void JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  Separate();
+  out_ += "null";
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string escaped;
+  escaped.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return escaped;
+}
+
+}  // namespace obs
+}  // namespace dvicl

@@ -1,0 +1,54 @@
+#ifndef DVICL_OBS_JSON_WRITER_H_
+#define DVICL_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dvicl {
+namespace obs {
+
+// Minimal streaming JSON emitter shared by the trace/metrics serializers
+// and the bench harnesses (no external JSON dependency is available
+// offline). The writer tracks container nesting and comma placement; the
+// caller is responsible for a well-formed call sequence (every value inside
+// an object must be preceded by Key). Output is compact (no whitespace)
+// except for an optional newline between top-level array elements, which
+// keeps multi-megabyte trace files diffable and streamable.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  // Non-finite doubles are emitted as 0 (JSON has no NaN/Inf literal).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  const std::string& Str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  // Backslash-escapes quotes, control characters and backslashes.
+  static std::string Escape(std::string_view raw);
+
+ private:
+  // Emits the separating comma before a new value/key when the enclosing
+  // container already has an entry.
+  void Separate();
+
+  std::string out_;
+  std::vector<bool> has_entry_;  // one flag per open container
+  bool after_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace dvicl
+
+#endif  // DVICL_OBS_JSON_WRITER_H_

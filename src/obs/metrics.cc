@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace dvicl {
+namespace obs {
+
+void Histogram::Record(uint64_t value) {
+  const int bucket = value == 0 ? 0 : std::bit_width(value);
+  buckets_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t value = min_.load(std::memory_order_relaxed);
+  return value == UINT64_MAX ? 0 : value;
+}
+
+uint64_t Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    writer.Key(name);
+    writer.Uint(counter->Value());
+  }
+  writer.EndObject();
+  writer.Key("gauges");
+  writer.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    writer.Key(name);
+    writer.Double(gauge->Value());
+  }
+  writer.EndObject();
+  writer.Key("histograms");
+  writer.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    writer.Key(name);
+    writer.BeginObject();
+    writer.Key("count");
+    writer.Uint(histogram->Count());
+    writer.Key("sum");
+    writer.Uint(histogram->Sum());
+    writer.Key("min");
+    writer.Uint(histogram->Min());
+    writer.Key("max");
+    writer.Uint(histogram->Max());
+    writer.Key("log2_buckets");
+    writer.BeginObject();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t count = histogram->BucketCount(i);
+      if (count == 0) continue;
+      writer.Key(std::to_string(i));
+      writer.Uint(count);
+    }
+    writer.EndObject();
+    writer.EndObject();
+  }
+  writer.EndObject();
+  writer.EndObject();
+  return writer.Take();
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[160];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "%-40s %20llu\n", name.c_str(),
+                  static_cast<unsigned long long>(counter->Value()));
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "%-40s %20.6f\n", name.c_str(),
+                  gauge->Value());
+    out += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "%-40s count=%llu sum=%llu min=%llu max=%llu\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(histogram->Count()),
+                  static_cast<unsigned long long>(histogram->Sum()),
+                  static_cast<unsigned long long>(histogram->Min()),
+                  static_cast<unsigned long long>(histogram->Max()));
+    out += line;
+  }
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace dvicl

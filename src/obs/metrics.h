@@ -1,0 +1,99 @@
+#ifndef DVICL_OBS_METRICS_H_
+#define DVICL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dvicl {
+namespace obs {
+
+// Monotone counter. Handles returned by MetricsRegistry are stable for the
+// registry's lifetime, so call sites resolve the name once and then pay a
+// single relaxed atomic add per increment.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins sampled value (e.g. peak RSS, wall seconds).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log2-bucketed histogram of non-negative integer samples (bucket i counts
+// samples whose bit width is i, i.e. values in [2^(i-1), 2^i)). Coarse by
+// design: it answers "what order of magnitude" questions (deque depths,
+// leaf sizes, IR subtree sizes) without per-sample allocation.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Min() const;  // 0 when empty
+  uint64_t Max() const;  // 0 when empty
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Registry of named counters/gauges/histograms, renderable as JSON (for
+// `--metrics=out.json`) and as a human text table. Get* creates on first
+// use and returns a stable pointer; names are conventionally dotted paths
+// ("task_pool.tasks_stolen", "ir.tree_nodes"). All methods are
+// thread-safe; metric mutation through the returned handles is lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
+  // sorted, so two runs of a deterministic workload diff cleanly.
+  std::string ToJson() const;
+
+  // Fixed-width text rendering for terminal output.
+  std::string ToText() const;
+
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; values are internally atomic
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace dvicl
+
+#endif  // DVICL_OBS_METRICS_H_

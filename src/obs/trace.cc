@@ -1,0 +1,192 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace dvicl {
+namespace obs {
+
+namespace {
+
+std::atomic<uint64_t> next_recorder_id{1};
+
+// Last (recorder, buffer) pair this thread appended to. Recorder ids are
+// process-unique and never reused, so a stale cache entry can never alias a
+// newer recorder that happens to occupy the same address.
+struct TlCache {
+  uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlCache tl_cache;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : epoch_(std::chrono::steady_clock::now()),
+      recorder_id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
+  if (tl_cache.recorder_id == recorder_id_) {
+    return static_cast<ThreadBuffer*>(tl_cache.buffer);
+  }
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadBuffer* buffer = nullptr;
+  for (const auto& candidate : buffers_) {
+    if (candidate->thread == self) {
+      buffer = candidate.get();
+      break;
+    }
+  }
+  if (buffer == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffer = buffers_.back().get();
+    buffer->thread = self;
+    buffer->tid = static_cast<uint32_t>(buffers_.size() - 1);
+  }
+  tl_cache = {recorder_id_, buffer};
+  return buffer;
+}
+
+void TraceRecorder::Append(const char* name, const char* category,
+                           char phase, uint64_t ts_us, uint64_t dur_us,
+                           std::initializer_list<Arg> args) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  Event event;
+  event.name = name;
+  event.category = category;
+  event.phase = phase;
+  event.num_args = 0;
+  for (const Arg& arg : args) {
+    if (event.num_args >= 2) break;
+    event.args[event.num_args++] = arg;
+  }
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  buffer->events.push_back(event);
+}
+
+void TraceRecorder::AddComplete(const char* name, const char* category,
+                                uint64_t start_us, uint64_t dur_us,
+                                std::initializer_list<Arg> args) {
+  Append(name, category, 'X', start_us, dur_us, args);
+}
+
+void TraceRecorder::AddInstant(const char* name, const char* category,
+                               std::initializer_list<Arg> args) {
+  Append(name, category, 'i', NowMicros(), 0, args);
+}
+
+void TraceRecorder::AddCounter(const char* name, uint64_t value) {
+  Append(name, "counter", 'C', NowMicros(), value, {});
+}
+
+size_t TraceRecorder::NumThreadsSeen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+uint64_t TraceRecorder::DroppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) dropped += buffer->dropped;
+  return dropped;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("traceEvents");
+  writer.BeginArray();
+  for (const auto& buffer : buffers_) {
+    // Thread-name metadata event so the Perfetto track labels are stable.
+    writer.BeginObject();
+    writer.Key("name");
+    writer.String("thread_name");
+    writer.Key("ph");
+    writer.String("M");
+    writer.Key("pid");
+    writer.Uint(1);
+    writer.Key("tid");
+    writer.Uint(buffer->tid);
+    writer.Key("args");
+    writer.BeginObject();
+    writer.Key("name");
+    writer.String(buffer->tid == 0 ? "owner"
+                                   : "worker-" + std::to_string(buffer->tid));
+    writer.EndObject();
+    writer.EndObject();
+
+    for (const Event& event : buffer->events) {
+      writer.BeginObject();
+      writer.Key("name");
+      writer.String(event.name);
+      writer.Key("cat");
+      writer.String(event.category);
+      writer.Key("ph");
+      writer.String(std::string_view(&event.phase, 1));
+      writer.Key("pid");
+      writer.Uint(1);
+      writer.Key("tid");
+      writer.Uint(buffer->tid);
+      writer.Key("ts");
+      writer.Uint(event.ts_us);
+      if (event.phase == 'X') {
+        writer.Key("dur");
+        writer.Uint(event.dur_us);
+      }
+      if (event.phase == 'C') {
+        // Counter events carry their sample in args; dur_us is the value.
+        writer.Key("args");
+        writer.BeginObject();
+        writer.Key("value");
+        writer.Uint(event.dur_us);
+        writer.EndObject();
+      } else if (event.num_args > 0) {
+        writer.Key("args");
+        writer.BeginObject();
+        for (uint8_t i = 0; i < event.num_args; ++i) {
+          writer.Key(event.args[i].key);
+          writer.Uint(event.args[i].value);
+        }
+        writer.EndObject();
+      }
+      writer.EndObject();
+    }
+  }
+  writer.EndArray();
+  writer.Key("displayTimeUnit");
+  writer.String("ms");
+  writer.Key("otherData");
+  writer.BeginObject();
+  writer.Key("recorder");
+  writer.String("dvicl");
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) dropped += buffer->dropped;
+  writer.Key("dropped_events");
+  writer.Uint(dropped);
+  writer.EndObject();
+  writer.EndObject();
+  return writer.Take();
+}
+
+bool TraceRecorder::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace dvicl

@@ -1,0 +1,163 @@
+#ifndef DVICL_OBS_TRACE_H_
+#define DVICL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dvicl {
+namespace obs {
+
+// Low-overhead structured tracing for the DviCL stack, serialized to the
+// Chrome trace_event JSON format (loadable in chrome://tracing and
+// https://ui.perfetto.dev). The recorder owns one event buffer per
+// recording thread, so the hot path appends to thread-private storage with
+// no lock and no allocation beyond vector growth; the only synchronized
+// operation is the one-time buffer registration per (thread, recorder)
+// pair.
+//
+// Usage convention across the codebase: every tracing call site takes a
+// `TraceRecorder*` that may be null, and a null recorder means tracing is
+// disabled — the call site pays exactly one branch (see TraceSpan). This is
+// how `DviclOptions::trace == nullptr` keeps the non-traced hot path free.
+//
+// Thread-safety: Add* calls may race with each other from any number of
+// threads. Serialization (ToJson / WriteJsonFile / DroppedEvents) must be
+// quiescent — call it only after every traced computation has been joined,
+// which is the natural shape for the bench harnesses (trace during the
+// run, write the file at exit).
+class TraceRecorder {
+ public:
+  // Numeric event argument, rendered into the event's "args" object.
+  // Keys must be string literals (the recorder stores the pointer only).
+  struct Arg {
+    const char* key;
+    uint64_t value;
+  };
+
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Microseconds since recorder construction (steady clock); the time base
+  // of every recorded event.
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // Complete event (phase "X"): a span [start_us, start_us + dur_us) on the
+  // calling thread's track. `name` and `category` must be string literals.
+  void AddComplete(const char* name, const char* category, uint64_t start_us,
+                   uint64_t dur_us, std::initializer_list<Arg> args = {});
+
+  // Instant event (phase "i") at the current time on the calling thread.
+  void AddInstant(const char* name, const char* category,
+                  std::initializer_list<Arg> args = {});
+
+  // Counter event (phase "C"): a sampled value plotted as a track.
+  void AddCounter(const char* name, uint64_t value);
+
+  // Number of distinct threads that have recorded at least one event.
+  size_t NumThreadsSeen() const;
+
+  // Events discarded because a thread buffer reached its cap. Non-zero
+  // means the trace is truncated (reported in the JSON's otherData too).
+  uint64_t DroppedEvents() const;
+
+  // Serializes everything recorded so far as a Chrome trace JSON object
+  // ({"traceEvents": [...], ...}). Requires quiescence (see class comment).
+  std::string ToJson() const;
+
+  // ToJson() to a file; false on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    const char* name;
+    const char* category;
+    char phase;  // 'X', 'i' or 'C'
+    uint8_t num_args;
+    Arg args[2];
+    uint64_t ts_us;
+    uint64_t dur_us;  // 'X' only
+  };
+
+  struct ThreadBuffer {
+    std::thread::id thread;
+    uint32_t tid;  // registration order, the Chrome "tid" field
+    std::vector<Event> events;
+    uint64_t dropped = 0;
+  };
+
+  // Per-thread buffer cap: past it events are counted as dropped rather
+  // than growing without bound (a runaway trace on a huge input would
+  // otherwise dwarf the graph itself).
+  static constexpr size_t kMaxEventsPerThread = 1 << 20;
+
+  ThreadBuffer* BufferForThisThread();
+  void Append(const char* name, const char* category, char phase,
+              uint64_t ts_us, uint64_t dur_us,
+              std::initializer_list<Arg> args);
+
+  const std::chrono::steady_clock::time_point epoch_;
+  const uint64_t recorder_id_;  // process-unique, validates the TL cache
+
+  mutable std::mutex mu_;  // guards buffers_ (the vector, not its contents)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+// RAII span: one Chrome complete event from construction to destruction on
+// the constructing thread. A null recorder makes the whole object a no-op
+// costing one branch per operation — the disabled-tracing hot path.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name,
+            const char* category = "dvicl")
+      : recorder_(recorder), name_(name), category_(category) {
+    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+  }
+
+  ~TraceSpan() {
+    if (recorder_ == nullptr) return;
+    recorder_->AddComplete(
+        name_, category_, start_us_, recorder_->NowMicros() - start_us_,
+        num_args_ == 2 ? std::initializer_list<TraceRecorder::Arg>{args_[0],
+                                                                   args_[1]}
+        : num_args_ == 1
+            ? std::initializer_list<TraceRecorder::Arg>{args_[0]}
+            : std::initializer_list<TraceRecorder::Arg>{});
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Attaches a numeric argument to the event (at most 2; extras are
+  // silently ignored). `key` must be a string literal.
+  void AddArg(const char* key, uint64_t value) {
+    if (recorder_ == nullptr || num_args_ >= 2) return;
+    args_[num_args_++] = {key, value};
+  }
+
+ private:
+  TraceRecorder* const recorder_;
+  const char* const name_;
+  const char* const category_;
+  uint64_t start_us_ = 0;
+  uint8_t num_args_ = 0;
+  TraceRecorder::Arg args_[2] = {};
+};
+
+}  // namespace obs
+}  // namespace dvicl
+
+#endif  // DVICL_OBS_TRACE_H_

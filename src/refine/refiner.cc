@@ -8,6 +8,11 @@ namespace dvicl {
 
 namespace {
 
+// Refinement work counters (see refiner.h): thread-local so the hot loop
+// never synchronizes; each thread observes exactly the work it performed.
+thread_local uint64_t tl_splitters = 0;
+thread_local uint64_t tl_cell_splits = 0;
+
 // Worklist refinement state shared by the two entry points.
 class RefinementRun {
  public:
@@ -35,6 +40,7 @@ class RefinementRun {
 
  private:
   void UseSplitter(VertexId splitter_start) {
+    ++tl_splitters;
     // Snapshot the splitter: splitting may rearrange the very cell we are
     // iterating (a cell can split on counts into itself).
     auto cell = pi_->CellVerticesAt(splitter_start);
@@ -90,6 +96,7 @@ class RefinementRun {
           pi_->SplitCellByTailGroups(cs, counted_pairs_);
       lo = hi;
       if (fragments.size() <= 1) continue;
+      tl_cell_splits += fragments.size() - 1;
 
       if (was_queued) {
         // The queue entry for `cs` now denotes the first fragment; enqueue
@@ -144,6 +151,10 @@ void RefineFrom(const Graph& graph, Coloring* pi,
   for (VertexId start : seed_cell_starts) run.Enqueue(start);
   run.Run();
 }
+
+uint64_t ThreadRefineSplitters() { return tl_splitters; }
+
+uint64_t ThreadRefineCellSplits() { return tl_cell_splits; }
 
 bool IsEquitable(const Graph& graph, const Coloring& pi) {
   const std::vector<VertexId> starts = pi.CellStarts();

@@ -31,6 +31,15 @@ void RefineFrom(const Graph& graph, Coloring* pi,
 // (Vi, Vj) has uniform neighbor counts, the definition in paper §2.
 bool IsEquitable(const Graph& graph, const Coloring& pi);
 
+// Per-thread monotone counters of refinement work, always maintained (a
+// thread-local increment costs nothing measurable, so there is no off
+// switch). Observability consumers snapshot the value before and after a
+// region on the same thread and attribute the delta to that region; the
+// DviCL driver aggregates the deltas into DviclStats::refine_splitters /
+// refine_cell_splits across its build tasks.
+uint64_t ThreadRefineSplitters();   // splitter cells dequeued and applied
+uint64_t ThreadRefineCellSplits();  // new fragments produced by splits
+
 }  // namespace dvicl
 
 #endif  // DVICL_REFINE_REFINER_H_

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace dvicl {
@@ -196,6 +197,71 @@ TEST(TaskPoolTest, StressThousandsOfTasksAcrossRepeatedGroups) {
     group.Wait();
     ASSERT_EQ(count.load(), static_cast<uint64_t>(2000 * (round + 1)));
   }
+}
+
+TEST(TaskPoolTest, StatsIdentitiesHoldAfterJoin) {
+  // The TaskPoolStats accounting identities (see the struct's contract):
+  // every Submit either queued or ran inline, and every queued task was
+  // popped exactly once — locally or by a thief.
+  TaskPool pool(4);
+  constexpr uint64_t kTasks = 3000;  // past the per-slot bound, so both the
+                                     // queued and the inline path are hit
+  std::atomic<uint64_t> count{0};
+  TaskGroup group(&pool);
+  for (uint64_t i = 0; i < kTasks; ++i) {
+    group.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();
+  ASSERT_EQ(count.load(), kTasks);
+
+  const TaskPoolStats stats = pool.GetStats();
+  EXPECT_EQ(stats.tasks_queued + stats.tasks_inline, kTasks);
+  EXPECT_EQ(stats.tasks_run_local + stats.tasks_stolen, stats.tasks_queued);
+  EXPECT_GE(stats.max_deque_depth, 1u);
+  EXPECT_LE(stats.max_deque_depth, 1024u);  // the per-slot bound
+}
+
+TEST(TaskPoolTest, SingleThreadPoolNeverSteals) {
+  // With one slot there is nobody to steal: every queued task is popped by
+  // the owner inside Wait.
+  TaskPool pool(1);
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 100; ++i) {
+    group.Submit([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  ASSERT_EQ(count.load(), 100);
+
+  const TaskPoolStats stats = pool.GetStats();
+  EXPECT_EQ(stats.tasks_stolen, 0u);
+  EXPECT_EQ(stats.tasks_queued, 100u);
+  EXPECT_EQ(stats.tasks_run_local, 100u);
+  EXPECT_EQ(stats.tasks_inline, 0u);
+}
+
+TEST(TaskPoolTest, EveryTaskIsStolenWhenTheOwnerNeverHelps) {
+  // The owner submits into its own deque and then only sleep-polls — it
+  // never calls Wait, so it never pops. The workers are the only possible
+  // consumers, hence every single task must be counted as stolen. This
+  // pins the steal counter deterministically (no racy >= bound).
+  TaskPool pool(4);
+  constexpr uint64_t kTasks = 64;  // well under the deque bound: no inline
+  std::atomic<uint64_t> done{0};
+  TaskGroup group(&pool);
+  for (uint64_t i = 0; i < kTasks; ++i) {
+    group.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  while (done.load(std::memory_order_relaxed) < kTasks) {
+    std::this_thread::yield();
+  }
+  group.Wait();  // settles group accounting; nothing left to run
+
+  const TaskPoolStats stats = pool.GetStats();
+  EXPECT_EQ(stats.tasks_queued, kTasks);
+  EXPECT_EQ(stats.tasks_inline, 0u);
+  EXPECT_EQ(stats.tasks_stolen, kTasks);
+  EXPECT_EQ(stats.tasks_run_local, 0u);
 }
 
 TEST(TaskPoolTest, DestructorJoinsOutstandingTasks) {
