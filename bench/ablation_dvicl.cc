@@ -4,11 +4,18 @@
 //  - no divides (degenerates to one IR run on the whole graph),
 //  - §6.1 structural-equivalence simplification on top of full DviCL.
 // Run on a subset of the real suite; times in seconds, '-' = budget hit.
+//
+// A second section ablates the canonical-form cache (DESIGN.md §8) on
+// gadget forests — disjoint unions of identical Miyazaki-like components,
+// whose leaf subproblems all lower to the same local colored graph — and
+// reports cache-off vs cache-on times plus the verified hit rate.
+// `--cert-cache` additionally enables the cache for the main table above.
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "datasets/generators.h"
 #include "datasets/real_suite.h"
 #include "dvicl/dvicl.h"
 #include "dvicl/simplify.h"
@@ -18,6 +25,64 @@ namespace {
 
 std::string Timed(bool completed, double seconds) {
   return completed ? bench::FormatDouble(seconds, 3) : "-";
+}
+
+// Cert-cache ablation on gadget forests: with the cache off every one of
+// the `copies` identical components pays its own IR search; with it on,
+// the first search is memoized and every later leaf is a verified hit.
+void RunCertCacheAblation(bench::BenchReporter& reporter, double time_limit) {
+  std::printf("\nCert-cache ablation: gadget forests (identical "
+              "Miyazaki-like components)\n\n");
+  bench::TablePrinter table({10, 10, 14, 14, 10, 10, 10});
+  table.Row({"copies", "n", "cache-off(s)", "cache-on(s)", "hits", "misses",
+             "hit-rate"});
+  table.Rule();
+
+  for (uint32_t copies : {4u, 8u, 16u}) {
+    const Graph g = GadgetForestGraph(copies, 8);
+    const Coloring unit = Coloring::Unit(g.NumVertices());
+
+    DviclOptions off = reporter.Options();
+    off.time_limit_seconds = time_limit;
+    off.cert_cache = false;
+    Stopwatch w_off;
+    DviclResult r_off = DviclCanonicalLabeling(g, unit, off);
+    const double t_off = w_off.ElapsedSeconds();
+
+    DviclOptions on = off;
+    on.cert_cache = true;
+    Stopwatch w_on;
+    DviclResult r_on = DviclCanonicalLabeling(g, unit, on);
+    const double t_on = w_on.ElapsedSeconds();
+
+    const uint64_t hits = r_on.stats.cert_cache.hits;
+    const uint64_t misses = r_on.stats.cert_cache.misses;
+    const double hit_rate =
+        hits + misses > 0 ? static_cast<double>(hits) / (hits + misses) : 0.0;
+
+    reporter.BeginRecord();
+    reporter.Field("section", "cert_cache_forest");
+    reporter.Field("copies", static_cast<uint64_t>(copies));
+    reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
+    reporter.Field("cache_off_completed", r_off.completed);
+    reporter.Field("cache_off_seconds", t_off);
+    reporter.Field("cache_on_completed", r_on.completed);
+    reporter.Field("cache_on_seconds", t_on);
+    reporter.Field("cert_cache_hits", hits);
+    reporter.Field("cert_cache_misses", misses);
+    reporter.Field("cert_cache_collisions", r_on.stats.cert_cache.collisions);
+    reporter.Field("cert_cache_hit_rate", hit_rate);
+    reporter.Field("certificates_equal",
+                   r_off.completed && r_on.completed &&
+                       r_off.certificate == r_on.certificate);
+    reporter.EndRecord();
+
+    table.Row({std::to_string(copies), std::to_string(g.NumVertices()),
+               Timed(r_off.completed, t_off), Timed(r_on.completed, t_on),
+               std::to_string(hits), std::to_string(misses),
+               bench::FormatDouble(hit_rate * 100.0, 1) + "%"});
+    std::fflush(stdout);
+  }
 }
 
 void Run(int argc, char** argv) {
@@ -77,6 +142,8 @@ void Run(int argc, char** argv) {
                Timed(r_simpl.completed, t_simpl)});
     std::fflush(stdout);
   }
+
+  RunCertCacheAblation(reporter, time_limit);
 }
 
 }  // namespace

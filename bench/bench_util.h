@@ -27,6 +27,8 @@ namespace bench {
 //   DVICL_BENCH_JSON: "0" disables the BENCH_<name>.json result file.
 // Command-line flags (see BenchReporter):
 //   --threads=N      thread count for the DviCL AutoTree build
+//   --cert-cache     enable the canonical-form cache for leaf subproblems
+//                    (also --cert-cache=1; --cert-cache=0 is the default)
 //   --trace=out.json Chrome-trace recording of the whole bench run
 //   --metrics=out.json metrics registry dump (plus a text table on stdout)
 inline double ScaleFromEnv() {
@@ -53,6 +55,23 @@ inline std::string FlagFromArgs(int argc, char** argv, const char* flag) {
     }
   }
   return std::string();
+}
+
+// True when `--<prefix>` appears bare (no '=') on the command line.
+inline bool BareFlagFromArgs(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+// Canonical-form cache toggle (DviclOptions::cert_cache): `--cert-cache`
+// or `--cert-cache=1` enables it, default off. The library-level
+// DVICL_CERT_CACHE=1 override applies to benches too.
+inline bool CertCacheFromArgs(int argc, char** argv) {
+  if (BareFlagFromArgs(argc, argv, "--cert-cache")) return true;
+  const std::string value = FlagFromArgs(argc, argv, "--cert-cache");
+  return !value.empty() && value[0] == '1';
 }
 
 // Thread count for the parallel AutoTree build (DviclOptions::num_threads):
@@ -113,7 +132,9 @@ inline std::string FormatDouble(double value, int decimals = 2) {
 class BenchReporter {
  public:
   BenchReporter(std::string name, int argc, char** argv)
-      : name_(std::move(name)), threads_(ThreadsFromArgs(argc, argv)) {
+      : name_(std::move(name)),
+        threads_(ThreadsFromArgs(argc, argv)),
+        cert_cache_(CertCacheFromArgs(argc, argv)) {
     const char* json_env = std::getenv("DVICL_BENCH_JSON");
     json_enabled_ = json_env == nullptr || json_env[0] != '0';
     trace_path_ = FlagFromArgs(argc, argv, "--trace");
@@ -129,6 +150,8 @@ class BenchReporter {
     writer_.String(name_);
     writer_.Key("threads");
     writer_.Uint(threads_);
+    writer_.Key("cert_cache");
+    writer_.Bool(cert_cache_);
     writer_.Key("scale");
     writer_.Double(ScaleFromEnv());
     writer_.Key("benchmark_scale");
@@ -145,6 +168,7 @@ class BenchReporter {
   BenchReporter& operator=(const BenchReporter&) = delete;
 
   unsigned Threads() const { return threads_; }
+  bool CertCacheEnabled() const { return cert_cache_; }
   // Null when the corresponding flag was not given — exactly the shape
   // DviclOptions::trace / ::metrics and IrOptions::trace expect.
   obs::TraceRecorder* Trace() const { return trace_.get(); }
@@ -154,6 +178,7 @@ class BenchReporter {
   DviclOptions Options() const {
     DviclOptions options;
     options.num_threads = threads_;
+    options.cert_cache = cert_cache_;
     options.trace = trace_.get();
     options.metrics = metrics_.get();
     return options;
@@ -201,6 +226,9 @@ class BenchReporter {
     Field("refine_splitters", stats.refine_splitters);
     Field("ir_tree_nodes", stats.leaf_ir.tree_nodes);
     Field("ir_automorphisms", stats.leaf_ir.automorphisms_found);
+    Field("cert_cache_hits", stats.cert_cache.hits);
+    Field("cert_cache_misses", stats.cert_cache.misses);
+    Field("cert_cache_collisions", stats.cert_cache.collisions);
   }
 
   // Writes all configured outputs. Idempotent; also invoked by the dtor.
@@ -241,6 +269,7 @@ class BenchReporter {
 
   std::string name_;
   unsigned threads_;
+  bool cert_cache_ = false;
   bool json_enabled_ = true;
   bool finished_ = false;
   std::string trace_path_;

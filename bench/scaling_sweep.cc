@@ -8,7 +8,9 @@
 // build. The second section sweeps a component forest — a disjoint union of
 // Miyazaki-like gadget graphs, which the divide step splits into many
 // independent sibling subtrees — the shape where extra threads pay off
-// most.
+// most. `--cert-cache` additionally enables the canonical-form cache, which
+// collapses the forest's identical leaf subproblems into one IR search
+// (see bench/ablation_dvicl.cc for the dedicated off-vs-on comparison).
 //
 // `--trace=out.json` records a Chrome trace of the whole sweep (root
 // refinement, divide/combine spans, leaf IR searches, task-pool
@@ -32,23 +34,6 @@ Graph SocialGraph(VertexId n) {
   Graph g = PreferentialAttachmentGraph(n, 5, 4242);
   g = WithTwins(g, 0.08, 4243);
   return WithPendantPaths(g, 0.05, 3, 4244);
-}
-
-// Disjoint union of `copies` Miyazaki-like graphs: every component becomes
-// its own AutoTree sibling subtree, so the parallel build has `copies`
-// independent tasks of equal cost.
-Graph GadgetForest(uint32_t copies, uint32_t rungs) {
-  const Graph proto = MiyazakiLikeGraph(rungs);
-  const VertexId stride = proto.NumVertices();
-  std::vector<Edge> edges;
-  edges.reserve(static_cast<size_t>(proto.NumEdges()) * copies);
-  for (uint32_t c = 0; c < copies; ++c) {
-    const VertexId offset = c * stride;
-    for (const Edge& e : proto.Edges()) {
-      edges.emplace_back(e.first + offset, e.second + offset);
-    }
-  }
-  return Graph::FromEdges(stride * copies, std::move(edges));
 }
 
 void SweepSocial(bench::BenchReporter& reporter, double budget) {
@@ -114,7 +99,7 @@ void SweepForest(bench::BenchReporter& reporter, double budget) {
   table.Rule();
 
   for (uint32_t copies : {8u, 16u, 32u, 64u}) {
-    Graph g = GadgetForest(copies, 12);
+    Graph g = GadgetForestGraph(copies, 12);
 
     DviclOptions options = reporter.Options();
     options.leaf_backend = IrPreset::kBlissLike;

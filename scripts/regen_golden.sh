@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates the golden-certificate corpus in tests/golden/.
+#
+# This is the ONLY sanctioned way to rewrite the corpus: golden_cert_test
+# refuses to self-bless and fails on any byte drift, so an intentional
+# canonical-form change must run this script and commit the diff (with the
+# justification in the commit message). Usage:
+#
+#   scripts/regen_golden.sh [build-dir]
+#
+# The build directory defaults to ./build (created if absent).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" --target golden_cert_test -j"$(nproc)" >/dev/null
+
+DVICL_REGEN_GOLDEN=1 "$BUILD_DIR/tests/golden_cert_test" \
+    --gtest_filter='*MatchesGoldenBytes*'
+
+echo
+echo "Corpus regenerated. Review the diff before committing:"
+git --no-pager diff --stat -- tests/golden || true

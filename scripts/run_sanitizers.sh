@@ -3,10 +3,12 @@
 #
 #   scripts/run_sanitizers.sh [tsan|asan|all]   (default: all)
 #
-# tsan: builds with -DDVICL_SANITIZE=thread and runs the two parallel test
-#       binaries (task_pool_test, parallel_determinism_test) under
-#       ThreadSanitizer. This is the data-race gate for src/common/task_pool
-#       and the parallel DviCL driver.
+# tsan: builds with -DDVICL_SANITIZE=thread and runs the parallel test
+#       binaries (task_pool_test, parallel_determinism_test, cert_cache_test)
+#       under ThreadSanitizer. This is the data-race gate for
+#       src/common/task_pool, the parallel DviCL driver and the sharded
+#       canonical-form cache (concurrent lookup/insert/evict plus a shared
+#       cache across simultaneous DviCL runs).
 # asan: builds with -DDVICL_SANITIZE=address (AddressSanitizer + UBSan, the
 #       usual CI pairing) and runs the full ctest suite.
 #
@@ -19,11 +21,14 @@ cd "$(dirname "$0")/.."
 mode="${1:-all}"
 
 run_tsan() {
-  echo "=== ThreadSanitizer: task_pool_test + parallel_determinism_test ==="
+  echo "=== ThreadSanitizer: task_pool_test + parallel_determinism_test" \
+       "+ cert_cache_test ==="
   cmake -B build-tsan -S . -DDVICL_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j --target task_pool_test parallel_determinism_test
+  cmake --build build-tsan -j \
+      --target task_pool_test parallel_determinism_test cert_cache_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/task_pool_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cert_cache_test
 }
 
 run_asan() {

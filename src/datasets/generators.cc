@@ -459,4 +459,18 @@ Graph CircuitLikeGraph(uint32_t inputs, uint32_t gates, uint64_t seed) {
   return Graph::FromEdges(n, std::move(edges));
 }
 
+Graph GadgetForestGraph(uint32_t copies, uint32_t rungs) {
+  const Graph proto = MiyazakiLikeGraph(rungs);
+  const VertexId stride = proto.NumVertices();
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(proto.NumEdges()) * copies);
+  for (uint32_t c = 0; c < copies; ++c) {
+    const VertexId offset = c * stride;
+    for (const Edge& e : proto.Edges()) {
+      edges.emplace_back(e.first + offset, e.second + offset);
+    }
+  }
+  return Graph::FromEdges(stride * copies, std::move(edges));
+}
+
 }  // namespace dvicl

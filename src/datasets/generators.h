@@ -107,6 +107,14 @@ Graph AffinePlaneGraph(uint32_t q);
 // CNF sources are not redistributable.
 Graph CircuitLikeGraph(uint32_t inputs, uint32_t gates, uint64_t seed);
 
+// Disjoint union of `copies` Miyazaki-like graphs (vertex ids offset per
+// copy): every component becomes its own AutoTree sibling subtree, which
+// makes this the canonical workload for the parallel build (independent
+// equal-cost tasks) AND for the canonical-form cache (all copies lower to
+// the identical local colored subproblem, so every leaf after the first
+// copy's is a verified cache hit).
+Graph GadgetForestGraph(uint32_t copies, uint32_t rungs);
+
 }  // namespace dvicl
 
 #endif  // DVICL_DATASETS_GENERATORS_H_

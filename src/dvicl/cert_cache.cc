@@ -1,0 +1,182 @@
+#include "dvicl/cert_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "refine/coloring.h"
+#include "refine/refiner.h"
+
+namespace dvicl {
+
+namespace {
+
+inline uint64_t MixHash(uint64_t h, uint64_t value) {
+  h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint32_t RoundUpToPowerOfTwo(uint32_t value) {
+  uint32_t result = 1;
+  while (result < value && result < (1u << 16)) result <<= 1;
+  return result;
+}
+
+}  // namespace
+
+uint64_t CachedLeaf::ApproxBytes() const {
+  uint64_t bytes = sizeof(CachedLeaf);
+  bytes += edges.capacity() * sizeof(Edge);
+  bytes += colors.capacity() * sizeof(uint32_t);
+  bytes += canonical_images.capacity() * sizeof(VertexId);
+  bytes += generator_moves.capacity() *
+           sizeof(std::vector<std::pair<VertexId, VertexId>>);
+  for (const auto& moves : generator_moves) {
+    bytes += moves.capacity() * sizeof(std::pair<VertexId, VertexId>);
+  }
+  return bytes;
+}
+
+CertCache::CertCache(const CertCacheConfig& config) : config_(config) {
+  const uint32_t shards = RoundUpToPowerOfTwo(std::max(config.shards, 1u));
+  uint32_t log2 = 0;
+  while ((1u << log2) < shards) ++log2;
+  shard_shift_ = 64 - log2;  // == 64 (identity shard) only when shards == 1
+  shards_ = std::vector<Shard>(shards);
+}
+
+uint64_t CertCache::KeyOf(const Graph& local_graph,
+                          std::span<const uint32_t> local_colors) {
+  uint64_t h = 0x100001b3ull;
+  h = MixHash(h, local_graph.NumVertices());
+  h = MixHash(h, local_graph.NumEdges());
+
+  // Sorted (color, degree) profile: invariant under any relabeling that
+  // preserves colors, cheap to compute, and already separates most
+  // non-isomorphic pairs before the refinement-based component runs.
+  std::vector<uint64_t> profile;
+  profile.reserve(local_graph.NumVertices());
+  for (VertexId v = 0; v < local_graph.NumVertices(); ++v) {
+    profile.push_back((static_cast<uint64_t>(local_colors[v]) << 32) |
+                      local_graph.Degree(v));
+  }
+  std::sort(profile.begin(), profile.end());
+  for (uint64_t value : profile) h = MixHash(h, value);
+
+  // Refine-trace component: cell structure + quotient matrix of the
+  // coarsest equitable refinement, with the refiner's isomorphism-invariant
+  // cell order (refine/refiner.h).
+  h = MixHash(h, EquitableSignatureHash(local_graph,
+                                        Coloring::FromLabels(local_colors)));
+  return h;
+}
+
+bool CertCache::Verifies(const CachedLeaf& leaf, const Graph& local_graph,
+                         std::span<const uint32_t> local_colors) {
+  return leaf.num_vertices == local_graph.NumVertices() &&
+         leaf.edges == local_graph.Edges() &&
+         leaf.colors.size() == local_colors.size() &&
+         std::equal(leaf.colors.begin(), leaf.colors.end(),
+                    local_colors.begin());
+}
+
+std::shared_ptr<const CachedLeaf> CertCache::Lookup(
+    uint64_t key, const Graph& local_graph,
+    std::span<const uint32_t> local_colors) {
+  Shard& shard = ShardFor(key);
+  uint64_t rejected = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto bucket = shard.index.find(key);
+    if (bucket != shard.index.end()) {
+      for (auto it : bucket->second) {
+        if (Verifies(*it->leaf, local_graph, local_colors)) {
+          shard.lru.splice(shard.lru.begin(), shard.lru, it);
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          if (rejected != 0) {
+            collisions_.fetch_add(rejected, std::memory_order_relaxed);
+          }
+          return it->leaf;
+        }
+        ++rejected;
+      }
+    }
+  }
+  if (rejected != 0) {
+    collisions_.fetch_add(rejected, std::memory_order_relaxed);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void CertCache::Insert(uint64_t key, CachedLeaf leaf) {
+  Shard& shard = ShardFor(key);
+  auto owned = std::make_shared<const CachedLeaf>(std::move(leaf));
+  const uint64_t bytes = owned->ApproxBytes();
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto bucket = shard.index.find(key);
+  if (bucket != shard.index.end()) {
+    // First-writer-wins: if any established entry stores the same colored
+    // graph, keep it and drop this insert, so every reader composes with
+    // the SAME published result. Stored edge lists are canonical
+    // (Graph::Edges() form), so direct field comparison is exact.
+    for (auto it : bucket->second) {
+      if (it->leaf->num_vertices == owned->num_vertices &&
+          it->leaf->edges == owned->edges &&
+          it->leaf->colors == owned->colors) {
+        return;
+      }
+    }
+  }
+  shard.lru.push_front(Entry{key, bytes, std::move(owned)});
+  shard.index[key].push_back(shard.lru.begin());
+  shard.bytes += bytes;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  EvictOverBudgetLocked(&shard);
+}
+
+void CertCache::EvictOverBudgetLocked(Shard* shard) {
+  // Budgets are enforced per shard so eviction never takes two locks; a
+  // shard's slice is its fair share of the global budget (at least one
+  // entry, so the most recent insert always survives).
+  const uint64_t shard_count = shards_.size();
+  const uint64_t max_entries =
+      config_.max_entries == 0
+          ? 0
+          : std::max<uint64_t>(1, config_.max_entries / shard_count);
+  const uint64_t max_bytes =
+      config_.max_bytes == 0
+          ? 0
+          : std::max<uint64_t>(1, config_.max_bytes / shard_count);
+
+  while (shard->lru.size() > 1 &&
+         ((max_entries != 0 && shard->lru.size() > max_entries) ||
+          (max_bytes != 0 && shard->bytes > max_bytes))) {
+    const Entry& victim = shard->lru.back();
+    auto bucket = shard->index.find(victim.key);
+    auto& entries = bucket->second;
+    auto last = std::prev(shard->lru.end());
+    entries.erase(std::find(entries.begin(), entries.end(), last));
+    if (entries.empty()) shard->index.erase(bucket);
+    shard->bytes -= victim.bytes;
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CertCacheStats CertCache::Stats() const {
+  CertCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.collisions = collisions_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    stats.entries += shard.lru.size();
+    stats.bytes += shard.bytes;
+  }
+  return stats;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,161 @@
+#ifndef DVICL_DVICL_CERT_CACHE_H_
+#define DVICL_DVICL_CERT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dvicl {
+
+// Canonical-form cache for AutoTree leaf subproblems.
+//
+// DviCL's divide step repeatedly produces vertex-induced colored subgraphs
+// that are isomorphic to each other: the components of a gadget forest, the
+// symmetric "wings" hanging off an axis, repeated motifs in the benchmark
+// families. Every such subproblem reaches CombineCL as a LOCAL colored
+// graph — vertices relabeled to 0..k-1 in sorted-global order, colors
+// projected from the root equitable coloring — and two symmetric
+// subproblems lower to the IDENTICAL local colored graph (the lowering is
+// canonical, and the root coloring cannot distinguish symmetric copies).
+// The cache exploits exactly that: it memoizes the leaf IR search keyed by
+// an isomorphism-invariant structural key and reuses a stored result only
+// after verifying that the stored local colored graph is byte-identical to
+// the probe. On a verified hit the leaf's canonical labeling and
+// automorphism generators are reconstructed by composing the cached local
+// result with the leaf's local->global vertex correspondence — no IR
+// search. On a key match whose verification fails (a hash collision, e.g.
+// a CFI-style near-miss with the same refinement trace) the leaf falls
+// back to the normal IR path; a false hit is thus impossible by
+// construction, not by luck.
+//
+// Determinism: reuse requires exact input equality and the IR backend is
+// deterministic, so a hit returns bit-for-bit the labels and generators
+// the IR search would have produced. Publication is first-writer-wins:
+// when two threads race on the same subproblem both run the IR search,
+// one entry wins, and every later reader sees that entry — but since all
+// racers computed identical results, the canonical output is independent
+// of thread count and scheduling. Only the telemetry (hit/miss counts)
+// may vary between runs.
+//
+// Thread-safety: all methods may be called concurrently. The cache is
+// sharded by key; each shard is guarded by its own mutex and no lock is
+// held while the caller runs an IR search. Entries are handed out as
+// shared_ptr so a concurrent LRU eviction never invalidates a result a
+// reader is still consuming.
+struct CertCacheConfig {
+  // Maximum number of cached leaves across all shards (0 = unlimited).
+  uint64_t max_entries = 1ull << 16;
+  // Approximate byte budget across all shards (0 = unlimited). Entries are
+  // evicted least-recently-used per shard once either budget is exceeded.
+  uint64_t max_bytes = 64ull << 20;
+  // Number of independent LRU shards (rounded up to at least 1). More
+  // shards = less lock contention, slightly less exact global LRU.
+  uint32_t shards = 16;
+};
+
+// Monotone counters plus current occupancy. Exported as the
+// cert_cache.{hits,misses,collisions,evictions,bytes} metrics and surfaced
+// per-run (as deltas) in DviclStats.
+struct CertCacheStats {
+  uint64_t hits = 0;        // verified reuse, IR search skipped
+  uint64_t misses = 0;      // no reusable entry (includes collisions)
+  uint64_t collisions = 0;  // key matched, exact verification rejected
+  uint64_t insertions = 0;  // entries published (first writer only)
+  uint64_t evictions = 0;   // entries dropped by LRU budget enforcement
+  uint64_t entries = 0;     // current entry count
+  uint64_t bytes = 0;       // current approximate footprint
+};
+
+// One memoized leaf subproblem: the exact local colored graph (for
+// verification) and the IR result needed to reconstruct the leaf labeling
+// (canonical images) and its automorphism generators (local moved points,
+// in discovery order).
+struct CachedLeaf {
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;       // canonical form (Graph::Edges())
+  std::vector<uint32_t> colors;  // local color offsets, per local vertex
+
+  std::vector<VertexId> canonical_images;  // local gamma*: id -> position
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> generator_moves;
+
+  uint64_t ApproxBytes() const;
+};
+
+class CertCache {
+ public:
+  explicit CertCache(const CertCacheConfig& config = {});
+
+  CertCache(const CertCache&) = delete;
+  CertCache& operator=(const CertCache&) = delete;
+
+  // Isomorphism-invariant structural key of a local colored graph:
+  // (n, m, sorted (color, degree) profile, refine-trace hash from
+  // refine/refiner.h). Isomorphic local colored graphs always produce the
+  // same key; the converse is deliberately NOT promised — equal keys are
+  // resolved by exact verification inside Lookup.
+  static uint64_t KeyOf(const Graph& local_graph,
+                        std::span<const uint32_t> local_colors);
+
+  // Verified lookup: returns an entry whose stored colored graph is
+  // byte-identical to (local_graph, local_colors), or null. Records one
+  // hit, or one miss (plus one collision per key-equal entry that failed
+  // verification). A returned entry is immutable and safe to use after
+  // any concurrent eviction.
+  std::shared_ptr<const CachedLeaf> Lookup(
+      uint64_t key, const Graph& local_graph,
+      std::span<const uint32_t> local_colors);
+
+  // First-writer-wins publication: if an entry verifying equal to `leaf`
+  // already exists, the call is a no-op (the established entry stays);
+  // otherwise the entry is published and LRU eviction enforces the
+  // configured budgets.
+  void Insert(uint64_t key, CachedLeaf leaf);
+
+  CertCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t bytes = 0;
+    std::shared_ptr<const CachedLeaf> leaf;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    // key -> all entries with that key (usually 1; >1 only on collisions).
+    std::unordered_map<uint64_t, std::vector<std::list<Entry>::iterator>>
+        index;
+    uint64_t bytes = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    // Multiply-shift so keys that differ only in high bits still spread.
+    if (shards_.size() == 1) return shards_[0];
+    return shards_[(key * 0x9e3779b97f4a7c15ull) >> shard_shift_];
+  }
+  void EvictOverBudgetLocked(Shard* shard);
+
+  static bool Verifies(const CachedLeaf& leaf, const Graph& local_graph,
+                       std::span<const uint32_t> local_colors);
+
+  CertCacheConfig config_;
+  uint32_t shard_shift_ = 0;
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> collisions_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_DVICL_CERT_CACHE_H_

@@ -4,7 +4,9 @@
 #include <array>
 #include <cassert>
 #include <unordered_map>
+#include <utility>
 
+#include "obs/trace.h"
 #include "refine/coloring.h"
 
 namespace dvicl {
@@ -72,8 +74,51 @@ NodeForm ComputeNodeForm(const AutoTreeNode& node) {
   return form;
 }
 
+// Shared tail of the two CombineCL paths (fresh IR run vs verified cache
+// hit), operating on the leaf's LOCAL canonical images so both paths
+// produce bit-identical labels.
+// Order: (color, gamma* position) — Algorithm 4 line 3.
+void AssignLeafLabelsFromImages(AutoTreeNode* node,
+                                std::span<const uint32_t> colors,
+                                std::span<const VertexId> local_images) {
+  const size_t k = node->vertices.size();
+  std::vector<std::pair<uint64_t, VertexId>> keyed;
+  keyed.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const VertexId v = node->vertices[i];
+    keyed.emplace_back(
+        (static_cast<uint64_t>(colors[v]) << 32) | local_images[i], v);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<VertexId> sorted;
+  sorted.reserve(k);
+  for (const auto& [key, v] : keyed) sorted.push_back(v);
+  AssignLabelsFromSortedVertices(node, colors, sorted);
+}
+
+// Lifts local automorphism generators (moved points on 0..k-1, discovery
+// order) to global sparse automorphisms via the leaf's sorted vertex list.
+void LiftLeafGenerators(
+    AutoTreeNode* node,
+    std::span<const std::vector<std::pair<VertexId, VertexId>>> local_moves) {
+  node->leaf_generators.clear();
+  node->leaf_generators.reserve(local_moves.size());
+  for (const auto& moves : local_moves) {
+    SparseAut lifted;
+    lifted.moves.reserve(moves.size());
+    for (const auto& [local, image] : moves) {
+      lifted.moves.emplace_back(node->vertices[local],
+                                node->vertices[image]);
+    }
+    if (!lifted.IsIdentity()) {
+      node->leaf_generators.push_back(std::move(lifted));
+    }
+  }
+}
+
 bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
-               const IrOptions& leaf_options, IrStats* aggregate_stats) {
+               const IrOptions& leaf_options, IrStats* aggregate_stats,
+               CertCache* cache) {
   const size_t k = node->vertices.size();
   assert(k >= 2);
 
@@ -94,41 +139,57 @@ bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
 
   std::vector<uint32_t> local_colors(k);
   for (size_t i = 0; i < k; ++i) local_colors[i] = colors[node->vertices[i]];
-  Coloring local_coloring = Coloring::FromLabels(local_colors);
 
+  uint64_t cache_key = 0;
+  if (cache != nullptr) {
+    obs::TraceSpan probe_span(leaf_options.trace, "cert_cache.probe",
+                              "cache");
+    probe_span.AddArg("n", k);
+    cache_key = CertCache::KeyOf(local_graph, local_colors);
+    if (std::shared_ptr<const CachedLeaf> hit =
+            cache->Lookup(cache_key, local_graph, local_colors)) {
+      probe_span.AddArg("hit", 1);
+      // Verified reuse: the cached entry's input equals this leaf's local
+      // colored graph exactly, and the IR backend is deterministic, so
+      // composing the cached local result with the local->global vertex
+      // correspondence reproduces the search's output bit for bit.
+      AssignLeafLabelsFromImages(node, colors, hit->canonical_images);
+      LiftLeafGenerators(node, hit->generator_moves);
+      return true;
+    }
+    probe_span.AddArg("hit", 0);
+  }
+
+  Coloring local_coloring = Coloring::FromLabels(local_colors);
   IrResult ir = IrCanonicalLabeling(local_graph, local_coloring, leaf_options);
   if (aggregate_stats != nullptr) aggregate_stats->MergeFrom(ir.stats);
   if (!ir.completed) return false;
 
-  // Order: (color, gamma* position) — Algorithm 4 line 3.
-  std::vector<std::pair<uint64_t, VertexId>> keyed;
-  keyed.reserve(k);
+  std::vector<VertexId> local_images(k);
   for (size_t i = 0; i < k; ++i) {
-    const VertexId v = node->vertices[i];
-    keyed.emplace_back((static_cast<uint64_t>(colors[v]) << 32) |
-                           ir.canonical_labeling(static_cast<VertexId>(i)),
-                       v);
+    local_images[i] = ir.canonical_labeling(static_cast<VertexId>(i));
   }
-  std::sort(keyed.begin(), keyed.end());
-  std::vector<VertexId> sorted;
-  sorted.reserve(k);
-  for (const auto& [key, v] : keyed) sorted.push_back(v);
-  AssignLabelsFromSortedVertices(node, colors, sorted);
-
-  // Lift the leaf's automorphism generators to global sparse form.
-  node->leaf_generators.clear();
-  node->leaf_generators.reserve(ir.automorphism_generators.size());
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> local_moves;
+  local_moves.reserve(ir.automorphism_generators.size());
   for (const Permutation& gen : ir.automorphism_generators) {
-    SparseAut lifted;
+    std::vector<std::pair<VertexId, VertexId>> moves;
     for (VertexId local = 0; local < gen.Size(); ++local) {
-      if (gen(local) != local) {
-        lifted.moves.emplace_back(node->vertices[local],
-                                  node->vertices[gen(local)]);
-      }
+      if (gen(local) != local) moves.emplace_back(local, gen(local));
     }
-    if (!lifted.IsIdentity()) {
-      node->leaf_generators.push_back(std::move(lifted));
-    }
+    local_moves.push_back(std::move(moves));
+  }
+
+  AssignLeafLabelsFromImages(node, colors, local_images);
+  LiftLeafGenerators(node, local_moves);
+
+  if (cache != nullptr) {
+    CachedLeaf entry;
+    entry.num_vertices = static_cast<VertexId>(k);
+    entry.edges = local_graph.Edges();
+    entry.colors = std::move(local_colors);
+    entry.canonical_images = std::move(local_images);
+    entry.generator_moves = std::move(local_moves);
+    cache->Insert(cache_key, std::move(entry));
   }
   return true;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dvicl/auto_tree.h"
+#include "dvicl/cert_cache.h"
 #include "ir/ir_canonical.h"
 
 namespace dvicl {
@@ -26,10 +27,18 @@ NodeForm ComputeNodeForm(const AutoTreeNode& node);
 // vertices in gamma* order). The leaf's Aut generators are lifted to global
 // sparse automorphisms into node->leaf_generators.
 //
+// When `cache` is non-null the leaf's local colored graph is first probed
+// in the canonical-form cache (dvicl/cert_cache.h): a verified hit
+// reconstructs the labels and generators from the cached IR result —
+// bit-identical to what the search would produce — and skips the IR run
+// (leaving `aggregate_stats` untouched, since no search happened); a miss
+// runs the search and publishes the result first-writer-wins.
+//
 // Returns false if the IR backend hit its budget (the caller must mark the
 // whole run incomplete).
 bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
-               const IrOptions& leaf_options, IrStats* aggregate_stats);
+               const IrOptions& leaf_options, IrStats* aggregate_stats,
+               CertCache* cache = nullptr);
 
 // CombineST (Algorithm 5): canonical labeling of a non-leaf node from its
 // children, joined in a fixed order that is independent of how (or on

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <numeric>
@@ -19,6 +20,19 @@
 namespace dvicl {
 
 namespace {
+
+// CI matrix override: DVICL_CERT_CACHE=1 force-enables the per-run
+// canonical-form cache regardless of DviclOptions::cert_cache, so the
+// whole test suite can run as a cache-on leg without touching every call
+// site. Only "1" has an effect — there is deliberately no force-OFF value,
+// so tests that explicitly enable the cache keep meaning what they say.
+bool CertCacheForcedOn() {
+  static const bool forced = [] {
+    const char* value = std::getenv("DVICL_CERT_CACHE");
+    return value != nullptr && value[0] == '1';
+  }();
+  return forced;
+}
 
 // One node of the AutoTree under construction. Children are owned in piece
 // (creation) order; global node ids do not exist yet — they are assigned by
@@ -88,6 +102,21 @@ class DviclBuilder {
     leaf_options_.cancel = cancel_.Flag();
     leaf_options_.trace = options_.trace;
 
+    // Canonical-form cache: a caller-owned shared cache wins; otherwise a
+    // per-run cache is created when requested by options or forced on by
+    // the DVICL_CERT_CACHE=1 test-matrix override.
+    cache_ = options_.shared_cert_cache;
+    if (cache_ == nullptr &&
+        (options_.cert_cache || CertCacheForcedOn())) {
+      CertCacheConfig config;
+      config.max_entries = options_.cert_cache_max_entries;
+      config.max_bytes = options_.cert_cache_max_bytes;
+      owned_cache_ = std::make_unique<CertCache>(config);
+      cache_ = owned_cache_.get();
+    }
+    const CertCacheStats cache_before =
+        cache_ != nullptr ? cache_->Stats() : CertCacheStats{};
+
     // Root node covers all of G.
     BuildNode root;
     root.node.vertices.resize(graph_.NumVertices());
@@ -109,6 +138,22 @@ class DviclBuilder {
     result.stats.singleton_leaves = result.tree.NumSingletonLeaves();
     result.stats.nonsingleton_leaves = result.tree.NumNonSingletonLeaves();
     result.stats.depth = result.tree.Depth();
+
+    if (cache_ != nullptr) {
+      // Counters as this run's deltas (a shared cache accumulates across
+      // runs); occupancy as-is.
+      const CertCacheStats now = cache_->Stats();
+      result.stats.cert_cache.hits = now.hits - cache_before.hits;
+      result.stats.cert_cache.misses = now.misses - cache_before.misses;
+      result.stats.cert_cache.collisions =
+          now.collisions - cache_before.collisions;
+      result.stats.cert_cache.insertions =
+          now.insertions - cache_before.insertions;
+      result.stats.cert_cache.evictions =
+          now.evictions - cache_before.evictions;
+      result.stats.cert_cache.entries = now.entries;
+      result.stats.cert_cache.bytes = now.bytes;
+    }
 
     bool completed = !cancel_.Cancelled();
     if (completed && options_.time_limit_seconds > 0.0 &&
@@ -252,7 +297,7 @@ class DviclBuilder {
         const uint64_t splitters_before = ThreadRefineSplitters();
         const uint64_t splits_before = ThreadRefineCellSplits();
         const bool ok = CombineCL(&node, colors_, leaf_options_,
-                                  &local.leaf_ir);
+                                  &local.leaf_ir, cache_);
         // The leaf IR search runs entirely on this thread, so the
         // thread-local refinement counters attribute its work exactly.
         local.refine_splitters += ThreadRefineSplitters() - splitters_before;
@@ -354,6 +399,18 @@ class DviclBuilder {
     m->GetCounter("ir.orbit_prunes")->Add(stats.leaf_ir.orbit_prunes);
     m->GetCounter("ir.backjumps")->Add(stats.leaf_ir.backjumps);
 
+    if (cache_ != nullptr) {
+      m->GetCounter("cert_cache.hits")->Add(stats.cert_cache.hits);
+      m->GetCounter("cert_cache.misses")->Add(stats.cert_cache.misses);
+      m->GetCounter("cert_cache.collisions")
+          ->Add(stats.cert_cache.collisions);
+      m->GetCounter("cert_cache.evictions")->Add(stats.cert_cache.evictions);
+      m->GetGauge("cert_cache.bytes")
+          ->Set(static_cast<double>(stats.cert_cache.bytes));
+      m->GetGauge("cert_cache.entries")
+          ->Set(static_cast<double>(stats.cert_cache.entries));
+    }
+
     m->GetCounter("task_pool.tasks_queued")->Add(pool.tasks_queued);
     m->GetCounter("task_pool.tasks_inline")->Add(pool.tasks_inline);
     m->GetCounter("task_pool.tasks_run_local")->Add(pool.tasks_run_local);
@@ -411,6 +468,8 @@ class DviclBuilder {
   const DviclOptions options_;
   std::span<const uint32_t> colors_;  // view of DviclResult::colors
   std::unique_ptr<TaskPool> pool_;    // null when building single-threaded
+  std::unique_ptr<CertCache> owned_cache_;  // per-run cache when enabled
+  CertCache* cache_ = nullptr;  // owned_cache_ or options_.shared_cert_cache
   std::vector<DivideWorkspace> workspaces_;  // one per pool slot
   CancelToken cancel_;
   Stopwatch watch_;

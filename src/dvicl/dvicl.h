@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dvicl/auto_tree.h"
+#include "dvicl/cert_cache.h"
 #include "graph/certificate.h"
 #include "graph/graph.h"
 #include "ir/ir_canonical.h"
@@ -61,6 +62,23 @@ struct DviclOptions {
   // obs_test).
   obs::TraceRecorder* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Canonical-form cache for leaf subproblems (dvicl/cert_cache.h): when
+  // enabled, every non-singleton leaf probes the cache before running the
+  // IR backend, and isomorphic leaves after the first are reconstructed
+  // from the memoized result. Reuse is gated by exact verification of the
+  // lowered colored graph, so every canonical output stays bit-identical
+  // to a cache-off run for any thread count; only wall-clock and telemetry
+  // change. The environment variable DVICL_CERT_CACHE=1 force-enables the
+  // per-run cache (the CI cache-on matrix leg); other values are ignored.
+  bool cert_cache = false;
+  // Budgets for the per-run cache (LRU eviction, 0 = unlimited).
+  uint64_t cert_cache_max_entries = 1ull << 16;
+  uint64_t cert_cache_max_bytes = 64ull << 20;
+  // Caller-owned cache shared across runs (e.g. a bench sweep labeling
+  // many graphs from the same family). Non-null overrides `cert_cache` and
+  // the budgets above; the caller keeps ownership.
+  CertCache* shared_cert_cache = nullptr;
 };
 
 struct DviclStats {
@@ -91,6 +109,15 @@ struct DviclStats {
   uint64_t refine_cell_splits = 0;
 
   IrStats leaf_ir;  // aggregated over all CombineCL invocations
+
+  // Canonical-form cache activity of this run: counter fields are deltas
+  // over the run (meaningful for a shared cross-run cache too);
+  // entries/bytes are the occupancy at the end of the run. Root-owned like
+  // wall_seconds — NOT merged, and all zero when the cache is disabled.
+  // Telemetry only: hit/miss counts may vary between parallel runs (two
+  // threads can race on the same subproblem and both miss), while every
+  // canonical output stays bit-identical.
+  CertCacheStats cert_cache;
 
   // Reduction used by the parallel builder: every task accumulates into a
   // local DviclStats and the locals are merged at the join, so no stats

@@ -156,6 +156,40 @@ uint64_t ThreadRefineSplitters() { return tl_splitters; }
 
 uint64_t ThreadRefineCellSplits() { return tl_cell_splits; }
 
+uint64_t EquitableSignatureHash(const Graph& graph, const Coloring& initial) {
+  Coloring pi = initial;
+  RefineToEquitable(graph, &pi);
+
+  auto mix = [](uint64_t h, uint64_t value) {
+    h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  const std::vector<VertexId> starts = pi.CellStarts();
+  uint64_t h = 0xcbf29ce484222325ull;
+  h = mix(h, graph.NumVertices());
+  h = mix(h, graph.NumEdges());
+  h = mix(h, starts.size());
+  // Cell-rank of every vertex, for the quotient row below.
+  std::vector<uint32_t> rank_of(graph.NumVertices());
+  for (size_t i = 0; i < starts.size(); ++i) {
+    for (VertexId v : pi.CellVerticesAt(starts[i])) {
+      rank_of[v] = static_cast<uint32_t>(i);
+    }
+  }
+  std::vector<uint64_t> row(starts.size());
+  for (size_t i = 0; i < starts.size(); ++i) {
+    h = mix(h, starts[i]);
+    h = mix(h, pi.CellSizeAt(starts[i]));
+    // Equitable: any representative of the cell has the same per-cell
+    // neighbor counts, so one vertex determines the whole quotient row.
+    std::fill(row.begin(), row.end(), 0);
+    const VertexId rep = pi.CellVerticesAt(starts[i]).front();
+    for (VertexId u : graph.Neighbors(rep)) ++row[rank_of[u]];
+    for (uint64_t count : row) h = mix(h, count);
+  }
+  return h;
+}
+
 bool IsEquitable(const Graph& graph, const Coloring& pi) {
   const std::vector<VertexId> starts = pi.CellStarts();
   std::vector<uint64_t> count(graph.NumVertices(), 0);

@@ -31,6 +31,19 @@ void RefineFrom(const Graph& graph, Coloring* pi,
 // (Vi, Vj) has uniform neighbor counts, the definition in paper §2.
 bool IsEquitable(const Graph& graph, const Coloring& pi);
 
+// Isomorphism-invariant hash of the refinement outcome of (graph, initial):
+// refines a copy of `initial` to equitable and hashes the resulting cell
+// structure (cell count, per-cell start offset and size) together with the
+// quotient matrix (for each ordered cell pair (i, j), how many neighbors a
+// vertex of Vi has in Vj — well-defined because the coloring is equitable).
+// Because the refiner's cell ORDER is isomorphism-invariant (property (iii),
+// see above), relabeling the graph and permuting `initial` accordingly
+// yields the same hash: this is the "refine-trace" component of the
+// canonical-form cache key (dvicl/cert_cache.h). Cost: one refinement plus
+// O(n + m); it does not touch the thread-local work counters' semantics
+// (the refinement work it performs is counted like any other).
+uint64_t EquitableSignatureHash(const Graph& graph, const Coloring& initial);
+
 // Per-thread monotone counters of refinement work, always maintained (a
 // thread-local increment costs nothing measurable, so there is no off
 // switch). Observability consumers snapshot the value before and after a

@@ -1,0 +1,355 @@
+// The canonical-form cache (src/dvicl/cert_cache.h) in isolation and
+// end-to-end. The two properties everything rests on:
+//
+//  (1) Key invariance: KeyOf is a function of the isomorphism class of the
+//      local colored graph — relabeling vertices (and permuting colors with
+//      them) NEVER changes the key, so isomorphic subproblems always meet in
+//      the same bucket.
+//  (2) Verified reuse: equal keys are never trusted. Near-miss pairs — same
+//      n, m, degree profile, even the same equitable refinement — collide on
+//      the key, and exact colored-graph verification must reject the reuse
+//      and count a collision instead of serving a wrong canonical form.
+//
+// Plus the cache mechanics (LRU + byte budget eviction, first-writer-wins
+// publication) and a threads-hammering test that scripts/run_sanitizers.sh
+// runs under TSan.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "dvicl/cert_cache.h"
+#include "dvicl/dvicl.h"
+#include "graph/graph.h"
+#include "perm/permutation.h"
+#include "refine/coloring.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace {
+
+using testing_util::RandomGraph;
+using testing_util::RandomPermutation;
+
+Graph Permuted(const Graph& g, const Permutation& gamma) {
+  std::vector<VertexId> image(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) image[v] = gamma(v);
+  return g.RelabeledBy(image);
+}
+
+// A self-consistent entry for a local colored graph: identity labeling, no
+// generators. Unit tests only need the verification payload to be exact.
+CachedLeaf LeafFor(const Graph& g, std::vector<uint32_t> colors) {
+  CachedLeaf leaf;
+  leaf.num_vertices = g.NumVertices();
+  leaf.edges = g.Edges();
+  leaf.colors = std::move(colors);
+  leaf.canonical_images.resize(g.NumVertices());
+  std::iota(leaf.canonical_images.begin(), leaf.canonical_images.end(), 0);
+  return leaf;
+}
+
+// ---- Property: key invariance under relabeling ----------------------------
+
+TEST(CertCacheKeyTest, IsomorphicRelabelingsAlwaysCollideOnTheKey) {
+  // 40 random colored graphs x 3 random relabelings each: the permuted copy
+  // (colors carried along) must hash to the SAME key every single time.
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    const VertexId n = 6 + static_cast<VertexId>(seed % 25);
+    const Graph g = RandomGraph(n, 0.1 + 0.02 * (seed % 10), seed);
+    Rng rng(seed + 10000);
+    std::vector<uint32_t> colors(n);
+    for (uint32_t& c : colors) {
+      c = static_cast<uint32_t>(rng.NextBounded(1 + seed % 4));
+    }
+    const uint64_t key = CertCache::KeyOf(g, colors);
+    for (uint64_t round = 0; round < 3; ++round) {
+      const Permutation gamma =
+          RandomPermutation(n, seed * 7 + round + 20000);
+      const Graph h = Permuted(g, gamma);
+      std::vector<uint32_t> permuted_colors(n);
+      for (VertexId v = 0; v < n; ++v) permuted_colors[gamma(v)] = colors[v];
+      EXPECT_EQ(CertCache::KeyOf(h, permuted_colors), key)
+          << "seed " << seed << " round " << round;
+    }
+  }
+}
+
+TEST(CertCacheKeyTest, KeyDependsOnColors) {
+  // Same graph, different coloring = different subproblem; the (color,
+  // degree) profile in the key must separate them.
+  const Graph g = CycleGraph(8);
+  std::vector<uint32_t> unit(8, 0);
+  std::vector<uint32_t> split(8, 0);
+  split[0] = 1;
+  EXPECT_NE(CertCache::KeyOf(g, unit), CertCache::KeyOf(g, split));
+}
+
+// ---- Property: near-misses collide on the key but verification rejects ----
+
+TEST(CertCacheNearMissTest, CycleVersusTwoTrianglesIsARejectedCollision) {
+  // C6 and C3 ⊔ C3: both 2-regular on 6 vertices with 6 edges, and the unit
+  // coloring is already equitable with a single cell of quotient degree 2 —
+  // every component of the key agrees, so this is a GUARANTEED key
+  // collision between non-isomorphic graphs. Exact verification must
+  // refuse the reuse.
+  const Graph c6 = CycleGraph(6);
+  const Graph two_triangles = Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const std::vector<uint32_t> colors(6, 0);
+
+  const uint64_t key_c6 = CertCache::KeyOf(c6, colors);
+  ASSERT_EQ(key_c6, CertCache::KeyOf(two_triangles, colors))
+      << "expected a structural key collision for this pair";
+
+  CertCache cache;
+  cache.Insert(key_c6, LeafFor(c6, colors));
+  EXPECT_EQ(cache.Lookup(key_c6, two_triangles, colors), nullptr);
+  const CertCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.collisions, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // The graph the entry was built from still hits.
+  EXPECT_NE(cache.Lookup(key_c6, c6, colors), nullptr);
+  EXPECT_EQ(cache.Stats().hits, 1u);
+}
+
+TEST(CertCacheNearMissTest, CfiTwistedPairIsARejectedCollision) {
+  // The CFI twisted/untwisted pair is 1-WL-equivalent: equitable refinement
+  // — and with it the refine-trace component of the key — cannot tell them
+  // apart, so they collide on the key despite being non-isomorphic. This is
+  // exactly the adversarial case the exact-verification design exists for.
+  const Graph untwisted = CfiGraph(6, false);
+  const Graph twisted = CfiGraph(6, true);
+  ASSERT_EQ(untwisted.NumVertices(), twisted.NumVertices());
+  const std::vector<uint32_t> colors(untwisted.NumVertices(), 0);
+
+  const uint64_t key = CertCache::KeyOf(untwisted, colors);
+  ASSERT_EQ(key, CertCache::KeyOf(twisted, colors))
+      << "CFI pair should be indistinguishable to the invariant key";
+
+  CertCache cache;
+  cache.Insert(key, LeafFor(untwisted, colors));
+  EXPECT_EQ(cache.Lookup(key, twisted, colors), nullptr);
+  EXPECT_GE(cache.Stats().collisions, 1u);
+  EXPECT_NE(cache.Lookup(key, untwisted, colors), nullptr);
+}
+
+// ---- Cache mechanics ------------------------------------------------------
+
+TEST(CertCacheTest, FirstWriterWinsAndDuplicateInsertIsDropped) {
+  const Graph g = CycleGraph(10);
+  const std::vector<uint32_t> colors(10, 0);
+  const uint64_t key = CertCache::KeyOf(g, colors);
+
+  CertCache cache;
+  cache.Insert(key, LeafFor(g, colors));
+  const std::shared_ptr<const CachedLeaf> first =
+      cache.Lookup(key, g, colors);
+  ASSERT_NE(first, nullptr);
+
+  cache.Insert(key, LeafFor(g, colors));  // racer loses, no-op
+  EXPECT_EQ(cache.Lookup(key, g, colors), first);  // same object, not a copy
+  const CertCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(CertCacheTest, EntryCountBudgetEvictsLeastRecentlyUsed) {
+  CertCacheConfig config;
+  config.max_entries = 4;
+  config.max_bytes = 0;  // unlimited, isolate the entry budget
+  config.shards = 1;     // single shard = exact global LRU, deterministic
+  CertCache cache(config);
+
+  // Paths of distinct lengths: all keys distinct, so each insert is a new
+  // entry and the budget must start evicting from the cold end.
+  for (VertexId n = 2; n <= 12; ++n) {
+    const Graph g = PathGraph(n);
+    const std::vector<uint32_t> colors(n, 0);
+    cache.Insert(CertCache::KeyOf(g, colors), LeafFor(g, colors));
+  }
+  const CertCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.evictions, 11u - 4u);
+
+  // The most recent entries survived, the oldest were dropped.
+  const Graph newest = PathGraph(12);
+  const std::vector<uint32_t> newest_colors(12, 0);
+  EXPECT_NE(cache.Lookup(CertCache::KeyOf(newest, newest_colors), newest,
+                         newest_colors),
+            nullptr);
+  const Graph oldest = PathGraph(2);
+  const std::vector<uint32_t> oldest_colors(2, 0);
+  EXPECT_EQ(cache.Lookup(CertCache::KeyOf(oldest, oldest_colors), oldest,
+                         oldest_colors),
+            nullptr);
+}
+
+TEST(CertCacheTest, ByteBudgetEvictsButNeverTheNewestEntry) {
+  CertCacheConfig config;
+  config.max_entries = 0;
+  config.max_bytes = 1;  // absurdly small: every insert overflows
+  config.shards = 1;
+  CertCache cache(config);
+
+  for (VertexId n = 20; n <= 24; ++n) {
+    const Graph g = CycleGraph(n);
+    const std::vector<uint32_t> colors(n, 0);
+    cache.Insert(CertCache::KeyOf(g, colors), LeafFor(g, colors));
+    // The entry just inserted is never evicted by its own overflow — a
+    // budget too small for one entry must not make the cache useless.
+    EXPECT_NE(cache.Lookup(CertCache::KeyOf(g, colors), g, colors), nullptr)
+        << "n=" << n;
+  }
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  EXPECT_EQ(cache.Stats().evictions, 4u);
+}
+
+TEST(CertCacheTest, LookupRefreshesLruPosition) {
+  CertCacheConfig config;
+  config.max_entries = 2;
+  config.max_bytes = 0;
+  config.shards = 1;
+  CertCache cache(config);
+
+  const Graph a = PathGraph(3);
+  const Graph b = PathGraph(4);
+  const Graph c = PathGraph(5);
+  const std::vector<uint32_t> ca(3, 0), cb(4, 0), cc(5, 0);
+  cache.Insert(CertCache::KeyOf(a, ca), LeafFor(a, ca));
+  cache.Insert(CertCache::KeyOf(b, cb), LeafFor(b, cb));
+  // Touch `a` so `b` becomes the LRU victim when `c` arrives.
+  ASSERT_NE(cache.Lookup(CertCache::KeyOf(a, ca), a, ca), nullptr);
+  cache.Insert(CertCache::KeyOf(c, cc), LeafFor(c, cc));
+
+  EXPECT_NE(cache.Lookup(CertCache::KeyOf(a, ca), a, ca), nullptr);
+  EXPECT_EQ(cache.Lookup(CertCache::KeyOf(b, cb), b, cb), nullptr);
+}
+
+// ---- Concurrency (run under TSan by scripts/run_sanitizers.sh) ------------
+
+TEST(CertCacheThreadedTest, ConcurrentLookupInsertEvictIsRaceFree) {
+  // 8 threads hammer a 2-shard cache with a tiny budget over a shared set
+  // of graphs: concurrent verified lookups, racing first-writer inserts and
+  // constant evictions. Correctness here is "TSan stays silent and every
+  // returned entry verifies"; the shared_ptr handoff must keep entries
+  // alive across evictions.
+  CertCacheConfig config;
+  config.max_entries = 6;
+  config.shards = 2;
+  CertCache cache(config);
+
+  std::vector<Graph> graphs;
+  std::vector<std::vector<uint32_t>> colorings;
+  for (VertexId n = 3; n <= 14; ++n) {
+    graphs.push_back(CycleGraph(n));
+    colorings.emplace_back(n, 0);
+  }
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &graphs, &colorings, t] {
+      Rng rng(t + 1);
+      for (int round = 0; round < 300; ++round) {
+        const size_t i = rng.NextBounded(graphs.size());
+        const uint64_t key = CertCache::KeyOf(graphs[i], colorings[i]);
+        std::shared_ptr<const CachedLeaf> entry =
+            cache.Lookup(key, graphs[i], colorings[i]);
+        if (entry == nullptr) {
+          cache.Insert(key, LeafFor(graphs[i], colorings[i]));
+        } else {
+          // The entry must be the exact colored graph we asked about, and
+          // must stay readable even if it is evicted right now.
+          ASSERT_EQ(entry->num_vertices, graphs[i].NumVertices());
+          ASSERT_EQ(entry->edges, graphs[i].Edges());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const CertCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 6u);
+}
+
+TEST(CertCacheThreadedTest, SharedCacheAcrossConcurrentRunsStaysCorrect) {
+  // Several DviCL runs sharing one caller-owned cache, racing on the same
+  // gadget-forest subproblems. Every run must produce the sequential
+  // cache-off certificate regardless of who published which leaf first.
+  const Graph g = GadgetForestGraph(4, 6);
+  DviclOptions base;
+  const DviclResult reference =
+      DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), base);
+  ASSERT_TRUE(reference.completed);
+
+  CertCache shared;
+  std::vector<std::thread> threads;
+  std::vector<Certificate> certs(6);
+  for (size_t t = 0; t < certs.size(); ++t) {
+    threads.emplace_back([&g, &shared, &certs, t] {
+      DviclOptions options;
+      options.shared_cert_cache = &shared;
+      options.num_threads = 1 + t % 3;
+      options.parallel_grain_vertices = 2;
+      DviclResult r =
+          DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+      ASSERT_TRUE(r.completed);
+      certs[t] = std::move(r.certificate);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (size_t t = 0; t < certs.size(); ++t) {
+    EXPECT_EQ(certs[t], reference.certificate) << "run " << t;
+  }
+  // 4 identical components per run, 6 runs, one shared cache: at most one
+  // miss per distinct subproblem shape can have escaped reuse per thread
+  // race, so hits dominate.
+  EXPECT_GT(shared.Stats().hits, 0u);
+}
+
+// ---- End-to-end telemetry -------------------------------------------------
+
+TEST(CertCacheEndToEndTest, GadgetForestHitsAndMatchesCacheOff) {
+  const Graph g = GadgetForestGraph(6, 6);
+  const Coloring unit = Coloring::Unit(g.NumVertices());
+
+  DviclOptions off;
+  const DviclResult r_off = DviclCanonicalLabeling(g, unit, off);
+  ASSERT_TRUE(r_off.completed);
+  if (std::getenv("DVICL_CERT_CACHE") == nullptr) {
+    // Telemetry stays silent with the cache off — unless the CI cache-on
+    // matrix leg force-enabled it underneath us, in which case only the
+    // canonical output (checked below) is comparable.
+    EXPECT_EQ(r_off.stats.cert_cache.hits, 0u);
+    EXPECT_EQ(r_off.stats.cert_cache.misses, 0u);
+  }
+
+  DviclOptions on;
+  on.cert_cache = true;
+  const DviclResult r_on = DviclCanonicalLabeling(g, unit, on);
+  ASSERT_TRUE(r_on.completed);
+  EXPECT_EQ(r_on.certificate, r_off.certificate);
+  EXPECT_TRUE(r_on.canonical_labeling == r_off.canonical_labeling);
+  // 6 identical components: the first leaf of the shape misses, the other
+  // five reuse it.
+  EXPECT_GT(r_on.stats.cert_cache.hits, 0u);
+  EXPECT_GT(r_on.stats.cert_cache.misses, 0u);
+  EXPECT_GT(r_on.stats.cert_cache.insertions, 0u);
+  EXPECT_GT(r_on.stats.cert_cache.entries, 0u);
+  EXPECT_GT(r_on.stats.cert_cache.bytes, 0u);
+}
+
+}  // namespace
+}  // namespace dvicl

@@ -226,6 +226,107 @@ TEST(DifferentialTest, FindIsomorphismReturnsAValidWitness) {
   }
 }
 
+// ---- Canonical-form cache three-way ---------------------------------------
+
+Certificate DviclCertCache(const Graph& g, std::span<const uint32_t> colors,
+                           bool cache, uint32_t threads = 1) {
+  DviclOptions options;
+  options.num_threads = threads;
+  options.parallel_grain_vertices = 2;
+  options.cert_cache = cache;
+  const Coloring pi = colors.empty() ? Coloring::Unit(g.NumVertices())
+                                     : Coloring::FromLabels(colors);
+  DviclResult r = DviclCanonicalLabeling(g, pi, options);
+  EXPECT_TRUE(r.completed);
+  return r.certificate;
+}
+
+Certificate IrCertColored(const Graph& g, std::span<const uint32_t> colors) {
+  IrOptions options;
+  options.preset = IrPreset::kBlissLike;
+  const Coloring pi = colors.empty() ? Coloring::Unit(g.NumVertices())
+                                     : Coloring::FromLabels(colors);
+  IrResult r = IrCanonicalLabeling(g, pi, options);
+  EXPECT_TRUE(r.completed);
+  return r.certificate;
+}
+
+Graph DisjointUnion(const Graph& a, const Graph& b) {
+  std::vector<Edge> edges = a.Edges();
+  for (const Edge& e : b.Edges()) {
+    edges.emplace_back(e.first + a.NumVertices(), e.second + a.NumVertices());
+  }
+  return Graph::FromEdges(a.NumVertices() + b.NumVertices(), std::move(edges));
+}
+
+TEST(DifferentialTest, CertCacheThreeWayOverMixedPool) {
+  // Three-way differential: per graph, the cache-on certificate must be
+  // bit-identical to cache-off (a hit reconstructs exactly what the search
+  // would produce), and the isomorphism partition induced by DviCL
+  // certificates must match the one induced by a whole-graph IR run that
+  // never divides and so never consults the cache. The pool deliberately
+  // includes colored graphs and disconnected graphs (disjoint unions with a
+  // permuted copy — identical components, the cache's best case).
+  struct Entry {
+    Graph g;
+    std::vector<uint32_t> colors;  // empty = unit coloring
+  };
+  std::vector<Entry> pool;
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const VertexId n = 22;
+    const Graph base = RandomGraph(n, 0.14, seed + 500);
+    pool.push_back({Permuted(base, RandomPermutation(n, seed + 510)), {}});
+    pool.push_back({base, {}});
+    pool.push_back(
+        {DisjointUnion(base, Permuted(base, RandomPermutation(n, seed + 520))),
+         {}});
+    // Colored pair: random 2-coloring plus a color-respecting permuted twin.
+    Rng rng(seed + 530);
+    std::vector<uint32_t> colors(n);
+    for (uint32_t& c : colors) c = static_cast<uint32_t>(rng.NextBounded(2));
+    const Permutation gamma = RandomPermutation(n, seed + 540);
+    std::vector<uint32_t> permuted_colors(n);
+    for (VertexId v = 0; v < n; ++v) permuted_colors[gamma(v)] = colors[v];
+    pool.push_back({Permuted(base, gamma), std::move(permuted_colors)});
+    pool.push_back({base, std::move(colors)});
+  }
+
+  std::vector<Certificate> off;
+  std::vector<Certificate> on;
+  std::vector<Certificate> ir;
+  for (const Entry& e : pool) {
+    off.push_back(DviclCertCache(e.g, e.colors, /*cache=*/false));
+    on.push_back(DviclCertCache(e.g, e.colors, /*cache=*/true));
+    ir.push_back(IrCertColored(e.g, e.colors));
+  }
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(off[i], on[i]) << "pool entry " << i;
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      EXPECT_EQ(off[i] == off[j], ir[i] == ir[j])
+          << "pool pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(DifferentialTest, CertCacheParallelMatchesSequentialCacheOff) {
+  // threads x cache grid on disconnected symmetric graphs: every
+  // combination must produce the sequential cache-off certificate.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    const VertexId n = 18;
+    const Graph base = RandomGraph(n, 0.18, seed + 600);
+    const Graph g = DisjointUnion(
+        DisjointUnion(base, Permuted(base, RandomPermutation(n, seed + 610))),
+        Permuted(base, RandomPermutation(n, seed + 620)));
+    const Certificate reference = DviclCertCache(g, {}, /*cache=*/false, 1);
+    for (uint32_t threads : {1u, 4u}) {
+      EXPECT_EQ(DviclCertCache(g, {}, /*cache=*/true, threads), reference)
+          << "seed " << seed << " threads " << threads;
+    }
+    EXPECT_EQ(DviclCertCache(g, {}, /*cache=*/false, 4), reference)
+        << "seed " << seed;
+  }
+}
+
 TEST(DifferentialTest, ParallelVerdictsMatchSequential) {
   for (uint64_t seed = 0; seed < 8; ++seed) {
     const VertexId n = 34;

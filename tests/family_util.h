@@ -1,0 +1,80 @@
+#ifndef DVICL_TESTS_FAMILY_UTIL_H_
+#define DVICL_TESTS_FAMILY_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datasets/generators.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace testing_util {
+
+// A named graph family instance shared by the parallel-determinism suite
+// and the golden-certificate regression corpus (tests/golden/). The exact
+// parameters are part of the golden contract: changing any of them changes
+// certificates and requires regenerating the corpus via
+// scripts/regen_golden.sh.
+struct Family {
+  std::string name;
+  std::function<Graph()> make;
+};
+
+// Every public family of datasets/generators.h, at sizes that keep the
+// whole parameterized suite fast enough for a sanitizer build. These are
+// the 22 families the parallel-determinism test sweeps across thread
+// counts; the golden corpus pins their certificates and group orders.
+inline std::vector<Family> DeterminismFamilies() {
+  return {
+      {"Cycle", [] { return CycleGraph(24); }},
+      {"Path", [] { return PathGraph(17); }},
+      {"Complete", [] { return CompleteGraph(9); }},
+      {"CompleteBipartite", [] { return CompleteBipartiteGraph(5, 7); }},
+      {"Star", [] { return StarGraph(12); }},
+      {"Torus3d", [] { return Torus3dGraph(3); }},
+      {"ErdosRenyi", [] { return ErdosRenyiGraph(60, 0.08, 11); }},
+      {"PreferentialAttachment",
+       [] { return PreferentialAttachmentGraph(80, 3, 12); }},
+      {"RandomTree", [] { return RandomTreeGraph(90, 13); }},
+      {"RandomRegular", [] { return RandomRegularGraph(30, 3, 14); }},
+      {"CopyingModel", [] { return CopyingModelGraph(70, 3, 0.5, 15); }},
+      {"WithTwins",
+       [] { return WithTwins(ErdosRenyiGraph(50, 0.1, 16), 0.3, 17); }},
+      {"WithTwinClasses",
+       [] {
+         return WithTwinClasses(PreferentialAttachmentGraph(60, 2, 18), 0.3,
+                                4, 19);
+       }},
+      {"WithPendantPaths",
+       [] {
+         return WithPendantPaths(ErdosRenyiGraph(50, 0.1, 20), 0.4, 3, 21);
+       }},
+      {"WithWheelGadgets",
+       [] { return WithWheelGadgets(ErdosRenyiGraph(40, 0.12, 22), 4, 5, 23); }},
+      {"Hadamard", [] { return HadamardGraph(8); }},
+      {"CfiUntwisted", [] { return CfiGraph(8, false); }},
+      {"CfiTwisted", [] { return CfiGraph(8, true); }},
+      {"MiyazakiLike", [] { return MiyazakiLikeGraph(4); }},
+      {"ProjectivePlane", [] { return ProjectivePlaneGraph(3); }},
+      {"AffinePlane", [] { return AffinePlaneGraph(3); }},
+      {"CircuitLike", [] { return CircuitLikeGraph(8, 40, 24); }},
+  };
+}
+
+// The golden corpus: the 22 determinism families plus the paper's worked
+// examples (Fig. 1(a) running example and the Fig. 3 axis/wings graph) and
+// the gadget forest that headlines the canonical-form cache.
+inline std::vector<Family> GoldenFamilies() {
+  std::vector<Family> families = DeterminismFamilies();
+  families.push_back({"PaperFigure1", [] { return PaperFigure1Graph(); }});
+  families.push_back({"PaperFigure3", [] { return PaperFigure3Graph(); }});
+  families.push_back({"GadgetForest", [] { return GadgetForestGraph(6, 6); }});
+  return families;
+}
+
+}  // namespace testing_util
+}  // namespace dvicl
+
+#endif  // DVICL_TESTS_FAMILY_UTIL_H_

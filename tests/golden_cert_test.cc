@@ -1,0 +1,171 @@
+// Golden-certificate regression corpus (tests/golden/): for every family in
+// testing_util::GoldenFamilies() — the 22 parallel-determinism families plus
+// the paper's worked examples and the cert-cache gadget forest — a checked-in
+// file pins the exact canonical certificate and |Aut(G)| (Schreier-Sims
+// order of the returned generators). The test serializes the current run in
+// the same format and compares BYTES, so any drift in refinement, target-cell
+// selection, IR search order, divide decisions or generator lifting fails
+// loudly instead of silently changing canonical forms between releases.
+//
+// The corpus is also replayed with the canonical-form cache enabled: a cache
+// hit must reconstruct the identical certificate, so cache-on runs are held
+// to the same golden bytes.
+//
+// Regeneration is deliberately inconvenient: only scripts/regen_golden.sh
+// (which sets DVICL_REGEN_GOLDEN=1) rewrites the corpus, so an accidental
+// behavior change cannot self-bless.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/big_uint.h"
+#include "dvicl/dvicl.h"
+#include "family_util.h"
+#include "perm/schreier_sims.h"
+#include "refine/coloring.h"
+
+#ifndef DVICL_GOLDEN_DIR
+#error "DVICL_GOLDEN_DIR must be defined by tests/CMakeLists.txt"
+#endif
+
+namespace dvicl {
+namespace {
+
+using testing_util::Family;
+using testing_util::GoldenFamilies;
+
+bool RegenRequested() {
+  const char* env = std::getenv("DVICL_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::filesystem::path GoldenPath(const std::string& family) {
+  return std::filesystem::path(DVICL_GOLDEN_DIR) / (family + ".golden");
+}
+
+BigUint GroupOrderOf(VertexId n, const std::vector<SparseAut>& gens) {
+  SchreierSims chain(n);
+  for (const SparseAut& gen : gens) chain.AddGenerator(gen.ToDense(n));
+  return chain.Order();
+}
+
+// The on-disk format. Fixed-width hex words keep diffs line-per-word, so a
+// single drifted certificate word shows as a one-line change in review.
+std::string Serialize(const std::string& family, const Graph& g,
+                      const BigUint& aut_order, const Certificate& cert) {
+  std::ostringstream out;
+  out << "# Golden canonical certificate and automorphism group order.\n"
+      << "# Regenerate ONLY via scripts/regen_golden.sh.\n"
+      << "family " << family << "\n"
+      << "n " << g.NumVertices() << "\n"
+      << "m " << g.NumEdges() << "\n"
+      << "aut_order " << aut_order.ToDecimalString() << "\n"
+      << "certificate " << cert.size() << "\n";
+  for (uint64_t word : cert) {
+    out << std::hex << std::setw(16) << std::setfill('0') << word << std::dec
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string ReadFileOrEmpty(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+DviclResult RunFamily(const Graph& g, bool cert_cache) {
+  DviclOptions options;
+  options.cert_cache = cert_cache;
+  return DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+}
+
+class GoldenCertTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(GoldenCertTest, MatchesGoldenBytes) {
+  const Family& family = GetParam();
+  const Graph g = family.make();
+
+  const DviclResult result = RunFamily(g, /*cert_cache=*/false);
+  ASSERT_TRUE(result.completed);
+  const std::string current =
+      Serialize(family.name, g,
+                GroupOrderOf(g.NumVertices(), result.generators),
+                result.certificate);
+
+  const std::filesystem::path path = GoldenPath(family.name);
+  if (RegenRequested()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << current;
+    ASSERT_TRUE(out.good()) << "short write to " << path;
+    std::printf("regenerated %s\n", path.string().c_str());
+    return;
+  }
+
+  const std::string golden = ReadFileOrEmpty(path);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << path
+      << " — if this family is new, run scripts/regen_golden.sh and review "
+         "the generated file into the commit";
+  EXPECT_EQ(golden, current)
+      << "canonical form drifted from the checked-in corpus for "
+      << family.name
+      << ". If the change is intentional, regenerate via "
+         "scripts/regen_golden.sh and justify the drift in the commit.";
+}
+
+TEST_P(GoldenCertTest, CacheOnRunMatchesGoldenBytes) {
+  if (RegenRequested()) GTEST_SKIP() << "regen handled by MatchesGoldenBytes";
+  const Family& family = GetParam();
+  const Graph g = family.make();
+
+  const DviclResult result = RunFamily(g, /*cert_cache=*/true);
+  ASSERT_TRUE(result.completed);
+  const std::string current =
+      Serialize(family.name, g,
+                GroupOrderOf(g.NumVertices(), result.generators),
+                result.certificate);
+
+  const std::string golden = ReadFileOrEmpty(GoldenPath(family.name));
+  ASSERT_FALSE(golden.empty()) << "missing golden file for " << family.name;
+  EXPECT_EQ(golden, current)
+      << "cert-cache-enabled run drifted from the golden corpus for "
+      << family.name << " — a cache hit failed to reconstruct the exact "
+      << "bytes the IR search produces.";
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenCertTest,
+                         ::testing::ValuesIn(GoldenFamilies()),
+                         [](const ::testing::TestParamInfo<Family>& info) {
+                           return info.param.name;
+                         });
+
+TEST(GoldenCorpusTest, DirectoryHasExactlyTheExpectedFiles) {
+  if (RegenRequested()) GTEST_SKIP() << "corpus is being rewritten";
+  // A stale file (renamed family, deleted family) would silently stop being
+  // compared; hold the directory to exact set equality with the family list.
+  std::set<std::string> expected;
+  for (const Family& family : GoldenFamilies()) {
+    expected.insert(family.name + ".golden");
+  }
+  std::set<std::string> actual;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DVICL_GOLDEN_DIR)) {
+    actual.insert(entry.path().filename().string());
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+}  // namespace
+}  // namespace dvicl

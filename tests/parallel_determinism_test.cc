@@ -2,12 +2,14 @@
 // src/datasets/generators.cc, the certificate, canonical labeling, generator
 // set, automorphism group order (Schreier-Sims) and the complete AutoTree
 // byte image must be identical across num_threads in {1, 2, 4, 8} and across
-// repeated runs. Thread count may only change wall-clock time.
+// repeated runs. Thread count may only change wall-clock time. The same
+// holds with the canonical-form cache enabled: a cache hit reconstructs the
+// exact bytes the IR search would have produced, so cache-on runs at any
+// thread count must match the cache-off single-thread baseline.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -15,11 +17,15 @@
 #include "datasets/generators.h"
 #include "dvicl/auto_tree.h"
 #include "dvicl/dvicl.h"
+#include "family_util.h"
 #include "perm/schreier_sims.h"
 #include "refine/coloring.h"
 
 namespace dvicl {
 namespace {
+
+using testing_util::DeterminismFamilies;
+using testing_util::Family;
 
 // Full byte image of the tree: every persistent field of every node, in id
 // order, plus the leaf_of map. Two trees with equal fingerprints are
@@ -73,56 +79,16 @@ BigUint GroupOrderOf(VertexId n, const std::vector<SparseAut>& gens) {
   return chain.Order();
 }
 
-struct Family {
-  std::string name;
-  std::function<Graph()> make;
-};
-
-std::vector<Family> AllFamilies() {
-  // Every public family of datasets/generators.h, at sizes that keep the
-  // whole parameterized suite fast enough for a sanitizer build.
-  return {
-      {"Cycle", [] { return CycleGraph(24); }},
-      {"Path", [] { return PathGraph(17); }},
-      {"Complete", [] { return CompleteGraph(9); }},
-      {"CompleteBipartite", [] { return CompleteBipartiteGraph(5, 7); }},
-      {"Star", [] { return StarGraph(12); }},
-      {"Torus3d", [] { return Torus3dGraph(3); }},
-      {"ErdosRenyi", [] { return ErdosRenyiGraph(60, 0.08, 11); }},
-      {"PreferentialAttachment",
-       [] { return PreferentialAttachmentGraph(80, 3, 12); }},
-      {"RandomTree", [] { return RandomTreeGraph(90, 13); }},
-      {"RandomRegular", [] { return RandomRegularGraph(30, 3, 14); }},
-      {"CopyingModel", [] { return CopyingModelGraph(70, 3, 0.5, 15); }},
-      {"WithTwins",
-       [] { return WithTwins(ErdosRenyiGraph(50, 0.1, 16), 0.3, 17); }},
-      {"WithTwinClasses",
-       [] {
-         return WithTwinClasses(PreferentialAttachmentGraph(60, 2, 18), 0.3,
-                                4, 19);
-       }},
-      {"WithPendantPaths",
-       [] { return WithPendantPaths(ErdosRenyiGraph(50, 0.1, 20), 0.4, 3, 21); }},
-      {"WithWheelGadgets",
-       [] { return WithWheelGadgets(ErdosRenyiGraph(40, 0.12, 22), 4, 5, 23); }},
-      {"Hadamard", [] { return HadamardGraph(8); }},
-      {"CfiUntwisted", [] { return CfiGraph(8, false); }},
-      {"CfiTwisted", [] { return CfiGraph(8, true); }},
-      {"MiyazakiLike", [] { return MiyazakiLikeGraph(4); }},
-      {"ProjectivePlane", [] { return ProjectivePlaneGraph(3); }},
-      {"AffinePlane", [] { return AffinePlaneGraph(3); }},
-      {"CircuitLike", [] { return CircuitLikeGraph(8, 40, 24); }},
-  };
-}
-
 class ParallelDeterminismTest : public ::testing::TestWithParam<Family> {};
 
-DviclResult RunWithThreads(const Graph& g, uint32_t threads) {
+DviclResult RunWithThreads(const Graph& g, uint32_t threads,
+                           bool cert_cache = false) {
   DviclOptions options;
   options.num_threads = threads;
   // Tiny grain so even small test graphs actually exercise cross-thread
   // dispatch instead of degenerating to inline execution.
   options.parallel_grain_vertices = 2;
+  options.cert_cache = cert_cache;
   return DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
 }
 
@@ -171,8 +137,35 @@ TEST_P(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
   }
 }
 
+TEST_P(ParallelDeterminismTest, CertCacheHitsAreBitIdentical) {
+  // A cache hit replays a memoized leaf result instead of running the IR
+  // search; the reconstruction must be indistinguishable from the search it
+  // replaced, for every thread count, even though WHICH leaves hit depends
+  // on scheduling (only the telemetry counters may vary).
+  const Graph g = GetParam().make();
+  const VertexId n = g.NumVertices();
+
+  const DviclResult base = RunWithThreads(g, 1, /*cert_cache=*/false);
+  ASSERT_TRUE(base.completed);
+  const std::vector<uint64_t> base_print = TreeFingerprint(base.tree, n);
+  const BigUint base_order = GroupOrderOf(n, base.generators);
+
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const DviclResult r = RunWithThreads(g, threads, /*cert_cache=*/true);
+    ASSERT_TRUE(r.completed) << "threads=" << threads;
+    EXPECT_EQ(r.certificate, base.certificate) << "threads=" << threads;
+    EXPECT_TRUE(r.canonical_labeling == base.canonical_labeling)
+        << "threads=" << threads;
+    EXPECT_TRUE(SameGenerators(r.generators, base.generators))
+        << "threads=" << threads;
+    EXPECT_EQ(TreeFingerprint(r.tree, n), base_print) << "threads=" << threads;
+    EXPECT_EQ(GroupOrderOf(n, r.generators), base_order)
+        << "threads=" << threads;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllFamilies, ParallelDeterminismTest,
-                         ::testing::ValuesIn(AllFamilies()),
+                         ::testing::ValuesIn(DeterminismFamilies()),
                          [](const ::testing::TestParamInfo<Family>& info) {
                            return info.param.name;
                          });
