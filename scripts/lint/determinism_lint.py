@@ -1,0 +1,452 @@
+#!/usr/bin/env python3
+"""dvicl-determinism lint: flag nondeterminism in output-affecting code.
+
+DviCL's canonical labelings, certificates and generator sets must be
+bit-identical across platforms, thread counts and cache settings
+(ROADMAP north star). Three code patterns silently break that promise:
+
+  unordered-iteration   iterating an unordered_{map,set,multimap,multiset}:
+                        element order depends on the hash seed / libstdc++
+                        bucket layout, so anything derived from the visit
+                        order differs across platforms.
+  pointer-order         ordering or hashing by pointer value (pointer-keyed
+                        map/set, hash<T*>, less<T*>, or casting a pointer
+                        to (u)intptr_t/size_t): addresses change run to run
+                        under ASLR and across allocators.
+  raw-randomness        rand()/srand()/time()/std::random_device and
+                        friends outside the src/common/ PRNG: wall-clock
+                        and OS entropy are nondeterministic by definition.
+
+The lint is deliberately a self-contained lexical/declaration-tracking
+pass (stdlib only — the CI container has no libclang), run over the
+sources that compile_commands.json lists under the output-affecting
+directories src/{refine,ir,dvicl,perm,graph} plus the headers in those
+directories. src/common/ is exempt: that is where the seeded PRNG and the
+telemetry stopwatch legitimately live.
+
+A finding on a loop that is provably order-independent (e.g. a reduction
+whose result is re-sorted) is suppressed by putting
+
+    // NOLINT(dvicl-determinism)
+
+on the flagged line or the line directly above it, next to a comment
+saying WHY the order cannot leak.
+
+Usage:
+    determinism_lint.py                      # lint the repo (needs
+                                             # compile_commands.json from a
+                                             # CMake configure)
+    determinism_lint.py --self-test          # run the fixture self-tests
+    determinism_lint.py file.cc ...          # lint explicit files
+
+Exit status: 0 clean, 1 findings (or self-test failure), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+LINTED_DIRS = ("refine", "ir", "dvicl", "perm", "graph")
+
+RULE_UNORDERED = "unordered-iteration"
+RULE_POINTER = "pointer-order"
+RULE_RANDOM = "raw-randomness"
+
+NOLINT_MARKER = "NOLINT(dvicl-determinism)"
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;{}]*?):([^;{}]*?)\)\s*[{A-Za-z(]")
+
+# Only begin() variants: a bare .end() appears in find()/end() membership
+# lookups, which never observe iteration order; any genuine traversal has
+# to fetch a begin iterator.
+ITERATOR_CALL_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*c?r?begin\s*\(\)"
+)
+
+POINTER_KEY_RE = re.compile(
+    r"\b(?:unordered_)?(?:map|set|multimap|multiset)\s*<\s*"
+    r"(?:const\s+)?[A-Za-z_][\w:]*\s*(?:const\s*)?\*"
+)
+POINTER_HASH_RE = re.compile(r"\b(?:hash|less|greater)\s*<[^<>]*\*\s*>")
+POINTER_CAST_RE = re.compile(
+    r"\breinterpret_cast\s*<\s*(?:std::)?(?:u?intptr_t|size_t)\s*>"
+)
+
+RANDOM_CALL_RE = re.compile(
+    r"\b(?:rand|srand|rand_r|random|srandom|drand48|lrand48|mrand48|time)"
+    r"\s*\("
+)
+RANDOM_DEVICE_RE = re.compile(r"\brandom_device\b")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure, so the pattern pass never fires inside either."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def skip_template_args(text: str, open_idx: int) -> int:
+    """Given index of '<', returns index one past the matching '>', or -1."""
+    depth = 0
+    i = open_idx
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{":
+            return -1  # statement ended before the template closed
+        i += 1
+    return -1
+
+
+def collect_unordered_names(code: str) -> set[str]:
+    """Names declared (variables, fields, aliases, functions returning)
+    with an unordered container type. Lexical: a declaration is the
+    unordered type followed — after its balanced template argument list
+    and any (), *, & decoration — by an identifier."""
+    names: set[str] = set()
+    for m in UNORDERED_DECL_RE.finditer(code):
+        open_idx = code.index("<", m.start())
+        end = skip_template_args(code, open_idx)
+        if end < 0:
+            continue
+        tail = code[end:]
+        name_m = re.match(r"[\s*&]*([A-Za-z_]\w*)", tail)
+        if name_m:
+            names.add(name_m.group(1))
+    return names
+
+
+def last_identifier(expr: str) -> str | None:
+    """Last identifier token in a range-for expression: covers `m`,
+    `obj.field`, `ptr->field`, `(*p)`, `arr[i].field` and `Call()`."""
+    tokens = re.findall(r"[A-Za-z_]\w*", expr)
+    return tokens[-1] if tokens else None
+
+
+def lint_text(path: Path, raw: str, extra_unordered: set[str]) -> list[Finding]:
+    code = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    unordered = collect_unordered_names(code) | extra_unordered
+
+    def line_of(offset: int) -> int:
+        return code.count("\n", 0, offset) + 1
+
+    def suppressed(line: int) -> bool:
+        for candidate in (line, line - 1):
+            if 1 <= candidate <= len(raw_lines):
+                if NOLINT_MARKER in raw_lines[candidate - 1]:
+                    return True
+        return False
+
+    findings: list[Finding] = []
+
+    def add(offset: int, rule: str, message: str) -> None:
+        line = line_of(offset)
+        if not suppressed(line):
+            findings.append(Finding(path, line, rule, message))
+
+    # Rule: unordered-iteration.
+    for m in RANGE_FOR_RE.finditer(code):
+        name = last_identifier(m.group(2))
+        if name and name in unordered:
+            add(
+                m.start(),
+                RULE_UNORDERED,
+                f"range-for over unordered container '{name}': iteration "
+                "order is platform-dependent",
+            )
+    for m in ITERATOR_CALL_RE.finditer(code):
+        name = m.group(1)
+        if name in unordered:
+            add(
+                m.start(),
+                RULE_UNORDERED,
+                f"iterator over unordered container '{name}': iteration "
+                "order is platform-dependent",
+            )
+
+    # Rule: pointer-order.
+    for m in POINTER_KEY_RE.finditer(code):
+        add(
+            m.start(),
+            RULE_POINTER,
+            "container keyed by pointer value: ordering/hash depends on "
+            "allocation addresses",
+        )
+    for m in POINTER_HASH_RE.finditer(code):
+        add(
+            m.start(),
+            RULE_POINTER,
+            "hash/comparator over a pointer type: depends on allocation "
+            "addresses",
+        )
+    for m in POINTER_CAST_RE.finditer(code):
+        add(
+            m.start(),
+            RULE_POINTER,
+            "pointer cast to an integer type: address-derived values are "
+            "not stable across runs",
+        )
+
+    # Rule: raw-randomness.
+    for m in RANDOM_CALL_RE.finditer(code):
+        add(
+            m.start(),
+            RULE_RANDOM,
+            "wall-clock/randomness call in output-affecting code: use the "
+            "seeded PRNG in src/common/",
+        )
+    for m in RANDOM_DEVICE_RE.finditer(code):
+        add(
+            m.start(),
+            RULE_RANDOM,
+            "std::random_device in output-affecting code: use the seeded "
+            "PRNG in src/common/",
+        )
+
+    return findings
+
+
+def lint_file(path: Path, extra_unordered: set[str]) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    return lint_text(path, raw, extra_unordered)
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]
+
+
+def in_linted_dir(path: Path) -> bool:
+    parts = path.parts
+    for i, part in enumerate(parts[:-1]):
+        if part == "src" and parts[i + 1] in LINTED_DIRS:
+            return True
+    return False
+
+
+def repo_files(compile_commands: Path) -> list[Path]:
+    try:
+        entries = json.loads(compile_commands.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(
+            f"error: cannot read {compile_commands}: {err}\n"
+            "hint: configure first (cmake -B build -S .); the build exports "
+            "compile_commands.json and symlinks it at the repo root"
+        )
+    files: set[Path] = set()
+    for entry in entries:
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = Path(entry["directory"]) / src
+        src = src.resolve()
+        if in_linted_dir(src) and src.exists():
+            files.add(src)
+    # Headers never appear in compile_commands; glob them from the same
+    # directories.
+    root = repo_root()
+    for directory in LINTED_DIRS:
+        files.update(p.resolve() for p in (root / "src" / directory).rglob("*.h"))
+    return sorted(files)
+
+
+def global_unordered_names(files: list[Path]) -> set[str]:
+    """Declaration tracking across the linted set: a field declared
+    unordered in a HEADER must be caught when a .cc iterates it. Only
+    headers contribute to the shared set — a .cc-local name stays local,
+    so an identifier reused for an ordered container in another file does
+    not produce cross-file false positives."""
+    names: set[str] = set()
+    for path in files:
+        if path.suffix != ".h":
+            continue
+        code = strip_comments_and_strings(
+            path.read_text(encoding="utf-8", errors="replace")
+        )
+        names |= collect_unordered_names(code)
+    return names
+
+
+EXPECT_RE = re.compile(r"EXPECT-FINDING\(([a-z-]+)\)")
+
+
+def run_self_test() -> int:
+    testdata = Path(__file__).resolve().parent / "testdata"
+    fixtures = sorted(testdata.glob("*.cc")) + sorted(testdata.glob("*.h"))
+    if not fixtures:
+        print(f"self-test: no fixtures under {testdata}", file=sys.stderr)
+        return 1
+    # Fixtures are linted as one set so header-declared fields are tracked,
+    # exactly like a real repo run.
+    extra = global_unordered_names(fixtures)
+    failures = 0
+    for path in fixtures:
+        raw = path.read_text(encoding="utf-8")
+        expected: set[tuple[int, str]] = set()
+        for lineno, line in enumerate(raw.splitlines(), start=1):
+            for m in EXPECT_RE.finditer(line):
+                expected.add((lineno, m.group(1)))
+        actual = {(f.line, f.rule) for f in lint_text(path, raw, extra)}
+        if path.name.startswith("good_") and expected:
+            print(f"self-test: {path.name} is good_* but has EXPECT lines")
+            failures += 1
+            continue
+        missing = expected - actual
+        unexpected = actual - expected
+        for line, rule in sorted(missing):
+            print(f"self-test: {path.name}:{line}: missed expected [{rule}]")
+        for line, rule in sorted(unexpected):
+            print(f"self-test: {path.name}:{line}: spurious [{rule}]")
+        failures += len(missing) + len(unexpected)
+    total = len(fixtures)
+    if failures:
+        print(f"self-test: FAILED ({failures} mismatches over {total} fixtures)")
+        return 1
+    print(f"self-test: OK ({total} fixtures)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="dvicl-determinism lint (see module docstring)"
+    )
+    parser.add_argument(
+        "--compile-commands",
+        type=Path,
+        default=None,
+        help="path to compile_commands.json (default: repo root, then build/)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="lint the fixtures under scripts/lint/testdata/ and verify the "
+        "EXPECT-FINDING annotations",
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path, help="explicit files to lint"
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    if args.files:
+        files = [p.resolve() for p in args.files]
+        for path in files:
+            if not path.exists():
+                sys.exit(f"error: no such file: {path}")
+    else:
+        cc = args.compile_commands
+        if cc is None:
+            root = repo_root()
+            for candidate in (
+                root / "compile_commands.json",
+                root / "build" / "compile_commands.json",
+            ):
+                if candidate.exists():
+                    cc = candidate
+                    break
+            else:
+                sys.exit(
+                    "error: no compile_commands.json found; configure first "
+                    "(cmake -B build -S .) or pass --compile-commands"
+                )
+        files = repo_files(cc)
+
+    extra = global_unordered_names(files)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, extra))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"determinism lint: {len(findings)} finding(s) in "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"determinism lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,29 @@
+// Fixture: ordering or hashing by pointer value. Not compiled — consumed
+// by determinism_lint.py --self-test.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace dvicl {
+
+struct Node {
+  int id;
+};
+
+std::set<Node*> active_nodes;  // EXPECT-FINDING(pointer-order)
+
+std::map<const Node*, int> node_rank;  // EXPECT-FINDING(pointer-order)
+
+std::unordered_set<Node*> visited;  // EXPECT-FINDING(pointer-order)
+
+using NodeHash = std::hash<Node*>;  // EXPECT-FINDING(pointer-order)
+
+using NodeLess = std::less<const Node*>;  // EXPECT-FINDING(pointer-order)
+
+uint64_t AddressKey(const Node* node) {
+  return reinterpret_cast<uintptr_t>(node);  // EXPECT-FINDING(pointer-order)
+}
+
+}  // namespace dvicl

@@ -1,0 +1,22 @@
+// Fixture: wall-clock / OS-entropy calls in output-affecting code. Not
+// compiled — consumed by determinism_lint.py --self-test.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace dvicl {
+
+int RandomTieBreak(int n) {
+  return rand() % n;  // EXPECT-FINDING(raw-randomness)
+}
+
+void SeedFromClock() {
+  srand(time(nullptr));  // EXPECT-FINDING(raw-randomness)
+}
+
+unsigned EntropySeed() {
+  std::random_device device;  // EXPECT-FINDING(raw-randomness)
+  return device();
+}
+
+}  // namespace dvicl

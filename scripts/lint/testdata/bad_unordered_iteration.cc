@@ -1,0 +1,46 @@
+// Fixture: every way the lint must catch unordered-container iteration.
+// Not compiled — consumed by determinism_lint.py --self-test.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bad_unordered_member.h"
+
+namespace dvicl {
+
+int SumValuesByHashOrder(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {  // EXPECT-FINDING(unordered-iteration)
+    total += key * 31 + value;
+  }
+  return total;
+}
+
+int FirstByHashOrder(const std::unordered_set<int>& seen) {
+  auto it = seen.begin();  // EXPECT-FINDING(unordered-iteration)
+  // A bare .end() in a membership comparison is NOT iteration: only the
+  // begin() above may fire.
+  return it == seen.end() ? -1 : *it;
+}
+
+int Chain::SnapshotOrbit() const {
+  int last = 0;
+  // `transversal` is declared unordered in bad_unordered_member.h: the
+  // cross-file declaration tracking must still flag this loop.
+  for (const auto& [point, rep] : transversal) {  // EXPECT-FINDING(unordered-iteration)
+    last = point;
+  }
+  return last;
+}
+
+std::unordered_map<int, int> MakeBuckets();
+
+int SumTemporary() {
+  int total = 0;
+  // Iterating the result of a call that returns an unordered container.
+  for (const auto& [key, value] : MakeBuckets()) {  // EXPECT-FINDING(unordered-iteration)
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace dvicl

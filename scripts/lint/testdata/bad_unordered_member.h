@@ -1,0 +1,20 @@
+// Fixture header: declares an unordered field iterated from the .cc, so
+// the self-test exercises cross-file declaration tracking.
+#ifndef LINT_TESTDATA_BAD_UNORDERED_MEMBER_H_
+#define LINT_TESTDATA_BAD_UNORDERED_MEMBER_H_
+
+#include <unordered_map>
+
+namespace dvicl {
+
+class Chain {
+ public:
+  int SnapshotOrbit() const;
+
+ private:
+  std::unordered_map<int, int> transversal;
+};
+
+}  // namespace dvicl
+
+#endif  // LINT_TESTDATA_BAD_UNORDERED_MEMBER_H_

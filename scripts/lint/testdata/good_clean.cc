@@ -1,0 +1,50 @@
+// Fixture: deterministic idioms the lint must NOT flag. Not compiled —
+// consumed by determinism_lint.py --self-test.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace dvicl {
+
+// Ordered containers iterate in key order: fine.
+int SumOrdered(const std::map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += key + value;
+  return total;
+}
+
+int FirstOrdered(const std::set<int>& seen) {
+  return seen.empty() ? -1 : *seen.begin();
+}
+
+// Unordered containers used only for membership/lookup: fine — no
+// iteration order is observed.
+int CountHits(const std::unordered_map<int, int>& index,
+              const std::vector<int>& queries) {
+  int hits = 0;
+  for (int q : queries) {
+    if (index.count(q) != 0) hits += index.at(q);
+  }
+  return hits;
+}
+
+// Sorting by value, hashing value types: fine.
+void SortByValue(std::vector<int>* values) {
+  std::sort(values->begin(), values->end());
+}
+
+// A comment mentioning rand() or time() must not fire, nor must the
+// string literal "std::random_device" below.
+const char* kDocString = "never call std::random_device or rand() here";
+
+// Identifiers that merely contain the banned substrings: fine.
+int runtime_total = 0;
+int operand_count = 0;
+
+double StepTime(double divide_seconds, double combine_seconds) {
+  return divide_seconds + combine_seconds;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,30 @@
+// Fixture: the NOLINT(dvicl-determinism) escape hatch must suppress a
+// finding on the same line and on the next line. Not compiled — consumed
+// by determinism_lint.py --self-test.
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace dvicl {
+
+int SumValues(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  // Order cannot leak: addition is commutative over the full map.
+  for (const auto& [key, value] : counts) {  // NOLINT(dvicl-determinism)
+    total += value;
+  }
+  return total;
+}
+
+std::vector<int> SortedKeys(const std::unordered_map<int, int>& counts) {
+  std::vector<int> keys;
+  // Order cannot leak: keys are collected then sorted.
+  // NOLINT(dvicl-determinism)
+  for (const auto& [key, value] : counts) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace dvicl

@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the parallel AutoTree build.
 #
-#   scripts/run_sanitizers.sh [tsan|asan|all]   (default: all)
+#   scripts/run_sanitizers.sh [tsan|asan|ubsan|all]   (default: all)
 #
-# tsan: builds with -DDVICL_SANITIZE=thread and runs the parallel test
-#       binaries (task_pool_test, parallel_determinism_test, cert_cache_test)
-#       under ThreadSanitizer. This is the data-race gate for
-#       src/common/task_pool, the parallel DviCL driver and the sharded
-#       canonical-form cache (concurrent lookup/insert/evict plus a shared
-#       cache across simultaneous DviCL runs).
-# asan: builds with -DDVICL_SANITIZE=address (AddressSanitizer + UBSan, the
-#       usual CI pairing) and runs the full ctest suite.
+# tsan:  builds with -DDVICL_SANITIZE=thread and runs the parallel test
+#        binaries (task_pool_test, parallel_determinism_test, cert_cache_test)
+#        under ThreadSanitizer. This is the data-race gate for
+#        src/common/task_pool, the parallel DviCL driver and the sharded
+#        canonical-form cache (concurrent lookup/insert/evict plus a shared
+#        cache across simultaneous DviCL runs).
+# asan:  builds with -DDVICL_SANITIZE=address (AddressSanitizer + UBSan, the
+#        usual CI pairing) and runs the full ctest suite twice — once per
+#        DVICL_CERT_CACHE setting (0 and 1), so both cache legs of the CI
+#        matrix get memory-error coverage, not just the cache-off default.
+# ubsan: builds with -DDVICL_SANITIZE=undefined alone (catches UB that
+#        ASan's instrumentation can mask, and runs fast enough for a smoke
+#        gate) and runs the core algorithm subset: refine_test, ir_test,
+#        dvicl_test.
 #
-# Build trees live in build-tsan/ and build-asan/ next to the normal build/
-# so the sanitizer runs never dirty the main tree.
+# Build trees live in build-tsan/, build-asan/ and build-ubsan/ next to the
+# normal build/ so the sanitizer runs never dirty the main tree.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,19 +41,34 @@ run_asan() {
   echo "=== AddressSanitizer + UBSan: full ctest suite ==="
   cmake -B build-asan -S . -DDVICL_SANITIZE=address >/dev/null
   cmake --build build-asan -j
-  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+  for cert_cache in 0 1; do
+    echo "--- asan leg: DVICL_CERT_CACHE=${cert_cache} ---"
+    DVICL_CERT_CACHE="${cert_cache}" \
+      ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+      ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+  done
+}
+
+run_ubsan() {
+  echo "=== UBSan (standalone): refine_test + ir_test + dvicl_test ==="
+  cmake -B build-ubsan -S . -DDVICL_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j --target refine_test ir_test dvicl_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/refine_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/ir_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/dvicl_test
 }
 
 case "$mode" in
   tsan) run_tsan ;;
   asan) run_asan ;;
+  ubsan) run_ubsan ;;
   all)
     run_tsan
     run_asan
+    run_ubsan
     ;;
   *)
-    echo "usage: $0 [tsan|asan|all]" >&2
+    echo "usage: $0 [tsan|asan|ubsan|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,26 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dvicl {
+namespace internal {
+
+CheckFailMessage::CheckFailMessage(const char* file, int line,
+                                   const char* expr) {
+  stream_ << "DVICL_DCHECK failed at " << file << ":" << line << ": " << expr;
+}
+
+CheckFailMessage::~CheckFailMessage() {
+  // One write, then flush: death tests read stderr after the abort, and the
+  // message must not interleave with other threads' output mid-line.
+  const std::string message = stream_.str();
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dvicl

@@ -1,0 +1,109 @@
+#ifndef DVICL_COMMON_CHECK_H_
+#define DVICL_COMMON_CHECK_H_
+
+#include <sstream>
+
+// DVICL_DCHECK — debug invariant checks for the canonical-labeling core.
+//
+// The canonical labeling must be exact: a violated algebraic invariant (a
+// non-equitable partition, an image array that is not a bijection, a child
+// set that does not partition its parent) does not crash — it silently
+// produces a wrong certificate. nauty/Traces and saucy guard against this
+// class of bug with debug assertions; this header is our equivalent.
+//
+//   DVICL_DCHECK(cond) << "context";          // streams like an ostream
+//   DVICL_DCHECK_EQ(a, b);                    // also _NE _LT _LE _GT _GE
+//
+// Semantics:
+//  - Compiled out entirely unless the build sets -DDVICL_DCHECK=ON (which
+//    defines DVICL_DCHECK_ENABLED). In a disabled build the condition and
+//    every streamed operand are NOT evaluated — the whole statement folds
+//    to nothing — so arbitrarily expensive verification (full equitability
+//    scans, automorphism re-checks) is free in release.
+//  - On failure: prints "DVICL_DCHECK failed" with file:line, the
+//    expression text and the streamed message to stderr, then aborts.
+//    gtest death tests match on the "DVICL_DCHECK" prefix.
+//  - The comparison macros evaluate each operand once for the comparison;
+//    operands are evaluated again only while building the failure message
+//    on the (aborting) failure path, so side-effecting operands are safe in
+//    passing checks but should be avoided on principle.
+//
+// The verifier functions that use these macros (refine::VerifyEquitable,
+// VerifyPermutation, VerifyAutoTree, SchreierSims::CheckInvariants) follow
+// the same contract: callable in any build, no-ops unless DVICL_DCHECK is
+// on. See DESIGN.md §9 for the invariant catalogue.
+
+namespace dvicl {
+
+// True in builds configured with -DDVICL_DCHECK=ON; lets tests branch on
+// whether the invariant layer is live (death test vs no-op expectation).
+#ifdef DVICL_DCHECK_ENABLED
+inline constexpr bool kDcheckEnabled = true;
+#else
+inline constexpr bool kDcheckEnabled = false;
+#endif
+
+namespace internal {
+
+// Collects the failure message; the destructor prints and aborts. Used as a
+// full-expression temporary so the abort happens after all <<s ran.
+class CheckFailMessage {
+ public:
+  CheckFailMessage(const char* file, int line, const char* expr);
+  ~CheckFailMessage();  // prints to stderr and aborts; never returns
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows a stream expression in the dead branch of the check ternary;
+// operator& has lower precedence than << but higher than ?:, which is what
+// lets DVICL_DCHECK(x) << "msg" parse as one expression of type void.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+struct Voidify {
+  void operator&(std::ostream&) const {}
+  void operator&(const NullStream&) const {}
+};
+
+}  // namespace internal
+}  // namespace dvicl
+
+#ifdef DVICL_DCHECK_ENABLED
+
+#define DVICL_DCHECK(cond)                                              \
+  (cond) ? (void)0                                                      \
+         : ::dvicl::internal::Voidify() &                               \
+               ::dvicl::internal::CheckFailMessage(__FILE__, __LINE__,  \
+                                                   #cond)               \
+                   .stream()
+
+#else  // !DVICL_DCHECK_ENABLED
+
+// `true || (cond)` keeps every operand name-checked and odr-alive (no
+// unused-variable warnings at call sites) while guaranteeing nothing is
+// evaluated; the compiler folds the whole statement away.
+#define DVICL_DCHECK(cond) \
+  (true || (cond)) ? (void)0 : ::dvicl::internal::Voidify() & \
+                                   ::dvicl::internal::NullStream()
+
+#endif  // DVICL_DCHECK_ENABLED
+
+#define DVICL_DCHECK_OP(op, a, b) \
+  DVICL_DCHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define DVICL_DCHECK_EQ(a, b) DVICL_DCHECK_OP(==, a, b)
+#define DVICL_DCHECK_NE(a, b) DVICL_DCHECK_OP(!=, a, b)
+#define DVICL_DCHECK_LT(a, b) DVICL_DCHECK_OP(<, a, b)
+#define DVICL_DCHECK_LE(a, b) DVICL_DCHECK_OP(<=, a, b)
+#define DVICL_DCHECK_GT(a, b) DVICL_DCHECK_OP(>, a, b)
+#define DVICL_DCHECK_GE(a, b) DVICL_DCHECK_OP(>=, a, b)
+
+#endif  // DVICL_COMMON_CHECK_H_

@@ -6,6 +6,9 @@
 #include <cassert>
 #include <numeric>
 
+#include "common/check.h"
+#include "dvicl/combine.h"
+
 namespace dvicl {
 
 Permutation SparseAut::ToDense(VertexId n) const {
@@ -183,6 +186,107 @@ std::string FormatAutoTree(const AutoTree& tree, size_t max_nodes) {
     }
   }
   return out;
+}
+
+void VerifyAutoTree(const AutoTree& tree, std::span<const uint32_t> colors) {
+#ifdef DVICL_DCHECK_ENABLED
+  if (tree.NumNodes() == 0) return;
+  DVICL_DCHECK_EQ(tree.Root().parent, -1);
+  DVICL_DCHECK_EQ(tree.Root().depth, 0u);
+
+  std::vector<VertexId> scratch;
+  std::vector<std::pair<uint32_t, VertexId>> by_color;
+  for (uint32_t id = 0; id < tree.NumNodes(); ++id) {
+    const AutoTreeNode& node = tree.Node(id);
+    DVICL_DCHECK(!node.vertices.empty() || id == 0)
+        << "non-root node " << id << " has an empty vertex set";
+    DVICL_DCHECK(std::is_sorted(node.vertices.begin(), node.vertices.end()))
+        << "node " << id << ": vertex set is not sorted";
+    DVICL_DCHECK(std::adjacent_find(node.vertices.begin(),
+                                    node.vertices.end()) ==
+                 node.vertices.end())
+        << "node " << id << ": duplicate vertex";
+    DVICL_DCHECK_EQ(node.labels.size(), node.vertices.size())
+        << "node " << id << ": labels/vertices size mismatch";
+
+    // Label discipline (Algorithms 4/5): within the node, the k vertices of
+    // color c carry exactly the labels c, c+1, ..., c+k-1.
+    by_color.clear();
+    by_color.reserve(node.vertices.size());
+    for (size_t i = 0; i < node.vertices.size(); ++i) {
+      by_color.emplace_back(colors[node.vertices[i]], node.labels[i]);
+    }
+    std::sort(by_color.begin(), by_color.end());
+    for (size_t i = 0; i < by_color.size(); ++i) {
+      const uint32_t color = by_color[i].first;
+      const uint32_t expected =
+          (i > 0 && by_color[i - 1].first == color) ? by_color[i - 1].second + 1
+                                                    : color;
+      DVICL_DCHECK_EQ(by_color[i].second, expected)
+          << "node " << id << ": labels of color class " << color
+          << " are not color + 0..k-1";
+    }
+
+    // Edges stay inside the node's vertex set.
+    for (const Edge& e : node.edges) {
+      DVICL_DCHECK(std::binary_search(node.vertices.begin(),
+                                      node.vertices.end(), e.first) &&
+                   std::binary_search(node.vertices.begin(),
+                                      node.vertices.end(), e.second))
+          << "node " << id << ": edge endpoint outside the vertex set";
+    }
+
+    if (node.is_leaf) {
+      DVICL_DCHECK(node.children.empty())
+          << "leaf node " << id << " has children";
+      continue;
+    }
+    DVICL_DCHECK(!node.children.empty())
+        << "internal node " << id << " has no children";
+    DVICL_DCHECK_EQ(node.child_sym_class.size(), node.children.size());
+
+    // Children partition the parent's vertex set and link back correctly;
+    // canonical-form order is non-descending with sym classes grouping
+    // exactly the equal forms and form_hash matching the recomputed form.
+    scratch.clear();
+    NodeForm prev_form;
+    for (size_t rank = 0; rank < node.children.size(); ++rank) {
+      const uint32_t child_id = node.children[rank];
+      DVICL_DCHECK_LT(child_id, tree.NumNodes());
+      const AutoTreeNode& child = tree.Node(child_id);
+      DVICL_DCHECK_EQ(child.parent, static_cast<int32_t>(id))
+          << "child " << child_id << " does not link back to " << id;
+      DVICL_DCHECK_EQ(child.depth, node.depth + 1);
+      scratch.insert(scratch.end(), child.vertices.begin(),
+                     child.vertices.end());
+
+      NodeForm form = ComputeNodeForm(child);
+      DVICL_DCHECK_EQ(child.form_hash, HashNodeForm(form))
+          << "node " << child_id << ": stale form_hash";
+      if (rank > 0) {
+        DVICL_DCHECK(prev_form <= form)
+            << "node " << id << ": children out of canonical-form order at "
+            << "rank " << rank;
+        const uint32_t expected_class =
+            prev_form == form ? node.child_sym_class[rank - 1]
+                              : node.child_sym_class[rank - 1] + 1;
+        DVICL_DCHECK_EQ(node.child_sym_class[rank], expected_class)
+            << "node " << id << ": sym class does not track form equality "
+            << "at rank " << rank;
+      } else {
+        DVICL_DCHECK_EQ(node.child_sym_class[0], 0u);
+      }
+      prev_form = std::move(form);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    DVICL_DCHECK(scratch == node.vertices)
+        << "node " << id
+        << ": child vertex sets do not partition the parent";
+  }
+#else
+  (void)tree;
+  (void)colors;
+#endif
 }
 
 std::vector<VertexId> OrbitIdsFromGenerators(

@@ -118,6 +118,18 @@ class AutoTree {
   std::vector<uint32_t> leaf_of_;
 };
 
+// DVICL_DCHECK verifier (no-op unless built with -DDVICL_DCHECK=ON): aborts
+// with a diagnostic unless the finished tree is well-formed — parent/depth
+// links consistent, every internal node's child vertex sets partition the
+// parent's vertex set, per-node labels unique and consistent with the root
+// coloring (each color class labeled color..color+count-1), edges confined
+// to the node's vertex set, children listed in non-descending
+// canonical-form order with child_sym_class grouping exactly the equal
+// forms and form_hash matching the recomputed form. `colors` is the root
+// equitable color array (DviclResult::colors). Runs automatically at the
+// end of every completed DviclCanonicalLabeling.
+void VerifyAutoTree(const AutoTree& tree, std::span<const uint32_t> colors);
+
 // Union-find orbit closure over sparse generators: orbit_id[v] is the
 // minimum vertex of v's orbit under the generated group.
 std::vector<VertexId> OrbitIdsFromGenerators(

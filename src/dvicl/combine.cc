@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <unordered_map>
 #include <utility>
 
+#include "common/check.h"
 #include "obs/trace.h"
 #include "refine/coloring.h"
 
@@ -18,18 +18,13 @@ inline uint64_t MixHash(uint64_t h, uint64_t value) {
   return h;
 }
 
-uint64_t HashForm(const NodeForm& form) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (uint64_t value : form) h = MixHash(h, value);
-  return h;
-}
 
 // Assigns node->labels from a vertex order already grouped by color:
 // label = color + rank within the color run (Algorithms 4/5).
 void AssignLabelsFromSortedVertices(AutoTreeNode* node,
                                     std::span<const uint32_t> colors,
                                     const std::vector<VertexId>& sorted) {
-  assert(sorted.size() == node->vertices.size());
+  DVICL_DCHECK_EQ(sorted.size(), node->vertices.size());
   std::unordered_map<VertexId, size_t> position;
   position.reserve(node->vertices.size());
   for (size_t i = 0; i < node->vertices.size(); ++i) {
@@ -49,9 +44,26 @@ void AssignLabelsFromSortedVertices(AutoTreeNode* node,
     node->labels[position.at(v)] = color + rank;
     ++rank;
   }
+#ifdef DVICL_DCHECK_ENABLED
+  // Labels must be unique within the node (Algorithms 4/5: color + rank
+  // within the color class; a collision means `sorted` was not a
+  // permutation of the node's vertices grouped by color).
+  std::vector<VertexId> unique_check = node->labels;
+  std::sort(unique_check.begin(), unique_check.end());
+  DVICL_DCHECK(std::adjacent_find(unique_check.begin(), unique_check.end()) ==
+               unique_check.end())
+      << "duplicate canonical label within an AutoTree node of "
+      << node->vertices.size() << " vertices";
+#endif
 }
 
 }  // namespace
+
+uint64_t HashNodeForm(const NodeForm& form) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (uint64_t value : form) h = MixHash(h, value);
+  return h;
+}
 
 NodeForm ComputeNodeForm(const AutoTreeNode& node) {
   NodeForm form;
@@ -120,7 +132,7 @@ bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
                const IrOptions& leaf_options, IrStats* aggregate_stats,
                CertCache* cache) {
   const size_t k = node->vertices.size();
-  assert(k >= 2);
+  DVICL_DCHECK_GE(k, 2u);
 
   // Lower the leaf to a local graph on 0..k-1 (vertices are sorted, so
   // local ids follow the sorted order).
@@ -218,7 +230,7 @@ void CombineST(AutoTreeNode* node, std::span<AutoTreeNode* const> children,
     if (rank > 0 && forms[i] != forms[order[rank - 1]]) ++current_class;
     form_order->push_back(static_cast<uint32_t>(i));
     sym_class.push_back(current_class);
-    children[i]->form_hash = HashForm(forms[i]);
+    children[i]->form_hash = HashNodeForm(forms[i]);
 
     // Equal adjacent forms: the label-matching bijection between the two
     // sibling subgraphs extends (by identity) to an automorphism of (G, pi)

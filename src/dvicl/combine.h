@@ -21,6 +21,10 @@ using NodeForm = std::vector<uint64_t>;
 
 NodeForm ComputeNodeForm(const AutoTreeNode& node);
 
+// Hash stamped into AutoTreeNode::form_hash by CombineST; exposed so the
+// DVICL_DCHECK tree verifier (VerifyAutoTree) can recompute and compare.
+uint64_t HashNodeForm(const NodeForm& form);
+
 // CombineCL (Algorithm 4): canonical labeling of a non-singleton leaf.
 // Runs the configured IR backend on the leaf's local colored graph, then
 // assigns each vertex the label pi(v) + (rank of v among same-colored leaf

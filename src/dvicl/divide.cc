@@ -1,13 +1,48 @@
 #include "dvicl/divide.h"
 
 #include <algorithm>
-#include <cassert>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/check.h"
 
 namespace dvicl {
 
 namespace {
+
+// DVICL_DCHECK: the divide step must partition the node — every input
+// vertex lands in exactly one piece, and each piece's edges stay inside its
+// own vertex set (Lemmas 6.2/6.3: dropped edges are the reduction, crossing
+// edges would be a correctness bug).
+void DcheckPiecesPartition(std::span<const VertexId> vertices,
+                           const std::vector<GraphPiece>& pieces) {
+#ifdef DVICL_DCHECK_ENABLED
+  std::vector<VertexId> merged;
+  merged.reserve(vertices.size());
+  for (const GraphPiece& piece : pieces) {
+    DVICL_DCHECK(std::is_sorted(piece.vertices.begin(),
+                                piece.vertices.end()))
+        << "piece vertex set is not sorted";
+    merged.insert(merged.end(), piece.vertices.begin(), piece.vertices.end());
+    for (const Edge& e : piece.edges) {
+      DVICL_DCHECK(std::binary_search(piece.vertices.begin(),
+                                      piece.vertices.end(), e.first) &&
+                   std::binary_search(piece.vertices.begin(),
+                                      piece.vertices.end(), e.second))
+          << "piece edge crosses the piece boundary";
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  std::vector<VertexId> expected(vertices.begin(), vertices.end());
+  std::sort(expected.begin(), expected.end());
+  DVICL_DCHECK(merged == expected)
+      << "divide pieces do not partition the node's " << vertices.size()
+      << " vertices";
+#else
+  (void)vertices;
+  (void)pieces;
+#endif
+}
 
 VertexId DsuFind(std::vector<VertexId>& parent, VertexId x) {
   while (parent[x] != x) {
@@ -107,6 +142,7 @@ bool DivideI(std::span<const VertexId> vertices,
     pieces->clear();
     return false;
   }
+  DcheckPiecesPartition(vertices, *pieces);
   return true;
 }
 
@@ -132,6 +168,9 @@ bool DivideS(std::span<const VertexId> vertices, std::vector<Edge>* edges,
   // a full clique inside one cell, or a full biclique between two cells
   // (Theorem 6.4).
   std::unordered_set<uint64_t> removable;
+  // Iteration order cannot leak: each entry is tested independently and the
+  // survivors land in a set queried only by membership.
+  // NOLINT(dvicl-determinism)
   for (const auto& [key, count] : pair_edges) {
     const uint32_t ca = static_cast<uint32_t>(key >> 32);
     const uint32_t cb = static_cast<uint32_t>(key & 0xffffffffu);
@@ -164,6 +203,7 @@ bool DivideS(std::span<const VertexId> vertices, std::vector<Edge>* edges,
     pieces->clear();
     return false;
   }
+  DcheckPiecesPartition(vertices, *pieces);
   return true;
 }
 

@@ -1,7 +1,6 @@
 #include "dvicl/dvicl.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -9,6 +8,7 @@
 #include <span>
 #include <utility>
 
+#include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/task_pool.h"
 #include "dvicl/combine.h"
@@ -32,6 +32,51 @@ bool CertCacheForcedOn() {
     return value != nullptr && value[0] == '1';
   }();
   return forced;
+}
+
+// DVICL_DCHECK: end-to-end verification of a completed run, at the DviCL
+// root. Re-derives the certificate through an explicit relabeling of the
+// input (instead of MakeCertificate's label-indirection path) and checks
+// byte equality, and verifies every emitted generator really is a
+// color-preserving automorphism of (G, pi) — the two outputs whose silent
+// corruption would turn into wrong isomorphism verdicts downstream.
+void DcheckVerifyRootResult(const Graph& graph, const DviclResult& result) {
+#ifdef DVICL_DCHECK_ENABLED
+  const Permutation& gamma = result.canonical_labeling;
+  VerifyPermutation(gamma);
+  DVICL_DCHECK_EQ(gamma.Size(), graph.NumVertices());
+
+  // Certificate cross-check: materialize (G, pi)^gamma and certify it under
+  // the identity labeling; the result must equal the certificate computed
+  // from (G, pi, gamma) directly.
+  const VertexId n = graph.NumVertices();
+  std::vector<Edge> relabeled_edges;
+  relabeled_edges.reserve(graph.Edges().size());
+  for (const Edge& e : graph.Edges()) {
+    relabeled_edges.emplace_back(gamma(e.first), gamma(e.second));
+  }
+  Graph relabeled = Graph::FromEdges(n, std::move(relabeled_edges));
+  std::vector<uint32_t> relabeled_colors(n);
+  for (VertexId v = 0; v < n; ++v) {
+    relabeled_colors[gamma(v)] = result.colors[v];
+  }
+  std::vector<VertexId> identity(n);
+  std::iota(identity.begin(), identity.end(), 0);
+  DVICL_DCHECK(result.certificate ==
+               MakeCertificate(relabeled, relabeled_colors, identity))
+      << "certificate does not match the explicitly relabeled graph";
+
+  for (const SparseAut& gen : result.generators) {
+    DVICL_DCHECK(IsColorPreservingAutomorphism(
+        graph, result.colors, gen.ToDense(graph.NumVertices())))
+        << "emitted generator is not a color-preserving automorphism";
+  }
+
+  VerifyAutoTree(result.tree, result.colors);
+#else
+  (void)graph;
+  (void)result;
+#endif
 }
 
 // One node of the AutoTree under construction. Children are owned in piece
@@ -186,6 +231,7 @@ class DviclBuilder {
       if (!node.is_leaf) continue;
       for (VertexId v : node.vertices) leaf_of[v] = id;
     }
+    DcheckVerifyRootResult(graph_, result);
     return result;
   }
 
@@ -482,7 +528,7 @@ class DviclBuilder {
 
 DviclResult DviclCanonicalLabeling(const Graph& graph, const Coloring& initial,
                                    const DviclOptions& options) {
-  assert(initial.NumVertices() == graph.NumVertices());
+  DVICL_DCHECK_EQ(initial.NumVertices(), graph.NumVertices());
   DviclBuilder builder(graph, options);
   return builder.Run(initial);
 }

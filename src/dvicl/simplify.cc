@@ -31,6 +31,9 @@ StructuralEquivalence FindStructuralEquivalence(const Graph& graph) {
   }
 
   for (VertexId v = 0; v < n; ++v) eq.class_id[v] = v;
+  // Iteration order cannot leak: every class is keyed by its minimum member
+  // and the class list is sorted before returning (line below the loop).
+  // NOLINT(dvicl-determinism)
   for (auto& [hash, members] : buckets) {
     if (members.size() < 2) continue;
     // Within a bucket, group by exact neighbor list. Buckets are tiny in

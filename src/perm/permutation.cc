@@ -1,15 +1,17 @@
 #include "perm/permutation.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+#include <span>
 #include <sstream>
+
+#include "common/check.h"
 
 namespace dvicl {
 
 namespace {
 
-bool IsBijection(const std::vector<VertexId>& image) {
+bool IsBijection(std::span<const VertexId> image) {
   std::vector<bool> seen(image.size(), false);
   for (VertexId v : image) {
     if (v >= image.size() || seen[v]) return false;
@@ -20,6 +22,12 @@ bool IsBijection(const std::vector<VertexId>& image) {
 
 }  // namespace
 
+void VerifyPermutation(const Permutation& gamma) {
+  DVICL_DCHECK(IsBijection(gamma.ImageArray()))
+      << "image array of size " << gamma.Size()
+      << " is not a bijection onto 0.." << gamma.Size() - 1;
+}
+
 Permutation Permutation::Identity(VertexId n) {
   std::vector<VertexId> image(n);
   std::iota(image.begin(), image.end(), 0);
@@ -28,7 +36,7 @@ Permutation Permutation::Identity(VertexId n) {
 
 Permutation::Permutation(std::vector<VertexId> image)
     : image_(std::move(image)) {
-  assert(IsBijection(image_));
+  VerifyPermutation(*this);
 }
 
 Result<Permutation> Permutation::FromImage(std::vector<VertexId> image) {
@@ -96,7 +104,7 @@ bool Permutation::IsIdentity() const {
 }
 
 Permutation Permutation::Then(const Permutation& next) const {
-  assert(Size() == next.Size());
+  DVICL_DCHECK_EQ(Size(), next.Size());
   std::vector<VertexId> image(Size());
   for (VertexId v = 0; v < Size(); ++v) image[v] = next.image_[image_[v]];
   return Permutation(std::move(image));

@@ -62,6 +62,12 @@ class Permutation {
   std::vector<VertexId> image_;
 };
 
+// DVICL_DCHECK verifier (no-op unless built with -DDVICL_DCHECK=ON): aborts
+// with a diagnostic if gamma's image array is not a bijection onto 0..n-1.
+// The Permutation constructor runs this automatically; call it directly
+// after operations that rebuild image arrays by hand.
+void VerifyPermutation(const Permutation& gamma);
+
 // True iff gamma is an automorphism of `graph`: E^gamma = E (paper §2).
 bool IsAutomorphism(const Graph& graph, const Permutation& gamma);
 

@@ -1,7 +1,8 @@
 #include "perm/schreier_sims.h"
 
-#include <cassert>
 #include <deque>
+
+#include "common/check.h"
 
 namespace dvicl {
 
@@ -12,7 +13,7 @@ VertexId FirstMovedPoint(const Permutation& gamma) {
   for (VertexId v = 0; v < gamma.Size(); ++v) {
     if (gamma(v) != v) return v;
   }
-  assert(false);
+  DVICL_DCHECK(false) << "FirstMovedPoint called on the identity";
   return 0;
 }
 
@@ -32,6 +33,12 @@ void SchreierSims::AddGenerator(const Permutation& gamma) {
   if (Sift(0, gamma, &residue, &level)) return;  // already a member
   InsertRaw(level, std::move(residue));
   CompleteFrom(0);
+  // Order spot-check: once the chain is closed again, the generator that
+  // was just inserted must sift to the identity — membership is exactly
+  // what closure guarantees, so a failure here means a broken transversal.
+  DVICL_DCHECK(Contains(gamma))
+      << "inserted generator is not a member of the rebuilt chain";
+  CheckInvariants();
 }
 
 bool SchreierSims::Sift(size_t start, Permutation gamma, Permutation* residue,
@@ -57,7 +64,7 @@ bool SchreierSims::Sift(size_t start, Permutation gamma, Permutation* residue,
 }
 
 void SchreierSims::InsertRaw(size_t level, Permutation gamma) {
-  assert(!gamma.IsIdentity());
+  DVICL_DCHECK(!gamma.IsIdentity());
   if (level == levels_.size()) {
     Level lvl;
     lvl.base_point = FirstMovedPoint(gamma);
@@ -72,6 +79,7 @@ void SchreierSims::RebuildOrbit(size_t level) {
   Level& lvl = levels_[level];
   lvl.transversal.clear();
   lvl.transversal.emplace(lvl.base_point, Permutation::Identity(degree_));
+  lvl.orbit.assign(1, lvl.base_point);
   std::deque<VertexId> queue = {lvl.base_point};
   while (!queue.empty()) {
     const VertexId point = queue.front();
@@ -84,6 +92,7 @@ void SchreierSims::RebuildOrbit(size_t level) {
         const VertexId next = s(point);
         if (lvl.transversal.find(next) == lvl.transversal.end()) {
           lvl.transversal.emplace(next, lvl.transversal.at(point).Then(s));
+          lvl.orbit.push_back(next);
           queue.push_back(next);
         }
       }
@@ -99,12 +108,13 @@ void SchreierSims::CompleteFrom(size_t level) {
 
   for (;;) {
     RebuildOrbit(level);
-    // Snapshot orbit points; the transversal map is stable within a scan.
-    std::vector<VertexId> orbit;
-    orbit.reserve(levels_[level].transversal.size());
-    for (const auto& [point, rep] : levels_[level].transversal) {
-      orbit.push_back(point);
-    }
+    // Snapshot the orbit in BFS discovery order. Iterating the transversal
+    // hash map here used to leak its platform-dependent iteration order
+    // into which Schreier generator failed to sift first — and from there
+    // into the chain's internal generator set and deeper base points. The
+    // discovery-order vector makes the whole chain a deterministic function
+    // of the input generator sequence (caught by the determinism lint).
+    const std::vector<VertexId> orbit = levels_[level].orbit;
 
     bool restarted = false;
     for (VertexId point : orbit) {
@@ -151,6 +161,41 @@ std::vector<VertexId> SchreierSims::Base() const {
   base.reserve(levels_.size());
   for (const Level& lvl : levels_) base.push_back(lvl.base_point);
   return base;
+}
+
+void SchreierSims::CheckInvariants() const {
+#ifdef DVICL_DCHECK_ENABLED
+  for (size_t l = 0; l < levels_.size(); ++l) {
+    const Level& lvl = levels_[l];
+    DVICL_DCHECK_EQ(lvl.orbit.size(), lvl.transversal.size())
+        << "level " << l << ": orbit vector and transversal disagree";
+    DVICL_DCHECK(!lvl.orbit.empty() && lvl.orbit.front() == lvl.base_point)
+        << "level " << l << ": orbit must start at the base point";
+    for (const VertexId point : lvl.orbit) {
+      const auto it = lvl.transversal.find(point);
+      DVICL_DCHECK(it != lvl.transversal.end())
+          << "level " << l << ": orbit point " << point
+          << " missing from transversal";
+      DVICL_DCHECK_EQ(it->second(lvl.base_point), point)
+          << "level " << l << ": representative does not map base "
+          << lvl.base_point << " to its orbit point";
+    }
+    DVICL_DCHECK(lvl.transversal.at(lvl.base_point).IsIdentity())
+        << "level " << l << ": base point representative must be identity";
+    // A generator stored at level l is a sift residue through levels < l,
+    // so it must fix every shallower base point.
+    for (const Permutation& gen : lvl.generators) {
+      for (size_t shallower = 0; shallower < l; ++shallower) {
+        DVICL_DCHECK_EQ(gen(levels_[shallower].base_point),
+                        levels_[shallower].base_point)
+            << "level " << l
+            << ": generator moves the base point of level " << shallower;
+      }
+      DVICL_DCHECK_NE(gen(lvl.base_point), lvl.base_point)
+          << "level " << l << ": generator fixes its own base point";
+    }
+  }
+#endif
 }
 
 }  // namespace dvicl

@@ -41,12 +41,27 @@ class SchreierSims {
   // The base points of the chain (for inspection/tests).
   std::vector<VertexId> Base() const;
 
+  // DVICL_DCHECK invariant sweep (no-op unless built with -DDVICL_DCHECK=ON):
+  // every transversal representative maps the base point to its orbit point,
+  // the base point's representative is the identity, the orbit vector and
+  // transversal agree, and every generator stored at a level fixes the base
+  // points of all shallower levels. Called automatically after
+  // AddGenerator; tests call it directly on hand-built chains.
+  void CheckInvariants() const;
+
  private:
   struct Level {
     VertexId base_point;
     std::vector<Permutation> generators;
     // orbit point -> coset representative u with u(base_point) = point.
     std::unordered_map<VertexId, Permutation> transversal;
+    // Orbit points in BFS discovery order. The discovery order is a
+    // deterministic function of the generator list (queue order and
+    // generator order are both fixed), and it is the ONLY iteration order
+    // ever used over the orbit: iterating `transversal` directly would leak
+    // the hash-map's platform-dependent order into which Schreier generator
+    // sifts first, and from there into the chain's internal structure.
+    std::vector<VertexId> orbit;
   };
 
   // Sifts gamma through levels [start..]; returns true if it reduces to the

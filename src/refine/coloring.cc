@@ -4,7 +4,38 @@
 #include <cassert>
 #include <numeric>
 
+#include "common/check.h"
+
 namespace dvicl {
+
+void Coloring::CheckConsistency() const {
+#ifdef DVICL_DCHECK_ENABLED
+  const VertexId n = NumVertices();
+  DVICL_DCHECK_EQ(pos_.size(), order_.size());
+  DVICL_DCHECK_EQ(cell_start_of_.size(), order_.size());
+  DVICL_DCHECK_EQ(cell_len_.size(), order_.size());
+  for (VertexId p = 0; p < n; ++p) {
+    const VertexId v = order_[p];
+    DVICL_DCHECK_LT(v, n);
+    DVICL_DCHECK_EQ(pos_[v], p) << "order_/pos_ are not inverse at " << p;
+  }
+  // Cells tile 0..n-1 contiguously; every member caches its cell start.
+  VertexId start = 0;
+  VertexId cells = 0;
+  while (start < n) {
+    const VertexId len = cell_len_[start];
+    DVICL_DCHECK_GT(len, 0u) << "zero-length cell at " << start;
+    DVICL_DCHECK_LE(start + len, n) << "cell at " << start << " overflows";
+    for (VertexId p = start; p < start + len; ++p) {
+      DVICL_DCHECK_EQ(cell_start_of_[order_[p]], start)
+          << "vertex " << order_[p] << " caches the wrong cell start";
+    }
+    start += len;
+    ++cells;
+  }
+  DVICL_DCHECK_EQ(cells, num_cells_);
+#endif
+}
 
 Coloring Coloring::Unit(VertexId n) {
   Coloring pi;
@@ -163,6 +194,7 @@ VertexId Coloring::Individualize(VertexId v) {
     cell_start_of_[order_[i]] = rest;
   }
   ++num_cells_;
+  CheckConsistency();
   return rest;
 }
 

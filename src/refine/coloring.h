@@ -83,6 +83,14 @@ class Coloring {
     return lhs.order_ == rhs.order_ && lhs.cell_len_ == rhs.cell_len_;
   }
 
+  // DVICL_DCHECK verifier (no-op unless built with -DDVICL_DCHECK=ON):
+  // aborts with a diagnostic unless the representation invariants hold —
+  // order_/pos_ are inverse, cells tile 0..n-1 contiguously, every vertex's
+  // cached cell start points at the cell that contains it, and num_cells_
+  // matches. Called by refine::VerifyEquitable after every refinement and
+  // at the end of Individualize.
+  void CheckConsistency() const;
+
  private:
   Coloring() = default;
 

@@ -4,6 +4,8 @@
 #include <deque>
 #include <vector>
 
+#include "common/check.h"
+
 namespace dvicl {
 
 namespace {
@@ -143,6 +145,7 @@ void RefineToEquitable(const Graph& graph, Coloring* pi) {
   RefinementRun run(graph, pi);
   for (VertexId start : pi->CellStarts()) run.Enqueue(start);
   run.Run();
+  VerifyEquitable(graph, *pi);
 }
 
 void RefineFrom(const Graph& graph, Coloring* pi,
@@ -150,6 +153,41 @@ void RefineFrom(const Graph& graph, Coloring* pi,
   RefinementRun run(graph, pi);
   for (VertexId start : seed_cell_starts) run.Enqueue(start);
   run.Run();
+  VerifyEquitable(graph, *pi);
+}
+
+void VerifyEquitable(const Graph& graph, const Coloring& pi) {
+#ifdef DVICL_DCHECK_ENABLED
+  pi.CheckConsistency();
+  // Equitable <=> within every cell, all members see identical multisets of
+  // neighbor colors (the per-cell-pair counts of paper §2, read off as one
+  // sorted profile per vertex). O(m log deg) total.
+  std::vector<VertexId> rep_profile;
+  std::vector<VertexId> member_profile;
+  for (VertexId cs : pi.CellStarts()) {
+    const auto cell = pi.CellVerticesAt(cs);
+    if (cell.size() == 1) continue;
+    rep_profile.clear();
+    for (VertexId u : graph.Neighbors(cell.front())) {
+      rep_profile.push_back(pi.ColorOf(u));
+    }
+    std::sort(rep_profile.begin(), rep_profile.end());
+    for (size_t i = 1; i < cell.size(); ++i) {
+      member_profile.clear();
+      for (VertexId u : graph.Neighbors(cell[i])) {
+        member_profile.push_back(pi.ColorOf(u));
+      }
+      std::sort(member_profile.begin(), member_profile.end());
+      DVICL_DCHECK(member_profile == rep_profile)
+          << "coloring is not equitable: cell " << cs << " members "
+          << cell.front() << " and " << cell[i]
+          << " see different neighbor-color profiles";
+    }
+  }
+#else
+  (void)graph;
+  (void)pi;
+#endif
 }
 
 uint64_t ThreadRefineSplitters() { return tl_splitters; }

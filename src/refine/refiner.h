@@ -31,6 +31,17 @@ void RefineFrom(const Graph& graph, Coloring* pi,
 // (Vi, Vj) has uniform neighbor counts, the definition in paper §2.
 bool IsEquitable(const Graph& graph, const Coloring& pi);
 
+// DVICL_DCHECK verifier (no-op unless built with -DDVICL_DCHECK=ON): aborts
+// with a diagnostic unless `pi` is internally consistent AND equitable with
+// respect to `graph`. Runs automatically at the end of RefineToEquitable /
+// RefineFrom, i.e. after every refinement anywhere in the system — the
+// DviCL root, every IR search node, the signature hash. Uses the
+// O(m log deg) neighbor-color-profile formulation (equitable <=> within
+// every cell, all members see identical multisets of neighbor colors)
+// rather than the O(cells * (n + m)) pairwise definition in IsEquitable, so
+// it is affordable on every call even in stress tests.
+void VerifyEquitable(const Graph& graph, const Coloring& pi);
+
 // Isomorphism-invariant hash of the refinement outcome of (graph, initial):
 // refines a copy of `initial` to equitable and hashes the resulting cell
 // structure (cell count, per-cell start offset and size) together with the

@@ -1,0 +1,183 @@
+// Tests for the DVICL_DCHECK invariant layer (common/check.h and the
+// verifiers threaded through the hot paths). Each corruption test has two
+// personalities selected by kDcheckEnabled:
+//   - DCHECK builds (-DDVICL_DCHECK=ON): the verifier must abort with a
+//     message containing "DVICL_DCHECK" (gtest death test);
+//   - release builds: the same call must be a complete no-op.
+// CI runs the suite in both configurations.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "dvicl/auto_tree.h"
+#include "dvicl/dvicl.h"
+#include "graph/graph.h"
+#include "perm/permutation.h"
+#include "perm/schreier_sims.h"
+#include "refine/coloring.h"
+#include "refine/refiner.h"
+
+namespace dvicl {
+namespace {
+
+// Disjoint union of two triangles: the smallest graph whose AutoTree has a
+// root plus two symmetric leaf children (DivideI splits the components),
+// i.e. enough structure for every VerifyAutoTree invariant to be live.
+Graph TwoTriangles() {
+  return Graph::FromEdges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+}
+
+TEST(DcheckMacroTest, PassingChecksAreSilent) {
+  DVICL_DCHECK(true) << "never printed";
+  DVICL_DCHECK_EQ(2 + 2, 4);
+  DVICL_DCHECK_LT(1, 2) << "also never printed";
+}
+
+TEST(DcheckMacroTest, DisabledBuildDoesNotEvaluateOperands) {
+  int evaluations = 0;
+  const auto count_and_pass = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  DVICL_DCHECK(count_and_pass());
+  // Enabled: the condition runs (once). Disabled: `true || cond` must
+  // short-circuit, so expensive verification is genuinely free in release.
+  EXPECT_EQ(evaluations, kDcheckEnabled ? 1 : 0);
+}
+
+TEST(DcheckMacroDeathTest, FailedCheckAbortsWithExpressionText) {
+  if constexpr (kDcheckEnabled) {
+    EXPECT_DEATH(DVICL_DCHECK(1 == 2) << "extra context",
+                 "DVICL_DCHECK.*1 == 2.*extra context");
+  } else {
+    DVICL_DCHECK(1 == 2) << "no-op in release";
+  }
+}
+
+TEST(DcheckMacroDeathTest, ComparisonMacroReportsBothOperands) {
+  if constexpr (kDcheckEnabled) {
+    EXPECT_DEATH(DVICL_DCHECK_EQ(2 + 2, 5), "DVICL_DCHECK.*4 vs 5");
+  } else {
+    DVICL_DCHECK_EQ(2 + 2, 5);
+  }
+}
+
+TEST(VerifyPermutationDeathTest, NonBijectiveImageArray) {
+  if constexpr (kDcheckEnabled) {
+    // The Permutation constructor runs VerifyPermutation itself.
+    EXPECT_DEATH(Permutation(std::vector<VertexId>{0, 0, 2}),
+                 "DVICL_DCHECK.*not a bijection");
+  } else {
+    const Permutation broken(std::vector<VertexId>{0, 0, 2});
+    EXPECT_EQ(broken.Size(), 3u);
+  }
+}
+
+TEST(VerifyEquitableDeathTest, NonEquitableColoring) {
+  // Path 0-1-2 under the unit coloring: one cell with degrees 1, 2, 1 —
+  // members of the cell see different neighbor-color profiles.
+  const Graph path = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  const Coloring unit = Coloring::Unit(3);
+  if constexpr (kDcheckEnabled) {
+    EXPECT_DEATH(VerifyEquitable(path, unit), "DVICL_DCHECK");
+  } else {
+    VerifyEquitable(path, unit);
+  }
+}
+
+TEST(VerifyEquitableDeathTest, RefinedColoringPasses) {
+  const Graph path = Graph::FromEdges(3, {{0, 1}, {1, 2}});
+  Coloring pi = Coloring::Unit(3);
+  RefineToEquitable(path, &pi);  // runs VerifyEquitable internally
+  VerifyEquitable(path, pi);     // and explicitly: must not abort
+}
+
+TEST(SchreierSimsTest, CheckInvariantsOnBuiltChain) {
+  // (0 1) and (0 1 2 3) generate S4; AddGenerator already self-checks,
+  // this exercises the public entry point on a finished chain.
+  SchreierSims chain(4);
+  chain.AddGenerator(Permutation(std::vector<VertexId>{1, 0, 2, 3}));
+  chain.AddGenerator(Permutation(std::vector<VertexId>{1, 2, 3, 0}));
+  chain.CheckInvariants();
+  EXPECT_EQ(chain.Order(), BigUint(24));
+}
+
+class VerifyAutoTreeDeathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    result_ = DviclCanonicalLabeling(TwoTriangles(), Coloring::Unit(6));
+    ASSERT_TRUE(result_.completed);
+    ASSERT_GE(result_.tree.NumNodes(), 3u)
+        << "two triangles must divide into root + two leaves";
+    // The pristine tree passes in any build (the builder already verified
+    // it once under DCHECK).
+    VerifyAutoTree(result_.tree, result_.colors);
+  }
+
+  DviclResult result_;
+};
+
+TEST_F(VerifyAutoTreeDeathTest, ChildrenNoLongerPartitionParent) {
+  AutoTree tree = result_.tree;
+  AutoTreeNode& leaf = tree.MutableNodes()[1];
+  leaf.vertices.pop_back();
+  leaf.labels.pop_back();
+  if constexpr (kDcheckEnabled) {
+    EXPECT_DEATH(VerifyAutoTree(tree, result_.colors), "DVICL_DCHECK");
+  } else {
+    VerifyAutoTree(tree, result_.colors);
+  }
+}
+
+TEST_F(VerifyAutoTreeDeathTest, DuplicateLabelWithinNode) {
+  AutoTree tree = result_.tree;
+  AutoTreeNode& leaf = tree.MutableNodes()[1];
+  ASSERT_GE(leaf.labels.size(), 2u);
+  leaf.labels[1] = leaf.labels[0];
+  if constexpr (kDcheckEnabled) {
+    EXPECT_DEATH(VerifyAutoTree(tree, result_.colors), "DVICL_DCHECK");
+  } else {
+    VerifyAutoTree(tree, result_.colors);
+  }
+}
+
+TEST_F(VerifyAutoTreeDeathTest, BrokenParentLink) {
+  AutoTree tree = result_.tree;
+  tree.MutableNodes()[1].parent = 1;  // child claims to be its own parent
+  if constexpr (kDcheckEnabled) {
+    EXPECT_DEATH(VerifyAutoTree(tree, result_.colors), "DVICL_DCHECK");
+  } else {
+    VerifyAutoTree(tree, result_.colors);
+  }
+}
+
+TEST_F(VerifyAutoTreeDeathTest, StaleFormHash) {
+  AutoTree tree = result_.tree;
+  tree.MutableNodes()[1].form_hash ^= 1;
+  if constexpr (kDcheckEnabled) {
+    EXPECT_DEATH(VerifyAutoTree(tree, result_.colors), "DVICL_DCHECK");
+  } else {
+    VerifyAutoTree(tree, result_.colors);
+  }
+}
+
+TEST_F(VerifyAutoTreeDeathTest, SymClassIgnoresFormEquality) {
+  // The two triangle leaves have equal canonical forms, so they must share
+  // a symmetry class; splitting them is the §5 bug the verifier guards.
+  AutoTree tree = result_.tree;
+  AutoTreeNode& root = tree.MutableNodes()[0];
+  ASSERT_EQ(root.children.size(), 2u);
+  ASSERT_EQ(root.child_sym_class[0], root.child_sym_class[1]);
+  root.child_sym_class[1] = root.child_sym_class[0] + 1;
+  if constexpr (kDcheckEnabled) {
+    EXPECT_DEATH(VerifyAutoTree(tree, result_.colors), "DVICL_DCHECK");
+  } else {
+    VerifyAutoTree(tree, result_.colors);
+  }
+}
+
+}  // namespace
+}  // namespace dvicl
