@@ -64,21 +64,23 @@ void RunCertCacheAblation(bench::BenchReporter& reporter, double time_limit) {
     reporter.Field("section", "cert_cache_forest");
     reporter.Field("copies", static_cast<uint64_t>(copies));
     reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
-    reporter.Field("cache_off_completed", r_off.completed);
+    reporter.Field("cache_off_completed", r_off.completed());
+    reporter.Field("cache_off_outcome", RunOutcomeName(r_off.outcome));
     reporter.Field("cache_off_seconds", t_off);
-    reporter.Field("cache_on_completed", r_on.completed);
+    reporter.Field("cache_on_completed", r_on.completed());
+    reporter.Field("cache_on_outcome", RunOutcomeName(r_on.outcome));
     reporter.Field("cache_on_seconds", t_on);
     reporter.Field("cert_cache_hits", hits);
     reporter.Field("cert_cache_misses", misses);
     reporter.Field("cert_cache_collisions", r_on.stats.cert_cache.collisions);
     reporter.Field("cert_cache_hit_rate", hit_rate);
     reporter.Field("certificates_equal",
-                   r_off.completed && r_on.completed &&
+                   r_off.completed() && r_on.completed() &&
                        r_off.certificate == r_on.certificate);
     reporter.EndRecord();
 
     table.Row({std::to_string(copies), std::to_string(g.NumVertices()),
-               Timed(r_off.completed, t_off), Timed(r_on.completed, t_on),
+               Timed(r_off.completed(), t_off), Timed(r_on.completed(), t_on),
                std::to_string(hits), std::to_string(misses),
                bench::FormatDouble(hit_rate * 100.0, 1) + "%"});
     std::fflush(stdout);
@@ -87,7 +89,7 @@ void RunCertCacheAblation(bench::BenchReporter& reporter, double time_limit) {
 
 void Run(int argc, char** argv) {
   bench::BenchReporter reporter("ablation_dvicl", argc, argv);
-  const double time_limit = bench::TimeLimitFromEnv();
+  const double time_limit = reporter.TimeLimitSeconds();
   std::printf("Ablation: DviCL divide/simplify variants (scale=%.2f, "
               "budget=%.1fs)\n\n",
               bench::ScaleFromEnv(), time_limit);
@@ -126,20 +128,24 @@ void Run(int argc, char** argv) {
     reporter.BeginRecord();
     reporter.Field("graph", suite[i].name);
     reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
-    reporter.Field("full_completed", r_full.completed);
+    reporter.Field("full_completed", r_full.completed());
+    reporter.Field("full_outcome", RunOutcomeName(r_full.outcome));
     reporter.Field("full_seconds", t_full);
-    reporter.Field("divide_i_only_completed", r_no_s.completed);
+    reporter.Field("divide_i_only_completed", r_no_s.completed());
+    reporter.Field("divide_i_only_outcome", RunOutcomeName(r_no_s.outcome));
     reporter.Field("divide_i_only_seconds", t_no_s);
-    reporter.Field("no_divide_completed", r_none.completed);
+    reporter.Field("no_divide_completed", r_none.completed());
+    reporter.Field("no_divide_outcome", RunOutcomeName(r_none.outcome));
     reporter.Field("no_divide_seconds", t_none);
-    reporter.Field("simplify_completed", r_simpl.completed);
+    reporter.Field("simplify_completed", r_simpl.completed());
+    reporter.Field("simplify_outcome", RunOutcomeName(r_simpl.outcome));
     reporter.Field("simplify_seconds", t_simpl);
     reporter.EndRecord();
 
-    table.Row({suite[i].name, Timed(r_full.completed, t_full),
-               Timed(r_no_s.completed, t_no_s),
-               Timed(r_none.completed, t_none),
-               Timed(r_simpl.completed, t_simpl)});
+    table.Row({suite[i].name, Timed(r_full.completed(), t_full),
+               Timed(r_no_s.completed(), t_no_s),
+               Timed(r_none.completed(), t_none),
+               Timed(r_simpl.completed(), t_simpl)});
     std::fflush(stdout);
   }
 

@@ -31,6 +31,12 @@ namespace bench {
 //                    (also --cert-cache=1; --cert-cache=0 is the default)
 //   --trace=out.json Chrome-trace recording of the whole bench run
 //   --metrics=out.json metrics registry dump (plus a text table on stdout)
+//   --time-limit=SECONDS  per-run wall-clock budget (overrides
+//                    DVICL_TIME_LIMIT; 0 = unlimited). Budget-exceeded runs
+//                    are reported with their structured outcome, not
+//                    silently dropped.
+//   --memory-limit=MIB    per-run RSS-delta budget in mebibytes
+//                    (DviclOptions::memory_limit_mib; 0 = unlimited)
 inline double ScaleFromEnv() {
   const char* value = std::getenv("DVICL_BENCH_SCALE");
   return value != nullptr ? std::atof(value) : 1.0;
@@ -85,6 +91,22 @@ inline unsigned ThreadsFromArgs(int argc, char** argv) {
   return value != nullptr ? static_cast<unsigned>(std::atoi(value)) : 1u;
 }
 
+// Per-run wall-clock budget: `--time-limit=SECONDS` wins over the
+// DVICL_TIME_LIMIT environment variable (0 = unlimited).
+inline double TimeLimitFromArgs(int argc, char** argv) {
+  const std::string flag = FlagFromArgs(argc, argv, "--time-limit");
+  if (!flag.empty()) return std::atof(flag.c_str());
+  return TimeLimitFromEnv();
+}
+
+// Per-run RSS-delta budget in MiB (`--memory-limit=MIB`, 0 = unlimited).
+inline uint64_t MemoryLimitFromArgs(int argc, char** argv) {
+  const std::string flag = FlagFromArgs(argc, argv, "--memory-limit");
+  if (flag.empty()) return 0;
+  const long long value = std::atoll(flag.c_str());
+  return value > 0 ? static_cast<uint64_t>(value) : 0;
+}
+
 // Minimal fixed-width table printer.
 class TablePrinter {
  public:
@@ -134,7 +156,9 @@ class BenchReporter {
   BenchReporter(std::string name, int argc, char** argv)
       : name_(std::move(name)),
         threads_(ThreadsFromArgs(argc, argv)),
-        cert_cache_(CertCacheFromArgs(argc, argv)) {
+        cert_cache_(CertCacheFromArgs(argc, argv)),
+        time_limit_seconds_(TimeLimitFromArgs(argc, argv)),
+        memory_limit_mib_(MemoryLimitFromArgs(argc, argv)) {
     const char* json_env = std::getenv("DVICL_BENCH_JSON");
     json_enabled_ = json_env == nullptr || json_env[0] != '0';
     trace_path_ = FlagFromArgs(argc, argv, "--trace");
@@ -157,7 +181,9 @@ class BenchReporter {
     writer_.Key("benchmark_scale");
     writer_.Uint(static_cast<uint64_t>(BenchmarkScaleFromEnv()));
     writer_.Key("time_limit_seconds");
-    writer_.Double(TimeLimitFromEnv());
+    writer_.Double(time_limit_seconds_);
+    writer_.Key("memory_limit_mib");
+    writer_.Uint(memory_limit_mib_);
     writer_.Key("records");
     writer_.BeginArray();
   }
@@ -169,6 +195,8 @@ class BenchReporter {
 
   unsigned Threads() const { return threads_; }
   bool CertCacheEnabled() const { return cert_cache_; }
+  double TimeLimitSeconds() const { return time_limit_seconds_; }
+  uint64_t MemoryLimitMib() const { return memory_limit_mib_; }
   // Null when the corresponding flag was not given — exactly the shape
   // DviclOptions::trace / ::metrics and IrOptions::trace expect.
   obs::TraceRecorder* Trace() const { return trace_.get(); }
@@ -179,6 +207,8 @@ class BenchReporter {
     DviclOptions options;
     options.num_threads = threads_;
     options.cert_cache = cert_cache_;
+    options.time_limit_seconds = time_limit_seconds_;
+    options.memory_limit_mib = memory_limit_mib_;
     options.trace = trace_.get();
     options.metrics = metrics_.get();
     return options;
@@ -210,6 +240,14 @@ class BenchReporter {
   void Field(const char* key, bool value) {
     writer_.Key(key);
     writer_.Bool(value);
+  }
+
+  // Structured termination cause of a governed run. Every harness writes
+  // this next to its timing fields so a budget-exceeded run is a visible
+  // record ("outcome": "deadline") rather than a silently dropped row.
+  void OutcomeFields(RunOutcome outcome) {
+    Field("outcome", RunOutcomeName(outcome));
+    Field("completed", outcome == RunOutcome::kCompleted);
   }
 
   // Standard per-run DviCL statistics fields, with the wall-clock /
@@ -270,6 +308,8 @@ class BenchReporter {
   std::string name_;
   unsigned threads_;
   bool cert_cache_ = false;
+  double time_limit_seconds_ = 0.0;
+  uint64_t memory_limit_mib_ = 0;
   bool json_enabled_ = true;
   bool finished_ = false;
   std::string trace_path_;

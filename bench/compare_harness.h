@@ -25,7 +25,10 @@ namespace dvicl {
 namespace bench {
 
 struct CompareCell {
-  bool completed = false;
+  // Structured outcome (common/outcome.h); a baseline run that finished
+  // but overshot the harness time limit is reported as kDeadline.
+  RunOutcome outcome = RunOutcome::kCancelled;
+  bool completed() const { return outcome == RunOutcome::kCompleted; }
   double seconds = 0.0;
   double rss_delta_mib = 0.0;
 };
@@ -43,7 +46,10 @@ inline CompareCell RunBaseline(const Graph& g, IrPreset preset,
   IrResult result =
       IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
   cell.seconds = watch.ElapsedSeconds();
-  cell.completed = result.completed && cell.seconds <= time_limit;
+  cell.outcome = result.outcome;
+  if (cell.completed() && time_limit > 0.0 && cell.seconds > time_limit) {
+    cell.outcome = RunOutcome::kDeadline;
+  }
   cell.rss_delta_mib = CurrentRssMebibytes() - rss_before;
   return cell;
 }
@@ -55,21 +61,21 @@ inline CompareCell RunDvicl(const Graph& g, IrPreset preset,
   Stopwatch watch;
   DviclOptions options = reporter.Options();
   options.leaf_backend = preset;
-  options.time_limit_seconds = time_limit;
+  options.time_limit_seconds = time_limit;  // RunComparison's own budget
   DviclResult result =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
   cell.seconds = watch.ElapsedSeconds();
-  cell.completed = result.completed;
+  cell.outcome = result.outcome;
   cell.rss_delta_mib = CurrentRssMebibytes() - rss_before;
   return cell;
 }
 
 inline std::string TimeText(const CompareCell& cell) {
-  return cell.completed ? FormatDouble(cell.seconds, 3) : "-";
+  return cell.completed() ? FormatDouble(cell.seconds, 3) : "-";
 }
 
 inline std::string MemText(const CompareCell& cell) {
-  if (!cell.completed) return "-";
+  if (!cell.completed()) return "-";
   return FormatDouble(cell.rss_delta_mib < 0 ? 0.0 : cell.rss_delta_mib, 1);
 }
 
@@ -94,7 +100,7 @@ inline void RecordCell(BenchReporter& reporter, const NamedGraph& entry,
   reporter.Field("m", static_cast<uint64_t>(entry.graph.NumEdges()));
   reporter.Field("algorithm", algorithm);
   reporter.Field("preset", PresetName(preset));
-  reporter.Field("completed", cell.completed);
+  reporter.OutcomeFields(cell.outcome);
   reporter.Field("wall_seconds", cell.seconds);
   reporter.Field("rss_delta_mib", cell.rss_delta_mib);
   reporter.EndRecord();
@@ -103,7 +109,7 @@ inline void RecordCell(BenchReporter& reporter, const NamedGraph& entry,
 inline void RunComparison(BenchReporter& reporter,
                           const std::vector<NamedGraph>& suite,
                           const char* title) {
-  const double time_limit = TimeLimitFromEnv();
+  const double time_limit = reporter.TimeLimitSeconds();
   const uint32_t num_threads = reporter.Threads();
   std::printf("%s\n", title);
   if (num_threads != 1) {

@@ -41,7 +41,7 @@ void Run() {
     DviclResult result =
         DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
     const double seconds = watch.ElapsedSeconds();
-    if (!result.completed) {
+    if (!result.completed()) {
       table.Row({std::to_string(g.NumVertices()), "-", "-", "-", "-", "-",
                  "-"});
       continue;

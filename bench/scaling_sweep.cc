@@ -16,7 +16,9 @@
 // refinement, divide/combine spans, leaf IR searches, task-pool
 // spawn/steal/run events across worker threads); `--metrics=out.json`
 // dumps the aggregated counters. Results also land in
-// BENCH_scaling_sweep.json.
+// BENCH_scaling_sweep.json. `--forest-only` runs just the gadget-forest
+// section — the deterministic workload the failpoint-overhead CI check
+// times (scripts/check_failpoint_overhead.sh).
 
 #include <cstdio>
 #include <vector>
@@ -69,22 +71,24 @@ void SweepSocial(bench::BenchReporter& reporter, double budget) {
     reporter.Field("series", "social");
     reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
     reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
-    reporter.Field("ir_completed", ir.completed);
+    reporter.Field("ir_completed", ir.completed());
+    reporter.Field("ir_outcome", RunOutcomeName(ir.outcome));
     reporter.Field("ir_wall_seconds", t_ir);
-    reporter.Field("dvicl_completed", dv.completed);
+    reporter.Field("dvicl_completed", dv.completed());
+    reporter.Field("dvicl_outcome", RunOutcomeName(dv.outcome));
     reporter.StatsFields(dv.stats);
     reporter.EndRecord();
 
     std::string speedup = "-";
-    if (ir.completed && dv.completed && t_dv > 0) {
+    if (ir.completed() && dv.completed() && t_dv > 0) {
       speedup = bench::FormatDouble(t_ir / t_dv, 1) + "x";
-    } else if (dv.completed) {
+    } else if (dv.completed()) {
       speedup = ">" + bench::FormatDouble(budget / t_dv, 0) + "x";
     }
     table.Row({std::to_string(g.NumVertices()),
                std::to_string(g.NumEdges()),
-               ir.completed ? bench::FormatDouble(t_ir, 3) : "-",
-               dv.completed ? bench::FormatDouble(t_dv, 3) : "-", speedup});
+               ir.completed() ? bench::FormatDouble(t_ir, 3) : "-",
+               dv.completed() ? bench::FormatDouble(t_dv, 3) : "-", speedup});
     std::fflush(stdout);
   }
 }
@@ -122,29 +126,36 @@ void SweepForest(bench::BenchReporter& reporter, double budget) {
     reporter.Field("copies", static_cast<uint64_t>(copies));
     reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
     reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
-    reporter.Field("seq_completed", seq.completed);
+    reporter.Field("seq_completed", seq.completed());
+    reporter.Field("seq_outcome", RunOutcomeName(seq.outcome));
     reporter.Field("seq_wall_seconds", t_seq);
-    reporter.Field("par_completed", par.completed);
+    reporter.Field("par_completed", par.completed());
+    reporter.Field("par_outcome", RunOutcomeName(par.outcome));
     reporter.StatsFields(par.stats);
     reporter.EndRecord();
 
     std::string speedup = "-";
-    if (seq.completed && par.completed && t_par > 0) {
+    if (seq.completed() && par.completed() && t_par > 0) {
       speedup = bench::FormatDouble(t_seq / t_par, 2) + "x";
     }
     table.Row({std::to_string(copies), std::to_string(g.NumVertices()),
                std::to_string(g.NumEdges()),
-               seq.completed ? bench::FormatDouble(t_seq, 3) : "-",
-               par.completed ? bench::FormatDouble(t_par, 3) : "-", speedup});
+               seq.completed() ? bench::FormatDouble(t_seq, 3) : "-",
+               par.completed() ? bench::FormatDouble(t_par, 3) : "-", speedup});
     std::fflush(stdout);
   }
 }
 
 void Run(int argc, char** argv) {
   bench::BenchReporter reporter("scaling_sweep", argc, argv);
-  const double budget = bench::TimeLimitFromEnv();
-  SweepSocial(reporter, budget);
-  if (reporter.Threads() != 1) SweepForest(reporter, budget);
+  const double budget = reporter.TimeLimitSeconds();
+  // `--forest-only` skips the social-graph series and always runs the
+  // gadget-forest section (even single-threaded): the forest is the fixed,
+  // fast-completing workload scripts/check_failpoint_overhead.sh times.
+  const bool forest_only =
+      bench::BareFlagFromArgs(argc, argv, "--forest-only");
+  if (!forest_only) SweepSocial(reporter, budget);
+  if (forest_only || reporter.Threads() != 1) SweepForest(reporter, budget);
 }
 
 }  // namespace

@@ -27,7 +27,7 @@ void Run() {
     const Graph& g = entry.graph;
     DviclResult result =
         DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-    if (!result.completed) {
+    if (!result.completed()) {
       table.Row({entry.name, "-", "-", "-", "-", "-", "-"});
       continue;
     }

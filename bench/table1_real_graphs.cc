@@ -27,7 +27,7 @@ void Run(int argc, char** argv) {
         g, Coloring::Unit(g.NumVertices()), reporter.Options());
     uint64_t cells = 0;
     uint64_t singleton = 0;
-    if (result.completed) {
+    if (result.completed()) {
       const auto orbit =
           OrbitIdsFromGenerators(g.NumVertices(), result.generators);
       std::vector<uint64_t> size(g.NumVertices(), 0);
@@ -47,6 +47,7 @@ void Run(int argc, char** argv) {
     reporter.Field("avg_degree", g.AverageDegree());
     reporter.Field("orbit_cells", cells);
     reporter.Field("orbit_singletons", singleton);
+    reporter.OutcomeFields(result.outcome);
     reporter.StatsFields(result.stats);
     reporter.EndRecord();
 

@@ -31,7 +31,7 @@ void Run(int argc, char** argv) {
 
     std::string cells;
     std::string singleton;
-    if (result.completed) {
+    if (result.completed()) {
       const auto orbit =
           OrbitIdsFromGenerators(g.NumVertices(), result.generators);
       std::vector<uint64_t> size(g.NumVertices(), 0);
@@ -61,7 +61,7 @@ void Run(int argc, char** argv) {
     reporter.Field("graph", entry.name);
     reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
     reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
-    reporter.Field("completed", result.completed);
+    reporter.OutcomeFields(result.outcome);
     reporter.Field("orbit_cells", cells);
     reporter.Field("orbit_singletons", singleton);
     reporter.StatsFields(result.stats);

@@ -31,8 +31,8 @@ void Run(int argc, char** argv) {
     reporter.Field("graph", entry.name);
     reporter.Field("n", static_cast<uint64_t>(g.NumVertices()));
     reporter.Field("m", static_cast<uint64_t>(g.NumEdges()));
-    reporter.Field("completed", result.completed);
-    if (result.completed) {
+    reporter.OutcomeFields(result.outcome);
+    if (result.completed()) {
       reporter.Field("avg_nonsingleton_leaf_size",
                      result.tree.AverageNonSingletonLeafSize());
       reporter.Field("node_step_seconds", result.tree.TotalStepSeconds());
@@ -43,7 +43,7 @@ void Run(int argc, char** argv) {
     }
     reporter.StatsFields(result.stats);
     reporter.EndRecord();
-    if (!result.completed) {
+    if (!result.completed()) {
       table.Row({entry.name, "-", "-", "-", "-", "-"});
       continue;
     }

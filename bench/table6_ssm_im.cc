@@ -28,7 +28,7 @@ void Run(int argc, char** argv) {
     const Graph& g = entry.graph;
     DviclResult result = DviclCanonicalLabeling(
         g, Coloring::Unit(g.NumVertices()), reporter.Options());
-    if (!result.completed) {
+    if (!result.completed()) {
       table.Row({entry.name, "-", "-", "-", "-"});
       continue;
     }

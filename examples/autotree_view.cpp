@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
   DviclResult result =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  if (!result.completed) {
+  if (!result.completed()) {
     std::fprintf(stderr, "canonical labeling did not complete\n");
     return 2;
   }

@@ -51,7 +51,7 @@ Result<Graph> LoadGraph(const std::string& path) {
 Result<DviclResult> Analyze(const Graph& graph) {
   DviclResult result = DviclCanonicalLabeling(
       graph, Coloring::Unit(graph.NumVertices()), {});
-  if (!result.completed) {
+  if (!result.completed()) {
     return Status::ResourceExhausted("canonical labeling did not complete");
   }
   return result;

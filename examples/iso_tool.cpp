@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     }
     DviclResult result = DviclCanonicalLabeling(
         graph.value(), Coloring::Unit(graph.value().NumVertices()), {});
-    if (!result.completed) {
+    if (!result.completed()) {
       std::fprintf(stderr, "error: canonical labeling did not complete\n");
       return 2;
     }

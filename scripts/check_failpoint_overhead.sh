@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Asserts that compiling the failpoint sites in — but leaving every site
+# disarmed — costs less than FP_OVERHEAD_THRESHOLD_PCT (default 2%) of
+# wall-clock time on a fixed DviCL workload.
+#
+#   scripts/check_failpoint_overhead.sh
+#
+# Method: build bench/scaling_sweep twice (Release, -DDVICL_FAILPOINTS=OFF
+# and ON), run the gadget-forest section (`--forest-only`: a deterministic,
+# completing workload — no budget-limited points whose runtime is pinned to
+# the budget rather than the work) FP_OVERHEAD_RUNS times per build, and
+# compare the per-build MINIMUM of the summed DviCL wall seconds. The
+# minimum-of-N comparison filters scheduler noise: any one slow run (CI
+# neighbor, page cache miss) inflates a mean but not the minimum, which is
+# the closest observable to the true cost of the code path.
+#
+# Env knobs:
+#   FP_OVERHEAD_RUNS           repetitions per build (default 3)
+#   FP_OVERHEAD_THRESHOLD_PCT  failure threshold (default 2.0)
+#   DVICL_TIME_LIMIT           per-run safety budget (default 60s; the
+#                              workload is expected to finish well inside it)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs="${FP_OVERHEAD_RUNS:-3}"
+threshold="${FP_OVERHEAD_THRESHOLD_PCT:-2.0}"
+export DVICL_TIME_LIMIT="${DVICL_TIME_LIMIT:-60}"
+
+build_tree() {
+  local dir="$1" failpoints="$2"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release \
+      "-DDVICL_FAILPOINTS=${failpoints}" >/dev/null
+  cmake --build "${dir}" -j --target scaling_sweep >/dev/null
+}
+
+# Prints the min over ${runs} of the summed DviCL wall seconds (sequential
+# + parallel legs of every forest point) reported in BENCH_scaling_sweep.json.
+measure() {
+  local binary="${PWD}/$1" workdir="${PWD}/$2"
+  mkdir -p "${workdir}"
+  local best=""
+  for _ in $(seq "${runs}"); do
+    (cd "${workdir}" && "${binary}" --forest-only >/dev/null)
+    local total
+    total="$(python3 - "${workdir}/BENCH_scaling_sweep.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+total = 0.0
+for rec in doc["records"]:
+    if rec.get("series") != "forest":
+        continue
+    assert rec["seq_outcome"] == "completed", rec
+    assert rec["par_outcome"] == "completed", rec
+    total += rec["seq_wall_seconds"] + rec["wall_seconds"]
+print(f"{total:.6f}")
+EOF
+)"
+    if [ -z "${best}" ] || python3 -c "import sys; sys.exit(0 if ${total} < ${best} else 1)"; then
+      best="${total}"
+    fi
+  done
+  echo "${best}"
+}
+
+echo "=== failpoint overhead check: building OFF and ON trees ==="
+build_tree build-fp-off OFF
+build_tree build-fp-on ON
+
+echo "=== measuring (min of ${runs} runs each) ==="
+off_s="$(measure build-fp-off/bench/scaling_sweep build-fp-off/overhead)"
+on_s="$(measure build-fp-on/bench/scaling_sweep build-fp-on/overhead)"
+
+python3 - "${off_s}" "${on_s}" "${threshold}" <<'EOF'
+import sys
+off, on, threshold = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+pct = (on - off) / off * 100.0
+print(f"disarmed-failpoint overhead: off={off:.3f}s on={on:.3f}s "
+      f"delta={pct:+.2f}% (threshold {threshold}%)")
+if pct > threshold:
+    print("FAIL: disarmed failpoints cost more than the threshold",
+          file=sys.stderr)
+    sys.exit(1)
+print("OK")
+EOF

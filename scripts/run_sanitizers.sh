@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Sanitizer gate for the parallel AutoTree build.
 #
-#   scripts/run_sanitizers.sh [tsan|asan|ubsan|all]   (default: all)
+#   scripts/run_sanitizers.sh [tsan|asan|ubsan|failpoint|all]   (default: all)
 #
 # tsan:  builds with -DDVICL_SANITIZE=thread and runs the parallel test
 #        binaries (task_pool_test, parallel_determinism_test, cert_cache_test)
@@ -17,9 +17,14 @@
 #        ASan's instrumentation can mask, and runs fast enough for a smoke
 #        gate) and runs the core algorithm subset: refine_test, ir_test,
 #        dvicl_test.
+# failpoint: builds with -DDVICL_FAILPOINTS=ON under both ASan and TSan and
+#        runs the full ctest suite in each tree. Armed failpoints throw
+#        through real unwind paths (task pool, cert cache, combine), so this
+#        is the gate proving fault unwinding neither leaks nor races.
 #
-# Build trees live in build-tsan/, build-asan/ and build-ubsan/ next to the
-# normal build/ so the sanitizer runs never dirty the main tree.
+# Build trees live in build-tsan/, build-asan/, build-ubsan/,
+# build-fp-asan/ and build-fp-tsan/ next to the normal build/ so the
+# sanitizer runs never dirty the main tree.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -58,14 +63,31 @@ run_ubsan() {
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/dvicl_test
 }
 
+run_failpoint() {
+  echo "=== Failpoints ON (-DDVICL_FAILPOINTS=ON): full ctest under ASan," \
+       "then TSan ==="
+  cmake -B build-fp-asan -S . -DDVICL_FAILPOINTS=ON \
+      -DDVICL_SANITIZE=address >/dev/null
+  cmake --build build-fp-asan -j
+  ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-fp-asan --output-on-failure -j "$(nproc)"
+  cmake -B build-fp-tsan -S . -DDVICL_FAILPOINTS=ON \
+      -DDVICL_SANITIZE=thread >/dev/null
+  cmake --build build-fp-tsan -j
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-fp-tsan --output-on-failure -j "$(nproc)"
+}
+
 case "$mode" in
   tsan) run_tsan ;;
   asan) run_asan ;;
   ubsan) run_ubsan ;;
+  failpoint) run_failpoint ;;
   all)
     run_tsan
     run_asan
     run_ubsan
+    run_failpoint
     ;;
   *)
     echo "usage: $0 [tsan|asan|ubsan|all]" >&2

@@ -10,7 +10,7 @@ Certificate ComputeCertificate(const Graph& graph,
                                const DviclOptions& options, bool* ok) {
   DviclResult result = DviclCanonicalLabeling(
       graph, Coloring::Unit(graph.NumVertices()), options);
-  if (ok != nullptr) *ok = result.completed;
+  if (ok != nullptr) *ok = result.completed();
   return std::move(result.certificate);
 }
 

@@ -7,9 +7,9 @@
 namespace dvicl {
 namespace internal {
 
-CheckFailMessage::CheckFailMessage(const char* file, int line,
-                                   const char* expr) {
-  stream_ << "DVICL_DCHECK failed at " << file << ":" << line << ": " << expr;
+CheckFailMessage::CheckFailMessage(const char* prefix, const char* file,
+                                   int line, const char* expr) {
+  stream_ << prefix << " failed at " << file << ":" << line << ": " << expr;
 }
 
 CheckFailMessage::~CheckFailMessage() {

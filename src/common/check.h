@@ -3,7 +3,8 @@
 
 #include <sstream>
 
-// DVICL_DCHECK — debug invariant checks for the canonical-labeling core.
+// DVICL_DCHECK / DVICL_CHECK — invariant and input checks for the
+// canonical-labeling core.
 //
 // The canonical labeling must be exact: a violated algebraic invariant (a
 // non-equitable partition, an image array that is not a bijection, a child
@@ -32,6 +33,16 @@
 // VerifyPermutation, VerifyAutoTree, SchreierSims::CheckInvariants) follow
 // the same contract: callable in any build, no-ops unless DVICL_DCHECK is
 // on. See DESIGN.md §9 for the invariant catalogue.
+//
+// DVICL_CHECK is the always-on sibling for *input* validation at API
+// boundaries (edge endpoints in range, label arrays the right size,
+// permutations the right degree): cheap O(1)-per-element guards whose
+// violation means the CALLER handed the library garbage, which previously
+// hit `assert` (compiled out in release → UB). DVICL_CHECK is compiled in
+// every build; on failure it prints "DVICL_CHECK failed" with file:line and
+// aborts — death tests match on that distinct prefix. Use Status for
+// untrusted external data (files); DVICL_CHECK for programming-error
+// preconditions. See DESIGN.md §10.
 
 namespace dvicl {
 
@@ -49,7 +60,10 @@ namespace internal {
 // full-expression temporary so the abort happens after all <<s ran.
 class CheckFailMessage {
  public:
-  CheckFailMessage(const char* file, int line, const char* expr);
+  // `prefix` is the macro name ("DVICL_CHECK" / "DVICL_DCHECK") so death
+  // tests can match which layer fired.
+  CheckFailMessage(const char* prefix, const char* file, int line,
+                   const char* expr);
   ~CheckFailMessage();  // prints to stderr and aborts; never returns
 
   std::ostream& stream() { return stream_; }
@@ -76,13 +90,22 @@ struct Voidify {
 }  // namespace internal
 }  // namespace dvicl
 
+// Always-on precondition check: compiled into every build, evaluates `cond`
+// exactly once, aborts with a "DVICL_CHECK failed" message when false.
+#define DVICL_CHECK(cond)                                          \
+  (cond) ? (void)0                                                 \
+         : ::dvicl::internal::Voidify() &                          \
+               ::dvicl::internal::CheckFailMessage(                \
+                   "DVICL_CHECK", __FILE__, __LINE__, #cond)       \
+                   .stream()
+
 #ifdef DVICL_DCHECK_ENABLED
 
-#define DVICL_DCHECK(cond)                                              \
-  (cond) ? (void)0                                                      \
-         : ::dvicl::internal::Voidify() &                               \
-               ::dvicl::internal::CheckFailMessage(__FILE__, __LINE__,  \
-                                                   #cond)               \
+#define DVICL_DCHECK(cond)                                         \
+  (cond) ? (void)0                                                 \
+         : ::dvicl::internal::Voidify() &                          \
+               ::dvicl::internal::CheckFailMessage(                \
+                   "DVICL_DCHECK", __FILE__, __LINE__, #cond)      \
                    .stream()
 
 #else  // !DVICL_DCHECK_ENABLED
@@ -98,6 +121,16 @@ struct Voidify {
 
 #define DVICL_DCHECK_OP(op, a, b) \
   DVICL_DCHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define DVICL_CHECK_OP(op, a, b) \
+  DVICL_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define DVICL_CHECK_EQ(a, b) DVICL_CHECK_OP(==, a, b)
+#define DVICL_CHECK_NE(a, b) DVICL_CHECK_OP(!=, a, b)
+#define DVICL_CHECK_LT(a, b) DVICL_CHECK_OP(<, a, b)
+#define DVICL_CHECK_LE(a, b) DVICL_CHECK_OP(<=, a, b)
+#define DVICL_CHECK_GT(a, b) DVICL_CHECK_OP(>, a, b)
+#define DVICL_CHECK_GE(a, b) DVICL_CHECK_OP(>=, a, b)
 
 #define DVICL_DCHECK_EQ(a, b) DVICL_DCHECK_OP(==, a, b)
 #define DVICL_DCHECK_NE(a, b) DVICL_DCHECK_OP(!=, a, b)

@@ -1,0 +1,130 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace dvicl {
+namespace failpoint {
+
+namespace {
+
+struct SiteState {
+  bool armed = false;
+  ArmSpec spec;
+  uint64_t hits = 0;
+  uint64_t triggers = 0;
+};
+
+// One registry per process. An std::map keyed by the site name keeps
+// iteration deterministic (AllSites order, test sweeps); the handful of
+// sites makes lookup cost irrelevant — the hot path never gets here unless
+// something is armed.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+};
+
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();  // leaked: outlives all tests
+  return *registry;
+}
+
+// Disarmed fast path: sites check this count with one relaxed load.
+std::atomic<uint64_t> g_armed_count{0};
+
+}  // namespace
+
+std::vector<std::string> AllSites() {
+  return {sites::kIrSearchNode, sites::kDivide,      sites::kCombineSt,
+          sites::kCombineCl,    sites::kTaskRun,     sites::kCacheProbe,
+          sites::kCacheVerify,  sites::kCachePublish, sites::kGraphIoRead,
+          sites::kSchreierInsert};
+}
+
+void Arm(const std::string& site, ArmSpec spec) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  SiteState& state = r.sites[site];
+  if (!state.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.spec = spec;
+  state.hits = 0;
+  state.triggers = 0;
+}
+
+void Disarm(const std::string& site) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || !it->second.armed) return;
+  it->second.armed = false;
+  g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  uint64_t armed = 0;
+  for (auto& [name, state] : r.sites) {
+    if (state.armed) ++armed;
+  }
+  r.sites.clear();
+  if (armed != 0) g_armed_count.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+bool IsArmed(const std::string& site) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it != r.sites.end() && it->second.armed;
+}
+
+uint64_t HitCount(const std::string& site) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it != r.sites.end() ? it->second.hits : 0;
+}
+
+uint64_t TriggerCount(const std::string& site) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it != r.sites.end() ? it->second.triggers : 0;
+}
+
+uint64_t TotalTriggers() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  uint64_t total = 0;
+  for (const auto& [name, state] : r.sites) total += state.triggers;
+  return total;
+}
+
+namespace internal {
+
+bool AnyArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+bool Evaluate(const char* site) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || !it->second.armed) return false;
+  SiteState& state = it->second;
+  const uint64_t hit = state.hits++;
+  if (hit < state.spec.skip_hits) return false;
+  if (state.spec.max_triggers != 0 &&
+      state.triggers >= state.spec.max_triggers) {
+    return false;
+  }
+  ++state.triggers;
+  return true;
+}
+
+}  // namespace internal
+
+}  // namespace failpoint
+}  // namespace dvicl

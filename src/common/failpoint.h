@@ -1,0 +1,144 @@
+#ifndef DVICL_COMMON_FAILPOINT_H_
+#define DVICL_COMMON_FAILPOINT_H_
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+// Deterministic fault-injection framework in the style of RocksDB sync
+// points: named sites compiled into the unwind paths of the labeling
+// engine, armed per-site by tests, with hit/trigger counters.
+//
+//   if (DVICL_FAILPOINT(failpoint::sites::kDivide)) { /* unwind */ }
+//
+// Semantics:
+//  - Sites exist only in builds configured with -DDVICL_FAILPOINTS=ON
+//    (which defines DVICL_FAILPOINTS_ENABLED). In a release build the macro
+//    is the constant `false` and the whole branch folds away — zero sites,
+//    zero cost.
+//  - In an enabled build with nothing armed, a site costs ONE relaxed
+//    atomic load and a predictable branch (the global armed-site count).
+//    Only when at least one site is armed does evaluation take the registry
+//    mutex — an acceptable cost for fault-injection test runs.
+//  - Arming is per-site and counter-based: skip the first `skip_hits`
+//    evaluations, then trigger up to `max_triggers` times (0 = every hit).
+//    This makes injection deterministic for single-threaded runs and
+//    site-deterministic (which site fires, not which thread hits it first)
+//    for parallel runs.
+//  - The registry functions are always compiled (tests can exercise the
+//    framework even when sites are compiled out); `kEnabled` tells a test
+//    whether arming can have any effect on library code.
+//
+// The site catalogue below is the complete list of compiled-in sites; keep
+// it in sync with DESIGN.md §10 ("failpoint catalogue"). Each entry names
+// the unwind path it exercises and what a triggered fault does there.
+namespace dvicl {
+namespace failpoint {
+
+#ifdef DVICL_FAILPOINTS_ENABLED
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+namespace sites {
+// Leaf IR search, once per search-tree node. Triggered: the search aborts
+// with RunOutcome::kInternalFault (same unwind as a budget, distinct cause).
+inline constexpr char kIrSearchNode[] = "ir.search.node";
+// DviCL divide step, once per internal-node divide attempt. Triggered: the
+// build records kInternalFault at that node and unwinds cooperatively.
+inline constexpr char kDivide[] = "dvicl.divide";
+// CombineST, once per internal node combine. Triggered: as kDivide.
+inline constexpr char kCombineSt[] = "dvicl.combine_st";
+// CombineCL, once per non-singleton leaf, before the IR search or cache
+// probe. Triggered: as kDivide.
+inline constexpr char kCombineCl[] = "dvicl.combine_cl";
+// Task-pool task execution, once per popped task. Triggered: the task
+// throws InjectedFault, exercising the pool's exception plumbing
+// (TaskGroup::Wait rethrows; DviCL converts it to kInternalFault).
+inline constexpr char kTaskRun[] = "task_pool.run_task";
+// Cert-cache probe. Triggered: the probe degrades to a miss — the run must
+// still complete with byte-identical output (graceful degradation).
+inline constexpr char kCacheProbe[] = "cert_cache.probe";
+// Cert-cache exact verification. Triggered: verification reports a
+// mismatch, forcing the collision fallback to a fresh IR search.
+inline constexpr char kCacheVerify[] = "cert_cache.verify";
+// Cert-cache publication. Triggered: the insert is dropped — later probes
+// miss and recompute; nothing partial is ever published.
+inline constexpr char kCachePublish[] = "cert_cache.publish";
+// Graph readers (ReadEdgeList / ReadDimacs), once per call. Triggered: the
+// reader returns Status::IOError, the injected-I/O-failure path.
+inline constexpr char kGraphIoRead[] = "graph_io.read";
+// Schreier-Sims generator insertion, once per AddGenerator. Triggered:
+// throws InjectedFault before any chain mutation, so the chain stays valid.
+inline constexpr char kSchreierInsert[] = "schreier_sims.add_generator";
+}  // namespace sites
+
+// Every site above, for tests that sweep the catalogue.
+std::vector<std::string> AllSites();
+
+// Exception thrown by sites whose unwind path is exception-based (the task
+// pool already ferries task exceptions to TaskGroup::Wait; Schreier-Sims
+// has no Status plumbing). Only ever thrown by a triggered failpoint.
+class InjectedFault : public std::exception {
+ public:
+  explicit InjectedFault(std::string site)
+      : message_("injected failpoint fault at " + site),
+        site_(std::move(site)) {}
+  const char* what() const noexcept override { return message_.c_str(); }
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string message_;
+  std::string site_;
+};
+
+struct ArmSpec {
+  // Evaluations to let pass before the first trigger (0 = trigger on the
+  // first hit).
+  uint64_t skip_hits = 0;
+  // Cap on triggers (0 = unlimited — every non-skipped hit triggers).
+  uint64_t max_triggers = 1;
+};
+
+// Arms `site`; subsequent evaluations follow `spec`. Re-arming resets the
+// site's counters.
+void Arm(const std::string& site, ArmSpec spec = {});
+// Disarms `site` (counters are kept until the next Arm).
+void Disarm(const std::string& site);
+// Disarms everything and clears all counters; call between tests.
+void DisarmAll();
+
+bool IsArmed(const std::string& site);
+// Evaluations of `site` since it was last armed (armed or not: counting
+// only happens while at least one site is armed, to keep disarmed
+// evaluation at one atomic load).
+uint64_t HitCount(const std::string& site);
+// Evaluations that returned "trigger" since the site was last armed.
+uint64_t TriggerCount(const std::string& site);
+// Sum of TriggerCount over all sites (exported as the failpoint.triggered
+// metric).
+uint64_t TotalTriggers();
+
+namespace internal {
+// True when at least one site is armed; the one-branch disarmed fast path.
+bool AnyArmed();
+// Full (mutex-guarded) evaluation; returns true when the site triggers.
+bool Evaluate(const char* site);
+}  // namespace internal
+
+}  // namespace failpoint
+}  // namespace dvicl
+
+#ifdef DVICL_FAILPOINTS_ENABLED
+#define DVICL_FAILPOINT(site)                    \
+  (::dvicl::failpoint::internal::AnyArmed() &&   \
+   ::dvicl::failpoint::internal::Evaluate(site))
+#else
+// `false && sizeof(site)` keeps the site expression name-checked while the
+// compiler folds the whole condition (and the branch it guards) away.
+#define DVICL_FAILPOINT(site) (false && sizeof(site) == 0)
+#endif
+
+#endif  // DVICL_COMMON_FAILPOINT_H_

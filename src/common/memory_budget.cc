@@ -1,0 +1,31 @@
+#include "common/memory_budget.h"
+
+#include "common/stopwatch.h"
+
+namespace dvicl {
+
+MemoryBudget::MemoryBudget(uint64_t limit_mib) : limit_mib_(limit_mib) {
+  if (limit_mib_ != 0) baseline_mib_ = CurrentRssMebibytes();
+}
+
+bool MemoryBudget::Exceeded() {
+  if (limit_mib_ == 0) return false;
+  if (exceeded_.load(std::memory_order_relaxed)) return true;
+  const uint64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
+  if (call % kPollStride != 0) return false;
+  return PollNow();
+}
+
+bool MemoryBudget::PollNow() {
+  if (limit_mib_ == 0) return false;
+  if (exceeded_.load(std::memory_order_relaxed)) return true;
+  const double delta = CurrentRssMebibytes() - baseline_mib_;
+  last_delta_mib_.store(delta, std::memory_order_relaxed);
+  if (delta > static_cast<double>(limit_mib_)) {
+    exceeded_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dvicl

@@ -1,0 +1,67 @@
+#ifndef DVICL_COMMON_MEMORY_BUDGET_H_
+#define DVICL_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dvicl {
+
+// Cooperative memory governance for a labeling run: a polled RSS-delta
+// tracker. The budget captures the process RSS at construction as the
+// baseline; Exceeded() reports true once the process has grown more than
+// `limit_mib` mebibytes past it. Like the time limit, exceeding the budget
+// raises no signal by itself — the IR search and the DviCL build poll at
+// their safe points (once per search-tree node / build frame) and unwind
+// with RunOutcome::kMemoryBudget.
+//
+// Delta, not absolute: a service process labeling many graphs has a large
+// steady-state RSS that an absolute cap would have to track; the delta form
+// bounds what ONE run may add, which is the quantity a per-request budget
+// wants. RSS is read from /proc/self/statm (common/stopwatch.h), which
+// counts pages the kernel actually mapped — allocator caching means frees
+// do not lower it, so the measure is conservative (monotone per process).
+//
+// Thread-safety: Exceeded() may be called concurrently from every worker.
+// Reads of /proc are throttled to one per kPollStride calls (relaxed
+// atomic counter); once the limit trips, a latch makes every subsequent
+// call return true without polling.
+class MemoryBudget {
+ public:
+  // limit_mib = 0 disables the budget (Exceeded() is always false and
+  // never polls).
+  explicit MemoryBudget(uint64_t limit_mib);
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  bool enabled() const { return limit_mib_ != 0; }
+  uint64_t limit_mib() const { return limit_mib_; }
+  double baseline_mib() const { return baseline_mib_; }
+
+  // True once RSS grew more than limit_mib past the baseline. Latches.
+  bool Exceeded();
+
+  // RSS growth over the baseline at the last poll, in mebibytes.
+  double LastDeltaMib() const {
+    return last_delta_mib_.load(std::memory_order_relaxed);
+  }
+
+  // Polls unconditionally (no stride). Exposed for tests and for callers
+  // that poll rarely anyway (e.g. once per AutoTree build frame).
+  bool PollNow();
+
+ private:
+  // Exceeded() reads /proc once per this many calls; between polls it
+  // costs one relaxed fetch_add.
+  static constexpr uint64_t kPollStride = 256;
+
+  uint64_t limit_mib_;
+  double baseline_mib_ = 0.0;
+  std::atomic<uint64_t> calls_{0};
+  std::atomic<bool> exceeded_{false};
+  std::atomic<double> last_delta_mib_{0.0};
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_COMMON_MEMORY_BUDGET_H_

@@ -1,0 +1,53 @@
+#ifndef DVICL_COMMON_OUTCOME_H_
+#define DVICL_COMMON_OUTCOME_H_
+
+#include <cstdint>
+
+namespace dvicl {
+
+// Structured termination cause of a canonical-labeling run (IR search or a
+// whole DviCL build). "Ran out of time/memory" is a first-class outcome for
+// a labeling engine, not an error: McKay & Piperno document instance
+// families (CFI, Miyazaki, shrunken multipedes) where any IR-based search
+// blows up combinatorially, so a production service must budget every run
+// and report exactly which budget fired.
+//
+// Contract (the "graceful degradation" half of DESIGN.md §10): on any
+// outcome other than kCompleted the run still returns its root
+// equitable-refinement coloring and the partial AutoTree built so far, but
+// the canonical labeling, certificate and generators are EMPTY — partial
+// canonical output is never exposed, and a shared certificate cache is
+// never fed from an aborted run.
+enum class RunOutcome : uint8_t {
+  kCompleted = 0,     // full canonical result, certificate comparable
+  kDeadline,          // wall-clock limit (time_limit_seconds) fired
+  kNodeBudget,        // leaf IR search exceeded max_tree_nodes
+  kMemoryBudget,      // RSS-delta budget (memory_limit_mib) fired
+  kCancelled,         // external cooperative cancel flag was raised
+  kInvalidInput,      // malformed input rejected before any search ran
+  kInternalFault,     // injected failpoint or unexpected internal failure
+};
+
+inline const char* RunOutcomeName(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted:
+      return "completed";
+    case RunOutcome::kDeadline:
+      return "deadline";
+    case RunOutcome::kNodeBudget:
+      return "node_budget";
+    case RunOutcome::kMemoryBudget:
+      return "memory_budget";
+    case RunOutcome::kCancelled:
+      return "cancelled";
+    case RunOutcome::kInvalidInput:
+      return "invalid_input";
+    case RunOutcome::kInternalFault:
+      return "internal_fault";
+  }
+  return "unknown";
+}
+
+}  // namespace dvicl
+
+#endif  // DVICL_COMMON_OUTCOME_H_

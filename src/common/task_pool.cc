@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "obs/trace.h"
 
 namespace dvicl {
@@ -145,6 +146,12 @@ bool TaskPool::RunOneTask(unsigned self) {
 
 void TaskPool::RunTask(Task task) {
   try {
+    // Fault-injection site: fail the task before it runs, exercising the
+    // same plumbing as a real task exception (RecordError -> Wait rethrow).
+    // Inside the try block so group accounting settles identically.
+    if (DVICL_FAILPOINT(failpoint::sites::kTaskRun)) {
+      throw failpoint::InjectedFault(failpoint::sites::kTaskRun);
+    }
     task.fn();
   } catch (...) {
     task.group->RecordError(std::current_exception());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "refine/coloring.h"
 #include "refine/refiner.h"
 
@@ -72,6 +73,10 @@ uint64_t CertCache::KeyOf(const Graph& local_graph,
 
 bool CertCache::Verifies(const CachedLeaf& leaf, const Graph& local_graph,
                          std::span<const uint32_t> local_colors) {
+  // Fault-injection site: report a verification mismatch, forcing the
+  // caller onto the collision-fallback path (fresh IR search) — the run
+  // must still complete with byte-identical output.
+  if (DVICL_FAILPOINT(failpoint::sites::kCacheVerify)) return false;
   return leaf.num_vertices == local_graph.NumVertices() &&
          leaf.edges == local_graph.Edges() &&
          leaf.colors.size() == local_colors.size() &&
@@ -82,6 +87,12 @@ bool CertCache::Verifies(const CachedLeaf& leaf, const Graph& local_graph,
 std::shared_ptr<const CachedLeaf> CertCache::Lookup(
     uint64_t key, const Graph& local_graph,
     std::span<const uint32_t> local_colors) {
+  // Fault-injection site: degrade the probe to a miss (the graceful path a
+  // real cache backend failure must take — recompute, never crash).
+  if (DVICL_FAILPOINT(failpoint::sites::kCacheProbe)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   Shard& shard = ShardFor(key);
   uint64_t rejected = 0;
   {
@@ -109,6 +120,9 @@ std::shared_ptr<const CachedLeaf> CertCache::Lookup(
 }
 
 void CertCache::Insert(uint64_t key, CachedLeaf leaf) {
+  // Fault-injection site: drop the publication. Later probes miss and
+  // recompute; a partial entry is never visible.
+  if (DVICL_FAILPOINT(failpoint::sites::kCachePublish)) return;
   Shard& shard = ShardFor(key);
   auto owned = std::make_shared<const CachedLeaf>(std::move(leaf));
   const uint64_t bytes = owned->ApproxBytes();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "obs/trace.h"
 #include "refine/coloring.h"
 
@@ -128,11 +129,17 @@ void LiftLeafGenerators(
   }
 }
 
-bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
-               const IrOptions& leaf_options, IrStats* aggregate_stats,
-               CertCache* cache) {
+RunOutcome CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
+                     const IrOptions& leaf_options, IrStats* aggregate_stats,
+                     CertCache* cache) {
   const size_t k = node->vertices.size();
   DVICL_DCHECK_GE(k, 2u);
+
+  // Fault-injection site: fail the leaf before the cache probe or IR
+  // search touches anything; the node stays unlabeled, the run unwinds.
+  if (DVICL_FAILPOINT(failpoint::sites::kCombineCl)) {
+    return RunOutcome::kInternalFault;
+  }
 
   // Lower the leaf to a local graph on 0..k-1 (vertices are sorted, so
   // local ids follow the sorted order).
@@ -167,7 +174,7 @@ bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
       // correspondence reproduces the search's output bit for bit.
       AssignLeafLabelsFromImages(node, colors, hit->canonical_images);
       LiftLeafGenerators(node, hit->generator_moves);
-      return true;
+      return RunOutcome::kCompleted;
     }
     probe_span.AddArg("hit", 0);
   }
@@ -175,7 +182,7 @@ bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
   Coloring local_coloring = Coloring::FromLabels(local_colors);
   IrResult ir = IrCanonicalLabeling(local_graph, local_coloring, leaf_options);
   if (aggregate_stats != nullptr) aggregate_stats->MergeFrom(ir.stats);
-  if (!ir.completed) return false;
+  if (!ir.completed()) return ir.outcome;
 
   std::vector<VertexId> local_images(k);
   for (size_t i = 0; i < k; ++i) {
@@ -194,7 +201,13 @@ bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
   AssignLeafLabelsFromImages(node, colors, local_images);
   LiftLeafGenerators(node, local_moves);
 
-  if (cache != nullptr) {
+  // Publication is additionally gated on the run-wide cancel flag: once
+  // any sibling aborted the run, nothing computed under it may feed a
+  // cache shared across runs (pollution guard — the entry itself would be
+  // correct, but the contract is that aborted runs leave no trace).
+  if (cache != nullptr &&
+      !(leaf_options.cancel != nullptr &&
+        leaf_options.cancel->load(std::memory_order_relaxed))) {
     CachedLeaf entry;
     entry.num_vertices = static_cast<VertexId>(k);
     entry.edges = local_graph.Edges();
@@ -203,7 +216,7 @@ bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
     entry.generator_moves = std::move(local_moves);
     cache->Insert(cache_key, std::move(entry));
   }
-  return true;
+  return RunOutcome::kCompleted;
 }
 
 void CombineST(AutoTreeNode* node, std::span<AutoTreeNode* const> children,

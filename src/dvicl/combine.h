@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/outcome.h"
 #include "dvicl/auto_tree.h"
 #include "dvicl/cert_cache.h"
 #include "ir/ir_canonical.h"
@@ -38,11 +39,14 @@ uint64_t HashNodeForm(const NodeForm& form);
 // (leaving `aggregate_stats` untouched, since no search happened); a miss
 // runs the search and publishes the result first-writer-wins.
 //
-// Returns false if the IR backend hit its budget (the caller must mark the
-// whole run incomplete).
-bool CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
-               const IrOptions& leaf_options, IrStats* aggregate_stats,
-               CertCache* cache = nullptr);
+// Returns RunOutcome::kCompleted on success; otherwise the IR search's
+// abort cause (kNodeBudget / kDeadline / kMemoryBudget / kCancelled /
+// kInternalFault), which the caller must propagate into the whole run's
+// outcome. On a non-completed return the node's labels/generators are left
+// unset and nothing is published to the cache.
+RunOutcome CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
+                     const IrOptions& leaf_options, IrStats* aggregate_stats,
+                     CertCache* cache = nullptr);
 
 // CombineST (Algorithm 5): canonical labeling of a non-leaf node from its
 // children, joined in a fixed order that is independent of how (or on

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "common/memory_budget.h"
 #include "common/stopwatch.h"
 #include "common/task_pool.h"
 #include "dvicl/combine.h"
@@ -103,11 +105,16 @@ struct BuildNode {
 class DviclBuilder {
  public:
   DviclBuilder(const Graph& graph, const DviclOptions& options)
-      : graph_(graph), options_(options) {}
+      : graph_(graph),
+        options_(options),
+        memory_budget_(options.memory_limit_mib) {}
 
   DviclResult Run(const Coloring& initial) {
     DviclResult result;
     Stopwatch total;
+    // For the failpoint.triggered metric: triggers are global cumulative
+    // counters, so export this run's delta.
+    const uint64_t triggers_before = failpoint::TotalTriggers();
     obs::TraceSpan run_span(options_.trace, "dvicl.run");
     run_span.AddArg("n", graph_.NumVertices());
 
@@ -145,6 +152,7 @@ class DviclBuilder {
     leaf_options_.max_tree_nodes = options_.leaf_max_tree_nodes;
     leaf_options_.time_limit_seconds = options_.time_limit_seconds;
     leaf_options_.cancel = cancel_.Flag();
+    leaf_options_.memory_budget = &memory_budget_;
     leaf_options_.trace = options_.trace;
 
     // Canonical-form cache: a caller-owned shared cache wins; otherwise a
@@ -176,7 +184,17 @@ class DviclBuilder {
 
     result.stats.MergeFrom(merged_);
     result.generators = std::move(root.subtree_generators);
-    Flatten(&root, &result.tree);
+
+    // The fault record is settled: every worker joined at pool_.reset().
+    RunOutcome outcome;
+    const BuildNode* fault_node = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      outcome = fault_.cause;
+      fault_node = fault_.node;
+      result.fault_detail = std::move(fault_.detail);
+    }
+    Flatten(&root, &result.tree, fault_node, &result.fault_node_id);
 
     // Structure statistics (Tables 3/4); partial when the run aborted.
     result.stats.autotree_nodes = result.tree.NumNodes();
@@ -200,17 +218,27 @@ class DviclBuilder {
       result.stats.cert_cache.bytes = now.bytes;
     }
 
-    bool completed = !cancel_.Cancelled();
-    if (completed && options_.time_limit_seconds > 0.0 &&
-        total.ElapsedSeconds() > options_.time_limit_seconds) {
-      completed = false;
+    if (outcome == RunOutcome::kCompleted && cancel_.Cancelled()) {
+      // Safety net: every Cancel() in the build goes through RecordAbort,
+      // but an externally raised flag would land here.
+      outcome = RunOutcome::kCancelled;
+      result.fault_detail = "cooperative cancel flag was raised";
     }
-    result.completed = completed;
+    if (outcome == RunOutcome::kCompleted &&
+        options_.time_limit_seconds > 0.0 &&
+        total.ElapsedSeconds() > options_.time_limit_seconds) {
+      outcome = RunOutcome::kDeadline;
+      result.fault_detail =
+          "time_limit_seconds=" + std::to_string(options_.time_limit_seconds) +
+          " exceeded at the root";
+    }
+    result.outcome = outcome;
     result.stats.wall_seconds = total.ElapsedSeconds();
     if (options_.metrics != nullptr) {
-      ExportMetrics(result.stats, pool_stats, threads, completed);
+      ExportMetrics(result.stats, pool_stats, threads, outcome,
+                    failpoint::TotalTriggers() - triggers_before);
     }
-    if (!completed) return result;
+    if (!result.completed()) return result;
 
     // Root labels form the canonical labeling of (G, pi).
     const AutoTreeNode& tree_root = result.tree.Root();
@@ -261,7 +289,16 @@ class DviclBuilder {
 
       if (options_.time_limit_seconds > 0.0 &&
           watch_.ElapsedSeconds() > options_.time_limit_seconds) {
-        cancel_.Cancel();
+        RecordAbort(RunOutcome::kDeadline, b,
+                    "time_limit_seconds=" +
+                        std::to_string(options_.time_limit_seconds) +
+                        " exceeded during the AutoTree build");
+      }
+      if (memory_budget_.Exceeded()) {
+        RecordAbort(RunOutcome::kMemoryBudget, b,
+                    "memory_limit_mib=" +
+                        std::to_string(options_.memory_limit_mib) +
+                        " exceeded during the AutoTree build");
       }
       if (cancel_.Cancelled()) {
         // Keep draining so every frame's group is joined (the TaskGroup
@@ -270,8 +307,24 @@ class DviclBuilder {
       }
 
       if (frame.phase == 1) {
-        if (frame.group != nullptr) frame.group->Wait();
+        if (frame.group != nullptr) {
+          try {
+            frame.group->Wait();
+          } catch (const std::exception& e) {
+            // A dispatched child subtree task threw (in practice only the
+            // task_pool.run_task failpoint; task bodies signal through
+            // cancel_, not exceptions). The group is settled — Wait only
+            // rethrows after every task finished — so draining stays safe.
+            RecordAbort(RunOutcome::kInternalFault, b, e.what());
+            continue;
+          }
+        }
         if (cancel_.Cancelled()) continue;
+        if (DVICL_FAILPOINT(failpoint::sites::kCombineSt)) {
+          RecordAbort(RunOutcome::kInternalFault, b,
+                      "injected fault at dvicl.combine_st");
+          continue;
+        }
         Stopwatch combine_watch;
         obs::TraceSpan combine_span(options_.trace, "dvicl.combine_st",
                                     "combine");
@@ -311,6 +364,11 @@ class DviclBuilder {
       }
 
       // Divide phase.
+      if (DVICL_FAILPOINT(failpoint::sites::kDivide)) {
+        RecordAbort(RunOutcome::kInternalFault, b,
+                    "injected fault at dvicl.divide");
+        continue;
+      }
       Stopwatch divide_watch;
       std::vector<GraphPiece> pieces;
       bool divided = false;
@@ -342,8 +400,8 @@ class DviclBuilder {
         const uint64_t ir_nodes_before = local.leaf_ir.tree_nodes;
         const uint64_t splitters_before = ThreadRefineSplitters();
         const uint64_t splits_before = ThreadRefineCellSplits();
-        const bool ok = CombineCL(&node, colors_, leaf_options_,
-                                  &local.leaf_ir, cache_);
+        const RunOutcome leaf_outcome = CombineCL(
+            &node, colors_, leaf_options_, &local.leaf_ir, cache_);
         // The leaf IR search runs entirely on this thread, so the
         // thread-local refinement counters attribute its work exactly.
         local.refine_splitters += ThreadRefineSplitters() - splitters_before;
@@ -353,8 +411,15 @@ class DviclBuilder {
         const double leaf_seconds = combine_watch.ElapsedSeconds();
         local.combine_seconds += leaf_seconds;
         node.combine_seconds = static_cast<float>(leaf_seconds);
-        if (!ok) {
-          cancel_.Cancel();
+        if (leaf_outcome != RunOutcome::kCompleted) {
+          if (leaf_outcome == RunOutcome::kCancelled) {
+            // The leaf stopped because some OTHER site already aborted the
+            // run (it raised the flag before recording); don't claim the
+            // fault for this node.
+            cancel_.Cancel();
+          } else {
+            RecordAbort(leaf_outcome, b, LeafAbortDetail(leaf_outcome));
+          }
           continue;
         }
         // Leaf automorphisms are automorphisms of (G, pi) by identity
@@ -414,14 +479,68 @@ class DviclBuilder {
     merged_.MergeFrom(local);
   }
 
+  // First-writer-wins abort record + cooperative cancel. Concurrent
+  // subtree tasks may all hit budgets once one of them faulted; the first
+  // recorded cause (and its node) is the one the run reports.
+  void RecordAbort(RunOutcome cause, const BuildNode* node,
+                   std::string detail) {
+    bool first = false;
+    {
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      if (fault_.cause == RunOutcome::kCompleted) {
+        fault_.cause = cause;
+        fault_.node = node;
+        fault_.detail = std::move(detail);
+        first = true;
+      }
+    }
+    cancel_.Cancel();
+    if (first && options_.trace != nullptr) {
+      options_.trace->AddInstant(
+          "dvicl.abort", "dvicl",
+          {{"cause", static_cast<uint64_t>(cause)}});
+    }
+  }
+
+  std::string LeafAbortDetail(RunOutcome cause) const {
+    switch (cause) {
+      case RunOutcome::kNodeBudget:
+        return "leaf IR search exceeded max_tree_nodes=" +
+               std::to_string(options_.leaf_max_tree_nodes);
+      case RunOutcome::kDeadline:
+        return "leaf IR search exceeded time_limit_seconds=" +
+               std::to_string(options_.time_limit_seconds);
+      case RunOutcome::kMemoryBudget:
+        return "leaf IR search exceeded its memory budget (memory_limit_mib=" +
+               std::to_string(options_.memory_limit_mib) +
+               ", or the live-coloring depth guard)";
+      case RunOutcome::kInternalFault:
+        return "injected fault in leaf combine (CombineCL)";
+      default:
+        return std::string("leaf combine aborted: ") + RunOutcomeName(cause);
+    }
+  }
+
   // Renders the finished run's statistics into the caller's registry. One
   // registry typically accumulates several runs (a whole bench table), so
   // every value is either a monotone counter (Add) or a last-run gauge.
   void ExportMetrics(const DviclStats& stats, const TaskPoolStats& pool,
-                     unsigned threads, bool completed) const {
+                     unsigned threads, RunOutcome outcome,
+                     uint64_t failpoint_triggers) const {
     obs::MetricsRegistry* m = options_.metrics;
     m->GetCounter("dvicl.runs")->Add(1);
-    if (!completed) m->GetCounter("dvicl.incomplete_runs")->Add(1);
+    if (outcome != RunOutcome::kCompleted) {
+      m->GetCounter("dvicl.incomplete_runs")->Add(1);
+      // Abort taxonomy: a total plus one counter per cause, so a fleet
+      // dashboard can alert on kInternalFault separately from deadline
+      // pressure.
+      m->GetCounter("dvicl.aborts.total")->Add(1);
+      m->GetCounter(std::string("dvicl.aborts.") + RunOutcomeName(outcome))
+          ->Add(1);
+    }
+    if (failpoint_triggers != 0) {
+      m->GetCounter("failpoint.triggered")->Add(failpoint_triggers);
+    }
     m->GetCounter("dvicl.autotree_nodes")->Add(stats.autotree_nodes);
     m->GetCounter("dvicl.singleton_leaves")->Add(stats.singleton_leaves);
     m->GetCounter("dvicl.nonsingleton_leaves")
@@ -472,8 +591,11 @@ class DviclBuilder {
   // expanded depth-first with the last child first — and moves the node
   // contents into the AutoTree. node.children is written in canonical-form
   // order via form_order (or piece order for nodes whose combine never ran
-  // because the build was cancelled).
-  static void Flatten(BuildNode* root, AutoTree* tree) {
+  // because the build was cancelled). `fault_node` (may be null) is the
+  // build node the abort record points at; its flattened id is written to
+  // *fault_node_id (left untouched when fault_node is not found).
+  static void Flatten(BuildNode* root, AutoTree* tree,
+                      const BuildNode* fault_node, int32_t* fault_node_id) {
     auto& nodes = tree->MutableNodes();
     nodes.clear();
     nodes.emplace_back(std::move(root->node));
@@ -486,6 +608,9 @@ class DviclBuilder {
     while (!stack.empty()) {
       const Item item = stack.back();
       stack.pop_back();
+      if (item.b == fault_node) {
+        *fault_node_id = static_cast<int32_t>(item.id);
+      }
       if (item.b->kids.empty()) continue;
       const uint32_t first = static_cast<uint32_t>(nodes.size());
       const uint32_t child_depth = nodes[item.id].depth + 1;
@@ -519,16 +644,36 @@ class DviclBuilder {
   std::vector<DivideWorkspace> workspaces_;  // one per pool slot
   CancelToken cancel_;
   Stopwatch watch_;
+  MemoryBudget memory_budget_;
   IrOptions leaf_options_;
   std::mutex stats_mu_;
   DviclStats merged_;
+
+  // First abort recorded anywhere in the build (RecordAbort).
+  struct FaultRecord {
+    RunOutcome cause = RunOutcome::kCompleted;
+    const BuildNode* node = nullptr;
+    std::string detail;
+  };
+  std::mutex fault_mu_;
+  FaultRecord fault_;
 };
 
 }  // namespace
 
 DviclResult DviclCanonicalLabeling(const Graph& graph, const Coloring& initial,
                                    const DviclOptions& options) {
-  DVICL_DCHECK_EQ(initial.NumVertices(), graph.NumVertices());
+  if (initial.NumVertices() != graph.NumVertices()) {
+    // Always-on input validation: a mismatched coloring used to trip only
+    // the debug DVICL_DCHECK layer and was UB in release builds. Rejected
+    // before any search runs; no budget was consumed.
+    DviclResult result;
+    result.outcome = RunOutcome::kInvalidInput;
+    result.fault_detail =
+        "initial coloring has " + std::to_string(initial.NumVertices()) +
+        " vertices but the graph has " + std::to_string(graph.NumVertices());
+    return result;
+  }
   DviclBuilder builder(graph, options);
   return builder.Run(initial);
 }
@@ -559,7 +704,7 @@ bool DviclIsomorphicColored(const Graph& g1,
       DviclCanonicalLabeling(g1, Coloring::FromLabels(labels1), options);
   DviclResult r2 =
       DviclCanonicalLabeling(g2, Coloring::FromLabels(labels2), options);
-  if (!r1.completed || !r2.completed) {
+  if (!r1.completed() || !r2.completed()) {
     if (decided != nullptr) *decided = false;
     return false;
   }
@@ -576,7 +721,7 @@ Result<Permutation> DviclFindIsomorphism(const Graph& g1, const Graph& g2,
       DviclCanonicalLabeling(g1, Coloring::Unit(g1.NumVertices()), options);
   DviclResult r2 =
       DviclCanonicalLabeling(g2, Coloring::Unit(g2.NumVertices()), options);
-  if (!r1.completed || !r2.completed) {
+  if (!r1.completed() || !r2.completed()) {
     return Status::ResourceExhausted("canonical labeling did not complete");
   }
   if (r1.certificate != r2.certificate) {
@@ -597,7 +742,7 @@ bool DviclIsomorphic(const Graph& g1, const Graph& g2,
       DviclCanonicalLabeling(g1, Coloring::Unit(g1.NumVertices()), options);
   DviclResult r2 =
       DviclCanonicalLabeling(g2, Coloring::Unit(g2.NumVertices()), options);
-  if (!r1.completed || !r2.completed) {
+  if (!r1.completed() || !r2.completed()) {
     if (decided != nullptr) *decided = false;
     return false;
   }

@@ -2,8 +2,10 @@
 #define DVICL_DVICL_DVICL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/outcome.h"
 #include "dvicl/auto_tree.h"
 #include "dvicl/cert_cache.h"
 #include "graph/certificate.h"
@@ -36,6 +38,12 @@ struct DviclOptions {
   // so the whole run unwinds promptly.
   uint64_t leaf_max_tree_nodes = 0;
   double time_limit_seconds = 0.0;
+  // RSS-delta memory budget in mebibytes (0 = unlimited): the run may grow
+  // the process RSS by at most this much past its value when the run
+  // started (common/memory_budget.h). Polled at every build frame and once
+  // per leaf IR search-tree node; exceeding it raises the same cooperative
+  // cancel as the time limit and reports RunOutcome::kMemoryBudget.
+  uint64_t memory_limit_mib = 0;
 
   // Number of threads used to build the AutoTree: sibling subtrees
   // produced by the divide step are dispatched to a work-stealing task
@@ -139,9 +147,23 @@ struct DviclStats {
 };
 
 struct DviclResult {
-  // False when a leaf IR run exceeded its budget or the time limit was hit;
-  // canonical outputs are then partial and must not be compared.
-  bool completed = false;
+  // Structured termination cause (common/outcome.h). Graceful degradation
+  // on anything other than kCompleted: `colors` (the root equitable
+  // refinement) and `tree` (the partial AutoTree built so far — explicitly
+  // non-canonical, its combines may never have run) are still returned,
+  // but canonical_labeling and certificate are EMPTY — a half-written
+  // certificate never escapes, and a shared cert cache is never fed from
+  // an aborted run.
+  RunOutcome outcome = RunOutcome::kCancelled;
+  bool completed() const { return outcome == RunOutcome::kCompleted; }
+
+  // Where the run died: the flattened AutoTree node id whose divide /
+  // combine / leaf search first recorded the abort (-1 when the abort was
+  // not tied to a node, e.g. the root deadline check or invalid input).
+  int32_t fault_node_id = -1;
+  // Human-readable abort cause ("" on a completed run), e.g.
+  // "leaf IR search exceeded max_tree_nodes=1000".
+  std::string fault_detail;
 
   AutoTree tree;
   // Root equitable coloring offsets pi(v) (Algorithm 1 line 2).

@@ -273,14 +273,14 @@ Status DecodePayload(const std::string& payload, DviclResult* result) {
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in payload");
   }
-  result->completed = true;
+  result->outcome = RunOutcome::kCompleted;
   return Status::Ok();
 }
 
 }  // namespace
 
 Status SaveDviclResult(const DviclResult& result, std::ostream& out) {
-  if (!result.completed) {
+  if (!result.completed()) {
     return Status::InvalidArgument("refusing to save an incomplete result");
   }
   const std::string payload = EncodePayload(result);

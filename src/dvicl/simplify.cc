@@ -118,8 +118,8 @@ SimplifiedDviclResult DviclWithSimplification(const Graph& graph,
 
   result.inner = DviclCanonicalLabeling(
       result.simplified_graph, Coloring::FromLabels(quotient_labels), options);
-  result.completed = result.inner.completed;
-  if (!result.completed) return result;
+  result.outcome = result.inner.outcome;
+  if (!result.completed()) return result;
 
   // Expand the quotient labeling: classes ordered by their representative's
   // canonical position; members take consecutive positions. Member order

@@ -29,7 +29,10 @@ StructuralEquivalence FindStructuralEquivalence(const Graph& graph);
 // DviCL result (and its AutoTree) refers to the simplified quotient graph,
 // whose vertex i corresponds to representatives()[i].
 struct SimplifiedDviclResult {
-  bool completed = false;
+  // Mirrors the inner run's RunOutcome (common/outcome.h); on anything
+  // other than kCompleted the expanded canonical outputs below are empty.
+  RunOutcome outcome = RunOutcome::kCancelled;
+  bool completed() const { return outcome == RunOutcome::kCompleted; }
   Permutation canonical_labeling;   // on the original graph
   Certificate certificate;          // of the original colored graph
   std::vector<SparseAut> generators;  // on the original graph

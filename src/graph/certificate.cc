@@ -1,7 +1,8 @@
 #include "graph/certificate.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace dvicl {
 
@@ -9,8 +10,12 @@ Certificate MakeCertificate(const Graph& graph,
                             std::span<const uint32_t> colors,
                             std::span<const VertexId> labels) {
   const VertexId n = graph.NumVertices();
-  assert(labels.size() == n);
-  assert(colors.empty() || colors.size() == n);
+  // Always-on: a wrong-sized or out-of-range labeling would silently write
+  // the color block out of bounds and produce a garbage certificate.
+  DVICL_CHECK_EQ(labels.size(), n)
+      << "labeling size does not match the vertex count";
+  DVICL_CHECK(colors.empty() || colors.size() == n)
+      << "color array must be empty or have one entry per vertex";
 
   Certificate certificate;
   certificate.reserve(2 + n + graph.NumEdges());
@@ -20,7 +25,7 @@ Certificate MakeCertificate(const Graph& graph,
   // Colors listed in canonical-label order.
   certificate.resize(2 + n, 0);
   for (VertexId v = 0; v < n; ++v) {
-    assert(labels[v] < n);
+    DVICL_CHECK_LT(labels[v], n) << "label of vertex " << v << " out of range";
     certificate[2 + labels[v]] = colors.empty() ? 0 : colors[v];
   }
 

@@ -1,16 +1,21 @@
 #include "graph/graph.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace dvicl {
 
 Graph Graph::FromEdges(VertexId num_vertices, std::vector<Edge> edges) {
-  // Normalize: orient, drop self-loops, dedup.
+  // Normalize: orient, drop self-loops, dedup. Endpoint validation is
+  // always-on: graphs frequently come from files, and an out-of-range
+  // endpoint would corrupt the CSR offsets silently in release builds.
   size_t write = 0;
   for (Edge& e : edges) {
     if (e.first == e.second) continue;
-    assert(e.first < num_vertices && e.second < num_vertices);
+    DVICL_CHECK(e.first < num_vertices && e.second < num_vertices)
+        << "edge (" << e.first << ", " << e.second
+        << ") has an endpoint outside [0, " << num_vertices << ")";
     if (e.first > e.second) std::swap(e.first, e.second);
     edges[write++] = e;
   }
@@ -62,7 +67,8 @@ double Graph::AverageDegree() const {
 }
 
 Graph Graph::RelabeledBy(std::span<const VertexId> image) const {
-  assert(image.size() == num_vertices_);
+  DVICL_CHECK_EQ(image.size(), num_vertices_)
+      << "relabeling image size does not match the vertex count";
   std::vector<Edge> relabeled;
   relabeled.reserve(edges_.size());
   for (const Edge& e : edges_) {

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "graph/graph_builder.h"
 
 namespace dvicl {
@@ -24,14 +25,25 @@ bool ParseVertexId(const std::string& token, VertexId* out) {
   return true;
 }
 
+// Files written on Windows arrive with CRLF line endings; std::getline
+// leaves the '\r' attached to the last token, which must not make vertex
+// ids unparseable.
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
 }  // namespace
 
 Result<Graph> ReadEdgeList(std::istream& in) {
+  if (DVICL_FAILPOINT(failpoint::sites::kGraphIoRead)) {
+    return Status::IOError("injected I/O fault (failpoint graph_io.read)");
+  }
   GraphBuilder builder;
   std::string line;
   size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
+    StripTrailingCr(&line);
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream tokens(line);
     std::string a;
@@ -77,6 +89,9 @@ Status WriteEdgeListFile(const Graph& graph, const std::string& path) {
 }
 
 Result<Graph> ReadDimacs(std::istream& in, std::vector<uint32_t>* colors) {
+  if (DVICL_FAILPOINT(failpoint::sites::kGraphIoRead)) {
+    return Status::IOError("injected I/O fault (failpoint graph_io.read)");
+  }
   GraphBuilder builder;
   std::string line;
   size_t line_number = 0;
@@ -85,6 +100,7 @@ Result<Graph> ReadDimacs(std::istream& in, std::vector<uint32_t>* colors) {
   std::vector<std::pair<VertexId, uint32_t>> color_lines;
   while (std::getline(in, line)) {
     ++line_number;
+    StripTrailingCr(&line);
     if (line.empty() || line[0] == 'c') continue;
     std::istringstream tokens(line);
     std::string kind;
@@ -98,10 +114,25 @@ Result<Graph> ReadDimacs(std::istream& in, std::vector<uint32_t>* colors) {
             "DIMACS line " + std::to_string(line_number) +
             ": expected 'p edge <n> <m>'");
       }
+      // VertexId is 32-bit; an unchecked cast would silently truncate a
+      // declared size like 2^32+3 and mis-bound every later range check.
+      if (n > 0xfffffffeull) {
+        return Status::InvalidArgument(
+            "DIMACS line " + std::to_string(line_number) +
+            ": declared vertex count " + std::to_string(n) +
+            " exceeds the 32-bit vertex id space");
+      }
       saw_problem = true;
       declared_vertices = static_cast<VertexId>(n);
       if (n > 0) builder.EnsureVertex(static_cast<VertexId>(n - 1));
     } else if (kind == "e") {
+      // Records before the header would leave range checks unbounded; a
+      // garbage id must fail here, before the builder allocates for it.
+      if (!saw_problem) {
+        return Status::InvalidArgument(
+            "DIMACS line " + std::to_string(line_number) +
+            ": 'e' record before the 'p edge' header");
+      }
       VertexId u = 0;
       VertexId v = 0;
       if (!(tokens >> u >> v) || u == 0 || v == 0) {
@@ -109,8 +140,18 @@ Result<Graph> ReadDimacs(std::istream& in, std::vector<uint32_t>* colors) {
             "DIMACS line " + std::to_string(line_number) +
             ": expected 'e <u> <v>' with 1-based ids");
       }
+      if (u > declared_vertices || v > declared_vertices) {
+        return Status::InvalidArgument(
+            "DIMACS line " + std::to_string(line_number) +
+            ": edge endpoint exceeds the declared vertex count");
+      }
       builder.AddEdge(u - 1, v - 1);
     } else if (kind == "n") {
+      if (!saw_problem) {
+        return Status::InvalidArgument(
+            "DIMACS line " + std::to_string(line_number) +
+            ": 'n' record before the 'p edge' header");
+      }
       VertexId v = 0;
       uint32_t color = 0;
       if (!(tokens >> v >> color) || v == 0) {

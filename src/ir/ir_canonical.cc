@@ -4,6 +4,9 @@
 #include <cassert>
 #include <numeric>
 
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "common/memory_budget.h"
 #include "common/stopwatch.h"
 #include "obs/trace.h"
 #include "refine/refiner.h"
@@ -55,9 +58,14 @@ class IrSearch {
     span.AddArg("tree_nodes", stats_.tree_nodes);
 
     IrResult result;
-    result.completed = !aborted_;
-    result.canonical_labeling = std::move(best_labeling_);
-    result.certificate = std::move(best_cert_);
+    result.outcome = aborted_ ? abort_cause_ : RunOutcome::kCompleted;
+    if (result.completed()) {
+      // Degradation contract: a partial labeling/certificate never leaves
+      // the search. Generators found before an abort are still returned —
+      // each was verified individually, so they are valid regardless.
+      result.canonical_labeling = std::move(best_labeling_);
+      result.certificate = std::move(best_cert_);
+    }
     result.automorphism_generators = std::move(generators_);
     result.stats = stats_;
     return result;
@@ -75,20 +83,32 @@ class IrSearch {
     generators_.push_back(std::move(gamma));
   }
 
-  bool BudgetExceeded() {
+  // Which budget fired, or kCompleted when none did. Checked once per
+  // search-tree node; the first cause found wins (check order: node budget,
+  // cancel, memory, wall clock).
+  RunOutcome BudgetCause() {
     if (options_.max_tree_nodes != 0 &&
         stats_.tree_nodes > options_.max_tree_nodes) {
-      return true;
+      return RunOutcome::kNodeBudget;
     }
     if (options_.cancel != nullptr &&
         options_.cancel->load(std::memory_order_relaxed)) {
-      return true;
+      return RunOutcome::kCancelled;
+    }
+    if (options_.memory_budget != nullptr &&
+        options_.memory_budget->Exceeded()) {
+      return RunOutcome::kMemoryBudget;
     }
     if (options_.time_limit_seconds > 0.0 && (stats_.tree_nodes & 0xff) == 0 &&
         stopwatch_.ElapsedSeconds() > options_.time_limit_seconds) {
-      return true;
+      return RunOutcome::kDeadline;
     }
-    return false;
+    return RunOutcome::kCompleted;
+  }
+
+  void Abort(RunOutcome cause) {
+    aborted_ = true;
+    abort_cause_ = cause;
   }
 
   // Processes a discrete coloring. Returns the backjump depth if a NEW
@@ -233,8 +253,13 @@ class IrSearch {
     if (options_.trace != nullptr && (stats_.tree_nodes & 0x3ff) == 0) {
       options_.trace->AddCounter("ir.tree_nodes", stats_.tree_nodes);
     }
-    if (BudgetExceeded()) {
-      aborted_ = true;
+    if (DVICL_FAILPOINT(failpoint::sites::kIrSearchNode)) {
+      Abort(RunOutcome::kInternalFault);
+      return kNoBackjump;
+    }
+    const RunOutcome budget = BudgetCause();
+    if (budget != RunOutcome::kCompleted) {
+      Abort(budget);
       return kNoBackjump;
     }
 
@@ -246,7 +271,7 @@ class IrSearch {
     // adversarially deep trees over large graphs.
     if (static_cast<uint64_t>(depth + 1) * graph_.NumVertices() >
         kMaxLiveColoringWords) {
-      aborted_ = true;
+      Abort(RunOutcome::kMemoryBudget);
       return kNoBackjump;
     }
 
@@ -353,6 +378,7 @@ class IrSearch {
   Permutation best_labeling_;
 
   bool aborted_ = false;
+  RunOutcome abort_cause_ = RunOutcome::kCancelled;
   IrStats stats_;
 };
 
@@ -360,7 +386,8 @@ class IrSearch {
 
 IrResult IrCanonicalLabeling(const Graph& graph, const Coloring& initial,
                              const IrOptions& options) {
-  assert(initial.NumVertices() == graph.NumVertices());
+  DVICL_CHECK_EQ(initial.NumVertices(), graph.NumVertices())
+      << "initial coloring degree must match the graph";
   IrSearch search(graph, options);
   return search.Run(initial);
 }

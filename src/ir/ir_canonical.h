@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/outcome.h"
 #include "graph/certificate.h"
 #include "graph/graph.h"
 #include "ir/invariant.h"
@@ -13,6 +14,8 @@
 #include "refine/coloring.h"
 
 namespace dvicl {
+
+class MemoryBudget;
 
 namespace obs {
 class TraceRecorder;
@@ -47,11 +50,17 @@ struct IrOptions {
   // valid labeling but NOT canonical (do not compare certificates).
   bool automorphisms_only = false;
   // Abort after visiting this many search-tree nodes (0 = unlimited). An
-  // aborted run sets IrResult::completed = false; its outputs are partial
-  // and must not be used as a canonical form.
+  // aborted run reports RunOutcome::kNodeBudget; its canonical outputs are
+  // cleared (graceful degradation — no partial certificate escapes).
   uint64_t max_tree_nodes = 0;
-  // Wall-clock limit in seconds (0 = unlimited).
+  // Wall-clock limit in seconds (0 = unlimited); exceeding it reports
+  // RunOutcome::kDeadline.
   double time_limit_seconds = 0.0;
+  // Optional RSS-delta budget (common/memory_budget.h), polled once per
+  // search-tree node alongside the time limit; exceeding it reports
+  // RunOutcome::kMemoryBudget. Not owned; may be shared by concurrent leaf
+  // searches of one DviCL run (MemoryBudget is thread-safe).
+  MemoryBudget* memory_budget = nullptr;
   // Optional cooperative cancellation flag (e.g. CancelToken::Flag() from
   // common/task_pool.h): polled once per search-tree node; when it reads
   // true the run aborts and is reported incomplete. The parallel DviCL
@@ -91,7 +100,13 @@ struct IrStats {
 };
 
 struct IrResult {
-  bool completed = false;
+  // Structured termination cause (common/outcome.h). On anything other
+  // than kCompleted: canonical_labeling and certificate are EMPTY (a
+  // partial canonical form is never exposed); automorphism_generators
+  // holds the (individually verified, hence valid) generators found before
+  // the abort; stats covers the work actually done.
+  RunOutcome outcome = RunOutcome::kCancelled;
+  bool completed() const { return outcome == RunOutcome::kCompleted; }
   // gamma*: vertex -> canonical position, (G, pi)^{gamma*} = C(G, pi).
   Permutation canonical_labeling;
   // Certificate of (G, pi) under gamma*; equal certificates <=> isomorphic.

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace dvicl {
 
@@ -28,6 +29,11 @@ SchreierSims SchreierSims::FromGroup(const PermGroup& group) {
 }
 
 void SchreierSims::AddGenerator(const Permutation& gamma) {
+  // Fault site fires before any chain mutation, so an injected fault can
+  // never leave a half-updated stabilizer chain behind.
+  if (DVICL_FAILPOINT(failpoint::sites::kSchreierInsert)) {
+    throw failpoint::InjectedFault(failpoint::sites::kSchreierInsert);
+  }
   Permutation residue;
   size_t level = 0;
   if (Sift(0, gamma, &residue, &level)) return;  // already a member

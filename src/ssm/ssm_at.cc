@@ -11,7 +11,7 @@ namespace dvicl {
 
 SsmIndex::SsmIndex(const Graph& graph, const DviclResult& result)
     : graph_(graph), result_(result) {
-  assert(result.completed);
+  assert(result.completed());
 }
 
 uint32_t SsmIndex::DeepestNodeContaining(

@@ -161,7 +161,7 @@ TEST(KSymmetryTest, DuplicatesUnderRepresentedClasses) {
   // more wing copy is added.
   Graph g = PaperFigure3Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   KSymmetryResult anonymized = AnonymizeKSymmetry(g, r, 3);
   EXPECT_GT(anonymized.copies_added, 0u);
   EXPECT_GT(anonymized.anonymized.NumVertices(), g.NumVertices());
@@ -171,7 +171,7 @@ TEST(KSymmetryTest, DuplicatesUnderRepresentedClasses) {
   DviclResult check = DviclCanonicalLabeling(
       anonymized.anonymized, Coloring::Unit(anonymized.anonymized.NumVertices()),
       {});
-  ASSERT_TRUE(check.completed);
+  ASSERT_TRUE(check.completed());
   const auto orbits = OrbitIdsFromGenerators(
       anonymized.anonymized.NumVertices(), check.generators);
   std::vector<uint32_t> orbit_size(anonymized.anonymized.NumVertices(), 0);

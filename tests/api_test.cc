@@ -59,7 +59,7 @@ TEST(FindIsomorphismTest, BudgetExhaustionIsResourceExhausted) {
 TEST(FormatAutoTreeTest, RendersStructure) {
   Graph g = PaperFigure3Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   const std::string text = FormatAutoTree(r.tree);
   // Root line, both divide kinds, and symmetry classes must appear.
   EXPECT_NE(text.find("DivideI"), std::string::npos);
@@ -121,7 +121,7 @@ TEST(AutOrderFromTreeTest, MatchesSchreierSimsAcrossFamilies) {
   for (const Graph& g : graphs) {
     DviclResult r =
         DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     SchreierSims chain(g.NumVertices());
     for (const SparseAut& gen : r.generators) {
       chain.AddGenerator(gen.ToDense(g.NumVertices()));
@@ -147,7 +147,7 @@ TEST(AutOrderFromTreeTest, KnownOrders) {
   for (const Case& c : cases) {
     DviclResult r = DviclCanonicalLabeling(
         c.graph, Coloring::Unit(c.graph.NumVertices()), {});
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     EXPECT_EQ(AutomorphismOrderFromTree(r.tree), BigUint(c.order));
   }
 }
@@ -159,7 +159,7 @@ TEST(AutOrderFromTreeTest, LargeTwinGraphOrderIsAstronomical) {
   for (VertexId v = 1; v <= 50; ++v) edges.emplace_back(0, v);
   Graph star = Graph::FromEdges(51, std::move(edges));
   DviclResult r = DviclCanonicalLabeling(star, Coloring::Unit(51), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   EXPECT_EQ(AutomorphismOrderFromTree(r.tree), BigUint::Factorial(50));
 }
 

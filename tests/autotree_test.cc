@@ -21,7 +21,7 @@ using testing_util::RandomGraph;
 
 void CheckInvariants(const Graph& g, const DviclResult& r) {
   const AutoTree& tree = r.tree;
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
 
   for (uint32_t id = 0; id < tree.NumNodes(); ++id) {
     const AutoTreeNode& node = tree.Node(id);

@@ -291,7 +291,7 @@ TEST(CertCacheThreadedTest, SharedCacheAcrossConcurrentRunsStaysCorrect) {
   DviclOptions base;
   const DviclResult reference =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), base);
-  ASSERT_TRUE(reference.completed);
+  ASSERT_TRUE(reference.completed());
 
   CertCache shared;
   std::vector<std::thread> threads;
@@ -304,7 +304,7 @@ TEST(CertCacheThreadedTest, SharedCacheAcrossConcurrentRunsStaysCorrect) {
       options.parallel_grain_vertices = 2;
       DviclResult r =
           DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
-      ASSERT_TRUE(r.completed);
+      ASSERT_TRUE(r.completed());
       certs[t] = std::move(r.certificate);
     });
   }
@@ -327,7 +327,7 @@ TEST(CertCacheEndToEndTest, GadgetForestHitsAndMatchesCacheOff) {
 
   DviclOptions off;
   const DviclResult r_off = DviclCanonicalLabeling(g, unit, off);
-  ASSERT_TRUE(r_off.completed);
+  ASSERT_TRUE(r_off.completed());
   if (std::getenv("DVICL_CERT_CACHE") == nullptr) {
     // Telemetry stays silent with the cache off — unless the CI cache-on
     // matrix leg force-enabled it underneath us, in which case only the
@@ -339,7 +339,7 @@ TEST(CertCacheEndToEndTest, GadgetForestHitsAndMatchesCacheOff) {
   DviclOptions on;
   on.cert_cache = true;
   const DviclResult r_on = DviclCanonicalLabeling(g, unit, on);
-  ASSERT_TRUE(r_on.completed);
+  ASSERT_TRUE(r_on.completed());
   EXPECT_EQ(r_on.certificate, r_off.certificate);
   EXPECT_TRUE(r_on.canonical_labeling == r_off.canonical_labeling);
   // 6 identical components: the first leaf of the shape misses, the other

@@ -131,7 +131,7 @@ TEST(GeneratorsTest, WheelGadgetsCreateNonSingletonLeaves) {
   EXPECT_EQ(g.NumVertices(), base.NumVertices() + 6 * 8);
   DviclResult r =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   // The rings survive as small IR leaves (Table 3's web-graph shape). A
   // ring whose anchor collides with another gadget may merge, so require
   // at least half of them.

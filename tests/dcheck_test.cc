@@ -13,6 +13,7 @@
 #include "common/check.h"
 #include "dvicl/auto_tree.h"
 #include "dvicl/dvicl.h"
+#include "graph/certificate.h"
 #include "graph/graph.h"
 #include "perm/permutation.h"
 #include "perm/schreier_sims.h"
@@ -105,11 +106,39 @@ TEST(SchreierSimsTest, CheckInvariantsOnBuiltChain) {
   EXPECT_EQ(chain.Order(), BigUint(24));
 }
 
+// The DVICL_CHECK layer (no D) is always on — these abort in every build,
+// including plain release, so there is no kDcheckEnabled branch. They guard
+// the API boundary: caller-supplied edges, relabelings and label arrays.
+TEST(AlwaysOnCheckDeathTest, FromEdgesRejectsOutOfRangeEndpoint) {
+  EXPECT_DEATH(Graph::FromEdges(3, {{0, 1}, {1, 3}}),
+               "DVICL_CHECK failed.*endpoint outside");
+}
+
+TEST(AlwaysOnCheckDeathTest, RelabeledByRejectsWrongImageSize) {
+  const Graph triangle = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_DEATH(triangle.RelabeledBy(std::vector<VertexId>{0, 1}),
+               "DVICL_CHECK failed.*image size");
+}
+
+TEST(AlwaysOnCheckDeathTest, MakeCertificateRejectsWrongLabelCount) {
+  const Graph triangle = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const std::vector<VertexId> short_labels = {0, 1};
+  EXPECT_DEATH(MakeCertificate(triangle, {}, short_labels),
+               "DVICL_CHECK failed");
+}
+
+TEST(AlwaysOnCheckDeathTest, MakeCertificateRejectsOutOfRangeLabel) {
+  const Graph triangle = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const std::vector<VertexId> bad_labels = {0, 1, 7};
+  EXPECT_DEATH(MakeCertificate(triangle, {}, bad_labels),
+               "DVICL_CHECK failed.*out of range");
+}
+
 class VerifyAutoTreeDeathTest : public ::testing::Test {
  protected:
   void SetUp() override {
     result_ = DviclCanonicalLabeling(TwoTriangles(), Coloring::Unit(6));
-    ASSERT_TRUE(result_.completed);
+    ASSERT_TRUE(result_.completed());
     ASSERT_GE(result_.tree.NumNodes(), 3u)
         << "two triangles must divide into root + two leaves";
     // The pristine tree passes in any build (the builder already verified

@@ -35,7 +35,7 @@ Certificate DviclCert(const Graph& g, uint32_t threads = 1) {
   options.parallel_grain_vertices = 2;
   DviclResult r =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   return r.certificate;
 }
 
@@ -44,7 +44,7 @@ Certificate IrCert(const Graph& g) {
   IrOptions options;
   options.preset = IrPreset::kBlissLike;
   IrResult r = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   return r.certificate;
 }
 
@@ -237,7 +237,7 @@ Certificate DviclCertCache(const Graph& g, std::span<const uint32_t> colors,
   const Coloring pi = colors.empty() ? Coloring::Unit(g.NumVertices())
                                      : Coloring::FromLabels(colors);
   DviclResult r = DviclCanonicalLabeling(g, pi, options);
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   return r.certificate;
 }
 
@@ -247,7 +247,7 @@ Certificate IrCertColored(const Graph& g, std::span<const uint32_t> colors) {
   const Coloring pi = colors.empty() ? Coloring::Unit(g.NumVertices())
                                      : Coloring::FromLabels(colors);
   IrResult r = IrCanonicalLabeling(g, pi, options);
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   return r.certificate;
 }
 

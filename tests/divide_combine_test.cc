@@ -177,7 +177,8 @@ TEST(CombineCLTest, LabelsRankWithinColors) {
   node.edges = c4.Edges();
   IrOptions options;
   IrStats stats;
-  ASSERT_TRUE(CombineCL(&node, colors, options, &stats));
+  ASSERT_EQ(CombineCL(&node, colors, options, &stats),
+            RunOutcome::kCompleted);
   std::vector<VertexId> sorted_labels = node.labels;
   std::sort(sorted_labels.begin(), sorted_labels.end());
   EXPECT_EQ(sorted_labels, (std::vector<VertexId>{0, 1, 2, 3}));
@@ -197,7 +198,8 @@ TEST(CombineCLTest, BudgetFailurePropagates) {
   node.edges = c16.Edges();
   IrOptions options;
   options.max_tree_nodes = 1;
-  EXPECT_FALSE(CombineCL(&node, colors, options, nullptr));
+  EXPECT_EQ(CombineCL(&node, colors, options, nullptr),
+            RunOutcome::kNodeBudget);
 }
 
 }  // namespace

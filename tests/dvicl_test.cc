@@ -32,12 +32,12 @@ BigUint GroupOrderOf(const Graph& g, const std::vector<SparseAut>& gens) {
 TEST(DviclTest, TrivialGraphs) {
   Graph empty = Graph::FromEdges(0, {});
   DviclResult r = RunDvicl(empty);
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   EXPECT_EQ(r.tree.NumNodes(), 1u);
 
   Graph one = Graph::FromEdges(1, {});
   r = RunDvicl(one);
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   EXPECT_TRUE(r.tree.Root().is_leaf);
   EXPECT_EQ(r.canonical_labeling.Size(), 1u);
 }
@@ -46,7 +46,7 @@ TEST(DviclTest, CanonicalLabelingIsBijection) {
   for (uint64_t seed = 0; seed < 6; ++seed) {
     Graph g = RandomGraph(30, 0.15, seed);
     DviclResult r = RunDvicl(g);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     // Permutation's constructor validates bijectivity in debug; also check
     // the certificate header.
     EXPECT_EQ(r.canonical_labeling.Size(), 30u);
@@ -62,7 +62,7 @@ TEST(DviclTest, CertificateInvariantUnderRelabeling) {
     Graph h = g.RelabeledBy(gamma.ImageArray());
     DviclResult rg = RunDvicl(g);
     DviclResult rh = RunDvicl(h);
-    ASSERT_TRUE(rg.completed && rh.completed);
+    ASSERT_TRUE(rg.completed() && rh.completed());
     EXPECT_EQ(rg.certificate, rh.certificate) << "seed=" << seed;
   }
 }
@@ -72,12 +72,12 @@ TEST(DviclTest, CertificateInvariantOnSymmetricGraphs) {
   const Graph fixtures[] = {PaperFigure1Graph(), PaperFigure3Graph()};
   for (const Graph& g : fixtures) {
     DviclResult base = RunDvicl(g);
-    ASSERT_TRUE(base.completed);
+    ASSERT_TRUE(base.completed());
     for (uint64_t seed = 0; seed < 8; ++seed) {
       Permutation gamma = RandomPermutation(g.NumVertices(), seed);
       Graph h = g.RelabeledBy(gamma.ImageArray());
       DviclResult rh = RunDvicl(h);
-      ASSERT_TRUE(rh.completed);
+      ASSERT_TRUE(rh.completed());
       EXPECT_EQ(base.certificate, rh.certificate) << "seed=" << seed;
     }
   }
@@ -123,7 +123,7 @@ TEST(DviclTest, GeneratorsAreAutomorphisms) {
                             RandomGraph(20, 0.2, 1), RandomGraph(40, 0.1, 2)};
   for (const Graph& g : fixtures) {
     DviclResult r = RunDvicl(g);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     for (const SparseAut& gen : r.generators) {
       EXPECT_TRUE(IsAutomorphism(g, gen.ToDense(g.NumVertices())));
     }
@@ -135,7 +135,7 @@ TEST(DviclTest, GroupOrderMatchesBruteForceOnSmallGraphs) {
     Graph g = RandomGraph(7, 0.3, seed);
     const auto brute = BruteForceAutomorphisms(g);
     DviclResult r = RunDvicl(g);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(brute.size()))
         << "seed=" << seed;
   }
@@ -147,7 +147,7 @@ TEST(DviclTest, OrbitsMatchBruteForceOnSmallGraphs) {
     const auto brute = BruteForceAutomorphisms(g);
     const auto expected = OrbitIdsOf(7, brute);
     DviclResult r = RunDvicl(g);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     const auto actual = OrbitIdsFromGenerators(7, r.generators);
     EXPECT_EQ(actual, expected) << "seed=" << seed;
   }
@@ -156,14 +156,14 @@ TEST(DviclTest, OrbitsMatchBruteForceOnSmallGraphs) {
 TEST(DviclTest, PaperGraphGroupOrderIs48) {
   Graph g = PaperFigure1Graph();
   DviclResult r = RunDvicl(g);
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(48));
 }
 
 TEST(DviclTest, Figure3GraphGroupOrderIs72) {
   Graph g = PaperFigure3Graph();
   DviclResult r = RunDvicl(g);
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(72));
 }
 
@@ -189,7 +189,7 @@ TEST(DviclTest, AblationDisablingDividesStillCanonical) {
   no_divide.enable_divide_i = false;
   no_divide.enable_divide_s = false;
   DviclResult r = RunDvicl(g, no_divide);
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   // Degenerates to one leaf = whole graph.
   EXPECT_EQ(r.tree.NumNodes(), 1u);
   EXPECT_TRUE(r.tree.Root().is_leaf);
@@ -212,7 +212,7 @@ TEST(DviclTest, AblationDivideSOnlyStillCanonical) {
   s_only.enable_divide_i = false;
   for (const Graph& g : fixtures) {
     DviclResult base = RunDvicl(g, s_only);
-    ASSERT_TRUE(base.completed);
+    ASSERT_TRUE(base.completed());
     for (const SparseAut& gen : base.generators) {
       EXPECT_TRUE(IsAutomorphism(g, gen.ToDense(g.NumVertices())));
     }
@@ -220,7 +220,7 @@ TEST(DviclTest, AblationDivideSOnlyStillCanonical) {
       Graph h = g.RelabeledBy(
           RandomPermutation(g.NumVertices(), seed + 60).ImageArray());
       DviclResult rh = RunDvicl(h, s_only);
-      ASSERT_TRUE(rh.completed);
+      ASSERT_TRUE(rh.completed());
       EXPECT_EQ(base.certificate, rh.certificate);
     }
   }
@@ -234,7 +234,7 @@ TEST(DviclTest, DisconnectedGraphs) {
   Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2},
                                  {3, 4}, {4, 5}, {3, 5}});
   DviclResult r = RunDvicl(g);
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(72));  // S3 wr S2
   const auto orbit = OrbitIdsFromGenerators(6, r.generators);
   for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(orbit[v], orbit[0]);
@@ -246,7 +246,7 @@ TEST(DviclTest, ColoredGraphsRespectInitialColoring) {
                                  {3, 4}, {4, 5}, {3, 5}});
   Coloring pi = Coloring::FromLabels(std::vector<uint32_t>{0, 0, 0, 1, 1, 1});
   DviclResult r = DviclCanonicalLabeling(g, pi, {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(36));  // S3 x S3
 }
 
@@ -308,13 +308,13 @@ TEST(SimplifyTest, SimplifiedCertificateInvariantUnderRelabeling) {
   for (const Graph& g : fixtures) {
     SimplifiedDviclResult base =
         DviclWithSimplification(g, Coloring::Unit(g.NumVertices()), {});
-    ASSERT_TRUE(base.completed);
+    ASSERT_TRUE(base.completed());
     for (uint64_t seed = 0; seed < 6; ++seed) {
       Permutation gamma = RandomPermutation(g.NumVertices(), seed + 31);
       Graph h = g.RelabeledBy(gamma.ImageArray());
       SimplifiedDviclResult rh =
           DviclWithSimplification(h, Coloring::Unit(h.NumVertices()), {});
-      ASSERT_TRUE(rh.completed);
+      ASSERT_TRUE(rh.completed());
       EXPECT_EQ(base.certificate, rh.certificate);
     }
   }
@@ -325,7 +325,7 @@ TEST(SimplifyTest, SimplifiedGeneratorsAreAutomorphisms) {
   for (const Graph& g : fixtures) {
     SimplifiedDviclResult r =
         DviclWithSimplification(g, Coloring::Unit(g.NumVertices()), {});
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     for (const SparseAut& gen : r.generators) {
       EXPECT_TRUE(IsAutomorphism(g, gen.ToDense(g.NumVertices())));
     }
@@ -338,7 +338,7 @@ TEST(SimplifyTest, SimplifiedGroupOrderMatchesBruteForce) {
     const auto brute = BruteForceAutomorphisms(g);
     SimplifiedDviclResult r =
         DviclWithSimplification(g, Coloring::Unit(7), {});
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     EXPECT_EQ(GroupOrderOf(g, r.generators), BigUint(brute.size()))
         << "seed=" << seed;
   }
@@ -348,7 +348,7 @@ TEST(SimplifyTest, QuotientSmallerThanOriginalWithTwins) {
   Graph g = PaperFigure1Graph();
   SimplifiedDviclResult r =
       DviclWithSimplification(g, Coloring::Unit(8), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   EXPECT_EQ(r.simplified_graph.NumVertices(), 6u);  // 8 - 2 twins
 }
 

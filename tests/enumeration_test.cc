@@ -40,7 +40,7 @@ TEST(EnumerationTest, DviclCountsAllIsomorphismClasses) {
     for (uint64_t mask = 0; mask < num_masks; ++mask) {
       Graph g = GraphFromMask(n, mask);
       DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(n), {});
-      ASSERT_TRUE(r.completed);
+      ASSERT_TRUE(r.completed());
       classes.insert(r.certificate);
     }
     EXPECT_EQ(classes.size(), kGraphCounts[n]) << "n=" << n;
@@ -55,7 +55,7 @@ TEST(EnumerationTest, SimplifiedDviclCountsAllIsomorphismClasses) {
       Graph g = GraphFromMask(n, mask);
       SimplifiedDviclResult r =
           DviclWithSimplification(g, Coloring::Unit(n), {});
-      ASSERT_TRUE(r.completed);
+      ASSERT_TRUE(r.completed());
       classes.insert(r.certificate);
     }
     EXPECT_EQ(classes.size(), kGraphCounts[n]) << "n=" << n;
@@ -73,7 +73,7 @@ TEST(EnumerationTest, IrPresetsCountAllIsomorphismClasses) {
       for (uint64_t mask = 0; mask < num_masks; ++mask) {
         Graph g = GraphFromMask(n, mask);
         IrResult r = IrCanonicalLabeling(g, Coloring::Unit(n), options);
-        ASSERT_TRUE(r.completed);
+        ASSERT_TRUE(r.completed());
         classes.insert(r.certificate);
       }
       EXPECT_EQ(classes.size(), kGraphCounts[n])

@@ -25,7 +25,7 @@ using testing_util::RandomPermutation;
 std::vector<VertexId> OrbitsOf(const Graph& g) {
   DviclResult r =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   return OrbitIdsFromGenerators(g.NumVertices(), r.generators);
 }
 
@@ -140,7 +140,7 @@ TEST(CertificateIndexTest, DeduplicatesChemicalLikeCollection) {
 TEST(SymmetryProfileTest, PaperGraphProfile) {
   Graph g = PaperFigure1Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   SymmetryProfile profile = ComputeSymmetryProfile(g, r);
   EXPECT_EQ(profile.aut_order, BigUint(48));
   EXPECT_EQ(profile.num_orbits, 3u);       // {0..3}, {4..6}, {7}

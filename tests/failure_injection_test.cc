@@ -80,7 +80,7 @@ TEST(FailureInjectionTest, DviclLeafBudgetPropagates) {
   options.leaf_max_tree_nodes = 1;
   DviclResult r =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
-  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.completed());
 
   bool decided = true;
   EXPECT_FALSE(DviclIsomorphic(g, g, options, &decided));
@@ -104,7 +104,7 @@ TEST(FailureInjectionTest, TimeLimitZeroMeansUnlimited) {
   DviclOptions options;
   options.time_limit_seconds = 0.0;
   EXPECT_TRUE(
-      DviclCanonicalLabeling(g, Coloring::Unit(20), options).completed);
+      DviclCanonicalLabeling(g, Coloring::Unit(20), options).completed());
 }
 
 TEST(FailureInjectionTest, SimplifiedDviclPropagatesIncompleteness) {
@@ -113,7 +113,7 @@ TEST(FailureInjectionTest, SimplifiedDviclPropagatesIncompleteness) {
   options.leaf_max_tree_nodes = 1;
   SimplifiedDviclResult r =
       DviclWithSimplification(g, Coloring::Unit(g.NumVertices()), options);
-  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.completed());
 }
 
 // ---- degenerate graphs through every API ------------------------------------
@@ -121,7 +121,7 @@ TEST(FailureInjectionTest, SimplifiedDviclPropagatesIncompleteness) {
 TEST(FailureInjectionTest, EmptyGraphEverywhere) {
   Graph empty = Graph::FromEdges(0, {});
   DviclResult r = DviclCanonicalLabeling(empty, Coloring::Unit(0), {});
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
 
   EXPECT_TRUE(FindMaximumClique(empty).empty());
   EXPECT_EQ(CountTriangles(empty), 0u);
@@ -138,7 +138,7 @@ TEST(FailureInjectionTest, EmptyGraphEverywhere) {
 TEST(FailureInjectionTest, SingleVertexEverywhere) {
   Graph one = Graph::FromEdges(1, {});
   DviclResult r = DviclCanonicalLabeling(one, Coloring::Unit(1), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   SsmIndex index(one, r);
   EXPECT_EQ(index.SymmetricImages({0}).size(), 1u);
   EXPECT_EQ(FindMaximumClique(one).size(), 1u);
@@ -149,7 +149,7 @@ TEST(FailureInjectionTest, IsolatedVerticesAreHandled) {
   // Isolated vertices form one big orbit; they must survive the pipeline.
   Graph g = Graph::FromEdges(10, {{0, 1}, {1, 2}});
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(10), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   const auto orbit = OrbitIdsFromGenerators(10, r.generators);
   for (VertexId v = 4; v < 10; ++v) EXPECT_EQ(orbit[v], orbit[3]);
   SsmIndex index(g, r);
@@ -171,7 +171,7 @@ TEST(FailureInjectionTest, AdversarialInitialColorings) {
   std::vector<uint32_t> weird = {900, 7, 7, 900, 3, 3, 3, 42, 42, 0, 0, 7};
   DviclResult r =
       DviclCanonicalLabeling(g, Coloring::FromLabels(weird), {});
-  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(r.completed());
   for (const SparseAut& gen : r.generators) {
     const Permutation dense = gen.ToDense(12);
     EXPECT_TRUE(IsAutomorphism(g, dense));
@@ -184,7 +184,7 @@ TEST(FailureInjectionTest, AdversarialInitialColorings) {
   for (VertexId v = 0; v < 12; ++v) discrete[v] = 11 - v;
   DviclResult r2 =
       DviclCanonicalLabeling(g, Coloring::FromLabels(discrete), {});
-  EXPECT_TRUE(r2.completed);
+  EXPECT_TRUE(r2.completed());
   EXPECT_TRUE(r2.generators.empty());  // discrete coloring: trivial group
 }
 
@@ -203,7 +203,7 @@ TEST(FailureInjectionTest, KSymmetryOnLeafRootIsIdentity) {
   Graph g = CfiGraph(8, false);
   DviclResult r =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   KSymmetryResult anon = AnonymizeKSymmetry(g, r, 4);
   EXPECT_EQ(anon.anonymized, g);
   EXPECT_EQ(anon.copies_added, 0u);

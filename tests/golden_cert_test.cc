@@ -97,7 +97,7 @@ TEST_P(GoldenCertTest, MatchesGoldenBytes) {
   const Graph g = family.make();
 
   const DviclResult result = RunFamily(g, /*cert_cache=*/false);
-  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.completed());
   const std::string current =
       Serialize(family.name, g,
                 GroupOrderOf(g.NumVertices(), result.generators),
@@ -131,7 +131,7 @@ TEST_P(GoldenCertTest, CacheOnRunMatchesGoldenBytes) {
   const Graph g = family.make();
 
   const DviclResult result = RunFamily(g, /*cert_cache=*/true);
-  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.completed());
   const std::string current =
       Serialize(family.name, g,
                 GroupOrderOf(g.NumVertices(), result.generators),

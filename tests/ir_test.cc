@@ -27,12 +27,12 @@ TEST(IrTest, TrivialGraphs) {
   for (IrPreset preset : kAllPresets) {
     Graph empty = Graph::FromEdges(0, {});
     IrResult r = Canonical(empty, preset);
-    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.completed());
     EXPECT_TRUE(r.automorphism_generators.empty());
 
     Graph one = Graph::FromEdges(1, {});
     r = Canonical(one, preset);
-    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.completed());
     EXPECT_EQ(r.canonical_labeling.Size(), 1u);
   }
 }
@@ -41,7 +41,7 @@ TEST(IrTest, CanonicalLabelingIsValidPermutation) {
   Graph g = PaperFigure1Graph();
   for (IrPreset preset : kAllPresets) {
     IrResult r = Canonical(g, preset);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     EXPECT_EQ(r.canonical_labeling.Size(), 8u);
     // The relabeled graph is isomorphic to g: it has the same degree
     // multiset and the certificate's edge count matches.
@@ -57,7 +57,7 @@ TEST(IrTest, GeneratorsAreAutomorphisms) {
     Graph g = RandomGraph(12, 0.3, seed);
     for (IrPreset preset : kAllPresets) {
       IrResult r = Canonical(g, preset);
-      ASSERT_TRUE(r.completed);
+      ASSERT_TRUE(r.completed());
       for (const Permutation& gen : r.automorphism_generators) {
         EXPECT_TRUE(IsAutomorphism(g, gen)) << "seed=" << seed;
       }
@@ -73,7 +73,7 @@ TEST(IrTest, CertificateInvariantUnderRelabeling) {
     for (IrPreset preset : kAllPresets) {
       IrResult rg = Canonical(g, preset);
       IrResult rh = Canonical(h, preset);
-      ASSERT_TRUE(rg.completed && rh.completed);
+      ASSERT_TRUE(rg.completed() && rh.completed());
       EXPECT_EQ(rg.certificate, rh.certificate)
           << "seed=" << seed << " preset=" << static_cast<int>(preset);
     }
@@ -108,7 +108,7 @@ TEST(IrTest, AutomorphismGroupOrderMatchesBruteForce) {
     const auto brute = BruteForceAutomorphisms(g);
     for (IrPreset preset : kAllPresets) {
       IrResult r = Canonical(g, preset);
-      ASSERT_TRUE(r.completed);
+      ASSERT_TRUE(r.completed());
       SchreierSims chain(7);
       for (const Permutation& gen : r.automorphism_generators) {
         chain.AddGenerator(gen);
@@ -139,7 +139,7 @@ TEST(IrTest, StructuredGraphsGroupOrders) {
   for (const Case& c : cases) {
     for (IrPreset preset : kAllPresets) {
       IrResult r = Canonical(*c.graph, preset);
-      ASSERT_TRUE(r.completed);
+      ASSERT_TRUE(r.completed());
       SchreierSims chain(c.graph->NumVertices());
       for (const Permutation& gen : r.automorphism_generators) {
         chain.AddGenerator(gen);
@@ -158,7 +158,7 @@ TEST(IrTest, RespectsInitialColoring) {
   Graph cycle = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
   Coloring pi = Coloring::FromLabels(std::vector<uint32_t>{0, 1, 0, 1});
   IrResult r = IrCanonicalLabeling(cycle, pi, {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   SchreierSims chain(4);
   for (const Permutation& gen : r.automorphism_generators) {
     chain.AddGenerator(gen);
@@ -188,7 +188,7 @@ TEST(IrTest, NodeBudgetAbortsCleanly) {
   IrOptions options;
   options.max_tree_nodes = 1;
   IrResult r = IrCanonicalLabeling(g, Coloring::Unit(16), options);
-  EXPECT_FALSE(r.completed);
+  EXPECT_FALSE(r.completed());
 }
 
 TEST(IrTest, PresetsAgreeOnIsomorphismDecisions) {

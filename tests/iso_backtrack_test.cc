@@ -157,7 +157,7 @@ TEST(GeneratorsTest, TreesThroughDviclPipeline) {
   for (uint64_t seed = 0; seed < 6; ++seed) {
     Graph t = RandomTreeGraph(60, seed);
     DviclResult base = DviclCanonicalLabeling(t, Coloring::Unit(60), {});
-    ASSERT_TRUE(base.completed);
+    ASSERT_TRUE(base.completed());
     // Trees decompose fully: no IR leaf should ever be needed.
     EXPECT_EQ(base.tree.NumNonSingletonLeaves(), 0u) << "seed=" << seed;
     Graph relabeled =

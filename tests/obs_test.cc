@@ -363,7 +363,7 @@ TEST(ObsDeterminismTest, TracingOnOffYieldsIdenticalCanonicalOutput) {
 
   DviclOptions plain;
   const DviclResult baseline = DviclCanonicalLabeling(g, unit, plain);
-  ASSERT_TRUE(baseline.completed);
+  ASSERT_TRUE(baseline.completed());
 
   for (uint32_t threads : {1u, 4u}) {
     obs::TraceRecorder trace;
@@ -373,7 +373,7 @@ TEST(ObsDeterminismTest, TracingOnOffYieldsIdenticalCanonicalOutput) {
     traced.trace = &trace;
     traced.metrics = &metrics;
     const DviclResult observed = DviclCanonicalLabeling(g, unit, traced);
-    ASSERT_TRUE(observed.completed);
+    ASSERT_TRUE(observed.completed());
 
     EXPECT_EQ(observed.certificate, baseline.certificate)
         << "threads=" << threads;
@@ -395,7 +395,7 @@ TEST(ObsDeterminismTest, StatsCarryWallClockAndRefineWork) {
   const Graph g = WithTwins(PreferentialAttachmentGraph(200, 3, 7), 0.1, 8);
   DviclResult result =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(result.completed);
+  ASSERT_TRUE(result.completed());
   EXPECT_GT(result.stats.wall_seconds, 0.0);
   EXPECT_GT(result.stats.refine_splitters, 0u);
   EXPECT_GE(result.stats.refine_cell_splits, 1u);

@@ -29,7 +29,7 @@ TEST(PaperExamplesTest, Figure1GraphShape) {
 TEST(PaperExamplesTest, Figure4AutoTreeStructure) {
   Graph g = PaperFigure1Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
 
   const AutoTreeNode& root = r.tree.Root();
   ASSERT_EQ(root.children.size(), 3u);
@@ -81,7 +81,7 @@ TEST(PaperExamplesTest, Figure4AutoTreeStructure) {
 TEST(PaperExamplesTest, Figure1Orbits) {
   Graph g = PaperFigure1Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   const auto orbit = OrbitIdsFromGenerators(8, r.generators);
   EXPECT_EQ(orbit[0], orbit[1]);
   EXPECT_EQ(orbit[0], orbit[2]);
@@ -100,7 +100,7 @@ TEST(PaperExamplesTest, Figure1Orbits) {
 TEST(PaperExamplesTest, Figure3AutoTreeAllSingletonLeaves) {
   Graph g = PaperFigure3Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   EXPECT_EQ(r.tree.NumNonSingletonLeaves(), 0u);
   // Wings are symmetric: the root has two children in one symmetry class.
   const AutoTreeNode& root = r.tree.Root();
@@ -117,7 +117,7 @@ TEST(PaperExamplesTest, Figure3AutoTreeAllSingletonLeaves) {
 TEST(PaperExamplesTest, Figure3AutomorphicVertices) {
   Graph g = PaperFigure3Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   const auto orbit = OrbitIdsFromGenerators(14, r.generators);
   EXPECT_EQ(orbit[2], orbit[6]);
   EXPECT_EQ(orbit[2], orbit[12]);
@@ -130,7 +130,7 @@ TEST(PaperExamplesTest, Figure3AutomorphicVertices) {
 TEST(PaperExamplesTest, SymmetricVerticesShareLeafForm) {
   Graph g = PaperFigure3Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   // 2 and 12 are automorphic: their (singleton) leaves have equal hashes
   // and equal labels.
   const AutoTreeNode& leaf2 = r.tree.Node(r.tree.LeafOf(2));
@@ -146,7 +146,7 @@ TEST(PaperExamplesTest, SymmetricVerticesShareLeafForm) {
 TEST(PaperExamplesTest, IsomorphicComponentsGetEqualForms) {
   Graph g = PaperFigure3Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   const AutoTreeNode& root = r.tree.Root();
   std::vector<uint64_t> wing_hashes;
   for (uint32_t child : root.children) {

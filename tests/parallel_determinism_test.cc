@@ -97,13 +97,13 @@ TEST_P(ParallelDeterminismTest, IdenticalAcrossThreadCounts) {
   const VertexId n = g.NumVertices();
 
   const DviclResult base = RunWithThreads(g, 1);
-  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(base.completed());
   const std::vector<uint64_t> base_print = TreeFingerprint(base.tree, n);
   const BigUint base_order = GroupOrderOf(n, base.generators);
 
   for (uint32_t threads : {2u, 4u, 8u}) {
     const DviclResult r = RunWithThreads(g, threads);
-    ASSERT_TRUE(r.completed) << "threads=" << threads;
+    ASSERT_TRUE(r.completed()) << "threads=" << threads;
     EXPECT_EQ(r.certificate, base.certificate) << "threads=" << threads;
     EXPECT_TRUE(r.canonical_labeling == base.canonical_labeling)
         << "threads=" << threads;
@@ -122,12 +122,12 @@ TEST_P(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
   const VertexId n = g.NumVertices();
 
   const DviclResult first = RunWithThreads(g, 4);
-  ASSERT_TRUE(first.completed);
+  ASSERT_TRUE(first.completed());
   const std::vector<uint64_t> first_print = TreeFingerprint(first.tree, n);
 
   for (int round = 0; round < 3; ++round) {
     const DviclResult r = RunWithThreads(g, 4);
-    ASSERT_TRUE(r.completed) << "round " << round;
+    ASSERT_TRUE(r.completed()) << "round " << round;
     EXPECT_EQ(r.certificate, first.certificate) << "round " << round;
     EXPECT_TRUE(r.canonical_labeling == first.canonical_labeling)
         << "round " << round;
@@ -146,13 +146,13 @@ TEST_P(ParallelDeterminismTest, CertCacheHitsAreBitIdentical) {
   const VertexId n = g.NumVertices();
 
   const DviclResult base = RunWithThreads(g, 1, /*cert_cache=*/false);
-  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(base.completed());
   const std::vector<uint64_t> base_print = TreeFingerprint(base.tree, n);
   const BigUint base_order = GroupOrderOf(n, base.generators);
 
   for (uint32_t threads : {1u, 2u, 4u, 8u}) {
     const DviclResult r = RunWithThreads(g, threads, /*cert_cache=*/true);
-    ASSERT_TRUE(r.completed) << "threads=" << threads;
+    ASSERT_TRUE(r.completed()) << "threads=" << threads;
     EXPECT_EQ(r.certificate, base.certificate) << "threads=" << threads;
     EXPECT_TRUE(r.canonical_labeling == base.canonical_labeling)
         << "threads=" << threads;
@@ -174,8 +174,8 @@ TEST(ParallelDeterminismExtraTest, ZeroMeansHardwareThreadsAndStaysDeterministic
   const Graph g = WithTwins(PreferentialAttachmentGraph(120, 3, 5), 0.2, 6);
   const DviclResult base = RunWithThreads(g, 1);
   const DviclResult hw = RunWithThreads(g, 0);  // one thread per hardware thread
-  ASSERT_TRUE(base.completed);
-  ASSERT_TRUE(hw.completed);
+  ASSERT_TRUE(base.completed());
+  ASSERT_TRUE(hw.completed());
   EXPECT_EQ(hw.certificate, base.certificate);
   EXPECT_TRUE(hw.canonical_labeling == base.canonical_labeling);
   EXPECT_EQ(TreeFingerprint(hw.tree, g.NumVertices()),
@@ -191,8 +191,8 @@ TEST(ParallelDeterminismExtraTest, DefaultGrainMatchesTinyGrain) {
   const DviclResult a =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), coarse);
   const DviclResult b = RunWithThreads(g, 4);  // grain 2
-  ASSERT_TRUE(a.completed);
-  ASSERT_TRUE(b.completed);
+  ASSERT_TRUE(a.completed());
+  ASSERT_TRUE(b.completed());
   EXPECT_EQ(a.certificate, b.certificate);
   EXPECT_EQ(TreeFingerprint(a.tree, g.NumVertices()),
             TreeFingerprint(b.tree, g.NumVertices()));

@@ -87,13 +87,13 @@ TEST_P(PipelineProperty, DviclCertificateInvariantUnderRelabeling) {
   Graph g = MakeGraph();
   DviclResult base =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(base.completed());
   for (uint64_t r = 0; r < 3; ++r) {
     Permutation gamma = RandomPermutation(g.NumVertices(), Seed() * 17 + r);
     Graph h = g.RelabeledBy(gamma.ImageArray());
     DviclResult other =
         DviclCanonicalLabeling(h, Coloring::Unit(h.NumVertices()), {});
-    ASSERT_TRUE(other.completed);
+    ASSERT_TRUE(other.completed());
     EXPECT_EQ(base.certificate, other.certificate) << "relabel " << r;
   }
 }
@@ -103,12 +103,12 @@ TEST_P(PipelineProperty, TreeShapeInvariantUnderRelabeling) {
   Graph g = MakeGraph();
   DviclResult base =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(base.completed);
+  ASSERT_TRUE(base.completed());
   Permutation gamma = RandomPermutation(g.NumVertices(), Seed() + 999);
   Graph h = g.RelabeledBy(gamma.ImageArray());
   DviclResult other =
       DviclCanonicalLabeling(h, Coloring::Unit(h.NumVertices()), {});
-  ASSERT_TRUE(other.completed);
+  ASSERT_TRUE(other.completed());
   EXPECT_EQ(base.tree.NumNodes(), other.tree.NumNodes());
   EXPECT_EQ(base.tree.Depth(), other.tree.Depth());
   EXPECT_EQ(base.tree.NumSingletonLeaves(), other.tree.NumSingletonLeaves());
@@ -120,7 +120,7 @@ TEST_P(PipelineProperty, GeneratorsAreAutomorphisms) {
   Graph g = MakeGraph();
   DviclResult r =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   for (const SparseAut& gen : r.generators) {
     EXPECT_TRUE(IsAutomorphism(g, gen.ToDense(g.NumVertices())));
   }
@@ -130,7 +130,7 @@ TEST_P(PipelineProperty, IrGeneratorsAreAutomorphisms) {
   Graph g = MakeGraph();
   if (g.NumVertices() > 80) GTEST_SKIP() << "IR too slow for this size";
   IrResult r = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   for (const Permutation& gen : r.automorphism_generators) {
     EXPECT_TRUE(IsAutomorphism(g, gen));
   }
@@ -142,8 +142,8 @@ TEST_P(PipelineProperty, DviclAndIrGroupOrdersAgree) {
   DviclResult dv =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
   IrResult ir = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(dv.completed);
-  ASSERT_TRUE(ir.completed);
+  ASSERT_TRUE(dv.completed());
+  ASSERT_TRUE(ir.completed());
 
   SchreierSims dv_chain(g.NumVertices());
   for (const SparseAut& gen : dv.generators) {
@@ -163,7 +163,7 @@ TEST_P(PipelineProperty, DviclAndIrOrbitsAgree) {
   DviclResult dv =
       DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
   IrResult ir = IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(dv.completed && ir.completed);
+  ASSERT_TRUE(dv.completed() && ir.completed());
   const auto dv_orbits =
       OrbitIdsFromGenerators(g.NumVertices(), dv.generators);
   PermGroup ir_group(g.NumVertices());
@@ -178,13 +178,13 @@ TEST_P(PipelineProperty, SimplifiedDviclAgreesAsDecider) {
   Graph g = MakeGraph();
   SimplifiedDviclResult a =
       DviclWithSimplification(g, Coloring::Unit(g.NumVertices()), {});
-  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(a.completed());
   // Relabeled copy: must match.
   Permutation gamma = RandomPermutation(g.NumVertices(), Seed() + 5);
   Graph h = g.RelabeledBy(gamma.ImageArray());
   SimplifiedDviclResult b =
       DviclWithSimplification(h, Coloring::Unit(h.NumVertices()), {});
-  ASSERT_TRUE(b.completed);
+  ASSERT_TRUE(b.completed());
   EXPECT_EQ(a.certificate, b.certificate);
 }
 
@@ -198,7 +198,7 @@ TEST_P(PipelineProperty, CanonicalLabelingRelabelsToIdenticalGraph) {
   Graph h = g.RelabeledBy(gamma.ImageArray());
   DviclResult rh =
       DviclCanonicalLabeling(h, Coloring::Unit(h.NumVertices()), {});
-  ASSERT_TRUE(rg.completed && rh.completed);
+  ASSERT_TRUE(rg.completed() && rh.completed());
   EXPECT_EQ(g.RelabeledBy(rg.canonical_labeling.ImageArray()),
             h.RelabeledBy(rh.canonical_labeling.ImageArray()));
 }
@@ -223,7 +223,7 @@ TEST_P(BruteForceProperty, FullPipelineMatchesBruteForce) {
     const auto brute = testing_util::BruteForceAutomorphisms(g);
 
     DviclResult dv = DviclCanonicalLabeling(g, Coloring::Unit(7), {});
-    ASSERT_TRUE(dv.completed);
+    ASSERT_TRUE(dv.completed());
     SchreierSims chain(7);
     for (const SparseAut& gen : dv.generators) {
       chain.AddGenerator(gen.ToDense(7));

@@ -38,7 +38,7 @@ TEST(SaucyModeTest, SameGroupAsFullSearch) {
     saucy.automorphisms_only = true;
     IrResult saucy_result =
         IrCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), saucy);
-    ASSERT_TRUE(full_result.completed && saucy_result.completed);
+    ASSERT_TRUE(full_result.completed() && saucy_result.completed());
     EXPECT_EQ(OrderOf(g, full_result.automorphism_generators),
               OrderOf(g, saucy_result.automorphism_generators));
     // Generators from the cheap mode are real automorphisms.
@@ -54,7 +54,7 @@ TEST(SaucyModeTest, MatchesBruteForceOrder) {
     IrOptions saucy;
     saucy.automorphisms_only = true;
     IrResult r = IrCanonicalLabeling(g, Coloring::Unit(7), saucy);
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     EXPECT_EQ(OrderOf(g, r.automorphism_generators),
               BigUint(BruteForceAutomorphisms(g).size()))
         << "seed=" << seed;

@@ -56,7 +56,7 @@ TEST(SerializeTest, RoundTripPreservesEverything) {
   for (const Graph& g : graphs) {
     DviclResult original =
         DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), {});
-    ASSERT_TRUE(original.completed);
+    ASSERT_TRUE(original.completed());
     const std::string blob = SaveToString(original);
     std::istringstream in(blob, std::ios::binary);
     Result<DviclResult> loaded = LoadDviclResult(in);
@@ -80,7 +80,7 @@ TEST(SerializeTest, LoadedIndexAnswersSsmQueries) {
 
 TEST(SerializeTest, RefusesIncompleteResult) {
   DviclResult incomplete;
-  incomplete.completed = false;
+  incomplete.outcome = RunOutcome::kCancelled;
   std::ostringstream out(std::ios::binary);
   EXPECT_FALSE(SaveDviclResult(incomplete, out).ok());
 }

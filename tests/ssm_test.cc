@@ -65,7 +65,7 @@ TEST(SubgraphMatchTest, RespectsResultCap) {
 TEST(SsmAtTest, SingleVertexOrbitPaperGraph) {
   Graph g = PaperFigure1Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   SsmIndex index(g, r);
   // Vertex 4 (triangle corner) has 3 symmetric images: {4},{5},{6}.
   auto images = index.SymmetricImages({4});
@@ -80,7 +80,7 @@ TEST(SsmAtTest, SingleVertexOrbitPaperGraph) {
 TEST(SsmAtTest, MatchesBruteForceOnPaperGraph) {
   Graph g = PaperFigure1Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   SsmIndex index(g, r);
 
   const std::vector<std::vector<VertexId>> queries = {
@@ -103,7 +103,7 @@ TEST(SsmAtTest, Example611PathQuery) {
   // images inside wing g1 and 6 more in the other wing.
   Graph g = PaperFigure3Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   SsmIndex index(g, r);
   auto images = index.SymmetricImages({3, 2, 6});
   EXPECT_EQ(images.size(), 12u);
@@ -123,7 +123,7 @@ TEST(SsmAtTest, RandomGraphsMatchBruteForce) {
   for (uint64_t seed = 0; seed < 8; ++seed) {
     Graph g = RandomGraph(7, 0.3, seed);
     DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(7), {});
-    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.completed());
     SsmIndex index(g, r);
     const std::vector<std::vector<VertexId>> queries = {
         {0}, {3}, {0, 1}, {2, 5}, {0, 1, 2}, {1, 3, 6}};
@@ -147,7 +147,7 @@ TEST(SsmAtTest, NonSingletonLeafQueriesMatchBruteForce) {
                                  {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 5},
                                  {0, 6}});
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(7), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   EXPECT_EQ(r.tree.NumNonSingletonLeaves(), 1u);
 
   SsmIndex index(g, r);
@@ -165,7 +165,7 @@ TEST(SsmAtTest, NonSingletonLeafQueriesMatchBruteForce) {
 TEST(SsmAtTest, EnumerationCapSetsTruncatedFlag) {
   Graph g = PaperFigure3Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(14), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   SsmIndex index(g, r);
   bool truncated = false;
   auto images = index.SymmetricImages({3, 2, 6}, 4, &truncated);
@@ -185,7 +185,7 @@ TEST(SsmCountTest, ClusterTrianglesOfTwoDisjointTriangles) {
   Graph g = Graph::FromEdges(6, {{0, 1}, {1, 2}, {0, 2},
                                  {3, 4}, {4, 5}, {3, 5}});
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(6), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   const std::vector<std::vector<VertexId>> triangles = {{0, 1, 2}, {3, 4, 5}};
   auto clustering = ClusterSubgraphsBySymmetry(6, r.generators, triangles);
   EXPECT_EQ(clustering.num_clusters, 1u);
@@ -197,7 +197,7 @@ TEST(SsmCountTest, ClusterDistinguishesAsymmetricSubgraphs) {
   // {4,5,7}: different orbits.
   Graph g = PaperFigure1Graph();
   DviclResult r = DviclCanonicalLabeling(g, Coloring::Unit(8), {});
-  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.completed());
   const std::vector<std::vector<VertexId>> triangles = {
       {4, 5, 6}, {4, 5, 7}, {4, 6, 7}, {5, 6, 7}};
   auto clustering = ClusterSubgraphsBySymmetry(8, r.generators, triangles);
