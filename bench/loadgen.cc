@@ -1,0 +1,345 @@
+// Load generator for the canonicalization service (DESIGN.md §11).
+//
+// Replays a dataset-generator family mix against a running dvicl_server at
+// a target QPS and reports latency/throughput/cache numbers into
+// BENCH_loadgen.json:
+//
+//   ./dvicl_server --port=0 &          # prints the bound port
+//   ./loadgen --connect=127.0.0.1:PORT --qps=200 --duration-seconds=10
+//
+// Flags:
+//   --connect=HOST:PORT   server endpoint (default 127.0.0.1:7411)
+//   --qps=N               target aggregate request rate (default 200)
+//   --duration-seconds=S  measurement window (default 10)
+//   --connections=N       independent client connections, each with its own
+//                         pacing share of the target QPS (default 4)
+//   --mix=NAME            request mix: "gadget-forest" (default; all request
+//                         classes over gadget-forest instances — the
+//                         cache-friendly family) or "families" (elementary +
+//                         hard families, canonical-form heavy)
+//   --seed=N              mix sampling seed (default 42)
+//
+// Pacing is open-loop per connection: send times are scheduled on a fixed
+// grid and a slow server makes latencies grow rather than silently lowering
+// the offered rate (saturation shows up in p99, not in a shrunk QPS).
+// Cache effectiveness is measured server-side: a kServerStats snapshot
+// before and after the run yields the hit/miss delta attributable to it.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "datasets/generators.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace {
+
+using dvicl::GadgetForestGraph;
+using dvicl::Graph;
+using dvicl::Rng;
+using dvicl::VertexId;
+using dvicl::server::Client;
+using dvicl::server::Reply;
+using dvicl::server::Request;
+using dvicl::server::RequestClass;
+using dvicl::server::RequestClassName;
+
+struct Sample {
+  RequestClass cls;
+  dvicl::wire::WireStatus status;
+  double latency_ms;
+};
+
+// A weighted template pool: the sampler draws uniformly, so a template
+// repeated k times has weight k. Graphs are built once up front — the
+// generator cost must not leak into request latencies.
+std::vector<Request> BuildMix(const std::string& name) {
+  std::vector<Request> pool;
+  auto canonical = [&pool](Graph graph) {
+    Request request;
+    request.cls = RequestClass::kCanonicalForm;
+    request.graph = std::move(graph);
+    pool.push_back(std::move(request));
+  };
+  auto with_class = [&pool](Graph graph, RequestClass cls) {
+    Request request;
+    request.cls = cls;
+    request.graph = std::move(graph);
+    pool.push_back(std::move(request));
+  };
+  if (name == "gadget-forest") {
+    // Canonical-form heavy over several forest shapes; every copy of a
+    // forest lowers to the same leaf subproblem, so the shared server cache
+    // should convert most leaf searches into verified hits.
+    for (uint32_t copies : {2u, 3u, 4u, 5u}) {
+      for (uint32_t rungs : {3u, 4u}) {
+        canonical(GadgetForestGraph(copies, rungs));
+      }
+    }
+    for (uint32_t copies : {2u, 3u, 4u}) {
+      with_class(GadgetForestGraph(copies, 3), RequestClass::kAutOrder);
+      with_class(GadgetForestGraph(copies, 4), RequestClass::kOrbits);
+    }
+    {
+      Request iso;
+      iso.cls = RequestClass::kIsoTest;
+      iso.graph = GadgetForestGraph(3, 3);
+      iso.graph2 = GadgetForestGraph(3, 3);
+      pool.push_back(std::move(iso));
+    }
+    {
+      Request ssm;
+      ssm.cls = RequestClass::kSsmCount;
+      ssm.graph = GadgetForestGraph(4, 3);
+      const VertexId n = ssm.graph.NumVertices();
+      for (VertexId v = 0; v < std::min<VertexId>(6, n); ++v) {
+        ssm.query.push_back(v);
+      }
+      pool.push_back(std::move(ssm));
+    }
+  } else if (name == "families") {
+    canonical(dvicl::CycleGraph(64));
+    canonical(dvicl::CompleteBipartiteGraph(8, 8));
+    canonical(dvicl::RandomTreeGraph(96, 7));
+    canonical(dvicl::Torus3dGraph(4));
+    canonical(dvicl::CfiGraph(10, false));
+    canonical(dvicl::MiyazakiLikeGraph(6));
+    with_class(dvicl::StarGraph(48), RequestClass::kAutOrder);
+    with_class(dvicl::CompleteGraph(12), RequestClass::kOrbits);
+    {
+      Request iso;
+      iso.cls = RequestClass::kIsoTest;
+      iso.graph = dvicl::CfiGraph(10, false);
+      iso.graph2 = dvicl::CfiGraph(10, true);  // 1-WL-equivalent, non-iso
+      pool.push_back(std::move(iso));
+    }
+  } else {
+    std::fprintf(stderr, "loadgen: unknown --mix=%s\n", name.c_str());
+    std::exit(2);
+  }
+  return pool;
+}
+
+std::map<std::string, uint64_t> StatsSnapshot(Client* client, uint64_t id) {
+  Request request;
+  request.id = id;
+  request.cls = RequestClass::kServerStats;
+  auto result = client->Call(request);
+  std::map<std::string, uint64_t> stats;
+  if (result.ok() && result.value().ok()) {
+    for (const auto& [name, value] : result.value().stats) {
+      stats[name] = value;
+    }
+  } else {
+    std::fprintf(stderr, "loadgen: stats call failed: %s\n",
+                 result.ok() ? result.value().detail.c_str()
+                             : result.status().ToString().c_str());
+  }
+  return stats;
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0.0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const double rank = p * static_cast<double>(sorted_in_place->size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_in_place->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*sorted_in_place)[lo] * (1.0 - frac) +
+         (*sorted_in_place)[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dvicl::bench::FlagFromArgs;
+  const std::string connect = [&] {
+    const std::string flag = FlagFromArgs(argc, argv, "--connect");
+    return flag.empty() ? std::string("127.0.0.1:7411") : flag;
+  }();
+  const size_t colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "loadgen: --connect must be HOST:PORT\n");
+    return 2;
+  }
+  const std::string host = connect.substr(0, colon);
+  const auto port =
+      static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
+
+  const std::string qps_flag = FlagFromArgs(argc, argv, "--qps");
+  const double qps = qps_flag.empty() ? 200.0 : std::atof(qps_flag.c_str());
+  const std::string duration_flag =
+      FlagFromArgs(argc, argv, "--duration-seconds");
+  const double duration_seconds =
+      duration_flag.empty() ? 10.0 : std::atof(duration_flag.c_str());
+  const std::string conn_flag = FlagFromArgs(argc, argv, "--connections");
+  const unsigned connections =
+      conn_flag.empty() ? 4u
+                        : std::max(1u, static_cast<unsigned>(
+                                           std::atoi(conn_flag.c_str())));
+  const std::string mix_flag = FlagFromArgs(argc, argv, "--mix");
+  const std::string mix = mix_flag.empty() ? "gadget-forest" : mix_flag;
+  const std::string seed_flag = FlagFromArgs(argc, argv, "--seed");
+  const uint64_t seed =
+      seed_flag.empty() ? 42 : std::strtoull(seed_flag.c_str(), nullptr, 10);
+
+  const std::vector<Request> pool = BuildMix(mix);
+
+  auto stats_client = Client::ConnectTcp(host, port);
+  if (!stats_client.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n",
+                 stats_client.status().ToString().c_str());
+    return 1;
+  }
+  const auto stats_before = StatsSnapshot(&stats_client.value(), 1);
+
+  std::mutex merge_mu;
+  std::vector<Sample> samples;
+  uint64_t transport_errors = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration<double>(duration_seconds);
+  const double per_connection_qps = qps / static_cast<double>(connections);
+  const auto interval =
+      std::chrono::duration<double>(1.0 / per_connection_qps);
+
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (unsigned c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      auto client = Client::ConnectTcp(host, port);
+      if (!client.ok()) {
+        std::lock_guard<std::mutex> lock(merge_mu);
+        ++transport_errors;
+        return;
+      }
+      Rng rng(seed + c);
+      std::vector<Sample> local;
+      uint64_t local_errors = 0;
+      uint64_t k = 0;
+      for (;;) {
+        const auto scheduled =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        interval * static_cast<double>(k));
+        if (scheduled >= deadline) break;
+        std::this_thread::sleep_until(scheduled);
+        Request request = pool[rng.NextBounded(pool.size())];
+        request.id = static_cast<uint64_t>(c) * 1000000000ull + (++k);
+        const auto sent = std::chrono::steady_clock::now();
+        auto reply = client.value().Call(request);
+        const auto received = std::chrono::steady_clock::now();
+        if (!reply.ok() || reply.value().id != request.id) {
+          ++local_errors;
+          continue;
+        }
+        local.push_back(
+            {request.cls, reply.value().status,
+             std::chrono::duration<double, std::milli>(received - sent)
+                 .count()});
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      samples.insert(samples.end(), local.begin(), local.end());
+      transport_errors += local_errors;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto stats_after = StatsSnapshot(&stats_client.value(), 2);
+  auto delta = [&](const char* key) -> uint64_t {
+    const auto before = stats_before.find(key);
+    const auto after = stats_after.find(key);
+    if (after == stats_after.end()) return 0;
+    return after->second -
+           (before != stats_before.end() ? before->second : 0);
+  };
+  const uint64_t cache_hits = delta("cache.hits");
+  const uint64_t cache_misses = delta("cache.misses");
+  const double cache_hit_rate =
+      cache_hits + cache_misses > 0
+          ? static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses)
+          : 0.0;
+
+  dvicl::bench::BenchReporter reporter("loadgen", argc, argv);
+
+  std::vector<double> all_latencies;
+  uint64_t ok_replies = 0;
+  uint64_t error_replies = 0;
+  for (const Sample& sample : samples) {
+    all_latencies.push_back(sample.latency_ms);
+    if (sample.status == dvicl::wire::WireStatus::kOk) {
+      ++ok_replies;
+    } else {
+      ++error_replies;
+    }
+  }
+  const double p50 = Percentile(&all_latencies, 0.50);
+  const double p99 = Percentile(&all_latencies, 0.99);
+  const double achieved_qps =
+      elapsed_seconds > 0
+          ? static_cast<double>(samples.size()) / elapsed_seconds
+          : 0.0;
+
+  reporter.BeginRecord();
+  reporter.Field("record", "summary");
+  reporter.Field("mix", mix);
+  reporter.Field("target_qps", qps);
+  reporter.Field("achieved_qps", achieved_qps);
+  reporter.Field("duration_seconds", elapsed_seconds);
+  reporter.Field("connections", static_cast<uint64_t>(connections));
+  reporter.Field("requests", static_cast<uint64_t>(samples.size()));
+  reporter.Field("ok_replies", ok_replies);
+  reporter.Field("error_replies", error_replies);
+  reporter.Field("transport_errors", transport_errors);
+  reporter.Field("p50_ms", p50);
+  reporter.Field("p99_ms", p99);
+  reporter.Field("cache_hits", cache_hits);
+  reporter.Field("cache_misses", cache_misses);
+  reporter.Field("cache_hit_rate", cache_hit_rate);
+  reporter.EndRecord();
+
+  for (uint8_t cls = 0; cls < dvicl::server::kNumRequestClasses; ++cls) {
+    std::vector<double> latencies;
+    uint64_t count = 0;
+    uint64_t ok = 0;
+    for (const Sample& sample : samples) {
+      if (static_cast<uint8_t>(sample.cls) != cls) continue;
+      ++count;
+      if (sample.status == dvicl::wire::WireStatus::kOk) ++ok;
+      latencies.push_back(sample.latency_ms);
+    }
+    if (count == 0) continue;
+    reporter.BeginRecord();
+    reporter.Field("record", "class");
+    reporter.Field("class", RequestClassName(static_cast<RequestClass>(cls)));
+    reporter.Field("requests", count);
+    reporter.Field("ok_replies", ok);
+    reporter.Field("p50_ms", Percentile(&latencies, 0.50));
+    reporter.Field("p99_ms", Percentile(&latencies, 0.99));
+    reporter.EndRecord();
+  }
+  reporter.Finish();
+
+  std::printf(
+      "loadgen: mix=%s %zu requests in %.1fs (target %.0f qps, achieved "
+      "%.1f), p50 %.2fms p99 %.2fms, %llu errors, cache hit rate %.1f%%\n",
+      mix.c_str(), samples.size(), elapsed_seconds, qps, achieved_qps, p50,
+      p99,
+      static_cast<unsigned long long>(error_replies + transport_errors),
+      100.0 * cache_hit_rate);
+  return error_replies + transport_errors == 0 && !samples.empty() ? 0 : 1;
+}

@@ -4,11 +4,13 @@
 #   scripts/run_sanitizers.sh [tsan|asan|ubsan|failpoint|all]   (default: all)
 #
 # tsan:  builds with -DDVICL_SANITIZE=thread and runs the parallel test
-#        binaries (task_pool_test, parallel_determinism_test, cert_cache_test)
-#        under ThreadSanitizer. This is the data-race gate for
-#        src/common/task_pool, the parallel DviCL driver and the sharded
-#        canonical-form cache (concurrent lookup/insert/evict plus a shared
-#        cache across simultaneous DviCL runs).
+#        binaries (task_pool_test, parallel_determinism_test,
+#        cert_cache_test, protocol_test, server_test) under ThreadSanitizer.
+#        This is the data-race gate for src/common/task_pool, the parallel
+#        DviCL driver, the sharded canonical-form cache (concurrent
+#        lookup/insert/evict plus a shared cache across simultaneous DviCL
+#        runs) and the serving path (concurrent connections batching onto
+#        one shared pool and cache).
 # asan:  builds with -DDVICL_SANITIZE=address (AddressSanitizer + UBSan, the
 #        usual CI pairing) and runs the full ctest suite twice — once per
 #        DVICL_CERT_CACHE setting (0 and 1), so both cache legs of the CI
@@ -33,13 +35,16 @@ mode="${1:-all}"
 
 run_tsan() {
   echo "=== ThreadSanitizer: task_pool_test + parallel_determinism_test" \
-       "+ cert_cache_test ==="
+       "+ cert_cache_test + protocol_test + server_test ==="
   cmake -B build-tsan -S . -DDVICL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j \
-      --target task_pool_test parallel_determinism_test cert_cache_test
+      --target task_pool_test parallel_determinism_test cert_cache_test \
+      protocol_test server_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/task_pool_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cert_cache_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/protocol_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/server_test
 }
 
 run_asan() {

@@ -36,10 +36,11 @@ std::atomic<uint64_t> g_armed_count{0};
 }  // namespace
 
 std::vector<std::string> AllSites() {
-  return {sites::kIrSearchNode, sites::kDivide,      sites::kCombineSt,
-          sites::kCombineCl,    sites::kTaskRun,     sites::kCacheProbe,
-          sites::kCacheVerify,  sites::kCachePublish, sites::kGraphIoRead,
-          sites::kSchreierInsert};
+  return {sites::kIrSearchNode,   sites::kDivide,        sites::kCombineSt,
+          sites::kCombineCl,      sites::kTaskRun,       sites::kCacheProbe,
+          sites::kCacheVerify,    sites::kCachePublish,  sites::kGraphIoRead,
+          sites::kSchreierInsert, sites::kServerDecode,  sites::kServerDispatch,
+          sites::kServerWriteReply};
 }
 
 void Arm(const std::string& site, ArmSpec spec) {

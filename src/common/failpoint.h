@@ -73,6 +73,18 @@ inline constexpr char kGraphIoRead[] = "graph_io.read";
 // Schreier-Sims generator insertion, once per AddGenerator. Triggered:
 // throws InjectedFault before any chain mutation, so the chain stays valid.
 inline constexpr char kSchreierInsert[] = "schreier_sims.add_generator";
+// Server request decode, once per received frame. Triggered: the frame is
+// answered with a structured internal_fault reply (request id recovered
+// best-effort) and the connection keeps serving.
+inline constexpr char kServerDecode[] = "server.decode_request";
+// Server batch dispatch, once per request task popped off the shared pool.
+// Triggered: only that request's reply degrades to internal_fault; its
+// batch-mates complete byte-exact and the shared CertCache stays clean.
+inline constexpr char kServerDispatch[] = "server.dispatch";
+// Server reply write, once per reply frame. Triggered: the computed reply
+// is replaced by an internal_fault error reply (still framed, so the
+// client is never left hanging) and the connection keeps serving.
+inline constexpr char kServerWriteReply[] = "server.write_reply";
 }  // namespace sites
 
 // Every site above, for tests that sweep the catalogue.

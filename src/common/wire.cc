@@ -1,0 +1,150 @@
+#include "common/wire.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace dvicl {
+namespace wire {
+
+WireStatus FromOutcome(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted:
+      return WireStatus::kOk;
+    case RunOutcome::kDeadline:
+      return WireStatus::kDeadline;
+    case RunOutcome::kNodeBudget:
+      return WireStatus::kNodeBudget;
+    case RunOutcome::kMemoryBudget:
+      return WireStatus::kMemoryBudget;
+    case RunOutcome::kCancelled:
+      return WireStatus::kCancelled;
+    case RunOutcome::kInvalidInput:
+      return WireStatus::kInvalidRequest;
+    case RunOutcome::kInternalFault:
+      return WireStatus::kInternalFault;
+  }
+  return WireStatus::kInternalFault;
+}
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "ok";
+    case WireStatus::kDeadline:
+      return "deadline";
+    case WireStatus::kNodeBudget:
+      return "node_budget";
+    case WireStatus::kMemoryBudget:
+      return "memory_budget";
+    case WireStatus::kCancelled:
+      return "cancelled";
+    case WireStatus::kInvalidRequest:
+      return "invalid_request";
+    case WireStatus::kInternalFault:
+      return "internal_fault";
+    case WireStatus::kOverloaded:
+      return "overloaded";
+    case WireStatus::kMalformedFrame:
+      return "malformed_frame";
+  }
+  return "unknown";
+}
+
+void Writer::U32(uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out_->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void Writer::U64(uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out_->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+bool Reader::U8(uint8_t* value) {
+  if (Remaining() < 1) return false;
+  *value = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool Reader::U32(uint32_t* value) {
+  if (Remaining() < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *value = v;
+  return true;
+}
+
+bool Reader::U64(uint64_t* value) {
+  if (Remaining() < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *value = v;
+  return true;
+}
+
+bool Reader::Bytes(size_t count, std::string_view* out) {
+  if (Remaining() < count) return false;
+  *out = data_.substr(pos_, count);
+  pos_ += count;
+  return true;
+}
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  DVICL_CHECK_LE(payload.size(), kMaxPayloadBytes)
+      << "frame payload exceeds the protocol cap";
+  Writer writer(out);
+  writer.U32(static_cast<uint32_t>(payload.size()));
+  writer.Bytes(payload);
+}
+
+Status ReadFrame(std::istream& in, std::string* payload, size_t max_payload) {
+  char prefix[4];
+  in.read(prefix, 4);
+  if (in.gcount() == 0 && in.eof()) {
+    return Status::NotFound("end of stream");
+  }
+  if (in.gcount() != 4) {
+    return Status::IOError("truncated frame: EOF inside the length prefix");
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
+  }
+  if (len > max_payload) {
+    return Status::InvalidArgument(
+        "frame length prefix " + std::to_string(len) +
+        " exceeds the payload cap " + std::to_string(max_payload));
+  }
+  payload->resize(len);
+  if (len > 0) {
+    in.read(payload->data(), static_cast<std::streamsize>(len));
+    if (static_cast<uint32_t>(in.gcount()) != len) {
+      return Status::IOError("truncated frame: EOF inside the payload");
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(std::ostream& out, std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  AppendFrame(payload, &frame);
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  if (!out.good()) return Status::IOError("frame write failed");
+  return Status::Ok();
+}
+
+}  // namespace wire
+}  // namespace dvicl

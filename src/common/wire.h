@@ -1,0 +1,120 @@
+#ifndef DVICL_COMMON_WIRE_H_
+#define DVICL_COMMON_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/outcome.h"
+#include "common/status.h"
+
+namespace dvicl {
+namespace wire {
+
+// Framing layer of the canonicalization-service protocol (DESIGN.md §11).
+//
+// Every message — request or reply — travels as one frame:
+//
+//   u32 payload_len (little-endian) | payload_len bytes of payload
+//
+// The length prefix is the ONLY stream-level structure, which makes the
+// protocol trivially resynchronizable: a malformed payload never desyncs
+// the stream (its length was declared up front and fully consumed), so the
+// server can answer it with a structured error and keep serving. Only two
+// conditions are unrecoverable for a connection: a length prefix beyond
+// kMaxPayloadBytes (a lie or garbage — nothing after it can be trusted)
+// and EOF in the middle of a declared payload.
+//
+// The payload codecs (src/server/protocol.h) are built on the bounded
+// Reader/Writer below: every read is bounds-checked against the actual
+// payload, and every declared count is validated against the bytes that
+// could possibly back it BEFORE any allocation — a frame lying about its
+// sizes costs the attacker bytes-on-the-wire, never server memory (the
+// same discipline as the hardened ReadDimacs).
+
+// Hard cap on a frame payload. Large enough for a multi-million-edge graph
+// request (24 bytes/edge would be a 2.6M-edge graph), small enough that a
+// hostile length prefix cannot commit the server to gigabytes.
+inline constexpr size_t kMaxPayloadBytes = 64u << 20;
+
+// ---- status-on-the-wire ----------------------------------------------------
+
+// Structured per-request status. The first seven values mirror RunOutcome
+// one for one (the engine's termination cause IS the reply status for a
+// governed run); the remainder are service-level conditions that never
+// reach the engine.
+enum class WireStatus : uint8_t {
+  kOk = 0,              // RunOutcome::kCompleted
+  kDeadline = 1,        // RunOutcome::kDeadline
+  kNodeBudget = 2,      // RunOutcome::kNodeBudget
+  kMemoryBudget = 3,    // RunOutcome::kMemoryBudget
+  kCancelled = 4,       // RunOutcome::kCancelled
+  kInvalidRequest = 5,  // RunOutcome::kInvalidInput or a bad request body
+  kInternalFault = 6,   // RunOutcome::kInternalFault or a server-side fault
+  kOverloaded = 7,      // admission control rejected the request
+  kMalformedFrame = 8,  // unparseable frame; connection is being closed
+};
+
+WireStatus FromOutcome(RunOutcome outcome);
+const char* WireStatusName(WireStatus status);
+
+// ---- bounded byte codec ----------------------------------------------------
+
+// Append-only little-endian writer over a std::string buffer.
+class Writer {
+ public:
+  explicit Writer(std::string* out) : out_(out) {}
+
+  void U8(uint8_t value) { out_->push_back(static_cast<char>(value)); }
+  void U32(uint32_t value);
+  void U64(uint64_t value);
+  void Bytes(std::string_view data) { out_->append(data); }
+
+ private:
+  std::string* out_;
+};
+
+// Bounds-checked little-endian reader over a payload. Every accessor
+// returns false (and leaves the output untouched) instead of reading past
+// the end; Remaining() lets a codec validate a declared element count
+// against the bytes that could back it before allocating.
+class Reader {
+ public:
+  explicit Reader(std::string_view payload) : data_(payload) {}
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  bool U8(uint8_t* value);
+  bool U32(uint32_t* value);
+  bool U64(uint64_t* value);
+  bool Bytes(size_t count, std::string_view* out);
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- frame I/O -------------------------------------------------------------
+
+// Appends the frame (length prefix + payload) to *out. The payload must
+// respect kMaxPayloadBytes; oversized payloads are a programming error on
+// the sending side and abort via DVICL_CHECK.
+void AppendFrame(std::string_view payload, std::string* out);
+
+// Reads one frame from the stream. Returns:
+//   Ok          — *payload holds the frame payload (possibly empty)
+//   NotFound    — clean EOF exactly at a frame boundary (no bytes read)
+//   IOError     — EOF inside a frame (truncation) or a stream read error
+//   InvalidArgument — length prefix exceeds max_payload
+Status ReadFrame(std::istream& in, std::string* payload,
+                 size_t max_payload = kMaxPayloadBytes);
+
+Status WriteFrame(std::ostream& out, std::string_view payload);
+
+}  // namespace wire
+}  // namespace dvicl
+
+#endif  // DVICL_COMMON_WIRE_H_

@@ -1,0 +1,135 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/wire.h"
+
+namespace dvicl {
+namespace server {
+
+namespace {
+
+ssize_t ReadFull(int fd, char* buf, size_t count) {
+  size_t got = 0;
+  while (got < count) {
+    const ssize_t n = read(fd, buf + got, count - got);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+bool WriteFull(int fd, const char* buf, size_t count) {
+  size_t sent = 0;
+  while (sent < count) {
+    const ssize_t n = write(fd, buf + sent, count - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host, uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Status Client::Send(const Request& request) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  std::string payload;
+  EncodeRequest(request, &payload);
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  wire::AppendFrame(payload, &frame);
+  if (!WriteFull(fd_, frame.data(), frame.size())) {
+    return Status::IOError(std::string("request write: ") +
+                           std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status Client::Receive(Reply* reply) {
+  if (fd_ < 0) return Status::IOError("client is not connected");
+  char prefix[4];
+  const ssize_t got = ReadFull(fd_, prefix, 4);
+  if (got == 0) return Status::NotFound("server closed the connection");
+  if (got != 4) {
+    return Status::IOError("truncated reply: EOF inside the length prefix");
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
+  }
+  if (len > wire::kMaxPayloadBytes) {
+    return Status::InvalidArgument("reply frame exceeds the payload cap");
+  }
+  std::string payload(len, '\0');
+  if (len > 0 && ReadFull(fd_, payload.data(), len) !=
+                     static_cast<ssize_t>(len)) {
+    return Status::IOError("truncated reply: EOF inside the payload");
+  }
+  return DecodeReply(payload, reply);
+}
+
+Result<Reply> Client::Call(const Request& request) {
+  Status status = Send(request);
+  if (!status.ok()) return status;
+  Reply reply;
+  status = Receive(&reply);
+  if (!status.ok()) return status;
+  return reply;
+}
+
+void Client::FinishSending() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace server
+}  // namespace dvicl

@@ -1,0 +1,57 @@
+#ifndef DVICL_SERVER_CLIENT_H_
+#define DVICL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "server/protocol.h"
+
+namespace dvicl {
+namespace server {
+
+// Blocking client for the canonicalization service: frames requests onto a
+// connected stream socket and decodes framed replies. One Client per
+// connection; not thread-safe (callers wanting concurrency open one client
+// per thread, which is also how the load generator models independent
+// connections).
+class Client {
+ public:
+  // Adopts a connected stream socket (e.g. one end of a socketpair in the
+  // loopback tests); the Client owns and closes it.
+  explicit Client(int fd) : fd_(fd) {}
+  ~Client();
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to a TCP endpoint, e.g. ("127.0.0.1", port).
+  static Result<Client> ConnectTcp(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Frames and sends one request (does not wait for the reply; pipelining
+  // multiple Sends before Receives is how a client forms a server batch).
+  Status Send(const Request& request);
+
+  // Blocks for the next framed reply. NotFound = clean server close.
+  Status Receive(Reply* reply);
+
+  // Send + Receive for the common one-at-a-time call.
+  Result<Reply> Call(const Request& request);
+
+  // Half-closes the send direction so the server sees EOF and finishes
+  // the connection while replies can still be read.
+  void FinishSending();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace dvicl
+
+#endif  // DVICL_SERVER_CLIENT_H_

@@ -1,0 +1,388 @@
+#include "server/protocol.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dvicl {
+namespace server {
+
+namespace {
+
+// Shorthand for the codec's only failure mode.
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("malformed request: " + what);
+}
+
+void EncodeGraph(const Graph& graph, std::span<const uint32_t> colors,
+                 wire::Writer* writer) {
+  writer->U32(graph.NumVertices());
+  writer->U32(static_cast<uint32_t>(graph.NumEdges()));
+  for (const Edge& e : graph.Edges()) {
+    writer->U32(e.first);
+    writer->U32(e.second);
+  }
+  writer->U8(colors.empty() ? 0 : 1);
+  for (uint32_t color : colors) writer->U32(color);
+}
+
+// Decodes one graph section. Every declared count is checked against the
+// bytes remaining BEFORE the matching allocation: a frame that declares
+// m = 0xffffffff backed by twelve bytes is rejected for the lie, not
+// trusted with a 32 GiB reserve. The edge-count byte math is done in
+// uint64_t so the declared u32 cannot overflow the comparison.
+Status DecodeGraph(wire::Reader* reader, Graph* graph,
+                   std::vector<uint32_t>* colors) {
+  uint32_t n = 0;
+  uint32_t m = 0;
+  if (!reader->U32(&n)) return Malformed("graph truncated before n");
+  if (!reader->U32(&m)) return Malformed("graph truncated before m");
+  if (n > kMaxWireVertices) {
+    return Malformed("declared vertex count " + std::to_string(n) +
+                     " exceeds kMaxWireVertices=" +
+                     std::to_string(kMaxWireVertices));
+  }
+  const uint64_t edge_bytes = static_cast<uint64_t>(m) * 8;
+  if (edge_bytes > reader->Remaining()) {
+    return Malformed("declared edge count " + std::to_string(m) +
+                     " exceeds the payload (" +
+                     std::to_string(reader->Remaining()) + " bytes left)");
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    reader->U32(&u);  // cannot fail: edge_bytes was checked above
+    reader->U32(&v);
+    if (u >= n || v >= n) {
+      return Malformed("edge endpoint " + std::to_string(std::max(u, v)) +
+                       " out of range for n=" + std::to_string(n));
+    }
+    if (u == v) {
+      return Malformed("self-loop at vertex " + std::to_string(u));
+    }
+    edges.emplace_back(u, v);
+  }
+  uint8_t has_colors = 0;
+  if (!reader->U8(&has_colors)) {
+    return Malformed("graph truncated before the color flag");
+  }
+  colors->clear();
+  if (has_colors == 1) {
+    const uint64_t color_bytes = static_cast<uint64_t>(n) * 4;
+    if (color_bytes > reader->Remaining()) {
+      return Malformed("declared color array exceeds the payload");
+    }
+    colors->reserve(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      uint32_t color = 0;
+      reader->U32(&color);
+      colors->push_back(color);
+    }
+  } else if (has_colors != 0) {
+    return Malformed("color flag must be 0 or 1");
+  }
+  *graph = Graph::FromEdges(n, std::move(edges));
+  return Status::Ok();
+}
+
+void EncodeString(std::string_view text, wire::Writer* writer) {
+  writer->U32(static_cast<uint32_t>(text.size()));
+  writer->Bytes(text);
+}
+
+Status DecodeString(wire::Reader* reader, std::string* text,
+                    const char* what) {
+  uint32_t len = 0;
+  if (!reader->U32(&len)) {
+    return Malformed(std::string(what) + " truncated before its length");
+  }
+  std::string_view bytes;
+  if (!reader->Bytes(len, &bytes)) {
+    return Malformed(std::string(what) + " declared length " +
+                     std::to_string(len) + " exceeds the payload");
+  }
+  text->assign(bytes);
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* RequestClassName(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::kCanonicalForm:
+      return "canonical_form";
+    case RequestClass::kIsoTest:
+      return "iso_test";
+    case RequestClass::kAutOrder:
+      return "aut_order";
+    case RequestClass::kOrbits:
+      return "orbits";
+    case RequestClass::kSsmCount:
+      return "ssm_count";
+    case RequestClass::kServerStats:
+      return "server_stats";
+  }
+  return "unknown";
+}
+
+void EncodeRequest(const Request& request, std::string* payload) {
+  wire::Writer writer(payload);
+  writer.U64(request.id);
+  writer.U8(static_cast<uint8_t>(request.cls));
+  writer.U8(0);  // reserved
+  writer.U64(request.deadline_micros);
+  writer.U64(request.node_budget);
+  writer.U32(request.memory_limit_mib);
+  switch (request.cls) {
+    case RequestClass::kCanonicalForm:
+    case RequestClass::kAutOrder:
+    case RequestClass::kOrbits:
+      EncodeGraph(request.graph, request.colors, &writer);
+      break;
+    case RequestClass::kIsoTest:
+      EncodeGraph(request.graph, request.colors, &writer);
+      EncodeGraph(request.graph2, request.colors2, &writer);
+      break;
+    case RequestClass::kSsmCount:
+      EncodeGraph(request.graph, request.colors, &writer);
+      writer.U32(static_cast<uint32_t>(request.query.size()));
+      for (VertexId v : request.query) writer.U32(v);
+      break;
+    case RequestClass::kServerStats:
+      break;
+  }
+}
+
+Status DecodeRequest(std::string_view payload, Request* request) {
+  wire::Reader reader(payload);
+  Request out;
+  uint8_t cls = 0;
+  uint8_t reserved = 0;
+  if (!reader.U64(&out.id) || !reader.U8(&cls) || !reader.U8(&reserved) ||
+      !reader.U64(&out.deadline_micros) || !reader.U64(&out.node_budget) ||
+      !reader.U32(&out.memory_limit_mib)) {
+    return Malformed("truncated request header");
+  }
+  if (cls >= kNumRequestClasses) {
+    return Malformed("unknown request class " + std::to_string(cls));
+  }
+  if (reserved != 0) {
+    return Malformed("reserved header byte must be zero");
+  }
+  out.cls = static_cast<RequestClass>(cls);
+  switch (out.cls) {
+    case RequestClass::kCanonicalForm:
+    case RequestClass::kAutOrder:
+    case RequestClass::kOrbits: {
+      Status status = DecodeGraph(&reader, &out.graph, &out.colors);
+      if (!status.ok()) return status;
+      break;
+    }
+    case RequestClass::kIsoTest: {
+      Status status = DecodeGraph(&reader, &out.graph, &out.colors);
+      if (!status.ok()) return status;
+      status = DecodeGraph(&reader, &out.graph2, &out.colors2);
+      if (!status.ok()) return status;
+      break;
+    }
+    case RequestClass::kSsmCount: {
+      Status status = DecodeGraph(&reader, &out.graph, &out.colors);
+      if (!status.ok()) return status;
+      uint32_t k = 0;
+      if (!reader.U32(&k)) return Malformed("truncated query length");
+      const uint64_t query_bytes = static_cast<uint64_t>(k) * 4;
+      if (query_bytes > reader.Remaining()) {
+        return Malformed("declared query size " + std::to_string(k) +
+                         " exceeds the payload");
+      }
+      if (k > out.graph.NumVertices()) {
+        return Malformed("query larger than the vertex set");
+      }
+      out.query.reserve(k);
+      for (uint32_t i = 0; i < k; ++i) {
+        uint32_t v = 0;
+        reader.U32(&v);
+        if (v >= out.graph.NumVertices()) {
+          return Malformed("query vertex " + std::to_string(v) +
+                           " out of range");
+        }
+        out.query.push_back(v);
+      }
+      std::vector<VertexId> sorted = out.query;
+      std::sort(sorted.begin(), sorted.end());
+      if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+        return Malformed("query contains a duplicate vertex");
+      }
+      break;
+    }
+    case RequestClass::kServerStats:
+      break;
+  }
+  if (!reader.AtEnd()) {
+    return Malformed(std::to_string(reader.Remaining()) +
+                     " trailing garbage bytes after the request body");
+  }
+  *request = std::move(out);
+  return Status::Ok();
+}
+
+void EncodeReply(const Reply& reply, std::string* payload) {
+  wire::Writer writer(payload);
+  writer.U64(reply.id);
+  writer.U8(static_cast<uint8_t>(reply.status));
+  writer.U8(static_cast<uint8_t>(reply.cls));
+  if (!reply.ok()) {
+    EncodeString(reply.detail, &writer);
+    return;
+  }
+  switch (reply.cls) {
+    case RequestClass::kCanonicalForm:
+      writer.U32(reply.num_vertices);
+      writer.U64(reply.certificate.size());
+      for (uint64_t word : reply.certificate) writer.U64(word);
+      for (VertexId label : reply.canonical_labeling) writer.U32(label);
+      break;
+    case RequestClass::kIsoTest:
+      writer.U8(reply.isomorphic ? 1 : 0);
+      break;
+    case RequestClass::kAutOrder:
+      EncodeString(reply.aut_order, &writer);
+      break;
+    case RequestClass::kOrbits:
+      writer.U32(static_cast<uint32_t>(reply.orbit_ids.size()));
+      for (VertexId id : reply.orbit_ids) writer.U32(id);
+      break;
+    case RequestClass::kSsmCount:
+      EncodeString(reply.ssm_count, &writer);
+      break;
+    case RequestClass::kServerStats:
+      writer.U32(static_cast<uint32_t>(reply.stats.size()));
+      for (const auto& [name, value] : reply.stats) {
+        EncodeString(name, &writer);
+        writer.U64(value);
+      }
+      break;
+  }
+}
+
+Status DecodeReply(std::string_view payload, Reply* reply) {
+  wire::Reader reader(payload);
+  Reply out;
+  uint8_t status_byte = 0;
+  uint8_t cls = 0;
+  if (!reader.U64(&out.id) || !reader.U8(&status_byte) || !reader.U8(&cls)) {
+    return Malformed("truncated reply header");
+  }
+  if (status_byte > static_cast<uint8_t>(wire::WireStatus::kMalformedFrame)) {
+    return Malformed("unknown reply status " + std::to_string(status_byte));
+  }
+  if (cls >= kNumRequestClasses) {
+    return Malformed("unknown reply class " + std::to_string(cls));
+  }
+  out.status = static_cast<wire::WireStatus>(status_byte);
+  out.cls = static_cast<RequestClass>(cls);
+  if (!out.ok()) {
+    Status status = DecodeString(&reader, &out.detail, "error detail");
+    if (!status.ok()) return status;
+    if (!reader.AtEnd()) return Malformed("trailing bytes after error reply");
+    *reply = std::move(out);
+    return Status::Ok();
+  }
+  switch (out.cls) {
+    case RequestClass::kCanonicalForm: {
+      if (!reader.U32(&out.num_vertices)) {
+        return Malformed("truncated canonical reply");
+      }
+      uint64_t words = 0;
+      if (!reader.U64(&words)) return Malformed("truncated certificate size");
+      const uint64_t cert_bytes = words * 8;
+      if (words > std::numeric_limits<uint64_t>::max() / 8 ||
+          cert_bytes > reader.Remaining()) {
+        return Malformed("declared certificate size exceeds the payload");
+      }
+      out.certificate.reserve(words);
+      for (uint64_t i = 0; i < words; ++i) {
+        uint64_t word = 0;
+        reader.U64(&word);
+        out.certificate.push_back(word);
+      }
+      const uint64_t label_bytes = static_cast<uint64_t>(out.num_vertices) * 4;
+      if (label_bytes > reader.Remaining()) {
+        return Malformed("declared labeling exceeds the payload");
+      }
+      out.canonical_labeling.reserve(out.num_vertices);
+      for (uint32_t v = 0; v < out.num_vertices; ++v) {
+        uint32_t label = 0;
+        reader.U32(&label);
+        out.canonical_labeling.push_back(label);
+      }
+      break;
+    }
+    case RequestClass::kIsoTest: {
+      uint8_t verdict = 0;
+      if (!reader.U8(&verdict)) return Malformed("truncated iso verdict");
+      if (verdict > 1) return Malformed("iso verdict must be 0 or 1");
+      out.isomorphic = verdict == 1;
+      break;
+    }
+    case RequestClass::kAutOrder: {
+      Status status = DecodeString(&reader, &out.aut_order, "aut order");
+      if (!status.ok()) return status;
+      break;
+    }
+    case RequestClass::kOrbits: {
+      uint32_t n = 0;
+      if (!reader.U32(&n)) return Malformed("truncated orbit count");
+      const uint64_t orbit_bytes = static_cast<uint64_t>(n) * 4;
+      if (orbit_bytes > reader.Remaining()) {
+        return Malformed("declared orbit array exceeds the payload");
+      }
+      out.orbit_ids.reserve(n);
+      for (uint32_t v = 0; v < n; ++v) {
+        uint32_t id = 0;
+        reader.U32(&id);
+        out.orbit_ids.push_back(id);
+      }
+      break;
+    }
+    case RequestClass::kSsmCount: {
+      Status status = DecodeString(&reader, &out.ssm_count, "ssm count");
+      if (!status.ok()) return status;
+      break;
+    }
+    case RequestClass::kServerStats: {
+      uint32_t count = 0;
+      if (!reader.U32(&count)) return Malformed("truncated stats count");
+      // Each entry is at least 12 bytes (empty name); bound before reserve.
+      if (static_cast<uint64_t>(count) * 12 > reader.Remaining()) {
+        return Malformed("declared stats count exceeds the payload");
+      }
+      out.stats.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string name;
+        Status status = DecodeString(&reader, &name, "stat name");
+        if (!status.ok()) return status;
+        uint64_t value = 0;
+        if (!reader.U64(&value)) return Malformed("truncated stat value");
+        out.stats.emplace_back(std::move(name), value);
+      }
+      break;
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Malformed("trailing bytes after the reply body");
+  }
+  *reply = std::move(out);
+  return Status::Ok();
+}
+
+uint64_t PeekRequestId(std::string_view payload) {
+  wire::Reader reader(payload);
+  uint64_t id = 0;
+  if (!reader.U64(&id)) return 0;
+  return id;
+}
+
+}  // namespace server
+}  // namespace dvicl

@@ -1,0 +1,134 @@
+#ifndef DVICL_SERVER_PROTOCOL_H_
+#define DVICL_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/wire.h"
+#include "graph/certificate.h"
+#include "graph/graph.h"
+
+namespace dvicl {
+namespace server {
+
+// Request/reply payload codec of the canonicalization service, layered on
+// the framing primitives of common/wire.h (DESIGN.md §11 has the full
+// byte-level spec).
+//
+// Request payload:
+//   u64 request_id | u8 class | u8 reserved(0)
+//   u64 deadline_micros | u64 node_budget | u32 memory_limit_mib
+//   class-specific body:
+//     graph       := u32 n | u32 m | m x (u32 u, u32 v) |
+//                    u8 has_colors | [n x u32 color]
+//     kCanonicalForm / kAutOrder / kOrbits: graph
+//     kIsoTest:   graph graph
+//     kSsmCount:  graph | u32 k | k x u32 query vertex
+//     kServerStats: (empty)
+//   Trailing bytes after the body are rejected.
+//
+// Reply payload:
+//   u64 request_id | u8 status | u8 class
+//   status != kOk: u32 detail_len | detail bytes
+//   status == kOk, by class:
+//     kCanonicalForm: u32 n | u64 words | words x u64 certificate |
+//                     n x u32 canonical label
+//     kIsoTest:       u8 isomorphic
+//     kAutOrder:      u32 len | decimal |Aut| string
+//     kOrbits:        u32 n | n x u32 orbit id (minimum vertex of orbit)
+//     kSsmCount:      u32 len | decimal count string
+//     kServerStats:   u32 count | count x (u32 name_len | name | u64 value)
+//
+// Budgets are 0 = "use the server's per-class default"; a nonzero value
+// tightens (replaces) the default for that request only. All decode paths
+// are hardened: declared counts are validated against the actual payload
+// size before any allocation, edge endpoints and query vertices are
+// range-checked eagerly, and every failure is a structured Status — a
+// malformed payload can never crash the decoder or commit unbounded
+// memory (mirroring the ReadDimacs discipline).
+
+enum class RequestClass : uint8_t {
+  kCanonicalForm = 0,  // canonical labeling + certificate
+  kIsoTest = 1,        // are two colored graphs isomorphic?
+  kAutOrder = 2,       // |Aut(G, pi)| as a decimal string
+  kOrbits = 3,         // vertex orbit partition under Aut(G, pi)
+  kSsmCount = 4,       // count of symmetric images of a query vertex set
+  kServerStats = 5,    // control plane: server counters snapshot
+};
+
+inline constexpr uint8_t kNumRequestClasses = 6;
+
+// Hard cap on the vertex count a wire graph may declare. The certificate
+// reply alone occupies (2 + n + m) u64 words and must itself fit in a
+// frame, so nothing above kMaxPayloadBytes / 8 vertices can ever be
+// answered. Enforcing it at decode time also bounds the O(n) adjacency
+// allocation behind Graph::FromEdges: an isolated-vertex graph is only a
+// dozen bytes on the wire, so without this cap a 12-byte frame could
+// declare four billion vertices and turn into a ~100 GiB allocation.
+inline constexpr uint32_t kMaxWireVertices =
+    static_cast<uint32_t>(wire::kMaxPayloadBytes / 8);
+
+const char* RequestClassName(RequestClass cls);
+
+struct Request {
+  uint64_t id = 0;
+  RequestClass cls = RequestClass::kCanonicalForm;
+
+  // Per-request budget overrides (0 = server default for the class).
+  uint64_t deadline_micros = 0;
+  uint64_t node_budget = 0;
+  uint32_t memory_limit_mib = 0;
+
+  Graph graph;
+  std::vector<uint32_t> colors;  // empty = unit coloring
+
+  Graph graph2;  // kIsoTest only
+  std::vector<uint32_t> colors2;
+
+  std::vector<VertexId> query;  // kSsmCount only, sorted unique
+};
+
+struct Reply {
+  uint64_t id = 0;
+  wire::WireStatus status = wire::WireStatus::kInternalFault;
+  RequestClass cls = RequestClass::kCanonicalForm;
+
+  bool ok() const { return status == wire::WireStatus::kOk; }
+
+  // status != kOk: human-readable cause (RunOutcome fault_detail or the
+  // decode error); no other payload is ever attached to an error.
+  std::string detail;
+
+  // kCanonicalForm
+  uint32_t num_vertices = 0;
+  Certificate certificate;
+  std::vector<VertexId> canonical_labeling;
+
+  bool isomorphic = false;               // kIsoTest
+  std::string aut_order;                 // kAutOrder, decimal
+  std::vector<VertexId> orbit_ids;       // kOrbits
+  std::string ssm_count;                 // kSsmCount, decimal
+  std::vector<std::pair<std::string, uint64_t>> stats;  // kServerStats
+};
+
+// Payload codecs (no frame prefix; pair with wire::AppendFrame /
+// wire::ReadFrame).
+void EncodeRequest(const Request& request, std::string* payload);
+Status DecodeRequest(std::string_view payload, Request* request);
+
+void EncodeReply(const Reply& reply, std::string* payload);
+Status DecodeReply(std::string_view payload, Reply* reply);
+
+// Best-effort request id of a payload that may fail full decode: the id
+// field sits at a fixed offset, so error replies can still be correlated.
+// Returns 0 when the payload is too short to contain an id.
+uint64_t PeekRequestId(std::string_view payload);
+
+}  // namespace server
+}  // namespace dvicl
+
+#endif  // DVICL_SERVER_PROTOCOL_H_

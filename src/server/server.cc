@@ -1,0 +1,569 @@
+#include "server/server.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "perm/perm_group.h"
+#include "perm/schreier_sims.h"
+#include "refine/coloring.h"
+#include "ssm/ssm_at.h"
+
+namespace dvicl {
+namespace server {
+
+namespace {
+
+Reply ErrorReply(uint64_t id, RequestClass cls, wire::WireStatus status,
+                 std::string detail) {
+  Reply reply;
+  reply.id = id;
+  reply.cls = cls;
+  reply.status = status;
+  reply.detail = std::move(detail);
+  return reply;
+}
+
+// Best-effort class byte of a possibly-undecodable payload (offset 8, after
+// the request id), so error replies echo the class when one is present.
+RequestClass PeekClass(std::string_view payload) {
+  if (payload.size() < 9) return RequestClass::kCanonicalForm;
+  const auto cls = static_cast<uint8_t>(payload[8]);
+  if (cls >= kNumRequestClasses) return RequestClass::kCanonicalForm;
+  return static_cast<RequestClass>(cls);
+}
+
+// Reads exactly `count` bytes; returns bytes read (short only at EOF), or
+// -1 on a read error. Retries EINTR.
+ssize_t ReadFull(int fd, char* buf, size_t count) {
+  size_t got = 0;
+  while (got < count) {
+    const ssize_t n = read(fd, buf + got, count - got);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+bool WriteFull(int fd, const char* buf, size_t count) {
+  size_t sent = 0;
+  while (sent < count) {
+    const ssize_t n = write(fd, buf + sent, count - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// Framing transport: blocking frame read, non-blocking readiness probe
+// (the batch drain predicate), ordered frame write.
+class Server::Channel {
+ public:
+  virtual ~Channel() = default;
+  // Ok / NotFound (clean EOF at a frame boundary) / IOError (EOF or read
+  // error mid-frame) / InvalidArgument (length prefix over the cap; the
+  // stream is desynced and must be closed).
+  virtual Status ReadFrame(std::string* payload) = 0;
+  // True when at least one buffered byte can be read without blocking.
+  virtual bool Readable() = 0;
+  virtual Status WriteFrame(std::string_view payload) = 0;
+  virtual void Flush() {}
+};
+
+class Server::FdChannel : public Server::Channel {
+ public:
+  FdChannel(int fd, size_t max_payload) : fd_(fd), max_payload_(max_payload) {}
+
+  Status ReadFrame(std::string* payload) override {
+    char prefix[4];
+    const ssize_t got = ReadFull(fd_, prefix, 4);
+    if (got == 0) return Status::NotFound("end of stream");
+    if (got != 4) {
+      return Status::IOError("truncated frame: EOF inside the length prefix");
+    }
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
+    }
+    if (len > max_payload_) {
+      return Status::InvalidArgument(
+          "frame length prefix " + std::to_string(len) +
+          " exceeds the payload cap " + std::to_string(max_payload_));
+    }
+    payload->resize(len);
+    if (len > 0) {
+      const ssize_t body = ReadFull(fd_, payload->data(), len);
+      if (body != static_cast<ssize_t>(len)) {
+        return Status::IOError("truncated frame: EOF inside the payload");
+      }
+    }
+    return Status::Ok();
+  }
+
+  bool Readable() override {
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    return poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLIN) != 0;
+  }
+
+  Status WriteFrame(std::string_view payload) override {
+    std::string frame;
+    frame.reserve(payload.size() + 4);
+    wire::AppendFrame(payload, &frame);
+    if (!WriteFull(fd_, frame.data(), frame.size())) {
+      return Status::IOError("frame write failed");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  size_t max_payload_;
+};
+
+class Server::StreamChannel : public Server::Channel {
+ public:
+  StreamChannel(std::istream& in, std::ostream& out, size_t max_payload)
+      : in_(in), out_(out), max_payload_(max_payload) {}
+
+  Status ReadFrame(std::string* payload) override {
+    return wire::ReadFrame(in_, payload, max_payload_);
+  }
+
+  bool Readable() override {
+    return in_.good() && in_.rdbuf()->in_avail() > 0;
+  }
+
+  Status WriteFrame(std::string_view payload) override {
+    return wire::WriteFrame(out_, payload);
+  }
+
+  void Flush() override { out_.flush(); }
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+  size_t max_payload_;
+};
+
+Server::Server(const ServerOptions& options) : options_(options) {
+  DVICL_CHECK_LE(options_.max_frame_bytes, wire::kMaxPayloadBytes);
+  uint32_t threads = options_.num_threads;
+  if (threads == 0) threads = TaskPool::DefaultThreads();
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  pool_ = std::make_unique<TaskPool>(threads);
+  if (options_.cert_cache) {
+    CertCacheConfig config;
+    config.max_entries = options_.cert_cache_max_entries;
+    config.max_bytes = options_.cert_cache_max_bytes;
+    cache_ = std::make_unique<CertCache>(config);
+  }
+}
+
+Server::~Server() = default;
+
+void Server::ServeConnection(int fd) {
+  FdChannel channel(fd, options_.max_frame_bytes);
+  Serve(&channel);
+}
+
+void Server::ServeStream(std::istream& in, std::ostream& out) {
+  StreamChannel channel(in, out, options_.max_frame_bytes);
+  Serve(&channel);
+}
+
+void Server::Serve(Channel* channel) {
+  connections_.fetch_add(1, std::memory_order_relaxed);
+  std::string payload;
+  for (;;) {
+    // Block for the batch's first frame, then drain whatever else is
+    // already buffered (up to max_batch) so bursty clients amortize one
+    // dispatch barrier over many requests without adding latency to a
+    // lone request.
+    Status status = channel->ReadFrame(&payload);
+    if (status.code() == Status::Code::kNotFound) return;  // clean EOF
+    if (status.code() == Status::Code::kIOError) return;   // mid-frame EOF
+    bool close = false;
+    bool oversized = false;
+    std::string oversized_detail;
+    std::vector<std::string> frames;
+    if (!status.ok()) {
+      oversized = true;
+      oversized_detail = status.message();
+    } else {
+      frames.push_back(std::move(payload));
+      while (frames.size() < options_.max_batch && channel->Readable()) {
+        status = channel->ReadFrame(&payload);
+        if (status.code() == Status::Code::kNotFound ||
+            status.code() == Status::Code::kIOError) {
+          close = true;
+          break;
+        }
+        if (!status.ok()) {
+          oversized = true;
+          oversized_detail = status.message();
+          break;
+        }
+        frames.push_back(std::move(payload));
+      }
+    }
+    if (!frames.empty() && !ProcessBatch(&frames, channel)) return;
+    if (oversized) {
+      // The declared payload was never consumed, so the stream cannot be
+      // resynced: answer with one kMalformedFrame reply and drop the
+      // connection (DESIGN.md §11 degradation contract).
+      Reply reply = ErrorReply(0, RequestClass::kCanonicalForm,
+                               wire::WireStatus::kMalformedFrame,
+                               std::move(oversized_detail));
+      replies_error_.fetch_add(1, std::memory_order_relaxed);
+      std::string out;
+      EncodeReply(reply, &out);
+      channel->WriteFrame(out);
+      channel->Flush();
+      return;
+    }
+    channel->Flush();
+    if (close) return;
+  }
+}
+
+bool Server::TryAdmit() {
+  const uint64_t was = in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (was >= options_.max_in_flight) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool Server::ProcessBatch(std::vector<std::string>* frames, Channel* channel) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  struct Slot {
+    Request request;
+    Reply reply;
+    bool dispatched = false;  // decoded + admitted, submitted to the pool
+    bool done = false;        // reply filled by the task (Wait is the
+                              // barrier that publishes it to this thread)
+  };
+  std::vector<Slot> slots(frames->size());
+  uint64_t admitted = 0;
+
+  for (size_t i = 0; i < frames->size(); ++i) {
+    const std::string& frame = (*frames)[i];
+    Slot& slot = slots[i];
+    if (!TryAdmit()) {
+      overloaded_.fetch_add(1, std::memory_order_relaxed);
+      slot.reply = ErrorReply(PeekRequestId(frame), PeekClass(frame),
+                              wire::WireStatus::kOverloaded,
+                              "server over admission capacity");
+      continue;
+    }
+    ++admitted;
+    if (DVICL_FAILPOINT(failpoint::sites::kServerDecode)) {
+      slot.reply = ErrorReply(PeekRequestId(frame), PeekClass(frame),
+                              wire::WireStatus::kInternalFault,
+                              "injected failpoint fault at server.decode_request");
+      continue;
+    }
+    Status status = DecodeRequest(frame, &slot.request);
+    if (!status.ok()) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      slot.reply = ErrorReply(PeekRequestId(frame), PeekClass(frame),
+                              wire::WireStatus::kInvalidRequest,
+                              status.message());
+      continue;
+    }
+    slot.dispatched = true;
+  }
+
+  {
+    TaskGroup group(pool_.get());
+    for (Slot& slot : slots) {
+      if (!slot.dispatched) continue;
+      group.Submit([this, &slot] {
+        try {
+          if (DVICL_FAILPOINT(failpoint::sites::kServerDispatch)) {
+            throw failpoint::InjectedFault(failpoint::sites::kServerDispatch);
+          }
+          slot.reply = Handle(slot.request);
+        } catch (const std::exception& e) {
+          slot.reply = ErrorReply(slot.request.id, slot.request.cls,
+                                  wire::WireStatus::kInternalFault, e.what());
+        }
+        slot.done = true;
+      });
+    }
+    // The lambda above swallows its own exceptions, but a fault injected
+    // below it (task_pool.run_task fires before the task body runs) still
+    // surfaces here; any slot it kept from running gets a structured
+    // internal_fault reply and the batch-mates' replies stand.
+    std::string dispatch_fault = "batch dispatch aborted";
+    try {
+      group.Wait();
+    } catch (const std::exception& e) {
+      dispatch_fault = e.what();
+    }
+    for (Slot& slot : slots) {
+      if (slot.dispatched && !slot.done) {
+        slot.reply = ErrorReply(slot.request.id, slot.request.cls,
+                                wire::WireStatus::kInternalFault,
+                                dispatch_fault);
+      }
+    }
+  }
+  in_flight_.fetch_sub(admitted, std::memory_order_relaxed);
+
+  // Replies go back in request order regardless of completion order: the
+  // per-connection byte stream is a deterministic function of the request
+  // stream, whatever the pool scheduling did.
+  std::string payload;
+  for (Slot& slot : slots) {
+    if (DVICL_FAILPOINT(failpoint::sites::kServerWriteReply)) {
+      slot.reply = ErrorReply(slot.reply.id, slot.reply.cls,
+                              wire::WireStatus::kInternalFault,
+                              "injected failpoint fault at server.write_reply");
+    }
+    if (slot.reply.ok()) {
+      replies_ok_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      replies_error_.fetch_add(1, std::memory_order_relaxed);
+    }
+    payload.clear();
+    EncodeReply(slot.reply, &payload);
+    if (!channel->WriteFrame(payload).ok()) return false;
+  }
+  return true;
+}
+
+DviclOptions Server::RunOptionsFor(const Request& request) const {
+  DviclOptions options;
+  options.leaf_backend = options_.leaf_backend;
+  // Each request runs single-threaded: the pool parallelizes ACROSS
+  // requests, and one-thread runs keep every reply bit-identical to a
+  // standalone sequential run.
+  options.num_threads = 1;
+  const ClassBudget& defaults =
+      options_.budgets[static_cast<uint8_t>(request.cls)];
+  const uint64_t deadline = request.deadline_micros != 0
+                                ? request.deadline_micros
+                                : defaults.deadline_micros;
+  options.time_limit_seconds = deadline != 0 ? deadline * 1e-6 : 0.0;
+  options.leaf_max_tree_nodes =
+      request.node_budget != 0 ? request.node_budget : defaults.node_budget;
+  options.memory_limit_mib = request.memory_limit_mib != 0
+                                 ? request.memory_limit_mib
+                                 : defaults.memory_limit_mib;
+  options.shared_cert_cache = cache_.get();  // null = cache disabled
+  return options;
+}
+
+DviclResult Server::RunLabeling(const Graph& graph,
+                                const std::vector<uint32_t>& colors,
+                                const Request& request) const {
+  const Coloring initial = colors.empty()
+                               ? Coloring::Unit(graph.NumVertices())
+                               : Coloring::FromLabels(colors);
+  return DviclCanonicalLabeling(graph, initial, RunOptionsFor(request));
+}
+
+Reply Server::Handle(const Request& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_by_class_[static_cast<uint8_t>(request.cls)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (request.cls == RequestClass::kServerStats) {
+    Reply reply;
+    reply.id = request.id;
+    reply.cls = request.cls;
+    reply.status = wire::WireStatus::kOk;
+    reply.stats = StatsSnapshot();
+    return reply;
+  }
+  return HandleCompute(request);
+}
+
+Reply Server::HandleCompute(const Request& request) const {
+  Reply reply;
+  reply.id = request.id;
+  reply.cls = request.cls;
+
+  // Maps an aborted run onto the reply: WireStatus mirrors the RunOutcome
+  // and the detail carries the run's own fault_detail. Per the DviclResult
+  // contract the aborted run has an EMPTY certificate/labeling/generator
+  // set and never fed the shared cache, so nothing partial can leak here.
+  const auto degrade = [&reply](const DviclResult& result) {
+    reply.status = wire::FromOutcome(result.outcome);
+    reply.detail = !result.fault_detail.empty()
+                       ? result.fault_detail
+                       : std::string(wire::WireStatusName(reply.status));
+  };
+
+  switch (request.cls) {
+    case RequestClass::kCanonicalForm: {
+      const DviclResult result =
+          RunLabeling(request.graph, request.colors, request);
+      if (!result.completed()) {
+        degrade(result);
+        return reply;
+      }
+      reply.status = wire::WireStatus::kOk;
+      reply.num_vertices = request.graph.NumVertices();
+      reply.certificate = result.certificate;
+      const auto images = result.canonical_labeling.ImageArray();
+      reply.canonical_labeling.assign(images.begin(), images.end());
+      return reply;
+    }
+    case RequestClass::kIsoTest: {
+      const VertexId n = request.graph.NumVertices();
+      if (n != request.graph2.NumVertices() ||
+          request.graph.Edges().size() != request.graph2.Edges().size()) {
+        reply.status = wire::WireStatus::kOk;
+        reply.isomorphic = false;
+        return reply;
+      }
+      // Colors are semantic (value 3 on g1 corresponds to value 3 on g2):
+      // unequal label multisets decide "not isomorphic" without any run.
+      std::vector<uint32_t> labels1 =
+          request.colors.empty() ? std::vector<uint32_t>(n, 0)
+                                 : request.colors;
+      std::vector<uint32_t> labels2 =
+          request.colors2.empty() ? std::vector<uint32_t>(n, 0)
+                                  : request.colors2;
+      std::vector<uint32_t> sorted1 = labels1;
+      std::vector<uint32_t> sorted2 = labels2;
+      std::sort(sorted1.begin(), sorted1.end());
+      std::sort(sorted2.begin(), sorted2.end());
+      if (sorted1 != sorted2) {
+        reply.status = wire::WireStatus::kOk;
+        reply.isomorphic = false;
+        return reply;
+      }
+      const DviclResult result1 =
+          RunLabeling(request.graph, labels1, request);
+      if (!result1.completed()) {
+        degrade(result1);
+        return reply;
+      }
+      const DviclResult result2 =
+          RunLabeling(request.graph2, labels2, request);
+      if (!result2.completed()) {
+        degrade(result2);
+        return reply;
+      }
+      reply.status = wire::WireStatus::kOk;
+      reply.isomorphic = result1.certificate == result2.certificate;
+      return reply;
+    }
+    case RequestClass::kAutOrder: {
+      const DviclResult result =
+          RunLabeling(request.graph, request.colors, request);
+      if (!result.completed()) {
+        degrade(result);
+        return reply;
+      }
+      const VertexId n = request.graph.NumVertices();
+      SchreierSims chain(n);
+      for (const SparseAut& generator : result.generators) {
+        chain.AddGenerator(generator.ToDense(n));
+      }
+      reply.status = wire::WireStatus::kOk;
+      reply.aut_order = chain.Order().ToDecimalString();
+      return reply;
+    }
+    case RequestClass::kOrbits: {
+      const DviclResult result =
+          RunLabeling(request.graph, request.colors, request);
+      if (!result.completed()) {
+        degrade(result);
+        return reply;
+      }
+      const VertexId n = request.graph.NumVertices();
+      PermGroup group(n);
+      for (const SparseAut& generator : result.generators) {
+        group.AddGenerator(generator.ToDense(n));
+      }
+      reply.status = wire::WireStatus::kOk;
+      reply.orbit_ids = group.OrbitIds();
+      return reply;
+    }
+    case RequestClass::kSsmCount: {
+      const DviclResult result =
+          RunLabeling(request.graph, request.colors, request);
+      if (!result.completed()) {
+        degrade(result);
+        return reply;
+      }
+      const SsmIndex index(request.graph, result);
+      reply.status = wire::WireStatus::kOk;
+      reply.ssm_count =
+          index.CountSymmetricImages(request.query).ToDecimalString();
+      return reply;
+    }
+    case RequestClass::kServerStats:
+      break;  // handled in Handle(); unreachable here
+  }
+  reply.status = wire::WireStatus::kInternalFault;
+  reply.detail = "unhandled request class";
+  return reply;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Server::StatsSnapshot() const {
+  std::vector<std::pair<std::string, uint64_t>> stats;
+  stats.reserve(32);
+  const auto relaxed = [](const std::atomic<uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  };
+  stats.emplace_back("batches", relaxed(batches_));
+  stats.emplace_back("connections", relaxed(connections_));
+  stats.emplace_back("decode_errors", relaxed(decode_errors_));
+  stats.emplace_back("in_flight", relaxed(in_flight_));
+  stats.emplace_back("overloaded", relaxed(overloaded_));
+  stats.emplace_back("replies_error", relaxed(replies_error_));
+  stats.emplace_back("replies_ok", relaxed(replies_ok_));
+  stats.emplace_back("requests", relaxed(requests_));
+  for (uint8_t cls = 0; cls < kNumRequestClasses; ++cls) {
+    stats.emplace_back(
+        std::string("requests.") +
+            RequestClassName(static_cast<RequestClass>(cls)),
+        relaxed(requests_by_class_[cls]));
+  }
+  CertCacheStats cache;  // all-zero when the cache is disabled
+  if (cache_ != nullptr) cache = cache_->Stats();
+  stats.emplace_back("cache.bytes", cache.bytes);
+  stats.emplace_back("cache.collisions", cache.collisions);
+  stats.emplace_back("cache.entries", cache.entries);
+  stats.emplace_back("cache.evictions", cache.evictions);
+  stats.emplace_back("cache.hits", cache.hits);
+  stats.emplace_back("cache.insertions", cache.insertions);
+  stats.emplace_back("cache.misses", cache.misses);
+  const TaskPoolStats pool = pool_->GetStats();
+  stats.emplace_back("pool.tasks_inline", pool.tasks_inline);
+  stats.emplace_back("pool.tasks_queued", pool.tasks_queued);
+  stats.emplace_back("pool.tasks_run_local", pool.tasks_run_local);
+  stats.emplace_back("pool.tasks_stolen", pool.tasks_stolen);
+  stats.emplace_back("pool.threads", pool_->NumThreads());
+  return stats;
+}
+
+}  // namespace server
+}  // namespace dvicl

@@ -1,0 +1,152 @@
+#ifndef DVICL_SERVER_SERVER_H_
+#define DVICL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/task_pool.h"
+#include "common/wire.h"
+#include "dvicl/cert_cache.h"
+#include "dvicl/dvicl.h"
+#include "server/protocol.h"
+
+namespace dvicl {
+namespace server {
+
+// Canonicalization-as-a-service core (DESIGN.md §11). One Server owns one
+// work-stealing TaskPool and one shared CertCache; any number of
+// connection-serving threads feed it. The unit of parallelism is the
+// REQUEST: a connection drains up to `max_batch` already-buffered frames,
+// dispatches each decoded request as one pool task (each DviCL run is
+// single-threaded — many small graphs saturate the pool without nested
+// parallelism), joins, and writes the replies back in request order, so a
+// client always sees replies in the order it sent requests.
+//
+// Degradation contract:
+//  - A malformed payload gets a structured error reply and the connection
+//    keeps serving (length-prefix framing never desyncs on payload bytes).
+//  - An oversized length prefix or an EOF inside a frame is unrecoverable:
+//    the former is answered with one kMalformedFrame reply, then the
+//    connection is dropped.
+//  - A request that exceeds its budget (deadline / node / memory, per-class
+//    defaults tightened by per-request overrides) gets an error reply
+//    carrying the RunOutcome; a partial certificate never escapes and an
+//    aborted run never feeds the shared CertCache (the DviclResult
+//    contract), so one poisoned request cannot corrupt its batch-mates.
+//  - Admission control: past `max_in_flight` concurrently admitted
+//    requests, new ones are rejected with kOverloaded before decode.
+
+// Per-class default resource budgets; 0 = unlimited. A nonzero per-request
+// override replaces the class default for that request only.
+struct ClassBudget {
+  uint64_t deadline_micros = 0;
+  uint64_t node_budget = 0;      // leaf IR search-tree node cap
+  uint32_t memory_limit_mib = 0;  // RSS-delta cap per run
+};
+
+struct ServerOptions {
+  // Pool width shared by all requests (0 = one per hardware thread).
+  uint32_t num_threads = 0;
+  // Frames drained per batch from one connection (>= 1).
+  uint32_t max_batch = 16;
+  // Admission cap on concurrently admitted requests across all
+  // connections; 0 means zero capacity (every request is rejected with
+  // kOverloaded — used by the overload tests).
+  uint64_t max_in_flight = 1024;
+  // Frame payload cap enforced on receive (<= wire::kMaxPayloadBytes).
+  size_t max_frame_bytes = wire::kMaxPayloadBytes;
+
+  // Leaf IR backend for all runs (the "X" of DviCL+X).
+  IrPreset leaf_backend = IrPreset::kBlissLike;
+
+  // Shared canonical-form cache across all in-flight and future requests.
+  bool cert_cache = true;
+  uint64_t cert_cache_max_entries = 1ull << 16;
+  uint64_t cert_cache_max_bytes = 64ull << 20;
+
+  // Default budgets by RequestClass index. Compute classes default to a
+  // 30-second deadline; kServerStats is pure control plane and unbudgeted.
+  ClassBudget budgets[kNumRequestClasses] = {
+      {30'000'000, 0, 0},  // kCanonicalForm
+      {30'000'000, 0, 0},  // kIsoTest (each of the two runs)
+      {30'000'000, 0, 0},  // kAutOrder
+      {30'000'000, 0, 0},  // kOrbits
+      {30'000'000, 0, 0},  // kSsmCount
+      {0, 0, 0},           // kServerStats
+  };
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Serves one connected stream socket until the peer closes (or an
+  // unrecoverable framing error). Blocking; safe to call concurrently from
+  // any number of threads, one per connection. Does NOT close `fd`.
+  void ServeConnection(int fd);
+
+  // Same protocol over a stream pair (the --stdio daemon mode and the
+  // deterministic protocol tests).
+  void ServeStream(std::istream& in, std::ostream& out);
+
+  // Handles one already-decoded request synchronously on the calling
+  // thread (no admission control, no framing). The building block the
+  // batch dispatcher submits to the pool; exposed for tests.
+  Reply Handle(const Request& request);
+
+  // Deterministically ordered counter snapshot: server counters
+  // (batches, connections, decode_errors, overloaded, replies_*,
+  // requests[.class]) + cache.* occupancy/activity + pool.* telemetry.
+  // This is also the kServerStats reply body.
+  std::vector<std::pair<std::string, uint64_t>> StatsSnapshot() const;
+
+  const ServerOptions& options() const { return options_; }
+  CertCache* cache() { return cache_.get(); }
+
+ private:
+  class Channel;       // framing transport abstraction (defined in .cc)
+  class FdChannel;
+  class StreamChannel;
+
+  void Serve(Channel* channel);
+  // Decodes, admits, dispatches and answers one drained batch, writing
+  // replies in request order. Returns false when the connection must close
+  // (write failure).
+  bool ProcessBatch(std::vector<std::string>* frames, Channel* channel);
+
+  bool TryAdmit();
+  DviclOptions RunOptionsFor(const Request& request) const;
+  DviclResult RunLabeling(const Graph& graph,
+                          const std::vector<uint32_t>& colors,
+                          const Request& request) const;
+  Reply HandleCompute(const Request& request) const;
+
+  ServerOptions options_;
+  std::unique_ptr<TaskPool> pool_;
+  std::unique_ptr<CertCache> cache_;
+
+  std::atomic<uint64_t> in_flight_{0};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> requests_by_class_[kNumRequestClasses] = {};
+  std::atomic<uint64_t> replies_ok_{0};
+  std::atomic<uint64_t> replies_error_{0};
+  std::atomic<uint64_t> overloaded_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+};
+
+}  // namespace server
+}  // namespace dvicl
+
+#endif  // DVICL_SERVER_SERVER_H_

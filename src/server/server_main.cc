@@ -1,0 +1,171 @@
+// dvicl_server: the canonicalization-as-a-service daemon (DESIGN.md §11).
+//
+// Serves the length-prefixed binary protocol of server/protocol.h over TCP
+// (127.0.0.1 only) or stdin/stdout:
+//
+//   dvicl_server --port=7411            # fixed port
+//   dvicl_server --port=0               # ephemeral; bound port is printed
+//   dvicl_server --stdio                # one connection over stdin/stdout
+//
+// Tuning flags (defaults in ServerOptions):
+//   --threads=N          shared pool width (0 = hardware threads)
+//   --max-batch=N        frames drained per dispatch batch
+//   --max-pending=N      admission cap on in-flight requests
+//   --cert-cache=0|1     shared canonical-form cache
+//   --deadline-seconds=S default deadline for every compute class
+//   --node-budget=N      default leaf IR node budget for every compute class
+//   --memory-limit-mib=N default per-run RSS-delta budget
+//
+// The daemon runs until killed; every connection gets its own serving
+// thread, all feeding the one shared pool and cache.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+
+namespace {
+
+using dvicl::server::RequestClass;
+using dvicl::server::Server;
+using dvicl::server::ServerOptions;
+
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+uint64_t ParseU64(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "dvicl_server: bad value for %s: %s\n", what,
+                 text.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+int ListenTcp(uint16_t port, uint16_t* bound_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("dvicl_server: socket");
+    std::exit(1);
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("dvicl_server: bind");
+    std::exit(1);
+  }
+  if (listen(fd, 64) != 0) {
+    std::perror("dvicl_server: listen");
+    std::exit(1);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    std::perror("dvicl_server: getsockname");
+    std::exit(1);
+  }
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  uint16_t port = 7411;
+  bool stdio = false;
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--stdio") == 0) {
+      stdio = true;
+    } else if (FlagValue(arg, "--port", &value)) {
+      port = static_cast<uint16_t>(ParseU64(value, "--port"));
+    } else if (FlagValue(arg, "--threads", &value)) {
+      options.num_threads =
+          static_cast<uint32_t>(ParseU64(value, "--threads"));
+    } else if (FlagValue(arg, "--max-batch", &value)) {
+      options.max_batch =
+          static_cast<uint32_t>(ParseU64(value, "--max-batch"));
+    } else if (FlagValue(arg, "--max-pending", &value)) {
+      options.max_in_flight = ParseU64(value, "--max-pending");
+    } else if (FlagValue(arg, "--cert-cache", &value)) {
+      options.cert_cache = ParseU64(value, "--cert-cache") != 0;
+    } else if (FlagValue(arg, "--deadline-seconds", &value)) {
+      const double seconds = std::strtod(value.c_str(), nullptr);
+      for (uint8_t cls = 0; cls < dvicl::server::kNumRequestClasses; ++cls) {
+        if (static_cast<RequestClass>(cls) == RequestClass::kServerStats) {
+          continue;
+        }
+        options.budgets[cls].deadline_micros =
+            static_cast<uint64_t>(seconds * 1e6);
+      }
+    } else if (FlagValue(arg, "--node-budget", &value)) {
+      const uint64_t budget = ParseU64(value, "--node-budget");
+      for (uint8_t cls = 0; cls < dvicl::server::kNumRequestClasses; ++cls) {
+        options.budgets[cls].node_budget = budget;
+      }
+    } else if (FlagValue(arg, "--memory-limit-mib", &value)) {
+      const auto mib =
+          static_cast<uint32_t>(ParseU64(value, "--memory-limit-mib"));
+      for (uint8_t cls = 0; cls < dvicl::server::kNumRequestClasses; ++cls) {
+        options.budgets[cls].memory_limit_mib = mib;
+      }
+    } else {
+      std::fprintf(stderr, "dvicl_server: unknown flag %s\n", arg);
+      return 2;
+    }
+  }
+
+  Server server(options);
+
+  if (stdio) {
+    server.ServeStream(std::cin, std::cout);
+    return 0;
+  }
+
+  uint16_t bound_port = 0;
+  const int listen_fd = ListenTcp(port, &bound_port);
+  // The one line automation depends on: loadgen and the CI smoke job parse
+  // the bound port from it (ephemeral --port=0 included).
+  std::printf("dvicl_server listening on 127.0.0.1:%u\n", bound_port);
+  std::fflush(stdout);
+
+  std::vector<std::thread> connections;
+  for (;;) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      std::perror("dvicl_server: accept");
+      break;
+    }
+    connections.emplace_back([&server, fd] {
+      server.ServeConnection(fd);
+      close(fd);
+    });
+  }
+  for (std::thread& t : connections) t.join();
+  close(listen_fd);
+  return 0;
+}

@@ -9,10 +9,14 @@
 // failpoint::kEnabled and degrades to "arming has no effect" assertions
 // when sites are compiled out (-DDVICL_FAILPOINTS=OFF).
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -25,6 +29,8 @@
 #include "ir/ir_canonical.h"
 #include "obs/metrics.h"
 #include "perm/schreier_sims.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "test_util.h"
 
 namespace dvicl {
@@ -106,6 +112,8 @@ TEST_F(FailpointTest, CatalogueListsEveryCompiledSite) {
       failpoint::sites::kTaskRun,      failpoint::sites::kCacheProbe,
       failpoint::sites::kCacheVerify,  failpoint::sites::kCachePublish,
       failpoint::sites::kGraphIoRead,  failpoint::sites::kSchreierInsert,
+      failpoint::sites::kServerDecode, failpoint::sites::kServerDispatch,
+      failpoint::sites::kServerWriteReply,
   };
   EXPECT_EQ(sites.size(), std::size(expected));
   for (const char* site : expected) {
@@ -452,6 +460,145 @@ TEST(InvalidInputTest, ColoringSizeMismatchIsAStructuredOutcome) {
   EXPECT_FALSE(r.completed());
   EXPECT_TRUE(r.certificate.empty());
   EXPECT_FALSE(r.fault_detail.empty());
+}
+
+// ---- serving-path sites (server.decode_request / dispatch / write_reply) ----
+//
+// The server contract under injected faults: exactly the targeted request
+// degrades to a structured kInternalFault reply naming the site, its
+// batch-mates' replies are byte-identical to a never-faulted run, the
+// connection keeps serving, and the shared certificate cache is never fed
+// from the faulted request. When sites are compiled out, arming must have
+// no effect at all.
+
+// Replays `requests` pipelined over one loopback connection (all sends,
+// then all receives) and returns each decoded reply with its re-encoded
+// bytes — the byte-determinism comparand.
+struct ServedReply {
+  server::Reply reply;
+  std::string bytes;
+};
+
+std::vector<ServedReply> ServePipelined(
+    server::Server* srv, const std::vector<server::Request>& requests) {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread serve([srv, fd = fds[1]] {
+    srv->ServeConnection(fd);
+    close(fd);
+  });
+  std::vector<ServedReply> replies;
+  {
+    server::Client client(fds[0]);
+    for (const server::Request& request : requests) {
+      EXPECT_TRUE(client.Send(request).ok());
+    }
+    for (size_t i = 0; i < requests.size(); ++i) {
+      ServedReply served;
+      EXPECT_TRUE(client.Receive(&served.reply).ok());
+      server::EncodeReply(served.reply, &served.bytes);
+      replies.push_back(std::move(served));
+    }
+  }  // closes the client fd: the serve loop sees a clean EOF
+  serve.join();
+  return replies;
+}
+
+std::vector<server::Request> ThreeCanonicalRequests() {
+  std::vector<server::Request> requests(3);
+  const Graph graphs[] = {CycleGraph(14), GadgetForestGraph(2, 3),
+                          CompleteGraph(7)};
+  for (size_t i = 0; i < 3; ++i) {
+    requests[i].id = i + 1;
+    requests[i].cls = server::RequestClass::kCanonicalForm;
+    requests[i].graph = graphs[i];
+  }
+  return requests;
+}
+
+class ServerFailpointTest : public FailpointTest {};
+
+TEST_F(ServerFailpointTest, EachServingSiteIsolatesTheTargetedRequest) {
+  server::Server srv{server::ServerOptions{}};
+  const std::vector<server::Request> requests = ThreeCanonicalRequests();
+  const std::vector<ServedReply> reference = ServePipelined(&srv, requests);
+  ASSERT_EQ(reference.size(), 3u);
+  for (const ServedReply& served : reference) {
+    ASSERT_TRUE(served.reply.ok()) << served.reply.detail;
+  }
+
+  // Each site targets the middle request via skip_hits; the decode and
+  // write sites evaluate on the connection thread in frame order, and the
+  // dispatch site keeps that order because submission order is evaluation
+  // order for the skip counter.
+  const char* const sites[] = {failpoint::sites::kServerDecode,
+                               failpoint::sites::kServerDispatch,
+                               failpoint::sites::kServerWriteReply};
+  for (const char* site : sites) {
+    failpoint::Arm(site, {.skip_hits = 1, .max_triggers = 1});
+    const std::vector<ServedReply> served = ServePipelined(&srv, requests);
+    failpoint::DisarmAll();
+    ASSERT_EQ(served.size(), 3u) << site;
+    if (failpoint::kEnabled) {
+      EXPECT_EQ(served[1].reply.status, wire::WireStatus::kInternalFault)
+          << site;
+      EXPECT_EQ(served[1].reply.id, 2u) << site;
+      EXPECT_NE(served[1].reply.detail.find(site), std::string::npos)
+          << site << ": detail was \"" << served[1].reply.detail << "\"";
+      EXPECT_TRUE(served[1].reply.certificate.empty()) << site;
+      EXPECT_EQ(served[0].bytes, reference[0].bytes)
+          << site << ": a fault bled into batch-mate 1";
+      EXPECT_EQ(served[2].bytes, reference[2].bytes)
+          << site << ": a fault bled into batch-mate 3";
+    } else {
+      for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(served[i].bytes, reference[i].bytes)
+            << site << ": arming a compiled-out site changed reply " << i;
+      }
+    }
+    // The connection above closed after the fault; the server must keep
+    // serving, and the shared cache must still hold only verified entries:
+    // a fresh never-faulted replay is byte-identical to the reference.
+    const std::vector<ServedReply> after = ServePipelined(&srv, requests);
+    ASSERT_EQ(after.size(), 3u) << site;
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(after[i].bytes, reference[i].bytes)
+          << site << ": reply " << i << " changed after disarming";
+    }
+  }
+}
+
+TEST_F(ServerFailpointTest, DispatchFaultNeverFeedsTheSharedCache) {
+  server::ServerOptions options;
+  options.cert_cache = true;
+  server::Server srv{server::ServerOptions{}};
+  server::Server armed_srv{options};
+  std::vector<server::Request> one(1);
+  one[0].id = 1;
+  one[0].cls = server::RequestClass::kCanonicalForm;
+  one[0].graph = GadgetForestGraph(2, 3);
+  const std::vector<ServedReply> reference = ServePipelined(&srv, one);
+  ASSERT_TRUE(reference[0].reply.ok());
+
+  failpoint::Arm(failpoint::sites::kServerDispatch, {.max_triggers = 1});
+  const std::vector<ServedReply> faulted = ServePipelined(&armed_srv, one);
+  failpoint::DisarmAll();
+  if (failpoint::kEnabled) {
+    EXPECT_EQ(faulted[0].reply.status, wire::WireStatus::kInternalFault);
+    uint64_t cache_entries = 0;
+    for (const auto& [name, value] : armed_srv.StatsSnapshot()) {
+      if (name == "cache.entries") cache_entries = value;
+    }
+    EXPECT_EQ(cache_entries, 0u)
+        << "a faulted request populated the shared cache";
+  } else {
+    EXPECT_EQ(faulted[0].bytes, reference[0].bytes);
+  }
+
+  // The next clean request on the armed server serves the true bytes.
+  const std::vector<ServedReply> after = ServePipelined(&armed_srv, one);
+  ASSERT_TRUE(after[0].reply.ok());
+  EXPECT_EQ(after[0].bytes, reference[0].bytes);
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+// libFuzzer harness for the serving codec (DESIGN.md §11): every byte
+// string must either decode into a well-formed Request/Reply or fail with
+// a Status — never crash, never allocate from a declared-count lie (the
+// vertex/edge/query counts are attacker-controlled), and whatever is
+// accepted must survive an encode → decode round trip unchanged. The first
+// input byte selects the decoder so one corpus covers the request codec,
+// the reply codec, and the stream framing layer.
+//
+// Build: cmake -DDVICL_FUZZ=ON (clang only); run with the seed corpus:
+//   ./protocol_fuzz tests/fuzz/corpus/protocol -max_total_time=60
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/wire.h"
+#include "server/protocol.h"
+
+namespace {
+
+using dvicl::server::DecodeReply;
+using dvicl::server::DecodeRequest;
+using dvicl::server::EncodeReply;
+using dvicl::server::EncodeRequest;
+using dvicl::server::Reply;
+using dvicl::server::Request;
+
+void CheckRequest(std::string_view payload) {
+  Request request;
+  if (!DecodeRequest(payload, &request).ok()) return;
+  // Decode invariants: a graph that got through is structurally sound and
+  // under the wire vertex cap.
+  const dvicl::Graph& g = request.graph;
+  if (g.NumVertices() > dvicl::server::kMaxWireVertices) __builtin_trap();
+  for (const dvicl::Edge& e : g.Edges()) {
+    if (e.first >= g.NumVertices() || e.second >= g.NumVertices()) {
+      __builtin_trap();
+    }
+  }
+  if (!request.colors.empty() && request.colors.size() != g.NumVertices()) {
+    __builtin_trap();
+  }
+  // Accepted bytes must round-trip: re-encoding and re-decoding yields the
+  // same encoding (the codec has one canonical form per request).
+  std::string encoded;
+  EncodeRequest(request, &encoded);
+  Request again;
+  if (!DecodeRequest(encoded, &again).ok()) __builtin_trap();
+  std::string reencoded;
+  EncodeRequest(again, &reencoded);
+  if (encoded != reencoded) __builtin_trap();
+}
+
+void CheckReply(std::string_view payload) {
+  Reply reply;
+  if (!DecodeReply(payload, &reply).ok()) return;
+  std::string encoded;
+  EncodeReply(reply, &encoded);
+  Reply again;
+  if (!DecodeReply(encoded, &again).ok()) __builtin_trap();
+  std::string reencoded;
+  EncodeReply(again, &reencoded);
+  if (encoded != reencoded) __builtin_trap();
+}
+
+void CheckFraming(const std::string& bytes) {
+  // The framing layer must classify every stream without crashing: a clean
+  // EOF (kNotFound), a mid-frame truncation (kIOError), an oversized
+  // prefix (kInvalidArgument), or a complete frame no larger than the cap.
+  std::istringstream in(bytes);
+  std::string payload;
+  for (;;) {
+    const dvicl::Status status = dvicl::wire::ReadFrame(in, &payload);
+    if (!status.ok()) break;
+    if (payload.size() > dvicl::wire::kMaxPayloadBytes) __builtin_trap();
+    // Frames pulled off a stream are exactly what the peer would hand the
+    // payload codecs; exercise both on each one.
+    CheckRequest(payload);
+    CheckReply(payload);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  const uint8_t selector = data[0];
+  const std::string payload(reinterpret_cast<const char*>(data + 1),
+                            size - 1);
+  switch (selector % 3) {
+    case 0:
+      CheckRequest(payload);
+      break;
+    case 1:
+      CheckReply(payload);
+      break;
+    case 2:
+      CheckFraming(payload);
+      break;
+  }
+  return 0;
+}

@@ -1,0 +1,523 @@
+// Wire codec tests for the canonicalization service (DESIGN.md §11):
+// property round-trips over random graphs for every request class, plus
+// the adversarial half — truncated frames at every byte, oversized length
+// prefixes, 32-bit overflow in declared sizes, byte soup and bit flips.
+// The decoder's contract: a structured Status for every malformed input,
+// never a crash, never an allocation a lying size field talked it into.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/wire.h"
+#include "server/protocol.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace server {
+namespace {
+
+using testing_util::RandomGraph;
+
+Request MakeRequest(RequestClass cls, uint64_t seed) {
+  Rng rng(seed);
+  Request request;
+  request.id = rng.Next();
+  request.cls = cls;
+  request.deadline_micros = rng.NextBounded(1u << 20);
+  request.node_budget = rng.NextBounded(1u << 16);
+  request.memory_limit_mib = static_cast<uint32_t>(rng.NextBounded(4096));
+  const auto n = static_cast<VertexId>(6 + rng.NextBounded(20));
+  request.graph = RandomGraph(n, 0.3, seed * 31 + 1);
+  if (rng.NextBernoulli(0.5)) {
+    for (VertexId v = 0; v < n; ++v) {
+      request.colors.push_back(static_cast<uint32_t>(rng.NextBounded(4)));
+    }
+  }
+  switch (cls) {
+    case RequestClass::kIsoTest: {
+      request.graph2 = RandomGraph(n, 0.3, seed * 31 + 2);
+      if (!request.colors.empty()) {
+        for (VertexId v = 0; v < n; ++v) {
+          request.colors2.push_back(
+              static_cast<uint32_t>(rng.NextBounded(4)));
+        }
+      }
+      break;
+    }
+    case RequestClass::kSsmCount: {
+      const auto k = static_cast<VertexId>(1 + rng.NextBounded(n));
+      for (VertexId v = 0; v < k; ++v) request.query.push_back(v);
+      break;
+    }
+    case RequestClass::kServerStats:
+      // Control plane: no body at all.
+      request.graph = Graph::FromEdges(0, {});
+      request.colors.clear();
+      break;
+    default:
+      break;
+  }
+  return request;
+}
+
+void ExpectRequestsEqual(const Request& want, const Request& got) {
+  EXPECT_EQ(want.id, got.id);
+  EXPECT_EQ(want.cls, got.cls);
+  EXPECT_EQ(want.deadline_micros, got.deadline_micros);
+  EXPECT_EQ(want.node_budget, got.node_budget);
+  EXPECT_EQ(want.memory_limit_mib, got.memory_limit_mib);
+  if (want.cls != RequestClass::kServerStats) {
+    EXPECT_EQ(want.graph.NumVertices(), got.graph.NumVertices());
+    EXPECT_EQ(want.graph.Edges(), got.graph.Edges());
+    EXPECT_EQ(want.colors, got.colors);
+  }
+  if (want.cls == RequestClass::kIsoTest) {
+    EXPECT_EQ(want.graph2.Edges(), got.graph2.Edges());
+    EXPECT_EQ(want.colors2, got.colors2);
+  }
+  if (want.cls == RequestClass::kSsmCount) {
+    EXPECT_EQ(want.query, got.query);
+  }
+}
+
+constexpr RequestClass kAllClasses[] = {
+    RequestClass::kCanonicalForm, RequestClass::kIsoTest,
+    RequestClass::kAutOrder,      RequestClass::kOrbits,
+    RequestClass::kSsmCount,      RequestClass::kServerStats,
+};
+
+// ---- round-trip properties -------------------------------------------------
+
+TEST(ProtocolRoundTrip, RequestEveryClassOverRandomGraphs) {
+  for (RequestClass cls : kAllClasses) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      const Request request = MakeRequest(cls, seed);
+      std::string payload;
+      EncodeRequest(request, &payload);
+      Request decoded;
+      const Status status = DecodeRequest(payload, &decoded);
+      ASSERT_TRUE(status.ok())
+          << RequestClassName(cls) << " seed " << seed << ": "
+          << status.ToString();
+      ExpectRequestsEqual(request, decoded);
+      EXPECT_EQ(PeekRequestId(payload), request.id);
+    }
+  }
+}
+
+TEST(ProtocolRoundTrip, ReplyEveryClass) {
+  Rng rng(7);
+  for (RequestClass cls : kAllClasses) {
+    Reply reply;
+    reply.id = rng.Next();
+    reply.status = wire::WireStatus::kOk;
+    reply.cls = cls;
+    switch (cls) {
+      case RequestClass::kCanonicalForm:
+        reply.num_vertices = 5;
+        reply.certificate = {5, 4, 0, 0, 1, 2, 3, (1ull << 32) | 3};
+        reply.canonical_labeling = {3, 1, 0, 4, 2};
+        break;
+      case RequestClass::kIsoTest:
+        reply.isomorphic = true;
+        break;
+      case RequestClass::kAutOrder:
+        reply.aut_order = "123456789012345678901234567890";
+        break;
+      case RequestClass::kOrbits:
+        reply.orbit_ids = {0, 0, 2, 2, 0};
+        break;
+      case RequestClass::kSsmCount:
+        reply.ssm_count = "42";
+        break;
+      case RequestClass::kServerStats:
+        reply.stats = {{"requests", 17}, {"cache.hits", 5}, {"", 0}};
+        break;
+    }
+    std::string payload;
+    EncodeReply(reply, &payload);
+    Reply decoded;
+    ASSERT_TRUE(DecodeReply(payload, &decoded).ok()) << RequestClassName(cls);
+    EXPECT_EQ(reply.id, decoded.id);
+    EXPECT_EQ(reply.cls, decoded.cls);
+    EXPECT_EQ(reply.status, decoded.status);
+    EXPECT_EQ(reply.certificate, decoded.certificate);
+    EXPECT_EQ(reply.canonical_labeling, decoded.canonical_labeling);
+    EXPECT_EQ(reply.isomorphic, decoded.isomorphic);
+    EXPECT_EQ(reply.aut_order, decoded.aut_order);
+    EXPECT_EQ(reply.orbit_ids, decoded.orbit_ids);
+    EXPECT_EQ(reply.ssm_count, decoded.ssm_count);
+    EXPECT_EQ(reply.stats, decoded.stats);
+  }
+}
+
+TEST(ProtocolRoundTrip, ErrorReplyCarriesOnlyDetail) {
+  Reply reply;
+  reply.id = 99;
+  reply.cls = RequestClass::kAutOrder;
+  reply.status = wire::WireStatus::kNodeBudget;
+  reply.detail = "leaf IR search exceeded max_tree_nodes=1";
+  std::string payload;
+  EncodeReply(reply, &payload);
+  // Header (10) + detail length (4) + detail bytes, nothing else.
+  EXPECT_EQ(payload.size(), 14 + reply.detail.size());
+  Reply decoded;
+  ASSERT_TRUE(DecodeReply(payload, &decoded).ok());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status, wire::WireStatus::kNodeBudget);
+  EXPECT_EQ(decoded.detail, reply.detail);
+  EXPECT_TRUE(decoded.certificate.empty());
+  EXPECT_TRUE(decoded.canonical_labeling.empty());
+}
+
+// Every strict prefix of a valid payload must be rejected: all declared
+// counts are validated against the remaining bytes and the decoder demands
+// the body end exactly at the payload end.
+TEST(ProtocolAdversarial, EveryTruncationOfEveryClassIsRejected) {
+  for (RequestClass cls : kAllClasses) {
+    const Request request = MakeRequest(cls, 3);
+    std::string payload;
+    EncodeRequest(request, &payload);
+    for (size_t len = 0; len < payload.size(); ++len) {
+      Request decoded;
+      const Status status =
+          DecodeRequest(std::string_view(payload).substr(0, len), &decoded);
+      EXPECT_FALSE(status.ok())
+          << RequestClassName(cls) << " accepted a prefix of " << len << "/"
+          << payload.size() << " bytes";
+    }
+  }
+}
+
+TEST(ProtocolAdversarial, EveryReplyTruncationIsRejected) {
+  Reply reply;
+  reply.id = 5;
+  reply.status = wire::WireStatus::kOk;
+  reply.cls = RequestClass::kCanonicalForm;
+  reply.num_vertices = 3;
+  reply.certificate = {3, 2, 0, 0, 0, 1, (1ull << 32) | 2};
+  reply.canonical_labeling = {1, 2, 0};
+  std::string payload;
+  EncodeReply(reply, &payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    Reply decoded;
+    EXPECT_FALSE(
+        DecodeReply(std::string_view(payload).substr(0, len), &decoded).ok())
+        << "accepted a prefix of " << len << " bytes";
+  }
+}
+
+TEST(ProtocolAdversarial, TrailingGarbageIsRejected) {
+  for (RequestClass cls : kAllClasses) {
+    const Request request = MakeRequest(cls, 4);
+    std::string payload;
+    EncodeRequest(request, &payload);
+    payload.push_back('\x00');
+    Request decoded;
+    EXPECT_FALSE(DecodeRequest(payload, &decoded).ok())
+        << RequestClassName(cls);
+  }
+}
+
+// A frame that declares m = 0xffffffff backed by a handful of bytes must be
+// rejected by arithmetic, not trusted with a 32 GiB reserve. The same for a
+// lying color array, SSM query and certificate size.
+TEST(ProtocolAdversarial, LyingSizeFieldsNeverAllocate) {
+  std::string payload;
+  {
+    wire::Writer writer(&payload);
+    writer.U64(1);                       // id
+    writer.U8(0);                        // kCanonicalForm
+    writer.U8(0);                        // reserved
+    writer.U64(0);                       // deadline
+    writer.U64(0);                       // node budget
+    writer.U32(0);                       // memory
+    writer.U32(4);                       // n
+    writer.U32(0xffffffffu);             // m: a lie
+    writer.U32(0);                       // a few bytes of "edges"
+    writer.U32(1);
+  }
+  Request decoded;
+  Status status = DecodeRequest(payload, &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("edge count"), std::string::npos)
+      << status.ToString();
+
+  // An isolated-vertex graph is only a dozen bytes on the wire regardless
+  // of n, so the vertex count is the one size field a payload-vs-remaining
+  // check cannot bound: kMaxWireVertices must reject it before the O(n)
+  // adjacency allocation.
+  payload.clear();
+  {
+    wire::Writer writer(&payload);
+    writer.U64(1);
+    writer.U8(0);  // kCanonicalForm
+    writer.U8(0);
+    writer.U64(0);
+    writer.U64(0);
+    writer.U32(0);
+    writer.U32(0xffffffffu);  // n: four billion isolated vertices
+    writer.U32(0);            // m = 0, so every edge-byte check passes
+    writer.U8(0);             // no colors, so the color check passes too
+  }
+  status = DecodeRequest(payload, &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("vertex count"), std::string::npos)
+      << status.ToString();
+
+  payload.clear();
+  {
+    wire::Writer writer(&payload);
+    writer.U64(1);
+    writer.U8(4);  // kSsmCount
+    writer.U8(0);
+    writer.U64(0);
+    writer.U64(0);
+    writer.U32(0);
+    writer.U32(3);           // n
+    writer.U32(0);           // m
+    writer.U8(0);            // no colors
+    writer.U32(0xffffffffu);  // query size: a lie
+  }
+  status = DecodeRequest(payload, &decoded);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("query"), std::string::npos);
+
+  payload.clear();
+  {
+    wire::Writer writer(&payload);
+    writer.U64(1);
+    writer.U8(0);  // status kOk
+    writer.U8(0);  // kCanonicalForm
+    writer.U32(3);
+    writer.U64(std::numeric_limits<uint64_t>::max());  // cert words: the
+                                                       // 64-bit overflow lie
+  }
+  Reply reply;
+  status = DecodeReply(payload, &reply);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("certificate"), std::string::npos);
+}
+
+TEST(ProtocolAdversarial, BadGraphsAreRejected) {
+  const struct {
+    const char* what;
+    uint32_t n, u, v;
+  } cases[] = {
+      {"endpoint out of range", 4, 1, 9},
+      {"self-loop", 4, 2, 2},
+  };
+  for (const auto& c : cases) {
+    std::string payload;
+    wire::Writer writer(&payload);
+    writer.U64(1);
+    writer.U8(0);
+    writer.U8(0);
+    writer.U64(0);
+    writer.U64(0);
+    writer.U32(0);
+    writer.U32(c.n);
+    writer.U32(1);
+    writer.U32(c.u);
+    writer.U32(c.v);
+    writer.U8(0);
+    Request decoded;
+    EXPECT_FALSE(DecodeRequest(payload, &decoded).ok()) << c.what;
+  }
+  // Unknown class and nonzero reserved byte.
+  for (int variant = 0; variant < 2; ++variant) {
+    std::string payload;
+    wire::Writer writer(&payload);
+    writer.U64(1);
+    writer.U8(variant == 0 ? 250 : 0);
+    writer.U8(variant == 0 ? 0 : 7);
+    writer.U64(0);
+    writer.U64(0);
+    writer.U32(0);
+    Request decoded;
+    EXPECT_FALSE(DecodeRequest(payload, &decoded).ok());
+  }
+  // Duplicate SSM query vertex.
+  {
+    std::string payload;
+    wire::Writer writer(&payload);
+    writer.U64(1);
+    writer.U8(4);
+    writer.U8(0);
+    writer.U64(0);
+    writer.U64(0);
+    writer.U32(0);
+    writer.U32(3);
+    writer.U32(0);
+    writer.U8(0);
+    writer.U32(2);
+    writer.U32(1);
+    writer.U32(1);
+    Request decoded;
+    EXPECT_FALSE(DecodeRequest(payload, &decoded).ok());
+  }
+}
+
+// Byte soup and single-byte mutations: the decoder may accept or reject,
+// but it must never crash, and anything it accepts must re-encode.
+TEST(ProtocolAdversarial, ByteSoupNeverCrashes) {
+  Rng rng(11);
+  for (int round = 0; round < 500; ++round) {
+    std::string payload;
+    const size_t len = rng.NextBounded(200);
+    payload.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      payload.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    Request request;
+    if (DecodeRequest(payload, &request).ok()) {
+      std::string reencoded;
+      EncodeRequest(request, &reencoded);
+      Request again;
+      EXPECT_TRUE(DecodeRequest(reencoded, &again).ok());
+    }
+    Reply reply;
+    if (DecodeReply(payload, &reply).ok()) {
+      std::string reencoded;
+      EncodeReply(reply, &reencoded);
+      Reply again;
+      EXPECT_TRUE(DecodeReply(reencoded, &again).ok());
+    }
+  }
+}
+
+TEST(ProtocolAdversarial, SingleByteMutationsNeverCrash) {
+  Rng rng(13);
+  for (RequestClass cls : kAllClasses) {
+    const Request request = MakeRequest(cls, 9);
+    std::string payload;
+    EncodeRequest(request, &payload);
+    for (size_t pos = 0; pos < payload.size(); ++pos) {
+      std::string mutated = payload;
+      mutated[pos] = static_cast<char>(rng.NextBounded(256));
+      Request decoded;
+      DecodeRequest(mutated, &decoded);  // must not crash; status is free
+    }
+  }
+}
+
+// ---- framing ---------------------------------------------------------------
+
+TEST(Framing, RoundTripThroughStream) {
+  std::stringstream stream;
+  ASSERT_TRUE(wire::WriteFrame(stream, "hello").ok());
+  ASSERT_TRUE(wire::WriteFrame(stream, "").ok());
+  ASSERT_TRUE(wire::WriteFrame(stream, std::string(1000, 'x')).ok());
+  std::string payload;
+  ASSERT_TRUE(wire::ReadFrame(stream, &payload).ok());
+  EXPECT_EQ(payload, "hello");
+  ASSERT_TRUE(wire::ReadFrame(stream, &payload).ok());
+  EXPECT_EQ(payload, "");
+  ASSERT_TRUE(wire::ReadFrame(stream, &payload).ok());
+  EXPECT_EQ(payload, std::string(1000, 'x'));
+  // Clean EOF at the frame boundary is NotFound, not an error.
+  EXPECT_EQ(wire::ReadFrame(stream, &payload).code(),
+            Status::Code::kNotFound);
+}
+
+TEST(Framing, TruncationInsidePrefixAndPayload) {
+  std::string bytes;
+  wire::AppendFrame("abcdef", &bytes);
+  // EOF inside the length prefix.
+  {
+    std::stringstream stream(bytes.substr(0, 2));
+    std::string payload;
+    EXPECT_EQ(wire::ReadFrame(stream, &payload).code(),
+              Status::Code::kIOError);
+  }
+  // EOF inside the declared payload.
+  {
+    std::stringstream stream(bytes.substr(0, 7));
+    std::string payload;
+    EXPECT_EQ(wire::ReadFrame(stream, &payload).code(),
+              Status::Code::kIOError);
+  }
+}
+
+TEST(Framing, OversizedLengthPrefixIsRejectedBeforeAllocation) {
+  std::string bytes = {'\xff', '\xff', '\xff', '\xff'};  // 4 GiB - 1
+  std::stringstream stream(bytes);
+  std::string payload;
+  const Status status = wire::ReadFrame(stream, &payload);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_TRUE(payload.empty()) << "must not commit memory for the lie";
+  // A tighter per-server cap applies the same way.
+  std::string small;
+  wire::AppendFrame(std::string(100, 'x'), &small);
+  std::stringstream stream2(small);
+  EXPECT_EQ(wire::ReadFrame(stream2, &payload, 10).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(Framing, ReaderIsBoundsChecked) {
+  wire::Reader reader(std::string_view("\x01\x02\x03", 3));
+  uint32_t u32 = 0xdead;
+  EXPECT_FALSE(reader.U32(&u32));
+  EXPECT_EQ(u32, 0xdeadu) << "failed read must leave the output untouched";
+  uint8_t u8 = 0;
+  EXPECT_TRUE(reader.U8(&u8));
+  EXPECT_EQ(u8, 1);
+  uint64_t u64 = 0;
+  EXPECT_FALSE(reader.U64(&u64));
+  std::string_view bytes;
+  EXPECT_TRUE(reader.Bytes(2, &bytes));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Framing, LittleEndianOnTheWire) {
+  std::string out;
+  wire::Writer writer(&out);
+  writer.U32(0x04030201u);
+  writer.U64(0x0807060504030201ull);
+  ASSERT_EQ(out.size(), 12u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i + 1);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[4 + i], i + 1);
+}
+
+// ---- status mapping --------------------------------------------------------
+
+TEST(WireStatusMapping, MirrorsEveryRunOutcome) {
+  const struct {
+    RunOutcome outcome;
+    wire::WireStatus status;
+  } mapping[] = {
+      {RunOutcome::kCompleted, wire::WireStatus::kOk},
+      {RunOutcome::kDeadline, wire::WireStatus::kDeadline},
+      {RunOutcome::kNodeBudget, wire::WireStatus::kNodeBudget},
+      {RunOutcome::kMemoryBudget, wire::WireStatus::kMemoryBudget},
+      {RunOutcome::kCancelled, wire::WireStatus::kCancelled},
+      {RunOutcome::kInvalidInput, wire::WireStatus::kInvalidRequest},
+      {RunOutcome::kInternalFault, wire::WireStatus::kInternalFault},
+  };
+  for (const auto& m : mapping) {
+    EXPECT_EQ(wire::FromOutcome(m.outcome), m.status)
+        << RunOutcomeName(m.outcome);
+    // The numeric values line up one for one, which is what makes the
+    // reply status byte readable next to RunOutcome in traces.
+    EXPECT_EQ(static_cast<uint8_t>(m.outcome),
+              static_cast<uint8_t>(m.status));
+  }
+  for (wire::WireStatus status :
+       {wire::WireStatus::kOk, wire::WireStatus::kDeadline,
+        wire::WireStatus::kNodeBudget, wire::WireStatus::kMemoryBudget,
+        wire::WireStatus::kCancelled, wire::WireStatus::kInvalidRequest,
+        wire::WireStatus::kInternalFault, wire::WireStatus::kOverloaded,
+        wire::WireStatus::kMalformedFrame}) {
+    EXPECT_STRNE(wire::WireStatusName(status), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace dvicl

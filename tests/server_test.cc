@@ -1,0 +1,547 @@
+// End-to-end tests of the canonicalization service (DESIGN.md §11) over a
+// real socketpair loopback: every request class against the golden
+// certificate corpus, concurrent-client byte determinism across server
+// thread counts, budget degradation, admission-control overload, the
+// malformed-frame contract, and the per-run isolation of cancellation and
+// budget state (two concurrent runs in one process must not be able to
+// cancel or budget-trip each other).
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/wire.h"
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "family_util.h"
+#include "perm/perm_group.h"
+#include "refine/coloring.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "ssm/ssm_at.h"
+#include "test_util.h"
+
+#ifndef DVICL_GOLDEN_DIR
+#error "DVICL_GOLDEN_DIR must be defined by tests/CMakeLists.txt"
+#endif
+
+namespace dvicl {
+namespace server {
+namespace {
+
+using testing_util::Family;
+using testing_util::GoldenFamilies;
+
+// One loopback connection: a socketpair whose server end is driven by a
+// dedicated thread running Server::ServeConnection. Destroying the object
+// closes the client end first, which is the clean-EOF the serve loop exits
+// on, then joins the thread.
+class Loopback {
+ public:
+  explicit Loopback(Server* server) {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    client_ = std::make_unique<Client>(fds[0]);
+    thread_ = std::thread([server, fd = fds[1]] {
+      server->ServeConnection(fd);
+      close(fd);
+    });
+  }
+  ~Loopback() {
+    client_.reset();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Client& client() { return *client_; }
+  int client_fd() const { return client_->fd(); }
+
+ private:
+  std::unique_ptr<Client> client_;
+  std::thread thread_;
+};
+
+Request GraphRequest(RequestClass cls, Graph graph, uint64_t id = 1) {
+  Request request;
+  request.id = id;
+  request.cls = cls;
+  request.graph = std::move(graph);
+  return request;
+}
+
+// Golden corpus entry as parsed from tests/golden/<family>.golden.
+struct GoldenEntry {
+  std::string aut_order;
+  Certificate certificate;
+};
+
+GoldenEntry ParseGolden(const std::string& family) {
+  const auto path =
+      std::filesystem::path(DVICL_GOLDEN_DIR) / (family + ".golden");
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  GoldenEntry entry;
+  std::string line;
+  size_t cert_words = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "aut_order") {
+      fields >> entry.aut_order;
+    } else if (key == "certificate") {
+      fields >> cert_words;
+      break;
+    }
+  }
+  entry.certificate.reserve(cert_words);
+  for (size_t i = 0; i < cert_words && std::getline(in, line); ++i) {
+    entry.certificate.push_back(std::stoull(line, nullptr, 16));
+  }
+  EXPECT_EQ(entry.certificate.size(), cert_words) << family;
+  return entry;
+}
+
+// Cheap corpus families for the multi-replay concurrency sweep: batching
+// determinism needs many requests in flight, not hard instances, and the
+// suite must stay inside a per-test sanitizer budget (the tsan leg of
+// scripts/run_sanitizers.sh runs this binary in full).
+const char* const kSmokeFamilies[] = {"Cycle", "Path", "Star",
+                                      "PaperFigure1", "PaperFigure3"};
+
+// ---- one request class at a time against the golden corpus -----------------
+
+TEST(ServerGolden, CanonicalFormMatchesGoldenCorpus) {
+  Server server{ServerOptions{}};
+  Loopback loop(&server);
+  uint64_t id = 0;
+  for (const Family& family : GoldenFamilies()) {
+    const Graph graph = family.make();
+    const GoldenEntry golden = ParseGolden(family.name);
+    auto result = loop.client().Call(
+        GraphRequest(RequestClass::kCanonicalForm, graph, ++id));
+    ASSERT_TRUE(result.ok()) << family.name;
+    const Reply& reply = result.value();
+    ASSERT_TRUE(reply.ok()) << family.name << ": " << reply.detail;
+    EXPECT_EQ(reply.id, id);
+    EXPECT_EQ(reply.num_vertices, graph.NumVertices()) << family.name;
+    EXPECT_EQ(reply.certificate, golden.certificate)
+        << family.name << ": served certificate drifted from the corpus";
+    // The labeling must be the permutation behind that certificate. The
+    // cert's color words hold the root equitable refinement (not the input
+    // coloring), so only the edge section — everything after word 2 + n —
+    // is rebuildable from the labeling alone.
+    const size_t edges_at = 2 + graph.NumVertices();
+    ASSERT_EQ(reply.canonical_labeling.size(), graph.NumVertices());
+    const Certificate rebuilt =
+        MakeCertificate(graph, /*colors=*/{}, reply.canonical_labeling);
+    ASSERT_EQ(rebuilt.size(), reply.certificate.size()) << family.name;
+    EXPECT_TRUE(std::equal(rebuilt.begin() + edges_at, rebuilt.end(),
+                           reply.certificate.begin() + edges_at))
+        << family.name << ": labeling does not reproduce the edge section";
+  }
+}
+
+TEST(ServerGolden, AutOrderMatchesGoldenCorpus) {
+  Server server{ServerOptions{}};
+  Loopback loop(&server);
+  uint64_t id = 0;
+  for (const Family& family : GoldenFamilies()) {
+    const GoldenEntry golden = ParseGolden(family.name);
+    auto result = loop.client().Call(
+        GraphRequest(RequestClass::kAutOrder, family.make(), ++id));
+    ASSERT_TRUE(result.ok()) << family.name;
+    ASSERT_TRUE(result.value().ok())
+        << family.name << ": " << result.value().detail;
+    EXPECT_EQ(result.value().aut_order, golden.aut_order) << family.name;
+  }
+}
+
+TEST(ServerGolden, OrbitsMatchBruteForceOracle) {
+  Server server{ServerOptions{}};
+  Loopback loop(&server);
+  // Fig. 1(a) is small enough for the n! oracle: the serving path must
+  // agree with orbits computed from ALL automorphisms by brute force.
+  const Graph graph = testing_util::PaperFigure1Graph();
+  auto result =
+      loop.client().Call(GraphRequest(RequestClass::kOrbits, graph, 7));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().ok()) << result.value().detail;
+  const auto oracle = testing_util::OrbitIdsOf(
+      graph.NumVertices(), testing_util::BruteForceAutomorphisms(graph));
+  EXPECT_EQ(result.value().orbit_ids, oracle);
+}
+
+TEST(ServerGolden, IsoTestDecidesRelabeledAndTwistedPairs) {
+  Server server{ServerOptions{}};
+  Loopback loop(&server);
+  // A graph is isomorphic to any relabeling of itself.
+  const Graph g = testing_util::RandomGraph(40, 0.2, 99);
+  const Permutation gamma = testing_util::RandomPermutation(40, 100);
+  std::vector<Edge> relabeled;
+  for (const Edge& e : g.Edges()) {
+    relabeled.emplace_back(gamma(e.first), gamma(e.second));
+  }
+  Request iso = GraphRequest(RequestClass::kIsoTest, g, 11);
+  iso.graph2 = Graph::FromEdges(40, std::move(relabeled));
+  auto result = loop.client().Call(iso);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().ok()) << result.value().detail;
+  EXPECT_TRUE(result.value().isomorphic);
+
+  // The CFI pair is 1-WL-equivalent but NOT isomorphic — the adversarial
+  // case certificates must separate.
+  Request cfi = GraphRequest(RequestClass::kIsoTest, CfiGraph(10, false), 12);
+  cfi.graph2 = CfiGraph(10, true);
+  result = loop.client().Call(cfi);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().ok()) << result.value().detail;
+  EXPECT_FALSE(result.value().isomorphic);
+
+  // Colored: same graphs, different color multisets — decided without a run.
+  Request colored = GraphRequest(RequestClass::kIsoTest, g, 13);
+  colored.graph2 = g;
+  colored.colors.assign(40, 0);
+  colored.colors2.assign(40, 0);
+  colored.colors[0] = 1;
+  result = loop.client().Call(colored);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().ok());
+  EXPECT_FALSE(result.value().isomorphic);
+}
+
+TEST(ServerGolden, SsmCountMatchesLocalIndex) {
+  Server server{ServerOptions{}};
+  Loopback loop(&server);
+  const Graph graph = testing_util::PaperFigure3Graph();
+  const std::vector<VertexId> query = {2, 3};
+
+  DviclOptions options;
+  const DviclResult local =
+      DviclCanonicalLabeling(graph, Coloring::Unit(graph.NumVertices()),
+                             options);
+  ASSERT_TRUE(local.completed());
+  const SsmIndex index(graph, local);
+  const std::string oracle =
+      index.CountSymmetricImages(query).ToDecimalString();
+
+  Request request = GraphRequest(RequestClass::kSsmCount, graph, 21);
+  request.query = query;
+  auto result = loop.client().Call(request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().ok()) << result.value().detail;
+  EXPECT_EQ(result.value().ssm_count, oracle);
+}
+
+TEST(ServerGolden, StatsClassReturnsCounterSnapshot) {
+  Server server{ServerOptions{}};
+  Loopback loop(&server);
+  auto first = loop.client().Call(
+      GraphRequest(RequestClass::kCanonicalForm, CycleGraph(16), 1));
+  ASSERT_TRUE(first.ok());
+  Request stats;
+  stats.id = 2;
+  stats.cls = RequestClass::kServerStats;
+  auto result = loop.client().Call(stats);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().ok());
+  std::map<std::string, uint64_t> snapshot(result.value().stats.begin(),
+                                           result.value().stats.end());
+  EXPECT_EQ(snapshot.at("requests.canonical_form"), 1u);
+  EXPECT_GE(snapshot.at("requests"), 2u);  // including this stats request
+  EXPECT_EQ(snapshot.at("replies_ok"), 1u);  // stats reply not yet written
+  EXPECT_EQ(snapshot.at("decode_errors"), 0u);
+  EXPECT_TRUE(snapshot.count("cache.hits"));
+  EXPECT_TRUE(snapshot.count("pool.threads"));
+}
+
+TEST(ServerGolden, SharedCacheServesIsomorphicLeavesAcrossRequests) {
+  ServerOptions options;
+  options.cert_cache = true;
+  Server server(options);
+  Loopback loop(&server);
+  // Every copy of the gadget forest lowers to the same leaf subproblem;
+  // after the first request primed the shared cache, a second identical
+  // request must hit it — and still serve golden bytes.
+  const GoldenEntry golden = ParseGolden("GadgetForest");
+  const Graph graph = GadgetForestGraph(6, 6);
+  for (uint64_t id = 1; id <= 2; ++id) {
+    auto result = loop.client().Call(
+        GraphRequest(RequestClass::kCanonicalForm, graph, id));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result.value().ok());
+    EXPECT_EQ(result.value().certificate, golden.certificate);
+  }
+  const auto stats = server.StatsSnapshot();
+  uint64_t hits = 0;
+  for (const auto& [name, value] : stats) {
+    if (name == "cache.hits") hits = value;
+  }
+  EXPECT_GT(hits, 0u) << "second request never reused the shared cache";
+}
+
+// ---- concurrent-client determinism -----------------------------------------
+
+// N clients pipeline the same request sequence concurrently; every client's
+// decoded replies must be field-identical to a single-client reference, for
+// a single-threaded and a wide server alike. (Replies are re-encoded and
+// compared as bytes, which is exactly what a client on the wire sees.)
+TEST(ServerConcurrency, ClientsSeeByteIdenticalReplies) {
+  std::vector<Request> sequence;
+  for (const char* name : kSmokeFamilies) {
+    for (const Family& family : GoldenFamilies()) {
+      if (family.name == name) {
+        sequence.push_back(
+            GraphRequest(RequestClass::kCanonicalForm, family.make()));
+        sequence.push_back(
+            GraphRequest(RequestClass::kAutOrder, family.make()));
+      }
+    }
+  }
+  ASSERT_FALSE(sequence.empty());
+
+  auto replay = [&sequence](Client* client) {
+    // Pipelined: all sends first, so the server actually forms batches.
+    std::vector<std::string> encoded;
+    for (size_t i = 0; i < sequence.size(); ++i) {
+      Request request = sequence[i];
+      request.id = i + 1;
+      EXPECT_TRUE(client->Send(request).ok());
+    }
+    for (size_t i = 0; i < sequence.size(); ++i) {
+      Reply reply;
+      EXPECT_TRUE(client->Receive(&reply).ok());
+      EXPECT_EQ(reply.id, i + 1) << "replies must come back in send order";
+      std::string bytes;
+      EncodeReply(reply, &bytes);
+      encoded.push_back(std::move(bytes));
+    }
+    return encoded;
+  };
+
+  // Reference: one client, one server thread.
+  std::vector<std::string> reference;
+  {
+    ServerOptions options;
+    options.num_threads = 1;
+    Server server(options);
+    Loopback loop(&server);
+    reference = replay(&loop.client());
+  }
+  ASSERT_EQ(reference.size(), sequence.size());
+
+  for (uint32_t threads : {1u, 8u}) {
+    ServerOptions options;
+    options.num_threads = threads;
+    Server server(options);
+    constexpr int kClients = 4;
+    std::vector<std::unique_ptr<Loopback>> loops;
+    for (int c = 0; c < kClients; ++c) {
+      loops.push_back(std::make_unique<Loopback>(&server));
+    }
+    std::vector<std::vector<std::string>> outputs(kClients);
+    std::vector<std::thread> drivers;
+    for (int c = 0; c < kClients; ++c) {
+      drivers.emplace_back([&, c] { outputs[c] = replay(&loops[c]->client()); });
+    }
+    for (std::thread& t : drivers) t.join();
+    for (int c = 0; c < kClients; ++c) {
+      EXPECT_EQ(outputs[c], reference)
+          << "client " << c << " with " << threads
+          << " server threads diverged from the single-client reference";
+    }
+  }
+}
+
+// ---- degradation, admission control, framing faults ------------------------
+
+TEST(ServerDegradation, BudgetExceededRequestsGetStructuredErrors) {
+  Server server{ServerOptions{}};
+  Loopback loop(&server);
+  // Per-request deadline of 1µs: the root deadline check always fires.
+  Request deadline =
+      GraphRequest(RequestClass::kCanonicalForm, MiyazakiLikeGraph(8), 31);
+  deadline.deadline_micros = 1;
+  auto result = loop.client().Call(deadline);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().status, wire::WireStatus::kDeadline);
+  EXPECT_FALSE(result.value().detail.empty());
+  EXPECT_TRUE(result.value().certificate.empty())
+      << "a partial certificate must never escape";
+
+  // Node budget of 1 on a CFI instance: the leaf IR search trips at once.
+  Request nodes =
+      GraphRequest(RequestClass::kAutOrder, CfiGraph(10, false), 32);
+  nodes.node_budget = 1;
+  result = loop.client().Call(nodes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().status, wire::WireStatus::kNodeBudget);
+
+  // The connection keeps serving after budget errors.
+  result = loop.client().Call(
+      GraphRequest(RequestClass::kCanonicalForm, CycleGraph(12), 33));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+}
+
+TEST(ServerDegradation, ClassDefaultBudgetsApplyWithoutOverride) {
+  ServerOptions options;
+  // Admission control wired to the PR-5 budget machinery: the class default
+  // governs requests that carry no override.
+  options.budgets[static_cast<uint8_t>(RequestClass::kCanonicalForm)] = {
+      /*deadline_micros=*/1, /*node_budget=*/0, /*memory_limit_mib=*/0};
+  Server server(options);
+  Loopback loop(&server);
+  auto result = loop.client().Call(
+      GraphRequest(RequestClass::kCanonicalForm, MiyazakiLikeGraph(8), 41));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().status, wire::WireStatus::kDeadline);
+
+  // A per-request override REPLACES the class default.
+  Request generous =
+      GraphRequest(RequestClass::kCanonicalForm, CycleGraph(12), 42);
+  generous.deadline_micros = 30'000'000;
+  result = loop.client().Call(generous);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok()) << result.value().detail;
+}
+
+TEST(ServerDegradation, OverloadedServerRejectsButKeepsServing) {
+  ServerOptions options;
+  options.max_in_flight = 0;  // zero admission capacity
+  Server server(options);
+  Loopback loop(&server);
+  for (uint64_t id = 1; id <= 3; ++id) {
+    auto result = loop.client().Call(
+        GraphRequest(RequestClass::kCanonicalForm, CycleGraph(8), id));
+    ASSERT_TRUE(result.ok()) << "connection must survive overload";
+    EXPECT_EQ(result.value().status, wire::WireStatus::kOverloaded);
+    EXPECT_EQ(result.value().id, id);
+  }
+}
+
+TEST(ServerDegradation, MalformedPayloadGetsErrorAndConnectionSurvives) {
+  Server server{ServerOptions{}};
+  Loopback loop(&server);
+  // A frame whose payload is garbage: framing stays in sync, so the server
+  // must answer kInvalidRequest and keep the connection.
+  std::string frame;
+  wire::AppendFrame("this is not a request", &frame);
+  ASSERT_EQ(write(loop.client_fd(), frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  Reply reply;
+  ASSERT_TRUE(loop.client().Receive(&reply).ok());
+  EXPECT_EQ(reply.status, wire::WireStatus::kInvalidRequest);
+  EXPECT_FALSE(reply.detail.empty());
+
+  auto result = loop.client().Call(
+      GraphRequest(RequestClass::kCanonicalForm, CycleGraph(10), 5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+}
+
+TEST(ServerDegradation, OversizedLengthPrefixClosesWithMalformedFrame) {
+  Server server{ServerOptions{}};
+  Loopback loop(&server);
+  const char lie[4] = {'\xff', '\xff', '\xff', '\xff'};
+  ASSERT_EQ(write(loop.client_fd(), lie, 4), 4);
+  Reply reply;
+  ASSERT_TRUE(loop.client().Receive(&reply).ok());
+  EXPECT_EQ(reply.status, wire::WireStatus::kMalformedFrame);
+  // Nothing can follow: the server closed the connection.
+  EXPECT_EQ(loop.client().Receive(&reply).code(), Status::Code::kNotFound);
+}
+
+// ---- per-run isolation of cancel and budget state --------------------------
+
+// Regression for the per-run-ness of DviclOptions cancellation and the
+// memory-budget poller: a doomed run (1µs deadline) aborting concurrently
+// in the same process must not cancel or budget-trip an unrelated clean
+// run. First at the library layer (two bare threads), then through the
+// server (doomed and clean requests interleaved in one batch window).
+TEST(ServerIsolation, ConcurrentRunsCannotCancelEachOther) {
+  const Graph clean_graph = GadgetForestGraph(3, 3);
+  DviclOptions clean_options;
+  const DviclResult reference = DviclCanonicalLabeling(
+      clean_graph, Coloring::Unit(clean_graph.NumVertices()), clean_options);
+  ASSERT_TRUE(reference.completed());
+
+  for (int round = 0; round < 4; ++round) {
+    DviclResult clean_result;
+    DviclResult doomed_result;
+    std::thread doomed([&doomed_result] {
+      const Graph g = MiyazakiLikeGraph(8);
+      DviclOptions options;
+      options.time_limit_seconds = 1e-9;
+      doomed_result =
+          DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+    });
+    std::thread clean([&clean_result, &clean_graph] {
+      DviclOptions options;
+      clean_result = DviclCanonicalLabeling(
+          clean_graph, Coloring::Unit(clean_graph.NumVertices()), options);
+    });
+    doomed.join();
+    clean.join();
+    EXPECT_EQ(doomed_result.outcome, RunOutcome::kDeadline);
+    ASSERT_TRUE(clean_result.completed())
+        << "a doomed run's cancel leaked into a concurrent clean run";
+    EXPECT_EQ(clean_result.certificate, reference.certificate);
+  }
+}
+
+TEST(ServerIsolation, DoomedRequestsCannotTripBatchMates) {
+  ServerOptions options;
+  options.num_threads = 4;
+  Server server(options);
+  const Graph clean_graph = GadgetForestGraph(3, 3);
+  DviclOptions direct;
+  const DviclResult reference = DviclCanonicalLabeling(
+      clean_graph, Coloring::Unit(clean_graph.NumVertices()), direct);
+  ASSERT_TRUE(reference.completed());
+
+  Loopback loop(&server);
+  // One pipelined burst: doomed, clean, doomed, clean ... all land in the
+  // same batch window and run concurrently on the pool.
+  constexpr int kPairs = 4;
+  for (int i = 0; i < kPairs; ++i) {
+    Request doomed = GraphRequest(RequestClass::kCanonicalForm,
+                                  MiyazakiLikeGraph(8), 100 + 2 * i);
+    doomed.deadline_micros = 1;
+    ASSERT_TRUE(loop.client().Send(doomed).ok());
+    Request clean = GraphRequest(RequestClass::kCanonicalForm, clean_graph,
+                                 101 + 2 * i);
+    ASSERT_TRUE(loop.client().Send(clean).ok());
+  }
+  for (int i = 0; i < 2 * kPairs; ++i) {
+    Reply reply;
+    ASSERT_TRUE(loop.client().Receive(&reply).ok());
+    if (reply.id % 2 == 0) {
+      EXPECT_EQ(reply.status, wire::WireStatus::kDeadline)
+          << "request " << reply.id;
+    } else {
+      ASSERT_TRUE(reply.ok())
+          << "request " << reply.id
+          << ": a doomed batch-mate tripped a clean request: "
+          << reply.detail;
+      EXPECT_EQ(reply.certificate, reference.certificate)
+          << "request " << reply.id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace dvicl
