@@ -19,11 +19,21 @@
 //                         hard families, canonical-form heavy)
 //   --seed=N              mix sampling seed (default 42)
 //
+// Offline mode (no server involved):
+//   --emit-requests=FILE  write a deterministic framed request stream
+//                         sampled from --mix/--seed to FILE and exit; the
+//                         stream is what scripts/check_serving_obs_overhead.sh
+//                         replays through `dvicl_server --stdio`
+//   --requests=N          number of requests to emit (default 256)
+//
 // Pacing is open-loop per connection: send times are scheduled on a fixed
 // grid and a slow server makes latencies grow rather than silently lowering
 // the offered rate (saturation shows up in p99, not in a shrunk QPS).
 // Cache effectiveness is measured server-side: a kServerStats snapshot
 // before and after the run yields the hit/miss delta attributable to it.
+// After the run a kServerMetrics snapshot yields the server-side per-class
+// latency percentiles, which are cross-checked against the client-side
+// ones (one "record":"crosscheck" line per class, see below).
 
 #include <algorithm>
 #include <chrono>
@@ -37,6 +47,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/wire.h"
 #include "datasets/generators.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -147,6 +158,55 @@ std::map<std::string, uint64_t> StatsSnapshot(Client* client, uint64_t id) {
   return stats;
 }
 
+// Flattened (name -> value) view of a kServerMetrics reply; histogram
+// percentiles arrive as "<histogram>.p50" / ".p90" / ".p99" in microseconds.
+std::map<std::string, uint64_t> MetricsSnapshot(Client* client, uint64_t id) {
+  std::map<std::string, uint64_t> metrics;
+  auto result = client->FetchMetrics(id);
+  if (result.ok() && result.value().ok()) {
+    for (const auto& [name, value] : result.value().stats) {
+      metrics[name] = value;
+    }
+  } else {
+    std::fprintf(stderr, "loadgen: metrics call failed: %s\n",
+                 result.ok() ? result.value().detail.c_str()
+                             : result.status().ToString().c_str());
+  }
+  return metrics;
+}
+
+// Writes `count` framed requests sampled from `pool` to `path`. The stream
+// is byte-for-byte deterministic for a fixed (mix, seed, count), which is
+// what makes the obs-overhead comparison replay identical work.
+int EmitRequests(const std::vector<Request>& pool, uint64_t seed,
+                 uint64_t count, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "loadgen: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  Rng rng(seed);
+  std::string payload;
+  std::string frame;
+  for (uint64_t i = 0; i < count; ++i) {
+    Request request = pool[rng.NextBounded(pool.size())];
+    request.id = i + 1;
+    payload.clear();
+    EncodeRequest(request, &payload);
+    frame.clear();
+    dvicl::wire::AppendFrame(payload, &frame);
+    if (std::fwrite(frame.data(), 1, frame.size(), file) != frame.size()) {
+      std::fprintf(stderr, "loadgen: short write to %s\n", path.c_str());
+      std::fclose(file);
+      return 1;
+    }
+  }
+  std::fclose(file);
+  std::printf("loadgen: emitted %llu framed requests to %s\n",
+              static_cast<unsigned long long>(count), path.c_str());
+  return 0;
+}
+
 double Percentile(std::vector<double>* sorted_in_place, double p) {
   if (sorted_in_place->empty()) return 0.0;
   std::sort(sorted_in_place->begin(), sorted_in_place->end());
@@ -193,6 +253,15 @@ int main(int argc, char** argv) {
       seed_flag.empty() ? 42 : std::strtoull(seed_flag.c_str(), nullptr, 10);
 
   const std::vector<Request> pool = BuildMix(mix);
+
+  const std::string emit_flag = FlagFromArgs(argc, argv, "--emit-requests");
+  if (!emit_flag.empty()) {
+    const std::string count_flag = FlagFromArgs(argc, argv, "--requests");
+    const uint64_t count =
+        count_flag.empty() ? 256
+                           : std::strtoull(count_flag.c_str(), nullptr, 10);
+    return EmitRequests(pool, seed, count, emit_flag);
+  }
 
   auto stats_client = Client::ConnectTcp(host, port);
   if (!stats_client.ok()) {
@@ -259,6 +328,7 @@ int main(int argc, char** argv) {
           .count();
 
   const auto stats_after = StatsSnapshot(&stats_client.value(), 2);
+  const auto metrics_after = MetricsSnapshot(&stats_client.value(), 3);
   auto delta = [&](const char* key) -> uint64_t {
     const auto before = stats_before.find(key);
     const auto after = stats_after.find(key);
@@ -288,6 +358,7 @@ int main(int argc, char** argv) {
     }
   }
   const double p50 = Percentile(&all_latencies, 0.50);
+  const double p90 = Percentile(&all_latencies, 0.90);
   const double p99 = Percentile(&all_latencies, 0.99);
   const double achieved_qps =
       elapsed_seconds > 0
@@ -306,6 +377,7 @@ int main(int argc, char** argv) {
   reporter.Field("error_replies", error_replies);
   reporter.Field("transport_errors", transport_errors);
   reporter.Field("p50_ms", p50);
+  reporter.Field("p90_ms", p90);
   reporter.Field("p99_ms", p99);
   reporter.Field("cache_hits", cache_hits);
   reporter.Field("cache_misses", cache_misses);
@@ -323,13 +395,56 @@ int main(int argc, char** argv) {
       latencies.push_back(sample.latency_ms);
     }
     if (count == 0) continue;
+    const char* cls_name = RequestClassName(static_cast<RequestClass>(cls));
+    const double cls_p50 = Percentile(&latencies, 0.50);
+    const double cls_p90 = Percentile(&latencies, 0.90);
+    const double cls_p99 = Percentile(&latencies, 0.99);
     reporter.BeginRecord();
     reporter.Field("record", "class");
-    reporter.Field("class", RequestClassName(static_cast<RequestClass>(cls)));
+    reporter.Field("class", cls_name);
     reporter.Field("requests", count);
     reporter.Field("ok_replies", ok);
-    reporter.Field("p50_ms", Percentile(&latencies, 0.50));
-    reporter.Field("p99_ms", Percentile(&latencies, 0.99));
+    reporter.Field("p50_ms", cls_p50);
+    reporter.Field("p90_ms", cls_p90);
+    reporter.Field("p99_ms", cls_p99);
+    reporter.EndRecord();
+
+    // Cross-check the client-observed tail against the server's own
+    // per-class total-latency histogram (fetched via kServerMetrics). The
+    // server estimates percentiles from log2 buckets, which can overshoot
+    // the true value by up to 2x, and the client latency additionally
+    // includes framing and socket time the server never sees — so the
+    // check is one-sided: the server's p99 estimate must not exceed
+    // 2 x client p99 plus slack. A violation means the two pipelines are
+    // not measuring the same requests.
+    const std::string prefix = std::string("server.total_us.") + cls_name;
+    const auto server_count = metrics_after.find(prefix + ".count");
+    const auto server_p50 = metrics_after.find(prefix + ".p50");
+    const auto server_p90 = metrics_after.find(prefix + ".p90");
+    const auto server_p99 = metrics_after.find(prefix + ".p99");
+    if (server_count == metrics_after.end() ||
+        server_p99 == metrics_after.end()) {
+      continue;  // server running with --request-obs=0
+    }
+    const double server_p99_ms =
+        static_cast<double>(server_p99->second) / 1000.0;
+    const bool consistent = server_p99_ms <= 2.0 * cls_p99 + 5.0;
+    reporter.BeginRecord();
+    reporter.Field("record", "crosscheck");
+    reporter.Field("class", cls_name);
+    reporter.Field("client_requests", count);
+    reporter.Field("server_count", server_count->second);
+    reporter.Field("client_p99_ms", cls_p99);
+    reporter.Field("server_p50_ms",
+                   server_p50 != metrics_after.end()
+                       ? static_cast<double>(server_p50->second) / 1000.0
+                       : 0.0);
+    reporter.Field("server_p90_ms",
+                   server_p90 != metrics_after.end()
+                       ? static_cast<double>(server_p90->second) / 1000.0
+                       : 0.0);
+    reporter.Field("server_p99_ms", server_p99_ms);
+    reporter.Field("p99_consistent", consistent);
     reporter.EndRecord();
   }
   reporter.Finish();

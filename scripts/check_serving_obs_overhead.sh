@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Asserts that the request-scoped observability pipeline, when disarmed
+# (no access log, no trace, no flight recorder configured — but the
+# --request-obs=1 default keeping timestamps and per-class histograms
+# live), costs less than OBS_OVERHEAD_THRESHOLD_PCT (default 5%) of
+# wall-clock time against the --request-obs=0 baseline.
+#
+#   scripts/check_serving_obs_overhead.sh
+#
+# Method: emit one deterministic framed request stream with
+# `loadgen --emit-requests` (gadget-forest mix, fixed seed — byte-identical
+# work for both legs), replay it through `dvicl_server --stdio`
+# OBS_OVERHEAD_RUNS times per configuration, and compare the per-config
+# MINIMUM wall clock. The minimum-of-N comparison filters scheduler noise:
+# any one slow run (CI neighbor, page cache miss) inflates a mean but not
+# the minimum, which is the closest observable to the true cost of the
+# code path. Same method as scripts/check_failpoint_overhead.sh.
+#
+# Env knobs:
+#   OBS_OVERHEAD_RUNS           repetitions per configuration (default 3)
+#   OBS_OVERHEAD_THRESHOLD_PCT  failure threshold (default 5.0)
+#   OBS_OVERHEAD_REQUESTS       requests in the replay stream (default 600)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs="${OBS_OVERHEAD_RUNS:-3}"
+threshold="${OBS_OVERHEAD_THRESHOLD_PCT:-5.0}"
+requests="${OBS_OVERHEAD_REQUESTS:-600}"
+
+echo "=== serving obs overhead check: building Release tree ==="
+cmake -B build-obs-overhead -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-obs-overhead -j --target dvicl_server loadgen >/dev/null
+
+workdir="build-obs-overhead/overhead"
+mkdir -p "${workdir}"
+./build-obs-overhead/bench/loadgen \
+    --emit-requests="${workdir}/requests.bin" --requests="${requests}" \
+    --mix=gadget-forest --seed=42
+
+# Prints the min over ${runs} of the wall clock of one --stdio replay of
+# the request stream with the given extra server flag ("" = defaults).
+measure() {
+  local extra_flag="$1"
+  local best=""
+  for _ in $(seq "${runs}"); do
+    local t
+    t="$(python3 - "${extra_flag}" "${workdir}/requests.bin" <<'EOF'
+import subprocess, sys, time
+flag, stream = sys.argv[1], sys.argv[2]
+cmd = ["./build-obs-overhead/src/dvicl_server", "--stdio", "--threads=2"]
+if flag:
+    cmd.append(flag)
+start = time.monotonic()
+with open(stream, "rb") as requests, open("/dev/null", "wb") as devnull:
+    subprocess.run(cmd, stdin=requests, stdout=devnull, check=True)
+print(f"{time.monotonic() - start:.6f}")
+EOF
+)"
+    if [ -z "${best}" ] || \
+       python3 -c "import sys; sys.exit(0 if ${t} < ${best} else 1)"; then
+      best="${t}"
+    fi
+  done
+  echo "${best}"
+}
+
+echo "=== measuring (min of ${runs} replays each) ==="
+off_s="$(measure --request-obs=0)"
+on_s="$(measure "")"
+
+python3 - "${off_s}" "${on_s}" "${threshold}" <<'EOF'
+import sys
+off, on, threshold = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+pct = (on - off) / off * 100.0
+print(f"disarmed serving-obs overhead: obs-off={off:.3f}s obs-on={on:.3f}s "
+      f"delta={pct:+.2f}% (threshold {threshold}%)")
+if pct > threshold:
+    print("FAIL: the disarmed observability pipeline costs more than the "
+          "threshold", file=sys.stderr)
+    sys.exit(1)
+print("OK")
+EOF

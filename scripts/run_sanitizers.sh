@@ -5,12 +5,14 @@
 #
 # tsan:  builds with -DDVICL_SANITIZE=thread and runs the parallel test
 #        binaries (task_pool_test, parallel_determinism_test,
-#        cert_cache_test, protocol_test, server_test) under ThreadSanitizer.
-#        This is the data-race gate for src/common/task_pool, the parallel
-#        DviCL driver, the sharded canonical-form cache (concurrent
-#        lookup/insert/evict plus a shared cache across simultaneous DviCL
-#        runs) and the serving path (concurrent connections batching onto
-#        one shared pool and cache).
+#        cert_cache_test, protocol_test, server_test, obs_test,
+#        server_obs_test) under ThreadSanitizer. This is the data-race gate
+#        for src/common/task_pool, the parallel DviCL driver, the sharded
+#        canonical-form cache (concurrent lookup/insert/evict plus a shared
+#        cache across simultaneous DviCL runs), the serving path (concurrent
+#        connections batching onto one shared pool and cache), and the
+#        metrics snapshot/record concurrency (histogram dumps racing
+#        recorders must never tear).
 # asan:  builds with -DDVICL_SANITIZE=address (AddressSanitizer + UBSan, the
 #        usual CI pairing) and runs the full ctest suite twice — once per
 #        DVICL_CERT_CACHE setting (0 and 1), so both cache legs of the CI
@@ -35,16 +37,19 @@ mode="${1:-all}"
 
 run_tsan() {
   echo "=== ThreadSanitizer: task_pool_test + parallel_determinism_test" \
-       "+ cert_cache_test + protocol_test + server_test ==="
+       "+ cert_cache_test + protocol_test + server_test + obs_test" \
+       "+ server_obs_test ==="
   cmake -B build-tsan -S . -DDVICL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j \
       --target task_pool_test parallel_determinism_test cert_cache_test \
-      protocol_test server_test
+      protocol_test server_test obs_test server_obs_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/task_pool_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cert_cache_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/protocol_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/server_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/server_obs_test
 }
 
 run_asan() {

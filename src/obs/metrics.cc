@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -8,6 +10,38 @@
 
 namespace dvicl {
 namespace obs {
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target position among the `count` samples in sorted order, 0-based and
+  // continuous so adjacent quantiles interpolate instead of stair-stepping.
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t seen = 0;
+  double result = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[i];
+    if (rank >= static_cast<double>(seen) && seen < count) continue;
+    if (i == 0) {
+      result = 0.0;  // bucket 0 holds exactly the value 0
+    } else {
+      // Samples in bucket i lie in [2^(i-1), 2^i - 1]; spread the bucket's
+      // occupants evenly across that range and interpolate to the rank.
+      const double lo = std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i) - 1.0;
+      const double in_bucket = static_cast<double>(buckets[i]);
+      const double frac =
+          in_bucket > 1.0 ? (rank - before) / (in_bucket - 1.0) : 0.5;
+      result = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    break;
+  }
+  // min/max are exact, so use them to sharpen the bucket estimate at the
+  // extremes (and make single-sample histograms exact).
+  return std::clamp(result, static_cast<double>(min), static_cast<double>(max));
+}
 
 void Histogram::Record(uint64_t value) {
   const int bucket = value == 0 ? 0 : std::bit_width(value);
@@ -31,6 +65,35 @@ uint64_t Histogram::Min() const {
 }
 
 uint64_t Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  uint64_t bucket_total = 0;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    // Record() bumps the bucket before count_, so for any count value we
+    // read, the matching bucket increments are already visible (acquire
+    // pairs with the relaxed adds only via the retry check below, not via
+    // ordering — hence the explicit stability test).
+    const uint64_t before = count_.load(std::memory_order_acquire);
+    bucket_total = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+      bucket_total += snap.buckets[i];
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    snap.min = Min();
+    snap.max = Max();
+    const uint64_t after = count_.load(std::memory_order_acquire);
+    if (before == after && bucket_total == after) {
+      snap.count = after;
+      return snap;
+    }
+  }
+  // Still racing after a few sweeps: publish the bucket total we actually
+  // read as the count, preserving the dump invariant count == Σ buckets.
+  snap.count = bucket_total;
+  return snap;
+}
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -61,44 +124,67 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return it->second.get();
 }
 
-std::string MetricsRegistry::ToJson() const {
+RegistrySnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const RegistrySnapshot snap = Snapshot();
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("counters");
   writer.BeginObject();
-  for (const auto& [name, counter] : counters_) {
+  for (const auto& [name, value] : snap.counters) {
     writer.Key(name);
-    writer.Uint(counter->Value());
+    writer.Uint(value);
   }
   writer.EndObject();
   writer.Key("gauges");
   writer.BeginObject();
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     writer.Key(name);
-    writer.Double(gauge->Value());
+    writer.Double(value);
   }
   writer.EndObject();
   writer.Key("histograms");
   writer.BeginObject();
-  for (const auto& [name, histogram] : histograms_) {
+  for (const auto& [name, histogram] : snap.histograms) {
     writer.Key(name);
     writer.BeginObject();
     writer.Key("count");
-    writer.Uint(histogram->Count());
+    writer.Uint(histogram.count);
     writer.Key("sum");
-    writer.Uint(histogram->Sum());
+    writer.Uint(histogram.sum);
     writer.Key("min");
-    writer.Uint(histogram->Min());
+    writer.Uint(histogram.min);
     writer.Key("max");
-    writer.Uint(histogram->Max());
+    writer.Uint(histogram.max);
+    writer.Key("p50");
+    writer.Double(histogram.Percentile(0.50));
+    writer.Key("p90");
+    writer.Double(histogram.Percentile(0.90));
+    writer.Key("p99");
+    writer.Double(histogram.Percentile(0.99));
     writer.Key("log2_buckets");
     writer.BeginObject();
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      const uint64_t count = histogram->BucketCount(i);
-      if (count == 0) continue;
+    for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (histogram.buckets[i] == 0) continue;
       writer.Key(std::to_string(i));
-      writer.Uint(count);
+      writer.Uint(histogram.buckets[i]);
     }
     writer.EndObject();
     writer.EndObject();
@@ -109,27 +195,28 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const RegistrySnapshot snap = Snapshot();
   std::string out;
-  char line[160];
-  for (const auto& [name, counter] : counters_) {
+  char line[200];
+  for (const auto& [name, value] : snap.counters) {
     std::snprintf(line, sizeof(line), "%-40s %20llu\n", name.c_str(),
-                  static_cast<unsigned long long>(counter->Value()));
+                  static_cast<unsigned long long>(value));
     out += line;
   }
-  for (const auto& [name, gauge] : gauges_) {
-    std::snprintf(line, sizeof(line), "%-40s %20.6f\n", name.c_str(),
-                  gauge->Value());
+  for (const auto& [name, value] : snap.gauges) {
+    std::snprintf(line, sizeof(line), "%-40s %20.6f\n", name.c_str(), value);
     out += line;
   }
-  for (const auto& [name, histogram] : histograms_) {
+  for (const auto& [name, histogram] : snap.histograms) {
     std::snprintf(line, sizeof(line),
-                  "%-40s count=%llu sum=%llu min=%llu max=%llu\n",
+                  "%-40s count=%llu sum=%llu min=%llu max=%llu "
+                  "p50=%.1f p99=%.1f\n",
                   name.c_str(),
-                  static_cast<unsigned long long>(histogram->Count()),
-                  static_cast<unsigned long long>(histogram->Sum()),
-                  static_cast<unsigned long long>(histogram->Min()),
-                  static_cast<unsigned long long>(histogram->Max()));
+                  static_cast<unsigned long long>(histogram.count),
+                  static_cast<unsigned long long>(histogram.sum),
+                  static_cast<unsigned long long>(histogram.min),
+                  static_cast<unsigned long long>(histogram.max),
+                  histogram.Percentile(0.50), histogram.Percentile(0.99));
     out += line;
   }
   return out;

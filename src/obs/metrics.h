@@ -1,6 +1,7 @@
 #ifndef DVICL_OBS_METRICS_H_
 #define DVICL_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -8,6 +9,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace dvicl {
 namespace obs {
@@ -36,15 +39,49 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// Point-in-time copy of a Histogram, self-consistent by construction: the
+// invariant `count == sum of buckets` always holds (see
+// Histogram::Snapshot), so a dump taken while workers record never shows
+// torn bucket/count totals. Percentile estimation lives here rather than on
+// the live histogram so one snapshot serves many quantile queries without
+// re-reading the atomics.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when empty
+  uint64_t max = 0;  // 0 when empty
+  std::array<uint64_t, kBuckets> buckets = {};
+
+  // Estimated value of the q-quantile (q in [0,1]) by linear interpolation
+  // within the matching log2 bucket: the bucket's samples are assumed to
+  // be evenly spaced across [2^(i-1), 2^i - 1] (bucket 0 is exactly {0}).
+  // The estimate is clamped to [min, max], which makes single-sample and
+  // single-bucket-tail cases exact. Returns 0 for an empty histogram.
+  double Percentile(double q) const;
+};
+
 // Log2-bucketed histogram of non-negative integer samples (bucket i counts
 // samples whose bit width is i, i.e. values in [2^(i-1), 2^i)). Coarse by
 // design: it answers "what order of magnitude" questions (deque depths,
 // leaf sizes, IR subtree sizes) without per-sample allocation.
 class Histogram {
  public:
-  static constexpr int kBuckets = 64;
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
 
   void Record(uint64_t value);
+
+  // Self-consistent point-in-time copy; safe to call while other threads
+  // Record() concurrently. The per-field loads cannot be made atomic as a
+  // group without a lock, so Snapshot retries until the sample count is
+  // stable across the bucket sweep, and otherwise repairs `count` to the
+  // bucket total it actually read — the dump invariant
+  // (count == sum of buckets) holds on every return path.
+  HistogramSnapshot Snapshot() const;
+
+  // Convenience: Snapshot().Percentile(q).
+  double Percentile(double q) const { return Snapshot().Percentile(q); }
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -62,6 +99,15 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+// Point-in-time copy of a whole registry: plain values, sorted by name
+// (the maps are ordered), safe to serialize or diff without holding the
+// registry lock or racing recorders.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
 // Registry of named counters/gauges/histograms, renderable as JSON (for
 // `--metrics=out.json`) and as a human text table. Get* creates on first
 // use and returns a stable pointer; names are conventionally dotted paths
@@ -77,8 +123,14 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
 
+  // Self-consistent copy of every metric (see Histogram::Snapshot for the
+  // torn-read guarantee). ToJson/ToText render from a snapshot, so a dump
+  // racing live recorders is always internally consistent.
+  RegistrySnapshot Snapshot() const;
+
   // {"counters": {...}, "gauges": {...}, "histograms": {...}} with names
   // sorted, so two runs of a deterministic workload diff cleanly.
+  // Histograms include p50/p90/p99 estimates alongside the raw buckets.
   std::string ToJson() const;
 
   // Fixed-width text rendering for terminal output.

@@ -49,9 +49,17 @@ class TraceRecorder {
   // Microseconds since recorder construction (steady clock); the time base
   // of every recorded event.
   uint64_t NowMicros() const {
+    return MicrosAt(std::chrono::steady_clock::now());
+  }
+
+  // Converts an externally captured steady-clock stamp to this recorder's
+  // time base, so callers that stamp events before the recorder exists (or
+  // once for several recorders) can emit spans with exact timestamps.
+  // Stamps before the recorder's epoch clamp to 0.
+  uint64_t MicrosAt(std::chrono::steady_clock::time_point tp) const {
+    if (tp <= epoch_) return 0;
     return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - epoch_)
+        std::chrono::duration_cast<std::chrono::microseconds>(tp - epoch_)
             .count());
   }
 

@@ -1,0 +1,82 @@
+#include "server/access_log.h"
+
+#include "obs/json_writer.h"
+
+namespace dvicl {
+namespace server {
+
+std::string AccessRecordJson(const RequestContext& ctx,
+                             const RequestTimings& timings) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("rid");
+  writer.Uint(ctx.rid);
+  writer.Key("id");
+  writer.Uint(ctx.client_id);
+  writer.Key("class");
+  writer.String(RequestClassName(ctx.cls));
+  writer.Key("status");
+  writer.String(wire::WireStatusName(ctx.status));
+  writer.Key("ok");
+  writer.Bool(ctx.status == wire::WireStatus::kOk);
+  writer.Key("queue_us");
+  writer.Uint(timings.queue_us);
+  writer.Key("exec_us");
+  writer.Uint(timings.exec_us);
+  writer.Key("total_us");
+  writer.Uint(timings.total_us);
+  writer.Key("arrival_us");
+  writer.Uint(timings.arrival_us);
+  writer.Key("request_bytes");
+  writer.Uint(ctx.request_bytes);
+  writer.Key("reply_bytes");
+  writer.Uint(ctx.reply_bytes);
+  writer.Key("cache_hit");
+  writer.Bool(ctx.cache_hit());
+  writer.Key("cache_hits");
+  writer.Uint(ctx.cache_hits);
+  writer.Key("cache_misses");
+  writer.Uint(ctx.cache_misses);
+  writer.Key("leaf_ir_nodes");
+  writer.Uint(ctx.leaf_ir_nodes);
+  writer.EndObject();
+  return writer.Take();
+}
+
+AccessLog::AccessLog(const std::string& path) : path_(path) {
+  file_ = std::fopen(path_.c_str(), "ab");
+}
+
+AccessLog::~AccessLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool AccessLog::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr;
+}
+
+void AccessLog::Append(const std::string& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(record.data(), 1, record.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+  ++records_;
+}
+
+bool AccessLog::Reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  return file_ != nullptr;
+}
+
+uint64_t AccessLog::records_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+}  // namespace server
+}  // namespace dvicl

@@ -1,0 +1,72 @@
+#ifndef DVICL_SERVER_ACCESS_LOG_H_
+#define DVICL_SERVER_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "server/request_context.h"
+
+namespace dvicl {
+namespace server {
+
+// Timings derived from a finished RequestContext, in microseconds. Computed
+// once by the server (which owns the clock reads) and shared between the
+// access-log record, the per-class histograms, and the request-level trace
+// spans so all three always agree.
+struct RequestTimings {
+  uint64_t queue_us = 0;    // arrival -> dequeue (0 for rejected frames)
+  uint64_t exec_us = 0;     // dequeue -> handler return
+  uint64_t total_us = 0;    // arrival -> reply written
+  uint64_t arrival_us = 0;  // arrival relative to server start
+};
+
+// One JSON object (single line, no trailing newline) describing a finished
+// request — the access-log record schema (DESIGN.md §12):
+//   rid, id, class, status, ok, queue_us, exec_us, total_us, arrival_us,
+//   request_bytes, reply_bytes, cache_hit, cache_hits, cache_misses,
+//   leaf_ir_nodes
+// The same record is embedded in flight-recorder files, so post-hoc
+// reconstruction of a slow request needs no extra join logic.
+std::string AccessRecordJson(const RequestContext& ctx,
+                             const RequestTimings& timings);
+
+// Append-only JSONL sink: one AccessRecordJson line per finished request.
+// Writes are mutex-serialized and flushed per record (a crashed daemon
+// keeps every request it answered), and Reopen() re-opens the same path so
+// an external rotator can rename the file and HUP the daemon without
+// losing records. All methods are thread-safe.
+class AccessLog {
+ public:
+  // Opens `path` for appending. ok() reports open failure; Append on a
+  // failed log is a no-op, so a bad path degrades to "no access log"
+  // rather than taking the server down.
+  explicit AccessLog(const std::string& path);
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  bool ok() const;
+
+  // Writes `record` plus a newline and flushes.
+  void Append(const std::string& record);
+
+  // Closes and re-opens the configured path (rotation support). Records
+  // racing the reopen land in either the old or the new file, never lost.
+  bool Reopen();
+
+  uint64_t records_written() const;
+
+ private:
+  const std::string path_;
+  mutable std::mutex mu_;
+  FILE* file_ = nullptr;         // guarded by mu_
+  uint64_t records_ = 0;         // guarded by mu_
+};
+
+}  // namespace server
+}  // namespace dvicl
+
+#endif  // DVICL_SERVER_ACCESS_LOG_H_

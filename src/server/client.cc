@@ -127,6 +127,20 @@ Result<Reply> Client::Call(const Request& request) {
   return reply;
 }
 
+Result<Reply> Client::FetchStats(uint64_t request_id) {
+  Request request;
+  request.id = request_id;
+  request.cls = RequestClass::kServerStats;
+  return Call(request);
+}
+
+Result<Reply> Client::FetchMetrics(uint64_t request_id) {
+  Request request;
+  request.id = request_id;
+  request.cls = RequestClass::kServerMetrics;
+  return Call(request);
+}
+
 void Client::FinishSending() {
   if (fd_ >= 0) shutdown(fd_, SHUT_WR);
 }

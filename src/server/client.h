@@ -43,6 +43,13 @@ class Client {
   // Send + Receive for the common one-at-a-time call.
   Result<Reply> Call(const Request& request);
 
+  // Control-plane conveniences: one kServerStats / kServerMetrics round
+  // trip with a fresh request id. FetchMetrics returns the flattened
+  // (name, value) pairs in Reply::stats and the registry JSON dump in
+  // Reply::metrics_json.
+  Result<Reply> FetchStats(uint64_t request_id = 0);
+  Result<Reply> FetchMetrics(uint64_t request_id = 0);
+
   // Half-closes the send direction so the server sees EOF and finishes
   // the connection while replies can still be read.
   void FinishSending();

@@ -1,0 +1,50 @@
+#include "server/flight_recorder.h"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace dvicl {
+namespace server {
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(std::move(options)) {
+  if (options_.dir.empty()) return;
+  if (options_.latency_threshold_us == 0 && options_.node_threshold == 0) {
+    return;  // a directory with no armed trigger never fires
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  enabled_ = !ec;
+}
+
+bool FlightRecorder::ShouldPersist(uint64_t total_us,
+                                   uint64_t leaf_ir_nodes) const {
+  if (!enabled_) return false;
+  if (options_.latency_threshold_us != 0 &&
+      total_us >= options_.latency_threshold_us) {
+    return true;
+  }
+  return options_.node_threshold != 0 &&
+         leaf_ir_nodes >= options_.node_threshold;
+}
+
+bool FlightRecorder::Persist(const RequestContext& ctx,
+                             const std::string& access_record,
+                             const obs::TraceRecorder& trace) const {
+  const std::string path = (std::filesystem::path(options_.dir) /
+                            ("flight_" + std::to_string(ctx.rid) + ".json"))
+                               .string();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  // Both members are pre-rendered JSON, so the file is valid JSON by
+  // construction: {"access": <record>, "trace": <chrome trace object>}.
+  out << "{\"access\":" << access_record << ",\"trace\":" << trace.ToJson()
+      << "}\n";
+  if (!out) return false;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace server
+}  // namespace dvicl

@@ -1,0 +1,67 @@
+#ifndef DVICL_SERVER_FLIGHT_RECORDER_H_
+#define DVICL_SERVER_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/trace.h"
+#include "server/request_context.h"
+
+namespace dvicl {
+namespace server {
+
+// Slow-request flight recorder (DESIGN.md §12): while armed, every
+// dispatched request runs its engine against a private TraceRecorder; when
+// the finished request crosses a latency or node-count threshold the
+// buffer is persisted together with the request's access-log record as
+//   <dir>/flight_<rid>.json  =  {"access": {...}, "trace": {...}}
+// so a slow request can be reconstructed post-hoc — phase timings, cache
+// result, outcome, and the full span tree — with zero reruns. Fast
+// requests cost one heap-allocated recorder that is dropped on the floor.
+class FlightRecorder {
+ public:
+  struct Options {
+    std::string dir;  // empty = flight recording disabled
+
+    // Trigger thresholds; 0 disables that dimension. A request fires when
+    // total latency >= latency_threshold_us OR leaf IR nodes >=
+    // node_threshold (and at least one dimension is armed).
+    uint64_t latency_threshold_us = 0;
+    uint64_t node_threshold = 0;
+  };
+
+  explicit FlightRecorder(Options options);
+
+  bool enabled() const { return enabled_; }
+
+  // Fresh per-request trace buffer for the engine spans of one dispatched
+  // request. (A private recorder per request keeps the persisted trace
+  // scoped to the offending request even when pool threads interleave.)
+  std::unique_ptr<obs::TraceRecorder> Arm() const {
+    return std::make_unique<obs::TraceRecorder>();
+  }
+
+  bool ShouldPersist(uint64_t total_us, uint64_t leaf_ir_nodes) const;
+
+  // Writes the flight file for `ctx`. The caller guarantees the recorder
+  // is quiescent (the request's pool task has been joined). Returns false
+  // on I/O failure.
+  bool Persist(const RequestContext& ctx, const std::string& access_record,
+               const obs::TraceRecorder& trace) const;
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Options options_;
+  bool enabled_ = false;
+  mutable std::atomic<uint64_t> recorded_{0};
+};
+
+}  // namespace server
+}  // namespace dvicl
+
+#endif  // DVICL_SERVER_FLIGHT_RECORDER_H_

@@ -122,6 +122,8 @@ const char* RequestClassName(RequestClass cls) {
       return "ssm_count";
     case RequestClass::kServerStats:
       return "server_stats";
+    case RequestClass::kServerMetrics:
+      return "server_metrics";
   }
   return "unknown";
 }
@@ -150,6 +152,7 @@ void EncodeRequest(const Request& request, std::string* payload) {
       for (VertexId v : request.query) writer.U32(v);
       break;
     case RequestClass::kServerStats:
+    case RequestClass::kServerMetrics:
       break;
   }
 }
@@ -217,6 +220,7 @@ Status DecodeRequest(std::string_view payload, Request* request) {
       break;
     }
     case RequestClass::kServerStats:
+    case RequestClass::kServerMetrics:
       break;
   }
   if (!reader.AtEnd()) {
@@ -262,6 +266,14 @@ void EncodeReply(const Reply& reply, std::string* payload) {
         EncodeString(name, &writer);
         writer.U64(value);
       }
+      break;
+    case RequestClass::kServerMetrics:
+      writer.U32(static_cast<uint32_t>(reply.stats.size()));
+      for (const auto& [name, value] : reply.stats) {
+        EncodeString(name, &writer);
+        writer.U64(value);
+      }
+      EncodeString(reply.metrics_json, &writer);
       break;
   }
 }
@@ -367,6 +379,27 @@ Status DecodeReply(std::string_view payload, Reply* reply) {
         if (!reader.U64(&value)) return Malformed("truncated stat value");
         out.stats.emplace_back(std::move(name), value);
       }
+      break;
+    }
+    case RequestClass::kServerMetrics: {
+      uint32_t count = 0;
+      if (!reader.U32(&count)) return Malformed("truncated metrics count");
+      // Each entry is at least 12 bytes (empty name); bound before reserve.
+      if (static_cast<uint64_t>(count) * 12 > reader.Remaining()) {
+        return Malformed("declared metrics count exceeds the payload");
+      }
+      out.stats.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        std::string name;
+        Status status = DecodeString(&reader, &name, "metric name");
+        if (!status.ok()) return status;
+        uint64_t value = 0;
+        if (!reader.U64(&value)) return Malformed("truncated metric value");
+        out.stats.emplace_back(std::move(name), value);
+      }
+      Status status =
+          DecodeString(&reader, &out.metrics_json, "metrics JSON dump");
+      if (!status.ok()) return status;
       break;
     }
   }

@@ -28,7 +28,7 @@ namespace server {
 //     kCanonicalForm / kAutOrder / kOrbits: graph
 //     kIsoTest:   graph graph
 //     kSsmCount:  graph | u32 k | k x u32 query vertex
-//     kServerStats: (empty)
+//     kServerStats / kServerMetrics: (empty)
 //   Trailing bytes after the body are rejected.
 //
 // Reply payload:
@@ -42,6 +42,8 @@ namespace server {
 //     kOrbits:        u32 n | n x u32 orbit id (minimum vertex of orbit)
 //     kSsmCount:      u32 len | decimal count string
 //     kServerStats:   u32 count | count x (u32 name_len | name | u64 value)
+//     kServerMetrics: u32 count | count x (u32 name_len | name | u64 value) |
+//                     u32 json_len | registry JSON dump
 //
 // Budgets are 0 = "use the server's per-class default"; a nonzero value
 // tightens (replaces) the default for that request only. All decode paths
@@ -58,9 +60,17 @@ enum class RequestClass : uint8_t {
   kOrbits = 3,         // vertex orbit partition under Aut(G, pi)
   kSsmCount = 4,       // count of symmetric images of a query vertex set
   kServerStats = 5,    // control plane: server counters snapshot
+  kServerMetrics = 6,  // control plane: full metrics-registry exposition
 };
 
-inline constexpr uint8_t kNumRequestClasses = 6;
+inline constexpr uint8_t kNumRequestClasses = 7;
+
+// Control-plane classes answer from server state without running the
+// engine; budgets and the per-class latency SLO logic do not apply.
+inline constexpr bool IsControlPlane(RequestClass cls) {
+  return cls == RequestClass::kServerStats ||
+         cls == RequestClass::kServerMetrics;
+}
 
 // Hard cap on the vertex count a wire graph may declare. The certificate
 // reply alone occupies (2 + n + m) u64 words and must itself fit in a
@@ -112,7 +122,15 @@ struct Reply {
   std::string aut_order;                 // kAutOrder, decimal
   std::vector<VertexId> orbit_ids;       // kOrbits
   std::string ssm_count;                 // kSsmCount, decimal
-  std::vector<std::pair<std::string, uint64_t>> stats;  // kServerStats
+
+  // kServerStats and kServerMetrics: flattened (name, value) pairs. The
+  // metrics reply flattens histograms as <name>.count/.sum/.min/.max/.p50/
+  // .p90/.p99 so percentile cross-checks need no JSON parsing.
+  std::vector<std::pair<std::string, uint64_t>> stats;
+
+  // kServerMetrics only: the full MetricsRegistry JSON dump (counters,
+  // gauges, histograms with buckets and percentile estimates).
+  std::string metrics_json;
 };
 
 // Payload codecs (no frame prefix; pair with wire::AppendFrame /

@@ -1,0 +1,64 @@
+#ifndef DVICL_SERVER_REQUEST_CONTEXT_H_
+#define DVICL_SERVER_REQUEST_CONTEXT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/wire.h"
+#include "server/protocol.h"
+
+namespace dvicl {
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
+namespace server {
+
+// Per-request observability state, created when a frame is pulled off the
+// connection and carried through dispatch, execution, and reply writing
+// (DESIGN.md §12). One RequestContext backs one access-log record, one
+// `server.request` trace span, and one sample in each per-class latency
+// histogram; the flight recorder decides from it whether the request's
+// engine trace is worth persisting.
+//
+// Timestamps are raw steady-clock points rather than trace-relative
+// microseconds so the same context can be rendered against any recorder
+// epoch (global daemon trace vs. a per-request flight buffer).
+struct RequestContext {
+  // Server-assigned id: strictly monotonic across every request the server
+  // ever admits (including rejected/undecodable frames), independent of the
+  // client-chosen wire id. This is the join key between access log, trace
+  // span args, and flight-recorder files.
+  uint64_t rid = 0;
+
+  uint64_t client_id = 0;  // wire request id (client-chosen, best-effort)
+  RequestClass cls = RequestClass::kCanonicalForm;
+  wire::WireStatus status = wire::WireStatus::kInternalFault;
+
+  std::chrono::steady_clock::time_point arrival{};  // frame fully read
+  std::chrono::steady_clock::time_point dequeue{};  // pool thread picked up
+  std::chrono::steady_clock::time_point done{};     // handler returned
+
+  size_t request_bytes = 0;  // frame payload size
+  size_t reply_bytes = 0;    // encoded reply payload size
+
+  // Engine statistics accumulated across the request's runs (kIsoTest runs
+  // the engine twice; the totals are summed).
+  uint64_t leaf_ir_nodes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+
+  // Where the engine's internal spans for this request go: the per-request
+  // flight buffer when the flight recorder is armed, else the server's
+  // global recorder, else null. Request-level spans (server.request,
+  // server.queue_wait, server.exec) always target the global recorder.
+  obs::TraceRecorder* engine_trace = nullptr;
+
+  bool cache_hit() const { return cache_hits > 0; }
+};
+
+}  // namespace server
+}  // namespace dvicl
+
+#endif  // DVICL_SERVER_REQUEST_CONTEXT_H_

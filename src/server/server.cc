@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <exception>
 #include <istream>
@@ -71,7 +73,29 @@ bool WriteFull(int fd, const char* buf, size_t count) {
   return true;
 }
 
+uint64_t MicrosBetween(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
 }  // namespace
+
+// Per-request batch state: the decoded request, its reply, the
+// observability context that follows the request through the pool, and
+// (when the flight recorder is armed) the private trace buffer its engine
+// spans are captured into.
+struct Server::Slot {
+  Request request;
+  Reply reply;
+  RequestContext ctx;
+  std::unique_ptr<obs::TraceRecorder> flight_trace;
+  bool dispatched = false;  // decoded + admitted, submitted to the pool
+  bool done = false;        // reply filled by the task (Wait is the
+                            // barrier that publishes it to this thread)
+};
 
 // Framing transport: blocking frame read, non-blocking readiness probe
 // (the batch drain predicate), ordered frame write.
@@ -178,6 +202,28 @@ Server::Server(const ServerOptions& options) : options_(options) {
     config.max_bytes = options_.cert_cache_max_bytes;
     cache_ = std::make_unique<CertCache>(config);
   }
+  flight_ = std::make_unique<FlightRecorder>(options_.flight);
+  if (options_.request_obs) {
+    if (!options_.access_log_path.empty()) {
+      access_log_ = std::make_unique<AccessLog>(options_.access_log_path);
+    }
+    // Resolve every per-class handle once; the request path then records
+    // with plain atomic adds, never touching the registry lock.
+    for (uint8_t cls = 0; cls < kNumRequestClasses; ++cls) {
+      const std::string name =
+          RequestClassName(static_cast<RequestClass>(cls));
+      queue_wait_us_[cls] =
+          metrics_.GetHistogram("server.queue_wait_us." + name);
+      exec_us_[cls] = metrics_.GetHistogram("server.exec_us." + name);
+      total_us_[cls] = metrics_.GetHistogram("server.total_us." + name);
+      request_bytes_[cls] =
+          metrics_.GetHistogram("server.request_bytes." + name);
+      reply_bytes_[cls] = metrics_.GetHistogram("server.reply_bytes." + name);
+    }
+    batch_depth_ = metrics_.GetHistogram("server.batch_depth");
+    in_flight_gauge_ = metrics_.GetGauge("server.in_flight");
+    flights_recorded_ = metrics_.GetCounter("server.flights_recorded");
+  }
 }
 
 Server::~Server() = default;
@@ -199,19 +245,24 @@ void Server::Serve(Channel* channel) {
     // Block for the batch's first frame, then drain whatever else is
     // already buffered (up to max_batch) so bursty clients amortize one
     // dispatch barrier over many requests without adding latency to a
-    // lone request.
+    // lone request. Each frame is stamped the moment it is fully read —
+    // the `arrival` end of the request lifecycle (DESIGN.md §12).
     Status status = channel->ReadFrame(&payload);
     if (status.code() == Status::Code::kNotFound) return;  // clean EOF
     if (status.code() == Status::Code::kIOError) return;   // mid-frame EOF
     bool close = false;
     bool oversized = false;
     std::string oversized_detail;
-    std::vector<std::string> frames;
+    std::vector<Incoming> frames;
     if (!status.ok()) {
       oversized = true;
       oversized_detail = status.message();
     } else {
-      frames.push_back(std::move(payload));
+      const bool obs = options_.request_obs;
+      frames.push_back(Incoming{
+          std::move(payload),
+          obs ? std::chrono::steady_clock::now()
+              : std::chrono::steady_clock::time_point{}});
       while (frames.size() < options_.max_batch && channel->Readable()) {
         status = channel->ReadFrame(&payload);
         if (status.code() == Status::Code::kNotFound ||
@@ -224,7 +275,10 @@ void Server::Serve(Channel* channel) {
           oversized_detail = status.message();
           break;
         }
-        frames.push_back(std::move(payload));
+        frames.push_back(Incoming{
+            std::move(payload),
+            obs ? std::chrono::steady_clock::now()
+                : std::chrono::steady_clock::time_point{}});
       }
     }
     if (!frames.empty() && !ProcessBatch(&frames, channel)) return;
@@ -253,35 +307,41 @@ bool Server::TryAdmit() {
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
     return false;
   }
+  if (in_flight_gauge_ != nullptr) {
+    in_flight_gauge_->Set(static_cast<double>(was + 1));
+  }
   return true;
 }
 
-bool Server::ProcessBatch(std::vector<std::string>* frames, Channel* channel) {
+bool Server::ProcessBatch(std::vector<Incoming>* frames, Channel* channel) {
   batches_.fetch_add(1, std::memory_order_relaxed);
+  const bool obs = options_.request_obs;
+  if (obs) batch_depth_->Record(frames->size());
 
-  struct Slot {
-    Request request;
-    Reply reply;
-    bool dispatched = false;  // decoded + admitted, submitted to the pool
-    bool done = false;        // reply filled by the task (Wait is the
-                              // barrier that publishes it to this thread)
-  };
   std::vector<Slot> slots(frames->size());
   uint64_t admitted = 0;
 
   for (size_t i = 0; i < frames->size(); ++i) {
-    const std::string& frame = (*frames)[i];
+    const std::string& frame = (*frames)[i].payload;
     Slot& slot = slots[i];
+    // Every frame — even one that is rejected before decode — gets a rid
+    // and a context, so the access log covers overload and malformed
+    // traffic too, not just requests that ran.
+    slot.ctx.rid = next_rid_.fetch_add(1, std::memory_order_relaxed) + 1;
+    slot.ctx.arrival = (*frames)[i].arrival;
+    slot.ctx.request_bytes = frame.size();
+    slot.ctx.client_id = PeekRequestId(frame);
+    slot.ctx.cls = PeekClass(frame);
     if (!TryAdmit()) {
       overloaded_.fetch_add(1, std::memory_order_relaxed);
-      slot.reply = ErrorReply(PeekRequestId(frame), PeekClass(frame),
+      slot.reply = ErrorReply(slot.ctx.client_id, slot.ctx.cls,
                               wire::WireStatus::kOverloaded,
                               "server over admission capacity");
       continue;
     }
     ++admitted;
     if (DVICL_FAILPOINT(failpoint::sites::kServerDecode)) {
-      slot.reply = ErrorReply(PeekRequestId(frame), PeekClass(frame),
+      slot.reply = ErrorReply(slot.ctx.client_id, slot.ctx.cls,
                               wire::WireStatus::kInternalFault,
                               "injected failpoint fault at server.decode_request");
       continue;
@@ -289,28 +349,51 @@ bool Server::ProcessBatch(std::vector<std::string>* frames, Channel* channel) {
     Status status = DecodeRequest(frame, &slot.request);
     if (!status.ok()) {
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
-      slot.reply = ErrorReply(PeekRequestId(frame), PeekClass(frame),
+      slot.reply = ErrorReply(slot.ctx.client_id, slot.ctx.cls,
                               wire::WireStatus::kInvalidRequest,
                               status.message());
       continue;
     }
     slot.dispatched = true;
+    if (obs) {
+      // Engine spans go to the per-request flight buffer when the flight
+      // recorder is armed (so a slow request's trace can be persisted in
+      // isolation), otherwise to the daemon's global recorder.
+      if (flight_->enabled()) slot.flight_trace = flight_->Arm();
+      slot.ctx.engine_trace = slot.flight_trace != nullptr
+                                  ? slot.flight_trace.get()
+                                  : options_.trace;
+    }
   }
 
   {
     TaskGroup group(pool_.get());
     for (Slot& slot : slots) {
       if (!slot.dispatched) continue;
-      group.Submit([this, &slot] {
-        try {
-          if (DVICL_FAILPOINT(failpoint::sites::kServerDispatch)) {
-            throw failpoint::InjectedFault(failpoint::sites::kServerDispatch);
+      group.Submit([this, &slot, obs] {
+        if (obs) slot.ctx.dequeue = std::chrono::steady_clock::now();
+        {
+          // The exec span lives on the pool thread's track in the GLOBAL
+          // trace, so engine spans recorded there nest under it (each
+          // request runs single-threaded). The rid arg is the join key to
+          // the access log and flight files.
+          obs::TraceSpan span(obs ? options_.trace : nullptr, "server.exec",
+                              "server");
+          span.AddArg("rid", slot.ctx.rid);
+          span.AddArg("class", static_cast<uint64_t>(slot.ctx.cls));
+          try {
+            if (DVICL_FAILPOINT(failpoint::sites::kServerDispatch)) {
+              throw failpoint::InjectedFault(
+                  failpoint::sites::kServerDispatch);
+            }
+            slot.reply = Handle(slot.request, &slot.ctx);
+          } catch (const std::exception& e) {
+            slot.reply = ErrorReply(slot.request.id, slot.request.cls,
+                                    wire::WireStatus::kInternalFault,
+                                    e.what());
           }
-          slot.reply = Handle(slot.request);
-        } catch (const std::exception& e) {
-          slot.reply = ErrorReply(slot.request.id, slot.request.cls,
-                                  wire::WireStatus::kInternalFault, e.what());
         }
+        if (obs) slot.ctx.done = std::chrono::steady_clock::now();
         slot.done = true;
       });
     }
@@ -332,7 +415,9 @@ bool Server::ProcessBatch(std::vector<std::string>* frames, Channel* channel) {
       }
     }
   }
-  in_flight_.fetch_sub(admitted, std::memory_order_relaxed);
+  const uint64_t now_in_flight =
+      in_flight_.fetch_sub(admitted, std::memory_order_relaxed) - admitted;
+  if (obs) in_flight_gauge_->Set(static_cast<double>(now_in_flight));
 
   // Replies go back in request order regardless of completion order: the
   // per-connection byte stream is a deterministic function of the request
@@ -351,18 +436,81 @@ bool Server::ProcessBatch(std::vector<std::string>* frames, Channel* channel) {
     }
     payload.clear();
     EncodeReply(slot.reply, &payload);
+    slot.ctx.status = slot.reply.status;
+    slot.ctx.reply_bytes = payload.size();
     if (!channel->WriteFrame(payload).ok()) return false;
+    if (obs) FinalizeRequest(&slot);
   }
   return true;
 }
 
-DviclOptions Server::RunOptionsFor(const Request& request) const {
+void Server::FinalizeRequest(Slot* slot) {
+  RequestContext& ctx = slot->ctx;
+  const auto now = std::chrono::steady_clock::now();
+  if (!slot->dispatched) {
+    // Rejected before dispatch (overload / injected decode fault / decode
+    // error): the request never queued or executed; its whole lifetime is
+    // the synchronous batch turnaround.
+    ctx.dequeue = ctx.arrival;
+    ctx.done = ctx.arrival;
+  }
+  RequestTimings timings;
+  timings.queue_us = MicrosBetween(ctx.arrival, ctx.dequeue);
+  timings.exec_us = MicrosBetween(ctx.dequeue, ctx.done);
+  timings.total_us = MicrosBetween(ctx.arrival, now);
+  timings.arrival_us = MicrosBetween(epoch_, ctx.arrival);
+  const auto cls = static_cast<uint8_t>(ctx.cls);
+  queue_wait_us_[cls]->Record(timings.queue_us);
+  exec_us_[cls]->Record(timings.exec_us);
+  total_us_[cls]->Record(timings.total_us);
+  request_bytes_[cls]->Record(ctx.request_bytes);
+  reply_bytes_[cls]->Record(ctx.reply_bytes);
+
+  obs::TraceRecorder* trace = options_.trace;
+  if (trace != nullptr) {
+    const uint64_t trace_arrival_us = trace->MicrosAt(ctx.arrival);
+    // Request-level spans live on the connection thread's track: the whole
+    // request lifetime plus the queue-wait prefix, both tagged with the
+    // rid that also names the exec span, the access record and any flight
+    // file.
+    trace->AddComplete("server.request", "server", trace_arrival_us,
+                       timings.total_us,
+                       {{"rid", ctx.rid},
+                        {"class", static_cast<uint64_t>(ctx.cls)}});
+    if (slot->dispatched && timings.queue_us > 0) {
+      trace->AddComplete("server.queue_wait", "server", trace_arrival_us,
+                         timings.queue_us, {{"rid", ctx.rid}});
+    }
+  }
+
+  const bool flight_fires =
+      slot->flight_trace != nullptr &&
+      flight_->ShouldPersist(timings.total_us, ctx.leaf_ir_nodes);
+  if (access_log_ != nullptr || flight_fires) {
+    const std::string record = AccessRecordJson(ctx, timings);
+    if (access_log_ != nullptr) access_log_->Append(record);
+    // Safe to serialize the flight buffer here: the slot's pool task was
+    // joined by the batch barrier, so the recorder is quiescent.
+    if (flight_fires &&
+        flight_->Persist(ctx, record, *slot->flight_trace)) {
+      flights_recorded_->Add(1);
+    }
+  }
+}
+
+DviclOptions Server::RunOptionsFor(const Request& request,
+                                   RequestContext* ctx) const {
   DviclOptions options;
   options.leaf_backend = options_.leaf_backend;
   // Each request runs single-threaded: the pool parallelizes ACROSS
   // requests, and one-thread runs keep every reply bit-identical to a
   // standalone sequential run.
   options.num_threads = 1;
+  // Engine spans follow the request's routing decision (flight buffer or
+  // global recorder); engine METRICS stay off on the request path — the
+  // registry lock is not worth contending per request, and the per-class
+  // serving histograms carry the aggregate signal.
+  options.trace = ctx != nullptr ? ctx->engine_trace : nullptr;
   const ClassBudget& defaults =
       options_.budgets[static_cast<uint8_t>(request.cls)];
   const uint64_t deadline = request.deadline_micros != 0
@@ -380,14 +528,27 @@ DviclOptions Server::RunOptionsFor(const Request& request) const {
 
 DviclResult Server::RunLabeling(const Graph& graph,
                                 const std::vector<uint32_t>& colors,
-                                const Request& request) const {
+                                const Request& request,
+                                RequestContext* ctx) const {
   const Coloring initial = colors.empty()
                                ? Coloring::Unit(graph.NumVertices())
                                : Coloring::FromLabels(colors);
-  return DviclCanonicalLabeling(graph, initial, RunOptionsFor(request));
+  DviclResult result =
+      DviclCanonicalLabeling(graph, initial, RunOptionsFor(request, ctx));
+  if (ctx != nullptr) {
+    // Summed, not assigned: kIsoTest runs the engine twice per request.
+    ctx->leaf_ir_nodes += result.stats.leaf_ir.tree_nodes;
+    ctx->cache_hits += result.stats.cert_cache.hits;
+    ctx->cache_misses += result.stats.cert_cache.misses;
+  }
+  return result;
 }
 
 Reply Server::Handle(const Request& request) {
+  return Handle(request, nullptr);
+}
+
+Reply Server::Handle(const Request& request, RequestContext* ctx) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   requests_by_class_[static_cast<uint8_t>(request.cls)].fetch_add(
       1, std::memory_order_relaxed);
@@ -399,10 +560,51 @@ Reply Server::Handle(const Request& request) {
     reply.stats = StatsSnapshot();
     return reply;
   }
-  return HandleCompute(request);
+  if (request.cls == RequestClass::kServerMetrics) {
+    return MetricsReply(request);
+  }
+  return HandleCompute(request, ctx);
 }
 
-Reply Server::HandleCompute(const Request& request) const {
+Reply Server::MetricsReply(const Request& request) {
+  Reply reply;
+  reply.id = request.id;
+  reply.cls = request.cls;
+  reply.status = wire::WireStatus::kOk;
+  // Flattened pairs first (clients that only want one number need no JSON
+  // parsing): counters verbatim, gauges rounded to the nearest integer,
+  // histograms as .count/.sum/.min/.max and rounded .p50/.p90/.p99.
+  const obs::RegistrySnapshot snap = metrics_.Snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    reply.stats.emplace_back(name, value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    reply.stats.emplace_back(
+        name, value <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(value)));
+  }
+  for (const auto& [name, histogram] : snap.histograms) {
+    reply.stats.emplace_back(name + ".count", histogram.count);
+    reply.stats.emplace_back(name + ".sum", histogram.sum);
+    reply.stats.emplace_back(name + ".min", histogram.min);
+    reply.stats.emplace_back(name + ".max", histogram.max);
+    reply.stats.emplace_back(
+        name + ".p50",
+        static_cast<uint64_t>(std::llround(histogram.Percentile(0.50))));
+    reply.stats.emplace_back(
+        name + ".p90",
+        static_cast<uint64_t>(std::llround(histogram.Percentile(0.90))));
+    reply.stats.emplace_back(
+        name + ".p99",
+        static_cast<uint64_t>(std::llround(histogram.Percentile(0.99))));
+  }
+  // Plus the full registry dump for consumers that want everything (the
+  // loadgen cross-check, the CI artifact).
+  reply.metrics_json = metrics_.ToJson();
+  return reply;
+}
+
+Reply Server::HandleCompute(const Request& request,
+                            RequestContext* ctx) const {
   Reply reply;
   reply.id = request.id;
   reply.cls = request.cls;
@@ -421,7 +623,7 @@ Reply Server::HandleCompute(const Request& request) const {
   switch (request.cls) {
     case RequestClass::kCanonicalForm: {
       const DviclResult result =
-          RunLabeling(request.graph, request.colors, request);
+          RunLabeling(request.graph, request.colors, request, ctx);
       if (!result.completed()) {
         degrade(result);
         return reply;
@@ -459,13 +661,13 @@ Reply Server::HandleCompute(const Request& request) const {
         return reply;
       }
       const DviclResult result1 =
-          RunLabeling(request.graph, labels1, request);
+          RunLabeling(request.graph, labels1, request, ctx);
       if (!result1.completed()) {
         degrade(result1);
         return reply;
       }
       const DviclResult result2 =
-          RunLabeling(request.graph2, labels2, request);
+          RunLabeling(request.graph2, labels2, request, ctx);
       if (!result2.completed()) {
         degrade(result2);
         return reply;
@@ -476,7 +678,7 @@ Reply Server::HandleCompute(const Request& request) const {
     }
     case RequestClass::kAutOrder: {
       const DviclResult result =
-          RunLabeling(request.graph, request.colors, request);
+          RunLabeling(request.graph, request.colors, request, ctx);
       if (!result.completed()) {
         degrade(result);
         return reply;
@@ -492,7 +694,7 @@ Reply Server::HandleCompute(const Request& request) const {
     }
     case RequestClass::kOrbits: {
       const DviclResult result =
-          RunLabeling(request.graph, request.colors, request);
+          RunLabeling(request.graph, request.colors, request, ctx);
       if (!result.completed()) {
         degrade(result);
         return reply;
@@ -508,7 +710,7 @@ Reply Server::HandleCompute(const Request& request) const {
     }
     case RequestClass::kSsmCount: {
       const DviclResult result =
-          RunLabeling(request.graph, request.colors, request);
+          RunLabeling(request.graph, request.colors, request, ctx);
       if (!result.completed()) {
         degrade(result);
         return reply;
@@ -520,6 +722,7 @@ Reply Server::HandleCompute(const Request& request) const {
       return reply;
     }
     case RequestClass::kServerStats:
+    case RequestClass::kServerMetrics:
       break;  // handled in Handle(); unreachable here
   }
   reply.status = wire::WireStatus::kInternalFault;
@@ -537,6 +740,11 @@ std::vector<std::pair<std::string, uint64_t>> Server::StatsSnapshot() const {
   stats.emplace_back("connections", relaxed(connections_));
   stats.emplace_back("decode_errors", relaxed(decode_errors_));
   stats.emplace_back("in_flight", relaxed(in_flight_));
+  stats.emplace_back("obs.access_log_records",
+                     access_log_ != nullptr ? access_log_->records_written()
+                                            : 0);
+  stats.emplace_back("obs.flights_recorded",
+                     flight_ != nullptr ? flight_->recorded() : 0);
   stats.emplace_back("overloaded", relaxed(overloaded_));
   stats.emplace_back("replies_error", relaxed(replies_error_));
   stats.emplace_back("replies_ok", relaxed(replies_ok_));

@@ -2,6 +2,7 @@
 #define DVICL_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -14,7 +15,12 @@
 #include "common/wire.h"
 #include "dvicl/cert_cache.h"
 #include "dvicl/dvicl.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/access_log.h"
+#include "server/flight_recorder.h"
 #include "server/protocol.h"
+#include "server/request_context.h"
 
 namespace dvicl {
 namespace server {
@@ -71,7 +77,8 @@ struct ServerOptions {
   uint64_t cert_cache_max_bytes = 64ull << 20;
 
   // Default budgets by RequestClass index. Compute classes default to a
-  // 30-second deadline; kServerStats is pure control plane and unbudgeted.
+  // 30-second deadline; kServerStats/kServerMetrics are pure control plane
+  // and unbudgeted.
   ClassBudget budgets[kNumRequestClasses] = {
       {30'000'000, 0, 0},  // kCanonicalForm
       {30'000'000, 0, 0},  // kIsoTest (each of the two runs)
@@ -79,7 +86,31 @@ struct ServerOptions {
       {30'000'000, 0, 0},  // kOrbits
       {30'000'000, 0, 0},  // kSsmCount
       {0, 0, 0},           // kServerStats
+      {0, 0, 0},           // kServerMetrics
   };
+
+  // ---- Request-scoped observability (DESIGN.md §12) ----
+
+  // Master switch for the per-request pipeline: timestamps, per-class
+  // histograms, request trace spans, access log, and flight recorder.
+  // Off = the request path pays one branch per hook (the measurement
+  // baseline of scripts/check_serving_obs_overhead.sh); per-class request
+  // counters and StatsSnapshot stay live either way.
+  bool request_obs = true;
+
+  // Global trace recorder for the daemon: request-level spans
+  // (server.request / server.queue_wait / server.exec, each tagged with
+  // the rid) plus the engine's internal spans of every request the flight
+  // recorder is not intercepting. Null = no tracing. Not owned.
+  obs::TraceRecorder* trace = nullptr;
+
+  // JSONL access log path; empty = disabled. One record per request (see
+  // AccessRecordJson), flushed per record, SIGHUP-rotatable in the daemon.
+  std::string access_log_path;
+
+  // Slow-request flight recorder; disabled unless flight.dir is set and at
+  // least one threshold is nonzero.
+  FlightRecorder::Options flight;
 };
 
 class Server {
@@ -101,8 +132,13 @@ class Server {
 
   // Handles one already-decoded request synchronously on the calling
   // thread (no admission control, no framing). The building block the
-  // batch dispatcher submits to the pool; exposed for tests.
+  // batch dispatcher submits to the pool; exposed for tests. The
+  // two-argument form accumulates engine statistics (leaf IR nodes, cache
+  // hits/misses) into `ctx` and routes the engine's trace spans to
+  // ctx->engine_trace; the one-argument form is the no-observability
+  // convenience wrapper.
   Reply Handle(const Request& request);
+  Reply Handle(const Request& request, RequestContext* ctx);
 
   // Deterministically ordered counter snapshot: server counters
   // (batches, connections, decode_errors, overloaded, replies_*,
@@ -113,27 +149,70 @@ class Server {
   const ServerOptions& options() const { return options_; }
   CertCache* cache() { return cache_.get(); }
 
+  // Always-on per-class serving metrics (latency/bytes histograms, gauges)
+  // plus whatever the engine exports; the kServerMetrics reply body and the
+  // daemon's periodic dump both render from here.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  // Non-const form exists for the daemon's SIGHUP rotation (Reopen()).
+  AccessLog* access_log() { return access_log_.get(); }
+  const AccessLog* access_log() const { return access_log_.get(); }
+  const FlightRecorder* flight_recorder() const { return flight_.get(); }
+
  private:
   class Channel;       // framing transport abstraction (defined in .cc)
   class FdChannel;
   class StreamChannel;
+  struct Slot;         // per-request batch state (defined in .cc)
+
+  // One drained frame plus its arrival stamp (taken when the frame was
+  // fully read off the connection — the start of the request lifecycle).
+  struct Incoming {
+    std::string payload;
+    std::chrono::steady_clock::time_point arrival;
+  };
 
   void Serve(Channel* channel);
   // Decodes, admits, dispatches and answers one drained batch, writing
   // replies in request order. Returns false when the connection must close
   // (write failure).
-  bool ProcessBatch(std::vector<std::string>* frames, Channel* channel);
+  bool ProcessBatch(std::vector<Incoming>* frames, Channel* channel);
 
   bool TryAdmit();
-  DviclOptions RunOptionsFor(const Request& request) const;
+  DviclOptions RunOptionsFor(const Request& request,
+                             RequestContext* ctx) const;
   DviclResult RunLabeling(const Graph& graph,
                           const std::vector<uint32_t>& colors,
-                          const Request& request) const;
-  Reply HandleCompute(const Request& request) const;
+                          const Request& request, RequestContext* ctx) const;
+  Reply HandleCompute(const Request& request, RequestContext* ctx) const;
+  Reply MetricsReply(const Request& request);
+
+  // Records histograms/spans, appends the access-log record and lets the
+  // flight recorder decide, once the slot's reply bytes are on the wire.
+  void FinalizeRequest(Slot* slot);
 
   ServerOptions options_;
   std::unique_ptr<TaskPool> pool_;
   std::unique_ptr<CertCache> cache_;
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<AccessLog> access_log_;    // null = disabled
+  std::unique_ptr<FlightRecorder> flight_;   // constructed, maybe disabled
+
+  // Handles resolved once at construction so the per-request path records
+  // with plain atomic adds (no registry lock, no name lookups).
+  obs::Histogram* queue_wait_us_[kNumRequestClasses] = {};
+  obs::Histogram* exec_us_[kNumRequestClasses] = {};
+  obs::Histogram* total_us_[kNumRequestClasses] = {};
+  obs::Histogram* request_bytes_[kNumRequestClasses] = {};
+  obs::Histogram* reply_bytes_[kNumRequestClasses] = {};
+  obs::Histogram* batch_depth_ = nullptr;
+  obs::Gauge* in_flight_gauge_ = nullptr;
+  obs::Counter* flights_recorded_ = nullptr;
+
+  std::atomic<uint64_t> next_rid_{0};
+  // Server start time: the zero point of the access log's arrival_us.
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
 
   std::atomic<uint64_t> in_flight_{0};
   std::atomic<uint64_t> connections_{0};

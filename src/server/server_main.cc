@@ -16,14 +16,32 @@
 //   --node-budget=N      default leaf IR node budget for every compute class
 //   --memory-limit-mib=N default per-run RSS-delta budget
 //
-// The daemon runs until killed; every connection gets its own serving
-// thread, all feeding the one shared pool and cache.
+// Observability flags (DESIGN.md §12):
+//   --request-obs=0|1          per-request pipeline master switch (default 1)
+//   --access-log=FILE          JSONL access log (one record per request;
+//                              SIGHUP re-opens the path for rotation)
+//   --trace=FILE               Chrome trace of the whole daemon, written at
+//                              shutdown
+//   --metrics=FILE             metrics-registry JSON dump, written at
+//                              shutdown (and periodically, see below)
+//   --metrics-dump-interval=S  rewrite --metrics every S seconds (atomic
+//                              tmp+rename, so readers never see a torn file)
+//   --flight-dir=DIR           slow-request flight recorder output directory
+//   --slow-request-millis=N    flight trigger: total latency >= N ms
+//   --slow-request-nodes=N     flight trigger: leaf IR nodes >= N
+//
+// The daemon runs until SIGTERM/SIGINT, which stops accepting, gives
+// in-flight connections a short grace period, flushes the trace/metrics
+// outputs and exits; every connection gets its own serving thread, all
+// feeding the one shared pool and cache.
 
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,13 +50,29 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "server/server.h"
 
 namespace {
 
+using dvicl::server::IsControlPlane;
 using dvicl::server::RequestClass;
 using dvicl::server::Server;
 using dvicl::server::ServerOptions;
+
+// Signal flags: handlers only set these and (for stop) unblock accept().
+volatile sig_atomic_t g_stop = 0;
+volatile sig_atomic_t g_reopen = 0;
+int g_listen_fd = -1;
+
+void HandleStop(int) {
+  g_stop = 1;
+  // shutdown() is async-signal-safe and makes the blocking accept() return,
+  // so the main loop observes g_stop promptly.
+  if (g_listen_fd >= 0) shutdown(g_listen_fd, SHUT_RDWR);
+}
+
+void HandleHup(int) { g_reopen = 1; }
 
 bool FlagValue(const char* arg, const char* name, std::string* value) {
   const size_t len = std::strlen(name);
@@ -89,12 +123,41 @@ int ListenTcp(uint16_t port, uint16_t* bound_port) {
   return fd;
 }
 
+// Atomic metrics dump: write to <path>.tmp, then rename over <path>, so a
+// concurrent `python3 -m json.tool <path>` (the CI validator, a dashboard
+// poller) never reads a half-written file.
+void DumpMetrics(Server* server, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  if (server->metrics()->WriteJsonFile(tmp)) {
+    std::rename(tmp.c_str(), path.c_str());
+  }
+}
+
+// Final flush of the observability outputs, shared by the stdio and TCP
+// exits. The trace write expects quiescence (clients disconnect before the
+// daemon is TERMed in the runbook flow); the metrics dump is snapshot-based
+// and safe regardless.
+void FlushObservability(Server* server, dvicl::obs::TraceRecorder* trace,
+                        const std::string& trace_path,
+                        const std::string& metrics_path) {
+  if (!metrics_path.empty()) DumpMetrics(server, metrics_path);
+  if (trace != nullptr && !trace_path.empty()) {
+    if (!trace->WriteJsonFile(trace_path)) {
+      std::fprintf(stderr, "dvicl_server: failed to write %s\n",
+                   trace_path.c_str());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ServerOptions options;
   uint16_t port = 7411;
   bool stdio = false;
+  std::string trace_path;
+  std::string metrics_path;
+  uint64_t metrics_dump_seconds = 0;
   std::string value;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -115,9 +178,7 @@ int main(int argc, char** argv) {
     } else if (FlagValue(arg, "--deadline-seconds", &value)) {
       const double seconds = std::strtod(value.c_str(), nullptr);
       for (uint8_t cls = 0; cls < dvicl::server::kNumRequestClasses; ++cls) {
-        if (static_cast<RequestClass>(cls) == RequestClass::kServerStats) {
-          continue;
-        }
+        if (IsControlPlane(static_cast<RequestClass>(cls))) continue;
         options.budgets[cls].deadline_micros =
             static_cast<uint64_t>(seconds * 1e6);
       }
@@ -132,40 +193,115 @@ int main(int argc, char** argv) {
       for (uint8_t cls = 0; cls < dvicl::server::kNumRequestClasses; ++cls) {
         options.budgets[cls].memory_limit_mib = mib;
       }
+    } else if (FlagValue(arg, "--request-obs", &value)) {
+      options.request_obs = ParseU64(value, "--request-obs") != 0;
+    } else if (FlagValue(arg, "--access-log", &value)) {
+      options.access_log_path = value;
+    } else if (FlagValue(arg, "--trace", &value)) {
+      trace_path = value;
+    } else if (FlagValue(arg, "--metrics", &value)) {
+      metrics_path = value;
+    } else if (FlagValue(arg, "--metrics-dump-interval", &value)) {
+      metrics_dump_seconds = ParseU64(value, "--metrics-dump-interval");
+    } else if (FlagValue(arg, "--flight-dir", &value)) {
+      options.flight.dir = value;
+    } else if (FlagValue(arg, "--slow-request-millis", &value)) {
+      options.flight.latency_threshold_us =
+          ParseU64(value, "--slow-request-millis") * 1000;
+    } else if (FlagValue(arg, "--slow-request-nodes", &value)) {
+      options.flight.node_threshold =
+          ParseU64(value, "--slow-request-nodes");
     } else {
       std::fprintf(stderr, "dvicl_server: unknown flag %s\n", arg);
       return 2;
     }
   }
 
+  dvicl::obs::TraceRecorder trace;
+  if (!trace_path.empty()) options.trace = &trace;
+
   Server server(options);
+  if (options.request_obs && !options.access_log_path.empty() &&
+      (server.access_log() == nullptr || !server.access_log()->ok())) {
+    std::fprintf(stderr, "dvicl_server: cannot open access log %s\n",
+                 options.access_log_path.c_str());
+    return 1;
+  }
 
   if (stdio) {
     server.ServeStream(std::cin, std::cout);
+    FlushObservability(&server, options.trace, trace_path, metrics_path);
     return 0;
   }
 
   uint16_t bound_port = 0;
   const int listen_fd = ListenTcp(port, &bound_port);
+  g_listen_fd = listen_fd;
+
+  // No SA_RESTART: SIGHUP must interrupt accept() so the rotation request
+  // is honored promptly even on an idle daemon.
+  struct sigaction sa = {};
+  sa.sa_handler = HandleStop;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  sa.sa_handler = HandleHup;
+  sigaction(SIGHUP, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // a dying client must not kill the daemon
+
   // The one line automation depends on: loadgen and the CI smoke job parse
   // the bound port from it (ephemeral --port=0 included).
   std::printf("dvicl_server listening on 127.0.0.1:%u\n", bound_port);
   std::fflush(stdout);
 
+  std::thread dumper;
+  if (!metrics_path.empty() && metrics_dump_seconds > 0) {
+    dumper = std::thread([&server, metrics_path, metrics_dump_seconds] {
+      uint64_t elapsed_ms = 0;
+      const uint64_t interval_ms = metrics_dump_seconds * 1000;
+      while (g_stop == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        elapsed_ms += 100;
+        if (elapsed_ms >= interval_ms) {
+          elapsed_ms = 0;
+          DumpMetrics(&server, metrics_path);
+        }
+      }
+    });
+  }
+
   std::vector<std::thread> connections;
-  for (;;) {
+  while (g_stop == 0) {
     const int fd = accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (g_stop != 0) break;
+      if (errno == EINTR) {
+        if (g_reopen != 0) {
+          g_reopen = 0;
+          if (server.access_log() != nullptr) server.access_log()->Reopen();
+        }
+        continue;
+      }
       std::perror("dvicl_server: accept");
       break;
+    }
+    if (g_reopen != 0) {
+      g_reopen = 0;
+      if (server.access_log() != nullptr) server.access_log()->Reopen();
     }
     connections.emplace_back([&server, fd] {
       server.ServeConnection(fd);
       close(fd);
     });
   }
-  for (std::thread& t : connections) t.join();
   close(listen_fd);
-  return 0;
+
+  // Graceful-enough shutdown: connections that are already draining get a
+  // short grace window, then the observability outputs are flushed and the
+  // process exits without joining threads that may be blocked on reads
+  // (the access log is flushed per record, so nothing answered is lost).
+  if (dumper.joinable()) dumper.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  FlushObservability(&server, options.trace, trace_path, metrics_path);
+  std::fflush(nullptr);
+  _exit(0);
 }

@@ -20,149 +20,12 @@
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "test_util.h"
 
 namespace dvicl {
 namespace {
 
-// Minimal recursive-descent JSON syntax checker, enough to assert that the
-// serializers emit structurally valid documents without an external parser.
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view text) : text_(text) {}
-
-  bool Valid() {
-    SkipSpace();
-    if (!Value()) return false;
-    SkipSpace();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{':
-        return Object();
-      case '[':
-        return Array();
-      case '"':
-        return String();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
-      default:
-        return Number();
-    }
-  }
-
-  bool Object() {
-    ++pos_;  // '{'
-    SkipSpace();
-    if (Peek() == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipSpace();
-      if (!String()) return false;
-      SkipSpace();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipSpace();
-      if (!Value()) return false;
-      SkipSpace();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++pos_;  // '['
-    SkipSpace();
-    if (Peek() == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipSpace();
-      if (!Value()) return false;
-      SkipSpace();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return false;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        return false;  // raw control character: escaping bug
-      }
-      ++pos_;
-    }
-    return false;
-  }
-
-  bool Number() {
-    const size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool Literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-            text_[pos_] == '\t' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-bool IsValidJson(const std::string& text) {
-  return JsonChecker(text).Valid();
-}
+using testing_util::IsValidJson;
 
 TEST(JsonWriterTest, NestedContainersAndCommas) {
   obs::JsonWriter w;
@@ -329,6 +192,142 @@ TEST(MetricsTest, ConcurrentRegistrationAndMutation) {
             static_cast<uint64_t>(kThreads) * kAdds);
   EXPECT_EQ(registry.GetHistogram("shared.hist")->Count(),
             static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsTest, PercentileOfEmptyHistogramIsZero) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("empty");
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 0.0);
+}
+
+TEST(MetricsTest, PercentileOfSingleValueIsExact) {
+  // Any quantile of a one-sample distribution is that sample; the [min, max]
+  // clamp guarantees exactness even though the bucket is a whole power-of-2
+  // range.
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("single");
+  h->Record(100);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.99), 100.0);
+}
+
+TEST(MetricsTest, PercentileOfAllZerosIsZero) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("zeros");
+  for (int i = 0; i < 10; ++i) h->Record(0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 0.0);
+}
+
+TEST(MetricsTest, PercentilesAreMonotoneAndLog2Accurate) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("uniform");
+  for (uint64_t v = 1; v <= 1000; ++v) h->Record(v);
+
+  double last = 0.0;
+  for (double q : {0.0, 0.10, 0.50, 0.90, 0.99, 1.0}) {
+    const double estimate = h->Percentile(q);
+    EXPECT_GE(estimate, last) << "q=" << q;  // monotone in q
+    EXPECT_GE(estimate, 1.0);
+    EXPECT_LE(estimate, 1000.0);  // clamped to [min, max]
+    last = estimate;
+
+    // The log2-bucket contract: the estimate lands within the power-of-2
+    // bucket of the true order statistic, so it is off by at most 2x.
+    const double truth = 1.0 + q * 999.0;
+    EXPECT_GE(estimate, truth / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, truth * 2.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h->Percentile(1.0), 1000.0);
+}
+
+TEST(MetricsTest, SnapshotCountMatchesBucketTotal) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("snap");
+  for (uint64_t v : {0ull, 1ull, 7ull, 1000ull, 65536ull}) h->Record(v);
+  const obs::HistogramSnapshot snap = h->Snapshot();
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(snap.sum, 66544u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 65536u);
+}
+
+// The dump-vs-record consistency guarantee (TSan exercises the atomics):
+// snapshots taken while writers are recording must never expose a torn
+// total — in every snapshot, count equals the sum of the buckets, counts
+// are monotone across successive snapshots, and the JSON rendering stays
+// structurally valid.
+TEST(MetricsTest, SnapshotsStayConsistentUnderConcurrentRecording) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("hammer");
+  constexpr int kWriters = 4;
+  constexpr uint64_t kRecords = 20000;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([h, t] {
+      for (uint64_t i = 0; i < kRecords; ++i) {
+        h->Record(i << (t % 4));
+      }
+    });
+  }
+
+  uint64_t last_count = 0;
+  uint64_t snapshots_taken = 0;
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::HistogramSnapshot snap = h->Snapshot();
+      uint64_t bucket_total = 0;
+      for (uint64_t b : snap.buckets) bucket_total += b;
+      ASSERT_EQ(snap.count, bucket_total);
+      ASSERT_GE(snap.count, last_count);  // counts never go backwards
+      ASSERT_LE(snap.count, static_cast<uint64_t>(kWriters) * kRecords);
+      last_count = snap.count;
+      ++snapshots_taken;
+      ASSERT_TRUE(IsValidJson(registry.ToJson()));
+    }
+  });
+
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(snapshots_taken, 0u);
+  const obs::HistogramSnapshot final_snap = h->Snapshot();
+  EXPECT_EQ(final_snap.count, static_cast<uint64_t>(kWriters) * kRecords);
+}
+
+TEST(MetricsTest, RegistrySnapshotAndJsonCarryPercentiles) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("c")->Add(3);
+  registry.GetGauge("g")->Set(0.5);
+  obs::Histogram* h = registry.GetHistogram("lat");
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v);
+
+  const obs::RegistrySnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  EXPECT_EQ(snap.histograms[0].second.count, 100u);
+
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  const std::string text = registry.ToText();
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
 }
 
 TEST(MetricsTest, JsonAndTextRenderings) {

@@ -56,6 +56,7 @@ Request MakeRequest(RequestClass cls, uint64_t seed) {
       break;
     }
     case RequestClass::kServerStats:
+    case RequestClass::kServerMetrics:
       // Control plane: no body at all.
       request.graph = Graph::FromEdges(0, {});
       request.colors.clear();
@@ -72,7 +73,7 @@ void ExpectRequestsEqual(const Request& want, const Request& got) {
   EXPECT_EQ(want.deadline_micros, got.deadline_micros);
   EXPECT_EQ(want.node_budget, got.node_budget);
   EXPECT_EQ(want.memory_limit_mib, got.memory_limit_mib);
-  if (want.cls != RequestClass::kServerStats) {
+  if (!IsControlPlane(want.cls)) {
     EXPECT_EQ(want.graph.NumVertices(), got.graph.NumVertices());
     EXPECT_EQ(want.graph.Edges(), got.graph.Edges());
     EXPECT_EQ(want.colors, got.colors);
@@ -90,6 +91,7 @@ constexpr RequestClass kAllClasses[] = {
     RequestClass::kCanonicalForm, RequestClass::kIsoTest,
     RequestClass::kAutOrder,      RequestClass::kOrbits,
     RequestClass::kSsmCount,      RequestClass::kServerStats,
+    RequestClass::kServerMetrics,
 };
 
 // ---- round-trip properties -------------------------------------------------
@@ -139,6 +141,11 @@ TEST(ProtocolRoundTrip, ReplyEveryClass) {
       case RequestClass::kServerStats:
         reply.stats = {{"requests", 17}, {"cache.hits", 5}, {"", 0}};
         break;
+      case RequestClass::kServerMetrics:
+        reply.stats = {{"server.total_us.orbits.p99", 1234},
+                       {"server.in_flight", 2}};
+        reply.metrics_json = "{\"counters\":{},\"histograms\":{}}";
+        break;
     }
     std::string payload;
     EncodeReply(reply, &payload);
@@ -154,6 +161,27 @@ TEST(ProtocolRoundTrip, ReplyEveryClass) {
     EXPECT_EQ(reply.orbit_ids, decoded.orbit_ids);
     EXPECT_EQ(reply.ssm_count, decoded.ssm_count);
     EXPECT_EQ(reply.stats, decoded.stats);
+    EXPECT_EQ(reply.metrics_json, decoded.metrics_json);
+  }
+}
+
+// The kServerMetrics reply interleaves a pair list with a JSON blob; every
+// strict prefix must be rejected (the count and the blob length are both
+// validated against the remaining bytes).
+TEST(ProtocolAdversarial, EveryMetricsReplyTruncationIsRejected) {
+  Reply reply;
+  reply.id = 11;
+  reply.status = wire::WireStatus::kOk;
+  reply.cls = RequestClass::kServerMetrics;
+  reply.stats = {{"server.requests", 3}, {"server.total_us.orbits.p50", 250}};
+  reply.metrics_json = "{\"gauges\":{\"server.in_flight\":1}}";
+  std::string payload;
+  EncodeReply(reply, &payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    Reply decoded;
+    EXPECT_FALSE(
+        DecodeReply(std::string_view(payload).substr(0, len), &decoded).ok())
+        << "accepted a prefix of " << len << " bytes";
   }
 }
 

@@ -1,0 +1,469 @@
+// End-to-end tests of the serving observability pipeline (DESIGN.md §12)
+// over socketpair loopbacks: access-log schema and rid discipline across a
+// mixed run (every request class, an over-budget request, a malformed
+// frame), rid agreement between the access log and the request-level trace
+// spans, the slow-request flight recorder (fires for heavy work, stays
+// quiet for light work, both trigger dimensions), the kServerMetrics
+// exposition surface, and the request_obs=0 disarmed mode.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/wire.h"
+#include "datasets/generators.h"
+#include "obs/trace.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "test_util.h"
+
+namespace dvicl {
+namespace server {
+namespace {
+
+using testing_util::IsValidJson;
+
+// One loopback connection: a socketpair whose server end is driven by a
+// dedicated thread running Server::ServeConnection (same pattern as
+// server_test.cc). Destroying the object closes the client end — the
+// clean-EOF the serve loop exits on — then joins the thread, after which
+// every access-log record and trace span of the connection is finalized.
+class Loopback {
+ public:
+  explicit Loopback(Server* server) {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    client_ = std::make_unique<Client>(fds[0]);
+    thread_ = std::thread([server, fd = fds[1]] {
+      server->ServeConnection(fd);
+      close(fd);
+    });
+  }
+  ~Loopback() {
+    client_.reset();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Client& client() { return *client_; }
+  int client_fd() const { return client_->fd(); }
+
+ private:
+  std::unique_ptr<Client> client_;
+  std::thread thread_;
+};
+
+Request GraphRequest(RequestClass cls, Graph graph, uint64_t id) {
+  Request request;
+  request.id = id;
+  request.cls = cls;
+  request.graph = std::move(graph);
+  return request;
+}
+
+// A scratch directory under the system temp root, wiped on construction.
+// The pid suffix keeps concurrently running test binaries (the sanitizer
+// legs run this binary alongside ctest) out of each other's way.
+std::filesystem::path ScratchDir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("dvicl_server_obs_" + tag + "_" +
+                    std::to_string(static_cast<long>(getpid())));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<std::string> ReadLines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Crude field extraction for the single-line flat JSON objects the access
+// log emits (keys are known and values are numbers, bools, or plain
+// strings — no nesting, no escapes in practice).
+bool HasKey(const std::string& json, const std::string& key) {
+  return json.find("\"" + key + "\":") != std::string::npos;
+}
+
+uint64_t JsonUint(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+std::string JsonString(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+  if (pos == std::string::npos) return "";
+  const size_t start = pos + needle.size();
+  const size_t end = json.find('"', start);
+  return json.substr(start, end - start);
+}
+
+bool JsonBool(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << key << " missing in " << json;
+  return pos != std::string::npos &&
+         json.compare(pos + needle.size(), 4, "true") == 0;
+}
+
+// Every "server.request" span's rid argument, in buffer order.
+std::vector<uint64_t> RequestSpanRids(const std::string& trace_json) {
+  std::vector<uint64_t> rids;
+  const std::string span = "\"name\":\"server.request\"";
+  const std::string rid_key = "\"rid\":";
+  size_t pos = 0;
+  while ((pos = trace_json.find(span, pos)) != std::string::npos) {
+    const size_t rid_pos = trace_json.find(rid_key, pos);
+    EXPECT_NE(rid_pos, std::string::npos);
+    if (rid_pos == std::string::npos) break;
+    rids.push_back(std::strtoull(
+        trace_json.c_str() + rid_pos + rid_key.size(), nullptr, 10));
+    pos = rid_pos;
+  }
+  return rids;
+}
+
+// The access-record schema from DESIGN.md §12; every record must carry
+// every key.
+const char* const kAccessKeys[] = {
+    "rid",          "id",          "class",        "status",
+    "ok",           "queue_us",    "exec_us",      "total_us",
+    "arrival_us",   "request_bytes", "reply_bytes", "cache_hit",
+    "cache_hits",   "cache_misses", "leaf_ir_nodes",
+};
+
+TEST(ServerObsTest, AccessLogSchemaRidsAndTraceAgreeOverMixedRun) {
+  const auto dir = ScratchDir("mixed");
+  const auto log_path = dir / "access.jsonl";
+
+  obs::TraceRecorder trace;
+  ServerOptions options;
+  options.num_threads = 2;
+  options.access_log_path = log_path.string();
+  options.trace = &trace;
+  Server server(options);
+  ASSERT_NE(server.access_log(), nullptr);
+  ASSERT_TRUE(server.access_log()->ok());
+
+  size_t sent = 0;
+  {
+    Loopback loop(&server);
+
+    // Every request class once, sequentially on one connection, so rids
+    // are assigned in send order.
+    auto expect_ok = [&](const Request& request) {
+      auto reply = loop.client().Call(request);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_TRUE(reply.value().ok()) << reply.value().detail;
+      ++sent;
+    };
+    expect_ok(GraphRequest(RequestClass::kCanonicalForm, CycleGraph(16), 1));
+    {
+      Request iso = GraphRequest(RequestClass::kIsoTest, CfiGraph(6, false), 2);
+      iso.graph2 = CfiGraph(6, false);
+      expect_ok(iso);
+    }
+    expect_ok(GraphRequest(RequestClass::kAutOrder, StarGraph(12), 3));
+    expect_ok(GraphRequest(RequestClass::kOrbits,
+                           CompleteBipartiteGraph(4, 4), 4));
+    {
+      Request ssm = GraphRequest(RequestClass::kSsmCount, CycleGraph(12), 5);
+      ssm.query = {0, 1};
+      expect_ok(ssm);
+    }
+    {
+      Request stats;
+      stats.id = 6;
+      stats.cls = RequestClass::kServerStats;
+      expect_ok(stats);
+    }
+    {
+      Request metrics;
+      metrics.id = 7;
+      metrics.cls = RequestClass::kServerMetrics;
+      expect_ok(metrics);
+    }
+
+    // Over-budget request: a 1-node budget trips immediately and must be
+    // access-logged as a non-ok record, not dropped.
+    {
+      Request doomed =
+          GraphRequest(RequestClass::kAutOrder, CfiGraph(10, false), 8);
+      doomed.node_budget = 1;
+      auto reply = loop.client().Call(doomed);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_FALSE(reply.value().ok());
+      ++sent;
+    }
+
+    // Malformed payload: decodes fail, the connection survives, and the
+    // frame still gets a rid and an access-log record.
+    {
+      std::string frame;
+      wire::AppendFrame("this is not a canonicalization request", &frame);
+      ASSERT_EQ(write(loop.client_fd(), frame.data(), frame.size()),
+                static_cast<ssize_t>(frame.size()));
+      Reply reply;
+      ASSERT_TRUE(loop.client().Receive(&reply).ok());
+      EXPECT_FALSE(reply.ok());
+      EXPECT_EQ(reply.status, wire::WireStatus::kInvalidRequest);
+      ++sent;
+    }
+  }  // join the serve thread: all records finalized
+
+  const std::vector<std::string> lines = ReadLines(log_path);
+  ASSERT_EQ(lines.size(), sent);
+  EXPECT_EQ(server.access_log()->records_written(), sent);
+
+  std::set<uint64_t> rids;
+  uint64_t last_rid = 0;
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(IsValidJson(line)) << line;
+    for (const char* key : kAccessKeys) {
+      EXPECT_TRUE(HasKey(line, key)) << key << " missing in " << line;
+    }
+    const uint64_t rid = JsonUint(line, "rid");
+    EXPECT_GT(rid, last_rid) << "rids not strictly monotone: " << line;
+    last_rid = rid;
+    rids.insert(rid);
+    // The timing decomposition holds per record (total spans until after
+    // the reply write, so it dominates; +2 absorbs per-field flooring).
+    EXPECT_LE(JsonUint(line, "queue_us") + JsonUint(line, "exec_us"),
+              JsonUint(line, "total_us") + 2)
+        << line;
+  }
+  ASSERT_EQ(rids.size(), sent);
+
+  // Per-class and per-outcome spot checks, in send order.
+  EXPECT_EQ(JsonString(lines[0], "class"), "canonical_form");
+  EXPECT_EQ(JsonString(lines[1], "class"), "iso_test");
+  EXPECT_TRUE(JsonBool(lines[1], "ok"));
+  EXPECT_EQ(JsonString(lines[6], "class"), "server_metrics");
+  EXPECT_EQ(JsonString(lines[7], "class"), "aut_order");
+  EXPECT_FALSE(JsonBool(lines[7], "ok"));  // over-budget
+  EXPECT_EQ(JsonString(lines[7], "status"), "node_budget");
+  EXPECT_FALSE(JsonBool(lines[8], "ok"));  // undecodable payload
+  EXPECT_EQ(JsonString(lines[8], "status"), "invalid_request");
+  // The iso test runs the engine twice; its record carries engine work.
+  EXPECT_GT(JsonUint(lines[1], "leaf_ir_nodes"), 0u);
+
+  // The request-level spans tell the same story: one server.request span
+  // per dispatched request (the malformed frame is never dispatched), each
+  // carrying the same rid the access log recorded.
+  const std::string trace_json = trace.ToJson();
+  EXPECT_TRUE(IsValidJson(trace_json));
+  const std::vector<uint64_t> span_rids = RequestSpanRids(trace_json);
+  const std::set<uint64_t> span_rid_set(span_rids.begin(), span_rids.end());
+  EXPECT_EQ(span_rids.size(), span_rid_set.size());
+  for (const uint64_t rid : span_rid_set) {
+    EXPECT_TRUE(rids.count(rid)) << "span rid " << rid
+                                 << " missing from the access log";
+  }
+  // Engine spans from the pool threads land in the same trace.
+  EXPECT_NE(trace_json.find("server.exec"), std::string::npos);
+
+  // The stats surface exports the record count.
+  std::map<std::string, uint64_t> stats;
+  for (const auto& [name, value] : server.StatsSnapshot()) {
+    stats[name] = value;
+  }
+  EXPECT_EQ(stats["obs.access_log_records"], sent);
+  EXPECT_EQ(stats["obs.flights_recorded"], 0u);  // no flight dir configured
+}
+
+TEST(ServerObsTest, FlightRecorderNodeThresholdFiresForHeavyNotLight) {
+  const auto dir = ScratchDir("flight_nodes");
+  const auto flight_dir = dir / "flights";
+  const auto log_path = dir / "access.jsonl";
+
+  ServerOptions options;
+  options.num_threads = 1;
+  options.access_log_path = log_path.string();
+  // CfiGraph(80) costs hundreds of leaf IR nodes, CycleGraph(16) a handful
+  // — the 100-node threshold separates them deterministically, with no
+  // wall-clock dependence.
+  options.flight.dir = flight_dir.string();
+  options.flight.node_threshold = 100;
+  Server server(options);
+  ASSERT_TRUE(server.flight_recorder()->enabled());
+
+  {
+    Loopback loop(&server);
+    auto light = loop.client().Call(
+        GraphRequest(RequestClass::kCanonicalForm, CycleGraph(16), 1));
+    ASSERT_TRUE(light.ok());
+    EXPECT_TRUE(light.value().ok());
+    auto heavy = loop.client().Call(
+        GraphRequest(RequestClass::kCanonicalForm, CfiGraph(80, false), 2));
+    ASSERT_TRUE(heavy.ok());
+    EXPECT_TRUE(heavy.value().ok());
+  }
+
+  EXPECT_EQ(server.flight_recorder()->recorded(), 1u);
+  std::vector<std::filesystem::path> flights;
+  for (const auto& entry : std::filesystem::directory_iterator(flight_dir)) {
+    flights.push_back(entry.path());
+  }
+  ASSERT_EQ(flights.size(), 1u);
+
+  // The flight file is self-contained: the access record plus the full
+  // engine trace of that request, valid JSON, named after the rid.
+  const std::vector<std::string> lines = ReadLines(log_path);
+  ASSERT_EQ(lines.size(), 2u);
+  const uint64_t heavy_rid = JsonUint(lines[1], "rid");
+  EXPECT_EQ(flights[0].filename().string(),
+            "flight_" + std::to_string(heavy_rid) + ".json");
+
+  std::ifstream in(flights[0]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string flight_json = buffer.str();
+  EXPECT_TRUE(IsValidJson(flight_json)) << flight_json;
+  EXPECT_TRUE(HasKey(flight_json, "access"));
+  EXPECT_TRUE(HasKey(flight_json, "trace"));
+  EXPECT_EQ(JsonUint(flight_json, "rid"), heavy_rid);
+  EXPECT_NE(flight_json.find("traceEvents"), std::string::npos);
+
+  std::map<std::string, uint64_t> stats;
+  for (const auto& [name, value] : server.StatsSnapshot()) {
+    stats[name] = value;
+  }
+  EXPECT_EQ(stats["obs.flights_recorded"], 1u);
+}
+
+TEST(ServerObsTest, FlightRecorderLatencyThresholdBothExtremes) {
+  // 1µs threshold: every compute request is "slow". A sky-high threshold:
+  // none is. Together they pin the latency trigger without depending on
+  // real wall-clock behavior.
+  for (const bool fires : {true, false}) {
+    const auto dir = ScratchDir(fires ? "flight_lat1" : "flight_lat2");
+    ServerOptions options;
+    options.num_threads = 1;
+    options.flight.dir = (dir / "flights").string();
+    options.flight.latency_threshold_us = fires ? 1 : 3'600'000'000ull;
+    Server server(options);
+    {
+      Loopback loop(&server);
+      auto reply = loop.client().Call(
+          GraphRequest(RequestClass::kCanonicalForm, CycleGraph(16), 1));
+      ASSERT_TRUE(reply.ok());
+      EXPECT_TRUE(reply.value().ok());
+    }
+    EXPECT_EQ(server.flight_recorder()->recorded(), fires ? 1u : 0u);
+  }
+}
+
+TEST(ServerObsTest, MetricsExpositionCarriesPerClassPercentiles) {
+  ServerOptions options;
+  options.num_threads = 2;
+  Server server(options);
+
+  constexpr int kRequests = 8;
+  {
+    Loopback loop(&server);
+    for (int i = 0; i < kRequests; ++i) {
+      auto reply = loop.client().Call(GraphRequest(
+          RequestClass::kCanonicalForm, CycleGraph(16), 10 + i));
+      ASSERT_TRUE(reply.ok());
+      EXPECT_TRUE(reply.value().ok());
+    }
+
+    auto metrics = loop.client().FetchMetrics(99);
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    ASSERT_TRUE(metrics.value().ok()) << metrics.value().detail;
+    EXPECT_EQ(metrics.value().cls, RequestClass::kServerMetrics);
+
+    // The full registry dump rides along as JSON with percentile keys.
+    EXPECT_TRUE(IsValidJson(metrics.value().metrics_json));
+    EXPECT_NE(metrics.value().metrics_json.find("\"p99\""),
+              std::string::npos);
+
+    std::map<std::string, uint64_t> flat;
+    for (const auto& [name, value] : metrics.value().stats) {
+      flat[name] = value;
+    }
+    // Per-class histograms are flattened as <name>.<stat>; the measurement
+    // pipeline saw exactly the compute requests sent above.
+    ASSERT_TRUE(flat.count("server.total_us.canonical_form.count"));
+    EXPECT_EQ(flat["server.total_us.canonical_form.count"],
+              static_cast<uint64_t>(kRequests));
+    EXPECT_LE(flat["server.total_us.canonical_form.p50"],
+              flat["server.total_us.canonical_form.p99"]);
+    EXPECT_LE(flat["server.total_us.canonical_form.p99"],
+              flat["server.total_us.canonical_form.max"]);
+    EXPECT_GE(flat["server.total_us.canonical_form.p50"],
+              flat["server.total_us.canonical_form.min"]);
+    ASSERT_TRUE(flat.count("server.queue_wait_us.canonical_form.count"));
+    ASSERT_TRUE(flat.count("server.exec_us.canonical_form.count"));
+    ASSERT_TRUE(flat.count("server.request_bytes.canonical_form.count"));
+    ASSERT_TRUE(flat.count("server.reply_bytes.canonical_form.count"));
+    // Request/reply byte histograms record the actual wire sizes.
+    EXPECT_GT(flat["server.request_bytes.canonical_form.min"], 0u);
+    EXPECT_GT(flat["server.reply_bytes.canonical_form.min"], 0u);
+    // Gauges and the batch-depth histogram are exported too.
+    EXPECT_TRUE(flat.count("server.in_flight"));
+    ASSERT_TRUE(flat.count("server.batch_depth.count"));
+    EXPECT_GT(flat["server.batch_depth.count"], 0u);
+  }
+}
+
+TEST(ServerObsTest, RequestObsOffStillServesAndExposesNoHistograms) {
+  const auto dir = ScratchDir("disarmed");
+  ServerOptions options;
+  options.num_threads = 1;
+  options.request_obs = false;
+  // Both sinks configured but disarmed by the master switch.
+  options.access_log_path = (dir / "access.jsonl").string();
+  options.flight.dir = (dir / "flights").string();
+  options.flight.latency_threshold_us = 1;
+  Server server(options);
+  EXPECT_EQ(server.access_log(), nullptr);
+
+  {
+    Loopback loop(&server);
+    auto reply = loop.client().Call(
+        GraphRequest(RequestClass::kCanonicalForm, CycleGraph(16), 1));
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(reply.value().ok());
+
+    auto metrics = loop.client().FetchMetrics(2);
+    ASSERT_TRUE(metrics.ok());
+    ASSERT_TRUE(metrics.value().ok());
+    EXPECT_TRUE(IsValidJson(metrics.value().metrics_json));
+    for (const auto& [name, value] : metrics.value().stats) {
+      EXPECT_EQ(name.find("server.total_us"), std::string::npos)
+          << "histogram present despite request_obs=0: " << name;
+    }
+
+    auto stats = loop.client().FetchStats(3);
+    ASSERT_TRUE(stats.ok());
+    ASSERT_TRUE(stats.value().ok());
+  }
+  EXPECT_EQ(server.flight_recorder()->recorded(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(dir / "access.jsonl"));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace dvicl
