@@ -29,6 +29,8 @@ namespace bench {
 //   --threads=N      thread count for the DviCL AutoTree build
 //   --cert-cache     enable the canonical-form cache for leaf subproblems
 //                    (also --cert-cache=1; --cert-cache=0 is the default)
+//   --arena=0|1      arena memory for the refine+IR hot path (default on;
+//                    --arena=0 selects the heap leg for alloc comparisons)
 //   --trace=out.json Chrome-trace recording of the whole bench run
 //   --metrics=out.json metrics registry dump (plus a text table on stdout)
 //   --time-limit=SECONDS  per-run wall-clock budget (overrides
@@ -78,6 +80,16 @@ inline bool CertCacheFromArgs(int argc, char** argv) {
   if (BareFlagFromArgs(argc, argv, "--cert-cache")) return true;
   const std::string value = FlagFromArgs(argc, argv, "--cert-cache");
   return !value.empty() && value[0] == '1';
+}
+
+// Arena toggle (DviclOptions::arena): on by default, `--arena=0` selects
+// the heap leg (the alloc-regression smoke compares the two). The
+// library-level DVICL_ARENA override applies to benches too.
+inline bool ArenaFromArgs(int argc, char** argv) {
+  if (BareFlagFromArgs(argc, argv, "--arena")) return true;
+  const std::string value = FlagFromArgs(argc, argv, "--arena");
+  if (value.empty()) return true;
+  return value[0] != '0';
 }
 
 // Thread count for the parallel AutoTree build (DviclOptions::num_threads):
@@ -157,6 +169,7 @@ class BenchReporter {
       : name_(std::move(name)),
         threads_(ThreadsFromArgs(argc, argv)),
         cert_cache_(CertCacheFromArgs(argc, argv)),
+        arena_(ArenaFromArgs(argc, argv)),
         time_limit_seconds_(TimeLimitFromArgs(argc, argv)),
         memory_limit_mib_(MemoryLimitFromArgs(argc, argv)) {
     const char* json_env = std::getenv("DVICL_BENCH_JSON");
@@ -176,6 +189,8 @@ class BenchReporter {
     writer_.Uint(threads_);
     writer_.Key("cert_cache");
     writer_.Bool(cert_cache_);
+    writer_.Key("arena");
+    writer_.Bool(arena_);
     writer_.Key("scale");
     writer_.Double(ScaleFromEnv());
     writer_.Key("benchmark_scale");
@@ -195,6 +210,7 @@ class BenchReporter {
 
   unsigned Threads() const { return threads_; }
   bool CertCacheEnabled() const { return cert_cache_; }
+  bool ArenaEnabled() const { return arena_; }
   double TimeLimitSeconds() const { return time_limit_seconds_; }
   uint64_t MemoryLimitMib() const { return memory_limit_mib_; }
   // Null when the corresponding flag was not given — exactly the shape
@@ -207,6 +223,7 @@ class BenchReporter {
     DviclOptions options;
     options.num_threads = threads_;
     options.cert_cache = cert_cache_;
+    options.arena = arena_;
     options.time_limit_seconds = time_limit_seconds_;
     options.memory_limit_mib = memory_limit_mib_;
     options.trace = trace_.get();
@@ -262,6 +279,8 @@ class BenchReporter {
     Field("nonsingleton_leaves", stats.nonsingleton_leaves);
     Field("tree_depth", static_cast<uint64_t>(stats.depth));
     Field("refine_splitters", stats.refine_splitters);
+    Field("alloc_count", stats.alloc_count);
+    Field("alloc_bytes", stats.alloc_bytes);
     Field("ir_tree_nodes", stats.leaf_ir.tree_nodes);
     Field("ir_automorphisms", stats.leaf_ir.automorphisms_found);
     Field("cert_cache_hits", stats.cert_cache.hits);
@@ -308,6 +327,7 @@ class BenchReporter {
   std::string name_;
   unsigned threads_;
   bool cert_cache_ = false;
+  bool arena_ = true;
   double time_limit_seconds_ = 0.0;
   uint64_t memory_limit_mib_ = 0;
   bool json_enabled_ = true;

@@ -6,17 +6,23 @@
 # tsan:  builds with -DDVICL_SANITIZE=thread and runs the parallel test
 #        binaries (task_pool_test, parallel_determinism_test,
 #        cert_cache_test, protocol_test, server_test, obs_test,
-#        server_obs_test) under ThreadSanitizer. This is the data-race gate
-#        for src/common/task_pool, the parallel DviCL driver, the sharded
-#        canonical-form cache (concurrent lookup/insert/evict plus a shared
-#        cache across simultaneous DviCL runs), the serving path (concurrent
-#        connections batching onto one shared pool and cache), and the
-#        metrics snapshot/record concurrency (histogram dumps racing
-#        recorders must never tear).
+#        server_obs_test, arena_test) under ThreadSanitizer. This is the
+#        data-race gate for src/common/task_pool, the parallel DviCL driver,
+#        the sharded canonical-form cache (concurrent lookup/insert/evict
+#        plus a shared cache across simultaneous DviCL runs), the serving
+#        path (concurrent connections batching onto one shared pool and
+#        cache), the metrics snapshot/record concurrency (histogram dumps
+#        racing recorders must never tear), and the per-thread scratch
+#        arenas (thread-local by construction — TSan proves no sharing
+#        crept in).
 # asan:  builds with -DDVICL_SANITIZE=address (AddressSanitizer + UBSan, the
-#        usual CI pairing) and runs the full ctest suite twice — once per
-#        DVICL_CERT_CACHE setting (0 and 1), so both cache legs of the CI
-#        matrix get memory-error coverage, not just the cache-off default.
+#        usual CI pairing) and runs the full ctest suite once per
+#        DVICL_CERT_CACHE setting (0 and 1) with the arena at its default
+#        (on), so both cache legs of the CI matrix get memory-error
+#        coverage — plus one arena-OFF leg: bump allocation carves objects
+#        out of big chunks ASan cannot poison individually, so the heap leg
+#        is where per-allocation overflow/use-after-free detection actually
+#        bites on the converted hot path.
 # ubsan: builds with -DDVICL_SANITIZE=undefined alone (catches UB that
 #        ASan's instrumentation can mask, and runs fast enough for a smoke
 #        gate) and runs the core algorithm subset: refine_test, ir_test,
@@ -38,11 +44,12 @@ mode="${1:-all}"
 run_tsan() {
   echo "=== ThreadSanitizer: task_pool_test + parallel_determinism_test" \
        "+ cert_cache_test + protocol_test + server_test + obs_test" \
-       "+ server_obs_test ==="
+       "+ server_obs_test + arena_test ==="
   cmake -B build-tsan -S . -DDVICL_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j \
       --target task_pool_test parallel_determinism_test cert_cache_test \
-      protocol_test server_test obs_test server_obs_test
+      protocol_test server_test obs_test server_obs_test arena_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/arena_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/task_pool_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cert_cache_test
@@ -57,11 +64,19 @@ run_asan() {
   cmake -B build-asan -S . -DDVICL_SANITIZE=address >/dev/null
   cmake --build build-asan -j
   for cert_cache in 0 1; do
-    echo "--- asan leg: DVICL_CERT_CACHE=${cert_cache} ---"
+    echo "--- asan leg: DVICL_CERT_CACHE=${cert_cache} (arena default-on) ---"
     DVICL_CERT_CACHE="${cert_cache}" \
       ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
       ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
   done
+  # Arena-off leg: with bump allocation the hot path lives inside big arena
+  # chunks where ASan has no per-object redzones; forcing DVICL_ARENA=0
+  # routes every hot-path buffer through the instrumented heap so overflow
+  # and use-after-free checks apply at individual-allocation granularity.
+  echo "--- asan leg: DVICL_ARENA=0 (per-allocation poisoning) ---"
+  DVICL_ARENA=0 \
+    ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
 }
 
 run_ubsan() {

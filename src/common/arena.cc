@@ -1,0 +1,33 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace dvicl {
+
+namespace arena_internal {
+thread_local uint64_t tl_alloc_count = 0;
+thread_local uint64_t tl_alloc_bytes = 0;
+}  // namespace arena_internal
+
+uint64_t ThreadAllocCount() { return arena_internal::tl_alloc_count; }
+
+uint64_t ThreadAllocBytes() { return arena_internal::tl_alloc_bytes; }
+
+void Arena::AddChunk(size_t min_bytes) {
+  // Geometric growth up to kMaxChunkBytes keeps the chunk count logarithmic
+  // in the high-water mark; a request larger than the growth schedule gets
+  // an exactly-fitted chunk (the "large block" path). Either way the chunk
+  // joins the chain and is retained across Reset for reuse.
+  const size_t size = std::max(next_chunk_bytes_, min_bytes);
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  Chunk chunk;
+  chunk.data.reset(new unsigned char[size]);
+  chunk.size = size;
+  arena_internal::CountAlloc(size);
+  reserved_bytes_ += size;
+  current_ = chunks_.size();
+  offset_ = 0;
+  chunks_.push_back(std::move(chunk));
+}
+
+}  // namespace dvicl

@@ -1,0 +1,394 @@
+#ifndef DVICL_COMMON_ARENA_H_
+#define DVICL_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+// Bump/arena allocation for the refine+IR hot path (DESIGN.md §13).
+//
+// The refinement worklist and the IR search allocate the same short-lived
+// arrays (colorings, scratch counters, candidate lists) once per splitter /
+// per search-tree node — at serving scale that general-purpose heap churn is
+// the dominant per-request cost. An Arena turns each of those lifetimes into
+// a pointer bump: allocation is O(1) with no per-object bookkeeping, and the
+// whole region is reclaimed by rewinding a watermark (ArenaFrame) or by an
+// O(1) Reset between requests that RETAINS the chunks for reuse. The pattern
+// follows nauty/Traces' flat reusable workspace arrays and divine's
+// toolkit/pool.h (ROADMAP item 2).
+//
+// Lifetime contract: nothing allocated from an arena may outlive the frame
+// it was allocated under. Results that escape a run (certificates,
+// labelings, generators, cache entries) stay on the plain heap; see
+// DESIGN.md §13 for the full escape analysis.
+
+namespace dvicl {
+
+// Thread-local monotone counters of hot-path allocation events, mirroring
+// ThreadRefineSplitters() (refine/refiner.h): observability consumers
+// snapshot before/after a region on the same thread and attribute the delta.
+// Counted events are (a) heap buffer acquisitions by SmallVec growth and
+// (b) arena chunk acquisitions — so an arena-backed run only pays when it
+// actually touches the system allocator, which is what makes the
+// arena-on/arena-off ratio a meaningful regression signal (exported as the
+// dvicl.alloc.* metrics).
+namespace arena_internal {
+extern thread_local uint64_t tl_alloc_count;
+extern thread_local uint64_t tl_alloc_bytes;
+inline void CountAlloc(size_t bytes) {
+  ++tl_alloc_count;
+  tl_alloc_bytes += bytes;
+}
+}  // namespace arena_internal
+
+uint64_t ThreadAllocCount();
+uint64_t ThreadAllocBytes();
+
+// Chunked bump allocator. Not thread-safe: one arena belongs to one thread
+// (use ThreadScratchArena() for per-thread scratch).
+class Arena {
+ public:
+  static constexpr size_t kDefaultMinChunkBytes = 64 * 1024;
+  static constexpr size_t kMaxChunkBytes = 8 * 1024 * 1024;
+
+  explicit Arena(size_t min_chunk_bytes = kDefaultMinChunkBytes)
+      : min_chunk_bytes_(min_chunk_bytes ? min_chunk_bytes : 1),
+        next_chunk_bytes_(min_chunk_bytes_) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Watermark for Rewind: everything allocated after Position() is
+  // reclaimed by Rewind (the memory stays reserved for reuse).
+  struct Mark {
+    size_t chunk = 0;
+    size_t offset = 0;
+  };
+
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    DVICL_CHECK(align != 0 && (align & (align - 1)) == 0)
+        << "arena alignment must be a power of two, got " << align;
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (current_ < chunks_.size()) {
+        const Chunk& c = chunks_[current_];
+        const uintptr_t base = reinterpret_cast<uintptr_t>(c.data.get());
+        const uintptr_t aligned =
+            (base + offset_ + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+        if (aligned + bytes <= base + c.size) {
+          offset_ = aligned + bytes - base;
+          return reinterpret_cast<void*>(aligned);
+        }
+        // This chunk cannot fit the request; move the cursor forward. A
+        // retained chunk that is too small is skipped (it stays reserved
+        // and is reused by later, smaller allocations after a Reset).
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+      AddChunk(bytes + align);
+    }
+  }
+
+  // Typed array carve-out; elements are NOT initialized. Only trivially
+  // destructible types may live in an arena (nothing runs destructors).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  Mark Position() const { return {current_, offset_}; }
+
+  // Reclaims everything allocated after `mark` (O(1); chunks are retained).
+  void Rewind(const Mark& mark) {
+    current_ = mark.chunk;
+    offset_ = mark.offset;
+  }
+
+  // O(1) reset between requests: the cursor returns to the first chunk and
+  // every reserved chunk — including oversized large-block chunks — is kept
+  // for reuse, so a steady-state server allocates from the system only
+  // while a request sets a new high-water mark.
+  void Reset() {
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  // Returns every chunk to the system (used for idle trimming and tests).
+  void Release() {
+    chunks_.clear();
+    chunks_.shrink_to_fit();
+    reserved_bytes_ = 0;
+    current_ = 0;
+    offset_ = 0;
+    next_chunk_bytes_ = min_chunk_bytes_;
+  }
+
+  size_t NumChunks() const { return chunks_.size(); }
+  size_t ReservedBytes() const { return reserved_bytes_; }
+  // Bytes currently allocated (telemetry; walks the chunk list).
+  size_t UsedBytes() const {
+    size_t used = offset_;
+    for (size_t i = 0; i < current_ && i < chunks_.size(); ++i) {
+      used += chunks_[i].size;
+    }
+    return used;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  void AddChunk(size_t min_bytes);
+
+  const size_t min_chunk_bytes_;
+  size_t next_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t reserved_bytes_ = 0;
+  size_t current_ = 0;  // cursor chunk index (== chunks_.size() when full)
+  size_t offset_ = 0;   // bump offset within the cursor chunk
+};
+
+// RAII mark/rewind. Null-safe: a frame over a null arena is a no-op, so
+// call sites stay branch-free across the arena-on/arena-off legs.
+class ArenaFrame {
+ public:
+  explicit ArenaFrame(Arena* arena) : arena_(arena) {
+    if (arena_ != nullptr) mark_ = arena_->Position();
+  }
+  ~ArenaFrame() {
+    if (arena_ != nullptr) arena_->Rewind(mark_);
+  }
+  ArenaFrame(const ArenaFrame&) = delete;
+  ArenaFrame& operator=(const ArenaFrame&) = delete;
+
+ private:
+  Arena* const arena_;
+  Arena::Mark mark_;
+};
+
+// Per-thread scratch arena. DviCL worker tasks and the serving path carve
+// run-local state from their thread's arena under an ArenaFrame; between
+// requests the frame discipline returns the watermark to its entry value,
+// which is the "reset per request instead of freeing" behavior — memory is
+// retained by the thread and reused by the next request it serves.
+inline Arena& ThreadScratchArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+// Vector with inline storage for kInline elements that spills to its arena
+// (when constructed with one) or to the counted heap. Restricted to
+// trivially copyable+destructible element types — exactly the hot-path
+// payloads (vertex ids, counters, key/vertex pairs) — so growth is a
+// memcpy and arena reclamation never needs destructors.
+//
+// Allocator semantics: the arena binding is fixed at construction. The
+// copy CONSTRUCTOR deliberately produces a plain heap-backed copy (copying
+// a coloring must never smuggle arena pointers across a frame or thread
+// boundary); use the (other, arena) constructor to clone into an arena.
+// Copy ASSIGNMENT keeps the destination's own allocator and copies
+// elements.
+template <typename T, size_t kInline = 0>
+class SmallVec {
+  // Relocation is a memcpy and reclamation never runs destructors, so the
+  // element type must be trivially relocatable. Trivial copy CONSTRUCTION
+  // plus trivial destruction is the practical criterion (the one LLVM's
+  // SmallVector uses): it admits std::pair, whose assignment operator is
+  // formally non-trivial but whose object representation is still plain
+  // bits.
+  static_assert(std::is_trivially_copy_constructible_v<T>);
+  static_assert(std::is_trivially_destructible_v<T>);
+
+ public:
+  SmallVec() { InitInline(); }
+  explicit SmallVec(Arena* arena) : arena_(arena) { InitInline(); }
+  SmallVec(const SmallVec& other) {
+    InitInline();
+    assign(other.data(), other.data() + other.size());
+  }
+  SmallVec(const SmallVec& other, Arena* arena) : arena_(arena) {
+    InitInline();
+    assign(other.data(), other.data() + other.size());
+  }
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(std::move(other)); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other.data(), other.data() + other.size());
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      FreeHeapBuffer();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~SmallVec() { FreeHeapBuffer(); }
+
+  Arena* arena() const { return arena_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+  void pop_back() { --size_; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    // Placement copy-construction, not assignment: the slot's lifetime has
+    // not started, and T's assignment operator may be non-trivial (pair).
+    ::new (static_cast<void*>(data_ + size_)) T(value);
+    ++size_;
+  }
+
+  template <typename... Args>
+  void emplace_back(Args&&... args) {
+    push_back(T(static_cast<Args&&>(args)...));
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  // Value-initializes appended elements (matches std::vector::resize).
+  void resize(size_t n) {
+    reserve(n);
+    for (size_t i = size_; i < n; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T();
+    }
+    size_ = n;
+  }
+
+  void assign(size_t n, const T& value) {
+    clear();
+    reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(value);
+    }
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    const size_t n = static_cast<size_t>(std::distance(first, last));
+    reserve(n);
+    T* out = data_;
+    for (It it = first; it != last; ++it, ++out) {
+      ::new (static_cast<void*>(out)) T(*it);
+    }
+    size_ = n;
+  }
+
+  friend bool operator==(const SmallVec& lhs, const SmallVec& rhs) {
+    if (lhs.size_ != rhs.size_) return false;
+    for (size_t i = 0; i < lhs.size_; ++i) {
+      if (!(lhs.data_[i] == rhs.data_[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const SmallVec& lhs, const SmallVec& rhs) {
+    return !(lhs == rhs);
+  }
+
+ private:
+  T* InlinePtr() {
+    if constexpr (kInline > 0) {
+      return reinterpret_cast<T*>(inline_);
+    } else {
+      return nullptr;
+    }
+  }
+
+  bool UsesInlineOrNull() { return data_ == InlinePtr() || data_ == nullptr; }
+
+  void InitInline() {
+    data_ = InlinePtr();
+    capacity_ = kInline;
+    size_ = 0;
+  }
+
+  void MoveFrom(SmallVec&& other) noexcept {
+    arena_ = other.arena_;
+    if (other.UsesInlineOrNull()) {
+      InitInline();
+      if (other.size_ > 0) {
+        std::memcpy(static_cast<void*>(data_),
+                    static_cast<const void*>(other.data_),
+                    other.size_ * sizeof(T));
+      }
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+    }
+    other.InitInline();
+  }
+
+  void FreeHeapBuffer() {
+    if (arena_ == nullptr && !UsesInlineOrNull()) {
+      ::operator delete(data_);
+    }
+  }
+
+  void Grow(size_t min_cap) {
+    size_t new_cap = capacity_ == 0 ? 8 : capacity_ * 2;
+    if (new_cap < min_cap) new_cap = min_cap;
+    const size_t bytes = new_cap * sizeof(T);
+    T* fresh;
+    if (arena_ != nullptr) {
+      // Arena growth abandons the old buffer inside the current frame; the
+      // waste is bounded by the frame's lifetime and reclaimed at rewind.
+      // (The arena itself counts chunk refills.)
+      fresh = static_cast<T*>(arena_->Allocate(bytes, alignof(T)));
+    } else {
+      fresh = static_cast<T*>(::operator new(bytes));
+      arena_internal::CountAlloc(bytes);
+    }
+    if (size_ > 0) {
+      // void* cast: T may have a formally non-trivial assignment operator
+      // (pair) that -Wclass-memaccess would flag, but trivial copy
+      // construction guarantees the bytes are the value.
+      std::memcpy(static_cast<void*>(fresh), static_cast<const void*>(data_),
+                  size_ * sizeof(T));
+    }
+    FreeHeapBuffer();
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  Arena* arena_ = nullptr;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+  alignas(kInline > 0 ? alignof(T) : 1) unsigned char
+      inline_[kInline > 0 ? kInline * sizeof(T) : 1];
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_COMMON_ARENA_H_

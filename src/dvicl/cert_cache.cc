@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/failpoint.h"
 #include "refine/coloring.h"
 #include "refine/refiner.h"
@@ -46,7 +47,9 @@ CertCache::CertCache(const CertCacheConfig& config) : config_(config) {
 }
 
 uint64_t CertCache::KeyOf(const Graph& local_graph,
-                          std::span<const uint32_t> local_colors) {
+                          std::span<const uint32_t> local_colors,
+                          Arena* scratch) {
+  ArenaFrame frame(scratch);
   uint64_t h = 0x100001b3ull;
   h = MixHash(h, local_graph.NumVertices());
   h = MixHash(h, local_graph.NumEdges());
@@ -54,7 +57,7 @@ uint64_t CertCache::KeyOf(const Graph& local_graph,
   // Sorted (color, degree) profile: invariant under any relabeling that
   // preserves colors, cheap to compute, and already separates most
   // non-isomorphic pairs before the refinement-based component runs.
-  std::vector<uint64_t> profile;
+  SmallVec<uint64_t> profile(scratch);
   profile.reserve(local_graph.NumVertices());
   for (VertexId v = 0; v < local_graph.NumVertices(); ++v) {
     profile.push_back((static_cast<uint64_t>(local_colors[v]) << 32) |
@@ -66,8 +69,10 @@ uint64_t CertCache::KeyOf(const Graph& local_graph,
   // Refine-trace component: cell structure + quotient matrix of the
   // coarsest equitable refinement, with the refiner's isomorphism-invariant
   // cell order (refine/refiner.h).
-  h = MixHash(h, EquitableSignatureHash(local_graph,
-                                        Coloring::FromLabels(local_colors)));
+  h = MixHash(h,
+              EquitableSignatureHash(
+                  local_graph, Coloring::FromLabels(local_colors, scratch),
+                  scratch));
   return h;
 }
 

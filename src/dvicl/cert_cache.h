@@ -14,6 +14,8 @@
 
 namespace dvicl {
 
+class Arena;
+
 // Canonical-form cache for AutoTree leaf subproblems.
 //
 // DviCL's divide step repeatedly produces vertex-induced colored subgraphs
@@ -99,9 +101,13 @@ class CertCache {
   // (n, m, sorted (color, degree) profile, refine-trace hash from
   // refine/refiner.h). Isomorphic local colored graphs always produce the
   // same key; the converse is deliberately NOT promised — equal keys are
-  // resolved by exact verification inside Lookup.
+  // resolved by exact verification inside Lookup. `scratch` (may be null)
+  // is an arena for the key computation's transient state — the profile
+  // array and the signature-hash refinement — used under a frame, so
+  // nothing arena-backed survives the call.
   static uint64_t KeyOf(const Graph& local_graph,
-                        std::span<const uint32_t> local_colors);
+                        std::span<const uint32_t> local_colors,
+                        Arena* scratch = nullptr);
 
   // Verified lookup: returns an entry whose stored colored graph is
   // byte-identical to (local_graph, local_colors), or null. Records one

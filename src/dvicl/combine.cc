@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "obs/trace.h"
@@ -164,7 +165,8 @@ RunOutcome CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
     obs::TraceSpan probe_span(leaf_options.trace, "cert_cache.probe",
                               "cache");
     probe_span.AddArg("n", k);
-    cache_key = CertCache::KeyOf(local_graph, local_colors);
+    cache_key = CertCache::KeyOf(local_graph, local_colors,
+                                 leaf_options.arena);
     if (std::shared_ptr<const CachedLeaf> hit =
             cache->Lookup(cache_key, local_graph, local_colors)) {
       probe_span.AddArg("hit", 1);
@@ -179,8 +181,16 @@ RunOutcome CombineCL(AutoTreeNode* node, std::span<const uint32_t> colors,
     probe_span.AddArg("hit", 0);
   }
 
-  Coloring local_coloring = Coloring::FromLabels(local_colors);
-  IrResult ir = IrCanonicalLabeling(local_graph, local_coloring, leaf_options);
+  IrResult ir;
+  {
+    // The initial leaf coloring is transient (the IR run clones it into its
+    // own frame immediately); scope its frame tightly so the IR search
+    // starts from the pre-leaf watermark.
+    ArenaFrame coloring_frame(leaf_options.arena);
+    Coloring local_coloring =
+        Coloring::FromLabels(local_colors, leaf_options.arena);
+    ir = IrCanonicalLabeling(local_graph, local_coloring, leaf_options);
+  }
   if (aggregate_stats != nullptr) aggregate_stats->MergeFrom(ir.stats);
   if (!ir.completed()) return ir.outcome;
 

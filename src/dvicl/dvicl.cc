@@ -8,6 +8,7 @@
 #include <span>
 #include <utility>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/memory_budget.h"
@@ -34,6 +35,20 @@ bool CertCacheForcedOn() {
     return value != nullptr && value[0] == '1';
   }();
   return forced;
+}
+
+// CI matrix override for the arena switch. Unlike the cert-cache override
+// this is read FRESH on every run (no static caching) and supports both
+// directions — DVICL_ARENA=0 forces heap mode, DVICL_ARENA=1 forces arena
+// mode, anything else defers to DviclOptions::arena — so one test process
+// can exercise and compare both legs by setting/unsetting the variable.
+bool ArenaEnabled(const DviclOptions& options) {
+  const char* value = std::getenv("DVICL_ARENA");
+  if (value != nullptr && value[0] != '\0' && value[1] == '\0') {
+    if (value[0] == '0') return false;
+    if (value[0] == '1') return true;
+  }
+  return options.arena;
 }
 
 // DVICL_DCHECK: end-to-end verification of a completed run, at the DviCL
@@ -118,22 +133,34 @@ class DviclBuilder {
     obs::TraceSpan run_span(options_.trace, "dvicl.run");
     run_span.AddArg("n", graph_.NumVertices());
 
-    // Algorithm 1 lines 1-2: equitable refinement and color offsets.
+    arena_enabled_ = ArenaEnabled(options_);
+
+    // Algorithm 1 lines 1-2: equitable refinement and color offsets. The
+    // working coloring and the refinement scratch are carved from this
+    // thread's arena (frame-rewound before the block exits); only the
+    // color-offset array escapes, as a heap copy.
     Stopwatch phase;
     const uint64_t root_splitters_before = ThreadRefineSplitters();
     const uint64_t root_splits_before = ThreadRefineCellSplits();
+    const uint64_t root_allocs_before = ThreadAllocCount();
+    const uint64_t root_alloc_bytes_before = ThreadAllocBytes();
     {
       obs::TraceSpan refine_span(options_.trace, "dvicl.refine_root",
                                  "refine");
-      Coloring pi = initial;
+      Arena* arena = arena_enabled_ ? &ThreadScratchArena() : nullptr;
+      ArenaFrame frame(arena);
+      Coloring pi(initial, arena);
       RefineToEquitable(graph_, &pi);
-      result.colors = pi.ColorOffsets();
+      const std::span<const uint32_t> offsets = pi.ColorOffsetsView();
+      result.colors.assign(offsets.begin(), offsets.end());
     }
     result.stats.refine_seconds = phase.ElapsedSeconds();
     result.stats.refine_splitters =
         ThreadRefineSplitters() - root_splitters_before;
     result.stats.refine_cell_splits =
         ThreadRefineCellSplits() - root_splits_before;
+    result.stats.alloc_count = ThreadAllocCount() - root_allocs_before;
+    result.stats.alloc_bytes = ThreadAllocBytes() - root_alloc_bytes_before;
     colors_ = result.colors;
 
     const unsigned threads = options_.num_threads == 0
@@ -400,12 +427,21 @@ class DviclBuilder {
         const uint64_t ir_nodes_before = local.leaf_ir.tree_nodes;
         const uint64_t splitters_before = ThreadRefineSplitters();
         const uint64_t splits_before = ThreadRefineCellSplits();
+        const uint64_t allocs_before = ThreadAllocCount();
+        const uint64_t alloc_bytes_before = ThreadAllocBytes();
+        // The leaf search borrows this worker's scratch arena; CombineCL
+        // opens a frame over it, so the watermark is restored before the
+        // next leaf on this thread (memory retained, not freed).
+        IrOptions leaf_opts = leaf_options_;
+        leaf_opts.arena = arena_enabled_ ? &ThreadScratchArena() : nullptr;
         const RunOutcome leaf_outcome = CombineCL(
-            &node, colors_, leaf_options_, &local.leaf_ir, cache_);
+            &node, colors_, leaf_opts, &local.leaf_ir, cache_);
         // The leaf IR search runs entirely on this thread, so the
         // thread-local refinement counters attribute its work exactly.
         local.refine_splitters += ThreadRefineSplitters() - splitters_before;
         local.refine_cell_splits += ThreadRefineCellSplits() - splits_before;
+        local.alloc_count += ThreadAllocCount() - allocs_before;
+        local.alloc_bytes += ThreadAllocBytes() - alloc_bytes_before;
         node.leaf_ir_nodes = local.leaf_ir.tree_nodes - ir_nodes_before;
         leaf_span.AddArg("ir_nodes", node.leaf_ir_nodes);
         const double leaf_seconds = combine_watch.ElapsedSeconds();
@@ -556,6 +592,12 @@ class DviclBuilder {
     m->GetCounter("refine.splitters")->Add(stats.refine_splitters);
     m->GetCounter("refine.cell_splits")->Add(stats.refine_cell_splits);
 
+    // Hot-path allocator traffic (common/arena.h): the regression signal
+    // the alloc-regression harness and the bench JSON report on.
+    m->GetCounter("dvicl.alloc.count")->Add(stats.alloc_count);
+    m->GetCounter("dvicl.alloc.bytes")->Add(stats.alloc_bytes);
+    m->GetGauge("dvicl.arena")->Set(arena_enabled_ ? 1.0 : 0.0);
+
     m->GetCounter("ir.tree_nodes")->Add(stats.leaf_ir.tree_nodes);
     m->GetCounter("ir.leaves")->Add(stats.leaf_ir.leaves);
     m->GetCounter("ir.automorphisms_found")
@@ -646,6 +688,7 @@ class DviclBuilder {
   Stopwatch watch_;
   MemoryBudget memory_budget_;
   IrOptions leaf_options_;
+  bool arena_enabled_ = false;  // resolved from options + DVICL_ARENA in Run
   std::mutex stats_mu_;
   DviclStats merged_;
 

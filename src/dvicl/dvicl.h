@@ -87,6 +87,20 @@ struct DviclOptions {
   // many graphs from the same family). Non-null overrides `cert_cache` and
   // the budgets above; the caller keeps ownership.
   CertCache* shared_cert_cache = nullptr;
+
+  // Arena/pool memory for the refine+IR hot path (DESIGN.md §13): the root
+  // refinement and every leaf IR search carve their run-local state from
+  // the executing thread's scratch arena (common/arena.h) instead of the
+  // general-purpose heap. Everything that escapes a run — certificate,
+  // labeling, generators, cache entries — is heap-allocated either way, so
+  // this switch changes allocator traffic (dvicl.alloc.* metrics) and
+  // nothing else: canonical outputs are byte-identical across both legs
+  // for every thread count (guarded by parallel_determinism_test and the
+  // alloc_regression_test harness). The environment variable DVICL_ARENA
+  // overrides this option when set: "0" forces heap mode, "1" forces arena
+  // mode (the CI arena matrix legs); other values are ignored. It is read
+  // fresh on every run, so tests may set/unset it per leg.
+  bool arena = true;
 };
 
 struct DviclStats {
@@ -116,6 +130,14 @@ struct DviclStats {
   uint64_t refine_splitters = 0;
   uint64_t refine_cell_splits = 0;
 
+  // Hot-path allocator traffic (common/arena.h thread counters) attributed
+  // to the root refinement and the leaf combine steps: heap buffer
+  // acquisitions plus arena chunk refills. With the arena enabled a
+  // steady-state run only pays for chunk refills at new high-water marks,
+  // which is what the alloc-regression harness asserts on.
+  uint64_t alloc_count = 0;
+  uint64_t alloc_bytes = 0;
+
   IrStats leaf_ir;  // aggregated over all CombineCL invocations
 
   // Canonical-form cache activity of this run: counter fields are deltas
@@ -142,6 +164,8 @@ struct DviclStats {
     combine_seconds += other.combine_seconds;
     refine_splitters += other.refine_splitters;
     refine_cell_splits += other.refine_cell_splits;
+    alloc_count += other.alloc_count;
+    alloc_bytes += other.alloc_bytes;
     leaf_ir.MergeFrom(other.leaf_ir);
   }
 };

@@ -1,7 +1,8 @@
 #include "ir/invariant.h"
 
 #include <algorithm>
-#include <vector>
+
+#include "common/arena.h"
 
 namespace dvicl {
 
@@ -17,18 +18,22 @@ inline uint64_t MixHash(uint64_t h, uint64_t value) {
 uint64_t ComputeNodeInvariant(const Graph& graph, const Coloring& pi,
                               InvariantRule rule) {
   uint64_t hash = 0xcbf29ce484222325ull;
-  for (VertexId start : pi.CellStarts()) {
+  for (VertexId start : pi.Cells()) {
     hash = MixHash(hash, start);
     hash = MixHash(hash, pi.CellSizeAt(start));
   }
   if (rule == InvariantRule::kShapeAndAdjacency) {
     // For every vertex, hash (own color, multiset of neighbor colors); the
     // per-vertex hashes are combined commutatively within a cell so the
-    // result does not depend on vertex order.
-    for (VertexId start : pi.CellStarts()) {
+    // result does not depend on vertex order. One sort buffer serves every
+    // vertex of the node (this runs once per IR search-tree node, so a
+    // per-vertex allocation here dominated the traces-like preset).
+    ArenaFrame frame(pi.arena());
+    SmallVec<uint32_t, 128> neighbor_colors(pi.arena());
+    for (VertexId start : pi.Cells()) {
       uint64_t cell_hash = 0;
       for (VertexId v : pi.CellVerticesAt(start)) {
-        std::vector<uint32_t> neighbor_colors;
+        neighbor_colors.clear();
         neighbor_colors.reserve(graph.Degree(v));
         for (VertexId u : graph.Neighbors(v)) {
           neighbor_colors.push_back(pi.ColorOf(u));

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <numeric>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/memory_budget.h"
@@ -47,12 +48,18 @@ class IrSearch {
     obs::TraceSpan span(options_.trace, "ir.search", "ir");
     span.AddArg("n", graph_.NumVertices());
 
-    Coloring pi = initial;
+    // The run frame covers every arena carve-out of the search; declared
+    // before the root coloring so the rewind happens after all arena-backed
+    // locals are gone. Results that escape (labeling, certificate,
+    // generators) are heap-allocated members, never arena-backed.
+    ArenaFrame run_frame(arena_);
+    Coloring pi(initial, arena_);
     {
       obs::TraceSpan refine_span(options_.trace, "ir.refine_root", "refine");
       RefineToEquitable(graph_, &pi);
     }
-    colors_ = pi.ColorOffsets();
+    const std::span<const uint32_t> offsets = pi.ColorOffsetsView();
+    colors_.assign(offsets.begin(), offsets.end());
 
     Explore(pi, /*depth=*/0, /*cmp_with_best=*/0, /*on_ref_path=*/true);
     span.AddArg("tree_nodes", stats_.tree_nodes);
@@ -199,7 +206,7 @@ class IrSearch {
   class PrefixOrbits {
    public:
     PrefixOrbits(const IrSearch& search, size_t depth)
-        : search_(search), depth_(depth) {}
+        : search_(search), depth_(depth), parent_(search.arena_) {}
 
     VertexId Find(VertexId v) {
       Refresh();
@@ -239,7 +246,7 @@ class IrSearch {
 
     const IrSearch& search_;
     const size_t depth_;
-    std::vector<VertexId> parent_;
+    SmallVec<VertexId> parent_;
     size_t seen_ = 0;
   };
 
@@ -278,14 +285,15 @@ class IrSearch {
     const VertexId cell_start = SelectTargetCell(pi, config_.target_cell);
     assert(cell_start != kNoCell);
     auto cell = pi.CellVerticesAt(cell_start);
-    std::vector<VertexId> candidates(cell.begin(), cell.end());
+    SmallVec<VertexId, 16> candidates(arena_);
+    candidates.assign(cell.begin(), cell.end());
     std::sort(candidates.begin(), candidates.end());
 
     // P_C on reference-path nodes: individualize one representative per
     // orbit of the prefix-stabilizing subgroup discovered so far.
     const bool prune_by_orbits = on_ref_path && OnLiteralRefPath(depth);
     PrefixOrbits orbits(*this, depth);
-    std::vector<VertexId> processed;
+    SmallVec<VertexId, 16> processed(arena_);
 
     for (VertexId v : candidates) {
       if (aborted_) return kNoBackjump;
@@ -305,7 +313,13 @@ class IrSearch {
         processed.push_back(v);
       }
 
-      Coloring child = pi;
+      // Per-candidate frame: the child coloring, its refinement scratch and
+      // everything the subtree below allocates are reclaimed when this
+      // iteration ends. The frame opens AFTER the orbit block above, so any
+      // growth of `processed` / the orbit scratch lands outside it and
+      // survives into later iterations.
+      ArenaFrame child_frame(arena_);
+      Coloring child(pi, arena_);
       const VertexId singleton_start = child.ColorOf(v);
       const VertexId remainder_start = child.Individualize(v);
       const VertexId seeds[2] = {singleton_start, remainder_start};
@@ -359,6 +373,7 @@ class IrSearch {
   const Graph& graph_;
   const IrOptions options_;
   const PresetConfig config_;
+  Arena* const arena_ = options_.arena;
   Stopwatch stopwatch_;
 
   std::vector<uint32_t> colors_;

@@ -72,6 +72,14 @@ struct IrOptions {
   // backjumps, and a periodically sampled "ir.tree_nodes" counter track.
   // Null (the default) costs one branch per would-be event.
   obs::TraceRecorder* trace = nullptr;
+  // Optional bump arena (common/arena.h) for the search's node-local state:
+  // colorings, candidate lists and orbit scratch are carved from it under
+  // per-node frames instead of the heap. Not owned; must belong to the
+  // calling thread (the DviCL driver passes its worker's
+  // ThreadScratchArena()). Everything that escapes the run — labeling,
+  // certificate, generators — is heap-allocated regardless, so an aborted
+  // run cannot leak arena pointers (DESIGN.md §13). Null = plain heap.
+  Arena* arena = nullptr;
 };
 
 struct IrStats {

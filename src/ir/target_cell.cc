@@ -5,7 +5,7 @@ namespace dvicl {
 VertexId SelectTargetCell(const Coloring& pi, TargetCellRule rule) {
   VertexId chosen = kNoCell;
   VertexId chosen_size = 0;
-  for (VertexId start : pi.CellStarts()) {
+  for (VertexId start : pi.Cells()) {
     const VertexId size = pi.CellSizeAt(start);
     if (size <= 1) continue;
     switch (rule) {

@@ -37,8 +37,8 @@ void Coloring::CheckConsistency() const {
 #endif
 }
 
-Coloring Coloring::Unit(VertexId n) {
-  Coloring pi;
+Coloring Coloring::Unit(VertexId n, Arena* arena) {
+  Coloring pi(arena);
   pi.order_.resize(n);
   std::iota(pi.order_.begin(), pi.order_.end(), 0);
   pi.pos_ = pi.order_;
@@ -51,34 +51,39 @@ Coloring Coloring::Unit(VertexId n) {
   return pi;
 }
 
-Coloring Coloring::FromLabels(std::span<const uint32_t> labels) {
+Coloring Coloring::FromLabels(std::span<const uint32_t> labels, Arena* arena) {
   const VertexId n = static_cast<VertexId>(labels.size());
-  Coloring pi = Unit(n);
+  Coloring pi = Unit(n, arena);
   if (n == 0) return pi;
-  std::vector<uint64_t> keys(labels.begin(), labels.end());
-  pi.SplitCellByKeys(0, keys);
+  // The key array and fragment list are split-local scratch; when the
+  // coloring is arena-backed they land in the same frame as the coloring
+  // itself and are reclaimed with it.
+  SmallVec<uint64_t> keys(arena);
+  keys.reserve(n);
+  for (const uint32_t label : labels) keys.push_back(label);
+  FragmentBuffer fragments(arena);
+  pi.SplitCellByKeysInto(0, std::span<const uint64_t>(keys.data(), keys.size()),
+                         &fragments);
   return pi;
 }
 
 std::vector<VertexId> Coloring::CellStarts() const {
   std::vector<VertexId> starts;
   starts.reserve(num_cells_);
-  VertexId start = 0;
-  while (start < NumVertices()) {
-    starts.push_back(start);
-    start += cell_len_[start];
-  }
+  for (VertexId start : Cells()) starts.push_back(start);
   return starts;
 }
 
-std::vector<VertexId> Coloring::SplitCellByKeys(
-    VertexId start, std::span<const uint64_t> keys) {
+void Coloring::SplitCellByKeysInto(VertexId start,
+                                   std::span<const uint64_t> keys,
+                                   FragmentBuffer* fragments) {
+  fragments->clear();
   const VertexId len = cell_len_[start];
   assert(len > 0);
 
   // Gather (key, vertex) pairs and sort by key; ties keep any order since
   // vertices with equal keys stay in one cell.
-  std::vector<std::pair<uint64_t, VertexId>> entries;
+  SmallVec<std::pair<uint64_t, VertexId>, 16> entries(arena());
   entries.reserve(len);
   for (VertexId i = 0; i < len; ++i) {
     const VertexId v = order_[start + i];
@@ -88,20 +93,20 @@ std::vector<VertexId> Coloring::SplitCellByKeys(
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
   if (entries.front().first == entries.back().first) {
-    return {start};  // single fragment, no split
+    fragments->push_back(start);  // single fragment, no split
+    return;
   }
 
-  std::vector<VertexId> fragment_starts;
   VertexId cursor = start;
   VertexId fragment_start = start;
   uint64_t fragment_key = entries.front().first;
-  fragment_starts.push_back(start);
+  fragments->push_back(start);
   for (const auto& [key, v] : entries) {
     if (key != fragment_key) {
       cell_len_[fragment_start] = cursor - fragment_start;
       fragment_start = cursor;
       fragment_key = key;
-      fragment_starts.push_back(fragment_start);
+      fragments->push_back(fragment_start);
       ++num_cells_;
     }
     order_[cursor] = v;
@@ -110,19 +115,28 @@ std::vector<VertexId> Coloring::SplitCellByKeys(
     ++cursor;
   }
   cell_len_[fragment_start] = cursor - fragment_start;
-  return fragment_starts;
 }
 
-std::vector<VertexId> Coloring::SplitCellByTailGroups(
+std::vector<VertexId> Coloring::SplitCellByKeys(
+    VertexId start, std::span<const uint64_t> keys) {
+  FragmentBuffer fragments;
+  SplitCellByKeysInto(start, keys, &fragments);
+  return std::vector<VertexId>(fragments.begin(), fragments.end());
+}
+
+void Coloring::SplitCellByTailGroupsInto(
     VertexId start,
-    std::span<const std::pair<uint64_t, VertexId>> sorted_counted) {
+    std::span<const std::pair<uint64_t, VertexId>> sorted_counted,
+    FragmentBuffer* fragments) {
+  fragments->clear();
   const VertexId len = cell_len_[start];
   const VertexId k = static_cast<VertexId>(sorted_counted.size());
   assert(k > 0 && k <= len);
 
   // Degenerate: everything counted with a single key — no split.
   if (k == len && sorted_counted.front().first == sorted_counted.back().first) {
-    return {start};
+    fragments->push_back(start);
+    return;
   }
 
   // Move the counted vertices to the tail, preserving ascending key order:
@@ -142,12 +156,11 @@ std::vector<VertexId> Coloring::SplitCellByTailGroups(
     }
   }
 
-  std::vector<VertexId> fragments;
   const VertexId tail_start = start + len - k;
   if (k < len) {
     // The uncounted remainder keeps the original start.
     cell_len_[start] = len - k;
-    fragments.push_back(start);
+    fragments->push_back(start);
   }
   // Fragment the tail by key runs.
   VertexId fragment_start = tail_start;
@@ -155,12 +168,12 @@ std::vector<VertexId> Coloring::SplitCellByTailGroups(
     if (i > 0 && sorted_counted[i].first != sorted_counted[i - 1].first) {
       cell_len_[fragment_start] =
           tail_start + static_cast<VertexId>(i) - fragment_start;
-      fragments.push_back(fragment_start);
+      fragments->push_back(fragment_start);
       fragment_start = tail_start + static_cast<VertexId>(i);
     }
   }
   cell_len_[fragment_start] = start + len - fragment_start;
-  fragments.push_back(fragment_start);
+  fragments->push_back(fragment_start);
   // Assign each tail vertex its fragment start (single walk).
   {
     VertexId fs = tail_start;
@@ -169,8 +182,15 @@ std::vector<VertexId> Coloring::SplitCellByTailGroups(
       cell_start_of_[order_[i]] = fs;
     }
   }
-  num_cells_ += static_cast<VertexId>(fragments.size()) - 1;
-  return fragments;
+  num_cells_ += static_cast<VertexId>(fragments->size()) - 1;
+}
+
+std::vector<VertexId> Coloring::SplitCellByTailGroups(
+    VertexId start,
+    std::span<const std::pair<uint64_t, VertexId>> sorted_counted) {
+  FragmentBuffer fragments;
+  SplitCellByTailGroupsInto(start, sorted_counted, &fragments);
+  return std::vector<VertexId>(fragments.begin(), fragments.end());
 }
 
 VertexId Coloring::Individualize(VertexId v) {
@@ -206,9 +226,8 @@ Permutation Coloring::ToPermutation() const {
 }
 
 std::vector<uint32_t> Coloring::ColorOffsets() const {
-  std::vector<uint32_t> offsets(NumVertices());
-  for (VertexId v = 0; v < NumVertices(); ++v) offsets[v] = cell_start_of_[v];
-  return offsets;
+  const std::span<const uint32_t> view = ColorOffsetsView();
+  return std::vector<uint32_t>(view.begin(), view.end());
 }
 
 }  // namespace dvicl

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "graph/graph.h"
 #include "perm/permutation.h"
 
@@ -20,14 +21,41 @@ namespace dvicl {
 // a vertex (paper §4). Both keep all other cells' positions intact, which
 // is what makes cell start indices stable identifiers for the refinement
 // worklist.
+//
+// Storage: four structure-of-arrays vectors, each of fixed size n after
+// construction (splits and individualization rearrange but never resize).
+// They may be carved from an Arena (DESIGN.md §13): construct via the
+// arena-taking factories or the (other, arena) clone constructor, and keep
+// the coloring inside the ArenaFrame that covers its allocation. The plain
+// copy constructor ALWAYS produces a heap-backed copy, so accidentally
+// copying a coloring can never leak arena pointers across a frame or
+// thread boundary.
 class Coloring {
  public:
   // The unit coloring [V] on n vertices.
-  static Coloring Unit(VertexId n);
+  static Coloring Unit(VertexId n, Arena* arena = nullptr);
 
   // Groups vertices by label; cells ordered by ascending label value, so
   // the cell order is invariant under vertex relabeling.
-  static Coloring FromLabels(std::span<const uint32_t> labels);
+  static Coloring FromLabels(std::span<const uint32_t> labels,
+                             Arena* arena = nullptr);
+
+  Coloring(const Coloring& other) = default;  // heap-backed copy
+  // Clone into `arena` (heap-backed when arena is null).
+  Coloring(const Coloring& other, Arena* arena)
+      : order_(other.order_, arena),
+        pos_(other.pos_, arena),
+        cell_start_of_(other.cell_start_of_, arena),
+        cell_len_(other.cell_len_, arena),
+        num_cells_(other.num_cells_) {}
+  Coloring(Coloring&&) noexcept = default;
+  Coloring& operator=(const Coloring&) = default;
+  Coloring& operator=(Coloring&&) noexcept = default;
+
+  // The arena this coloring's storage lives in (null = heap). Refinement
+  // runs use it for their scratch, so an arena-backed coloring implies an
+  // arena-backed refinement.
+  Arena* arena() const { return order_.arena(); }
 
   VertexId NumVertices() const { return static_cast<VertexId>(order_.size()); }
   VertexId NumCells() const { return num_cells_; }
@@ -42,16 +70,79 @@ class Coloring {
     return {order_.data() + start, order_.data() + start + cell_len_[start]};
   }
 
-  // All cell start indices in partition order.
+  // Zero-allocation forward range over the cell start indices in partition
+  // order: `for (VertexId start : pi.Cells())`. This is the view hot loops
+  // (refiner worklist seeding, target-cell selection, node invariants) use
+  // instead of materializing CellStarts(); it walks cell_len_ in place and
+  // is invalidated by any mutation of the coloring.
+  class CellStartIterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = VertexId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const VertexId*;
+    using reference = VertexId;
+
+    CellStartIterator(const VertexId* len, VertexId start)
+        : len_(len), start_(start) {}
+    VertexId operator*() const { return start_; }
+    CellStartIterator& operator++() {
+      start_ += len_[start_];
+      return *this;
+    }
+    CellStartIterator operator++(int) {
+      CellStartIterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const CellStartIterator& a,
+                           const CellStartIterator& b) {
+      return a.start_ == b.start_;
+    }
+    friend bool operator!=(const CellStartIterator& a,
+                           const CellStartIterator& b) {
+      return a.start_ != b.start_;
+    }
+
+   private:
+    const VertexId* len_;
+    VertexId start_;
+  };
+
+  class CellStartRange {
+   public:
+    CellStartRange(const VertexId* len, VertexId n) : len_(len), n_(n) {}
+    CellStartIterator begin() const { return {len_, 0}; }
+    CellStartIterator end() const { return {len_, n_}; }
+
+   private:
+    const VertexId* len_;
+    VertexId n_;
+  };
+
+  CellStartRange Cells() const { return {cell_len_.data(), NumVertices()}; }
+
+  // All cell start indices in partition order, as a fresh vector. Compat
+  // API for cold callers (tests, SSM backtracking, benches); hot loops use
+  // Cells() instead.
   std::vector<VertexId> CellStarts() const;
 
   VertexId VertexAtPosition(VertexId pos) const { return order_[pos]; }
   VertexId PositionOf(VertexId v) const { return pos_[v]; }
 
+  // Reusable fragment-list buffer for the *Into split variants: fragment
+  // counts are almost always tiny, so the inline capacity makes the common
+  // case allocation-free; a spill goes to the buffer's arena or heap.
+  using FragmentBuffer = SmallVec<VertexId, 8>;
+
   // Splits the cell at `start` into fragments ordered by ascending
-  // key[vertex]. Returns the fragment start indices (in order); a
-  // single-fragment result means no split happened and the vector has one
-  // entry (`start`). Costs O(cell size * log).
+  // key[vertex], appending the fragment start indices (in order) to
+  // *fragments (cleared first); a single-entry result means no split
+  // happened. Costs O(cell size * log).
+  void SplitCellByKeysInto(VertexId start, std::span<const uint64_t> keys,
+                           FragmentBuffer* fragments);
+
+  // Allocating wrapper (compat API for tests and cold callers).
   std::vector<VertexId> SplitCellByKeys(VertexId start,
                                         std::span<const uint64_t> keys);
 
@@ -59,9 +150,16 @@ class Coloring {
   // pairs — a subset of the cell's vertices, sorted by ascending key with
   // every key > 0 — which are moved to the tail of the segment and grouped
   // by key; the unlisted vertices (conceptual key 0) keep the fragment at
-  // `start`. Returns all fragment starts in order. Costs
-  // O(|sorted_counted|), independent of the cell size, which is what keeps
-  // refinement near-linear when small splitters touch huge cells.
+  // `start`. Appends all fragment starts in order to *fragments (cleared
+  // first). Costs O(|sorted_counted|), independent of the cell size, which
+  // is what keeps refinement near-linear when small splitters touch huge
+  // cells.
+  void SplitCellByTailGroupsInto(
+      VertexId start,
+      std::span<const std::pair<uint64_t, VertexId>> sorted_counted,
+      FragmentBuffer* fragments);
+
+  // Allocating wrapper (compat API for tests and cold callers).
   std::vector<VertexId> SplitCellByTailGroups(
       VertexId start,
       std::span<const std::pair<uint64_t, VertexId>> sorted_counted);
@@ -76,7 +174,14 @@ class Coloring {
   // v -> position (paper §2).
   Permutation ToPermutation() const;
 
-  // pi(v) for every v, as a plain array (Algorithm 1 line 2).
+  // pi(v) for every v (Algorithm 1 line 2): a zero-allocation view of the
+  // per-vertex cell-start array, invalidated by any mutation. Callers that
+  // need the offsets to outlive the coloring copy from this view.
+  std::span<const uint32_t> ColorOffsetsView() const {
+    return {cell_start_of_.data(), cell_start_of_.size()};
+  }
+
+  // Allocating wrapper (compat API).
   std::vector<uint32_t> ColorOffsets() const;
 
   friend bool operator==(const Coloring& lhs, const Coloring& rhs) {
@@ -93,11 +198,13 @@ class Coloring {
 
  private:
   Coloring() = default;
+  explicit Coloring(Arena* arena)
+      : order_(arena), pos_(arena), cell_start_of_(arena), cell_len_(arena) {}
 
-  std::vector<VertexId> order_;          // vertices, cells contiguous
-  std::vector<VertexId> pos_;            // inverse of order_
-  std::vector<VertexId> cell_start_of_;  // per vertex: its cell's start
-  std::vector<VertexId> cell_len_;       // valid at cell start indices
+  SmallVec<VertexId> order_;          // vertices, cells contiguous
+  SmallVec<VertexId> pos_;            // inverse of order_
+  SmallVec<VertexId> cell_start_of_;  // per vertex: its cell's start
+  SmallVec<VertexId> cell_len_;       // valid at cell start indices
   VertexId num_cells_ = 0;
 };
 

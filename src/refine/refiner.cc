@@ -1,9 +1,9 @@
 #include "refine/refiner.h"
 
 #include <algorithm>
-#include <deque>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 
 namespace dvicl {
@@ -15,27 +15,50 @@ namespace {
 thread_local uint64_t tl_splitters = 0;
 thread_local uint64_t tl_cell_splits = 0;
 
-// Worklist refinement state shared by the two entry points.
+// Worklist refinement state shared by the two entry points. The scratch
+// arrays are all fixed-size (bounded by n) and live exactly as long as one
+// refinement, so they are carved from the coloring's arena when it has one
+// (under a frame that rewinds when the run ends) and from the counted heap
+// otherwise — the arena-off leg deliberately keeps per-call heap
+// allocations so ASan's per-allocation poisoning still covers the buffers
+// and the allocation-regression test has a baseline to compare against.
 class RefinementRun {
  public:
   RefinementRun(const Graph& graph, Coloring* pi)
       : graph_(graph),
         pi_(pi),
-        count_(graph.NumVertices(), 0),
-        in_queue_(graph.NumVertices(), false) {}
+        frame_(pi->arena()),
+        count_(pi->arena()),
+        in_queue_(pi->arena()),
+        queue_(pi->arena()),
+        splitter_(pi->arena()),
+        touched_(pi->arena()),
+        grouped_(pi->arena()),
+        counted_pairs_(pi->arena()),
+        fragments_(pi->arena()) {
+    const VertexId n = graph.NumVertices();
+    count_.resize(n);     // zero-filled
+    in_queue_.resize(n);  // zero-filled
+    // Fixed-capacity ring: at most one live entry per distinct cell start
+    // (guarded by in_queue_), so n + 1 slots can never overflow.
+    queue_.resize(static_cast<size_t>(n) + 1);
+    splitter_.reserve(n);
+    touched_.reserve(n);
+  }
 
   void Enqueue(VertexId cell_start) {
     if (!in_queue_[cell_start]) {
-      in_queue_[cell_start] = true;
-      queue_.push_back(cell_start);
+      in_queue_[cell_start] = 1;
+      queue_[tail_] = cell_start;
+      tail_ = tail_ + 1 == queue_.size() ? 0 : tail_ + 1;
     }
   }
 
   void Run() {
-    while (!queue_.empty() && !pi_->IsDiscrete()) {
-      const VertexId splitter_start = queue_.front();
-      queue_.pop_front();
-      in_queue_[splitter_start] = false;
+    while (head_ != tail_ && !pi_->IsDiscrete()) {
+      const VertexId splitter_start = queue_[head_];
+      head_ = head_ + 1 == queue_.size() ? 0 : head_ + 1;
+      in_queue_[splitter_start] = 0;
       UseSplitter(splitter_start);
     }
   }
@@ -94,27 +117,30 @@ class RefinementRun {
         counted_pairs_.emplace_back(grouped_[i].count, grouped_[i].vertex);
       }
       const bool was_queued = in_queue_[cs];
-      const std::vector<VertexId> fragments =
-          pi_->SplitCellByTailGroups(cs, counted_pairs_);
+      pi_->SplitCellByTailGroupsInto(
+          cs,
+          std::span<const std::pair<uint64_t, VertexId>>(
+              counted_pairs_.data(), counted_pairs_.size()),
+          &fragments_);
       lo = hi;
-      if (fragments.size() <= 1) continue;
-      tl_cell_splits += fragments.size() - 1;
+      if (fragments_.size() <= 1) continue;
+      tl_cell_splits += fragments_.size() - 1;
 
       if (was_queued) {
         // The queue entry for `cs` now denotes the first fragment; enqueue
         // the remaining fragments so the full old splitter is still covered.
-        for (size_t i = 1; i < fragments.size(); ++i) Enqueue(fragments[i]);
+        for (size_t i = 1; i < fragments_.size(); ++i) Enqueue(fragments_[i]);
       } else {
         // Hopcroft's rule: all fragments but one largest suffice.
         size_t largest = 0;
-        for (size_t i = 1; i < fragments.size(); ++i) {
-          if (pi_->CellSizeAt(fragments[i]) >
-              pi_->CellSizeAt(fragments[largest])) {
+        for (size_t i = 1; i < fragments_.size(); ++i) {
+          if (pi_->CellSizeAt(fragments_[i]) >
+              pi_->CellSizeAt(fragments_[largest])) {
             largest = i;
           }
         }
-        for (size_t i = 0; i < fragments.size(); ++i) {
-          if (i != largest) Enqueue(fragments[i]);
+        for (size_t i = 0; i < fragments_.size(); ++i) {
+          if (i != largest) Enqueue(fragments_[i]);
         }
       }
     }
@@ -130,20 +156,26 @@ class RefinementRun {
 
   const Graph& graph_;
   Coloring* pi_;
-  std::vector<uint64_t> count_;
-  std::vector<bool> in_queue_;
-  std::deque<VertexId> queue_;
-  std::vector<VertexId> splitter_;
-  std::vector<VertexId> touched_;
-  std::vector<Counted> grouped_;
-  std::vector<std::pair<uint64_t, VertexId>> counted_pairs_;
+  // Declared before the scratch vectors: members destroy in reverse order,
+  // so the frame rewinds the arena only after every scratch buffer is gone.
+  ArenaFrame frame_;
+  SmallVec<uint64_t> count_;
+  SmallVec<uint8_t> in_queue_;
+  SmallVec<VertexId> queue_;  // ring storage; head_/tail_ below
+  size_t head_ = 0;
+  size_t tail_ = 0;
+  SmallVec<VertexId> splitter_;
+  SmallVec<VertexId> touched_;
+  SmallVec<Counted> grouped_;
+  SmallVec<std::pair<uint64_t, VertexId>> counted_pairs_;
+  Coloring::FragmentBuffer fragments_;
 };
 
 }  // namespace
 
 void RefineToEquitable(const Graph& graph, Coloring* pi) {
   RefinementRun run(graph, pi);
-  for (VertexId start : pi->CellStarts()) run.Enqueue(start);
+  for (VertexId start : pi->Cells()) run.Enqueue(start);
   run.Run();
   VerifyEquitable(graph, *pi);
 }
@@ -164,7 +196,7 @@ void VerifyEquitable(const Graph& graph, const Coloring& pi) {
   // sorted profile per vertex). O(m log deg) total.
   std::vector<VertexId> rep_profile;
   std::vector<VertexId> member_profile;
-  for (VertexId cs : pi.CellStarts()) {
+  for (VertexId cs : pi.Cells()) {
     const auto cell = pi.CellVerticesAt(cs);
     if (cell.size() == 1) continue;
     rep_profile.clear();
@@ -194,34 +226,42 @@ uint64_t ThreadRefineSplitters() { return tl_splitters; }
 
 uint64_t ThreadRefineCellSplits() { return tl_cell_splits; }
 
-uint64_t EquitableSignatureHash(const Graph& graph, const Coloring& initial) {
-  Coloring pi = initial;
+uint64_t EquitableSignatureHash(const Graph& graph, const Coloring& initial,
+                                Arena* scratch) {
+  // The refined copy and the rank/row scratch live only for this call, so
+  // they are carved from `scratch` (under a frame) when the caller has an
+  // arena — the cert-cache probe path passes the leaf arena here.
+  ArenaFrame frame(scratch);
+  Coloring pi(initial, scratch);
   RefineToEquitable(graph, &pi);
 
   auto mix = [](uint64_t h, uint64_t value) {
     h ^= value + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     return h;
   };
-  const std::vector<VertexId> starts = pi.CellStarts();
   uint64_t h = 0xcbf29ce484222325ull;
   h = mix(h, graph.NumVertices());
   h = mix(h, graph.NumEdges());
-  h = mix(h, starts.size());
+  h = mix(h, pi.NumCells());
   // Cell-rank of every vertex, for the quotient row below.
-  std::vector<uint32_t> rank_of(graph.NumVertices());
-  for (size_t i = 0; i < starts.size(); ++i) {
-    for (VertexId v : pi.CellVerticesAt(starts[i])) {
-      rank_of[v] = static_cast<uint32_t>(i);
+  SmallVec<uint32_t> rank_of(scratch);
+  rank_of.resize(graph.NumVertices());
+  {
+    uint32_t rank = 0;
+    for (VertexId cs : pi.Cells()) {
+      for (VertexId v : pi.CellVerticesAt(cs)) rank_of[v] = rank;
+      ++rank;
     }
   }
-  std::vector<uint64_t> row(starts.size());
-  for (size_t i = 0; i < starts.size(); ++i) {
-    h = mix(h, starts[i]);
-    h = mix(h, pi.CellSizeAt(starts[i]));
+  SmallVec<uint64_t> row(scratch);
+  row.resize(pi.NumCells());
+  for (VertexId cs : pi.Cells()) {
+    h = mix(h, cs);
+    h = mix(h, pi.CellSizeAt(cs));
     // Equitable: any representative of the cell has the same per-cell
     // neighbor counts, so one vertex determines the whole quotient row.
     std::fill(row.begin(), row.end(), 0);
-    const VertexId rep = pi.CellVerticesAt(starts[i]).front();
+    const VertexId rep = pi.CellVerticesAt(cs).front();
     for (VertexId u : graph.Neighbors(rep)) ++row[rank_of[u]];
     for (uint64_t count : row) h = mix(h, count);
   }

@@ -52,8 +52,11 @@ void VerifyEquitable(const Graph& graph, const Coloring& pi);
 // yields the same hash: this is the "refine-trace" component of the
 // canonical-form cache key (dvicl/cert_cache.h). Cost: one refinement plus
 // O(n + m); it does not touch the thread-local work counters' semantics
-// (the refinement work it performs is counted like any other).
-uint64_t EquitableSignatureHash(const Graph& graph, const Coloring& initial);
+// (the refinement work it performs is counted like any other). The refined
+// copy and rank/row scratch are carved from `scratch` under an ArenaFrame
+// when one is supplied (heap otherwise).
+uint64_t EquitableSignatureHash(const Graph& graph, const Coloring& initial,
+                                Arena* scratch = nullptr);
 
 // Per-thread monotone counters of refinement work, always maintained (a
 // thread-local increment costs nothing measurable, so there is no off

@@ -523,6 +523,7 @@ DviclOptions Server::RunOptionsFor(const Request& request,
                                  ? request.memory_limit_mib
                                  : defaults.memory_limit_mib;
   options.shared_cert_cache = cache_.get();  // null = cache disabled
+  options.arena = options_.arena;
   return options;
 }
 

@@ -76,6 +76,13 @@ struct ServerOptions {
   uint64_t cert_cache_max_entries = 1ull << 16;
   uint64_t cert_cache_max_bytes = 64ull << 20;
 
+  // Arena/pool memory for every request's refine+IR hot path (DESIGN.md
+  // §13). Pool worker threads persist across requests, so each worker's
+  // scratch arena reaches steady state after the first few requests and
+  // later ones run with near-zero allocator traffic. Replies are
+  // byte-identical either way; DVICL_ARENA overrides per run.
+  bool arena = true;
+
   // Default budgets by RequestClass index. Compute classes default to a
   // 30-second deadline; kServerStats/kServerMetrics are pure control plane
   // and unbudgeted.

@@ -12,6 +12,7 @@
 //   --max-batch=N        frames drained per dispatch batch
 //   --max-pending=N      admission cap on in-flight requests
 //   --cert-cache=0|1     shared canonical-form cache
+//   --arena=0|1          per-worker arena memory for the refine+IR hot path
 //   --deadline-seconds=S default deadline for every compute class
 //   --node-budget=N      default leaf IR node budget for every compute class
 //   --memory-limit-mib=N default per-run RSS-delta budget
@@ -175,6 +176,8 @@ int main(int argc, char** argv) {
       options.max_in_flight = ParseU64(value, "--max-pending");
     } else if (FlagValue(arg, "--cert-cache", &value)) {
       options.cert_cache = ParseU64(value, "--cert-cache") != 0;
+    } else if (FlagValue(arg, "--arena", &value)) {
+      options.arena = ParseU64(value, "--arena") != 0;
     } else if (FlagValue(arg, "--deadline-seconds", &value)) {
       const double seconds = std::strtod(value.c_str(), nullptr);
       for (uint8_t cls = 0; cls < dvicl::server::kNumRequestClasses; ++cls) {

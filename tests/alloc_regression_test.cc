@@ -1,0 +1,160 @@
+// Allocation-regression harness (DESIGN.md §13): the arena exists to take
+// general-purpose heap churn out of the refine+IR hot path, and this test is
+// the gate that keeps it that way. For a pinned set of families — headlined
+// by the gadget forest the serving mix is built from — it runs the identical
+// workload with the arena off and on and requires the arena leg's
+// dvicl.alloc.count (SmallVec heap-buffer growth + arena chunk refills,
+// summed across worker threads into DviclStats) to come in at no more than
+// DVICL_ALLOC_RATIO (default 0.5, i.e. at least 2x fewer allocation events)
+// of the heap leg. Certificates must stay byte-identical between legs, so a
+// "fix" that changes canonical behavior cannot hide behind the ratio.
+//
+// The pinned families and the default ratio are part of the regression
+// contract: loosening either needs the same scrutiny as a golden-corpus
+// regeneration. DVICL_ALLOC_RATIO is env-overridable for diagnosis and for
+// platforms whose allocator granularity shifts the baseline.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "datasets/generators.h"
+#include "dvicl/dvicl.h"
+#include "graph/graph.h"
+#include "refine/coloring.h"
+
+namespace dvicl {
+namespace {
+
+// The explicit DviclOptions::arena setting must win for both legs, even
+// under a CI matrix leg that pins DVICL_ARENA; restore the pin on exit.
+class ScopedClearArenaEnv {
+ public:
+  ScopedClearArenaEnv() {
+    if (const char* env = std::getenv("DVICL_ARENA")) {
+      saved_ = env;
+      had_value_ = true;
+      unsetenv("DVICL_ARENA");
+    }
+  }
+  ~ScopedClearArenaEnv() {
+    if (had_value_) setenv("DVICL_ARENA", saved_.c_str(), /*overwrite=*/1);
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+double AllocRatioThreshold() {
+  if (const char* env = std::getenv("DVICL_ALLOC_RATIO")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env && parsed > 0.0) return parsed;
+  }
+  return 0.5;
+}
+
+struct Pinned {
+  const char* name;
+  Graph graph;
+};
+
+// The regression set: the serving-mix gadget forest plus families that
+// stress distinct hot-path shapes — many small cells (CFI), deep
+// refinement (Miyazaki-like), irregular sparse (Erdos-Renyi), and a
+// twin-heavy graph whose IR search expands many candidate children.
+std::vector<Pinned> PinnedFamilies() {
+  std::vector<Pinned> out;
+  out.push_back({"GadgetForest", GadgetForestGraph(6, 6)});
+  out.push_back({"CfiUntwisted", CfiGraph(8, false)});
+  out.push_back({"MiyazakiLike", MiyazakiLikeGraph(4)});
+  out.push_back({"ErdosRenyi", ErdosRenyiGraph(60, 0.08, 11)});
+  out.push_back(
+      {"WithTwinClasses",
+       WithTwinClasses(PreferentialAttachmentGraph(60, 2, 18), 0.3, 4, 19)});
+  return out;
+}
+
+DviclResult RunLeg(const Graph& g, bool arena, uint32_t threads,
+                   bool cert_cache) {
+  DviclOptions options;
+  options.arena = arena;
+  options.num_threads = threads;
+  options.parallel_grain_vertices = 2;
+  options.cert_cache = cert_cache;
+  return DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
+}
+
+TEST(AllocRegressionTest, ArenaHalvesAllocationEventsOnPinnedFamilies) {
+  ScopedClearArenaEnv clear_env;
+  const double ratio = AllocRatioThreshold();
+
+  for (const bool cache : {false, true}) {
+    for (const uint32_t threads : {1u, 4u}) {
+      uint64_t off_total = 0;
+      uint64_t on_total = 0;
+      for (const Pinned& family : PinnedFamilies()) {
+        const DviclResult off =
+            RunLeg(family.graph, /*arena=*/false, threads, cache);
+        const DviclResult on =
+            RunLeg(family.graph, /*arena=*/true, threads, cache);
+        ASSERT_TRUE(off.completed()) << family.name;
+        ASSERT_TRUE(on.completed()) << family.name;
+
+        // The ratio is only a license to change WHERE memory comes from,
+        // never WHAT is computed.
+        ASSERT_EQ(on.certificate, off.certificate)
+            << family.name << " threads=" << threads << " cache=" << cache;
+        ASSERT_TRUE(on.canonical_labeling == off.canonical_labeling)
+            << family.name << " threads=" << threads << " cache=" << cache;
+
+        std::printf(
+            "alloc[%s t=%u cc=%d] off=%llu on=%llu (bytes %llu -> %llu)\n",
+            family.name, threads, cache ? 1 : 0,
+            static_cast<unsigned long long>(off.stats.alloc_count),
+            static_cast<unsigned long long>(on.stats.alloc_count),
+            static_cast<unsigned long long>(off.stats.alloc_bytes),
+            static_cast<unsigned long long>(on.stats.alloc_bytes));
+        off_total += off.stats.alloc_count;
+        on_total += on.stats.alloc_count;
+      }
+
+      // The heap leg must register real allocation traffic — a zero baseline
+      // would mean the counters are disconnected and the gate is vacuous.
+      ASSERT_GT(off_total, 0u) << "threads=" << threads << " cache=" << cache;
+      EXPECT_LE(static_cast<double>(on_total),
+                ratio * static_cast<double>(off_total))
+          << "arena leg regressed past " << ratio
+          << "x of the heap leg's allocation events (threads=" << threads
+          << " cache=" << cache << ", off=" << off_total
+          << " on=" << on_total
+          << "). If intentional, justify and adjust DVICL_ALLOC_RATIO.";
+    }
+  }
+}
+
+TEST(AllocRegressionTest, AllocStatsAreExportedAndMerged) {
+  ScopedClearArenaEnv clear_env;
+  // Sanity for the stats plumbing itself: a multi-threaded heap-leg run
+  // must merge nonzero counters from worker threads into the result stats,
+  // and MergeFrom must accumulate rather than overwrite.
+  const Graph g = GadgetForestGraph(6, 6);
+  const DviclResult r = RunLeg(g, /*arena=*/false, 4, /*cert_cache=*/false);
+  ASSERT_TRUE(r.completed());
+  EXPECT_GT(r.stats.alloc_count, 0u);
+  EXPECT_GT(r.stats.alloc_bytes, 0u);
+
+  DviclStats merged;
+  merged.MergeFrom(r.stats);
+  merged.MergeFrom(r.stats);
+  EXPECT_EQ(merged.alloc_count, 2 * r.stats.alloc_count);
+  EXPECT_EQ(merged.alloc_bytes, 2 * r.stats.alloc_bytes);
+}
+
+}  // namespace
+}  // namespace dvicl

@@ -47,6 +47,28 @@ bool RegenRequested() {
   return env != nullptr && env[0] != '\0' && std::string(env) != "0";
 }
 
+// Clears DVICL_ARENA for the duration of a test so DviclOptions::arena takes
+// effect even under a CI matrix leg that pins the mode, then restores the
+// pin for subsequent tests in the same binary.
+class ScopedClearArenaEnv {
+ public:
+  ScopedClearArenaEnv() {
+    const char* env = std::getenv("DVICL_ARENA");
+    if (env != nullptr) {
+      saved_ = env;
+      had_value_ = true;
+      unsetenv("DVICL_ARENA");
+    }
+  }
+  ~ScopedClearArenaEnv() {
+    if (had_value_) setenv("DVICL_ARENA", saved_.c_str(), /*overwrite=*/1);
+  }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
 std::filesystem::path GoldenPath(const std::string& family) {
   return std::filesystem::path(DVICL_GOLDEN_DIR) / (family + ".golden");
 }
@@ -84,9 +106,10 @@ std::string ReadFileOrEmpty(const std::filesystem::path& path) {
   return buffer.str();
 }
 
-DviclResult RunFamily(const Graph& g, bool cert_cache) {
+DviclResult RunFamily(const Graph& g, bool cert_cache, bool arena = true) {
   DviclOptions options;
   options.cert_cache = cert_cache;
+  options.arena = arena;
   return DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
 }
 
@@ -143,6 +166,35 @@ TEST_P(GoldenCertTest, CacheOnRunMatchesGoldenBytes) {
       << "cert-cache-enabled run drifted from the golden corpus for "
       << family.name << " — a cache hit failed to reconstruct the exact "
       << "bytes the IR search produces.";
+}
+
+TEST_P(GoldenCertTest, ArenaOffRunMatchesGoldenBytes) {
+  // The default legs above run with the arena on; this leg pins the plain
+  // heap-allocation path to the same golden bytes, so the two memory modes
+  // can never drift apart without one of them failing the corpus. Both the
+  // cache-off and cache-on variants run here: the arena also backs the
+  // cert-cache key derivation scratch, so the key (and therefore which
+  // leaves hit) must be mode-independent too.
+  if (RegenRequested()) GTEST_SKIP() << "regen handled by MatchesGoldenBytes";
+  ScopedClearArenaEnv clear_env;
+  const Family& family = GetParam();
+  const Graph g = family.make();
+
+  const std::string golden = ReadFileOrEmpty(GoldenPath(family.name));
+  ASSERT_FALSE(golden.empty()) << "missing golden file for " << family.name;
+
+  for (const bool cache : {false, true}) {
+    const DviclResult result = RunFamily(g, cache, /*arena=*/false);
+    ASSERT_TRUE(result.completed()) << "cache=" << cache;
+    const std::string current =
+        Serialize(family.name, g,
+                  GroupOrderOf(g.NumVertices(), result.generators),
+                  result.certificate);
+    EXPECT_EQ(golden, current)
+        << "arena-off run (cache=" << cache
+        << ") drifted from the golden corpus for " << family.name
+        << " — heap and arena legs must produce identical canonical bytes.";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, GoldenCertTest,

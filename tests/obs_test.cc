@@ -283,7 +283,10 @@ TEST(MetricsTest, SnapshotsStayConsistentUnderConcurrentRecording) {
   uint64_t last_count = 0;
   uint64_t snapshots_taken = 0;
   std::thread reader([&] {
-    while (!stop.load(std::memory_order_acquire)) {
+    // do-while: on a loaded machine the writers can finish before this
+    // thread is first scheduled; at least one snapshot must still be
+    // validated or the EXPECT_GT below races with the scheduler.
+    do {
       const obs::HistogramSnapshot snap = h->Snapshot();
       uint64_t bucket_total = 0;
       for (uint64_t b : snap.buckets) bucket_total += b;
@@ -293,7 +296,7 @@ TEST(MetricsTest, SnapshotsStayConsistentUnderConcurrentRecording) {
       last_count = snap.count;
       ++snapshots_taken;
       ASSERT_TRUE(IsValidJson(registry.ToJson()));
-    }
+    } while (!stop.load(std::memory_order_acquire));
   });
 
   for (std::thread& t : writers) t.join();

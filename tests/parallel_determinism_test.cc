@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -82,13 +83,14 @@ BigUint GroupOrderOf(VertexId n, const std::vector<SparseAut>& gens) {
 class ParallelDeterminismTest : public ::testing::TestWithParam<Family> {};
 
 DviclResult RunWithThreads(const Graph& g, uint32_t threads,
-                           bool cert_cache = false) {
+                           bool cert_cache = false, bool arena = true) {
   DviclOptions options;
   options.num_threads = threads;
   // Tiny grain so even small test graphs actually exercise cross-thread
   // dispatch instead of degenerating to inline execution.
   options.parallel_grain_vertices = 2;
   options.cert_cache = cert_cache;
+  options.arena = arena;
   return DviclCanonicalLabeling(g, Coloring::Unit(g.NumVertices()), options);
 }
 
@@ -161,6 +163,56 @@ TEST_P(ParallelDeterminismTest, CertCacheHitsAreBitIdentical) {
     EXPECT_EQ(TreeFingerprint(r.tree, n), base_print) << "threads=" << threads;
     EXPECT_EQ(GroupOrderOf(n, r.generators), base_order)
         << "threads=" << threads;
+  }
+}
+
+TEST_P(ParallelDeterminismTest, ArenaLegsAreBitIdentical) {
+  // The arena only changes where the refine+IR hot path gets its transient
+  // memory from; the canonical outputs — certificate, labeling, generator
+  // set, |Aut|, tree bytes — must be identical between the heap leg and the
+  // arena leg for every thread count and both cache legs. DVICL_ARENA is
+  // cleared for the duration of this test so the explicit DviclOptions::arena
+  // setting takes effect even under a CI matrix leg that pins the mode; the
+  // pin is restored on exit (including ASSERT early returns).
+  struct ScopedClearArenaEnv {
+    std::string saved;
+    bool had_value = false;
+    ScopedClearArenaEnv() {
+      if (const char* env = std::getenv("DVICL_ARENA")) {
+        saved = env;
+        had_value = true;
+        unsetenv("DVICL_ARENA");
+      }
+    }
+    ~ScopedClearArenaEnv() {
+      if (had_value) setenv("DVICL_ARENA", saved.c_str(), /*overwrite=*/1);
+    }
+  } clear_env;
+  const Graph g = GetParam().make();
+  const VertexId n = g.NumVertices();
+
+  const DviclResult base =
+      RunWithThreads(g, 1, /*cert_cache=*/false, /*arena=*/false);
+  ASSERT_TRUE(base.completed());
+  const std::vector<uint64_t> base_print = TreeFingerprint(base.tree, n);
+  const BigUint base_order = GroupOrderOf(n, base.generators);
+
+  for (const bool cache : {false, true}) {
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      const DviclResult r = RunWithThreads(g, threads, cache, /*arena=*/true);
+      ASSERT_TRUE(r.completed())
+          << "threads=" << threads << " cache=" << cache;
+      EXPECT_EQ(r.certificate, base.certificate)
+          << "threads=" << threads << " cache=" << cache;
+      EXPECT_TRUE(r.canonical_labeling == base.canonical_labeling)
+          << "threads=" << threads << " cache=" << cache;
+      EXPECT_TRUE(SameGenerators(r.generators, base.generators))
+          << "threads=" << threads << " cache=" << cache;
+      EXPECT_EQ(TreeFingerprint(r.tree, n), base_print)
+          << "threads=" << threads << " cache=" << cache;
+      EXPECT_EQ(GroupOrderOf(n, r.generators), base_order)
+          << "threads=" << threads << " cache=" << cache;
+    }
   }
 }
 
