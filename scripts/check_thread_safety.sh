@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Thread-safety analysis gate (DESIGN.md §14).
+#
+#   scripts/check_thread_safety.sh [--require]
+#
+# Three legs, all clang (the analysis is clang-only):
+#
+#   1. Fleet build: configure build-tsafety/ with clang and
+#      -DDVICL_THREAD_SAFETY=ON (-Wthread-safety -Werror=thread-safety) and
+#      build the whole tree. Every DVICL_GUARDED_BY / DVICL_REQUIRES
+#      annotation in src/ is checked; one unguarded access fails the build.
+#   2. Must-fail smoke: tests/static/thread_safety_fail.cc — three
+#      canonical violations — compiled standalone MUST be rejected. This is
+#      the meta-check that the analysis is actually firing (a no-op macro
+#      header would make leg 1 pass vacuously).
+#   3. Control: tests/static/thread_safety_ok.cc — the same shape, locked
+#      correctly — MUST compile clean.
+#
+# Without clang installed the gate is skipped with exit 0 (the dev
+# container is gcc-only; annotations still compile there as no-ops).
+# CI passes --require so a missing clang fails loudly instead.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+require=0
+if [[ "${1:-}" == "--require" ]]; then
+  require=1
+fi
+
+cxx=""
+for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                 clang++-16 clang++-15 clang++-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    cxx="$candidate"
+    break
+  fi
+done
+if [[ -z "$cxx" ]]; then
+  if [[ "$require" == 1 ]]; then
+    echo "error: no clang++ found and --require given" >&2
+    exit 1
+  fi
+  echo "thread-safety gate: SKIPPED (no clang++ on PATH; the analysis is" \
+       "clang-only — CI runs it)"
+  exit 0
+fi
+cc="${cxx/clang++/clang}"
+
+echo "=== thread-safety leg 1: fleet build with -DDVICL_THREAD_SAFETY=ON" \
+     "($cxx) ==="
+cmake -B build-tsafety -S . -DDVICL_THREAD_SAFETY=ON \
+    -DCMAKE_C_COMPILER="$cc" -DCMAKE_CXX_COMPILER="$cxx" >/dev/null
+cmake --build build-tsafety -j
+
+flags=(-std=c++20 -Isrc -Wthread-safety -Werror=thread-safety
+       -fsyntax-only)
+
+echo "=== thread-safety leg 2: tests/static/thread_safety_fail.cc must be" \
+     "rejected ==="
+if "$cxx" "${flags[@]}" tests/static/thread_safety_fail.cc 2>fail.log; then
+  echo "error: thread_safety_fail.cc compiled clean — the analysis is not" \
+       "firing (check the DVICL_ macros and the -Wthread-safety flags)" >&2
+  exit 1
+fi
+# Every seeded violation class must be individually diagnosed.
+for diag in "-Wthread-safety-analysis" "requires holding mutex" \
+            "releasing mutex"; do
+  if ! grep -q -- "$diag" fail.log; then
+    echo "error: expected diagnostic '$diag' missing from:" >&2
+    cat fail.log >&2
+    exit 1
+  fi
+done
+rm -f fail.log
+
+echo "=== thread-safety leg 3: tests/static/thread_safety_ok.cc must" \
+     "compile clean ==="
+"$cxx" "${flags[@]}" tests/static/thread_safety_ok.cc
+
+echo "thread-safety gate: OK"

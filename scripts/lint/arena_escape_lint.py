@@ -1,0 +1,300 @@
+#!/usr/bin/env python3
+"""dvicl-arena-escape lint: flag arena-backed state that outlives its frame.
+
+The arena contract (DESIGN.md §13) is one sentence: nothing arena-backed
+may outlive the ArenaFrame that covers its allocation. The compiler cannot
+see frames — a rewind is just a watermark store — so a violation is silent
+until the memory is recycled. This pass mechanizes the three escape shapes
+the contract forbids:
+
+  frame-escape    returning an arena-bound SmallVec/Coloring local (one
+                  whose constructor/initializer names an arena) from a
+                  function that opened an ArenaFrame: the return value's
+                  storage is reclaimed by the frame's rewind in the same
+                  expression. Heap-copy out instead (SmallVec's copy ctor
+                  is deliberately heap-backed).
+  view-escape     storing a zero-alloc view — .Cells() /
+                  .ColorOffsetsView() — into a member (trailing-underscore
+                  name), or returning one while a frame is open: the view
+                  aliases arena storage and dangles after the rewind.
+                  Views are for immediate, local consumption.
+  task-capture    submitting a task whose lambda captures by reference
+                  ([&] or [&name]) while arena-bound locals or frames are
+                  live: the task may run after the submitting scope
+                  rewound. Capture by value — arena-backed types heap-copy
+                  on capture by design.
+
+Like determinism_lint.py this is a self-contained lexical/scope-tracking
+pass (stdlib only — the CI container has no libclang; shared plumbing in
+lint_driver.py). "Arena-bound" is a heuristic: a SmallVec/Coloring whose
+declaration mentions an arena-ish expression (arena/scratch identifiers,
+.arena(), ThreadScratchArena). That is the repo naming convention; a
+construction the pass cannot see stays unflagged, so keep arena handles
+named as such.
+
+A finding on code that is provably safe (e.g. the frame outlives the
+consumer by construction) is suppressed by putting
+
+    // NOLINT(dvicl-arena-escape)
+
+on the flagged line or the line directly above it, next to a comment
+saying WHY the lifetime is covered.
+
+Usage:
+    arena_escape_lint.py                     # lint the repo (needs
+                                             # compile_commands.json from a
+                                             # CMake configure)
+    arena_escape_lint.py --self-test         # run the fixture self-tests
+    arena_escape_lint.py file.cc ...         # lint explicit files
+
+Exit status: 0 clean, 1 findings (or self-test failure), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_driver  # noqa: E402
+from lint_driver import Finding  # noqa: E402
+from lint_driver import strip_comments_and_strings  # noqa: E402
+
+RULE_FRAME = "frame-escape"
+RULE_VIEW = "view-escape"
+RULE_TASK = "task-capture"
+
+NOLINT_MARKER = "NOLINT(dvicl-arena-escape)"
+
+# Directories whose TUs the lint covers: everything that allocates from or
+# hands out arenas, plus tests/bench (they exercise the same contract).
+LINTED_SRC = ("src",)
+LINTED_TOP_DIRS = ("tests", "bench")
+
+FRAME_DECL_RE = re.compile(r"\bArenaFrame\s+([A-Za-z_]\w*)\s*[({]")
+
+# SmallVec<...> name(args...) / Coloring name(args...) / ... name = init;
+# The statement tail decides arena-boundness (ARENA_EXPR below).
+ARENA_TYPE_DECL_RE = re.compile(
+    r"\b(?:SmallVec\s*<[^;(){}]*>|Coloring)\s+([A-Za-z_]\w*)\s*(\(|=)"
+)
+
+# Heuristic for "this expression hands over an arena": the repo-wide naming
+# convention for arena handles and the thread-scratch accessor.
+ARENA_EXPR_RE = re.compile(r"(?i)arena|scratch")
+
+RETURN_ID_RE = re.compile(r"\breturn\s+([A-Za-z_]\w*)\s*;")
+RETURN_VIEW_RE = re.compile(
+    r"\breturn\s+[^;{}]*\.\s*(?:Cells|ColorOffsetsView)\s*\(\)"
+)
+MEMBER_VIEW_STORE_RE = re.compile(
+    r"\b([A-Za-z_]\w*_)\s*=\s*[^=;{}]*\.\s*(?:Cells|ColorOffsetsView)\s*\(\)"
+)
+SUBMIT_RE = re.compile(r"\bSubmit\s*\(")
+CAPTURE_LIST_RE = re.compile(r"\[([^\]]*)\]")
+
+
+class _Scope:
+    __slots__ = ("arena_locals", "frames")
+
+    def __init__(self):
+        # name -> True if declared while a frame was already open
+        self.arena_locals: dict[str, bool] = {}
+        self.frames: set[str] = set()
+
+
+def _statement_tail(code: str, start: int) -> str:
+    """Text from `start` to the end of the statement (';' or line-ish cap)."""
+    end = code.find(";", start)
+    if end < 0 or end - start > 400:
+        end = start + 400
+    return code[start:end]
+
+
+def lint_text(path: Path, raw: str) -> list[Finding]:
+    code = strip_comments_and_strings(raw)
+    suppressed = lint_driver.make_suppressor(raw, NOLINT_MARKER)
+    findings: list[Finding] = []
+
+    def add(line: int, rule: str, message: str) -> None:
+        if not suppressed(line):
+            findings.append(Finding(path, line, rule, message))
+
+    scopes: list[_Scope] = [_Scope()]
+
+    def frame_open() -> bool:
+        return any(scope.frames for scope in scopes)
+
+    def lookup_local(name: str) -> bool | None:
+        """Is `name` a live arena-bound local? Returns its under-frame bit,
+        or None if unknown."""
+        for scope in reversed(scopes):
+            if name in scope.arena_locals:
+                return scope.arena_locals[name]
+        return None
+
+    def any_arena_state_live() -> bool:
+        return frame_open() or any(scope.arena_locals for scope in scopes)
+
+    offset = 0
+    for lineno, line in enumerate(code.splitlines(keepends=True), start=1):
+        line_start = offset
+        offset += len(line)
+
+        # --- declarations (visible to checks on the same line) ---
+        for m in FRAME_DECL_RE.finditer(line):
+            scopes[-1].frames.add(m.group(1))
+        for m in ARENA_TYPE_DECL_RE.finditer(line):
+            tail = _statement_tail(code, line_start + m.start())
+            if ARENA_EXPR_RE.search(tail):
+                scopes[-1].arena_locals[m.group(1)] = frame_open()
+
+        # --- rule: frame-escape ---
+        for m in RETURN_ID_RE.finditer(line):
+            under_frame = lookup_local(m.group(1))
+            if under_frame:
+                add(
+                    lineno,
+                    RULE_FRAME,
+                    f"returning arena-bound '{m.group(1)}' past the "
+                    "function's ArenaFrame: its storage is reclaimed by the "
+                    "rewind — heap-copy out instead",
+                )
+
+        # --- rule: view-escape ---
+        if frame_open():
+            for m in RETURN_VIEW_RE.finditer(line):
+                add(
+                    lineno,
+                    RULE_VIEW,
+                    "returning a zero-alloc view while an ArenaFrame is "
+                    "open: the view aliases storage the rewind reclaims",
+                )
+        for m in MEMBER_VIEW_STORE_RE.finditer(line):
+            add(
+                lineno,
+                RULE_VIEW,
+                f"storing a zero-alloc view into member '{m.group(1)}': the "
+                "member outlives the statement and dangles after the "
+                "owning frame rewinds — copy the data instead",
+            )
+
+        # --- rule: task-capture ---
+        for m in SUBMIT_RE.finditer(line):
+            window = code[line_start + m.end() : line_start + m.end() + 300]
+            cap = CAPTURE_LIST_RE.search(window)
+            if not cap:
+                continue
+            items = [item.strip() for item in cap.group(1).split(",")]
+            for item in items:
+                if item == "&" and any_arena_state_live():
+                    add(
+                        lineno,
+                        RULE_TASK,
+                        "task submitted with blanket by-reference capture "
+                        "while arena-bound state is live: the task may run "
+                        "after the frame rewinds — capture by value",
+                    )
+                elif item.startswith("&"):
+                    name = item[1:].strip()
+                    if lookup_local(name) is not None or any(
+                        name in scope.frames for scope in scopes
+                    ):
+                        add(
+                            lineno,
+                            RULE_TASK,
+                            f"task captures arena-bound '{name}' by "
+                            "reference: the task may run after the frame "
+                            "rewinds — capture by value (arena types "
+                            "heap-copy on capture)",
+                        )
+
+        # --- scope maintenance (end of line) ---
+        for c in line:
+            if c == "{":
+                scopes.append(_Scope())
+            elif c == "}" and len(scopes) > 1:
+                scopes.pop()
+
+    return findings
+
+
+def lint_file(path: Path) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    return lint_text(path, raw)
+
+
+def in_linted_dir(path: Path) -> bool:
+    root_parts = lint_driver.repo_root().parts
+    if len(path.parts) <= len(root_parts):
+        return False
+    if path.parts[: len(root_parts)] != root_parts:
+        return False
+    return path.parts[len(root_parts)] in LINTED_SRC + LINTED_TOP_DIRS
+
+
+def repo_files(compile_commands: Path) -> list[Path]:
+    files = {
+        p
+        for p in lint_driver.translation_units(compile_commands)
+        if in_linted_dir(p)
+    }
+    root = lint_driver.repo_root()
+    files.update(
+        lint_driver.headers_under(
+            [root / d for d in LINTED_SRC + LINTED_TOP_DIRS]
+        )
+    )
+    return sorted(files)
+
+
+def run_self_test() -> int:
+    testdata = Path(__file__).resolve().parent / "testdata" / "arena"
+    return lint_driver.run_fixture_self_test(
+        testdata, ("*.cc", "*.h"), lint_text
+    )
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="dvicl-arena-escape lint (see module docstring)"
+    )
+    parser.add_argument(
+        "--compile-commands",
+        type=Path,
+        default=None,
+        help="path to compile_commands.json (default: repo root, then build/)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="lint the fixtures under scripts/lint/testdata/arena/ and "
+        "verify the EXPECT-FINDING annotations",
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path, help="explicit files to lint"
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
+
+    if args.files:
+        files = [p.resolve() for p in args.files]
+        for path in files:
+            if not path.exists():
+                sys.exit(f"error: no such file: {path}")
+    else:
+        cc = lint_driver.find_compile_commands(args.compile_commands)
+        files = repo_files(cc)
+
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    return lint_driver.report(findings, files, "arena-escape lint")
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -18,11 +18,14 @@ bit-identical across platforms, thread counts and cache settings
                         and OS entropy are nondeterministic by definition.
 
 The lint is deliberately a self-contained lexical/declaration-tracking
-pass (stdlib only — the CI container has no libclang), run over the
-sources that compile_commands.json lists under the output-affecting
-directories src/{refine,ir,dvicl,perm,graph} plus the headers in those
-directories. src/common/ is exempt: that is where the seeded PRNG and the
-telemetry stopwatch legitimately live.
+pass (stdlib only — the CI container has no libclang; shared plumbing
+lives in lint_driver.py), run over the translation units that
+compile_commands.json lists under the output-affecting directories
+src/{refine,ir,dvicl,perm,graph} AND under tests/ and bench/ — a test or
+benchmark that compares against nondeterministically-derived expectations
+flakes across platforms exactly the way product code would — plus the
+headers in those directories. src/common/ is exempt: that is where the
+seeded PRNG and the telemetry stopwatch legitimately live.
 
 A finding on a loop that is provably order-independent (e.g. a reduction
 whose result is re-sorted) is suppressed by putting
@@ -45,12 +48,17 @@ Exit status: 0 clean, 1 findings (or self-test failure), 2 usage error.
 from __future__ import annotations
 
 import argparse
-import json
 import re
 import sys
 from pathlib import Path
 
-LINTED_DIRS = ("refine", "ir", "dvicl", "perm", "graph")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_driver  # noqa: E402
+from lint_driver import Finding, skip_template_args  # noqa: E402
+from lint_driver import strip_comments_and_strings  # noqa: E402
+
+LINTED_SRC_DIRS = ("refine", "ir", "dvicl", "perm", "graph")
+LINTED_TOP_DIRS = ("tests", "bench")
 
 RULE_UNORDERED = "unordered-iteration"
 RULE_POINTER = "pointer-order"
@@ -85,98 +93,6 @@ RANDOM_CALL_RE = re.compile(
 RANDOM_DEVICE_RE = re.compile(r"\brandom_device\b")
 
 
-class Finding:
-    __slots__ = ("path", "line", "rule", "message")
-
-    def __init__(self, path: Path, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks out comments and string/char literals, preserving line
-    structure, so the pattern pass never fires inside either."""
-    out = []
-    i = 0
-    n = len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-            elif c == '"':
-                state = "string"
-                out.append(" ")
-                i += 1
-            elif c == "'":
-                state = "char"
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        else:  # string or char
-            quote = '"' if state == "string" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif c == quote:
-                state = "code"
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-    return "".join(out)
-
-
-def skip_template_args(text: str, open_idx: int) -> int:
-    """Given index of '<', returns index one past the matching '>', or -1."""
-    depth = 0
-    i = open_idx
-    n = len(text)
-    while i < n:
-        c = text[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        elif c in ";{":
-            return -1  # statement ended before the template closed
-        i += 1
-    return -1
-
-
 def collect_unordered_names(code: str) -> set[str]:
     """Names declared (variables, fields, aliases, functions returning)
     with an unordered container type. Lexical: a declaration is the
@@ -204,18 +120,11 @@ def last_identifier(expr: str) -> str | None:
 
 def lint_text(path: Path, raw: str, extra_unordered: set[str]) -> list[Finding]:
     code = strip_comments_and_strings(raw)
-    raw_lines = raw.splitlines()
     unordered = collect_unordered_names(code) | extra_unordered
+    suppressed = lint_driver.make_suppressor(raw, NOLINT_MARKER)
 
     def line_of(offset: int) -> int:
         return code.count("\n", 0, offset) + 1
-
-    def suppressed(line: int) -> bool:
-        for candidate in (line, line - 1):
-            if 1 <= candidate <= len(raw_lines):
-                if NOLINT_MARKER in raw_lines[candidate - 1]:
-                    return True
-        return False
 
     findings: list[Finding] = []
 
@@ -291,41 +200,51 @@ def lint_file(path: Path, extra_unordered: set[str]) -> list[Finding]:
     return lint_text(path, raw, extra_unordered)
 
 
-def repo_root() -> Path:
-    return Path(__file__).resolve().parents[2]
-
-
 def in_linted_dir(path: Path) -> bool:
     parts = path.parts
     for i, part in enumerate(parts[:-1]):
-        if part == "src" and parts[i + 1] in LINTED_DIRS:
+        if part == "src" and parts[i + 1] in LINTED_SRC_DIRS:
             return True
+    # tests/ and bench/ directly under the repo root.
+    root_parts = lint_driver.repo_root().parts
+    if (
+        len(parts) > len(root_parts)
+        and parts[: len(root_parts)] == root_parts
+        and parts[len(root_parts)] in LINTED_TOP_DIRS
+    ):
+        return True
     return False
 
 
 def repo_files(compile_commands: Path) -> list[Path]:
-    try:
-        entries = json.loads(compile_commands.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as err:
-        sys.exit(
-            f"error: cannot read {compile_commands}: {err}\n"
-            "hint: configure first (cmake -B build -S .); the build exports "
-            "compile_commands.json and symlinks it at the repo root"
-        )
-    files: set[Path] = set()
-    for entry in entries:
-        src = Path(entry["file"])
-        if not src.is_absolute():
-            src = Path(entry["directory"]) / src
-        src = src.resolve()
-        if in_linted_dir(src) and src.exists():
-            files.add(src)
+    files = {
+        p
+        for p in lint_driver.translation_units(compile_commands)
+        if in_linted_dir(p)
+    }
     # Headers never appear in compile_commands; glob them from the same
     # directories.
-    root = repo_root()
-    for directory in LINTED_DIRS:
-        files.update(p.resolve() for p in (root / "src" / directory).rglob("*.h"))
+    root = lint_driver.repo_root()
+    files.update(
+        lint_driver.headers_under(
+            [root / "src" / d for d in LINTED_SRC_DIRS]
+            + [root / d for d in LINTED_TOP_DIRS]
+        )
+    )
     return sorted(files)
+
+
+def run_self_test() -> int:
+    testdata = Path(__file__).resolve().parent / "testdata" / "determinism"
+    # Fixtures are linted as one set so header-declared fields are tracked,
+    # exactly like a real repo run.
+    fixtures = sorted(testdata.glob("*.cc")) + sorted(testdata.glob("*.h"))
+    extra = global_unordered_names(fixtures)
+    return lint_driver.run_fixture_self_test(
+        testdata,
+        ("*.cc", "*.h"),
+        lambda path, raw: lint_text(path, raw, extra),
+    )
 
 
 def global_unordered_names(files: list[Path]) -> set[str]:
@@ -343,45 +262,6 @@ def global_unordered_names(files: list[Path]) -> set[str]:
         )
         names |= collect_unordered_names(code)
     return names
-
-
-EXPECT_RE = re.compile(r"EXPECT-FINDING\(([a-z-]+)\)")
-
-
-def run_self_test() -> int:
-    testdata = Path(__file__).resolve().parent / "testdata"
-    fixtures = sorted(testdata.glob("*.cc")) + sorted(testdata.glob("*.h"))
-    if not fixtures:
-        print(f"self-test: no fixtures under {testdata}", file=sys.stderr)
-        return 1
-    # Fixtures are linted as one set so header-declared fields are tracked,
-    # exactly like a real repo run.
-    extra = global_unordered_names(fixtures)
-    failures = 0
-    for path in fixtures:
-        raw = path.read_text(encoding="utf-8")
-        expected: set[tuple[int, str]] = set()
-        for lineno, line in enumerate(raw.splitlines(), start=1):
-            for m in EXPECT_RE.finditer(line):
-                expected.add((lineno, m.group(1)))
-        actual = {(f.line, f.rule) for f in lint_text(path, raw, extra)}
-        if path.name.startswith("good_") and expected:
-            print(f"self-test: {path.name} is good_* but has EXPECT lines")
-            failures += 1
-            continue
-        missing = expected - actual
-        unexpected = actual - expected
-        for line, rule in sorted(missing):
-            print(f"self-test: {path.name}:{line}: missed expected [{rule}]")
-        for line, rule in sorted(unexpected):
-            print(f"self-test: {path.name}:{line}: spurious [{rule}]")
-        failures += len(missing) + len(unexpected)
-    total = len(fixtures)
-    if failures:
-        print(f"self-test: FAILED ({failures} mismatches over {total} fixtures)")
-        return 1
-    print(f"self-test: OK ({total} fixtures)")
-    return 0
 
 
 def main(argv: list[str]) -> int:
@@ -414,38 +294,14 @@ def main(argv: list[str]) -> int:
             if not path.exists():
                 sys.exit(f"error: no such file: {path}")
     else:
-        cc = args.compile_commands
-        if cc is None:
-            root = repo_root()
-            for candidate in (
-                root / "compile_commands.json",
-                root / "build" / "compile_commands.json",
-            ):
-                if candidate.exists():
-                    cc = candidate
-                    break
-            else:
-                sys.exit(
-                    "error: no compile_commands.json found; configure first "
-                    "(cmake -B build -S .) or pass --compile-commands"
-                )
+        cc = lint_driver.find_compile_commands(args.compile_commands)
         files = repo_files(cc)
 
     extra = global_unordered_names(files)
     findings: list[Finding] = []
     for path in files:
         findings.extend(lint_file(path, extra))
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(
-            f"determinism lint: {len(findings)} finding(s) in "
-            f"{len(files)} file(s)",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"determinism lint: clean ({len(files)} files)")
-    return 0
+    return lint_driver.report(findings, files, "determinism lint")
 
 
 if __name__ == "__main__":

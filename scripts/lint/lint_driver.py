@@ -1,0 +1,245 @@
+"""Shared plumbing for the dvicl lint passes.
+
+Both repo lints — determinism_lint.py (dvicl-determinism) and
+arena_escape_lint.py (dvicl-arena-escape) — are self-contained
+lexical/declaration-tracking passes (stdlib only: the CI container has no
+libclang) driven by the compile_commands.json a CMake configure exports.
+This module owns everything that is not rule logic, so the passes cannot
+drift apart on plumbing:
+
+  - comment/string stripping that preserves line structure
+  - NOLINT(<rule-set>) suppression (flagged line or the line above)
+  - Finding formatting
+  - compile_commands.json discovery and translation-unit listing
+  - the fixture self-test protocol: fixtures under testdata/ carry
+    EXPECT-FINDING(<rule>) markers on the lines that must fire; good_*
+    fixtures must stay finding-free.
+
+A new lint adds a rules function and reuses the rest; see
+arena_escape_lint.py for the minimal shape.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Callable, Iterable
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure, so pattern passes never fire inside either."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def skip_template_args(text: str, open_idx: int) -> int:
+    """Given index of '<', returns index one past the matching '>', or -1."""
+    depth = 0
+    i = open_idx
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{":
+            return -1  # statement ended before the template closed
+        i += 1
+    return -1
+
+
+def make_suppressor(raw: str, marker: str) -> Callable[[int], bool]:
+    """Returns suppressed(line): marker on the flagged line or the line
+    directly above waives the finding."""
+    raw_lines = raw.splitlines()
+
+    def suppressed(line: int) -> bool:
+        for candidate in (line, line - 1):
+            if 1 <= candidate <= len(raw_lines):
+                if marker in raw_lines[candidate - 1]:
+                    return True
+        return False
+
+    return suppressed
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]
+
+
+def find_compile_commands(explicit: Path | None) -> Path:
+    """Resolves the compile_commands.json to drive a repo-wide run."""
+    if explicit is not None:
+        return explicit
+    root = repo_root()
+    for candidate in (
+        root / "compile_commands.json",
+        root / "build" / "compile_commands.json",
+    ):
+        if candidate.exists():
+            return candidate
+    sys.exit(
+        "error: no compile_commands.json found; configure first "
+        "(cmake -B build -S .) or pass --compile-commands"
+    )
+
+
+def translation_units(compile_commands: Path) -> list[Path]:
+    """Every existing source file compile_commands.json lists, resolved."""
+    try:
+        entries = json.loads(compile_commands.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(
+            f"error: cannot read {compile_commands}: {err}\n"
+            "hint: configure first (cmake -B build -S .); the build exports "
+            "compile_commands.json and symlinks it at the repo root"
+        )
+    files: set[Path] = set()
+    for entry in entries:
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = Path(entry["directory"]) / src
+        src = src.resolve()
+        if src.exists():
+            files.add(src)
+    return sorted(files)
+
+
+def headers_under(directories: Iterable[Path]) -> list[Path]:
+    """*.h files under the given directories (headers never appear in
+    compile_commands)."""
+    files: set[Path] = set()
+    for directory in directories:
+        if directory.is_dir():
+            files.update(p.resolve() for p in directory.rglob("*.h"))
+    return sorted(files)
+
+
+EXPECT_RE = re.compile(r"EXPECT-FINDING\(([a-z-]+)\)")
+
+
+def run_fixture_self_test(
+    testdata: Path,
+    glob_patterns: Iterable[str],
+    lint_fn: Callable[[Path, str], list[Finding]],
+) -> int:
+    """Fixture protocol shared by every lint: each fixture line that must
+    fire carries EXPECT-FINDING(<rule>); good_* fixtures must produce no
+    findings and carry no EXPECT lines. Returns a process exit status."""
+    fixtures: list[Path] = []
+    for pattern in glob_patterns:
+        fixtures.extend(sorted(testdata.glob(pattern)))
+    if not fixtures:
+        print(f"self-test: no fixtures under {testdata}", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in fixtures:
+        raw = path.read_text(encoding="utf-8")
+        expected: set[tuple[int, str]] = set()
+        for lineno, line in enumerate(raw.splitlines(), start=1):
+            for m in EXPECT_RE.finditer(line):
+                expected.add((lineno, m.group(1)))
+        actual = {(f.line, f.rule) for f in lint_fn(path, raw)}
+        if path.name.startswith("good_") and expected:
+            print(f"self-test: {path.name} is good_* but has EXPECT lines")
+            failures += 1
+            continue
+        missing = expected - actual
+        unexpected = actual - expected
+        for line, rule in sorted(missing):
+            print(f"self-test: {path.name}:{line}: missed expected [{rule}]")
+        for line, rule in sorted(unexpected):
+            print(f"self-test: {path.name}:{line}: spurious [{rule}]")
+        failures += len(missing) + len(unexpected)
+    total = len(fixtures)
+    if failures:
+        print(f"self-test: FAILED ({failures} mismatches over {total} fixtures)")
+        return 1
+    print(f"self-test: OK ({total} fixtures)")
+    return 0
+
+
+def report(findings: list[Finding], files: list[Path], lint_name: str) -> int:
+    """Prints findings and the one-line verdict; returns exit status."""
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"{lint_name}: {len(findings)} finding(s) in {len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{lint_name}: clean ({len(files)} files)")
+    return 0

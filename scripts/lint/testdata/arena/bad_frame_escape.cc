@@ -1,0 +1,37 @@
+// Fixture: arena-bound locals returned past the ArenaFrame that covers
+// their allocation (frame-escape). Minimal type stubs — the lint is
+// lexical and keys on the repo's real type and naming conventions.
+#include <cstdint>
+
+struct Arena {};
+struct ArenaFrame {
+  explicit ArenaFrame(Arena*) {}
+};
+template <typename T, int N = 8>
+struct SmallVec {
+  explicit SmallVec(Arena*) {}
+};
+struct Coloring {
+  explicit Coloring(Arena*) {}
+  static Coloring FromLabels(const uint32_t*, Arena* a) { return Coloring(a); }
+};
+
+SmallVec<uint32_t> LeakProfile(Arena* scratch) {
+  ArenaFrame frame(scratch);
+  SmallVec<uint32_t> profile(scratch);
+  return profile;  // EXPECT-FINDING(frame-escape)
+}
+
+Coloring LeakColoring(const uint32_t* labels, Arena* arena) {
+  ArenaFrame frame(arena);
+  Coloring pi = Coloring::FromLabels(labels, arena);
+  return pi;  // EXPECT-FINDING(frame-escape)
+}
+
+SmallVec<uint32_t> NestedScopeLeak(Arena* scratch) {
+  ArenaFrame outer(scratch);
+  {
+    SmallVec<uint32_t> inner_vec(scratch);
+    return inner_vec;  // EXPECT-FINDING(frame-escape)
+  }
+}

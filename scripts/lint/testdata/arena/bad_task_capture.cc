@@ -1,0 +1,33 @@
+// Fixture: tasks submitted to the pool capturing arena-bound state by
+// reference (task-capture) — the task may run after the submitting scope's
+// frame rewinds.
+#include <cstdint>
+#include <functional>
+
+struct Arena {};
+struct ArenaFrame {
+  explicit ArenaFrame(Arena*) {}
+};
+template <typename T, int N = 8>
+struct SmallVec {
+  explicit SmallVec(Arena*) {}
+};
+struct TaskGroup {
+  void Submit(std::function<void()> fn) { fn(); }
+};
+
+void BlanketByRef(TaskGroup* group, Arena* scratch) {
+  ArenaFrame frame(scratch);
+  SmallVec<uint32_t> candidates(scratch);
+  group->Submit([&] { (void)candidates; });  // EXPECT-FINDING(task-capture)
+}
+
+void NamedByRef(TaskGroup* group, Arena* arena) {
+  SmallVec<uint32_t> moves(arena);
+  group->Submit([&moves] { (void)moves; });  // EXPECT-FINDING(task-capture)
+}
+
+void FrameByRef(TaskGroup* group, Arena* scratch) {
+  ArenaFrame frame(scratch);
+  group->Submit([&frame] { (void)frame; });  // EXPECT-FINDING(task-capture)
+}

@@ -1,0 +1,38 @@
+// Fixture: zero-alloc views (.Cells() / .ColorOffsetsView()) escaping the
+// statement scope — returned while a frame is open, or stored into a
+// member of a heap-escaping type (view-escape).
+#include <cstdint>
+#include <span>
+
+struct Arena {};
+struct ArenaFrame {
+  explicit ArenaFrame(Arena*) {}
+};
+struct CellStartRange {};
+struct Coloring {
+  explicit Coloring(Arena*) {}
+  CellStartRange Cells() const { return {}; }
+  std::span<const uint32_t> ColorOffsetsView() const { return {}; }
+};
+
+std::span<const uint32_t> LeakOffsets(Arena* scratch) {
+  ArenaFrame frame(scratch);
+  Coloring pi(scratch);
+  return pi.ColorOffsetsView();  // EXPECT-FINDING(view-escape)
+}
+
+CellStartRange LeakCells(Arena* scratch) {
+  ArenaFrame frame(scratch);
+  Coloring pi(scratch);
+  return pi.Cells();  // EXPECT-FINDING(view-escape)
+}
+
+class LeafSummary {
+ public:
+  void Capture(const Coloring& pi) {
+    offsets_ = pi.ColorOffsetsView();  // EXPECT-FINDING(view-escape)
+  }
+
+ private:
+  std::span<const uint32_t> offsets_;
+};

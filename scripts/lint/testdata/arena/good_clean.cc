@@ -1,0 +1,58 @@
+// Fixture: the sanctioned patterns from DESIGN.md §13 — local consumption
+// under the frame, heap-copy across the boundary, by-value task capture.
+// None of these may fire.
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+struct Arena {};
+struct ArenaFrame {
+  explicit ArenaFrame(Arena*) {}
+};
+template <typename T, int N = 8>
+struct SmallVec {
+  explicit SmallVec(Arena*) {}
+  const T* begin() const { return nullptr; }
+  const T* end() const { return nullptr; }
+};
+struct CellStartRange {};
+struct Coloring {
+  explicit Coloring(Arena*) {}
+  CellStartRange Cells() const { return {}; }
+  std::span<const uint32_t> ColorOffsetsView() const { return {}; }
+};
+struct TaskGroup {
+  void Submit(std::function<void()> fn) { fn(); }
+};
+
+// Transient state lives and dies under the frame; only a heap copy leaves.
+std::vector<uint32_t> HeapCopyOut(Arena* scratch) {
+  ArenaFrame frame(scratch);
+  SmallVec<uint32_t> profile(scratch);
+  const Coloring pi(scratch);
+  // Views consumed immediately, locally: the sanctioned idiom.
+  const std::span<const uint32_t> offsets = pi.ColorOffsetsView();
+  std::vector<uint32_t> result(offsets.begin(), offsets.end());
+  return result;
+}
+
+// Returning an arena-bound value is fine when the CALLER owns the arena
+// and no frame in this function covers the allocation.
+SmallVec<uint32_t> BuildOnCallerArena(Arena* arena) {
+  SmallVec<uint32_t> out(arena);
+  return out;
+}
+
+// By-value capture heap-copies arena-backed types by design.
+void SubmitByValue(TaskGroup* group, Arena* scratch) {
+  ArenaFrame frame(scratch);
+  SmallVec<uint32_t> kid(scratch);
+  group->Submit([kid] { (void)kid; });
+}
+
+// Heap-backed locals may be captured by reference freely.
+void SubmitHeapByRef(TaskGroup* group) {
+  std::vector<uint32_t> totals;
+  group->Submit([&totals] { totals.push_back(1); });
+}

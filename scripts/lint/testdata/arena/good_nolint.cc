@@ -1,0 +1,34 @@
+// Fixture: the NOLINT(dvicl-arena-escape) escape — each would-be finding
+// is waived with a justification on the line (or the line directly) above.
+#include <cstdint>
+#include <functional>
+
+struct Arena {};
+struct ArenaFrame {
+  explicit ArenaFrame(Arena*) {}
+};
+template <typename T, int N = 8>
+struct SmallVec {
+  explicit SmallVec(Arena*) {}
+};
+struct TaskGroup {
+  void Submit(std::function<void()> fn) { fn(); }
+  void Wait() {}
+};
+
+SmallVec<uint32_t> WaivedReturn(Arena* scratch) {
+  ArenaFrame frame(scratch);
+  SmallVec<uint32_t> spill(scratch);
+  // The caller re-opens the same arena's frame stack and consumes the
+  // value before any rewind; lifetime audited by hand. NOLINT(dvicl-arena-escape)
+  return spill;
+}
+
+void WaivedCapture(TaskGroup* group, Arena* scratch) {
+  ArenaFrame frame(scratch);
+  SmallVec<uint32_t> batch(scratch);
+  // group->Wait() below keeps the frame open until every task drained,
+  // so the reference cannot dangle. NOLINT(dvicl-arena-escape)
+  group->Submit([&batch] { (void)batch; });
+  group->Wait();
+}

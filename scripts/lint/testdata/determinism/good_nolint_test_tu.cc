@@ -1,0 +1,17 @@
+// Fixture: a tests/-style translation unit (gtest TU shape) exercising the
+// NOLINT escape now that the lint also covers tests/ and bench/. The waived
+// pattern mirrors tests/arena_test.cc: address arithmetic that is itself the
+// property under test and never reaches any output.
+#include <cstdint>
+
+#define TEST(suite, name) void suite##_##name()
+#define EXPECT_EQ(a, b) (void)((a) == (b))
+
+TEST(AlignmentTest, AllocationsAreAligned) {
+  int storage = 0;
+  int* p = &storage;
+  // Alignment is the property under test; the address never leaves the
+  // assertion, so the pointer-order rule is waived. NOLINT(dvicl-determinism)
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(p);
+  EXPECT_EQ(addr % alignof(int), 0u);
+}

@@ -41,6 +41,25 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-all}"
 
+# Printed when a ThreadSanitizer run fails: the same bug class is usually
+# diagnosable at compile time by the annotated locking layer (DESIGN.md
+# §14), so point the investigator there before they reach for printf.
+tsan_hint() {
+  echo "" >&2
+  echo "hint: a TSan report on a mutex-guarded field usually means an" >&2
+  echo "      access is missing its lock. The locking layer is annotated" >&2
+  echo "      for clang's static thread-safety analysis (src/common/" >&2
+  echo "      mutex.h, src/common/thread_annotations.h): run" >&2
+  echo "      scripts/check_thread_safety.sh to get the same bug" >&2
+  echo "      diagnosed at compile time, and keep DVICL_GUARDED_BY /" >&2
+  echo "      DVICL_REQUIRES annotations on any field or helper you" >&2
+  echo "      touch." >&2
+}
+
+tsan_run() {
+  TSAN_OPTIONS="halt_on_error=1" "$@" || { tsan_hint; exit 1; }
+}
+
 run_tsan() {
   echo "=== ThreadSanitizer: task_pool_test + parallel_determinism_test" \
        "+ cert_cache_test + protocol_test + server_test + obs_test" \
@@ -49,14 +68,14 @@ run_tsan() {
   cmake --build build-tsan -j \
       --target task_pool_test parallel_determinism_test cert_cache_test \
       protocol_test server_test obs_test server_obs_test arena_test
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/arena_test
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/task_pool_test
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/cert_cache_test
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/protocol_test
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/server_test
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/obs_test
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/server_obs_test
+  tsan_run ./build-tsan/tests/arena_test
+  tsan_run ./build-tsan/tests/task_pool_test
+  tsan_run ./build-tsan/tests/parallel_determinism_test
+  tsan_run ./build-tsan/tests/cert_cache_test
+  tsan_run ./build-tsan/tests/protocol_test
+  tsan_run ./build-tsan/tests/server_test
+  tsan_run ./build-tsan/tests/obs_test
+  tsan_run ./build-tsan/tests/server_obs_test
 }
 
 run_asan() {
@@ -99,8 +118,7 @@ run_failpoint() {
   cmake -B build-fp-tsan -S . -DDVICL_FAILPOINTS=ON \
       -DDVICL_SANITIZE=thread >/dev/null
   cmake --build build-fp-tsan -j
-  TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-fp-tsan --output-on-failure -j "$(nproc)"
+  tsan_run ctest --test-dir build-fp-tsan --output-on-failure -j "$(nproc)"
 }
 
 case "$mode" in

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dvicl {
 namespace failpoint {
@@ -21,8 +23,8 @@ struct SiteState {
 // sites makes lookup cost irrelevant — the hot path never gets here unless
 // something is armed.
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, SiteState> sites;
+  Mutex mu;
+  std::map<std::string, SiteState> sites DVICL_GUARDED_BY(mu);
 };
 
 Registry& TheRegistry() {
@@ -45,7 +47,7 @@ std::vector<std::string> AllSites() {
 
 void Arm(const std::string& site, ArmSpec spec) {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   SiteState& state = r.sites[site];
   if (!state.armed) g_armed_count.fetch_add(1, std::memory_order_relaxed);
   state.armed = true;
@@ -56,7 +58,7 @@ void Arm(const std::string& site, ArmSpec spec) {
 
 void Disarm(const std::string& site) {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.sites.find(site);
   if (it == r.sites.end() || !it->second.armed) return;
   it->second.armed = false;
@@ -65,7 +67,7 @@ void Disarm(const std::string& site) {
 
 void DisarmAll() {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   uint64_t armed = 0;
   for (auto& [name, state] : r.sites) {
     if (state.armed) ++armed;
@@ -76,28 +78,28 @@ void DisarmAll() {
 
 bool IsArmed(const std::string& site) {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.sites.find(site);
   return it != r.sites.end() && it->second.armed;
 }
 
 uint64_t HitCount(const std::string& site) {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.sites.find(site);
   return it != r.sites.end() ? it->second.hits : 0;
 }
 
 uint64_t TriggerCount(const std::string& site) {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.sites.find(site);
   return it != r.sites.end() ? it->second.triggers : 0;
 }
 
 uint64_t TotalTriggers() {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   uint64_t total = 0;
   for (const auto& [name, state] : r.sites) total += state.triggers;
   return total;
@@ -111,7 +113,7 @@ bool AnyArmed() {
 
 bool Evaluate(const char* site) {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.sites.find(site);
   if (it == r.sites.end() || !it->second.armed) return false;
   SiteState& state = it->second;

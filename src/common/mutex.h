@@ -1,0 +1,139 @@
+#ifndef DVICL_COMMON_MUTEX_H_
+#define DVICL_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+// Annotated mutex/condvar wrappers (DESIGN.md §14): dvicl::Mutex is a
+// std::mutex declared as a clang thread-safety CAPABILITY, so fields marked
+// DVICL_GUARDED_BY(mu_) and helpers marked DVICL_REQUIRES(mu_) are
+// compiler-checked under -Wthread-safety. std::lock_guard/std::unique_lock
+// carry no annotations, so locking through them is invisible to the
+// analysis — use dvicl::MutexLock (and dvicl::CondVar for waits) instead.
+//
+// ---------------------------------------------------------------------------
+// Global lock-ordering catalogue (deadlock freedom by acyclicity)
+// ---------------------------------------------------------------------------
+// Every mutex in src/ and the order in which they may nest. A thread may
+// only acquire a mutex LATER in this order than any it already holds;
+// most paths hold exactly one. DVICL_DCHECK (common/check.h) guards the
+// runtime invariants; this catalogue guards the locking ones.
+//
+//   1. cert-cache shard     (dvicl/cert_cache.h Shard::mu) — leaf locks,
+//                           one per shard, never two at once (eviction is
+//                           per-shard by construction), nothing acquired
+//                           under them.
+//   2. metrics registry     (obs/metrics.h MetricsRegistry::mu_) — held
+//                           only across map lookup/insert in Get*/Snapshot;
+//                           metric mutation through returned handles is
+//                           lock-free, so recording under a shard lock is
+//                           fine but calling Get* there is not.
+//   3. access log           (server/access_log.h AccessLog::mu_) — held
+//                           across one fwrite+fflush; FinalizeRequest may
+//                           read metrics handles (resolved at construction,
+//                           no registry lock) before appending, hence
+//                           registry < access log.
+//
+// Unordered singletons (never nest with the above or each other):
+//   task-pool slot/wake     (common/task_pool.h) — slot locks are leaf
+//                           locks around one deque op; wake_mu_ protects
+//                           only the sleep predicate. Task bodies run with
+//                           NO pool lock held, so anything a task does
+//                           (cache probes, metric records) starts from an
+//                           empty lock set.
+//   task-group error        (common/task_pool.h TaskGroup::error_mu_) —
+//                           leaf lock around the first-exception swap.
+//   builder stats/fault     (dvicl/dvicl.cc stats_mu_, fault_mu_) — leaf
+//                           locks around a merge/record; never held across
+//                           subtree work.
+//   trace buffers           (obs/trace.h TraceRecorder::mu_) — held only
+//                           for buffer registration and quiescent
+//                           serialization.
+//   failpoint registry      (common/failpoint.cc Registry::mu) — test-only
+//                           arming paths plus armed-site evaluation; sites
+//                           are evaluated from code holding no other lock.
+
+namespace dvicl {
+
+class CondVar;
+
+// std::mutex as a clang thread-safety capability. Non-recursive; prefer
+// MutexLock over manual Lock/Unlock pairs.
+class DVICL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DVICL_ACQUIRE() { mu_.lock(); }
+  void Unlock() DVICL_RELEASE() { mu_.unlock(); }
+  bool TryLock() DVICL_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock scope, the annotated replacement for std::lock_guard. Usable on
+// `mutable Mutex` members from const methods (snapshot/stats paths).
+class DVICL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DVICL_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DVICL_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable waiting on a dvicl::Mutex. Wait* must be called with
+// `mu` held (enforced by DVICL_REQUIRES); the mutex is released while
+// blocked and re-held on return, which the analysis models as "still held"
+// across the call — the standard condvar treatment.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) DVICL_REQUIRES(mu) {
+    // Adopt the caller's hold for the unlock/relock inside cv_.wait, then
+    // release the unique_lock so ownership stays with the caller's scope.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) DVICL_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  // Returns pred() after waiting at most `timeout` (the std::condition_
+  // variable wait_for contract: false only on timeout with pred still
+  // false). The predicate runs with `mu` held.
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout,
+               Predicate pred) DVICL_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(lock, timeout, std::move(pred));
+    lock.release();
+    return satisfied;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dvicl
+
+#endif  // DVICL_COMMON_MUTEX_H_

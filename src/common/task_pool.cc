@@ -38,7 +38,8 @@ TaskPool::~TaskPool() {
   workers_.clear();  // joins
   // Every TaskGroup must have been waited before the pool dies; a queued
   // task here would reference a dead group.
-  for ([[maybe_unused]] const auto& slot : slots_) {
+  for (const auto& slot : slots_) {
+    MutexLock lock(slot->mu);
     assert(slot->tasks.empty());
   }
 }
@@ -64,9 +65,9 @@ TaskPoolStats TaskPool::GetStats() const {
 
 void TaskPool::NotifyAll() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
 }
 
 void TaskPool::Enqueue(Task task) {
@@ -74,10 +75,11 @@ void TaskPool::Enqueue(Task task) {
   bool queued = false;
   size_t depth = 0;
   {
-    std::lock_guard<std::mutex> lock(slots_[self]->mu);
-    if (slots_[self]->tasks.size() < kSlotBound) {
-      slots_[self]->tasks.push_back(std::move(task));
-      depth = slots_[self]->tasks.size();
+    Slot& slot = *slots_[self];
+    MutexLock lock(slot.mu);
+    if (slot.tasks.size() < kSlotBound) {
+      slot.tasks.push_back(std::move(task));
+      depth = slot.tasks.size();
       queued_.fetch_add(1, std::memory_order_release);
       queued = true;
     }
@@ -111,7 +113,7 @@ bool TaskPool::RunOneTask(unsigned self) {
   for (unsigned probe = 0; probe < num_threads_; ++probe) {
     const unsigned victim = (self + probe) % num_threads_;
     Slot& slot = *slots_[victim];
-    std::lock_guard<std::mutex> lock(slot.mu);
+    MutexLock lock(slot.mu);
     if (slot.tasks.empty()) continue;
     if (victim == self) {
       task = std::move(slot.tasks.back());  // own work: LIFO, cache-hot
@@ -164,8 +166,8 @@ void TaskPool::WorkerLoop(const std::stop_token& stop, unsigned index) {
   tl_slot = index;
   while (!stop.stop_requested()) {
     if (RunOneTask(index)) continue;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this, &stop] {
+    MutexLock lock(wake_mu_);
+    wake_cv_.Wait(wake_mu_, [this, &stop] {
       return stop.stop_requested() ||
              queued_.load(std::memory_order_acquire) > 0;
     });
@@ -199,24 +201,25 @@ void TaskGroup::Wait() {
       // Tasks of this group are in flight on other threads (or work is
       // momentarily invisible); sleep until a completion or submission
       // notifies. The timeout is a safety net against missed wakeups.
-      std::unique_lock<std::mutex> lock(pool_->wake_mu_);
-      pool_->wake_cv_.wait_for(lock, std::chrono::milliseconds(50), [this] {
-        return pending_.load(std::memory_order_acquire) == 0 ||
-               pool_->queued_.load(std::memory_order_acquire) > 0;
-      });
+      MutexLock lock(pool_->wake_mu_);
+      pool_->wake_cv_.WaitFor(
+          pool_->wake_mu_, std::chrono::milliseconds(50), [this] {
+            return pending_.load(std::memory_order_acquire) == 0 ||
+                   pool_->queued_.load(std::memory_order_acquire) > 0;
+          });
     }
   }
   assert(pending_.load(std::memory_order_acquire) == 0);
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(error_mu_);
+    MutexLock lock(error_mu_);
     std::swap(error, first_error_);
   }
   if (error) std::rethrow_exception(error);
 }
 
 void TaskGroup::RecordError(std::exception_ptr error) {
-  std::lock_guard<std::mutex> lock(error_mu_);
+  MutexLock lock(error_mu_);
   if (!first_error_) first_error_ = std::move(error);
 }
 

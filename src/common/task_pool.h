@@ -2,16 +2,17 @@
 #define DVICL_COMMON_TASK_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dvicl {
 
@@ -121,8 +122,8 @@ class TaskPool {
   };
 
   struct Slot {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks DVICL_GUARDED_BY(mu);
   };
 
   // Per-slot queue bound; past it, Submit degrades to inline execution.
@@ -141,8 +142,10 @@ class TaskPool {
 
   unsigned num_threads_;
   std::vector<std::unique_ptr<Slot>> slots_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  // wake_mu_ guards no data of its own: it only serializes the sleep
+  // predicate (queued_ / stop / group-pending reads) against the notify.
+  Mutex wake_mu_;
+  CondVar wake_cv_;
   // Count of currently queued (not yet popped) tasks; the workers' sleep
   // predicate.
   std::atomic<uint64_t> queued_{0};
@@ -184,8 +187,8 @@ class TaskGroup {
 
   TaskPool* pool_;
   std::atomic<uint64_t> pending_{0};
-  std::mutex error_mu_;
-  std::exception_ptr first_error_;
+  Mutex error_mu_;
+  std::exception_ptr first_error_ DVICL_GUARDED_BY(error_mu_);
 };
 
 }  // namespace dvicl

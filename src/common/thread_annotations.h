@@ -1,0 +1,97 @@
+#ifndef DVICL_COMMON_THREAD_ANNOTATIONS_H_
+#define DVICL_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros (DESIGN.md §14).
+//
+// These turn the repo's comment-level locking contracts ("guarded by mu_",
+// "call with the shard lock held") into compiler-checked invariants: under
+// clang with -Wthread-safety (the CI static-analysis job promotes the
+// warning group to an error with -Werror=thread-safety), reading a
+// DVICL_GUARDED_BY field without holding its mutex, or calling a
+// DVICL_REQUIRES function unlocked, fails the build. Under gcc (the default
+// local toolchain) every macro expands to nothing, so annotations are free
+// documentation there.
+//
+// The vocabulary follows the de-facto standard set (abseil/LLVM
+// thread_annotations.h), DVICL_-prefixed:
+//
+//   DVICL_CAPABILITY("mutex")   class is a lockable capability (see
+//                               dvicl::Mutex in common/mutex.h)
+//   DVICL_SCOPED_CAPABILITY     RAII class acquiring at construction and
+//                               releasing at destruction (dvicl::MutexLock)
+//   DVICL_GUARDED_BY(mu)        field may only be touched with mu held
+//   DVICL_PT_GUARDED_BY(mu)     pointee (not the pointer) guarded by mu
+//   DVICL_REQUIRES(mu, ...)     caller must hold mu across the call — the
+//                               convention for *Locked() helpers
+//   DVICL_ACQUIRE/RELEASE(...)  function acquires/releases the capability
+//   DVICL_TRY_ACQUIRE(b, ...)   acquires only when returning `b`
+//   DVICL_EXCLUDES(mu, ...)     caller must NOT hold mu (deadlock guard)
+//   DVICL_ASSERT_CAPABILITY(mu) runtime assertion that mu is held
+//   DVICL_RETURN_CAPABILITY(mu) accessor returning a reference to mu
+//   DVICL_NO_THREAD_SAFETY_ANALYSIS
+//                               opt a function body out (init/teardown
+//                               paths the analysis cannot follow); every
+//                               use needs a justification comment, exactly
+//                               like a lint NOLINT waiver.
+//
+// Annotation conventions for this codebase (see DESIGN.md §14 for the rule
+// catalogue and the waiver policy):
+//   - every std::mutex is replaced by dvicl::Mutex + dvicl::MutexLock from
+//     common/mutex.h; bare std::mutex in src/ is reserved for code that
+//     cannot include this header and must carry a justification comment
+//   - every field with a "guarded by" comment gets DVICL_GUARDED_BY and the
+//     comment is deleted (the annotation IS the documentation)
+//   - helpers named *Locked() get DVICL_REQUIRES on the mutex they assume.
+
+#if defined(__clang__)
+#define DVICL_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DVICL_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define DVICL_CAPABILITY(x) DVICL_THREAD_ANNOTATION(capability(x))
+
+#define DVICL_SCOPED_CAPABILITY DVICL_THREAD_ANNOTATION(scoped_lockable)
+
+#define DVICL_GUARDED_BY(x) DVICL_THREAD_ANNOTATION(guarded_by(x))
+
+#define DVICL_PT_GUARDED_BY(x) DVICL_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define DVICL_ACQUIRED_BEFORE(...) \
+  DVICL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define DVICL_ACQUIRED_AFTER(...) \
+  DVICL_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define DVICL_REQUIRES(...) \
+  DVICL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define DVICL_REQUIRES_SHARED(...) \
+  DVICL_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define DVICL_ACQUIRE(...) \
+  DVICL_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define DVICL_ACQUIRE_SHARED(...) \
+  DVICL_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define DVICL_RELEASE(...) \
+  DVICL_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define DVICL_RELEASE_SHARED(...) \
+  DVICL_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define DVICL_TRY_ACQUIRE(...) \
+  DVICL_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define DVICL_EXCLUDES(...) DVICL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define DVICL_ASSERT_CAPABILITY(x) \
+  DVICL_THREAD_ANNOTATION(assert_capability(x))
+
+#define DVICL_RETURN_CAPABILITY(x) DVICL_THREAD_ANNOTATION(lock_returned(x))
+
+#define DVICL_NO_THREAD_SAFETY_ANALYSIS \
+  DVICL_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // DVICL_COMMON_THREAD_ANNOTATIONS_H_

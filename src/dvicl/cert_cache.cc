@@ -101,7 +101,7 @@ std::shared_ptr<const CachedLeaf> CertCache::Lookup(
   Shard& shard = ShardFor(key);
   uint64_t rejected = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto bucket = shard.index.find(key);
     if (bucket != shard.index.end()) {
       for (auto it : bucket->second) {
@@ -132,7 +132,7 @@ void CertCache::Insert(uint64_t key, CachedLeaf leaf) {
   auto owned = std::make_shared<const CachedLeaf>(std::move(leaf));
   const uint64_t bytes = owned->ApproxBytes();
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto bucket = shard.index.find(key);
   if (bucket != shard.index.end()) {
     // First-writer-wins: if any established entry stores the same colored
@@ -191,7 +191,7 @@ CertCacheStats CertCache::Stats() const {
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<Shard&>(shard).mu);
+    MutexLock lock(shard.mu);
     stats.entries += shard.lru.size();
     stats.bytes += shard.bytes;
   }

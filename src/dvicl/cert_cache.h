@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "graph/graph.h"
 
 namespace dvicl {
@@ -133,12 +134,16 @@ class CertCache {
     std::shared_ptr<const CachedLeaf> leaf;
   };
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
+    // mutable so the read-only Stats() sweep can lock const shards. Shard
+    // locks are leaf locks in the global order (common/mutex.h): at most
+    // one is held at a time and nothing is acquired under it.
+    mutable Mutex mu;
+    // front = most recently used
+    std::list<Entry> lru DVICL_GUARDED_BY(mu);
     // key -> all entries with that key (usually 1; >1 only on collisions).
     std::unordered_map<uint64_t, std::vector<std::list<Entry>::iterator>>
-        index;
-    uint64_t bytes = 0;
+        index DVICL_GUARDED_BY(mu);
+    uint64_t bytes DVICL_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t key) {
@@ -146,7 +151,7 @@ class CertCache {
     if (shards_.size() == 1) return shards_[0];
     return shards_[(key * 0x9e3779b97f4a7c15ull) >> shard_shift_];
   }
-  void EvictOverBudgetLocked(Shard* shard);
+  void EvictOverBudgetLocked(Shard* shard) DVICL_REQUIRES(shard->mu);
 
   static bool Verifies(const CachedLeaf& leaf, const Graph& local_graph,
                        std::span<const uint32_t> local_colors);

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <span>
 #include <utility>
@@ -12,7 +11,9 @@
 #include "common/check.h"
 #include "common/failpoint.h"
 #include "common/memory_budget.h"
+#include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 #include "common/task_pool.h"
 #include "dvicl/combine.h"
 #include "dvicl/divide.h"
@@ -209,14 +210,19 @@ class DviclBuilder {
         pool_ != nullptr ? pool_->GetStats() : TaskPoolStats{};
     pool_.reset();  // workers are idle; join them before reading results
 
-    result.stats.MergeFrom(merged_);
+    {
+      // Workers joined at pool_.reset(); the lock satisfies the analysis
+      // and costs one uncontended acquire per run.
+      MutexLock lock(stats_mu_);
+      result.stats.MergeFrom(merged_);
+    }
     result.generators = std::move(root.subtree_generators);
 
     // The fault record is settled: every worker joined at pool_.reset().
     RunOutcome outcome;
     const BuildNode* fault_node = nullptr;
     {
-      std::lock_guard<std::mutex> lock(fault_mu_);
+      MutexLock lock(fault_mu_);
       outcome = fault_.cause;
       fault_node = fault_.node;
       result.fault_detail = std::move(fault_.detail);
@@ -511,7 +517,7 @@ class DviclBuilder {
   }
 
   void MergeStats(const DviclStats& local) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     merged_.MergeFrom(local);
   }
 
@@ -522,7 +528,7 @@ class DviclBuilder {
                    std::string detail) {
     bool first = false;
     {
-      std::lock_guard<std::mutex> lock(fault_mu_);
+      MutexLock lock(fault_mu_);
       if (fault_.cause == RunOutcome::kCompleted) {
         fault_.cause = cause;
         fault_.node = node;
@@ -689,8 +695,8 @@ class DviclBuilder {
   MemoryBudget memory_budget_;
   IrOptions leaf_options_;
   bool arena_enabled_ = false;  // resolved from options + DVICL_ARENA in Run
-  std::mutex stats_mu_;
-  DviclStats merged_;
+  Mutex stats_mu_;
+  DviclStats merged_ DVICL_GUARDED_BY(stats_mu_);
 
   // First abort recorded anywhere in the build (RecordAbort).
   struct FaultRecord {
@@ -698,8 +704,8 @@ class DviclBuilder {
     const BuildNode* node = nullptr;
     std::string detail;
   };
-  std::mutex fault_mu_;
-  FaultRecord fault_;
+  Mutex fault_mu_;
+  FaultRecord fault_ DVICL_GUARDED_BY(fault_mu_);
 };
 
 }  // namespace

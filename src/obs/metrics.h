@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dvicl {
 namespace obs {
@@ -139,10 +141,16 @@ class MetricsRegistry {
   bool WriteJsonFile(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;  // guards the maps; values are internally atomic
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Guards the maps only; metric values behind the returned handles are
+  // internally atomic. Ordered between cert-cache shard locks and the
+  // access log in the global order (common/mutex.h).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DVICL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DVICL_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DVICL_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -35,7 +35,7 @@ TraceRecorder::ThreadBuffer* TraceRecorder::BufferForThisThread() {
     return static_cast<ThreadBuffer*>(tl_cache.buffer);
   }
   const std::thread::id self = std::this_thread::get_id();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ThreadBuffer* buffer = nullptr;
   for (const auto& candidate : buffers_) {
     if (candidate->thread == self) {
@@ -91,19 +91,19 @@ void TraceRecorder::AddCounter(const char* name, uint64_t value) {
 }
 
 size_t TraceRecorder::NumThreadsSeen() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return buffers_.size();
 }
 
 uint64_t TraceRecorder::DroppedEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t dropped = 0;
   for (const auto& buffer : buffers_) dropped += buffer->dropped;
   return dropped;
 }
 
 std::string TraceRecorder::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonWriter writer;
   writer.BeginObject();
   writer.Key("traceEvents");

@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dvicl {
 namespace obs {
@@ -120,8 +122,11 @@ class TraceRecorder {
   const std::chrono::steady_clock::time_point epoch_;
   const uint64_t recorder_id_;  // process-unique, validates the TL cache
 
-  mutable std::mutex mu_;  // guards buffers_ (the vector, not its contents)
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  // Guards the buffers_ vector only, not the pointed-to ThreadBuffers:
+  // each buffer is appended to exclusively by its registered thread, and
+  // serialization requires quiescence (see class comment).
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ DVICL_GUARDED_BY(mu_);
 };
 
 // RAII span: one Chrome complete event from construction to destruction on

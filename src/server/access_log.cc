@@ -44,21 +44,22 @@ std::string AccessRecordJson(const RequestContext& ctx,
 }
 
 AccessLog::AccessLog(const std::string& path) : path_(path) {
+  MutexLock lock(mu_);
   file_ = std::fopen(path_.c_str(), "ab");
 }
 
 AccessLog::~AccessLog() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) std::fclose(file_);
 }
 
 bool AccessLog::ok() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return file_ != nullptr;
 }
 
 void AccessLog::Append(const std::string& record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) return;
   std::fwrite(record.data(), 1, record.size(), file_);
   std::fputc('\n', file_);
@@ -67,14 +68,14 @@ void AccessLog::Append(const std::string& record) {
 }
 
 bool AccessLog::Reopen() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ != nullptr) std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "ab");
   return file_ != nullptr;
 }
 
 uint64_t AccessLog::records_written() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return records_;
 }
 

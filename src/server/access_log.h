@@ -3,9 +3,10 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "server/request_context.h"
 
 namespace dvicl {
@@ -61,9 +62,11 @@ class AccessLog {
 
  private:
   const std::string path_;
-  mutable std::mutex mu_;
-  FILE* file_ = nullptr;         // guarded by mu_
-  uint64_t records_ = 0;         // guarded by mu_
+  // Last in the global lock order (common/mutex.h): held across one
+  // fwrite+fflush, nothing is acquired under it.
+  mutable Mutex mu_;
+  FILE* file_ DVICL_GUARDED_BY(mu_) = nullptr;
+  uint64_t records_ DVICL_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace server

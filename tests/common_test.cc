@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/big_uint.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dvicl {
 namespace {
@@ -138,6 +143,76 @@ TEST(StatusTest, ResultCarriesValueOrStatus) {
   Result<int> bad(Status::NotFound("missing"));
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), Status::Code::kNotFound);
+}
+
+// Annotated counter: the DVICL_GUARDED_BY/DVICL_REQUIRES usage pattern the
+// fleet-wide migration applies (DESIGN.md §14), exercised for behavior here
+// and for analysis in the -Wthread-safety CI leg.
+class GuardedCounter {
+ public:
+  void Add(int delta) {
+    MutexLock lock(mu_);
+    AddLocked(delta);
+  }
+  int Value() const {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void AddLocked(int delta) DVICL_REQUIRES(mu_) { value_ += delta; }
+
+  mutable Mutex mu_;
+  int value_ DVICL_GUARDED_BY(mu_) = 0;
+};
+
+TEST(MutexTest, MutualExclusionAcrossThreads) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  std::thread contender([&mu] { EXPECT_FALSE(mu.TryLock()); });
+  contender.join();
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitReleasesMutexAndSeesNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // DVICL_GUARDED_BY is for members; locals by use
+  std::thread producer([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, WaitForTimesOutWhenNeverNotified) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const bool satisfied =
+      cv.WaitFor(mu, std::chrono::milliseconds(10), [] { return false; });
+  EXPECT_FALSE(satisfied);
 }
 
 }  // namespace

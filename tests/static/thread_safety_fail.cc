@@ -1,0 +1,44 @@
+// Must-NOT-compile smoke for the thread-safety analysis leg.
+//
+// This TU is deliberately excluded from every CMake target. It is compiled
+// standalone by scripts/check_thread_safety.sh with
+// `clang++ -Wthread-safety -Werror=thread-safety`, and the script PASSES
+// only when this compilation FAILS: each function below violates the
+// annotation contract in one canonical way, so if the analysis ever stops
+// diagnosing them (a macro regressed to a no-op, a wrapper lost its
+// attribute, the warning group was demoted), the smoke catches it.
+//
+// The companion tests/static/thread_safety_ok.cc is the control: the same
+// class accessed correctly must compile clean under the same flags.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dvicl {
+
+class Account {
+ public:
+  // Violation 1: writing a DVICL_GUARDED_BY field with no lock held.
+  void UnguardedWrite(int amount) { balance_ += amount; }
+
+  // Violation 2: calling a DVICL_REQUIRES helper without the capability.
+  void CallLockedHelperUnlocked() { DepositLocked(1); }
+
+  // Violation 3: releasing a mutex this path never acquired.
+  void UnlockWithoutLock() { mu_.Unlock(); }
+
+ private:
+  void DepositLocked(int amount) DVICL_REQUIRES(mu_) { balance_ += amount; }
+
+  Mutex mu_;
+  int balance_ DVICL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dvicl
+
+int main() {
+  dvicl::Account account;
+  account.UnguardedWrite(1);
+  account.CallLockedHelperUnlocked();
+  account.UnlockWithoutLock();
+  return 0;
+}

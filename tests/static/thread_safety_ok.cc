@@ -1,0 +1,36 @@
+// Must-compile control for the thread-safety analysis leg: the same shape
+// as thread_safety_fail.cc with the locking done right. Compiled standalone
+// by scripts/check_thread_safety.sh with
+// `clang++ -Wthread-safety -Werror=thread-safety`; if THIS fails, the
+// smoke's flags (or the wrappers themselves) are broken, not the caller.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dvicl {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    MutexLock lock(mu_);
+    DepositLocked(amount);
+  }
+
+  int Balance() const {
+    MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  void DepositLocked(int amount) DVICL_REQUIRES(mu_) { balance_ += amount; }
+
+  mutable Mutex mu_;
+  int balance_ DVICL_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dvicl
+
+int main() {
+  dvicl::Account account;
+  account.Deposit(1);
+  return account.Balance() == 1 ? 0 : 1;
+}
