@@ -1,4 +1,4 @@
-// Load generator for the canonicalization service (DESIGN.md §11).
+// Load generator for the canonicalization service (DESIGN.md §11, §15).
 //
 // Replays a dataset-generator family mix against a running dvicl_server at
 // a target QPS and reports latency/throughput/cache numbers into
@@ -8,7 +8,10 @@
 //   ./loadgen --connect=127.0.0.1:PORT --qps=200 --duration-seconds=10
 //
 // Flags:
-//   --connect=HOST:PORT   server endpoint (default 127.0.0.1:7411)
+//   --connect=HOST:P1[,P2,...]  server endpoints; several ports = a
+//                         supervised worker fleet, spread round-robin over
+//                         the connections with failover (default
+//                         127.0.0.1:7411)
 //   --qps=N               target aggregate request rate (default 200)
 //   --duration-seconds=S  measurement window (default 10)
 //   --connections=N       independent client connections, each with its own
@@ -18,6 +21,21 @@
 //                         cache-friendly family) or "families" (elementary +
 //                         hard families, canonical-form heavy)
 //   --seed=N              mix sampling seed (default 42)
+//
+// Robustness (the client half of DESIGN.md §15; all requests are
+// idempotent, so re-sending after a lost connection or reply is safe):
+//   --retries=N           extra attempts per request beyond the first
+//                         (default 0 = fail fast like the pre-supervision
+//                         loadgen)
+//   --io-deadline-ms=N    per-attempt I/O deadline (default 10000)
+//   --verify=0|1          byte-verify every OK reply against a local
+//                         in-process reference Server answering the same
+//                         request (default 0). Any divergence counts in
+//                         incorrect_replies — the chaos gate's signal that
+//                         a crash corrupted state.
+//   --min-availability=F  exit 0 only if ok_calls/attempted >= F and no
+//                         incorrect replies (default 1.0; chaos runs relax
+//                         it to the availability SLO)
 //
 // Offline mode (no server involved):
 //   --emit-requests=FILE  write a deterministic framed request stream
@@ -29,17 +47,18 @@
 // Pacing is open-loop per connection: send times are scheduled on a fixed
 // grid and a slow server makes latencies grow rather than silently lowering
 // the offered rate (saturation shows up in p99, not in a shrunk QPS).
-// Cache effectiveness is measured server-side: a kServerStats snapshot
-// before and after the run yields the hit/miss delta attributable to it.
-// After the run a kServerMetrics snapshot yields the server-side per-class
-// latency percentiles, which are cross-checked against the client-side
-// ones (one "record":"crosscheck" line per class, see below).
+// Cache effectiveness is measured server-side: kServerStats snapshots
+// before and after the run (summed across the fleet) yield the hit/miss
+// delta attributable to it. With a single endpoint, a kServerMetrics
+// snapshot additionally cross-checks server-side per-class latency
+// percentiles against the client-side ones.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -51,6 +70,7 @@
 #include "datasets/generators.h"
 #include "server/client.h"
 #include "server/protocol.h"
+#include "server/server.h"
 
 namespace {
 
@@ -59,10 +79,15 @@ using dvicl::Graph;
 using dvicl::Rng;
 using dvicl::VertexId;
 using dvicl::server::Client;
+using dvicl::server::Endpoint;
+using dvicl::server::ParseEndpoints;
 using dvicl::server::Reply;
 using dvicl::server::Request;
 using dvicl::server::RequestClass;
 using dvicl::server::RequestClassName;
+using dvicl::server::RetryOptions;
+using dvicl::server::RobustClient;
+using dvicl::server::Server;
 
 struct Sample {
   RequestClass cls;
@@ -140,37 +165,58 @@ std::vector<Request> BuildMix(const std::string& name) {
   return pool;
 }
 
-std::map<std::string, uint64_t> StatsSnapshot(Client* client, uint64_t id) {
+// kServerStats via a retrying client (the fleet may be mid-restart when a
+// snapshot is taken); empty map on total failure.
+std::map<std::string, uint64_t> StatsSnapshot(const Endpoint& endpoint,
+                                              uint64_t id) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.io_deadline_ms = 2000;
+  RobustClient client({endpoint}, options);
   Request request;
   request.id = id;
   request.cls = RequestClass::kServerStats;
-  auto result = client->Call(request);
+  auto result = client.Call(request);
   std::map<std::string, uint64_t> stats;
   if (result.ok() && result.value().ok()) {
     for (const auto& [name, value] : result.value().stats) {
       stats[name] = value;
     }
   } else {
-    std::fprintf(stderr, "loadgen: stats call failed: %s\n",
+    std::fprintf(stderr, "loadgen: stats call to %s:%u failed: %s\n",
+                 endpoint.host.c_str(), endpoint.port,
                  result.ok() ? result.value().detail.c_str()
                              : result.status().ToString().c_str());
   }
   return stats;
 }
 
+// Fleet-wide counters: the per-worker snapshots summed key-wise.
+std::map<std::string, uint64_t> SumStats(
+    const std::vector<Endpoint>& endpoints, uint64_t id) {
+  std::map<std::string, uint64_t> total;
+  for (const Endpoint& endpoint : endpoints) {
+    for (const auto& [name, value] : StatsSnapshot(endpoint, id)) {
+      total[name] += value;
+    }
+  }
+  return total;
+}
+
 // Flattened (name -> value) view of a kServerMetrics reply; histogram
 // percentiles arrive as "<histogram>.p50" / ".p90" / ".p99" in microseconds.
-std::map<std::string, uint64_t> MetricsSnapshot(Client* client, uint64_t id) {
+std::map<std::string, uint64_t> MetricsSnapshot(const Endpoint& endpoint,
+                                                uint64_t id) {
   std::map<std::string, uint64_t> metrics;
-  auto result = client->FetchMetrics(id);
+  auto connected = Client::ConnectTcp(endpoint.host, endpoint.port);
+  if (!connected.ok()) return metrics;
+  Client client = std::move(connected).value();
+  client.set_deadline_ms(5000);
+  auto result = client.FetchMetrics(id);
   if (result.ok() && result.value().ok()) {
     for (const auto& [name, value] : result.value().stats) {
       metrics[name] = value;
     }
-  } else {
-    std::fprintf(stderr, "loadgen: metrics call failed: %s\n",
-                 result.ok() ? result.value().detail.c_str()
-                             : result.status().ToString().c_str());
   }
   return metrics;
 }
@@ -207,6 +253,15 @@ int EmitRequests(const std::vector<Request>& pool, uint64_t seed,
   return 0;
 }
 
+// Reply bytes with the echo'd request id zeroed: the request-independent
+// part every worker (and the local reference) must agree on byte-for-byte.
+std::string CanonicalReplyBytes(Reply reply) {
+  reply.id = 0;
+  std::string encoded;
+  EncodeReply(reply, &encoded);
+  return encoded;
+}
+
 double Percentile(std::vector<double>* sorted_in_place, double p) {
   if (sorted_in_place->empty()) return 0.0;
   std::sort(sorted_in_place->begin(), sorted_in_place->end());
@@ -226,14 +281,11 @@ int main(int argc, char** argv) {
     const std::string flag = FlagFromArgs(argc, argv, "--connect");
     return flag.empty() ? std::string("127.0.0.1:7411") : flag;
   }();
-  const size_t colon = connect.rfind(':');
-  if (colon == std::string::npos) {
-    std::fprintf(stderr, "loadgen: --connect must be HOST:PORT\n");
+  const std::vector<Endpoint> endpoints = ParseEndpoints(connect);
+  if (endpoints.empty()) {
+    std::fprintf(stderr, "loadgen: --connect must be HOST:P1[,P2,...]\n");
     return 2;
   }
-  const std::string host = connect.substr(0, colon);
-  const auto port =
-      static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
 
   const std::string qps_flag = FlagFromArgs(argc, argv, "--qps");
   const double qps = qps_flag.empty() ? 200.0 : std::atof(qps_flag.c_str());
@@ -251,6 +303,23 @@ int main(int argc, char** argv) {
   const std::string seed_flag = FlagFromArgs(argc, argv, "--seed");
   const uint64_t seed =
       seed_flag.empty() ? 42 : std::strtoull(seed_flag.c_str(), nullptr, 10);
+  const std::string retries_flag = FlagFromArgs(argc, argv, "--retries");
+  const uint32_t retries =
+      retries_flag.empty()
+          ? 0
+          : static_cast<uint32_t>(std::atoi(retries_flag.c_str()));
+  const std::string io_deadline_flag =
+      FlagFromArgs(argc, argv, "--io-deadline-ms");
+  const uint64_t io_deadline_ms =
+      io_deadline_flag.empty()
+          ? 10'000
+          : std::strtoull(io_deadline_flag.c_str(), nullptr, 10);
+  const std::string verify_flag = FlagFromArgs(argc, argv, "--verify");
+  const bool verify = !verify_flag.empty() && std::atoi(verify_flag.c_str());
+  const std::string min_avail_flag =
+      FlagFromArgs(argc, argv, "--min-availability");
+  const double min_availability =
+      min_avail_flag.empty() ? 1.0 : std::atof(min_avail_flag.c_str());
 
   const std::vector<Request> pool = BuildMix(mix);
 
@@ -263,17 +332,26 @@ int main(int argc, char** argv) {
     return EmitRequests(pool, seed, count, emit_flag);
   }
 
-  auto stats_client = Client::ConnectTcp(host, port);
-  if (!stats_client.ok()) {
-    std::fprintf(stderr, "loadgen: %s\n",
-                 stats_client.status().ToString().c_str());
-    return 1;
+  // Reference replies for --verify: a local in-process Server answers every
+  // template once; replies are deterministic (same engine, same defaults),
+  // so any OK reply from the fleet must match byte-for-byte.
+  std::vector<std::string> reference;
+  if (verify) {
+    Server local{dvicl::server::ServerOptions{}};
+    reference.reserve(pool.size());
+    for (const Request& request : pool) {
+      reference.push_back(CanonicalReplyBytes(local.Handle(request)));
+    }
   }
-  const auto stats_before = StatsSnapshot(&stats_client.value(), 1);
+
+  const auto stats_before = SumStats(endpoints, 1);
 
   std::mutex merge_mu;
   std::vector<Sample> samples;
-  uint64_t transport_errors = 0;
+  uint64_t failed_calls = 0;       // transport failure after every retry
+  uint64_t incorrect_replies = 0;  // wrong id or reference-bytes mismatch
+  uint64_t total_retries = 0;
+  uint64_t total_reconnects = 0;
 
   const auto start = std::chrono::steady_clock::now();
   const auto deadline =
@@ -286,15 +364,20 @@ int main(int argc, char** argv) {
   workers.reserve(connections);
   for (unsigned c = 0; c < connections; ++c) {
     workers.emplace_back([&, c] {
-      auto client = Client::ConnectTcp(host, port);
-      if (!client.ok()) {
-        std::lock_guard<std::mutex> lock(merge_mu);
-        ++transport_errors;
-        return;
-      }
+      // Spread primary endpoints round-robin over the connections; each
+      // client still fails over through the whole fleet.
+      std::vector<Endpoint> rotated(endpoints);
+      std::rotate(rotated.begin(),
+                  rotated.begin() + (c % rotated.size()), rotated.end());
+      RetryOptions retry_options;
+      retry_options.max_attempts = 1 + retries;
+      retry_options.io_deadline_ms = io_deadline_ms;
+      retry_options.seed = seed * 1000 + c;
+      RobustClient client(std::move(rotated), retry_options);
       Rng rng(seed + c);
       std::vector<Sample> local;
-      uint64_t local_errors = 0;
+      uint64_t local_failed = 0;
+      uint64_t local_incorrect = 0;
       uint64_t k = 0;
       for (;;) {
         const auto scheduled =
@@ -303,13 +386,24 @@ int main(int argc, char** argv) {
                         interval * static_cast<double>(k));
         if (scheduled >= deadline) break;
         std::this_thread::sleep_until(scheduled);
-        Request request = pool[rng.NextBounded(pool.size())];
+        const size_t template_index = rng.NextBounded(pool.size());
+        Request request = pool[template_index];
         request.id = static_cast<uint64_t>(c) * 1000000000ull + (++k);
         const auto sent = std::chrono::steady_clock::now();
-        auto reply = client.value().Call(request);
+        auto reply = client.Call(request);
         const auto received = std::chrono::steady_clock::now();
-        if (!reply.ok() || reply.value().id != request.id) {
-          ++local_errors;
+        if (!reply.ok()) {
+          ++local_failed;
+          continue;
+        }
+        if (reply.value().id != request.id) {
+          ++local_incorrect;
+          continue;
+        }
+        if (verify && reply.value().status == dvicl::wire::WireStatus::kOk &&
+            CanonicalReplyBytes(reply.value()) !=
+                reference[template_index]) {
+          ++local_incorrect;
           continue;
         }
         local.push_back(
@@ -319,7 +413,10 @@ int main(int argc, char** argv) {
       }
       std::lock_guard<std::mutex> lock(merge_mu);
       samples.insert(samples.end(), local.begin(), local.end());
-      transport_errors += local_errors;
+      failed_calls += local_failed;
+      incorrect_replies += local_incorrect;
+      total_retries += client.stats().retries;
+      total_reconnects += client.stats().reconnects;
     });
   }
   for (std::thread& t : workers) t.join();
@@ -327,14 +424,19 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  const auto stats_after = StatsSnapshot(&stats_client.value(), 2);
-  const auto metrics_after = MetricsSnapshot(&stats_client.value(), 3);
+  const auto stats_after = SumStats(endpoints, 2);
+  const auto metrics_after =
+      endpoints.size() == 1 ? MetricsSnapshot(endpoints[0], 3)
+                            : std::map<std::string, uint64_t>{};
   auto delta = [&](const char* key) -> uint64_t {
     const auto before = stats_before.find(key);
     const auto after = stats_after.find(key);
     if (after == stats_after.end()) return 0;
-    return after->second -
-           (before != stats_before.end() ? before->second : 0);
+    const uint64_t b =
+        before != stats_before.end() ? before->second : 0;
+    // A worker restart zeroes its counters mid-run; clamp instead of
+    // underflowing.
+    return after->second >= b ? after->second - b : 0;
   };
   const uint64_t cache_hits = delta("cache.hits");
   const uint64_t cache_misses = delta("cache.misses");
@@ -357,6 +459,16 @@ int main(int argc, char** argv) {
       ++error_replies;
     }
   }
+  const uint64_t attempted_calls =
+      static_cast<uint64_t>(samples.size()) + failed_calls +
+      incorrect_replies;
+  // Post-retry availability: the fraction of calls that came back with a
+  // well-formed reply (OK or a structured error — both are answers).
+  const double availability =
+      attempted_calls > 0
+          ? static_cast<double>(samples.size()) /
+                static_cast<double>(attempted_calls)
+          : 0.0;
   const double p50 = Percentile(&all_latencies, 0.50);
   const double p90 = Percentile(&all_latencies, 0.90);
   const double p99 = Percentile(&all_latencies, 0.99);
@@ -368,14 +480,21 @@ int main(int argc, char** argv) {
   reporter.BeginRecord();
   reporter.Field("record", "summary");
   reporter.Field("mix", mix);
+  reporter.Field("endpoints", static_cast<uint64_t>(endpoints.size()));
   reporter.Field("target_qps", qps);
   reporter.Field("achieved_qps", achieved_qps);
   reporter.Field("duration_seconds", elapsed_seconds);
   reporter.Field("connections", static_cast<uint64_t>(connections));
   reporter.Field("requests", static_cast<uint64_t>(samples.size()));
+  reporter.Field("attempted_calls", attempted_calls);
   reporter.Field("ok_replies", ok_replies);
   reporter.Field("error_replies", error_replies);
-  reporter.Field("transport_errors", transport_errors);
+  reporter.Field("failed_calls", failed_calls);
+  reporter.Field("incorrect_replies", incorrect_replies);
+  reporter.Field("verified", verify);
+  reporter.Field("availability", availability);
+  reporter.Field("retries", total_retries);
+  reporter.Field("reconnects", total_reconnects);
   reporter.Field("p50_ms", p50);
   reporter.Field("p90_ms", p90);
   reporter.Field("p99_ms", p99);
@@ -410,13 +529,14 @@ int main(int argc, char** argv) {
     reporter.EndRecord();
 
     // Cross-check the client-observed tail against the server's own
-    // per-class total-latency histogram (fetched via kServerMetrics). The
-    // server estimates percentiles from log2 buckets, which can overshoot
-    // the true value by up to 2x, and the client latency additionally
-    // includes framing and socket time the server never sees — so the
-    // check is one-sided: the server's p99 estimate must not exceed
-    // 2 x client p99 plus slack. A violation means the two pipelines are
-    // not measuring the same requests.
+    // per-class total-latency histogram (fetched via kServerMetrics; single
+    // endpoint only — a fleet's histograms live in different processes).
+    // The server estimates percentiles from log2 buckets, which can
+    // overshoot the true value by up to 2x, and the client latency
+    // additionally includes framing and socket time the server never sees
+    // — so the check is one-sided: the server's p99 estimate must not
+    // exceed 2 x client p99 plus slack. A violation means the two
+    // pipelines are not measuring the same requests.
     const std::string prefix = std::string("server.total_us.") + cls_name;
     const auto server_count = metrics_after.find(prefix + ".count");
     const auto server_p50 = metrics_after.find(prefix + ".p50");
@@ -424,7 +544,7 @@ int main(int argc, char** argv) {
     const auto server_p99 = metrics_after.find(prefix + ".p99");
     if (server_count == metrics_after.end() ||
         server_p99 == metrics_after.end()) {
-      continue;  // server running with --request-obs=0
+      continue;  // server running with --request-obs=0, or a fleet
     }
     const double server_p99_ms =
         static_cast<double>(server_p99->second) / 1000.0;
@@ -451,10 +571,14 @@ int main(int argc, char** argv) {
 
   std::printf(
       "loadgen: mix=%s %zu requests in %.1fs (target %.0f qps, achieved "
-      "%.1f), p50 %.2fms p99 %.2fms, %llu errors, cache hit rate %.1f%%\n",
+      "%.1f), p50 %.2fms p99 %.2fms, %llu errors, %llu failed, %llu "
+      "incorrect, availability %.4f, %llu retries, cache hit rate %.1f%%\n",
       mix.c_str(), samples.size(), elapsed_seconds, qps, achieved_qps, p50,
-      p99,
-      static_cast<unsigned long long>(error_replies + transport_errors),
+      p99, static_cast<unsigned long long>(error_replies),
+      static_cast<unsigned long long>(failed_calls),
+      static_cast<unsigned long long>(incorrect_replies),
+      availability, static_cast<unsigned long long>(total_retries),
       100.0 * cache_hit_rate);
-  return error_replies + transport_errors == 0 && !samples.empty() ? 0 : 1;
+  if (samples.empty() || incorrect_replies != 0) return 1;
+  return availability >= min_availability ? 0 : 1;
 }

@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Chaos gate for supervised multi-process serving (DESIGN.md §15): boot
+# `dvicl_server --workers=N`, SIGKILL a random worker every few seconds
+# while the load generator drives verified traffic with retries, and
+# assert the availability contract:
+#
+#   - incorrect_replies == 0  — crashes may cost retries, NEVER wrong
+#     answers (every reply is byte-compared against an in-process
+#     reference by `loadgen --verify=1`);
+#   - availability >= CHAOS_MIN_AVAILABILITY after client-side retries;
+#   - every kill produced a supervised restart, and the restart count
+#     stays bounded (kills + slack for heartbeat-timeout false positives
+#     on an overloaded CI box) — no silent crash-looping;
+#   - no slot was retired by the circuit breaker, and the parent drains
+#     to exit code 0 on SIGTERM.
+#
+# Artifacts (server log, loadgen BENCH JSON, access logs) are left in
+# CHAOS_DIR for upload.
+#
+# Env knobs:
+#   CHAOS_WORKERS            worker processes (default 4)
+#   CHAOS_DURATION_SECONDS   load duration (default 20)
+#   CHAOS_QPS                offered load (default 120)
+#   CHAOS_KILL_INTERVAL      seconds between kills (default 2)
+#   CHAOS_MIN_AVAILABILITY   availability floor (default 0.99)
+#   CHAOS_DIR                artifact directory (default chaos-artifacts)
+#   BUILD_DIR                reuse an existing build (default build-chaos)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workers="${CHAOS_WORKERS:-4}"
+duration="${CHAOS_DURATION_SECONDS:-20}"
+qps="${CHAOS_QPS:-120}"
+kill_interval="${CHAOS_KILL_INTERVAL:-2}"
+min_availability="${CHAOS_MIN_AVAILABILITY:-0.99}"
+artifacts="${CHAOS_DIR:-chaos-artifacts}"
+build="${BUILD_DIR:-build-chaos}"
+
+if [ ! -x "$build/src/dvicl_server" ] || [ ! -x "$build/bench/loadgen" ]; then
+  cmake -B "$build" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build" -j --target dvicl_server loadgen
+fi
+build="$(cd "$build" && pwd)"
+
+rm -rf "$artifacts"
+mkdir -p "$artifacts"
+cd "$artifacts"
+
+"$build/src/dvicl_server" --workers="$workers" --port=0 \
+  --restart-backoff-ms=100 --restart-backoff-max-ms=2000 \
+  --heartbeat-interval-ms=500 --heartbeat-timeout-ms=2000 \
+  --access-log=access.jsonl > server.log &
+server_pid=$!
+cleanup() { kill -KILL "$server_pid" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  grep -q "supervising" server.log && break
+  sleep 0.1
+done
+spec="$(sed -n 's/.*supervising [0-9]* workers on \(.*\)/\1/p' server.log)"
+test -n "$spec" || { echo "FAIL: no supervising line"; cat server.log; exit 1; }
+echo "chaos: fleet up at $spec"
+
+"$build/bench/loadgen" --connect="$spec" --mix=gadget-forest \
+  --qps="$qps" --duration-seconds="$duration" \
+  --retries=8 --verify=1 --min-availability="$min_availability" \
+  > loadgen.log 2>&1 &
+loadgen_pid=$!
+
+# Killer loop: while the load runs, SIGKILL the most recent incarnation
+# of a rotating worker slot. Pids come from the supervisor's own
+# "worker I pid=P listening" lines, so restarts are killable too.
+kills=0
+slot=0
+while kill -0 "$loadgen_pid" 2>/dev/null; do
+  sleep "$kill_interval"
+  kill -0 "$loadgen_pid" 2>/dev/null || break
+  victim="$(sed -n "s/.*worker $slot pid=\([0-9]*\) listening.*/\1/p" \
+            server.log | tail -1)"
+  if [ -n "$victim" ] && kill -KILL "$victim" 2>/dev/null; then
+    kills=$((kills + 1))
+    echo "chaos: killed worker $slot pid=$victim (kill #$kills)"
+  fi
+  slot=$(( (slot + 1) % workers ))
+done
+
+loadgen_rc=0
+wait "$loadgen_pid" || loadgen_rc=$?
+cat loadgen.log
+
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+trap - EXIT
+
+test "$kills" -ge 1 || { echo "FAIL: chaos loop never killed a worker"; exit 1; }
+test "$loadgen_rc" -eq 0 || { echo "FAIL: loadgen exit $loadgen_rc"; exit 1; }
+test "$server_rc" -eq 0 || {
+  echo "FAIL: supervisor drain exit $server_rc"; cat server.log; exit 1; }
+
+KILLS="$kills" MIN_AVAILABILITY="$min_availability" python3 - <<'EOF'
+import json, os, re
+
+kills = int(os.environ["KILLS"])
+floor = float(os.environ["MIN_AVAILABILITY"])
+
+doc = json.load(open("BENCH_loadgen.json"))
+summary = next(r for r in doc["records"] if r["record"] == "summary")
+assert summary["verified"], "loadgen ran without --verify=1"
+assert summary["incorrect_replies"] == 0, \
+    f"WRONG REPLIES under chaos: {summary['incorrect_replies']}"
+assert summary["availability"] >= floor, \
+    f"availability {summary['availability']} < {floor}"
+
+log = open("server.log").read()
+restarts = len(re.findall(r"; restarting in \d+ ms", log))
+# Every external kill must be a supervised restart; the slack admits
+# heartbeat-timeout kills of workers merely slowed by CI contention.
+assert restarts >= kills, f"{kills} kills but only {restarts} restarts"
+assert restarts <= kills + 4, \
+    f"restart storm: {restarts} restarts for {kills} kills"
+assert "retired" not in log, "circuit breaker opened during chaos:\n" + log
+forced = len(re.findall(r"force-killed after drain grace", log))
+assert forced == 0, f"{forced} workers needed a forced kill at drain"
+
+print(f"OK: {summary['requests']} verified requests, "
+      f"availability {summary['availability']:.4f}, "
+      f"{kills} kills -> {restarts} supervised restarts, clean drain")
+EOF

@@ -42,7 +42,7 @@ std::vector<std::string> AllSites() {
           sites::kCombineCl,      sites::kTaskRun,       sites::kCacheProbe,
           sites::kCacheVerify,    sites::kCachePublish,  sites::kGraphIoRead,
           sites::kSchreierInsert, sites::kServerDecode,  sites::kServerDispatch,
-          sites::kServerWriteReply};
+          sites::kServerWriteReply, sites::kWorkerKill,  sites::kWorkerHang};
 }
 
 void Arm(const std::string& site, ArmSpec spec) {

@@ -85,6 +85,17 @@ inline constexpr char kServerDispatch[] = "server.dispatch";
 // is replaced by an internal_fault error reply (still framed, so the
 // client is never left hanging) and the connection keeps serving.
 inline constexpr char kServerWriteReply[] = "server.write_reply";
+// Worker crash injection, once per drained batch (top of ProcessBatch).
+// Triggered: raise(SIGKILL) — the process dies abruptly mid-batch with no
+// unwind, no flush, possibly torn reply frames on the wire. Only meaningful
+// in a supervised multi-process daemon (arm via `dvicl_server --failpoint`
+// or pre-fork in a chaos test); arming it in-process kills the test binary.
+inline constexpr char kWorkerKill[] = "worker.kill";
+// Worker hang injection, once per drained batch. Triggered: raise(SIGSTOP)
+// — every thread of the process freezes, exactly the wedged-worker shape
+// the supervisor's heartbeat deadline exists to catch (it escalates to
+// SIGKILL + restart). Same in-process warning as worker.kill.
+inline constexpr char kWorkerHang[] = "worker.hang";
 }  // namespace sites
 
 // Every site above, for tests that sweep the catalogue.

@@ -18,6 +18,7 @@ class Status {
     kIOError,
     kNotFound,
     kResourceExhausted,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -34,6 +35,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string message) {
     return Status(Code::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(Code::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -61,6 +65,8 @@ class Status {
         return "NotFound";
       case Code::kResourceExhausted:
         return "ResourceExhausted";
+      case Code::kDeadlineExceeded:
+        return "DeadlineExceeded";
     }
     return "Unknown";
   }

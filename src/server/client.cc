@@ -1,12 +1,18 @@
 #include "server/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/wire.h"
@@ -16,46 +22,131 @@ namespace server {
 
 namespace {
 
-ssize_t ReadFull(int fd, char* buf, size_t count) {
-  size_t got = 0;
-  while (got < count) {
-    const ssize_t n = read(fd, buf + got, count - got);
-    if (n == 0) break;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return -1;
-    }
-    got += static_cast<size_t>(n);
-  }
-  return static_cast<ssize_t>(got);
+using Clock = std::chrono::steady_clock;
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-bool WriteFull(int fd, const char* buf, size_t count) {
+// Optional absolute deadline; nullopt = block forever.
+using Deadline = std::optional<Clock::time_point>;
+
+Deadline DeadlineIn(uint64_t ms) {
+  if (ms == 0) return std::nullopt;
+  return Clock::now() + std::chrono::milliseconds(ms);
+}
+
+// Waits for `events` on fd. Returns 1 when ready, 0 on deadline expiry,
+// -1 on poll error. POLLHUP/POLLERR count as ready: the following
+// read/write reports the actual condition.
+int PollWait(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline.has_value()) {
+      const auto remaining = *deadline - Clock::now();
+      if (remaining <= Clock::duration::zero()) return 0;
+      timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count() +
+          1);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return 1;
+    if (rc == 0) {
+      if (!deadline.has_value()) continue;  // spurious; keep blocking
+      return 0;
+    }
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+enum class IoResult { kOk, kEof, kTimeout, kError };
+
+// Reads exactly `count` bytes from a non-blocking fd, poll()ing under the
+// deadline. *got reports the bytes read so far on every outcome (the torn
+// vs clean EOF distinction is `*got > 0`).
+IoResult ReadFull(int fd, char* buf, size_t count, const Deadline& deadline,
+                  size_t* got) {
+  *got = 0;
+  while (*got < count) {
+    const ssize_t n = read(fd, buf + *got, count - *got);
+    if (n > 0) {
+      *got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return IoResult::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int ready = PollWait(fd, POLLIN, deadline);
+      if (ready == 0) return IoResult::kTimeout;
+      if (ready < 0) return IoResult::kError;
+      continue;
+    }
+    return IoResult::kError;
+  }
+  return IoResult::kOk;
+}
+
+IoResult WriteFull(int fd, const char* buf, size_t count,
+                   const Deadline& deadline) {
   size_t sent = 0;
   while (sent < count) {
     const ssize_t n = write(fd, buf + sent, count - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+    if (n >= 0) {
+      sent += static_cast<size_t>(n);
+      continue;
     }
-    sent += static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int ready = PollWait(fd, POLLOUT, deadline);
+      if (ready == 0) return IoResult::kTimeout;
+      if (ready < 0) return IoResult::kError;
+      continue;
+    }
+    return IoResult::kError;
   }
-  return true;
+  return IoResult::kOk;
+}
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
 
-Client::~Client() {
-  if (fd_ >= 0) close(fd_);
+Client::Client(int fd) : fd_(fd) {
+  if (fd_ >= 0) SetNonBlocking(fd_);
+}
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), deadline_ms_(other.deadline_ms_) {
+  other.fd_ = -1;
 }
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
-    if (fd_ >= 0) close(fd_);
+    Close();
     fd_ = other.fd_;
+    deadline_ms_ = other.deadline_ms_;
     other.fd_ = -1;
   }
   return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
 }
 
 Result<Client> Client::ConnectTcp(const std::string& host, uint16_t port) {
@@ -88,32 +179,78 @@ Status Client::Send(const Request& request) {
   std::string frame;
   frame.reserve(payload.size() + 4);
   wire::AppendFrame(payload, &frame);
-  if (!WriteFull(fd_, frame.data(), frame.size())) {
-    return Status::IOError(std::string("request write: ") +
-                           std::strerror(errno));
+  switch (WriteFull(fd_, frame.data(), frame.size(),
+                    DeadlineIn(deadline_ms_))) {
+    case IoResult::kOk:
+      return Status::Ok();
+    case IoResult::kTimeout:
+      // An unknown prefix of the frame is on the wire; the stream cannot
+      // be reused.
+      Close();
+      return Status::DeadlineExceeded("request write exceeded the deadline");
+    case IoResult::kEof:
+    case IoResult::kError: {
+      const Status status = Status::IOError(std::string("request write: ") +
+                                            std::strerror(errno));
+      Close();
+      return status;
+    }
   }
-  return Status::Ok();
+  return Status::IOError("request write: unreachable");
 }
 
 Status Client::Receive(Reply* reply) {
   if (fd_ < 0) return Status::IOError("client is not connected");
+  const Deadline deadline = DeadlineIn(deadline_ms_);
   char prefix[4];
-  const ssize_t got = ReadFull(fd_, prefix, 4);
-  if (got == 0) return Status::NotFound("server closed the connection");
-  if (got != 4) {
-    return Status::IOError("truncated reply: EOF inside the length prefix");
+  size_t got = 0;
+  switch (ReadFull(fd_, prefix, 4, deadline, &got)) {
+    case IoResult::kOk:
+      break;
+    case IoResult::kEof:
+      if (got == 0) {
+        // Clean close at a frame boundary; the fd stays open (FinishSending
+        // flows still read a final EOF here and the destructor closes).
+        return Status::NotFound("server closed the connection");
+      }
+      Close();
+      return Status::IOError(
+          "truncated reply: EOF inside the length prefix (torn write from "
+          "a dead server)");
+    case IoResult::kTimeout:
+      Close();
+      return Status::DeadlineExceeded("reply read exceeded the deadline");
+    case IoResult::kError:
+      Close();
+      return Status::IOError(std::string("reply read: ") +
+                             std::strerror(errno));
   }
   uint32_t len = 0;
   for (int i = 0; i < 4; ++i) {
     len |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
   }
   if (len > wire::kMaxPayloadBytes) {
+    Close();
     return Status::InvalidArgument("reply frame exceeds the payload cap");
   }
   std::string payload(len, '\0');
-  if (len > 0 && ReadFull(fd_, payload.data(), len) !=
-                     static_cast<ssize_t>(len)) {
-    return Status::IOError("truncated reply: EOF inside the payload");
+  if (len > 0) {
+    switch (ReadFull(fd_, payload.data(), len, deadline, &got)) {
+      case IoResult::kOk:
+        break;
+      case IoResult::kEof:
+        Close();
+        return Status::IOError(
+            "truncated reply: EOF inside the payload (torn write from a "
+            "dead server)");
+      case IoResult::kTimeout:
+        Close();
+        return Status::DeadlineExceeded("reply read exceeded the deadline");
+      case IoResult::kError:
+        Close();
+        return Status::IOError(std::string("reply read: ") +
+                               std::strerror(errno));
+    }
   }
   return DecodeReply(payload, reply);
 }
@@ -143,6 +280,162 @@ Result<Reply> Client::FetchMetrics(uint64_t request_id) {
 
 void Client::FinishSending() {
   if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+}
+
+// ---- RobustClient ---------------------------------------------------------
+
+std::vector<Endpoint> ParseEndpoints(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return {};
+  const std::string host = spec.substr(0, colon);
+  std::vector<Endpoint> endpoints;
+  size_t pos = colon + 1;
+  while (pos <= spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0' || port == 0 ||
+        port > 65535) {
+      return {};
+    }
+    endpoints.push_back({host, static_cast<uint16_t>(port)});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return endpoints;
+}
+
+RobustClient::RobustClient(std::vector<Endpoint> endpoints,
+                           RetryOptions options)
+    : endpoints_(std::move(endpoints)),
+      options_(options),
+      rng_(options.seed) {}
+
+void RobustClient::Disconnect() { client_.reset(); }
+
+uint64_t RobustClient::NextBackoffMs() {
+  uint64_t delay = options_.backoff_initial_ms;
+  for (uint32_t i = 0; i < backoff_exponent_ && delay < options_.backoff_max_ms;
+       ++i) {
+    delay *= 2;
+  }
+  if (delay > options_.backoff_max_ms) delay = options_.backoff_max_ms;
+  if (backoff_exponent_ < 32) ++backoff_exponent_;
+  // Jitter over [delay/2, delay]: staggered retriers, bounded worst case.
+  if (delay > 1) delay = delay / 2 + rng_.NextBounded(delay / 2 + 1);
+  return delay;
+}
+
+Status RobustClient::Connect(uint64_t remaining_ms) {
+  if (endpoints_.empty()) {
+    return Status::InvalidArgument("no endpoints configured");
+  }
+  Status last = Status::IOError("connect never attempted");
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    const Endpoint& ep = endpoints_[cursor_];
+    Result<Client> connected = Client::ConnectTcp(ep.host, ep.port);
+    if (connected.ok()) {
+      client_.emplace(std::move(connected).value());
+      ++stats_.reconnects;
+      return Status::Ok();
+    }
+    last = connected.status();
+    cursor_ = (cursor_ + 1) % endpoints_.size();
+  }
+  (void)remaining_ms;
+  return last;
+}
+
+Result<Reply> RobustClient::Call(const Request& request) {
+  ++stats_.calls;
+  const uint64_t start_ms = NowMs();
+  const auto remaining_ms = [&]() -> uint64_t {
+    if (options_.overall_deadline_ms == 0) return UINT64_MAX;
+    const uint64_t elapsed = NowMs() - start_ms;
+    return elapsed >= options_.overall_deadline_ms
+               ? 0
+               : options_.overall_deadline_ms - elapsed;
+  };
+  Status last = Status::IOError("no attempt made");
+  const uint32_t max_attempts = options_.max_attempts == 0
+                                    ? 1
+                                    : options_.max_attempts;
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    uint64_t budget_ms = remaining_ms();
+    if (budget_ms == 0) {
+      ++stats_.deadline_failures;
+      return Status::DeadlineExceeded(
+          "call budget exhausted after " + std::to_string(attempt) +
+          " attempts: " + last.ToString());
+    }
+    if (attempt > 0) {
+      ++stats_.retries;
+      const uint64_t delay =
+          std::min(NextBackoffMs(), budget_ms == UINT64_MAX ? UINT64_MAX
+                                                            : budget_ms);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      budget_ms = remaining_ms();
+      if (budget_ms == 0) {
+        ++stats_.deadline_failures;
+        return Status::DeadlineExceeded("call budget exhausted in backoff: " +
+                                        last.ToString());
+      }
+    }
+    if (!connected()) {
+      last = Connect(budget_ms);
+      if (!last.ok()) continue;  // backoff, then rotate again
+      budget_ms = remaining_ms();
+      if (budget_ms == 0) continue;
+    }
+    // Deadline propagation: the per-attempt I/O deadline and the request's
+    // own engine deadline are both clamped to the remaining overall
+    // budget, so the sum over retries can never exceed the caller's
+    // original deadline.
+    uint64_t io_ms = options_.io_deadline_ms;
+    if (budget_ms != UINT64_MAX && (io_ms == 0 || io_ms > budget_ms)) {
+      io_ms = budget_ms;
+    }
+    client_->set_deadline_ms(io_ms);
+    Request attempt_request = request;
+    if (budget_ms != UINT64_MAX) {
+      const uint64_t budget_us = budget_ms * 1000;
+      if (attempt_request.deadline_micros == 0 ||
+          attempt_request.deadline_micros > budget_us) {
+        attempt_request.deadline_micros = budget_us;
+      }
+    }
+    ++stats_.attempts;
+    last = client_->Send(attempt_request);
+    if (!last.ok()) {
+      client_.reset();
+      continue;
+    }
+    Reply reply;
+    last = client_->Receive(&reply);
+    if (!last.ok()) {
+      // Timeout / torn frame / clean close: the Client already poisoned
+      // itself where required; drop it so the next attempt reconnects
+      // (possibly to another worker).
+      client_.reset();
+      continue;
+    }
+    if (reply.status == wire::WireStatus::kOverloaded &&
+        options_.retry_overloaded && attempt + 1 < max_attempts) {
+      ++stats_.overloaded_retries;
+      // Rotate away from the overloaded worker before backing off.
+      client_.reset();
+      cursor_ = (cursor_ + 1) % (endpoints_.empty() ? 1 : endpoints_.size());
+      last = Status::ResourceExhausted("server overloaded");
+      continue;
+    }
+    backoff_exponent_ = 0;
+    return reply;
+  }
+  ++stats_.deadline_failures;
+  return last;
 }
 
 }  // namespace server

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "server/protocol.h"
 
@@ -15,14 +17,26 @@ namespace server {
 // connection; not thread-safe (callers wanting concurrency open one client
 // per thread, which is also how the load generator models independent
 // connections).
+//
+// I/O deadlines (the supervised-serving robustness contract, DESIGN.md
+// §15): set_deadline_ms(D) bounds every subsequent Send/Receive to D
+// milliseconds of wall clock via poll()-based non-blocking I/O. A deadline
+// expiry returns Status::DeadlineExceeded AND closes the connection — the
+// stream may hold a half-read frame, so no later call may trust it. The
+// same poisoning applies to a torn frame (EOF inside a frame, the
+// signature of a SIGKILLed peer): IOError, connection closed. A clean
+// server close at a frame boundary stays NotFound and leaves the fd open
+// (the send half may still be useful). Deadline 0 = block forever (the
+// pre-supervision behavior).
 class Client {
  public:
   // Adopts a connected stream socket (e.g. one end of a socketpair in the
-  // loopback tests); the Client owns and closes it.
-  explicit Client(int fd) : fd_(fd) {}
+  // loopback tests); the Client owns and closes it. The socket is switched
+  // to non-blocking mode — all Client I/O goes through poll()-based loops.
+  explicit Client(int fd);
   ~Client();
 
-  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -33,11 +47,19 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  // Per-call I/O deadline for Send/Receive; 0 = block forever.
+  void set_deadline_ms(uint64_t deadline_ms) { deadline_ms_ = deadline_ms; }
+  uint64_t deadline_ms() const { return deadline_ms_; }
+
   // Frames and sends one request (does not wait for the reply; pipelining
   // multiple Sends before Receives is how a client forms a server batch).
+  // DeadlineExceeded after deadline_ms of blocked writing (connection
+  // closed: an unknown prefix of the frame may be on the wire).
   Status Send(const Request& request);
 
-  // Blocks for the next framed reply. NotFound = clean server close.
+  // Blocks for the next framed reply. NotFound = clean server close;
+  // IOError = torn frame / read error (connection closed); DeadlineExceeded
+  // = no full reply within deadline_ms (connection closed).
   Status Receive(Reply* reply);
 
   // Send + Receive for the common one-at-a-time call.
@@ -55,7 +77,100 @@ class Client {
   void FinishSending();
 
  private:
+  void Close();
+
   int fd_ = -1;
+  uint64_t deadline_ms_ = 0;
+};
+
+// ---- retrying, reconnecting, failing-over client --------------------------
+
+struct Endpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+// Parses "HOST:P1[,P2,...]" into one endpoint per port (a supervised
+// daemon exposes one port per worker). Returns an empty vector on a
+// malformed spec.
+std::vector<Endpoint> ParseEndpoints(const std::string& spec);
+
+struct RetryOptions {
+  // Total attempts per Call (first try included). 1 = no retries.
+  uint32_t max_attempts = 4;
+  // Reconnect/retry backoff: initial * 2^k, capped, each delay jittered
+  // uniformly over [delay/2, delay] so a restarted worker is not hit by a
+  // synchronized thundering herd of retriers.
+  uint64_t backoff_initial_ms = 50;
+  uint64_t backoff_max_ms = 2000;
+  // Jitter seed (deterministic per client; mix in a per-connection salt
+  // when running many clients).
+  uint64_t seed = 1;
+  // Per-attempt I/O deadline for send+receive (0 = block forever — do not
+  // use against a supervised fleet, a hung worker would hang the caller).
+  uint64_t io_deadline_ms = 10'000;
+  // Overall wall-clock budget for one Call including every retry, backoff
+  // and reconnect (0 = unbounded). The remaining budget is also propagated
+  // into the request's own deadline_micros, so a retried request can never
+  // burn more engine time than the caller's original deadline allows.
+  uint64_t overall_deadline_ms = 0;
+  // Retry kOverloaded replies (admission-control pushback) after backoff.
+  bool retry_overloaded = true;
+};
+
+// Client wrapper implementing the client half of the supervised-serving
+// robustness contract: poll()-based I/O deadlines, reconnect with jittered
+// exponential backoff, endpoint failover across a worker fleet, and a
+// bounded retry budget for idempotent requests.
+//
+// Retrying is safe because every compute class is a pure function of the
+// request (canonical form, iso verdict, |Aut|, orbits, SSM count): a
+// request that was lost, half-executed by a crashed worker, or even fully
+// executed with the reply lost, returns byte-identical results when re-sent
+// — to the same worker or any other. Retried conditions: connection loss
+// (IOError/NotFound), I/O deadline expiry, and kOverloaded replies.
+// Structured errors (budget exhaustion, invalid request) are the caller's
+// answer and are never retried.
+//
+// Not thread-safe (same model as Client: one RobustClient per thread).
+class RobustClient {
+ public:
+  struct Stats {
+    uint64_t calls = 0;        // Call() invocations
+    uint64_t attempts = 0;     // request transmissions (>= calls)
+    uint64_t retries = 0;      // attempts beyond the first of their call
+    uint64_t reconnects = 0;   // successful (re)connections
+    uint64_t overloaded_retries = 0;  // retries caused by kOverloaded
+    uint64_t deadline_failures = 0;   // Calls lost to DeadlineExceeded
+  };
+
+  RobustClient(std::vector<Endpoint> endpoints, RetryOptions options = {});
+
+  // One idempotent request, retried within the options' budgets. Returns
+  // the first decoded reply (success or structured server-side error), or
+  // a transport Status once the retry/deadline budget is exhausted.
+  Result<Reply> Call(const Request& request);
+
+  const Stats& stats() const { return stats_; }
+  // Endpoint index the live connection points at (for tests).
+  size_t endpoint_index() const { return cursor_; }
+  bool connected() const { return client_.has_value() && client_->connected(); }
+  // Drops the live connection (next Call reconnects).
+  void Disconnect();
+
+ private:
+  // Connects to the cursor endpoint, rotating through the fleet on
+  // failure; at most one full rotation per invocation.
+  Status Connect(uint64_t deadline_ms_remaining);
+  uint64_t NextBackoffMs();
+
+  std::vector<Endpoint> endpoints_;
+  RetryOptions options_;
+  Rng rng_;
+  std::optional<Client> client_;
+  size_t cursor_ = 0;          // endpoint of the live/next connection
+  uint32_t backoff_exponent_ = 0;  // reset on any successful reply
+  Stats stats_;
 };
 
 }  // namespace server

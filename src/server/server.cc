@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <exception>
 #include <istream>
@@ -249,7 +250,10 @@ void Server::Serve(Channel* channel) {
     // the `arrival` end of the request lifecycle (DESIGN.md §12).
     Status status = channel->ReadFrame(&payload);
     if (status.code() == Status::Code::kNotFound) return;  // clean EOF
-    if (status.code() == Status::Code::kIOError) return;   // mid-frame EOF
+    if (status.code() == Status::Code::kIOError) {         // mid-frame EOF
+      frames_truncated_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     bool close = false;
     bool oversized = false;
     std::string oversized_detail;
@@ -267,6 +271,9 @@ void Server::Serve(Channel* channel) {
         status = channel->ReadFrame(&payload);
         if (status.code() == Status::Code::kNotFound ||
             status.code() == Status::Code::kIOError) {
+          if (status.code() == Status::Code::kIOError) {
+            frames_truncated_.fetch_add(1, std::memory_order_relaxed);
+          }
           close = true;
           break;
         }
@@ -314,6 +321,12 @@ bool Server::TryAdmit() {
 }
 
 bool Server::ProcessBatch(std::vector<Incoming>* frames, Channel* channel) {
+  // Whole-process crash/hang injection for supervised-serving chaos tests
+  // (armed pre-fork by the daemon's --failpoint flag, never in-process —
+  // see the site docs in failpoint.h). Hang first: a run arming both wants
+  // the freeze observable before the kill fires.
+  if (DVICL_FAILPOINT(failpoint::sites::kWorkerHang)) raise(SIGSTOP);
+  if (DVICL_FAILPOINT(failpoint::sites::kWorkerKill)) raise(SIGKILL);
   batches_.fetch_add(1, std::memory_order_relaxed);
   const bool obs = options_.request_obs;
   if (obs) batch_depth_->Record(frames->size());
@@ -740,6 +753,7 @@ std::vector<std::pair<std::string, uint64_t>> Server::StatsSnapshot() const {
   stats.emplace_back("batches", relaxed(batches_));
   stats.emplace_back("connections", relaxed(connections_));
   stats.emplace_back("decode_errors", relaxed(decode_errors_));
+  stats.emplace_back("frames_truncated", relaxed(frames_truncated_));
   stats.emplace_back("in_flight", relaxed(in_flight_));
   stats.emplace_back("obs.access_log_records",
                      access_log_ != nullptr ? access_log_->records_written()

@@ -230,6 +230,11 @@ class Server {
   std::atomic<uint64_t> replies_error_{0};
   std::atomic<uint64_t> overloaded_{0};
   std::atomic<uint64_t> decode_errors_{0};
+  // Connections dropped on a torn frame (EOF inside a length-prefixed
+  // frame — a crashed/killed peer), as distinct from a clean close at a
+  // frame boundary. Chaos runs watch this to prove the wire-level failure
+  // mode is the one being injected.
+  std::atomic<uint64_t> frames_truncated_{0};
 };
 
 }  // namespace server

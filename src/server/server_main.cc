@@ -1,4 +1,5 @@
-// dvicl_server: the canonicalization-as-a-service daemon (DESIGN.md §11).
+// dvicl_server: the canonicalization-as-a-service daemon (DESIGN.md §11,
+// §15).
 //
 // Serves the length-prefixed binary protocol of server/protocol.h over TCP
 // (127.0.0.1 only) or stdin/stdout:
@@ -6,6 +7,15 @@
 //   dvicl_server --port=7411            # fixed port
 //   dvicl_server --port=0               # ephemeral; bound port is printed
 //   dvicl_server --stdio                # one connection over stdin/stdout
+//   dvicl_server --workers=4            # supervised multi-process fleet
+//
+// Supervised mode (--workers=N, DESIGN.md §15): the parent forks N worker
+// processes, each serving its own loopback port (--port=P gives P..P+N-1;
+// --port=0 gives N ephemeral ports, printed). The parent health-checks the
+// fleet (waitpid + kServerStats heartbeats), restarts dead or hung workers
+// with exponential backoff and a crash-loop circuit breaker, forwards
+// SIGHUP for access-log rotation, and on SIGTERM/SIGINT drains the fleet
+// gracefully. Per-worker observability outputs get a ".wI" suffix.
 //
 // Tuning flags (defaults in ServerOptions):
 //   --threads=N          shared pool width (0 = hardware threads)
@@ -16,6 +26,23 @@
 //   --deadline-seconds=S default deadline for every compute class
 //   --node-budget=N      default leaf IR node budget for every compute class
 //   --memory-limit-mib=N default per-run RSS-delta budget
+//
+// Supervision flags (--workers=N mode):
+//   --workers=N                worker process count (0 = single process)
+//   --drain-grace-ms=N         per-process in-flight drain bound on SIGTERM
+//   --heartbeat-interval-ms=N  per-worker health-check period
+//   --heartbeat-timeout-ms=N   heartbeat reply deadline
+//   --heartbeat-misses=N       missed heartbeats before a hung worker is
+//                              SIGKILLed and restarted
+//   --restart-backoff-ms=N     initial restart backoff (doubles per failure)
+//   --restart-backoff-max-ms=N backoff cap
+//   --max-worker-restarts=N    consecutive failures before a slot is
+//                              retired (crash-loop circuit breaker)
+//   --failpoint=SITE[:skip[:max]]  arm a failpoint before serving (workers
+//                              inherit the arming with fresh per-process
+//                              counters; worker.kill / worker.hang drive
+//                              the chaos harness). Repeatable. Requires a
+//                              -DDVICL_FAILPOINTS=ON build.
 //
 // Observability flags (DESIGN.md §12):
 //   --request-obs=0|1          per-request pipeline master switch (default 1)
@@ -31,49 +58,51 @@
 //   --slow-request-millis=N    flight trigger: total latency >= N ms
 //   --slow-request-nodes=N     flight trigger: leaf IR nodes >= N
 //
-// The daemon runs until SIGTERM/SIGINT, which stops accepting, gives
-// in-flight connections a short grace period, flushes the trace/metrics
-// outputs and exits; every connection gets its own serving thread, all
-// feeding the one shared pool and cache.
+// The daemon runs until SIGTERM/SIGINT, which stops accepting, drains
+// in-flight work within the grace, flushes the trace/metrics outputs and
+// exits.
 
-#include <netinet/in.h>
 #include <signal.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "obs/trace.h"
+#include "common/failpoint.h"
 #include "server/server.h"
+#include "server/supervisor.h"
 
 namespace {
 
+using dvicl::Result;
+using dvicl::Status;
 using dvicl::server::IsControlPlane;
+using dvicl::server::ListenLoopback;
 using dvicl::server::RequestClass;
+using dvicl::server::RunServingLoop;
 using dvicl::server::Server;
 using dvicl::server::ServerOptions;
+using dvicl::server::ServingLoopOptions;
+using dvicl::server::Supervisor;
+using dvicl::server::SupervisorOptions;
 
-// Signal flags: handlers only set these and (for stop) unblock accept().
-volatile sig_atomic_t g_stop = 0;
-volatile sig_atomic_t g_reopen = 0;
-int g_listen_fd = -1;
+// Supervised-mode signal plumbing: handlers only perform the atomic stores
+// behind RequestShutdown/RequestLogRotate (async-signal-safe). The
+// single-process serving loop installs its own handlers inside
+// RunServingLoop.
+Supervisor* g_supervisor = nullptr;
 
-void HandleStop(int) {
-  g_stop = 1;
-  // shutdown() is async-signal-safe and makes the blocking accept() return,
-  // so the main loop observes g_stop promptly.
-  if (g_listen_fd >= 0) shutdown(g_listen_fd, SHUT_RDWR);
+void HandleSupervisorStop(int) {
+  if (g_supervisor != nullptr) g_supervisor->RequestShutdown();
 }
 
-void HandleHup(int) { g_reopen = 1; }
+void HandleSupervisorHup(int) {
+  if (g_supervisor != nullptr) g_supervisor->RequestLogRotate();
+}
 
 bool FlagValue(const char* arg, const char* name, std::string* value) {
   const size_t len = std::strlen(name);
@@ -93,72 +122,51 @@ uint64_t ParseU64(const std::string& text, const char* what) {
   return value;
 }
 
-int ListenTcp(uint16_t port, uint16_t* bound_port) {
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("dvicl_server: socket");
-    std::exit(1);
+// "SITE[:skip[:max]]" -> Arm(SITE, {skip, max}). Exits on an unknown site
+// so a typo in a chaos harness fails loudly instead of injecting nothing.
+void ArmFailpointSpec(const std::string& spec) {
+  if (!dvicl::failpoint::kEnabled) {
+    std::fprintf(stderr,
+                 "dvicl_server: --failpoint requires a -DDVICL_FAILPOINTS=ON "
+                 "build\n");
+    std::exit(2);
   }
-  const int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    std::perror("dvicl_server: bind");
-    std::exit(1);
-  }
-  if (listen(fd, 64) != 0) {
-    std::perror("dvicl_server: listen");
-    std::exit(1);
-  }
-  sockaddr_in bound;
-  socklen_t bound_len = sizeof(bound);
-  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
-    std::perror("dvicl_server: getsockname");
-    std::exit(1);
-  }
-  *bound_port = ntohs(bound.sin_port);
-  return fd;
-}
-
-// Atomic metrics dump: write to <path>.tmp, then rename over <path>, so a
-// concurrent `python3 -m json.tool <path>` (the CI validator, a dashboard
-// poller) never reads a half-written file.
-void DumpMetrics(Server* server, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  if (server->metrics()->WriteJsonFile(tmp)) {
-    std::rename(tmp.c_str(), path.c_str());
-  }
-}
-
-// Final flush of the observability outputs, shared by the stdio and TCP
-// exits. The trace write expects quiescence (clients disconnect before the
-// daemon is TERMed in the runbook flow); the metrics dump is snapshot-based
-// and safe regardless.
-void FlushObservability(Server* server, dvicl::obs::TraceRecorder* trace,
-                        const std::string& trace_path,
-                        const std::string& metrics_path) {
-  if (!metrics_path.empty()) DumpMetrics(server, metrics_path);
-  if (trace != nullptr && !trace_path.empty()) {
-    if (!trace->WriteJsonFile(trace_path)) {
-      std::fprintf(stderr, "dvicl_server: failed to write %s\n",
-                   trace_path.c_str());
+  std::string site = spec;
+  dvicl::failpoint::ArmSpec arm;
+  const size_t first = spec.find(':');
+  if (first != std::string::npos) {
+    site = spec.substr(0, first);
+    const size_t second = spec.find(':', first + 1);
+    const std::string skip = spec.substr(
+        first + 1,
+        second == std::string::npos ? std::string::npos : second - first - 1);
+    arm.skip_hits = ParseU64(skip, "--failpoint skip");
+    if (second != std::string::npos) {
+      arm.max_triggers =
+          ParseU64(spec.substr(second + 1), "--failpoint max");
     }
   }
+  bool known = false;
+  for (const std::string& name : dvicl::failpoint::AllSites()) {
+    if (name == site) known = true;
+  }
+  if (!known) {
+    std::fprintf(stderr, "dvicl_server: unknown failpoint site %s\n",
+                 site.c_str());
+    std::exit(2);
+  }
+  dvicl::failpoint::Arm(site, arm);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   ServerOptions options;
+  SupervisorOptions supervisor_options;
+  ServingLoopOptions loop;
   uint16_t port = 7411;
+  uint32_t workers = 0;
   bool stdio = false;
-  std::string trace_path;
-  std::string metrics_path;
-  uint64_t metrics_dump_seconds = 0;
   std::string value;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -166,6 +174,8 @@ int main(int argc, char** argv) {
       stdio = true;
     } else if (FlagValue(arg, "--port", &value)) {
       port = static_cast<uint16_t>(ParseU64(value, "--port"));
+    } else if (FlagValue(arg, "--workers", &value)) {
+      workers = static_cast<uint32_t>(ParseU64(value, "--workers"));
     } else if (FlagValue(arg, "--threads", &value)) {
       options.num_threads =
           static_cast<uint32_t>(ParseU64(value, "--threads"));
@@ -196,16 +206,40 @@ int main(int argc, char** argv) {
       for (uint8_t cls = 0; cls < dvicl::server::kNumRequestClasses; ++cls) {
         options.budgets[cls].memory_limit_mib = mib;
       }
+    } else if (FlagValue(arg, "--drain-grace-ms", &value)) {
+      loop.drain_grace_ms = ParseU64(value, "--drain-grace-ms");
+      supervisor_options.drain_grace_ms = loop.drain_grace_ms + 1000;
+    } else if (FlagValue(arg, "--heartbeat-interval-ms", &value)) {
+      supervisor_options.heartbeat_interval_ms =
+          ParseU64(value, "--heartbeat-interval-ms");
+    } else if (FlagValue(arg, "--heartbeat-timeout-ms", &value)) {
+      supervisor_options.heartbeat_timeout_ms =
+          ParseU64(value, "--heartbeat-timeout-ms");
+    } else if (FlagValue(arg, "--heartbeat-misses", &value)) {
+      supervisor_options.heartbeat_max_missed =
+          static_cast<uint32_t>(ParseU64(value, "--heartbeat-misses"));
+    } else if (FlagValue(arg, "--restart-backoff-ms", &value)) {
+      supervisor_options.restart.backoff_initial_ms =
+          ParseU64(value, "--restart-backoff-ms");
+    } else if (FlagValue(arg, "--restart-backoff-max-ms", &value)) {
+      supervisor_options.restart.backoff_max_ms =
+          ParseU64(value, "--restart-backoff-max-ms");
+    } else if (FlagValue(arg, "--max-worker-restarts", &value)) {
+      supervisor_options.restart.max_consecutive_failures =
+          static_cast<uint32_t>(ParseU64(value, "--max-worker-restarts"));
+    } else if (FlagValue(arg, "--failpoint", &value)) {
+      ArmFailpointSpec(value);
     } else if (FlagValue(arg, "--request-obs", &value)) {
       options.request_obs = ParseU64(value, "--request-obs") != 0;
     } else if (FlagValue(arg, "--access-log", &value)) {
       options.access_log_path = value;
     } else if (FlagValue(arg, "--trace", &value)) {
-      trace_path = value;
+      loop.trace_path = value;
     } else if (FlagValue(arg, "--metrics", &value)) {
-      metrics_path = value;
+      loop.metrics_path = value;
     } else if (FlagValue(arg, "--metrics-dump-interval", &value)) {
-      metrics_dump_seconds = ParseU64(value, "--metrics-dump-interval");
+      loop.metrics_dump_interval_seconds =
+          ParseU64(value, "--metrics-dump-interval");
     } else if (FlagValue(arg, "--flight-dir", &value)) {
       options.flight.dir = value;
     } else if (FlagValue(arg, "--slow-request-millis", &value)) {
@@ -220,91 +254,65 @@ int main(int argc, char** argv) {
     }
   }
 
-  dvicl::obs::TraceRecorder trace;
-  if (!trace_path.empty()) options.trace = &trace;
-
-  Server server(options);
-  if (options.request_obs && !options.access_log_path.empty() &&
-      (server.access_log() == nullptr || !server.access_log()->ok())) {
-    std::fprintf(stderr, "dvicl_server: cannot open access log %s\n",
-                 options.access_log_path.c_str());
-    return 1;
-  }
-
   if (stdio) {
+    dvicl::obs::TraceRecorder trace;
+    if (!loop.trace_path.empty()) options.trace = &trace;
+    Server server(options);
+    if (options.request_obs && !options.access_log_path.empty() &&
+        (server.access_log() == nullptr || !server.access_log()->ok())) {
+      std::fprintf(stderr, "dvicl_server: cannot open access log %s\n",
+                   options.access_log_path.c_str());
+      return 1;
+    }
     server.ServeStream(std::cin, std::cout);
-    FlushObservability(&server, options.trace, trace_path, metrics_path);
+    if (!loop.metrics_path.empty()) {
+      server.metrics()->WriteJsonFile(loop.metrics_path);
+    }
+    if (options.trace != nullptr && !loop.trace_path.empty()) {
+      options.trace->WriteJsonFile(loop.trace_path);
+    }
     return 0;
   }
 
+  if (workers > 0) {
+    // Supervised multi-process mode (DESIGN.md §15).
+    supervisor_options.num_workers = workers;
+    supervisor_options.port = port;
+    supervisor_options.server = options;
+    supervisor_options.worker_loop = loop;
+    Supervisor supervisor(supervisor_options);
+    const Status started = supervisor.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "dvicl_server: %s\n", started.message().c_str());
+      return 1;
+    }
+    g_supervisor = &supervisor;
+    struct sigaction sa = {};
+    sa.sa_handler = HandleSupervisorStop;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+    sa.sa_handler = HandleSupervisorHup;
+    sigaction(SIGHUP, &sa, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+    const int rc = supervisor.Run();
+    g_supervisor = nullptr;
+    return rc;
+  }
+
   uint16_t bound_port = 0;
-  const int listen_fd = ListenTcp(port, &bound_port);
-  g_listen_fd = listen_fd;
-
-  // No SA_RESTART: SIGHUP must interrupt accept() so the rotation request
-  // is honored promptly even on an idle daemon.
-  struct sigaction sa = {};
-  sa.sa_handler = HandleStop;
-  sigaction(SIGTERM, &sa, nullptr);
-  sigaction(SIGINT, &sa, nullptr);
-  sa.sa_handler = HandleHup;
-  sigaction(SIGHUP, &sa, nullptr);
-  signal(SIGPIPE, SIG_IGN);  // a dying client must not kill the daemon
-
-  // The one line automation depends on: loadgen and the CI smoke job parse
-  // the bound port from it (ephemeral --port=0 included).
-  std::printf("dvicl_server listening on 127.0.0.1:%u\n", bound_port);
-  std::fflush(stdout);
-
-  std::thread dumper;
-  if (!metrics_path.empty() && metrics_dump_seconds > 0) {
-    dumper = std::thread([&server, metrics_path, metrics_dump_seconds] {
-      uint64_t elapsed_ms = 0;
-      const uint64_t interval_ms = metrics_dump_seconds * 1000;
-      while (g_stop == 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
-        elapsed_ms += 100;
-        if (elapsed_ms >= interval_ms) {
-          elapsed_ms = 0;
-          DumpMetrics(&server, metrics_path);
-        }
-      }
-    });
+  Result<int> listen_fd = ListenLoopback(port, &bound_port);
+  if (!listen_fd.ok()) {
+    // A taken or unbindable port must be a clear, nonzero failure: init
+    // systems and the CI smoke harness key off the exit code, not a
+    // perror line.
+    std::fprintf(stderr, "dvicl_server: cannot listen on 127.0.0.1:%u: %s\n",
+                 static_cast<unsigned>(port), listen_fd.status().message().c_str());
+    return 1;
   }
-
-  std::vector<std::thread> connections;
-  while (g_stop == 0) {
-    const int fd = accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (g_stop != 0) break;
-      if (errno == EINTR) {
-        if (g_reopen != 0) {
-          g_reopen = 0;
-          if (server.access_log() != nullptr) server.access_log()->Reopen();
-        }
-        continue;
-      }
-      std::perror("dvicl_server: accept");
-      break;
-    }
-    if (g_reopen != 0) {
-      g_reopen = 0;
-      if (server.access_log() != nullptr) server.access_log()->Reopen();
-    }
-    connections.emplace_back([&server, fd] {
-      server.ServeConnection(fd);
-      close(fd);
-    });
-  }
-  close(listen_fd);
-
-  // Graceful-enough shutdown: connections that are already draining get a
-  // short grace window, then the observability outputs are flushed and the
-  // process exits without joining threads that may be blocked on reads
-  // (the access log is flushed per record, so nothing answered is lost).
-  if (dumper.joinable()) dumper.join();
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
-  FlushObservability(&server, options.trace, trace_path, metrics_path);
+  loop.announce = true;
+  const int rc = RunServingLoop(listen_fd.value(), options, loop);
   std::fflush(nullptr);
-  _exit(0);
+  // Connection threads parked on idle client reads may still be alive;
+  // skip static destruction (every reply already flushed per record).
+  _exit(rc);
 }

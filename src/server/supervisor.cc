@@ -1,0 +1,549 @@
+#include "server/supervisor.h"
+
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.h"
+#include "server/client.h"
+
+namespace dvicl {
+namespace server {
+
+namespace {
+
+uint64_t SteadyNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---- serving-loop signal plumbing (one serving loop per process) -----------
+
+volatile sig_atomic_t g_stop = 0;
+volatile sig_atomic_t g_reopen = 0;
+int g_serving_listen_fd = -1;
+
+void HandleServingStop(int) {
+  g_stop = 1;
+  // shutdown() is async-signal-safe and unblocks the accept() so the loop
+  // observes g_stop promptly.
+  if (g_serving_listen_fd >= 0) shutdown(g_serving_listen_fd, SHUT_RDWR);
+}
+
+void HandleServingHup(int) { g_reopen = 1; }
+
+// Atomic metrics dump: tmp + rename so a concurrent reader never sees a
+// torn file.
+void DumpMetrics(Server* server, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  if (server->metrics()->WriteJsonFile(tmp)) {
+    std::rename(tmp.c_str(), path.c_str());
+  }
+}
+
+}  // namespace
+
+// ---- RestartPolicy ---------------------------------------------------------
+
+void RestartPolicy::OnStart(uint64_t now_ms) {
+  last_start_ms_ = now_ms;
+  started_ = true;
+}
+
+RestartPolicy::Decision RestartPolicy::OnFailure(uint64_t now_ms) {
+  if (retired_) return {false, 0};
+  if (started_ && options_.stable_after_ms != 0 &&
+      now_ms - last_start_ms_ >= options_.stable_after_ms) {
+    // The incarnation that just died had been stable: this is a fresh
+    // incident, not a continuation of a crash loop.
+    consecutive_failures_ = 0;
+  }
+  ++consecutive_failures_;
+  if (options_.max_consecutive_failures != 0 &&
+      consecutive_failures_ >= options_.max_consecutive_failures) {
+    retired_ = true;
+    return {false, 0};
+  }
+  uint64_t delay = options_.backoff_initial_ms;
+  for (uint32_t i = 1;
+       i < consecutive_failures_ && delay < options_.backoff_max_ms; ++i) {
+    delay *= 2;
+  }
+  if (delay > options_.backoff_max_ms) delay = options_.backoff_max_ms;
+  return {true, delay};
+}
+
+// ---- listener + serving loop -----------------------------------------------
+
+Result<int> ListenLoopback(uint16_t port, uint16_t* bound_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError(std::string("bind: ") + std::strerror(err));
+  }
+  if (listen(fd, 64) != 0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError(std::string("listen: ") + std::strerror(err));
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError(std::string("getsockname: ") + std::strerror(err));
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+int RunServingLoop(int listen_fd, const ServerOptions& options,
+                   const ServingLoopOptions& loop) {
+  // The Server, trace recorder and connection counter are heap-allocated
+  // and deliberately leaked: connection threads parked on idle reads can
+  // outlive this function (the drain grace is bounded), so nothing they
+  // touch may be torn down. Callers _exit soon after we return.
+  auto* trace = loop.trace_path.empty() ? nullptr : new obs::TraceRecorder();
+  ServerOptions server_options = options;
+  if (trace != nullptr) server_options.trace = trace;
+  auto* server = new Server(server_options);
+  if (server_options.request_obs && !server_options.access_log_path.empty() &&
+      (server->access_log() == nullptr || !server->access_log()->ok())) {
+    std::fprintf(stderr, "dvicl_server: cannot open access log %s\n",
+                 server_options.access_log_path.c_str());
+    return 1;
+  }
+
+  g_stop = 0;
+  g_reopen = 0;
+  g_serving_listen_fd = listen_fd;
+
+  // No SA_RESTART: SIGHUP must interrupt accept() so rotation is honored
+  // promptly even on an idle process.
+  struct sigaction sa = {};
+  sa.sa_handler = HandleServingStop;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  sa.sa_handler = HandleServingHup;
+  sigaction(SIGHUP, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // a dying client must not kill the server
+
+  if (loop.announce) {
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    uint16_t bound_port = 0;
+    if (getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+      bound_port = ntohs(bound.sin_port);
+    }
+    // The one line automation depends on: loadgen and the CI smoke job
+    // parse the bound port from it (ephemeral --port=0 included).
+    std::printf("dvicl_server listening on 127.0.0.1:%u\n", bound_port);
+    std::fflush(stdout);
+  }
+
+  std::thread dumper;
+  if (!loop.metrics_path.empty() && loop.metrics_dump_interval_seconds > 0) {
+    const std::string metrics_path = loop.metrics_path;
+    const uint64_t interval_ms = loop.metrics_dump_interval_seconds * 1000;
+    dumper = std::thread([server, metrics_path, interval_ms] {
+      uint64_t elapsed_ms = 0;
+      while (g_stop == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        elapsed_ms += 100;
+        if (elapsed_ms >= interval_ms) {
+          elapsed_ms = 0;
+          DumpMetrics(server, metrics_path);
+        }
+      }
+    });
+  }
+
+  // Drain accounting: serving threads decrement on the way out, the drain
+  // below waits (bounded) for zero. Leaked for the same lifetime reason as
+  // the Server.
+  auto* active_connections = new std::atomic<uint64_t>{0};
+
+  while (g_stop == 0) {
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (g_stop != 0) break;
+      if (errno == EINTR) {
+        if (g_reopen != 0) {
+          g_reopen = 0;
+          if (server->access_log() != nullptr) server->access_log()->Reopen();
+        }
+        continue;
+      }
+      std::perror("dvicl_server: accept");
+      break;
+    }
+    if (g_reopen != 0) {
+      g_reopen = 0;
+      if (server->access_log() != nullptr) server->access_log()->Reopen();
+    }
+    active_connections->fetch_add(1, std::memory_order_relaxed);
+    std::thread([server, active_connections, fd] {
+      server->ServeConnection(fd);
+      close(fd);
+      active_connections->fetch_sub(1, std::memory_order_relaxed);
+    }).detach();
+  }
+  close(listen_fd);
+  g_serving_listen_fd = -1;
+
+  // Graceful drain: in-flight connections get up to drain_grace_ms to
+  // finish (each reply is flushed as it completes, so anything answered
+  // before the grace expires is on the wire); idle keep-alive connections
+  // simply burn the grace, which is why it is bounded.
+  const uint64_t drain_deadline = SteadyNowMs() + loop.drain_grace_ms;
+  while (active_connections->load(std::memory_order_relaxed) != 0 &&
+         SteadyNowMs() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  if (dumper.joinable()) dumper.join();
+  if (!loop.metrics_path.empty()) DumpMetrics(server, loop.metrics_path);
+  if (trace != nullptr && !loop.trace_path.empty()) {
+    if (!trace->WriteJsonFile(loop.trace_path)) {
+      std::fprintf(stderr, "dvicl_server: failed to write %s\n",
+                   loop.trace_path.c_str());
+    }
+  }
+  std::fflush(nullptr);
+  return 0;
+}
+
+// ---- Supervisor ------------------------------------------------------------
+
+Supervisor::Supervisor(const SupervisorOptions& options) : options_(options) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+}
+
+Supervisor::~Supervisor() {
+  // Safety net for tests that never reach Drain(): no worker may outlive
+  // its supervisor.
+  for (auto& slot : slots_) {
+    const pid_t pid = slot->pid.load();
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      waitpid(pid, nullptr, 0);
+      slot->pid = -1;
+    }
+    if (slot->listen_fd >= 0) {
+      close(slot->listen_fd);
+      slot->listen_fd = -1;
+    }
+  }
+}
+
+uint64_t Supervisor::NowMs() const { return SteadyNowMs(); }
+
+std::string Supervisor::EndpointSpec() const {
+  std::string spec = "127.0.0.1:";
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    if (i > 0) spec += ',';
+    spec += std::to_string(ports_[i]);
+  }
+  return spec;
+}
+
+pid_t Supervisor::worker_pid(size_t index) const {
+  return index < slots_.size() ? slots_[index]->pid.load() : -1;
+}
+
+size_t Supervisor::LiveWorkers() const {
+  size_t live = 0;
+  for (const auto& slot : slots_) {
+    if (!slot->retired) ++live;
+  }
+  return live;
+}
+
+Status Supervisor::Start() {
+  slots_.reserve(options_.num_workers);
+  ports_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    const uint16_t want =
+        options_.port == 0 ? 0 : static_cast<uint16_t>(options_.port + i);
+    uint16_t bound = 0;
+    Result<int> fd = ListenLoopback(want, &bound);
+    if (!fd.ok()) {
+      for (auto& slot : slots_) close(slot->listen_fd);
+      slots_.clear();
+      ports_.clear();
+      return Status::IOError("cannot listen on 127.0.0.1:" +
+                             std::to_string(want) + ": " +
+                             fd.status().message());
+    }
+    slots_.push_back(std::make_unique<Slot>(options_.restart));
+    slots_.back()->listen_fd = fd.value();
+    slots_.back()->port = bound;
+    ports_.push_back(bound);
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) ForkWorker(i);
+  if (options_.verbose) {
+    std::printf("dvicl_server supervising %u workers on %s\n",
+                options_.num_workers, EndpointSpec().c_str());
+    std::fflush(stdout);
+  }
+  started_ = true;
+  last_heartbeat_ms_ = NowMs();
+  return Status::Ok();
+}
+
+void Supervisor::ForkWorker(size_t index) {
+  Slot& slot = *slots_[index];
+  // Inherited stdio buffers replay on _exit: flush before forking.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // Worker child. Drop every listener but ours: the parent's copy must
+    // be the ONLY other reference, so retiring a slot (parent close) fully
+    // closes the socket and clients get fast ECONNREFUSED failover.
+    for (size_t j = 0; j < slots_.size(); ++j) {
+      if (j != index && slots_[j]->listen_fd >= 0) {
+        close(slots_[j]->listen_fd);
+      }
+    }
+    ServerOptions server = options_.server;
+    ServingLoopOptions loop = options_.worker_loop;
+    loop.announce = false;
+    const std::string suffix = ".w" + std::to_string(index);
+    if (!server.access_log_path.empty()) server.access_log_path += suffix;
+    if (!server.flight.dir.empty()) {
+      server.flight.dir += suffix;
+      mkdir(server.flight.dir.c_str(), 0777);  // EEXIST is fine
+    }
+    if (!loop.trace_path.empty()) loop.trace_path += suffix;
+    if (!loop.metrics_path.empty()) loop.metrics_path += suffix;
+    _exit(RunServingLoop(slot.listen_fd, server, loop));
+  }
+  const uint64_t now = NowMs();
+  if (pid < 0) {
+    // fork() failure behaves like an instant crash: backoff, maybe retire.
+    const RestartPolicy::Decision decision = slot.policy.OnFailure(now);
+    if (!decision.restart) {
+      RetireSlot(index, "fork failure");
+    } else {
+      slot.restart_due_ms = now + decision.delay_ms;
+    }
+    return;
+  }
+  slot.pid = pid;
+  slot.restart_due_ms = 0;
+  slot.missed_heartbeats = 0;
+  slot.policy.OnStart(now);
+  if (options_.verbose) {
+    std::printf("dvicl_server worker %zu pid=%d listening on 127.0.0.1:%u\n",
+                index, static_cast<int>(pid), slot.port);
+    std::fflush(stdout);
+  }
+}
+
+void Supervisor::RetireSlot(size_t index, const char* why) {
+  Slot& slot = *slots_[index];
+  slot.retired = true;
+  slot.restart_due_ms = 0;
+  if (slot.listen_fd >= 0) {
+    // With the dead worker's copy already gone, this close fully releases
+    // the socket: parked and future connects fail fast and clients fail
+    // over to the surviving workers.
+    close(slot.listen_fd);
+    slot.listen_fd = -1;
+  }
+  ++stats_.workers_retired;
+  if (options_.verbose) {
+    std::printf(
+        "dvicl_server worker %zu retired (%s) after %u consecutive "
+        "failures\n",
+        index, why, slot.policy.consecutive_failures());
+    std::fflush(stdout);
+  }
+}
+
+void Supervisor::ReapAndSchedule(uint64_t now_ms) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    const pid_t dead = slot.pid.load();
+    if (dead <= 0) continue;
+    int wstatus = 0;
+    const pid_t reaped = waitpid(dead, &wstatus, WNOHANG);
+    if (reaped != dead) continue;
+    slot.pid = -1;
+    char cause[64];
+    if (WIFSIGNALED(wstatus)) {
+      std::snprintf(cause, sizeof(cause), "signal %d", WTERMSIG(wstatus));
+    } else {
+      std::snprintf(cause, sizeof(cause), "exit %d", WEXITSTATUS(wstatus));
+    }
+    const RestartPolicy::Decision decision = slot.policy.OnFailure(now_ms);
+    if (!decision.restart) {
+      if (options_.verbose) {
+        std::printf("dvicl_server worker %zu pid=%d died (%s)\n", i,
+                    static_cast<int>(dead), cause);
+      }
+      RetireSlot(i, "crash loop");
+      continue;
+    }
+    slot.restart_due_ms = now_ms + decision.delay_ms;
+    if (options_.verbose) {
+      std::printf(
+          "dvicl_server worker %zu pid=%d died (%s); restarting in %llu "
+          "ms\n",
+          i, static_cast<int>(dead), cause,
+          static_cast<unsigned long long>(decision.delay_ms));
+      std::fflush(stdout);
+    }
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    if (slot.retired || slot.pid.load() > 0 ||
+        now_ms < slot.restart_due_ms) {
+      continue;
+    }
+    ++stats_.restarts_total;
+    ForkWorker(i);
+  }
+}
+
+void Supervisor::HeartbeatFleet(uint64_t now_ms) {
+  if (options_.heartbeat_interval_ms == 0 ||
+      now_ms - last_heartbeat_ms_ < options_.heartbeat_interval_ms) {
+    return;
+  }
+  last_heartbeat_ms_ = now_ms;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    const pid_t pid = slot.pid.load();
+    if (pid <= 0) continue;
+    bool healthy = false;
+    Result<Client> connected = Client::ConnectTcp("127.0.0.1", slot.port);
+    if (connected.ok()) {
+      Client client = std::move(connected).value();
+      client.set_deadline_ms(options_.heartbeat_timeout_ms);
+      // A wedged worker's listener (held open by the parent) still
+      // completes the TCP handshake from the backlog, so the health signal
+      // is the REPLY deadline, not the connect.
+      healthy = client.FetchStats().ok();
+    }
+    if (healthy) {
+      slot.missed_heartbeats = 0;
+      continue;
+    }
+    ++slot.missed_heartbeats;
+    if (slot.missed_heartbeats < options_.heartbeat_max_missed) continue;
+    // Wedged (SIGSTOP, deadlock, runaway loop): SIGKILL works even on a
+    // stopped process; the next reap sweep schedules the restart.
+    kill(pid, SIGKILL);
+    ++stats_.hung_kills;
+    slot.missed_heartbeats = 0;
+    if (options_.verbose) {
+      std::printf(
+          "dvicl_server worker %zu pid=%d hung (%u missed heartbeats); "
+          "killed\n",
+          i, static_cast<int>(pid), options_.heartbeat_max_missed);
+      std::fflush(stdout);
+    }
+  }
+}
+
+int Supervisor::Run() {
+  if (!started_) return 1;
+  while (shutdown_requested_.load() == 0) {
+    const uint64_t now = NowMs();
+    ReapAndSchedule(now);
+    if (rotate_requested_.exchange(0) != 0) {
+      for (const auto& slot : slots_) {
+        const pid_t pid = slot->pid.load();
+        if (pid > 0) kill(pid, SIGHUP);
+      }
+    }
+    HeartbeatFleet(now);
+    if (LiveWorkers() == 0) {
+      if (options_.verbose) {
+        std::printf("dvicl_server: every worker slot retired; exiting\n");
+        std::fflush(stdout);
+      }
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  Drain();
+  return 0;
+}
+
+void Supervisor::Drain() {
+  if (options_.verbose) {
+    std::printf("dvicl_server draining %zu workers\n", LiveWorkers());
+    std::fflush(stdout);
+  }
+  for (auto& slot : slots_) {
+    const pid_t pid = slot->pid.load();
+    if (pid > 0) kill(pid, SIGTERM);
+  }
+  const uint64_t deadline = NowMs() + options_.drain_grace_ms;
+  for (;;) {
+    bool any_live = false;
+    for (auto& slot : slots_) {
+      const pid_t pid = slot->pid.load();
+      if (pid <= 0) continue;
+      if (waitpid(pid, nullptr, WNOHANG) == pid) {
+        slot->pid = -1;
+      } else {
+        any_live = true;
+      }
+    }
+    if (!any_live || NowMs() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    const pid_t pid = slot.pid.load();
+    if (pid <= 0) continue;
+    // Still up past the grace (wedged, or stopped so SIGTERM was never
+    // delivered): escalate. SIGKILL terminates stopped processes too.
+    kill(pid, SIGKILL);
+    ++stats_.drain_forced_kills;
+    waitpid(pid, nullptr, 0);
+    slot.pid = -1;
+    if (options_.verbose) {
+      std::printf("dvicl_server worker %zu force-killed after drain grace\n",
+                  i);
+      std::fflush(stdout);
+    }
+  }
+  for (auto& slot : slots_) {
+    if (slot->listen_fd >= 0) {
+      close(slot->listen_fd);
+      slot->listen_fd = -1;
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace dvicl

@@ -1,0 +1,237 @@
+#ifndef DVICL_SERVER_SUPERVISOR_H_
+#define DVICL_SERVER_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/server.h"
+
+// Supervised multi-process serving (DESIGN.md §15). The daemon's
+// `--workers=N` mode forks N worker processes, each running the existing
+// Server over its own loopback listener, under a single-threaded parent
+// that health-checks, restarts and drains them:
+//
+//  - The parent binds every listener BEFORE forking and keeps its copy of
+//    each listen fd open across worker restarts: ports are stable for the
+//    daemon's lifetime, and while a worker is down the kernel backlog
+//    parks incoming connects until the replacement accepts them — clients
+//    see latency, not connection refusal.
+//  - Crash isolation: a worker that segfaults, OOMs, or is SIGKILLed takes
+//    out only its in-flight requests. The shared CertCache is per-process,
+//    so a crashing worker can never corrupt a survivor's state.
+//  - Health: waitpid(WNOHANG) catches crashes immediately; a periodic
+//    kServerStats heartbeat over a deadline-bounded Client catches hangs
+//    (the reply deadline fires even though the parked listener still
+//    completes TCP handshakes). Enough missed heartbeats and the worker is
+//    SIGKILLed and restarted.
+//  - Restart policy: exponential backoff per slot with a stability reset
+//    and a circuit breaker — a slot that crash-loops is retired and its
+//    listener closed, degrading the fleet to fewer workers (clients fail
+//    over on ECONNREFUSED) instead of flapping forever.
+//  - Graceful drain: SIGTERM/SIGINT to the parent forwards SIGTERM to the
+//    fleet, waits a bounded grace for workers to finish in-flight requests
+//    and flush observability, then SIGKILLs stragglers. SIGHUP is
+//    forwarded for access-log rotation.
+
+namespace dvicl {
+namespace server {
+
+// ---- restart policy (pure state machine, injected clock) -------------------
+
+struct RestartPolicyOptions {
+  // Restart delay: initial * 2^consecutive_failures, capped.
+  uint64_t backoff_initial_ms = 100;
+  uint64_t backoff_max_ms = 5000;
+  // A worker that stays up this long resets its slot's failure streak (the
+  // next crash restarts at the initial delay again).
+  uint64_t stable_after_ms = 10'000;
+  // Circuit breaker: this many consecutive failures retires the slot
+  // (0 = never retire).
+  uint32_t max_consecutive_failures = 8;
+};
+
+// Per-slot restart bookkeeping. Time is injected (milliseconds on any
+// monotonic clock) so the backoff schedule and circuit breaker are unit
+// testable without sleeping.
+class RestartPolicy {
+ public:
+  struct Decision {
+    bool restart = false;   // false = slot retired (circuit breaker open)
+    uint64_t delay_ms = 0;  // backoff before the restart
+  };
+
+  explicit RestartPolicy(const RestartPolicyOptions& options)
+      : options_(options) {}
+
+  // The slot's worker started (first launch and every restart).
+  void OnStart(uint64_t now_ms);
+  // The slot's worker died (crash, hang-kill, nonzero exit). Returns the
+  // restart decision; once `restart == false` the slot is permanently
+  // retired.
+  Decision OnFailure(uint64_t now_ms);
+
+  uint32_t consecutive_failures() const { return consecutive_failures_; }
+  bool retired() const { return retired_; }
+
+ private:
+  RestartPolicyOptions options_;
+  uint64_t last_start_ms_ = 0;
+  uint32_t consecutive_failures_ = 0;
+  bool started_ = false;
+  bool retired_ = false;
+};
+
+// ---- shared serving loop ---------------------------------------------------
+
+// Listener on 127.0.0.1:`port` (0 = ephemeral). On success returns the fd
+// and stores the bound port; on failure returns a Status naming the errno —
+// the daemon reports it and exits nonzero instead of perror+abort.
+Result<int> ListenLoopback(uint16_t port, uint16_t* bound_port);
+
+struct ServingLoopOptions {
+  // Print the "dvicl_server listening on 127.0.0.1:PORT" line automation
+  // parses. On in single-process mode, off in workers (the supervisor
+  // prints per-worker lines instead).
+  bool announce = false;
+  // After stop: bound wait for in-flight connections to finish before the
+  // observability flush (0 = no wait).
+  uint64_t drain_grace_ms = 2000;
+  // Shutdown observability outputs (empty = disabled).
+  std::string trace_path;
+  std::string metrics_path;
+  uint64_t metrics_dump_interval_seconds = 0;  // periodic --metrics rewrite
+};
+
+// The accept/serve/drain loop shared by the single-process daemon and every
+// forked worker: installs SIGTERM/SIGINT stop + SIGHUP rotate handlers,
+// serves until stopped, drains in-flight connections within the grace,
+// flushes trace/metrics and returns the exit code. Takes ownership of
+// `listen_fd`. Runs on the calling thread until shutdown; the caller is
+// expected to _exit with the returned code promptly (connection threads
+// may still be parked on idle reads past the grace).
+int RunServingLoop(int listen_fd, const ServerOptions& options,
+                   const ServingLoopOptions& loop);
+
+// ---- supervisor ------------------------------------------------------------
+
+struct SupervisorOptions {
+  uint32_t num_workers = 4;
+  // 0 = one ephemeral port per worker; else worker i listens on port + i.
+  uint16_t port = 0;
+  // Options for each worker's Server. Observability file paths
+  // (access_log_path, flight.dir and the loop's trace/metrics paths) are
+  // suffixed ".wI" per worker so the processes never write over each other.
+  ServerOptions server;
+  ServingLoopOptions worker_loop;
+  RestartPolicyOptions restart;
+
+  // Heartbeat: every interval, one kServerStats round trip per worker with
+  // a `timeout_ms` I/O deadline; `max_missed` consecutive failures = the
+  // worker is wedged -> SIGKILL + restart path.
+  uint64_t heartbeat_interval_ms = 500;
+  uint64_t heartbeat_timeout_ms = 1000;
+  uint32_t heartbeat_max_missed = 3;
+
+  // Drain: grace between SIGTERM-ing the fleet and SIGKILL-ing stragglers.
+  uint64_t drain_grace_ms = 5000;
+
+  // Lifecycle lines on stdout (workers/ports/restarts; the chaos harness
+  // parses these).
+  bool verbose = true;
+};
+
+// Atomic so tests can poll while Run() executes on another thread.
+struct SupervisorStats {
+  std::atomic<uint64_t> restarts_total{0};  // launches beyond the initial N
+  std::atomic<uint64_t> hung_kills{0};      // SIGKILLs after missed heartbeats
+  std::atomic<uint64_t> drain_forced_kills{0};  // SIGKILLs after drain grace
+  std::atomic<uint64_t> workers_retired{0};  // circuit-breaker closures
+};
+
+// The parent process object. Single-threaded by design: fork() from a
+// multi-threaded parent is a glibc minefield, and a tick loop (reap ->
+// rotate -> restart -> heartbeat -> sleep) needs no concurrency. The only
+// cross-thread members are the two request flags, which signal handlers
+// (or a test thread) set via async-signal-safe atomic stores.
+class Supervisor {
+ public:
+  explicit Supervisor(const SupervisorOptions& options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // Binds all listeners and forks the initial fleet. On listen failure
+  // nothing is forked and the error names the port.
+  Status Start();
+
+  // Supervision loop; returns the process exit code after a drain
+  // triggered by RequestShutdown() (0) or after every slot was retired by
+  // the circuit breaker (1).
+  int Run();
+
+  // Async-signal-safe (plain atomic stores): the daemon's SIGTERM/SIGINT
+  // and SIGHUP handlers call these; tests call them from other threads.
+  void RequestShutdown() { shutdown_requested_.store(1); }
+  void RequestLogRotate() { rotate_requested_.store(1); }
+
+  // Bound worker ports, index-aligned with the fleet (valid after Start).
+  const std::vector<uint16_t>& ports() const { return ports_; }
+  // "127.0.0.1:P1,P2,..." — the --connect spec for ParseEndpoints.
+  std::string EndpointSpec() const;
+  // pid of worker i, -1 while it is between incarnations (valid after
+  // Start; racy against Run's restarts, so tests read it only while Run is
+  // quiescent or tolerate staleness).
+  pid_t worker_pid(size_t index) const;
+
+  const SupervisorStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    int listen_fd = -1;
+    uint16_t port = 0;
+    // Atomic only for worker_pid() readers; all writes happen on the
+    // Start/Run thread.
+    std::atomic<pid_t> pid{-1};
+    RestartPolicy policy;
+    uint64_t restart_due_ms = 0;  // scheduled relaunch time while pid < 0
+    uint32_t missed_heartbeats = 0;
+    bool retired = false;
+
+    explicit Slot(const RestartPolicyOptions& options) : policy(options) {}
+  };
+
+  uint64_t NowMs() const;
+  // Forks worker `index` (the child never returns: it runs RunServingLoop
+  // on its slot's listener and _exits).
+  void ForkWorker(size_t index);
+  // One waitpid(WNOHANG) sweep; schedules restarts / retires slots.
+  void ReapAndSchedule(uint64_t now_ms);
+  // One heartbeat round over all live workers.
+  void HeartbeatFleet(uint64_t now_ms);
+  void RetireSlot(size_t index, const char* why);
+  // SIGTERM fleet, bounded wait, SIGKILL stragglers, reap everything.
+  void Drain();
+  size_t LiveWorkers() const;
+
+  SupervisorOptions options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<uint16_t> ports_;
+  SupervisorStats stats_;
+  uint64_t last_heartbeat_ms_ = 0;
+  bool started_ = false;
+
+  std::atomic<int> shutdown_requested_{0};
+  std::atomic<int> rotate_requested_{0};
+};
+
+}  // namespace server
+}  // namespace dvicl
+
+#endif  // DVICL_SERVER_SUPERVISOR_H_

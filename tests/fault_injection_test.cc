@@ -114,6 +114,10 @@ TEST_F(FailpointTest, CatalogueListsEveryCompiledSite) {
       failpoint::sites::kGraphIoRead,  failpoint::sites::kSchreierInsert,
       failpoint::sites::kServerDecode, failpoint::sites::kServerDispatch,
       failpoint::sites::kServerWriteReply,
+      // Process-level chaos sites: never armed in-process (a trigger kills
+      // or freezes the whole binary); tests/supervisor_test.cc arms them
+      // pre-fork so only worker children evaluate them.
+      failpoint::sites::kWorkerKill,   failpoint::sites::kWorkerHang,
   };
   EXPECT_EQ(sites.size(), std::size(expected));
   for (const char* site : expected) {

@@ -542,6 +542,82 @@ TEST(ServerIsolation, DoomedRequestsCannotTripBatchMates) {
   }
 }
 
+// ---- client deadlines and truncation observability -------------------------
+
+TEST(ClientDeadline, SilentPeerTimesOutAndPoisonsTheConnection) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Client client(fds[0]);
+  client.set_deadline_ms(100);
+  // No server on the peer end: the reply never comes, so the deadline —
+  // not a hung read — decides the outcome.
+  Reply reply;
+  const Status status = client.Receive(&reply);
+  EXPECT_EQ(status.code(), Status::Code::kDeadlineExceeded)
+      << status.ToString();
+  // A timed-out connection may have a half-read frame in flight; it must
+  // be poisoned, not reused.
+  EXPECT_FALSE(client.connected());
+  close(fds[1]);
+}
+
+TEST(ClientDeadline, TornFrameIsIOErrorAndPoisonsTheConnection) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Client client(fds[0]);
+  client.set_deadline_ms(1000);
+  // A length prefix promising 100 bytes, then a crash (close) mid-payload:
+  // torn frame, not clean EOF.
+  const char prefix[4] = {100, 0, 0, 0};
+  ASSERT_EQ(write(fds[1], prefix, 4), 4);
+  ASSERT_EQ(write(fds[1], "partial", 7), 7);
+  close(fds[1]);
+  Reply reply;
+  EXPECT_EQ(client.Receive(&reply).code(), Status::Code::kIOError);
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(ClientDeadline, CleanEofIsNotFoundAndLeavesTheConnectionOpen) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Client client(fds[0]);
+  close(fds[1]);  // orderly close at a frame boundary
+  Reply reply;
+  EXPECT_EQ(client.Receive(&reply).code(), Status::Code::kNotFound);
+  // Clean shutdown is not an I/O fault; only the caller decides what a
+  // server hangup at a frame boundary means.
+  EXPECT_TRUE(client.connected());
+}
+
+TEST(ServerObservability, TruncatedFramesAreCountedDistinctFromCleanCloses) {
+  Server server{ServerOptions{}};
+  const auto truncated = [&server] {
+    for (const auto& [key, value] : server.StatsSnapshot()) {
+      if (key == "frames_truncated") return value;
+    }
+    ADD_FAILURE() << "frames_truncated missing from StatsSnapshot";
+    return uint64_t{0};
+  };
+
+  {
+    // Clean close after a served request: no truncation counted.
+    Loopback loop(&server);
+    ASSERT_TRUE(loop.client()
+                    .Call(GraphRequest(RequestClass::kCanonicalForm,
+                                       CycleGraph(8)))
+                    .ok());
+  }
+  EXPECT_EQ(truncated(), 0u);
+
+  {
+    // Crash mid-frame: prefix promises more than ever arrives.
+    Loopback loop(&server);
+    const char prefix[4] = {64, 0, 0, 0};
+    ASSERT_EQ(write(loop.client_fd(), prefix, 4), 4);
+  }  // ~Loopback closes the client end with the frame still torn
+  EXPECT_EQ(truncated(), 1u);
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace dvicl

@@ -1,0 +1,447 @@
+// Supervised multi-process serving (DESIGN.md §15): the RestartPolicy
+// state machine (backoff schedule, stability reset, circuit breaker —
+// injected clock, no sleeping), endpoint-spec parsing, the retrying
+// client, and fork-based integration tests of the Supervisor itself:
+// crash restart, hung-worker detection, graceful drain, forced kill of a
+// wedged worker, circuit-breaker retirement, and (in failpoint builds)
+// worker.kill chaos with byte-identical replies throughout.
+//
+// The fork-based suites run the supervision loop on a test thread and
+// fork real worker processes. That is fine under ASan and plain builds,
+// but TSan cannot follow fork-from-threaded-process into threaded
+// children, so those suites skip themselves under TSan (the sanitizer
+// script's failpoint leg runs the full ctest under both).
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "datasets/generators.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/supervisor.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DVICL_TSAN 1
+#endif
+#endif
+#if !defined(DVICL_TSAN) && defined(__SANITIZE_THREAD__)
+#define DVICL_TSAN 1
+#endif
+
+#ifdef DVICL_TSAN
+#define SKIP_IF_TSAN() \
+  GTEST_SKIP() << "fork-based supervision tests are incompatible with TSan"
+#else
+#define SKIP_IF_TSAN() (void)0
+#endif
+
+namespace dvicl {
+namespace server {
+namespace {
+
+// ---- RestartPolicy (pure, injected clock) ----------------------------------
+
+TEST(RestartPolicy, BackoffDoublesFromInitialAndCaps) {
+  RestartPolicyOptions options;
+  options.backoff_initial_ms = 100;
+  options.backoff_max_ms = 800;
+  options.stable_after_ms = 1'000'000;  // no resets in this test
+  options.max_consecutive_failures = 0;  // no circuit breaker
+  RestartPolicy policy(options);
+  uint64_t now = 0;
+  const uint64_t expected[] = {100, 200, 400, 800, 800, 800};
+  for (uint64_t want : expected) {
+    policy.OnStart(now);
+    now += 1;  // dies instantly
+    const RestartPolicy::Decision decision = policy.OnFailure(now);
+    EXPECT_TRUE(decision.restart);
+    EXPECT_EQ(decision.delay_ms, want)
+        << "failure #" << policy.consecutive_failures();
+    now += decision.delay_ms;
+  }
+}
+
+TEST(RestartPolicy, StableUptimeResetsTheFailureStreak) {
+  RestartPolicyOptions options;
+  options.backoff_initial_ms = 100;
+  options.backoff_max_ms = 10'000;
+  options.stable_after_ms = 5'000;
+  options.max_consecutive_failures = 0;
+  RestartPolicy policy(options);
+  // Three quick crashes escalate the backoff...
+  uint64_t now = 0;
+  policy.OnStart(now);
+  EXPECT_EQ(policy.OnFailure(now + 10).delay_ms, 100u);
+  policy.OnStart(now += 200);
+  EXPECT_EQ(policy.OnFailure(now + 10).delay_ms, 200u);
+  policy.OnStart(now += 400);
+  EXPECT_EQ(policy.OnFailure(now + 10).delay_ms, 400u);
+  EXPECT_EQ(policy.consecutive_failures(), 3u);
+  // ...then an incarnation that survives past the stability window makes
+  // the next crash a fresh incident at the initial delay.
+  policy.OnStart(now += 1000);
+  const RestartPolicy::Decision after_stable =
+      policy.OnFailure(now + 6'000);
+  EXPECT_TRUE(after_stable.restart);
+  EXPECT_EQ(after_stable.delay_ms, 100u);
+  EXPECT_EQ(policy.consecutive_failures(), 1u);
+}
+
+TEST(RestartPolicy, CircuitBreakerRetiresAfterMaxConsecutiveFailures) {
+  RestartPolicyOptions options;
+  options.backoff_initial_ms = 10;
+  options.stable_after_ms = 1'000'000;
+  options.max_consecutive_failures = 3;
+  RestartPolicy policy(options);
+  uint64_t now = 0;
+  for (int i = 0; i < 2; ++i) {
+    policy.OnStart(now);
+    EXPECT_TRUE(policy.OnFailure(++now).restart);
+    EXPECT_FALSE(policy.retired());
+  }
+  policy.OnStart(now);
+  const RestartPolicy::Decision third = policy.OnFailure(++now);
+  EXPECT_FALSE(third.restart);
+  EXPECT_TRUE(policy.retired());
+  // Once open, the breaker stays open.
+  EXPECT_FALSE(policy.OnFailure(++now).restart);
+}
+
+// ---- endpoint parsing ------------------------------------------------------
+
+TEST(ParseEndpoints, SinglePortAndFleetSpecs) {
+  const auto one = ParseEndpoints("127.0.0.1:7411");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].host, "127.0.0.1");
+  EXPECT_EQ(one[0].port, 7411);
+
+  const auto fleet = ParseEndpoints("127.0.0.1:7411,7412,7413");
+  ASSERT_EQ(fleet.size(), 3u);
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet[i].host, "127.0.0.1");
+    EXPECT_EQ(fleet[i].port, 7411 + i);
+  }
+}
+
+TEST(ParseEndpoints, MalformedSpecsYieldEmpty) {
+  EXPECT_TRUE(ParseEndpoints("").empty());
+  EXPECT_TRUE(ParseEndpoints("127.0.0.1").empty());
+  EXPECT_TRUE(ParseEndpoints(":7411").empty());
+  EXPECT_TRUE(ParseEndpoints("127.0.0.1:").empty());
+  EXPECT_TRUE(ParseEndpoints("127.0.0.1:0").empty());
+  EXPECT_TRUE(ParseEndpoints("127.0.0.1:7411,").empty());
+  EXPECT_TRUE(ParseEndpoints("127.0.0.1:7411,abc").empty());
+  EXPECT_TRUE(ParseEndpoints("127.0.0.1:99999").empty());
+}
+
+// ---- fork-based integration ------------------------------------------------
+
+// Polls `condition` every 10ms up to `timeout_ms`.
+bool WaitFor(const std::function<bool()>& condition, uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return condition();
+}
+
+SupervisorOptions FastOptions(uint32_t workers) {
+  SupervisorOptions options;
+  options.num_workers = workers;
+  options.port = 0;  // ephemeral
+  options.verbose = false;
+  options.server.num_threads = 2;
+  options.restart.backoff_initial_ms = 50;
+  options.restart.backoff_max_ms = 400;
+  options.heartbeat_interval_ms = 100;
+  options.heartbeat_timeout_ms = 250;
+  options.heartbeat_max_missed = 2;
+  options.drain_grace_ms = 3000;
+  options.worker_loop.drain_grace_ms = 500;
+  return options;
+}
+
+Request CanonicalRequest(uint64_t id) {
+  Request request;
+  request.id = id;
+  request.cls = RequestClass::kCanonicalForm;
+  request.graph = GadgetForestGraph(3, 3);
+  return request;
+}
+
+// Reply bytes with the id zeroed: what every worker and the in-process
+// reference must agree on byte-for-byte.
+std::string CanonicalReplyBytes(Reply reply) {
+  reply.id = 0;
+  std::string encoded;
+  EncodeReply(reply, &encoded);
+  return encoded;
+}
+
+std::string ReferenceReplyBytes(const Request& request) {
+  Server reference{ServerOptions{}};
+  return CanonicalReplyBytes(reference.Handle(request));
+}
+
+// Harness: Start() on the test thread, Run() on a worker thread, shutdown
+// + join in the destructor (idempotent if the loop already returned).
+class RunningSupervisor {
+ public:
+  explicit RunningSupervisor(const SupervisorOptions& options)
+      : supervisor_(options) {
+    start_status_ = supervisor_.Start();
+    if (start_status_.ok()) {
+      thread_ = std::thread([this] { exit_code_ = supervisor_.Run(); });
+    }
+  }
+  ~RunningSupervisor() { Stop(); }
+
+  int Stop() {
+    supervisor_.RequestShutdown();
+    if (thread_.joinable()) thread_.join();
+    return exit_code_;
+  }
+  // Joins without requesting shutdown (for loops expected to exit on
+  // their own, e.g. the circuit breaker).
+  int Join() {
+    if (thread_.joinable()) thread_.join();
+    return exit_code_;
+  }
+
+  Supervisor& supervisor() { return supervisor_; }
+  const Status& start_status() const { return start_status_; }
+
+ private:
+  Supervisor supervisor_;
+  Status start_status_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+TEST(SupervisorIntegration, FleetServesByteIdenticalReplies) {
+  SKIP_IF_TSAN();
+  RunningSupervisor running(FastOptions(2));
+  ASSERT_TRUE(running.start_status().ok()) << running.start_status().ToString();
+  ASSERT_EQ(running.supervisor().ports().size(), 2u);
+
+  const Request request = CanonicalRequest(7);
+  const std::string expected = ReferenceReplyBytes(request);
+  // Every worker must produce the same bytes as the in-process reference.
+  for (uint16_t port : running.supervisor().ports()) {
+    RobustClient client(ParseEndpoints("127.0.0.1:" + std::to_string(port)));
+    auto reply = client.Call(request);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply.value().id, request.id);
+    EXPECT_EQ(CanonicalReplyBytes(reply.value()), expected);
+  }
+  EXPECT_EQ(running.Stop(), 0);
+  EXPECT_EQ(running.supervisor().stats().drain_forced_kills.load(), 0u);
+}
+
+TEST(SupervisorIntegration, SigkilledWorkerIsRestartedOnItsPort) {
+  SKIP_IF_TSAN();
+  RunningSupervisor running(FastOptions(2));
+  ASSERT_TRUE(running.start_status().ok());
+  Supervisor& supervisor = running.supervisor();
+
+  const pid_t original = supervisor.worker_pid(0);
+  ASSERT_GT(original, 0);
+  ASSERT_EQ(kill(original, SIGKILL), 0);
+
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const pid_t pid = supervisor.worker_pid(0);
+        return pid > 0 && pid != original;
+      },
+      5000))
+      << "worker 0 was not restarted";
+  EXPECT_GE(supervisor.stats().restarts_total.load(), 1u);
+
+  // Same port, fresh process, correct answers.
+  const Request request = CanonicalRequest(11);
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  RobustClient client(
+      ParseEndpoints("127.0.0.1:" + std::to_string(supervisor.ports()[0])),
+      retry);
+  auto reply = client.Call(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(CanonicalReplyBytes(reply.value()), ReferenceReplyBytes(request));
+  EXPECT_EQ(running.Stop(), 0);
+}
+
+TEST(SupervisorIntegration, HungWorkerIsDetectedKilledAndRestarted) {
+  SKIP_IF_TSAN();
+  RunningSupervisor running(FastOptions(1));
+  ASSERT_TRUE(running.start_status().ok());
+  Supervisor& supervisor = running.supervisor();
+
+  const pid_t original = supervisor.worker_pid(0);
+  ASSERT_GT(original, 0);
+  // Freeze every thread of the worker: exactly the failure shape the
+  // heartbeat deadline exists to catch — the parked listener still
+  // completes TCP handshakes, but no reply ever comes.
+  ASSERT_EQ(kill(original, SIGSTOP), 0);
+
+  ASSERT_TRUE(WaitFor(
+      [&] { return supervisor.stats().hung_kills.load() >= 1; }, 10'000))
+      << "heartbeat deadline never fired on the stopped worker";
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        const pid_t pid = supervisor.worker_pid(0);
+        return pid > 0 && pid != original;
+      },
+      5000))
+      << "hung worker was not replaced";
+
+  const Request request = CanonicalRequest(13);
+  RetryOptions retry;
+  retry.max_attempts = 5;
+  RobustClient client(
+      ParseEndpoints("127.0.0.1:" + std::to_string(supervisor.ports()[0])),
+      retry);
+  auto reply = client.Call(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(CanonicalReplyBytes(reply.value()), ReferenceReplyBytes(request));
+  EXPECT_EQ(running.Stop(), 0);
+}
+
+TEST(SupervisorIntegration, GracefulDrainNeedsNoForcedKills) {
+  SKIP_IF_TSAN();
+  RunningSupervisor running(FastOptions(2));
+  ASSERT_TRUE(running.start_status().ok());
+
+  // In-flight traffic right up to the shutdown request.
+  RobustClient client(
+      ParseEndpoints(running.supervisor().EndpointSpec()));
+  for (uint64_t i = 1; i <= 4; ++i) {
+    auto reply = client.Call(CanonicalRequest(i));
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+
+  EXPECT_EQ(running.Stop(), 0);
+  const SupervisorStats& stats = running.supervisor().stats();
+  EXPECT_EQ(stats.drain_forced_kills.load(), 0u);
+  EXPECT_EQ(stats.hung_kills.load(), 0u);
+}
+
+TEST(SupervisorIntegration, WedgedWorkerIsForceKilledAtDrainDeadline) {
+  SKIP_IF_TSAN();
+  SupervisorOptions options = FastOptions(1);
+  options.heartbeat_interval_ms = 60'000;  // keep the hang undetected
+  options.drain_grace_ms = 300;
+  RunningSupervisor running(options);
+  ASSERT_TRUE(running.start_status().ok());
+
+  const pid_t pid = running.supervisor().worker_pid(0);
+  ASSERT_GT(pid, 0);
+  // A stopped process never sees SIGTERM, so the drain must escalate.
+  ASSERT_EQ(kill(pid, SIGSTOP), 0);
+
+  EXPECT_EQ(running.Stop(), 0);
+  EXPECT_GE(running.supervisor().stats().drain_forced_kills.load(), 1u);
+}
+
+TEST(SupervisorIntegration, CircuitBreakerRetiresACrashLoopingSlot) {
+  SKIP_IF_TSAN();
+  SupervisorOptions options = FastOptions(1);
+  options.restart.backoff_initial_ms = 20;
+  options.restart.max_consecutive_failures = 2;
+  options.restart.stable_after_ms = 60'000;  // no streak reset in-test
+  RunningSupervisor running(options);
+  ASSERT_TRUE(running.start_status().ok());
+  Supervisor& supervisor = running.supervisor();
+  const uint16_t port = supervisor.ports()[0];
+
+  // Kill every incarnation as it appears until the breaker opens. With
+  // max_consecutive_failures=2 the slot dies twice and is retired; the
+  // fleet is then empty, so Run() exits 1 on its own.
+  pid_t last = -1;
+  for (int kills = 0; kills < 2; ++kills) {
+    ASSERT_TRUE(WaitFor(
+        [&] {
+          const pid_t pid = supervisor.worker_pid(0);
+          if (pid > 0 && pid != last) {
+            last = pid;
+            return true;
+          }
+          return false;
+        },
+        5000))
+        << "incarnation " << kills << " never appeared";
+    kill(last, SIGKILL);
+  }
+
+  EXPECT_EQ(running.Join(), 1);
+  EXPECT_EQ(supervisor.stats().workers_retired.load(), 1u);
+  // The retired slot's listener is fully closed: fast connection refusal
+  // (the client-side failover signal), not a parked connect.
+  EXPECT_FALSE(Client::ConnectTcp("127.0.0.1", port).ok());
+}
+
+TEST(SupervisorIntegration, FailpointCrashChaosKeepsRepliesCorrect) {
+  SKIP_IF_TSAN();
+  if (!failpoint::kEnabled) {
+    GTEST_SKIP() << "requires a -DDVICL_FAILPOINTS=ON build";
+  }
+  SupervisorOptions options = FastOptions(2);
+  options.heartbeat_interval_ms = 60'000;  // only traffic advances the site
+  // Armed BEFORE Start so every worker inherits the arming with fresh
+  // per-process counters: each incarnation serves 5 batches, then
+  // SIGKILLs itself mid-batch (torn frames and all).
+  failpoint::Arm(failpoint::sites::kWorkerKill,
+                 {/*skip_hits=*/5, /*max_triggers=*/1});
+  RunningSupervisor running(options);
+  ASSERT_TRUE(running.start_status().ok());
+  // The parent never evaluates worker sites, but disarm defensively so no
+  // later in-process test can trip it.
+  failpoint::DisarmAll();
+
+  const Request request = CanonicalRequest(1);
+  const std::string expected = ReferenceReplyBytes(request);
+  RetryOptions retry;
+  retry.max_attempts = 8;
+  retry.backoff_initial_ms = 20;
+  retry.io_deadline_ms = 5000;
+  RobustClient client(ParseEndpoints(running.supervisor().EndpointSpec()),
+                      retry);
+  uint64_t completed = 0;
+  for (uint64_t i = 1; i <= 24; ++i) {
+    Request chaos_request = request;
+    chaos_request.id = i;
+    auto reply = client.Call(chaos_request);
+    ASSERT_TRUE(reply.ok())
+        << "call " << i << ": " << reply.status().ToString();
+    ASSERT_EQ(reply.value().id, i);
+    // The chaos gate's core assertion: every completed reply is
+    // byte-identical to the single-process reference — crashes may cost
+    // retries, never correctness.
+    ASSERT_EQ(CanonicalReplyBytes(reply.value()), expected) << "call " << i;
+    ++completed;
+  }
+  EXPECT_EQ(completed, 24u);
+  // 24 calls over workers dying every ~6 batches must have crossed at
+  // least one crash + restart.
+  EXPECT_GE(running.supervisor().stats().restarts_total.load(), 1u);
+  EXPECT_GE(client.stats().retries, 1u);
+  EXPECT_EQ(running.Stop(), 0);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace dvicl
